@@ -1,0 +1,173 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! set-partition enumeration (Orlov), model-database lookup/estimation,
+//! one PROACTIVE allocation decision at datacenter fleet width, the
+//! single-server run integrator, and an end-to-end small simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
+use eavm_benchdb::{DbBuilder, ModelDatabase};
+use eavm_core::strategy::{RequestView, ServerView};
+use eavm_core::{AllocationStrategy, DbModel, OptimizationGoal, Proactive};
+use eavm_partitions::{multiset_partitions, multiset_partitions_capped, SetPartitions};
+use eavm_testbed::{ApplicationProfile, RunSimulator};
+use eavm_types::{JobId, MixVector, Seconds, ServerId, WorkloadType};
+
+fn bench_partitions(c: &mut Criterion) {
+    c.bench_function("orlov_set_partitions_n10", |b| {
+        b.iter(|| SetPartitions::new(black_box(10)).count())
+    });
+    c.bench_function("multiset_partitions_4_identical", |b| {
+        b.iter(|| multiset_partitions(black_box(&[4, 0, 0]), u32::MAX).len())
+    });
+    c.bench_function("multiset_partitions_burst_20_capped", |b| {
+        // A full burst: 5 jobs x 4 VMs across 3 types, block size <= 10,
+        // bounded at the allocator's real search cap (4096 partitions).
+        b.iter(|| multiset_partitions_capped(black_box(&[8, 6, 6]), 10, 4_096).len())
+    });
+}
+
+fn database() -> ModelDatabase {
+    DbBuilder::exact().build().expect("db")
+}
+
+fn bench_database(c: &mut Criterion) {
+    let db = database();
+    let bounds = db.aux().os_bounds;
+    let mixes: Vec<MixVector> = MixVector::space(bounds)
+        .filter(|m| !m.is_empty())
+        .collect();
+    c.bench_function("db_binary_search_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % mixes.len();
+            black_box(db.lookup(mixes[i]))
+        })
+    });
+    c.bench_function("db_estimate_in_grid", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % mixes.len();
+            black_box(db.estimate(mixes[i]).unwrap())
+        })
+    });
+    c.bench_function("db_estimate_extrapolated", |b| {
+        b.iter(|| black_box(db.estimate(MixVector::new(12, 6, 9)).unwrap()))
+    });
+}
+
+fn bench_proactive_decision(c: &mut Criterion) {
+    let db = DbModel::new(database());
+    let deadlines = [Seconds(3600.0), Seconds(3000.0), Seconds(2700.0)];
+    let mut pa = Proactive::new(db, OptimizationGoal::BALANCED, deadlines).with_qos_margin(0.65);
+    // A 70-server fleet in a mid-load state.
+    let servers: Vec<ServerView> = (0..70u32)
+        .map(|i| {
+            let mix = match i % 4 {
+                0 => MixVector::new(4, 0, 0),
+                1 => MixVector::new(2, 1, 1),
+                2 => MixVector::new(0, 2, 3),
+                _ => MixVector::EMPTY,
+            };
+            ServerView::homogeneous(ServerId::new(i), mix)
+        })
+        .collect();
+    let request = RequestView {
+        id: JobId::new(0),
+        workload: WorkloadType::Cpu,
+        vm_count: 4,
+        deadline: deadlines[0],
+    };
+    c.bench_function("proactive_allocate_4vms_70servers", |b| {
+        b.iter(|| pa.allocate(black_box(&request), black_box(&servers)).unwrap())
+    });
+}
+
+fn bench_runsim(c: &mut Criterion) {
+    let sim = RunSimulator::reference();
+    let fftw = ApplicationProfile::fftw();
+    c.bench_function("runsim_9_fftw_clones", |b| {
+        b.iter(|| sim.run_clones(black_box(&fftw), 9, None))
+    });
+    let suite = eavm_testbed::BenchmarkSuite::standard();
+    let mixed: Vec<&ApplicationProfile> = vec![
+        suite.representative(WorkloadType::Cpu),
+        suite.representative(WorkloadType::Cpu),
+        suite.representative(WorkloadType::Mem),
+        suite.representative(WorkloadType::Io),
+        suite.representative(WorkloadType::Io),
+    ];
+    c.bench_function("runsim_mixed_5vms", |b| {
+        b.iter(|| sim.run(black_box(&mixed), None))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let p = Pipeline::build(PipelineConfig::small(42)).expect("pipeline");
+    let (smaller, _) = p.clouds();
+    c.bench_function("simulate_600vms_ff", |b| {
+        b.iter(|| p.run(StrategyKind::Ff, black_box(&smaller)).unwrap())
+    });
+    c.bench_function("simulate_600vms_pa05", |b| {
+        b.iter(|| p.run(StrategyKind::Pa(0.5), black_box(&smaller)).unwrap())
+    });
+}
+
+fn bench_learned_model(c: &mut Criterion) {
+    let db = database();
+    c.bench_function("learned_model_fit", |b| {
+        b.iter(|| eavm_core::learned::LearnedModel::fit(black_box(&db)).unwrap())
+    });
+    let model = eavm_core::learned::LearnedModel::fit(&db).unwrap();
+    use eavm_core::AllocationModel;
+    c.bench_function("learned_model_estimate", |b| {
+        b.iter(|| model.estimate_mix(black_box(MixVector::new(4, 2, 3))).unwrap())
+    });
+}
+
+fn bench_swf(c: &mut Criterion) {
+    use eavm_swf::{GeneratorConfig, SwfTrace, TraceGenerator};
+    let mut generator = TraceGenerator::new(GeneratorConfig {
+        seed: 1,
+        total_jobs: 2_000,
+        ..Default::default()
+    })
+    .unwrap();
+    let trace = generator.generate();
+    let text = trace.to_text();
+    c.bench_function("swf_parse_2000_jobs", |b| {
+        b.iter(|| SwfTrace::parse(black_box(&text)).unwrap())
+    });
+    c.bench_function("swf_serialize_2000_jobs", |b| b.iter(|| trace.to_text()));
+    c.bench_function("swf_clean_2000_jobs", |b| {
+        b.iter(|| {
+            let mut t = trace.clone();
+            eavm_swf::clean_trace(&mut t)
+        })
+    });
+}
+
+fn bench_db_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db_build");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| DbBuilder::exact().build().unwrap())
+    });
+    group.bench_function("parallel_4", |b| {
+        b.iter(|| DbBuilder::exact().build_parallel(4).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_partitions,
+    bench_database,
+    bench_proactive_decision,
+    bench_runsim,
+    bench_end_to_end,
+    bench_learned_model,
+    bench_swf,
+    bench_db_build
+);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation: power accounting for empty servers.
+//!
+//! Default accounting powers a server only while it hosts VMs (the
+//! consolidation-saves-energy regime of Sect. I). The always-on variant
+//! charges every provisioned server the 125 W floor for the whole
+//! makespan. Under always-on accounting the energy ranking collapses
+//! onto the makespan ranking — quantifying how much of PROACTIVE's
+//! energy advantage is *placement* (mix efficiency) vs *fleet sizing*.
+
+use eavm_bench::report::{pct_delta, Table};
+use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
+use eavm_simulator::Simulation;
+
+fn main() {
+    let p = Pipeline::build(PipelineConfig::default()).expect("pipeline");
+    let (smaller, _) = p.clouds();
+
+    let mut t = Table::new(vec![
+        "strategy",
+        "energy_J (busy-only)",
+        "energy_J (always-on)",
+        "always-on uplift (%)",
+    ]);
+    for kind in [StrategyKind::Ff, StrategyKind::Pa(1.0), StrategyKind::Pa(0.0)] {
+        let busy = p.run(kind, &smaller).expect("busy-only run");
+        let sim = Simulation::new(p.ground_truth.clone(), smaller.clone()).with_always_on_fleet();
+        let mut strategy = p.strategy(kind);
+        let on = sim.run(strategy.as_mut(), &p.requests).expect("always-on run");
+        t.row(vec![
+            kind.label(),
+            format!("{:.3e}", busy.energy.value()),
+            format!("{:.3e}", on.energy.value()),
+            format!("{:+.1}", pct_delta(busy.energy.value(), on.energy.value())),
+        ]);
+    }
+    println!("{}", t.render());
+}

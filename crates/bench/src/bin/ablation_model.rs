@@ -1,0 +1,83 @@
+//! Ablation: what knowledge does the PROACTIVE allocator need?
+//!
+//! Compares three allocator-side models on the same trace and cloud:
+//!
+//! * `DbModel` — the paper's CSV lookup table (noisy-metered).
+//! * `LearnedModel` — a quadratic+hinge regression fitted to the table
+//!   (the paper's machine-learning future-work item).
+//! * `AnalyticModel` — oracle access to the simulator's ground truth
+//!   (upper bound: a perfect model).
+
+use eavm_bench::report::Table;
+use eavm_bench::{Pipeline, PipelineConfig};
+use eavm_core::learned::LearnedModel;
+use eavm_core::{AnalyticModel, DbModel, OptimizationGoal, Proactive};
+use eavm_types::MixVector;
+
+fn main() {
+    let p = Pipeline::build(PipelineConfig::default()).expect("pipeline");
+    let (smaller, _) = p.clouds();
+    let goal = OptimizationGoal::BALANCED;
+    let margin = p.config.qos_margin;
+
+    let mut t = Table::new(vec![
+        "allocator model",
+        "makespan_s",
+        "energy_J",
+        "sla_pct",
+        "mean_wait_s",
+    ]);
+
+    let mut row = |name: &str, out: eavm_simulator::SimOutcome| {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.0}", out.makespan().value()),
+            format!("{:.3e}", out.energy.value()),
+            format!("{:.1}", out.sla_violation_pct()),
+            format!("{:.0}", out.mean_wait_time().value()),
+        ]);
+    };
+
+    // 1. Table lookup (the paper's configuration).
+    let mut pa_db = Proactive::new(DbModel::new(p.db.clone()), goal, p.deadlines)
+        .with_qos_margin(margin);
+    row("db-lookup", p.run_custom(&mut pa_db, &smaller).expect("db run"));
+
+    // 2. Learned regression surrogate.
+    let learned = LearnedModel::fit(&p.db).expect("fit");
+    println!(
+        "# learned model: time R^2 = {:?}, energy R^2 = {:.3}, 5-fold CV mean rel. error = {:.3}",
+        learned
+            .time_r2()
+            .map(|r| (r * 1000.0).round() / 1000.0),
+        learned.energy_r2(),
+        LearnedModel::cross_validate(&p.db, 5).expect("cv")
+    );
+    let mut pa_ml = Proactive::new(learned, goal, p.deadlines).with_qos_margin(margin);
+    row("learned-regression", p.run_custom(&mut pa_ml, &smaller).expect("ml run"));
+
+    // 3. Oracle (analytic ground truth), bounded to the same hostable grid
+    //    so the comparison isolates estimation error, not search space.
+    let mut oracle = AnalyticModel::reference();
+    oracle = eavm_core::AnalyticModel::new(
+        oracle.server().clone(),
+        eavm_testbed::ContentionModel::default(),
+        &eavm_testbed::BenchmarkSuite::standard(),
+        MixVector::new(
+            p.db.aux().os_bounds.cpu,
+            p.db.aux().os_bounds.mem,
+            p.db.aux().os_bounds.io,
+        ),
+    );
+    let mut pa_oracle = Proactive::new(oracle, goal, p.deadlines).with_qos_margin(margin);
+    row(
+        "oracle-analytic",
+        p.run_custom(&mut pa_oracle, &smaller).expect("oracle run"),
+    );
+
+    println!("{}", t.render());
+    println!(
+        "reading: lookup vs oracle gap isolates meter noise; lookup vs learned gap \
+         isolates regression error (largest at the RAM-oversubscription cliff)."
+    );
+}

@@ -1,0 +1,207 @@
+//! Run the complete evaluation — every table and figure of the paper —
+//! and print a paper-vs-measured summary suitable for `EXPERIMENTS.md`.
+
+use eavm_bench::report::{pct_delta, Table};
+use eavm_bench::{Pipeline, PipelineConfig};
+use eavm_benchdb::combined::expected_combined_count;
+use eavm_core::estimate::{weighted_energy, weighted_exec_time};
+use eavm_simulator::SimOutcome;
+use eavm_testbed::{ApplicationProfile, ClassificationRule, Profiler, RunSimulator, Subsystem};
+use eavm_types::{Joules, Seconds, WorkloadType};
+
+fn check(name: &str, paper: &str, measured: String, ok: bool) {
+    println!(
+        "[{}] {name}\n        paper:    {paper}\n        measured: {measured}",
+        if ok { "PASS" } else { "WARN" }
+    );
+}
+
+fn find<'a>(outs: &'a [SimOutcome], cloud: &str, strat: &str) -> &'a SimOutcome {
+    outs.iter()
+        .find(|o| o.cloud == cloud && o.strategy == strat)
+        .expect("matrix outcome")
+}
+
+fn main() {
+    println!("== eavm: full reproduction run ==\n");
+
+    // ---- Fig. 1: profiling & classification --------------------------
+    let mut profiler = Profiler::reference(1);
+    let rule = ClassificationRule::default();
+    let fftw = profiler.classify(&ApplicationProfile::fftw(), &rule);
+    let mpi = profiler.classify(&ApplicationProfile::mpi_compute_comm(), &rule);
+    check(
+        "Fig. 1: workload classification",
+        "left = CPU-intensive only; right = CPU- cum network-intensive",
+        format!(
+            "fftw intensive along {:?}; mpi intensive along {:?}",
+            fftw.intensive
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>(),
+            mpi.intensive.iter().map(|s| s.name()).collect::<Vec<_>>()
+        ),
+        fftw.intensive == vec![Subsystem::Cpu]
+            && mpi.intensive.contains(&Subsystem::Cpu)
+            && mpi.intensive.contains(&Subsystem::Net),
+    );
+
+    // ---- Fig. 2: FFTW consolidation curve ----------------------------
+    let sim = RunSimulator::reference();
+    let fftw_app = ApplicationProfile::fftw();
+    let avg = |n: usize| {
+        sim.run_clones(&fftw_app, n, None).avg_time_per_vm().value()
+    };
+    let best_n = (1..=16).min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap()).unwrap();
+    check(
+        "Fig. 2: FFTW optimal consolidation",
+        "shortest average execution time at 9 VMs; significant increase past 11",
+        format!(
+            "optimum at {best_n} VMs; avg(12)/avg({best_n}) = {:.2}x",
+            avg(12) / avg(best_n)
+        ),
+        (8..=10).contains(&best_n) && avg(12) > 1.4 * avg(best_n),
+    );
+
+    // ---- Pipeline (model + trace) ------------------------------------
+    let p = Pipeline::build(PipelineConfig::default()).expect("pipeline");
+    let aux = p.db.aux();
+
+    // ---- Table I ------------------------------------------------------
+    check(
+        "Table I: base-test parameters",
+        "OSP/OSE per type and TC/TM/TI recorded in the auxiliary file",
+        format!(
+            "OSP={} OSE={} T=({:.0},{:.0},{:.0})s",
+            aux.os_perf,
+            aux.os_energy,
+            aux.solo_times[0].value(),
+            aux.solo_times[1].value(),
+            aux.solo_times[2].value()
+        ),
+        aux.os_perf.fits_within(&aux.os_bounds) && aux.os_energy.fits_within(&aux.os_bounds),
+    );
+
+    // ---- Table II -----------------------------------------------------
+    let combined = expected_combined_count(aux.os_bounds);
+    check(
+        "Table II: model database",
+        "CSV registers sorted by (Ncpu,Nmem,Nio); combined count follows the paper formula",
+        format!(
+            "{} registers = 3x16 base + {} combined; bounds {}",
+            p.db.len(),
+            combined,
+            aux.os_bounds
+        ),
+        p.db.len() == 48 + combined,
+    );
+
+    // ---- Fig. 4: interval weighting -----------------------------------
+    let exec = weighted_exec_time(&[(0.7, Seconds(1200.0)), (0.3, Seconds(1800.0))]).unwrap();
+    let energy = weighted_energy(&[
+        (0.35, Joules(15_000.0)),
+        (0.15, Joules(20_000.0)),
+        (0.5, Joules(12_000.0)),
+    ])
+    .unwrap();
+    check(
+        "Fig. 4: interval-weighted estimation",
+        "ExecTime_VM1 = 1380 s; Energy = 14.25 kJ",
+        format!("{:.0}; {:.2} kJ", exec, energy.kilojoules()),
+        exec == Seconds(1380.0) && (energy.kilojoules() - 14.25).abs() < 1e-9,
+    );
+
+    // ---- Figures 5-7: the strategy x cloud matrix ---------------------
+    eprintln!(
+        "\nrunning the strategy x cloud matrix ({} requests, {} VMs)...",
+        p.requests.len(),
+        p.total_vms()
+    );
+    let outs = p.run_matrix().expect("matrix");
+
+    let mut t = Table::new(vec![
+        "cloud", "strategy", "makespan_s", "energy_J", "sla_pct",
+    ]);
+    for o in &outs {
+        t.row(vec![
+            o.cloud.clone(),
+            o.strategy.clone(),
+            format!("{:.0}", o.makespan().value()),
+            format!("{:.3e}", o.energy.value()),
+            format!("{:.1}", o.sla_violation_pct()),
+        ]);
+    }
+    println!("\n{}", t.render());
+
+    let ff_s = find(&outs, "SMALLER", "FF");
+    let ff_l = find(&outs, "LARGER", "FF");
+    let pa1_s = find(&outs, "SMALLER", "PA-1");
+    let pa0_s = find(&outs, "SMALLER", "PA-0");
+    let pa05_s = find(&outs, "SMALLER", "PA-0.5");
+    let ff3_s = find(&outs, "SMALLER", "FF-3");
+
+    let best_pa_makespan = [pa1_s, pa0_s, pa05_s]
+        .iter()
+        .map(|o| o.makespan().value())
+        .fold(f64::INFINITY, f64::min);
+    check(
+        "Fig. 5: makespan",
+        "PROACTIVE up to 18% shorter than FF; FF-3 worst; SMALLER slower than LARGER",
+        format!(
+            "best PA {:.1}% shorter than FF; FF-3/FF = {:.2}x; SMALLER/LARGER FF = {:.2}x",
+            -pct_delta(ff_s.makespan().value(), best_pa_makespan),
+            ff3_s.makespan().value() / ff_s.makespan().value(),
+            ff_s.makespan().value() / ff_l.makespan().value()
+        ),
+        best_pa_makespan < ff_s.makespan().value()
+            && ff3_s.makespan() > ff_s.makespan()
+            && ff_s.makespan() > ff_l.makespan(),
+    );
+
+    check(
+        "Fig. 6: energy",
+        "PROACTIVE ~12% below FF; PA-1 below PA-0 (almost 3%); SMALLER below LARGER",
+        format!(
+            "PA-1 {:.1}% below FF; PA-1 {:.1}% below PA-0; SMALLER FF {:.1}% below LARGER FF",
+            -pct_delta(ff_s.energy.value(), pa1_s.energy.value()),
+            -pct_delta(pa0_s.energy.value(), pa1_s.energy.value()),
+            -pct_delta(ff_l.energy.value(), ff_s.energy.value())
+        ),
+        pa1_s.energy < ff_s.energy
+            && pa1_s.energy < pa0_s.energy
+            && ff_s.energy < ff_l.energy,
+    );
+
+    check(
+        "Fig. 7: SLA violations",
+        "PROACTIVE lowest; correlated with makespan; SMALLER above LARGER",
+        format!(
+            "PA-1 {:.1}% / PA-0 {:.1}% vs FF {:.1}% / FF-3 {:.1}% (SMALLER); LARGER FF {:.1}%",
+            pa1_s.sla_violation_pct(),
+            pa0_s.sla_violation_pct(),
+            ff_s.sla_violation_pct(),
+            ff3_s.sla_violation_pct(),
+            ff_l.sla_violation_pct()
+        ),
+        pa1_s.sla_violations < ff_s.sla_violations
+            && ff3_s.sla_violations >= ff_s.sla_violations
+            && ff_s.sla_violation_pct() > ff_l.sla_violation_pct(),
+    );
+
+    check(
+        "PA-0 vs PA-1 on performance",
+        "performance goal more than 3% faster than energy goal",
+        format!(
+            "PA-0 {:.1}% faster than PA-1 (ours is smaller; see EXPERIMENTS.md)",
+            -pct_delta(pa1_s.makespan().value(), pa0_s.makespan().value())
+        ),
+        pa0_s.makespan() <= pa1_s.makespan(),
+    );
+
+    // ---- Per-type deadline summary ------------------------------------
+    println!("\nper-type QoS deadlines (response time): ");
+    for ty in WorkloadType::ALL {
+        println!("  {ty}: {:.0}", p.deadlines[ty.index()]);
+    }
+    println!("\ndone.");
+}

@@ -1,0 +1,52 @@
+//! Fig. 1 — "Sub-system utilization over time for a CPU-intensive
+//! workload (left) and a CPU- cum network-intensive workload (right)".
+//!
+//! Prints two CSV series (one per workload) of 1 Hz subsystem
+//! utilization, downsampled for readability, followed by the
+//! classification each trace yields under the paper's
+//! "significant average demand" rule.
+
+use eavm_testbed::{
+    ApplicationProfile, ClassificationRule, Profiler, ServerSpec, Subsystem,
+};
+
+fn emit(profiler: &mut Profiler, app: &ApplicationProfile, stride: usize) {
+    println!("# workload: {} (declared class: {})", app.name, app.class);
+    println!("time_s,cpu_pct,mem_pct,disk_pct,net_pct");
+    let samples = profiler.profile(app);
+    for s in samples.iter().step_by(stride) {
+        println!(
+            "{:.0},{:.1},{:.1},{:.1},{:.1}",
+            s.time.value(),
+            100.0 * s.util[Subsystem::Cpu],
+            100.0 * s.util[Subsystem::Mem],
+            100.0 * s.util[Subsystem::Disk],
+            100.0 * s.util[Subsystem::Net],
+        );
+    }
+    let avg = Profiler::average(&samples);
+    let class = ClassificationRule::default().classify(&avg);
+    let intensive: Vec<&str> = class.intensive.iter().map(|s| s.name()).collect();
+    println!(
+        "# classification: intensive along [{}], database label: {}",
+        intensive.join(", "),
+        class.primary
+    );
+    println!();
+}
+
+fn main() {
+    let mut profiler = Profiler::reference(0xF161);
+    // Left panel: the CPU-intensive workload.
+    emit(&mut profiler, &ApplicationProfile::fftw(), 20);
+    // Right panel: the CPU- cum network-intensive workload.
+    emit(&mut profiler, &ApplicationProfile::mpi_compute_comm(), 20);
+
+    let server = ServerSpec::reference_rack_server();
+    println!(
+        "# server: {} ({} cores, {:.0} MB RAM)",
+        server.name,
+        server.cpu_slots(),
+        server.ram_mb
+    );
+}

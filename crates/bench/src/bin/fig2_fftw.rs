@@ -1,0 +1,51 @@
+//! Fig. 2 — "Execution times of the FFTW benchmark": average execution
+//! time per VM as the number of co-located VMs grows from 1 to 16.
+//!
+//! The paper's observations to reproduce: the shortest average execution
+//! time occurs around 9 VMs, and "with more than 11 VMs the average
+//! execution time increases significantly", approaching the sequential
+//! average (the solo runtime).
+
+use eavm_bench::report::Table;
+use eavm_testbed::{ApplicationProfile, RunSimulator};
+
+fn main() {
+    let sim = RunSimulator::reference();
+    let fftw = ApplicationProfile::fftw();
+
+    let mut table = Table::new(vec![
+        "n_vms",
+        "total_time_s",
+        "avg_time_per_vm_s",
+        "energy_kj",
+        "energy_per_vm_kj",
+    ]);
+    let mut best = (0u32, f64::INFINITY);
+    let mut curve = Vec::new();
+    for n in 1..=16u32 {
+        let out = sim.run_clones(&fftw, n as usize, None);
+        let avg = out.avg_time_per_vm().value();
+        if avg < best.1 {
+            best = (n, avg);
+        }
+        curve.push(avg);
+        table.row(vec![
+            n.to_string(),
+            format!("{:.0}", out.makespan.value()),
+            format!("{:.1}", avg),
+            format!("{:.1}", out.energy_true.kilojoules()),
+            format!("{:.1}", out.energy_true.kilojoules() / n as f64),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "optimal scenario (shortest average execution time): {} VMs at {:.1} s/VM",
+        best.0, best.1
+    );
+    println!(
+        "degradation past 11 VMs: avg(12)/avg({}) = {:.2}x, avg(16)/solo = {:.2}",
+        best.0,
+        curve[11] / best.1,
+        curve[15] / fftw.base_runtime.value(),
+    );
+}

@@ -1,0 +1,80 @@
+//! Fig. 3 — "VM allocation algorithm": the control-flow diagram,
+//! reproduced as an executed walkthrough. One job request flows through
+//! the algorithm's stages — partition generation (Orlov), per-block
+//! placement against the database, QoS filtering, and goal ranking —
+//! with every candidate's working data printed, for each optimization
+//! goal.
+
+use eavm_bench::report::Table;
+use eavm_benchdb::DbBuilder;
+use eavm_core::strategy::{RequestView, ServerView};
+use eavm_core::{DbModel, OptimizationGoal, Proactive};
+use eavm_types::{JobId, MixVector, Seconds, ServerId, WorkloadType};
+
+fn main() {
+    // Inputs, per the paper: (i) the model database, (ii) the auxiliary
+    // parameters, (iii) the VM set + profile + QoS, (iv) the goal α.
+    println!("== inputs ==");
+    let db = DbBuilder::default().build().expect("database");
+    println!(
+        "(i)   model database: {} registers, bounds {}",
+        db.len(),
+        db.aux().os_bounds
+    );
+    println!("(ii)  auxiliary parameters: OSP={} OSE={}", db.aux().os_perf, db.aux().os_energy);
+
+    let request = RequestView {
+        id: JobId::new(7),
+        workload: WorkloadType::Cpu,
+        vm_count: 4,
+        deadline: Seconds(3600.0),
+    };
+    println!(
+        "(iii) VM set: {} x {} VMs, deadline {}",
+        request.vm_count, request.workload, request.deadline
+    );
+
+    // Fleet snapshot: one partly loaded server, one mixed, two off.
+    let servers = vec![
+        ServerView::homogeneous(ServerId::new(0), MixVector::new(5, 0, 0)),
+        ServerView::homogeneous(ServerId::new(1), MixVector::new(1, 1, 1)),
+        ServerView::homogeneous(ServerId::new(2), MixVector::EMPTY),
+        ServerView::homogeneous(ServerId::new(3), MixVector::EMPTY),
+    ];
+    println!("fleet: srv0=(5,0,0)  srv1=(1,1,1)  srv2=()  srv3=()");
+
+    for alpha in [1.0, 0.0, 0.5] {
+        let goal = OptimizationGoal::new(alpha).unwrap();
+        println!("\n== (iv) goal {} — partition search and ranking ==", goal.label());
+        let deadlines = [Seconds(3600.0), Seconds(3000.0), Seconds(2700.0)];
+        let pa = Proactive::new(DbModel::new(db.clone()), goal, deadlines).with_qos_margin(0.65);
+        let candidates = pa.explain(&request, &servers).expect("explain");
+
+        let mut t = Table::new(vec![
+            "partition", "placements", "energy_kJ", "time_s", "score", "chosen",
+        ]);
+        for c in &candidates {
+            let blocks: Vec<String> = c.blocks.iter().map(|b| b.total().to_string()).collect();
+            let placements: Vec<String> = c
+                .placements
+                .iter()
+                .map(|p| format!("{}->{}", p.add.total(), p.server))
+                .collect();
+            t.row(vec![
+                blocks.join("+"),
+                placements.join(" "),
+                format!("{:.0}", c.energy.kilojoules()),
+                format!("{:.0}", c.time.value()),
+                format!("{:.3}", c.score),
+                if c.chosen { "  <-- allocate".to_string() } else { String::new() },
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!(
+        "Each row is one set partition of the request's VMs (Orlov's generator, multiset\n\
+         fast path); placements are the greedy per-block choices; the goal ranks the\n\
+         normalized (energy, time) pairs and ties keep the first server of the list —\n\
+         exactly the loop of the paper's Fig. 3."
+    );
+}

@@ -1,0 +1,55 @@
+//! Table I — "Summary of parameters obtained in base tests": the optimal
+//! VM counts for performance (`OSP*`) and energy (`OSE*`) per workload
+//! type, and the solo reference runtimes (`T*`), measured on the
+//! synthetic testbed exactly as Sect. III-B describes.
+
+use eavm_bench::report::Table;
+use eavm_benchdb::DbBuilder;
+use eavm_types::WorkloadType;
+
+fn main() {
+    let builder = DbBuilder::default();
+    let base = builder.run_base_tests();
+
+    let perf = base.os_perf();
+    let energy = base.os_energy();
+    let bounds = base.os_bounds();
+    let solo = base.solo_times();
+
+    let mut t = Table::new(vec!["parameter", "CPU", "Memory", "I/O"]);
+    t.row(vec![
+        "#VMs that optimize performance (OSP)".to_string(),
+        perf.cpu.to_string(),
+        perf.mem.to_string(),
+        perf.io.to_string(),
+    ]);
+    t.row(vec![
+        "#VMs that optimize energy (OSE)".to_string(),
+        energy.cpu.to_string(),
+        energy.mem.to_string(),
+        energy.io.to_string(),
+    ]);
+    t.row(vec![
+        "Run time of single test on 1 VM (T), s".to_string(),
+        format!("{:.0}", solo[0].value()),
+        format!("{:.0}", solo[1].value()),
+        format!("{:.0}", solo[2].value()),
+    ]);
+    t.row(vec![
+        "Combined-test bound OS = max(OSP, OSE)".to_string(),
+        bounds.cpu.to_string(),
+        bounds.mem.to_string(),
+        bounds.io.to_string(),
+    ]);
+    println!("{}", t.render());
+
+    for ty in WorkloadType::ALL {
+        let r = base.report(ty);
+        println!(
+            "{}: representative benchmark `{}`, {} base points",
+            ty,
+            r.benchmark,
+            r.points.len()
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Small descriptive-statistics helpers for multi-seed experiment
+//! summaries (mean, population standard deviation, median, min/max).
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Median (mean of the middle pair for even sizes).
+    pub median: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a non-empty sample. Returns `None` for an empty slice or
+    /// any non-finite observation.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() || xs.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        Some(Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            median,
+            min: sorted[0],
+            max: sorted[n - 1],
+        })
+    }
+
+    /// `mean ± std` rendered with the given precision.
+    pub fn pm(&self, precision: usize) -> String {
+        format!("{:.precision$} ± {:.precision$}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_a_simple_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12); // classic example
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn odd_sample_median_is_middle_element() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.median, 2.0);
+    }
+
+    #[test]
+    fn singleton_has_zero_std() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.median, 42.0);
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::of(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn pm_renders_mean_and_std() {
+        let s = Summary::of(&[1.0, 3.0]).unwrap();
+        assert_eq!(s.pm(1), "2.0 ± 1.0");
+    }
+}

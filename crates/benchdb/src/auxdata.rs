@@ -1,0 +1,146 @@
+//! The auxiliary file accompanying the database (Sect. III-C).
+//!
+//! "In addition to the information listed in Table II, we store other
+//! relevant information from the base experiments such as the number of
+//! VMs of optimal scenarios (e.g., OSC, OSM, OSI) and reference execution
+//! times (e.g., TC, TM, TI), in an auxiliary file."
+//!
+//! Serialized as `KEY=value` lines, one per parameter.
+
+use eavm_types::{EavmError, MixVector, Seconds, WorkloadType};
+
+/// Parameters from the base experiments (Table I + derived bounds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuxData {
+    /// `(OSPC, OSPM, OSPI)` — optimal VM counts for performance.
+    pub os_perf: MixVector,
+    /// `(OSEC, OSEM, OSEI)` — optimal VM counts for energy.
+    pub os_energy: MixVector,
+    /// `(OSC, OSM, OSI) = max(OSP, OSE)` — the combined-test bounds.
+    pub os_bounds: MixVector,
+    /// `(TC, TM, TI)` — solo runtimes of the representatives, seconds.
+    pub solo_times: [Seconds; 3],
+}
+
+impl AuxData {
+    /// Derive from base-test outputs.
+    pub fn new(os_perf: MixVector, os_energy: MixVector, solo_times: [Seconds; 3]) -> Self {
+        let os_bounds = MixVector::new(
+            os_perf.cpu.max(os_energy.cpu),
+            os_perf.mem.max(os_energy.mem),
+            os_perf.io.max(os_energy.io),
+        );
+        AuxData {
+            os_perf,
+            os_energy,
+            os_bounds,
+            solo_times,
+        }
+    }
+
+    /// Solo runtime for a workload type (`TC`/`TM`/`TI`).
+    #[inline]
+    pub fn solo_time(&self, ty: WorkloadType) -> Seconds {
+        self.solo_times[ty.index()]
+    }
+
+    /// Serialize as `KEY=value` lines.
+    pub fn to_text(&self) -> String {
+        format!(
+            "OSPC={}\nOSPM={}\nOSPI={}\nOSEC={}\nOSEM={}\nOSEI={}\nOSC={}\nOSM={}\nOSI={}\nTC={:.6}\nTM={:.6}\nTI={:.6}\n",
+            self.os_perf.cpu,
+            self.os_perf.mem,
+            self.os_perf.io,
+            self.os_energy.cpu,
+            self.os_energy.mem,
+            self.os_energy.io,
+            self.os_bounds.cpu,
+            self.os_bounds.mem,
+            self.os_bounds.io,
+            self.solo_times[0].value(),
+            self.solo_times[1].value(),
+            self.solo_times[2].value(),
+        )
+    }
+
+    /// Parse the `KEY=value` representation.
+    pub fn from_text(text: &str) -> Result<Self, EavmError> {
+        let get = |key: &str| -> Result<f64, EavmError> {
+            text.lines()
+                .filter_map(|l| l.split_once('='))
+                .find(|(k, _)| k.trim() == key)
+                .ok_or_else(|| EavmError::Parse(format!("auxiliary file missing {key}")))?
+                .1
+                .trim()
+                .parse()
+                .map_err(|e| EavmError::Parse(format!("bad value for {key}: {e}")))
+        };
+        let int = |v: f64| v as u32;
+        let aux = AuxData {
+            os_perf: MixVector::new(int(get("OSPC")?), int(get("OSPM")?), int(get("OSPI")?)),
+            os_energy: MixVector::new(int(get("OSEC")?), int(get("OSEM")?), int(get("OSEI")?)),
+            os_bounds: MixVector::new(int(get("OSC")?), int(get("OSM")?), int(get("OSI")?)),
+            solo_times: [
+                Seconds(get("TC")?),
+                Seconds(get("TM")?),
+                Seconds(get("TI")?),
+            ],
+        };
+        // Re-derive the bounds to catch corrupted files.
+        let expect = AuxData::new(aux.os_perf, aux.os_energy, aux.solo_times);
+        if expect.os_bounds != aux.os_bounds {
+            return Err(EavmError::Parse(format!(
+                "auxiliary file bounds {} inconsistent with optima (expected {})",
+                aux.os_bounds, expect.os_bounds
+            )));
+        }
+        Ok(aux)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuxData {
+        AuxData::new(
+            MixVector::new(9, 4, 7),
+            MixVector::new(11, 3, 6),
+            [Seconds(1200.0), Seconds(1000.0), Seconds(900.0)],
+        )
+    }
+
+    #[test]
+    fn bounds_are_componentwise_max() {
+        let aux = sample();
+        assert_eq!(aux.os_bounds, MixVector::new(11, 4, 7));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let aux = sample();
+        let text = aux.to_text();
+        let back = AuxData::from_text(&text).unwrap();
+        assert_eq!(back, aux);
+    }
+
+    #[test]
+    fn missing_key_is_an_error() {
+        let text = sample().to_text().replace("TC=", "XX=");
+        assert!(AuxData::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn inconsistent_bounds_are_rejected() {
+        let text = sample().to_text().replace("OSC=11", "OSC=3");
+        assert!(AuxData::from_text(&text).is_err());
+    }
+
+    #[test]
+    fn solo_time_lookup() {
+        let aux = sample();
+        assert_eq!(aux.solo_time(WorkloadType::Cpu), Seconds(1200.0));
+        assert_eq!(aux.solo_time(WorkloadType::Mem), Seconds(1000.0));
+        assert_eq!(aux.solo_time(WorkloadType::Io), Seconds(900.0));
+    }
+}

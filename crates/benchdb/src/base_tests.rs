@@ -1,0 +1,262 @@
+//! The base tests (Sect. III-B, Fig. 2, Table I).
+//!
+//! For each workload type, run `n = 1..=max_vms` clones of the
+//! representative benchmark on one server and record the average execution
+//! time and the energy per VM. From the curves, extract the optimal
+//! scenarios: `OSP` (the `n` minimizing average execution time) and `OSE`
+//! (the `n` minimizing energy per completed VM), plus the solo reference
+//! runtime `T` — the paper's Table I parameters.
+
+use eavm_testbed::{ApplicationProfile, PowerMeter, RunSimulator};
+use eavm_types::{Joules, MixVector, Seconds, Watts, WorkloadType};
+
+/// One point of a base-test curve: `n` clones on one server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseTestPoint {
+    /// Number of co-located clones.
+    pub n: u32,
+    /// Makespan of the run.
+    pub time: Seconds,
+    /// Average execution time per VM (`time / n`), the Fig. 2 y-axis.
+    pub avg_time_vm: Seconds,
+    /// Total energy of the run.
+    pub energy: Joules,
+    /// Energy per completed VM (`energy / n`).
+    pub energy_per_vm: Joules,
+    /// Peak power during the run.
+    pub max_power: Watts,
+}
+
+/// The full base-test curve for one workload type.
+#[derive(Debug, Clone)]
+pub struct BaseTestReport {
+    /// Workload type under test.
+    pub workload: WorkloadType,
+    /// Benchmark used as the representative of the type.
+    pub benchmark: String,
+    /// The curve, indexed by `n - 1`.
+    pub points: Vec<BaseTestPoint>,
+}
+
+impl BaseTestReport {
+    /// `OSP`: the number of VMs minimizing average execution time.
+    pub fn osp(&self) -> u32 {
+        self.points
+            .iter()
+            .min_by(|a, b| a.avg_time_vm.partial_cmp(&b.avg_time_vm).unwrap())
+            .map(|p| p.n)
+            .unwrap_or(1)
+    }
+
+    /// `OSE`: the number of VMs minimizing energy per VM.
+    pub fn ose(&self) -> u32 {
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy_per_vm.partial_cmp(&b.energy_per_vm).unwrap())
+            .map(|p| p.n)
+            .unwrap_or(1)
+    }
+
+    /// `T`: solo runtime of the representative benchmark (the `n = 1`
+    /// makespan).
+    pub fn solo_time(&self) -> Seconds {
+        self.points.first().map(|p| p.time).unwrap_or(Seconds::ZERO)
+    }
+
+    /// The curve point for a given `n`, if measured.
+    pub fn point(&self, n: u32) -> Option<&BaseTestPoint> {
+        self.points.get((n as usize).checked_sub(1)?)
+    }
+}
+
+/// Results of the base tests for all three workload types.
+#[derive(Debug, Clone)]
+pub struct BaseTests {
+    /// Reports indexed by [`WorkloadType::index`].
+    pub reports: [BaseTestReport; 3],
+}
+
+impl BaseTests {
+    /// Run the base tests: `1..=max_vms` clones of each representative on
+    /// the simulator's server. A meter seed enables noisy Watts Up?-style
+    /// measurement; `None` records exact analytic values.
+    pub fn run(
+        sim: &RunSimulator,
+        representatives: [&ApplicationProfile; 3],
+        max_vms: u32,
+        meter_seed: Option<u64>,
+    ) -> Self {
+        let reports = representatives.map(|profile| {
+            let points = (1..=max_vms)
+                .map(|n| {
+                    let mut meter = meter_seed.map(|s| {
+                        // Decorrelate runs: distinct stream per (type, n).
+                        PowerMeter::watts_up(
+                            s ^ ((profile.class.index() as u64) << 32 | n as u64),
+                        )
+                    });
+                    let out = sim.run_clones(profile, n as usize, meter.as_mut());
+                    BaseTestPoint {
+                        n,
+                        time: out.makespan,
+                        avg_time_vm: out.avg_time_per_vm(),
+                        energy: out.energy_measured,
+                        energy_per_vm: out.energy_measured / n as f64,
+                        max_power: out.max_power,
+                    }
+                })
+                .collect();
+            BaseTestReport {
+                workload: profile.class,
+                benchmark: profile.name.clone(),
+                points,
+            }
+        });
+        BaseTests { reports }
+    }
+
+    /// Report for one workload type.
+    pub fn report(&self, ty: WorkloadType) -> &BaseTestReport {
+        &self.reports[ty.index()]
+    }
+
+    /// Table I row `#VMs that optimize performance`: `(OSPC, OSPM, OSPI)`.
+    pub fn os_perf(&self) -> MixVector {
+        MixVector::new(
+            self.report(WorkloadType::Cpu).osp(),
+            self.report(WorkloadType::Mem).osp(),
+            self.report(WorkloadType::Io).osp(),
+        )
+    }
+
+    /// Table I row `#VMs that optimize energy`: `(OSEC, OSEM, OSEI)`.
+    pub fn os_energy(&self) -> MixVector {
+        MixVector::new(
+            self.report(WorkloadType::Cpu).ose(),
+            self.report(WorkloadType::Mem).ose(),
+            self.report(WorkloadType::Io).ose(),
+        )
+    }
+
+    /// The combined-test bounds `OSC/OSM/OSI = max(OSP, OSE)` per type.
+    pub fn os_bounds(&self) -> MixVector {
+        let p = self.os_perf();
+        let e = self.os_energy();
+        MixVector::new(p.cpu.max(e.cpu), p.mem.max(e.mem), p.io.max(e.io))
+    }
+
+    /// Table I row `Run time of single test on 1 VM`: `(TC, TM, TI)`.
+    pub fn solo_times(&self) -> [Seconds; 3] {
+        [
+            self.report(WorkloadType::Cpu).solo_time(),
+            self.report(WorkloadType::Mem).solo_time(),
+            self.report(WorkloadType::Io).solo_time(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eavm_testbed::BenchmarkSuite;
+
+    fn run_base() -> BaseTests {
+        let sim = RunSimulator::reference();
+        let suite = BenchmarkSuite::standard();
+        BaseTests::run(
+            &sim,
+            [
+                suite.representative(WorkloadType::Cpu),
+                suite.representative(WorkloadType::Mem),
+                suite.representative(WorkloadType::Io),
+            ],
+            16,
+            None,
+        )
+    }
+
+    #[test]
+    fn curves_have_all_points() {
+        let base = run_base();
+        for ty in WorkloadType::ALL {
+            let r = base.report(ty);
+            assert_eq!(r.points.len(), 16);
+            assert_eq!(r.point(1).unwrap().n, 1);
+            assert_eq!(r.point(16).unwrap().n, 16);
+            assert!(r.point(17).is_none());
+            assert!(r.point(0).is_none());
+        }
+    }
+
+    #[test]
+    fn fig2_fftw_optimum_is_around_nine() {
+        // The headline calibration: FFTW's shortest average execution time
+        // at ~9 VMs and significant degradation past 11 (Fig. 2).
+        let base = run_base();
+        let cpu = base.report(WorkloadType::Cpu);
+        let osp = cpu.osp();
+        assert!(
+            (8..=10).contains(&osp),
+            "OSPC should be ~9, got {osp}"
+        );
+        let at_opt = cpu.point(osp).unwrap().avg_time_vm;
+        let at_12 = cpu.point(12).unwrap().avg_time_vm;
+        assert!(at_12 > at_opt * 1.4, "blow-up past 11 VMs missing");
+    }
+
+    #[test]
+    fn memory_type_consolidates_least() {
+        // sysbench thrashes past 4 VMs (4 GB RAM), so its optimal counts
+        // must be well below the CPU type's.
+        let base = run_base();
+        let bounds = base.os_bounds();
+        assert!(bounds.mem < bounds.cpu);
+        assert!(bounds.mem <= 5, "OSM={} too large", bounds.mem);
+    }
+
+    #[test]
+    fn solo_times_match_profiles() {
+        let base = run_base();
+        let suite = BenchmarkSuite::standard();
+        let [tc, tm, ti] = base.solo_times();
+        assert!((tc.value() - suite.base_runtime(WorkloadType::Cpu).value()).abs() < 1e-6);
+        assert!((tm.value() - suite.base_runtime(WorkloadType::Mem).value()).abs() < 1e-6);
+        assert!((ti.value() - suite.base_runtime(WorkloadType::Io).value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_dominate_both_optima() {
+        let base = run_base();
+        let bounds = base.os_bounds();
+        assert!(base.os_perf().fits_within(&bounds));
+        assert!(base.os_energy().fits_within(&bounds));
+    }
+
+    #[test]
+    fn energy_per_vm_improves_with_some_consolidation() {
+        // Running 4 CPU VMs together must use less energy per VM than
+        // running them one at a time (amortized idle power).
+        let base = run_base();
+        let cpu = base.report(WorkloadType::Cpu);
+        assert!(cpu.point(4).unwrap().energy_per_vm < cpu.point(1).unwrap().energy_per_vm);
+        assert!(cpu.ose() >= 4);
+    }
+
+    #[test]
+    fn noisy_and_exact_runs_agree_on_optima_roughly() {
+        let sim = RunSimulator::reference();
+        let suite = BenchmarkSuite::standard();
+        let reps = [
+            suite.representative(WorkloadType::Cpu),
+            suite.representative(WorkloadType::Mem),
+            suite.representative(WorkloadType::Io),
+        ];
+        let exact = BaseTests::run(&sim, reps, 16, None);
+        let noisy = BaseTests::run(&sim, reps, 16, Some(7));
+        // Time-based optima are unaffected by power-meter noise.
+        assert_eq!(exact.os_perf(), noisy.os_perf());
+        // Energy optima may shift by at most a VM under 1.5 % noise.
+        let d = |a: u32, b: u32| (a as i64 - b as i64).unsigned_abs();
+        assert!(d(exact.os_energy().cpu, noisy.os_energy().cpu) <= 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! One-call construction of the empirical model.
+//!
+//! Drives the whole Sect. III methodology: base tests → Table I parameters
+//! → exhaustive combined tests → sorted CSV database. "The experiments
+//! took several days to be completed and they were conducted using a
+//! platform that we developed to automatically run the benchmarks and
+//! process the data" — this module is that platform, pointed at the
+//! synthetic testbed.
+
+use eavm_testbed::{ApplicationProfile, BenchmarkSuite, PowerMeter, RunSimulator};
+use eavm_types::{EavmError, MixVector, WorkloadType};
+
+use crate::auxdata::AuxData;
+use crate::base_tests::BaseTests;
+use crate::combined::combined_mixes;
+use crate::database::ModelDatabase;
+use crate::record::DbRecord;
+
+/// Builds a [`ModelDatabase`] from a testbed simulator and a benchmark
+/// suite.
+///
+/// ```
+/// use eavm_benchdb::DbBuilder;
+/// use eavm_types::MixVector;
+/// // A shallow, noise-free build (fast); the paper's configuration is
+/// // `DbBuilder::default()` with base tests up to 16 VMs.
+/// let db = DbBuilder { max_base_vms: 4, meter_seed: None, ..Default::default() }
+///     .build()
+///     .unwrap();
+/// assert!(db.covers(MixVector::new(1, 1, 1)));
+/// let est = db.estimate(MixVector::new(2, 1, 0)).unwrap();
+/// assert!(est.time.value() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DbBuilder {
+    /// Single-server run integrator (hardware + contention model).
+    pub sim: RunSimulator,
+    /// Benchmark suite providing one representative per workload type.
+    pub suite: BenchmarkSuite,
+    /// Deepest base test (`n = 1..=max_base_vms` clones); the paper ran
+    /// "up to 16".
+    pub max_base_vms: u32,
+    /// `Some(seed)` meters every run with a noisy Watts Up? meter (the
+    /// paper's methodology); `None` records exact analytic values.
+    pub meter_seed: Option<u64>,
+}
+
+impl Default for DbBuilder {
+    fn default() -> Self {
+        DbBuilder {
+            sim: RunSimulator::reference(),
+            suite: BenchmarkSuite::standard(),
+            max_base_vms: 16,
+            meter_seed: Some(0xEA51),
+        }
+    }
+}
+
+impl DbBuilder {
+    /// Exact (noise-free) builder, useful for deterministic tests.
+    pub fn exact() -> Self {
+        DbBuilder {
+            meter_seed: None,
+            ..Default::default()
+        }
+    }
+
+    fn representatives(&self) -> [&ApplicationProfile; 3] {
+        [
+            self.suite.representative(WorkloadType::Cpu),
+            self.suite.representative(WorkloadType::Mem),
+            self.suite.representative(WorkloadType::Io),
+        ]
+    }
+
+    /// Run the base tests only (Fig. 2 / Table I data).
+    pub fn run_base_tests(&self) -> BaseTests {
+        BaseTests::run(
+            &self.sim,
+            self.representatives(),
+            self.max_base_vms,
+            self.meter_seed,
+        )
+    }
+
+    /// Execute one benchmarked mix and convert the outcome to a record.
+    fn run_mix(&self, mix: MixVector, seed_salt: u64) -> DbRecord {
+        let reps = self.representatives();
+        let mut vms: Vec<&ApplicationProfile> = Vec::with_capacity(mix.total() as usize);
+        for ty in WorkloadType::ALL {
+            for _ in 0..mix[ty] {
+                vms.push(reps[ty.index()]);
+            }
+        }
+        let mut meter = self
+            .meter_seed
+            .map(|s| PowerMeter::watts_up(s.wrapping_add(seed_salt)));
+        let out = self.sim.run(&vms, meter.as_mut());
+        let per_type_time = WorkloadType::ALL.map(|ty| out.mean_finish_of_type(&vms, ty));
+        DbRecord {
+            mix,
+            time: out.makespan,
+            avg_time_vm: out.avg_time_per_vm(),
+            energy: out.energy_measured,
+            max_power: out.max_power,
+            edp: out.edp(),
+            per_type_time,
+        }
+    }
+
+    /// The full list of mixes to benchmark, given the base-test bounds.
+    fn all_mixes(&self, bounds: MixVector) -> Vec<MixVector> {
+        let mut mixes = Vec::new();
+        for ty in WorkloadType::ALL {
+            for n in 1..=self.max_base_vms {
+                mixes.push(MixVector::single(ty, n));
+            }
+        }
+        mixes.extend(combined_mixes(bounds));
+        mixes
+    }
+
+    /// Run the complete methodology and assemble the database.
+    pub fn build(&self) -> Result<ModelDatabase, EavmError> {
+        let base = self.run_base_tests();
+        let aux = AuxData::new(base.os_perf(), base.os_energy(), base.solo_times());
+        let records = self
+            .all_mixes(aux.os_bounds)
+            .into_iter()
+            .map(|mix| self.run_mix(mix, key_salt(mix)))
+            .collect();
+        ModelDatabase::new(records, aux)
+    }
+
+    /// Run the methodology with the benchmark campaign fanned out over
+    /// `threads` OS threads. Every run's meter seed is a pure function of
+    /// its mix, so the result is bit-identical to [`Self::build`]
+    /// regardless of scheduling.
+    pub fn build_parallel(&self, threads: usize) -> Result<ModelDatabase, EavmError> {
+        let threads = threads.max(1);
+        let base = self.run_base_tests();
+        let aux = AuxData::new(base.os_perf(), base.os_energy(), base.solo_times());
+        let mixes = self.all_mixes(aux.os_bounds);
+
+        let chunk = mixes.len().div_ceil(threads);
+        let mut records: Vec<DbRecord> = Vec::with_capacity(mixes.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = mixes
+                .chunks(chunk.max(1))
+                .map(|work| {
+                    scope.spawn(move || {
+                        work.iter()
+                            .map(|&mix| self.run_mix(mix, key_salt(mix)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                records.extend(h.join().expect("benchmark worker panicked"));
+            }
+        });
+        ModelDatabase::new(records, aux)
+    }
+}
+
+/// Deterministic per-mix meter-seed salt so rebuilt databases are
+/// bit-identical for a given builder seed.
+fn key_salt(mix: MixVector) -> u64 {
+    (mix.cpu as u64) << 40 | (mix.mem as u64) << 20 | mix.io as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combined::expected_combined_count;
+
+    fn small_builder() -> DbBuilder {
+        // A shallow base range keeps the exhaustive grid small for tests.
+        DbBuilder {
+            max_base_vms: 6,
+            meter_seed: None,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn build_produces_complete_grid() {
+        let b = small_builder();
+        let db = b.build().unwrap();
+        let bounds = db.aux().os_bounds;
+        let expected = 3 * b.max_base_vms as usize + expected_combined_count(bounds);
+        assert_eq!(db.len(), expected);
+        // Every combined mix must be found.
+        for mix in combined_mixes(bounds) {
+            assert!(db.covers(mix), "missing combined record {mix}");
+        }
+        // Every base point must be found.
+        for ty in WorkloadType::ALL {
+            for n in 1..=b.max_base_vms {
+                assert!(db.covers(MixVector::single(ty, n)));
+            }
+        }
+    }
+
+    #[test]
+    fn records_validate_and_are_consistent() {
+        let db = small_builder().build().unwrap();
+        for r in db.records() {
+            r.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn full_paper_scale_build_matches_count_formula() {
+        // The real configuration: base tests up to 16 VMs, combined tests
+        // within the measured OS bounds.
+        let db = DbBuilder::exact().build().unwrap();
+        let bounds = db.aux().os_bounds;
+        assert_eq!(
+            db.len(),
+            3 * 16 + expected_combined_count(bounds),
+            "bounds were {bounds}"
+        );
+        // Sanity on the calibrated optima.
+        assert!((8..=11).contains(&bounds.cpu), "OSC={}", bounds.cpu);
+        assert!(bounds.mem <= 5, "OSM={}", bounds.mem);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let mut b = small_builder();
+        b.meter_seed = Some(31);
+        let seq = b.build().unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = b.build_parallel(threads).unwrap();
+            assert_eq!(par.to_csv(), seq.to_csv(), "threads={threads}");
+            assert_eq!(par.aux(), seq.aux());
+        }
+    }
+
+    #[test]
+    fn metered_build_is_deterministic_per_seed() {
+        let mut b = small_builder();
+        b.meter_seed = Some(99);
+        let db1 = b.build().unwrap();
+        let db2 = b.build().unwrap();
+        assert_eq!(db1.to_csv(), db2.to_csv());
+    }
+
+    #[test]
+    fn metered_energy_close_to_exact() {
+        let exact = small_builder().build().unwrap();
+        let mut nb = small_builder();
+        nb.meter_seed = Some(5);
+        let noisy = nb.build().unwrap();
+        for (a, b) in exact.records().iter().zip(noisy.records()) {
+            assert_eq!(a.mix, b.mix);
+            let rel = (a.energy.value() - b.energy.value()).abs() / a.energy.value();
+            assert!(rel < 0.02, "mix {} meter error {rel}", a.mix);
+        }
+    }
+
+    #[test]
+    fn mixed_records_store_per_type_times() {
+        let db = small_builder().build().unwrap();
+        let bounds = db.aux().os_bounds;
+        let mix = MixVector::new(1.min(bounds.cpu), 1.min(bounds.mem), 1.min(bounds.io));
+        if mix.total() >= 2 {
+            let r = db.lookup(mix).expect("mixed record");
+            for (ty, n) in mix.iter() {
+                assert_eq!(r.time_of(ty).is_some(), n > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The exhaustive combined tests (Sect. III-B, second part).
+//!
+//! "The second part of the benchmarking consists of running all the
+//! possible combinations of workload types with different number of VMs.
+//! ... the following number of experiments were required:
+//! `(OSC+1)·(OSM+1)·(OSI+1) − (1+OSC+OSM+OSI)`. The combinations excluded
+//! are those that do not require any VM of each workload type and the
+//! base tests."
+
+use eavm_types::MixVector;
+
+/// Enumerate the combined-test mixes for given per-type bounds
+/// `(OSC, OSM, OSI)`: every mix in the bounded grid except the empty
+/// allocation and the homogeneous (base-test) points.
+pub fn combined_mixes(bounds: MixVector) -> Vec<MixVector> {
+    MixVector::space(bounds)
+        .filter(|m| !m.is_empty() && !m.is_homogeneous())
+        .collect()
+}
+
+/// The paper's experiment-count formula for the combined tests.
+pub fn expected_combined_count(bounds: MixVector) -> usize {
+    let grid = (bounds.cpu as usize + 1) * (bounds.mem as usize + 1) * (bounds.io as usize + 1);
+    grid - (1 + bounds.cpu as usize + bounds.mem as usize + bounds.io as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_matches_paper_formula() {
+        for bounds in [
+            MixVector::new(9, 4, 7),
+            MixVector::new(1, 1, 1),
+            MixVector::new(11, 4, 8),
+            MixVector::new(3, 0, 0),
+        ] {
+            assert_eq!(
+                combined_mixes(bounds).len(),
+                expected_combined_count(bounds),
+                "bounds {bounds}"
+            );
+        }
+    }
+
+    #[test]
+    fn excludes_empty_and_base_points() {
+        let mixes = combined_mixes(MixVector::new(2, 2, 2));
+        assert!(!mixes.contains(&MixVector::EMPTY));
+        for m in &mixes {
+            assert!(!m.is_homogeneous(), "base point {m} must be excluded");
+        }
+    }
+
+    #[test]
+    fn mixes_are_sorted_by_key() {
+        let mixes = combined_mixes(MixVector::new(3, 2, 2));
+        let mut sorted = mixes.clone();
+        sorted.sort();
+        assert_eq!(mixes, sorted);
+    }
+
+    #[test]
+    fn all_mixes_respect_bounds() {
+        let bounds = MixVector::new(4, 3, 2);
+        for m in combined_mixes(bounds) {
+            assert!(m.fits_within(&bounds));
+            assert!(m.total() >= 2, "a mixed allocation has at least 2 VMs");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Database comparison (drift detection).
+//!
+//! Rebuilding the empirical model — after a testbed change, with a
+//! different meter seed, or on different hardware — produces a new CSV
+//! database. [`DbDiff`] quantifies how far two databases diverge:
+//! coverage differences (keys present in only one) and relative
+//! time/energy deltas over the shared keys. This is the tool behind the
+//! `eavm-cli db-diff` subcommand and the guardrail one runs before
+//! updating the calibration pins.
+
+use eavm_types::MixVector;
+
+use crate::database::ModelDatabase;
+
+/// Comparison of two model databases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbDiff {
+    /// Keys only the left database covers.
+    pub only_in_left: Vec<MixVector>,
+    /// Keys only the right database covers.
+    pub only_in_right: Vec<MixVector>,
+    /// Number of shared keys.
+    pub common: usize,
+    /// Largest relative `Time` delta over shared keys, with its key.
+    pub max_time_delta: Option<(MixVector, f64)>,
+    /// Largest relative `Energy` delta over shared keys, with its key.
+    pub max_energy_delta: Option<(MixVector, f64)>,
+    /// Mean relative `Time` delta over shared keys.
+    pub mean_time_delta: f64,
+    /// Mean relative `Energy` delta over shared keys.
+    pub mean_energy_delta: f64,
+    /// `true` when the auxiliary (Table I) parameters differ.
+    pub aux_changed: bool,
+}
+
+impl DbDiff {
+    /// Compare two databases.
+    pub fn between(left: &ModelDatabase, right: &ModelDatabase) -> DbDiff {
+        let mut only_in_left = Vec::new();
+        let mut only_in_right = Vec::new();
+        let mut time_sum = 0.0;
+        let mut energy_sum = 0.0;
+        let mut max_time: Option<(MixVector, f64)> = None;
+        let mut max_energy: Option<(MixVector, f64)> = None;
+        let mut common = 0usize;
+
+        for l in left.records() {
+            match right.lookup(l.mix) {
+                None => only_in_left.push(l.mix),
+                Some(r) => {
+                    common += 1;
+                    let dt = (l.time.value() - r.time.value()).abs() / l.time.value();
+                    let de = (l.energy.value() - r.energy.value()).abs() / l.energy.value();
+                    time_sum += dt;
+                    energy_sum += de;
+                    if max_time.is_none_or(|(_, m)| dt > m) {
+                        max_time = Some((l.mix, dt));
+                    }
+                    if max_energy.is_none_or(|(_, m)| de > m) {
+                        max_energy = Some((l.mix, de));
+                    }
+                }
+            }
+        }
+        for r in right.records() {
+            if left.lookup(r.mix).is_none() {
+                only_in_right.push(r.mix);
+            }
+        }
+
+        DbDiff {
+            only_in_left,
+            only_in_right,
+            common,
+            max_time_delta: max_time,
+            max_energy_delta: max_energy,
+            mean_time_delta: if common > 0 { time_sum / common as f64 } else { 0.0 },
+            mean_energy_delta: if common > 0 {
+                energy_sum / common as f64
+            } else {
+                0.0
+            },
+            aux_changed: left.aux() != right.aux(),
+        }
+    }
+
+    /// `true` when both databases cover the same keys with identical
+    /// auxiliary data and all deltas below `tolerance`.
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.only_in_left.is_empty()
+            && self.only_in_right.is_empty()
+            && !self.aux_changed
+            && self.max_time_delta.is_none_or(|(_, d)| d <= tolerance)
+            && self.max_energy_delta.is_none_or(|(_, d)| d <= tolerance)
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self) -> String {
+        let fmt_max = |m: &Option<(MixVector, f64)>| match m {
+            Some((k, d)) => format!("{:.4} (at {k})", d),
+            None => "n/a".to_string(),
+        };
+        format!(
+            "shared keys:        {}\n\
+             only in left:       {}\n\
+             only in right:      {}\n\
+             aux (Table I):      {}\n\
+             mean |dTime|/Time:  {:.4}\n\
+             mean |dE|/E:        {:.4}\n\
+             max  |dTime|/Time:  {}\n\
+             max  |dE|/E:        {}\n",
+            self.common,
+            self.only_in_left.len(),
+            self.only_in_right.len(),
+            if self.aux_changed { "CHANGED" } else { "identical" },
+            self.mean_time_delta,
+            self.mean_energy_delta,
+            fmt_max(&self.max_time_delta),
+            fmt_max(&self.max_energy_delta),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DbBuilder;
+
+    fn small(seed: Option<u64>) -> ModelDatabase {
+        DbBuilder {
+            max_base_vms: 6,
+            meter_seed: seed,
+            ..Default::default()
+        }
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_databases_diff_to_zero() {
+        let a = small(None);
+        let d = DbDiff::between(&a, &a);
+        assert_eq!(d.common, a.len());
+        assert!(d.only_in_left.is_empty() && d.only_in_right.is_empty());
+        assert!(!d.aux_changed);
+        assert_eq!(d.mean_time_delta, 0.0);
+        assert!(d.within(0.0));
+    }
+
+    #[test]
+    fn meter_noise_shows_up_as_small_energy_drift() {
+        let exact = small(None);
+        let noisy = small(Some(9));
+        let d = DbDiff::between(&exact, &noisy);
+        assert_eq!(d.common, exact.len());
+        // Times are unaffected by power-meter noise; energies drift ≤2%.
+        assert!(d.mean_time_delta < 1e-12);
+        assert!(d.mean_energy_delta > 0.0);
+        assert!(d.max_energy_delta.unwrap().1 < 0.02);
+        assert!(d.within(0.02));
+        assert!(!d.within(1e-6));
+    }
+
+    #[test]
+    fn coverage_differences_are_reported() {
+        let a = small(None);
+        let deeper = DbBuilder {
+            max_base_vms: 8,
+            meter_seed: None,
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
+        let d = DbDiff::between(&a, &deeper);
+        // Deeper base tests shift the measured optima, so the combined
+        // grid grows too: strictly more coverage on the right, none lost.
+        assert!(d.only_in_left.is_empty());
+        assert!(d.only_in_right.len() >= 6, "{}", d.only_in_right.len());
+        assert!(d.aux_changed, "deeper base tests must move Table I");
+        assert!(!d.within(1.0));
+        assert!(d.render().contains("only in right:"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # eavm-benchdb
+//!
+//! The paper's empirical-model pipeline (Sect. III-B/C): a benchmarking
+//! platform that runs HPC workloads exhaustively on the testbed and a
+//! plain-text (CSV) model database storing the outcome.
+//!
+//! * [`base_tests`] — the *base tests*: `n = 1..=N` clones of each
+//!   workload type on one server, yielding the optimal scenarios of
+//!   Table I (`OSPC/OSPM/OSPI` for shortest average execution time,
+//!   `OSEC/OSEM/OSEI` for least energy per VM) and the reference solo
+//!   runtimes `TC/TM/TI`.
+//! * [`combined`] — the exhaustive *combined tests*: every mix
+//!   `(Ncpu, Nmem, Nio)` within the per-type bounds
+//!   `OSC = max(OSPC, OSEC)` (resp. `OSM`, `OSI`), excluding the empty
+//!   allocation and the already-measured base points; the paper's count
+//!   formula `(OSC+1)(OSM+1)(OSI+1) − (1+OSC+OSM+OSI)` is enforced by
+//!   test.
+//! * [`record`] + [`database`] — Table II records (Time, avgTimeVM,
+//!   Energy, MaxPower, EDP, keyed by the mix) stored CSV-sorted by key
+//!   and looked up by binary search in `O(log num_tests)`, plus bounded
+//!   extrapolation for out-of-range mixes.
+//! * [`auxdata`] — the auxiliary file carrying Table I parameters.
+//! * [`builder`] — one-call construction of the whole model from a
+//!   [`eavm_testbed::RunSimulator`] and a benchmark suite, optionally
+//!   metered with the noisy Watts Up? meter like the real methodology.
+
+pub mod auxdata;
+pub mod base_tests;
+pub mod builder;
+pub mod combined;
+pub mod database;
+pub mod diff;
+pub mod record;
+
+pub use auxdata::AuxData;
+pub use base_tests::{BaseTestPoint, BaseTestReport, BaseTests};
+pub use builder::DbBuilder;
+pub use combined::combined_mixes;
+pub use database::{Estimate, ModelDatabase};
+pub use diff::DbDiff;
+pub use record::DbRecord;

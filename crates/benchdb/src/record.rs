@@ -1,0 +1,208 @@
+//! One register of the model database (Table II of the paper).
+
+use eavm_types::{EavmError, Joules, MixVector, Seconds, Watts, WorkloadType};
+
+/// A database register: measurements of one benchmarked allocation.
+///
+/// The first eight fields are exactly Table II. The trailing per-type
+/// execution times are an extension documented in `DESIGN.md`: the paper's
+/// simulator needs an execution-time estimate *per VM type* within a mix
+/// ("we lookup in our model database and use the matching values
+/// proportionally"); we store the measured per-type times explicitly
+/// instead of re-deriving them proportionally at query time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DbRecord {
+    /// `(Ncpu, Nmem, Nio)` — the number of VMs of each type in the test.
+    pub mix: MixVector,
+    /// Total execution time of the outcome, seconds (`Time`).
+    pub time: Seconds,
+    /// Average execution time per VM (`avgTimeVM = Time / total VMs`).
+    pub avg_time_vm: Seconds,
+    /// Energy consumed to run the outcome, joules (`Energy`).
+    pub energy: Joules,
+    /// Maximum power dissipation measured, watts (`MaxPower`).
+    pub max_power: Watts,
+    /// Energy-delay product, joule-seconds (`EDP`).
+    pub edp: f64,
+    /// Mean measured execution time of the VMs of each type present in the
+    /// mix (`None` for absent types). Extension columns `TimeCpu`,
+    /// `TimeMem`, `TimeIo`.
+    pub per_type_time: [Option<Seconds>; 3],
+}
+
+impl DbRecord {
+    /// CSV header line for database files.
+    pub const CSV_HEADER: &'static str =
+        "Ncpu,Nmem,Nio,Time,avgTimeVM,Energy,MaxPower,EDP,TimeCpu,TimeMem,TimeIo";
+
+    /// Measured execution time for VMs of `ty` in this mix.
+    pub fn time_of(&self, ty: WorkloadType) -> Option<Seconds> {
+        self.per_type_time[ty.index()]
+    }
+
+    /// Serialize to one CSV line (fields in `CSV_HEADER` order; absent
+    /// per-type times serialize as empty fields).
+    pub fn to_csv(&self) -> String {
+        let opt = |o: Option<Seconds>| o.map(|s| format!("{:.6}", s.value())).unwrap_or_default();
+        format!(
+            "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{}",
+            self.mix.cpu,
+            self.mix.mem,
+            self.mix.io,
+            self.time.value(),
+            self.avg_time_vm.value(),
+            self.energy.value(),
+            self.max_power.value(),
+            self.edp,
+            opt(self.per_type_time[0]),
+            opt(self.per_type_time[1]),
+            opt(self.per_type_time[2]),
+        )
+    }
+
+    /// Parse one CSV line in `CSV_HEADER` order.
+    pub fn from_csv(line: &str) -> Result<Self, EavmError> {
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 11 {
+            return Err(EavmError::Parse(format!(
+                "database record needs 11 fields, got {}: {line:?}",
+                fields.len()
+            )));
+        }
+        let int = |s: &str| -> Result<u32, EavmError> {
+            s.trim()
+                .parse()
+                .map_err(|e| EavmError::Parse(format!("bad count {s:?}: {e}")))
+        };
+        let num = |s: &str| -> Result<f64, EavmError> {
+            s.trim()
+                .parse()
+                .map_err(|e| EavmError::Parse(format!("bad number {s:?}: {e}")))
+        };
+        let opt = |s: &str| -> Result<Option<Seconds>, EavmError> {
+            let t = s.trim();
+            if t.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some(Seconds(num(t)?)))
+            }
+        };
+        Ok(DbRecord {
+            mix: MixVector::new(int(fields[0])?, int(fields[1])?, int(fields[2])?),
+            time: Seconds(num(fields[3])?),
+            avg_time_vm: Seconds(num(fields[4])?),
+            energy: Joules(num(fields[5])?),
+            max_power: Watts(num(fields[6])?),
+            edp: num(fields[7])?,
+            per_type_time: [opt(fields[8])?, opt(fields[9])?, opt(fields[10])?],
+        })
+    }
+
+    /// Internal-consistency checks used when loading foreign files.
+    pub fn validate(&self) -> Result<(), EavmError> {
+        if self.mix.is_empty() {
+            return Err(EavmError::Parse("record with empty mix".into()));
+        }
+        let positive = |v: f64| v.is_finite() && v > 0.0;
+        if !positive(self.time.value()) || !positive(self.energy.value()) {
+            return Err(EavmError::Parse(format!(
+                "record {} has non-positive time/energy",
+                self.mix
+            )));
+        }
+        let expect_avg = self.time / self.mix.total() as f64;
+        if (expect_avg.value() - self.avg_time_vm.value()).abs() / expect_avg.value() > 1e-3 {
+            return Err(EavmError::Parse(format!(
+                "record {}: avgTimeVM {} inconsistent with Time {} / {}",
+                self.mix,
+                self.avg_time_vm,
+                self.time,
+                self.mix.total()
+            )));
+        }
+        for (ty, n) in self.mix.iter() {
+            let has = self.per_type_time[ty.index()].is_some();
+            if (n > 0) != has {
+                return Err(EavmError::Parse(format!(
+                    "record {}: per-type time presence mismatch for {ty}",
+                    self.mix
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DbRecord {
+        DbRecord {
+            mix: MixVector::new(2, 0, 1),
+            time: Seconds(1800.0),
+            avg_time_vm: Seconds(600.0),
+            energy: Joules(400_000.0),
+            max_power: Watts(231.5),
+            edp: 400_000.0 * 1800.0,
+            per_type_time: [Some(Seconds(1700.0)), None, Some(Seconds(950.0))],
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let r = sample();
+        let line = r.to_csv();
+        let back = DbRecord::from_csv(&line).unwrap();
+        assert_eq!(back.mix, r.mix);
+        assert!((back.time.value() - r.time.value()).abs() < 1e-6);
+        assert_eq!(back.per_type_time[1], None);
+        assert!(back.per_type_time[0].is_some());
+    }
+
+    #[test]
+    fn csv_header_field_count_matches_record() {
+        let fields = DbRecord::CSV_HEADER.split(',').count();
+        assert_eq!(fields, sample().to_csv().split(',').count());
+        assert_eq!(fields, 11);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(DbRecord::from_csv("1,2,3").is_err());
+        assert!(DbRecord::from_csv("a,0,0,1,1,1,1,1,,,").is_err());
+        assert!(DbRecord::from_csv("1,0,0,xx,1,1,1,1,1,,").is_err());
+    }
+
+    #[test]
+    fn validate_accepts_consistent_record() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_inconsistencies() {
+        let mut r = sample();
+        r.avg_time_vm = Seconds(1.0);
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.mix = MixVector::EMPTY;
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.per_type_time[1] = Some(Seconds(5.0)); // Nmem == 0 but time present
+        assert!(r.validate().is_err());
+
+        let mut r = sample();
+        r.time = Seconds(0.0);
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn time_of_indexes_by_type() {
+        let r = sample();
+        assert_eq!(r.time_of(WorkloadType::Cpu), Some(Seconds(1700.0)));
+        assert_eq!(r.time_of(WorkloadType::Mem), None);
+        assert_eq!(r.time_of(WorkloadType::Io), Some(Seconds(950.0)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options and
+/// boolean `--flag`s.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first positional token).
+    pub command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        args.command = it
+            .next()
+            .cloned()
+            .ok_or_else(|| "missing subcommand".to_string())?;
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            };
+            if name.is_empty() {
+                return Err("empty flag name".into());
+            }
+            // A flag followed by another --flag (or nothing) is boolean.
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = it.next().expect("peeked").clone();
+                    if args.options.insert(name.to_string(), value).is_some() {
+                        return Err(format!("duplicate option --{name}"));
+                    }
+                }
+                _ => args.flags.push(name.to_string()),
+            }
+        }
+        Ok(args)
+    }
+
+    /// A required string option.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// An optional option interpreted as a filesystem path.
+    pub fn optional_path(&self, name: &str) -> Option<std::path::PathBuf> {
+        self.options.get(name).map(std::path::PathBuf::from)
+    }
+
+    /// An optional parsed option with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+
+    /// A required parsed option.
+    pub fn get_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let v = self.required(name)?;
+        v.parse()
+            .map_err(|_| format!("invalid value for --{name}: {v:?}"))
+    }
+
+    /// Whether a boolean `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        let v: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v)
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse(&["simulate", "--servers", "70", "--burst", "--qos", "3.0"]).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.get_required::<usize>("servers").unwrap(), 70);
+        assert!(a.flag("burst"));
+        assert!(!a.flag("exact"));
+        assert_eq!(a.get_or::<f64>("qos", 1.0).unwrap(), 3.0);
+        assert_eq!(a.get_or::<f64>("margin", 0.65).unwrap(), 0.65);
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_positionals_and_duplicates() {
+        assert!(parse(&["x", "stray"]).is_err());
+        assert!(parse(&["x", "--a", "1", "--a", "2"]).is_err());
+        assert!(parse(&["x", "--"]).is_err());
+    }
+
+    #[test]
+    fn required_option_errors_when_absent() {
+        let a = parse(&["info"]).unwrap();
+        assert!(a.required("db-dir").is_err());
+        assert!(a.get_required::<u64>("seed").is_err());
+    }
+
+    #[test]
+    fn invalid_numeric_value_is_reported() {
+        let a = parse(&["x", "--n", "abc"]).unwrap();
+        assert!(a.get_or::<u32>("n", 1).is_err());
+    }
+
+    #[test]
+    fn trailing_flag_is_boolean() {
+        let a = parse(&["x", "--exact"]).unwrap();
+        assert!(a.flag("exact"));
+    }
+}

@@ -1,0 +1,479 @@
+//! Subcommand implementations. Each returns its stdout payload as a
+//! `String` so commands are directly unit-testable.
+
+use std::path::{Path, PathBuf};
+
+use eavm_benchdb::{DbBuilder, ModelDatabase};
+use eavm_core::{
+    AllocationStrategy, AnalyticModel, BestFit, DbModel, FirstFit, OptimizationGoal, Proactive,
+};
+use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
+use eavm_swf::{
+    adapt_trace, clean_trace, total_vms, truncate_to_vm_total, AdaptConfig, GeneratorConfig,
+    SwfTrace, TraceGenerator,
+};
+use eavm_types::{Seconds, WorkloadType};
+
+use crate::args::Args;
+
+/// Dispatch a parsed command line; returns the stdout payload.
+pub fn dispatch(argv: &[String]) -> Result<String, String> {
+    if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
+        return Ok(usage());
+    }
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "build-db" => build_db(&args),
+        "gen-trace" => gen_trace(&args),
+        "clean-trace" => clean_trace_cmd(&args),
+        "trace-stats" => trace_stats(&args),
+        "simulate" => simulate(&args),
+        "db-diff" => db_diff(&args),
+        "info" => info(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn usage() -> String {
+    "\
+eavm-cli — energy-aware application-centric VM allocation (IPDPS 2011 reproduction)
+
+USAGE:
+  eavm-cli build-db    --out-dir DIR [--seed N] [--exact] [--threads N]
+  eavm-cli gen-trace   --out FILE [--seed N] [--jobs N] [--burst-gap SECS]
+  eavm-cli clean-trace --input FILE --out FILE
+  eavm-cli trace-stats --input FILE
+  eavm-cli simulate    --db-dir DIR --trace FILE --strategy NAME --servers N
+                       [--big-nodes N] [--vms N] [--seed N] [--qos F] [--margin F]
+                       [--burst] [--always-on] [--timeline-out FILE]
+  eavm-cli db-diff     --left DIR --right DIR [--tolerance F]
+  eavm-cli info        --db-dir DIR
+
+STRATEGIES: ff ff2 ff3 bf bf2 bf3 pa0 pa05 pa1 pa:<alpha>
+"
+    .to_string()
+}
+
+fn db_paths(dir: &Path) -> (PathBuf, PathBuf) {
+    (dir.join("model.csv"), dir.join("aux.txt"))
+}
+
+fn build_db(args: &Args) -> Result<String, String> {
+    let out_dir = PathBuf::from(args.required("out-dir")?);
+    let seed: u64 = args.get_or("seed", 0xE6EE)?;
+    let threads: usize = args.get_or("threads", 1)?;
+    let builder = DbBuilder {
+        meter_seed: if args.flag("exact") { None } else { Some(seed) },
+        ..Default::default()
+    };
+    let db = builder
+        .build_parallel(threads)
+        .map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let (dbp, auxp) = db_paths(&out_dir);
+    db.save(&dbp, &auxp).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} registers to {} (+ {})\nbounds {}  solo times ({}, {}, {})\n",
+        db.len(),
+        dbp.display(),
+        auxp.display(),
+        db.aux().os_bounds,
+        db.aux().solo_times[0],
+        db.aux().solo_times[1],
+        db.aux().solo_times[2],
+    ))
+}
+
+fn gen_trace(args: &Args) -> Result<String, String> {
+    let out = PathBuf::from(args.required("out")?);
+    let config = GeneratorConfig {
+        seed: args.get_or("seed", 0xE6EE)?,
+        total_jobs: args.get_or("jobs", 5_000)?,
+        mean_burst_gap_s: args.get_or("burst-gap", 90.0)?,
+        ..Default::default()
+    };
+    let mut generator = TraceGenerator::new(config)?;
+    let trace = generator.generate();
+    std::fs::write(&out, trace.to_text()).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} jobs (span {} s) to {}\n",
+        trace.jobs.len(),
+        trace.span(),
+        out.display()
+    ))
+}
+
+fn clean_trace_cmd(args: &Args) -> Result<String, String> {
+    let input = PathBuf::from(args.required("input")?);
+    let out = PathBuf::from(args.required("out")?);
+    let text = std::fs::read_to_string(&input).map_err(|e| e.to_string())?;
+    let mut trace = SwfTrace::parse(&text).map_err(|e| e.to_string())?;
+    let report = clean_trace(&mut trace);
+    std::fs::write(&out, trace.to_text()).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "kept {} jobs; dropped {} (failed {}, cancelled {}, other-status {}, anomalies {}){}\n",
+        report.kept,
+        report.dropped(),
+        report.failed,
+        report.cancelled,
+        report.other_status,
+        report.anomalies,
+        if report.reordered {
+            "; repaired submission order"
+        } else {
+            ""
+        },
+    ))
+}
+
+fn trace_stats(args: &Args) -> Result<String, String> {
+    let input = PathBuf::from(args.required("input")?);
+    let text = std::fs::read_to_string(&input).map_err(|e| e.to_string())?;
+    let trace = SwfTrace::parse(&text).map_err(|e| e.to_string())?;
+    Ok(eavm_swf::TraceStats::of(&trace).render())
+}
+
+/// Parse a strategy name into a boxed strategy.
+pub fn make_strategy(
+    name: &str,
+    db: &ModelDatabase,
+    deadlines: [Seconds; 3],
+    margin: f64,
+) -> Result<Box<dyn AllocationStrategy>, String> {
+    let cpu_slots = 4;
+    Ok(match name {
+        "ff" => Box::new(FirstFit::ff(cpu_slots)),
+        "ff2" => Box::new(FirstFit::with_multiplex(cpu_slots, 2)),
+        "ff3" => Box::new(FirstFit::with_multiplex(cpu_slots, 3)),
+        "bf" => Box::new(BestFit::bf(cpu_slots)),
+        "bf2" => Box::new(BestFit::with_multiplex(cpu_slots, 2)),
+        "bf3" => Box::new(BestFit::with_multiplex(cpu_slots, 3)),
+        other => {
+            let alpha = match other {
+                "pa0" => 0.0,
+                "pa05" => 0.5,
+                "pa1" => 1.0,
+                _ => other
+                    .strip_prefix("pa:")
+                    .ok_or_else(|| format!("unknown strategy {other:?}"))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad alpha in {other:?}: {e}"))?,
+            };
+            let goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
+            Box::new(
+                Proactive::new(DbModel::new(db.clone()), goal, deadlines)
+                    .with_qos_margin(margin),
+            )
+        }
+    })
+}
+
+fn simulate(args: &Args) -> Result<String, String> {
+    let db_dir = PathBuf::from(args.required("db-dir")?);
+    let trace_path = PathBuf::from(args.required("trace")?);
+    let strategy_name = args.required("strategy")?;
+    let servers: usize = args.get_required("servers")?;
+    let vm_cap: u32 = args.get_or("vms", 10_000)?;
+    let seed: u64 = args.get_or("seed", 0xE6EE)?;
+    let qos: f64 = args.get_or("qos", 3.0)?;
+    let margin: f64 = args.get_or("margin", 0.65)?;
+
+    let (dbp, auxp) = db_paths(&db_dir);
+    let db = ModelDatabase::load(&dbp, &auxp).map_err(|e| e.to_string())?;
+
+    let text = std::fs::read_to_string(&trace_path).map_err(|e| e.to_string())?;
+    let mut trace = SwfTrace::parse(&text).map_err(|e| e.to_string())?;
+    clean_trace(&mut trace);
+
+    let solo = [
+        db.aux().solo_time(WorkloadType::Cpu),
+        db.aux().solo_time(WorkloadType::Mem),
+        db.aux().solo_time(WorkloadType::Io),
+    ];
+    let adapt_cfg = AdaptConfig {
+        qos_factor: qos,
+        ..AdaptConfig::paper(seed, solo)
+    };
+    adapt_cfg.validate()?;
+    let mut requests = adapt_trace(&trace, &adapt_cfg);
+    truncate_to_vm_total(&mut requests, vm_cap);
+    if requests.is_empty() {
+        return Err("no requests after cleaning/adaptation".into());
+    }
+
+    let deadlines = [
+        adapt_cfg.deadline(WorkloadType::Cpu),
+        adapt_cfg.deadline(WorkloadType::Mem),
+        adapt_cfg.deadline(WorkloadType::Io),
+    ];
+    let mut strategy = make_strategy(strategy_name, &db, deadlines, margin)?;
+    let cloud = CloudConfig::new("CLI", servers).map_err(|e| e.to_string())?;
+    let mut sim = Simulation::new(AnalyticModel::reference(), cloud);
+    let big_nodes: usize = args.get_or("big-nodes", 0)?;
+    if big_nodes > 0 {
+        // A second platform of dual-socket big nodes; the PROACTIVE
+        // strategy keeps using the reference database for them (see the
+        // hetero_fleet experiment for per-platform knowledge).
+        let big = eavm_core::AnalyticModel::new(
+            eavm_testbed::ServerSpec::big_node(),
+            eavm_testbed::ContentionModel::default(),
+            &eavm_testbed::BenchmarkSuite::standard(),
+            eavm_types::MixVector::new(24, 24, 24),
+        );
+        sim = sim.with_platform(big, big_nodes);
+    }
+    if args.flag("burst") {
+        sim = sim.with_burst_allocation();
+    }
+    if args.flag("always-on") {
+        sim = sim.with_always_on_fleet();
+    }
+    let timeline_out = args.optional_path("timeline-out");
+    if timeline_out.is_some() {
+        sim = sim.with_timeline();
+    }
+    let out = sim
+        .run(strategy.as_mut(), &requests)
+        .map_err(|e| e.to_string())?;
+    if let Some(path) = timeline_out {
+        let mut csv = String::from("server,start_s,end_s,ncpu,nmem,nio\n");
+        for iv in &out.timeline {
+            csv.push_str(&format!(
+                "{},{:.3},{:.3},{},{},{}\n",
+                iv.server.index(),
+                iv.start.value(),
+                iv.end.value(),
+                iv.mix.cpu,
+                iv.mix.mem,
+                iv.mix.io
+            ));
+        }
+        std::fs::write(&path, csv).map_err(|e| e.to_string())?;
+    }
+    Ok(render_outcome(&out, &requests))
+}
+
+fn render_outcome(out: &SimOutcome, requests: &[eavm_swf::VmRequest]) -> String {
+    format!(
+        "{}\n{}\nsummary: strategy={} requests={} vms={} makespan={:.0}s energy={:.3e}J sla={:.1}%\n",
+        SimOutcome::CSV_HEADER,
+        out.to_csv(),
+        out.strategy,
+        requests.len(),
+        total_vms(requests),
+        out.makespan().value(),
+        out.energy.value(),
+        out.sla_violation_pct(),
+    )
+}
+
+fn db_diff(args: &Args) -> Result<String, String> {
+    let load = |key: &str| -> Result<ModelDatabase, String> {
+        let dir = PathBuf::from(args.required(key)?);
+        let (dbp, auxp) = db_paths(&dir);
+        ModelDatabase::load(&dbp, &auxp).map_err(|e| e.to_string())
+    };
+    let left = load("left")?;
+    let right = load("right")?;
+    let diff = eavm_benchdb::DbDiff::between(&left, &right);
+    let tolerance: f64 = args.get_or("tolerance", 0.02)?;
+    Ok(format!(
+        "{}within {tolerance:.3} tolerance: {}\n",
+        diff.render(),
+        if diff.within(tolerance) { "yes" } else { "NO" }
+    ))
+}
+
+fn info(args: &Args) -> Result<String, String> {
+    let db_dir = PathBuf::from(args.required("db-dir")?);
+    let (dbp, auxp) = db_paths(&db_dir);
+    let db = ModelDatabase::load(&dbp, &auxp).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "registers: {}\n{}",
+        db.len(),
+        db.aux().to_text()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(tokens: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("eavm-cli-test-{tag}"));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("build-db"));
+        assert!(out.contains("simulate"));
+        let out2 = dispatch(&[]).unwrap();
+        assert!(out2.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn gen_and_clean_trace_roundtrip() {
+        let dir = temp_dir("trace");
+        let raw = dir.join("raw.swf");
+        let cleaned = dir.join("clean.swf");
+        let out = run(&[
+            "gen-trace",
+            "--out",
+            raw.to_str().unwrap(),
+            "--seed",
+            "3",
+            "--jobs",
+            "400",
+        ])
+        .unwrap();
+        assert!(out.contains("400 jobs"));
+        let out = run(&[
+            "clean-trace",
+            "--input",
+            raw.to_str().unwrap(),
+            "--out",
+            cleaned.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("kept"));
+        let t = SwfTrace::parse(&std::fs::read_to_string(cleaned).unwrap()).unwrap();
+        assert!(!t.jobs.is_empty());
+    }
+
+    #[test]
+    fn full_cli_pipeline_end_to_end() {
+        let dir = temp_dir("pipeline");
+        let dbdir = dir.join("db");
+        let tracep = dir.join("t.swf");
+        run(&[
+            "build-db",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+            "--exact",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        let info_out = run(&["info", "--db-dir", dbdir.to_str().unwrap()]).unwrap();
+        assert!(info_out.contains("registers: 466"));
+
+        run(&[
+            "gen-trace",
+            "--out",
+            tracep.to_str().unwrap(),
+            "--jobs",
+            "300",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+
+        for strategy in ["ff", "bf", "pa05", "pa:0.25"] {
+            let out = run(&[
+                "simulate",
+                "--db-dir",
+                dbdir.to_str().unwrap(),
+                "--trace",
+                tracep.to_str().unwrap(),
+                "--strategy",
+                strategy,
+                "--servers",
+                "8",
+                "--vms",
+                "500",
+            ])
+            .unwrap();
+            assert!(out.contains("summary:"), "{strategy}: {out}");
+            assert!(out.contains("makespan="));
+        }
+    }
+
+    #[test]
+    fn trace_stats_reports_summary() {
+        let dir = temp_dir("stats");
+        let tracep = dir.join("s.swf");
+        run(&["gen-trace", "--out", tracep.to_str().unwrap(), "--jobs", "200", "--seed", "9"]).unwrap();
+        let out = run(&["trace-stats", "--input", tracep.to_str().unwrap()]).unwrap();
+        assert!(out.contains("jobs:            200"));
+        assert!(out.contains("bursts:"));
+        assert!(run(&["trace-stats", "--input", "/no/such/file"]).is_err());
+    }
+
+    #[test]
+    fn simulate_supports_big_nodes_and_flags() {
+        let dir = temp_dir("hetero");
+        let dbdir = dir.join("db");
+        let tracep = dir.join("t.swf");
+        run(&["build-db", "--out-dir", dbdir.to_str().unwrap(), "--exact", "--threads", "4"]).unwrap();
+        run(&["gen-trace", "--out", tracep.to_str().unwrap(), "--jobs", "150", "--seed", "3"]).unwrap();
+        let out = run(&[
+            "simulate",
+            "--db-dir", dbdir.to_str().unwrap(),
+            "--trace", tracep.to_str().unwrap(),
+            "--strategy", "ff",
+            "--servers", "3",
+            "--big-nodes", "2",
+            "--vms", "300",
+            "--burst",
+            "--always-on",
+            "--timeline-out",
+            dir.join("timeline.csv").to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("summary:"), "{out}");
+        let csv = std::fs::read_to_string(dir.join("timeline.csv")).unwrap();
+        assert!(csv.starts_with("server,start_s,end_s,ncpu,nmem,nio"));
+        assert!(csv.lines().count() > 1, "timeline rows missing");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_strategy() {
+        let dir = temp_dir("badstrat");
+        let dbdir = dir.join("db");
+        run(&[
+            "build-db",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+            "--exact",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        let db = ModelDatabase::load(&dbdir.join("model.csv"), &dbdir.join("aux.txt")).unwrap();
+        let dl = [Seconds(1.0); 3];
+        assert!(make_strategy("zz", &db, dl, 1.0).is_err());
+        assert!(make_strategy("pa:nope", &db, dl, 1.0).is_err());
+        assert!(make_strategy("pa:0.3", &db, dl, 1.0).is_ok());
+    }
+
+    #[test]
+    fn db_diff_compares_two_builds() {
+        let dir = temp_dir("diff");
+        let a = dir.join("a");
+        let b = dir.join("b");
+        run(&["build-db", "--out-dir", a.to_str().unwrap(), "--exact", "--threads", "4"]).unwrap();
+        run(&["build-db", "--out-dir", b.to_str().unwrap(), "--seed", "7", "--threads", "4"]).unwrap();
+        let same = run(&["db-diff", "--left", a.to_str().unwrap(), "--right", a.to_str().unwrap()]).unwrap();
+        assert!(same.contains("within 0.020 tolerance: yes"), "{same}");
+        let noisy = run(&["db-diff", "--left", a.to_str().unwrap(), "--right", b.to_str().unwrap()]).unwrap();
+        assert!(noisy.contains("shared keys:"), "{noisy}");
+    }
+
+    #[test]
+    fn info_requires_existing_database() {
+        assert!(run(&["info", "--db-dir", "/nonexistent/path"]).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! `eavm-cli` — command-line driver for the reproduction pipeline.
+//!
+//! ```text
+//! eavm-cli build-db    --out-dir DIR [--seed N] [--exact] [--threads N]
+//! eavm-cli gen-trace   --out FILE [--seed N] [--jobs N] [--burst-gap SECS]
+//! eavm-cli clean-trace --input FILE --out FILE
+//! eavm-cli simulate    --db-dir DIR --trace FILE --strategy NAME --servers N
+//!                      [--vms N] [--seed N] [--qos F] [--margin F] [--burst]
+//! eavm-cli info        --db-dir DIR
+//! ```
+//!
+//! Strategies: `ff`, `ff2`, `ff3`, `bf`, `bf2`, `bf3`, `pa0`, `pa05`,
+//! `pa1`, or `pa:<alpha>`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `eavm-cli help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Best-fit baseline.
+//!
+//! Sect. II of the paper: "VM consolidation techniques involve filling
+//! up physical servers with VMs (using heuristics like first fit, best
+//! fit, etc.)". Best fit is the classical bin-packing refinement of
+//! first fit: each VM goes to the *fullest* server that still has room
+//! (tightest remaining capacity), which packs more aggressively but is
+//! just as application-blind. Included as an additional baseline for
+//! the strategy ablation.
+
+use eavm_types::{EavmError, MixVector};
+
+use crate::strategy::{AllocationStrategy, Placement, RequestView, ServerView};
+
+/// CPU-slot-counting best fit with a multiplexing factor.
+#[derive(Debug, Clone)]
+pub struct BestFit {
+    multiplex: u32,
+    cpu_slots: u32,
+}
+
+impl BestFit {
+    /// Plain best fit: one VM per CPU.
+    pub fn bf(cpu_slots: u32) -> Self {
+        Self::with_multiplex(cpu_slots, 1)
+    }
+
+    /// BF-k: up to `multiplex` VMs per CPU.
+    pub fn with_multiplex(cpu_slots: u32, multiplex: u32) -> Self {
+        assert!(cpu_slots > 0 && multiplex > 0);
+        BestFit {
+            multiplex,
+            cpu_slots,
+        }
+    }
+
+    /// Per-server VM capacity under this policy.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.cpu_slots * self.multiplex
+    }
+}
+
+impl AllocationStrategy for BestFit {
+    fn name(&self) -> String {
+        if self.multiplex == 1 {
+            "BF".to_string()
+        } else {
+            format!("BF-{}", self.multiplex)
+        }
+    }
+
+    fn allocate(
+        &mut self,
+        request: &RequestView,
+        servers: &[ServerView],
+    ) -> Result<Vec<Placement>, EavmError> {
+        // Mutable view of free slots, indexed like `servers`; capacity
+        // follows each server's own slot count.
+        let mut free: Vec<u32> = servers
+            .iter()
+            .map(|s| (s.cpu_slots.max(1) * self.multiplex).saturating_sub(s.mix.total()))
+            .collect();
+        let mut adds: Vec<u32> = vec![0; servers.len()];
+        let mut remaining = request.vm_count;
+
+        while remaining > 0 {
+            // Tightest non-full server; ties to the first in the list.
+            let target = free
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| f > 0)
+                .min_by_key(|(i, &f)| (f, *i))
+                .map(|(i, _)| i);
+            let Some(i) = target else {
+                return Err(EavmError::Infeasible(format!(
+                    "{}: {} VMs of request {} do not fit",
+                    self.name(),
+                    remaining,
+                    request.id
+                )));
+            };
+            let take = free[i].min(remaining);
+            free[i] -= take;
+            adds[i] += take;
+            remaining -= take;
+        }
+
+        Ok(servers
+            .iter()
+            .zip(&adds)
+            .filter(|(_, &a)| a > 0)
+            .map(|(s, &a)| Placement {
+                server: s.id,
+                add: MixVector::single(request.workload, a),
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::validate_placements;
+    use eavm_types::{JobId, Seconds, ServerId, WorkloadType};
+
+    fn req(n: u32) -> RequestView {
+        RequestView {
+            id: JobId::new(0),
+            workload: WorkloadType::Cpu,
+            vm_count: n,
+            deadline: Seconds(1e9),
+        }
+    }
+
+    fn view(id: u32, total: u32) -> ServerView {
+        ServerView::homogeneous(ServerId::new(id), MixVector::single(WorkloadType::Io, total))
+    }
+
+    #[test]
+    fn names_and_capacity() {
+        assert_eq!(BestFit::bf(4).name(), "BF");
+        assert_eq!(BestFit::with_multiplex(4, 2).name(), "BF-2");
+        assert_eq!(BestFit::with_multiplex(4, 3).capacity(), 12);
+    }
+
+    #[test]
+    fn prefers_the_tightest_server() {
+        // Server 1 has 1 slot free, server 0 has 3: BF picks server 1.
+        let servers = vec![view(0, 1), view(1, 3)];
+        let p = BestFit::bf(4).allocate(&req(1), &servers).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].server, ServerId::new(1));
+    }
+
+    #[test]
+    fn overflows_to_next_tightest() {
+        // 3 VMs: 1 goes to the 1-free server, 2 to the 2-free server.
+        let servers = vec![view(0, 2), view(1, 3), view(2, 0)];
+        let p = BestFit::bf(4).allocate(&req(3), &servers).unwrap();
+        validate_placements(&req(3), &servers, &p).unwrap();
+        let on = |id: u32| {
+            p.iter()
+                .find(|pl| pl.server == ServerId::new(id))
+                .map(|pl| pl.add.total())
+                .unwrap_or(0)
+        };
+        assert_eq!(on(1), 1, "tightest first");
+        assert_eq!(on(0), 2);
+        assert_eq!(on(2), 0, "empty server untouched while others fit");
+    }
+
+    #[test]
+    fn ties_break_to_first_server() {
+        let servers = vec![view(0, 2), view(1, 2)];
+        let p = BestFit::bf(4).allocate(&req(1), &servers).unwrap();
+        assert_eq!(p[0].server, ServerId::new(0));
+    }
+
+    #[test]
+    fn infeasible_when_full() {
+        let servers = vec![view(0, 4)];
+        assert!(matches!(
+            BestFit::bf(4).allocate(&req(1), &servers),
+            Err(EavmError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn packs_tighter_than_first_fit() {
+        use crate::first_fit::FirstFit;
+        // FF would start filling server 0 (most free); BF tops off the
+        // nearly-full server 2 first, leaving bigger holes elsewhere.
+        let servers = vec![view(0, 0), view(1, 1), view(2, 3)];
+        let bf = BestFit::bf(4).allocate(&req(2), &servers).unwrap();
+        let ff = FirstFit::ff(4).allocate(&req(2), &servers).unwrap();
+        // BF tops off server 2 (1 free) and overflows to server 1 (3
+        // free), never touching the empty server 0; FF does the opposite.
+        let bf_on = |id: u32| {
+            bf.iter()
+                .find(|p| p.server == ServerId::new(id))
+                .map(|p| p.add.total())
+                .unwrap_or(0)
+        };
+        assert_eq!(bf_on(2), 1);
+        assert_eq!(bf_on(1), 1);
+        assert_eq!(bf_on(0), 0);
+        assert_eq!(ff[0].server, ServerId::new(0));
+        assert_eq!(ff[0].add.total(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Interval-weighted estimation (Sect. IV-A, Fig. 4).
+//!
+//! "As VM allocations may vary over time, we compute the estimated
+//! execution time and energy consumption with the weighted average of the
+//! values associated to each interval of time."
+//!
+//! The paper's worked example: a VM that spends 70 % of its run under
+//! allocation A (estimated execution time 1200 s) and 30 % under B
+//! (1800 s) has `ExecTime = 0.7·1200 + 0.3·1800 = 1380 s`; an outcome
+//! spending 35 %/15 %/50 % of its span under allocations costing
+//! 15 kJ / 20 kJ / 12 kJ consumes `0.35·15 + 0.15·20 + 0.5·12 =
+//! 14.25 kJ`. Both identities are unit-tested below.
+
+use eavm_types::{EavmError, Joules, Seconds};
+
+/// A weighted sequence of per-interval values; weights are the fractions
+/// of the VM's run (or of the outcome's span) spent in each interval.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalWeights<T> {
+    entries: Vec<(f64, T)>,
+}
+
+impl<T: Copy> IntervalWeights<T> {
+    /// Start an empty sequence.
+    pub fn new() -> Self {
+        IntervalWeights {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append an interval with its weight.
+    pub fn push(&mut self, weight: f64, value: T) {
+        self.entries.push((weight, value));
+    }
+
+    /// Number of intervals recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no intervals were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of the recorded weights.
+    pub fn total_weight(&self) -> f64 {
+        self.entries.iter().map(|(w, _)| w).sum()
+    }
+
+    fn check(&self) -> Result<(), EavmError> {
+        if self.entries.is_empty() {
+            return Err(EavmError::InvalidConfig(
+                "no intervals to average".into(),
+            ));
+        }
+        if self.entries.iter().any(|(w, _)| !w.is_finite() || *w < 0.0) {
+            return Err(EavmError::InvalidConfig(
+                "interval weights must be finite and non-negative".into(),
+            ));
+        }
+        let total = self.total_weight();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(EavmError::InvalidConfig(format!(
+                "interval weights must sum to 1, got {total}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl IntervalWeights<Seconds> {
+    /// The weighted execution time (Fig. 4's `ExecTime_VM1`).
+    pub fn weighted_time(&self) -> Result<Seconds, EavmError> {
+        self.check()?;
+        Ok(Seconds(
+            self.entries.iter().map(|(w, v)| w * v.value()).sum(),
+        ))
+    }
+}
+
+impl IntervalWeights<Joules> {
+    /// The weighted energy (Fig. 4's outcome energy).
+    pub fn weighted_energy(&self) -> Result<Joules, EavmError> {
+        self.check()?;
+        Ok(Joules(
+            self.entries.iter().map(|(w, v)| w * v.value()).sum(),
+        ))
+    }
+}
+
+/// Convenience: weighted execution time from `(weight, time)` pairs.
+///
+/// ```
+/// use eavm_core::estimate::weighted_exec_time;
+/// use eavm_types::Seconds;
+/// // The paper's Fig. 4 example: 0.7·1200 s + 0.3·1800 s = 1380 s.
+/// let t = weighted_exec_time(&[(0.7, Seconds(1200.0)), (0.3, Seconds(1800.0))]).unwrap();
+/// assert_eq!(t, Seconds(1380.0));
+/// ```
+pub fn weighted_exec_time(intervals: &[(f64, Seconds)]) -> Result<Seconds, EavmError> {
+    let mut w = IntervalWeights::new();
+    for &(frac, t) in intervals {
+        w.push(frac, t);
+    }
+    w.weighted_time()
+}
+
+/// Convenience: weighted energy from `(weight, energy)` pairs.
+pub fn weighted_energy(intervals: &[(f64, Joules)]) -> Result<Joules, EavmError> {
+    let mut w = IntervalWeights::new();
+    for &(frac, e) in intervals {
+        w.push(frac, e);
+    }
+    w.weighted_energy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_exec_time_example() {
+        // ExecTime_VM1 = 0.7·1200 s + 0.3·1800 s = 1380 s.
+        let t = weighted_exec_time(&[(0.7, Seconds(1200.0)), (0.3, Seconds(1800.0))]).unwrap();
+        assert!((t.value() - 1380.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_energy_example() {
+        // Energy = 0.35·15 kJ + 0.15·20 kJ + 0.5·12 kJ = 14.25 kJ.
+        let e = weighted_energy(&[
+            (0.35, Joules(15_000.0)),
+            (0.15, Joules(20_000.0)),
+            (0.5, Joules(12_000.0)),
+        ])
+        .unwrap();
+        assert!((e.value() - 14_250.0).abs() < 1e-9);
+        assert!((e.kilojoules() - 14.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_interval_is_identity() {
+        let t = weighted_exec_time(&[(1.0, Seconds(42.0))]).unwrap();
+        assert_eq!(t, Seconds(42.0));
+    }
+
+    #[test]
+    fn weights_must_sum_to_one() {
+        assert!(weighted_exec_time(&[(0.5, Seconds(1.0))]).is_err());
+        assert!(weighted_exec_time(&[(0.7, Seconds(1.0)), (0.7, Seconds(1.0))]).is_err());
+    }
+
+    #[test]
+    fn negative_or_nan_weights_rejected() {
+        assert!(weighted_exec_time(&[(-0.5, Seconds(1.0)), (1.5, Seconds(1.0))]).is_err());
+        assert!(weighted_exec_time(&[(f64::NAN, Seconds(1.0)), (1.0, Seconds(1.0))]).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        assert!(weighted_exec_time(&[]).is_err());
+        assert!(weighted_energy(&[]).is_err());
+    }
+
+    #[test]
+    fn incremental_builder_matches_convenience_fn() {
+        let mut w = IntervalWeights::new();
+        w.push(0.25, Seconds(100.0));
+        w.push(0.75, Seconds(200.0));
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert!((w.total_weight() - 1.0).abs() < 1e-12);
+        let a = w.weighted_time().unwrap();
+        let b = weighted_exec_time(&[(0.25, Seconds(100.0)), (0.75, Seconds(200.0))]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,196 @@
+//! The FIRST-FIT baselines (Sect. IV-D).
+//!
+//! "FIRST-FIT (FF), in which job requests are allocated following the
+//! first-fit policy based on CPU slots. It means that an incoming job
+//! request is allocated to the first available server until the number
+//! of allocated VMs is equal to the number of CPUs (VM multiplexing on
+//! CPUs is not allowed). FIRST-FIT-2 (FF-2) and FIRST-FIT-3 (FF-3) are
+//! two variants of FIRST-FIT that allow multiplexing up to 2 and 3 VMs
+//! on each CPU, respectively."
+//!
+//! The policy is deliberately application-blind: only the VM *count* per
+//! server matters, never the profile mix — that blindness is exactly
+//! what the PROACTIVE strategy improves on.
+
+use eavm_types::{EavmError, MixVector};
+
+use crate::strategy::{AllocationStrategy, Placement, RequestView, ServerView};
+
+/// CPU-slot-counting first fit with a multiplexing factor.
+#[derive(Debug, Clone)]
+pub struct FirstFit {
+    /// VMs allowed per CPU (1 for plain FF, 2 for FF-2, 3 for FF-3).
+    multiplex: u32,
+    /// Physical CPU slots per server (4 on the reference machine).
+    cpu_slots: u32,
+}
+
+impl FirstFit {
+    /// Plain FIRST-FIT: one VM per CPU.
+    pub fn ff(cpu_slots: u32) -> Self {
+        Self::with_multiplex(cpu_slots, 1)
+    }
+
+    /// FF-k: up to `multiplex` VMs per CPU.
+    pub fn with_multiplex(cpu_slots: u32, multiplex: u32) -> Self {
+        assert!(cpu_slots > 0 && multiplex > 0);
+        FirstFit {
+            multiplex,
+            cpu_slots,
+        }
+    }
+
+    /// Per-server VM capacity under this policy.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.cpu_slots * self.multiplex
+    }
+}
+
+impl AllocationStrategy for FirstFit {
+    fn name(&self) -> String {
+        if self.multiplex == 1 {
+            "FF".to_string()
+        } else {
+            format!("FF-{}", self.multiplex)
+        }
+    }
+
+    fn allocate(
+        &mut self,
+        request: &RequestView,
+        servers: &[ServerView],
+    ) -> Result<Vec<Placement>, EavmError> {
+        let mut remaining = request.vm_count;
+        let mut placements = Vec::new();
+        for s in servers {
+            if remaining == 0 {
+                break;
+            }
+            let used = s.mix.total();
+            // Capacity follows the server's own slot count (heterogeneous
+            // fleets expose different platforms through the view).
+            let cap = s.cpu_slots.max(1) * self.multiplex;
+            let free = cap.saturating_sub(used);
+            if free == 0 {
+                continue;
+            }
+            let take = free.min(remaining);
+            placements.push(Placement {
+                server: s.id,
+                add: MixVector::single(request.workload, take),
+            });
+            remaining -= take;
+        }
+        if remaining > 0 {
+            return Err(EavmError::Infeasible(format!(
+                "{}: {} VMs of request {} do not fit",
+                self.name(),
+                remaining,
+                request.id
+            )));
+        }
+        Ok(placements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::validate_placements;
+    use eavm_types::{JobId, Seconds, ServerId, WorkloadType};
+
+    fn req(n: u32) -> RequestView {
+        RequestView {
+            id: JobId::new(0),
+            workload: WorkloadType::Mem,
+            vm_count: n,
+            deadline: Seconds(4000.0),
+        }
+    }
+
+    fn view(id: u32, total: u32) -> ServerView {
+        ServerView::homogeneous(ServerId::new(id), MixVector::single(WorkloadType::Cpu, total))
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(FirstFit::ff(4).name(), "FF");
+        assert_eq!(FirstFit::with_multiplex(4, 2).name(), "FF-2");
+        assert_eq!(FirstFit::with_multiplex(4, 3).name(), "FF-3");
+    }
+
+    #[test]
+    fn capacities_scale_with_multiplex() {
+        assert_eq!(FirstFit::ff(4).capacity(), 4);
+        assert_eq!(FirstFit::with_multiplex(4, 2).capacity(), 8);
+        assert_eq!(FirstFit::with_multiplex(4, 3).capacity(), 12);
+    }
+
+    #[test]
+    fn fills_first_server_first() {
+        let mut ff = FirstFit::ff(4);
+        let servers = vec![view(0, 0), view(1, 0)];
+        let p = ff.allocate(&req(3), &servers).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].server, ServerId::new(0));
+        assert_eq!(p[0].add, MixVector::new(0, 3, 0));
+        validate_placements(&req(3), &servers, &p).unwrap();
+    }
+
+    #[test]
+    fn splits_across_servers_when_first_is_nearly_full() {
+        let mut ff = FirstFit::ff(4);
+        let servers = vec![view(0, 3), view(1, 0)];
+        let p = ff.allocate(&req(4), &servers).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].add.total(), 1);
+        assert_eq!(p[1].add.total(), 3);
+        validate_placements(&req(4), &servers, &p).unwrap();
+    }
+
+    #[test]
+    fn skips_full_servers() {
+        let mut ff = FirstFit::ff(4);
+        let servers = vec![view(0, 4), view(1, 4), view(2, 1)];
+        let p = ff.allocate(&req(2), &servers).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].server, ServerId::new(2));
+    }
+
+    #[test]
+    fn respects_multiplex_capacity() {
+        let servers = vec![view(0, 4)];
+        // Plain FF: server is full at 4.
+        assert!(FirstFit::ff(4).allocate(&req(1), &servers).is_err());
+        // FF-2 can still pack 4 more.
+        let p = FirstFit::with_multiplex(4, 2)
+            .allocate(&req(4), &servers)
+            .unwrap();
+        assert_eq!(p[0].add.total(), 4);
+        // FF-3 takes up to 12 total.
+        let p = FirstFit::with_multiplex(4, 3)
+            .allocate(&req(4), &servers)
+            .unwrap();
+        assert_eq!(p[0].add.total(), 4);
+    }
+
+    #[test]
+    fn infeasible_when_cloud_is_saturated() {
+        let mut ff = FirstFit::ff(4);
+        let servers = vec![view(0, 4), view(1, 4)];
+        let err = ff.allocate(&req(1), &servers).unwrap_err();
+        assert!(matches!(err, EavmError::Infeasible(_)));
+    }
+
+    #[test]
+    fn ignores_application_profile() {
+        // The same counts decide regardless of workload types resident.
+        let mut ff = FirstFit::with_multiplex(4, 2);
+        let a = vec![ServerView::homogeneous(ServerId::new(0), MixVector::new(2, 2, 2))];
+        let b = vec![ServerView::homogeneous(ServerId::new(0), MixVector::new(6, 0, 0))];
+        let pa = ff.allocate(&req(2), &a).unwrap();
+        let pb = ff.allocate(&req(2), &b).unwrap();
+        assert_eq!(pa[0].add, pb[0].add);
+    }
+}

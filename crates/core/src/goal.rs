@@ -1,0 +1,108 @@
+//! The optimization goal α (Sect. III-D).
+//!
+//! "we use a parameter α to adjust the possible trade-off between energy
+//! efficiency and performance ... α emphasizes the energy efficiency goal
+//! while 1−α emphasizes performance. For example, if α=0.7 the algorithm
+//! will try to minimize the energy consumption first (70% of preference)
+//! and then the performance but with less intensity (30% of preference)."
+
+use eavm_types::EavmError;
+
+/// The energy/performance trade-off knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptimizationGoal {
+    alpha: f64,
+}
+
+impl OptimizationGoal {
+    /// `PA-1`: minimize energy consumption (α = 1).
+    pub const ENERGY: OptimizationGoal = OptimizationGoal { alpha: 1.0 };
+    /// `PA-0`: minimize execution time (α = 0).
+    pub const PERFORMANCE: OptimizationGoal = OptimizationGoal { alpha: 0.0 };
+    /// `PA-0.5`: the balanced trade-off (α = 0.5).
+    pub const BALANCED: OptimizationGoal = OptimizationGoal { alpha: 0.5 };
+
+    /// Construct with an explicit α ∈ [0, 1].
+    pub fn new(alpha: f64) -> Result<Self, EavmError> {
+        if !(0.0..=1.0).contains(&alpha) || !alpha.is_finite() {
+            return Err(EavmError::InvalidConfig(format!(
+                "alpha must be in [0,1], got {alpha}"
+            )));
+        }
+        Ok(OptimizationGoal { alpha })
+    }
+
+    /// The α value.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Combined rank of a candidate given its normalized energy and time
+    /// scores (each ≥ 1, where 1 is the best candidate in the comparison
+    /// set): lower is better.
+    #[inline]
+    pub fn score(&self, energy_norm: f64, time_norm: f64) -> f64 {
+        self.alpha * energy_norm + (1.0 - self.alpha) * time_norm
+    }
+
+    /// Strategy label used in result tables (`PA-1`, `PA-0`, `PA-0.5`,
+    /// `PA-0.75`, ...).
+    pub fn label(&self) -> String {
+        if (self.alpha - self.alpha.round()).abs() < 1e-12 {
+            format!("PA-{}", self.alpha as u32)
+        } else {
+            format!("PA-{}", self.alpha)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_alphas() {
+        assert_eq!(OptimizationGoal::ENERGY.alpha(), 1.0);
+        assert_eq!(OptimizationGoal::PERFORMANCE.alpha(), 0.0);
+        assert_eq!(OptimizationGoal::BALANCED.alpha(), 0.5);
+    }
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(OptimizationGoal::new(0.7).is_ok());
+        assert!(OptimizationGoal::new(-0.1).is_err());
+        assert!(OptimizationGoal::new(1.1).is_err());
+        assert!(OptimizationGoal::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn score_interpolates_between_objectives() {
+        // Pure energy goal ignores time and vice versa.
+        assert_eq!(OptimizationGoal::ENERGY.score(2.0, 99.0), 2.0);
+        assert_eq!(OptimizationGoal::PERFORMANCE.score(99.0, 3.0), 3.0);
+        // α=0.7 weights energy 70/30, the paper's example.
+        let g = OptimizationGoal::new(0.7).unwrap();
+        assert!((g.score(1.0, 2.0) - (0.7 + 0.3 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_and_performance_goals_rank_candidates_oppositely() {
+        // Candidate A: frugal but slow; candidate B: fast but hungry.
+        let a = (1.0, 2.0);
+        let b = (2.0, 1.0);
+        assert!(OptimizationGoal::ENERGY.score(a.0, a.1) < OptimizationGoal::ENERGY.score(b.0, b.1));
+        assert!(
+            OptimizationGoal::PERFORMANCE.score(b.0, b.1)
+                < OptimizationGoal::PERFORMANCE.score(a.0, a.1)
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(OptimizationGoal::ENERGY.label(), "PA-1");
+        assert_eq!(OptimizationGoal::PERFORMANCE.label(), "PA-0");
+        assert_eq!(OptimizationGoal::BALANCED.label(), "PA-0.5");
+        assert_eq!(OptimizationGoal::new(0.75).unwrap().label(), "PA-0.75");
+    }
+}

@@ -1,0 +1,622 @@
+//! The PROACTIVE application-centric allocator (Sect. III-D, Fig. 3).
+//!
+//! Control flow per incoming request, mirroring the paper's component
+//! diagram:
+//!
+//! 1. **Partition search** — enumerate the set partitions of the
+//!    request's VMs. VMs of one request share a workload profile, so the
+//!    multiset enumeration from `eavm-partitions` is used (Orlov's RGS
+//!    generator backs the general case; for `n` interchangeable VMs the
+//!    candidates collapse to the integer partitions of `n`).
+//! 2. **Per-block placement** — for each block of a partition, evaluate
+//!    every active server plus one powered-off server: the block joins
+//!    the server's current mix, the resulting mix is checked against the
+//!    model's hostable bounds and the per-type QoS deadlines (estimated
+//!    execution time of *every* resident type must stay within its
+//!    deadline), and the feasible candidates are ranked by the
+//!    optimization goal. Ties choose "the first server of the list".
+//! 3. **Partition ranking** — each fully placed partition is scored as
+//!    `α·(Ê/Ê_min) + (1−α)·(T̂/T̂_min)` where `Ê` is the summed
+//!    incremental run energy of its placements and `T̂` the slowest
+//!    block's estimated execution time; the best partition wins.
+//!
+//! Returning [`EavmError::Infeasible`] (no partition places) tells the
+//! simulator to queue the request, exactly like a saturated cloud.
+
+use eavm_partitions::multiset_partitions_capped;
+use eavm_types::{EavmError, Joules, MixVector, Seconds, WorkloadType};
+
+use crate::goal::OptimizationGoal;
+use crate::model::AllocationModel;
+use crate::strategy::{AllocationStrategy, Placement, RequestView, ServerView};
+
+/// Caps bounding the brute-force search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchCaps {
+    /// Maximum number of partitions evaluated per request (the integer
+    /// partitions of 4 VMs are only 5, but burst-level allocation can
+    /// inflate the space).
+    pub max_partitions: usize,
+}
+
+impl Default for SearchCaps {
+    fn default() -> Self {
+        SearchCaps {
+            max_partitions: 4_096,
+        }
+    }
+}
+
+/// One fully scored partition candidate.
+#[derive(Debug, Clone)]
+struct Candidate {
+    placements: Vec<Placement>,
+    energy: Joules,
+    time: Seconds,
+}
+
+/// One explained partition candidate: the Fig. 3 "rank" step's working
+/// data, exposed for inspection and the `fig3_flow` experiment binary.
+#[derive(Debug, Clone)]
+pub struct PartitionCandidate {
+    /// The partition's blocks (per-type VM counts).
+    pub blocks: Vec<MixVector>,
+    /// Greedily chosen placements for each block.
+    pub placements: Vec<Placement>,
+    /// Summed incremental run energy of the placements.
+    pub energy: Joules,
+    /// Estimated execution time of the slowest block.
+    pub time: Seconds,
+    /// Goal score, normalized against the best candidate (1.0 = best on
+    /// both axes); lower is better.
+    pub score: f64,
+    /// `true` for the candidate [`Proactive::allocate`] would pick.
+    pub chosen: bool,
+}
+
+/// The PROACTIVE allocation strategy.
+///
+/// Holds one allocation model per hardware platform (a single model in
+/// the paper's homogeneous setting); candidate servers are estimated
+/// against the model of *their* platform, which is the heterogeneous
+/// extension the paper lists as future work.
+#[derive(Debug, Clone)]
+pub struct Proactive<M> {
+    /// One model per platform, indexed by [`ServerView::platform`].
+    models: Vec<M>,
+    goal: OptimizationGoal,
+    /// Per-type response-time deadlines (QoS guarantees).
+    deadlines: [Seconds; 3],
+    /// "The algorithm can be relaxed by disregarding the QoS guarantees
+    /// but it might be not acceptable for production system."
+    enforce_qos: bool,
+    /// Planning headroom: a placement is feasible only if every resident
+    /// type's estimated execution time stays within `qos_margin ×
+    /// deadline`. Values below 1 reserve deadline budget for queueing
+    /// delay (the deadline is a *response-time* bound, but the allocator
+    /// can only control the execution-time share of it).
+    qos_margin: f64,
+    caps: SearchCaps,
+}
+
+impl<M: AllocationModel> Proactive<M> {
+    /// Build a PROACTIVE allocator over a model with per-type deadlines
+    /// (homogeneous fleet).
+    pub fn new(model: M, goal: OptimizationGoal, deadlines: [Seconds; 3]) -> Self {
+        Self::heterogeneous(vec![model], goal, deadlines)
+    }
+
+    /// Build a platform-aware allocator: one model per hardware platform,
+    /// indexed by [`ServerView::platform`]. Panics on an empty model list.
+    pub fn heterogeneous(models: Vec<M>, goal: OptimizationGoal, deadlines: [Seconds; 3]) -> Self {
+        assert!(!models.is_empty(), "at least one platform model required");
+        Proactive {
+            models,
+            goal,
+            deadlines,
+            enforce_qos: true,
+            qos_margin: 1.0,
+            caps: SearchCaps::default(),
+        }
+    }
+
+    /// Disable/enable the QoS feasibility filter.
+    pub fn with_qos_enforcement(mut self, enforce: bool) -> Self {
+        self.enforce_qos = enforce;
+        self
+    }
+
+    /// Set the planning headroom (fraction of each deadline the estimated
+    /// execution time may consume; must be in `(0, 1]`).
+    pub fn with_qos_margin(mut self, margin: f64) -> Self {
+        assert!(
+            margin > 0.0 && margin <= 1.0,
+            "qos margin must be in (0, 1]"
+        );
+        self.qos_margin = margin;
+        self
+    }
+
+    /// Override the search caps.
+    pub fn with_caps(mut self, caps: SearchCaps) -> Self {
+        self.caps = caps;
+        self
+    }
+
+    /// The model backing this allocator's reference platform.
+    pub fn model(&self) -> &M {
+        &self.models[0]
+    }
+
+    /// The model for a platform index (unknown platforms fall back to the
+    /// reference platform's model).
+    fn model_for(&self, platform: u32) -> &M {
+        self.models
+            .get(platform as usize)
+            .unwrap_or(&self.models[0])
+    }
+
+    /// The configured goal.
+    pub fn goal(&self) -> OptimizationGoal {
+        self.goal
+    }
+
+    /// Check hostability + QoS of a tentative mix on a given platform.
+    fn feasible(&self, mix: MixVector, platform: u32) -> bool {
+        let model = self.model_for(platform);
+        if !mix.fits_within(&model.max_mix()) {
+            return false;
+        }
+        if !self.enforce_qos {
+            return true;
+        }
+        match model.estimate_mix(mix) {
+            Ok(est) => WorkloadType::ALL.into_iter().all(|ty| {
+                match est.time_of(ty) {
+                    Some(t) => t <= self.deadlines[ty.index()] * self.qos_margin,
+                    None => true,
+                }
+            }),
+            Err(_) => false,
+        }
+    }
+
+    /// Place the blocks of one partition greedily, returning the scored
+    /// candidate if every block fits.
+    fn place_partition(
+        &self,
+        blocks: &[MixVector],
+        servers: &[ServerView],
+    ) -> Option<Candidate> {
+        // Tentative per-server mixes, updated as blocks commit.
+        let mut mixes: Vec<MixVector> = servers.iter().map(|s| s.mix).collect();
+        let mut adds: Vec<MixVector> = vec![MixVector::EMPTY; servers.len()];
+        let mut energy = Joules::ZERO;
+        let mut time = Seconds::ZERO;
+
+        for block in blocks {
+            // Candidate servers: every currently non-empty (tentative)
+            // server in list order, plus the first empty one *per
+            // platform* — empty servers of one platform are
+            // interchangeable, and the paper breaks ties by "the first
+            // server of the list".
+            let mut best: Option<(usize, Joules, Seconds)> = None;
+            let mut candidates: Vec<usize> = Vec::with_capacity(servers.len());
+            let mut empty_seen: Vec<u32> = Vec::new();
+            for (i, m) in mixes.iter().enumerate() {
+                if m.is_empty() {
+                    let platform = servers[i].platform;
+                    if !empty_seen.contains(&platform) {
+                        candidates.push(i);
+                        empty_seen.push(platform);
+                    }
+                } else {
+                    candidates.push(i);
+                }
+            }
+
+            for i in candidates {
+                let platform = servers[i].platform;
+                let model = self.model_for(platform);
+                let new_mix = mixes[i] + *block;
+                if !self.feasible(new_mix, platform) {
+                    continue;
+                }
+                let Ok(new_est) = model.estimate_mix(new_mix) else {
+                    continue;
+                };
+                let old_energy = if mixes[i].is_empty() {
+                    Joules::ZERO
+                } else {
+                    match model.run_energy(mixes[i]) {
+                        Ok(e) => e,
+                        Err(_) => continue,
+                    }
+                };
+                let d_energy = (new_est.energy - old_energy).max(Joules::ZERO);
+                // The block's VMs share the request's profile(s); the
+                // block finishes when its slowest type does.
+                let block_time = WorkloadType::ALL
+                    .into_iter()
+                    .filter(|&ty| block[ty] > 0)
+                    .filter_map(|ty| new_est.time_of(ty))
+                    .fold(Seconds::ZERO, Seconds::max);
+
+                let better = match &best {
+                    None => true,
+                    Some((_, be, bt)) => {
+                        // Per-block ranking under the goal, normalized by
+                        // the incumbent; strict improvement required so
+                        // ties keep the earliest server.
+                        let e_norm = d_energy.value() / be.value().max(f64::MIN_POSITIVE);
+                        let t_norm = block_time.value() / bt.value().max(f64::MIN_POSITIVE);
+                        self.goal.score(e_norm, t_norm) < 1.0 - 1e-12
+                    }
+                };
+                if better {
+                    best = Some((i, d_energy, block_time));
+                }
+            }
+
+            let (i, d_energy, block_time) = best?;
+            mixes[i] += *block;
+            adds[i] += *block;
+            energy += d_energy;
+            time = time.max(block_time);
+        }
+
+        let placements: Vec<Placement> = servers
+            .iter()
+            .zip(&adds)
+            .filter(|(_, add)| !add.is_empty())
+            .map(|(s, add)| Placement {
+                server: s.id,
+                add: *add,
+            })
+            .collect();
+        Some(Candidate {
+            placements,
+            energy,
+            time,
+        })
+    }
+}
+
+/// Convert a multiset-partition block (per-type counts) to a mix vector.
+fn block_to_mix(block: &[u32]) -> MixVector {
+    MixVector::new(block[0], block[1], block[2])
+}
+
+impl<M: AllocationModel> Proactive<M> {
+    /// Enumerate and score every feasible partition candidate for a
+    /// request — the full working data of the Fig. 3 "rank the
+    /// partitions" step. The candidate [`AllocationStrategy::allocate`]
+    /// would commit is marked [`PartitionCandidate::chosen`].
+    ///
+    /// Returns an empty vector (not an error) when no partition places.
+    pub fn explain(
+        &self,
+        request: &RequestView,
+        servers: &[ServerView],
+    ) -> Result<Vec<PartitionCandidate>, EavmError> {
+        let mix = request.mix();
+        let counts = [mix.cpu, mix.mem, mix.io];
+        // Blocks can never exceed the deepest hostable bound for the
+        // request's type across the fleet's platforms, so cap block size
+        // up front to prune the enumeration.
+        let max_block = WorkloadType::ALL
+            .into_iter()
+            .filter(|&ty| mix[ty] > 0)
+            .map(|ty| {
+                self.models
+                    .iter()
+                    .map(|m| m.max_mix()[ty])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .min()
+            .unwrap_or(0);
+        if max_block == 0 {
+            return Err(EavmError::Infeasible(format!(
+                "request {} has a type the model cannot host",
+                request.id
+            )));
+        }
+
+        let mut min_energy = f64::INFINITY;
+        let mut min_time = f64::INFINITY;
+        let mut scored: Vec<(Vec<MixVector>, Candidate)> = Vec::new();
+        let parts =
+            multiset_partitions_capped(&counts, max_block, self.caps.max_partitions);
+        for part in parts {
+            let blocks: Vec<MixVector> = part.iter().map(|b| block_to_mix(b)).collect();
+            if let Some(c) = self.place_partition(&blocks, servers) {
+                min_energy = min_energy.min(c.energy.value());
+                min_time = min_time.min(c.time.value());
+                scored.push((blocks, c));
+            }
+        }
+
+        // Normalize against the best-in-class values so α weighs two
+        // comparable dimensionless quantities; the strict comparison
+        // keeps the earliest (first-listed) partition on ties.
+        let mut out: Vec<PartitionCandidate> = Vec::with_capacity(scored.len());
+        let mut best: Option<(f64, usize)> = None;
+        for (i, (blocks, c)) in scored.into_iter().enumerate() {
+            let e_norm = if min_energy > 0.0 {
+                c.energy.value() / min_energy
+            } else {
+                1.0
+            };
+            let t_norm = if min_time > 0.0 {
+                c.time.value() / min_time
+            } else {
+                1.0
+            };
+            let score = self.goal.score(e_norm, t_norm);
+            if best.is_none_or(|(s, _)| score < s - 1e-12) {
+                best = Some((score, i));
+            }
+            out.push(PartitionCandidate {
+                blocks,
+                placements: c.placements,
+                energy: c.energy,
+                time: c.time,
+                score,
+                chosen: false,
+            });
+        }
+        if let Some((_, i)) = best {
+            out[i].chosen = true;
+        }
+        Ok(out)
+    }
+}
+
+impl<M: AllocationModel> AllocationStrategy for Proactive<M> {
+    fn name(&self) -> String {
+        self.goal.label()
+    }
+
+    fn allocate(
+        &mut self,
+        request: &RequestView,
+        servers: &[ServerView],
+    ) -> Result<Vec<Placement>, EavmError> {
+        let candidates = self.explain(request, servers)?;
+        candidates
+            .into_iter()
+            .find(|c| c.chosen)
+            .map(|c| c.placements)
+            .ok_or_else(|| {
+                EavmError::Infeasible(format!(
+                    "no feasible partition for request {} ({} VMs of {})",
+                    request.id, request.vm_count, request.workload
+                ))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DbModel;
+    use crate::strategy::validate_placements;
+    use eavm_benchdb::DbBuilder;
+    use eavm_types::{JobId, ServerId};
+
+    fn model() -> DbModel {
+        DbModel::new(DbBuilder::exact().build().unwrap())
+    }
+
+    fn deadlines() -> [Seconds; 3] {
+        [Seconds(4800.0), Seconds(4000.0), Seconds(3600.0)]
+    }
+
+    fn proactive(goal: OptimizationGoal) -> Proactive<DbModel> {
+        Proactive::new(model(), goal, deadlines())
+    }
+
+    fn req(ty: WorkloadType, n: u32) -> RequestView {
+        RequestView {
+            id: JobId::new(1),
+            workload: ty,
+            vm_count: n,
+            deadline: deadlines()[ty.index()],
+        }
+    }
+
+    fn empty_servers(n: u32) -> Vec<ServerView> {
+        (0..n)
+            .map(|i| ServerView::homogeneous(ServerId::new(i), MixVector::EMPTY))
+            .collect()
+    }
+
+    #[test]
+    fn names_track_alpha() {
+        assert_eq!(proactive(OptimizationGoal::ENERGY).name(), "PA-1");
+        assert_eq!(proactive(OptimizationGoal::PERFORMANCE).name(), "PA-0");
+        assert_eq!(proactive(OptimizationGoal::BALANCED).name(), "PA-0.5");
+    }
+
+    #[test]
+    fn placements_cover_requests_exactly() {
+        let mut pa = proactive(OptimizationGoal::BALANCED);
+        let servers = empty_servers(4);
+        for ty in WorkloadType::ALL {
+            for n in 1..=4 {
+                let r = req(ty, n);
+                let p = pa.allocate(&r, &servers).unwrap();
+                validate_placements(&r, &servers, &p).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn energy_goal_consolidates_onto_occupied_server() {
+        // One server already runs 2 CPU VMs; a new 2-VM CPU request should
+        // join it under PA-1 (amortized idle power) rather than power on a
+        // second server.
+        let mut pa = proactive(OptimizationGoal::ENERGY);
+        let servers = vec![
+            ServerView::homogeneous(ServerId::new(0), MixVector::new(2, 0, 0)),
+            ServerView::homogeneous(ServerId::new(1), MixVector::EMPTY),
+        ];
+        let p = pa.allocate(&req(WorkloadType::Cpu, 2), &servers).unwrap();
+        assert_eq!(p.len(), 1, "energy goal must not spread: {p:?}");
+        assert_eq!(p[0].server, ServerId::new(0));
+    }
+
+    #[test]
+    fn performance_goal_avoids_heavy_contention() {
+        // Server 0 is packed near the CPU optimum; PA-0 should prefer the
+        // idle server for a new CPU request, while PA-1 tolerates joining.
+        let bounds_cpu = model().max_mix().cpu;
+        let packed = MixVector::new(bounds_cpu - 1, 0, 0);
+        let servers = vec![
+            ServerView::homogeneous(ServerId::new(0), packed),
+            ServerView::homogeneous(ServerId::new(1), MixVector::EMPTY),
+        ];
+        let mut pa0 = proactive(OptimizationGoal::PERFORMANCE);
+        let p = pa0.allocate(&req(WorkloadType::Cpu, 1), &servers).unwrap();
+        assert_eq!(
+            p[0].server,
+            ServerId::new(1),
+            "performance goal must prefer the uncontended server"
+        );
+    }
+
+    #[test]
+    fn qos_filter_rejects_overloaded_placements() {
+        // With sub-solo deadlines nothing can ever satisfy QoS.
+        let mut pa = Proactive::new(
+            model(),
+            OptimizationGoal::BALANCED,
+            [Seconds(10.0), Seconds(10.0), Seconds(10.0)],
+        );
+        let servers = empty_servers(2);
+        assert!(matches!(
+            pa.allocate(&req(WorkloadType::Cpu, 1), &servers),
+            Err(EavmError::Infeasible(_))
+        ));
+        // Relaxing QoS ("the algorithm can be relaxed") makes it feasible.
+        let mut relaxed = Proactive::new(
+            model(),
+            OptimizationGoal::BALANCED,
+            [Seconds(10.0), Seconds(10.0), Seconds(10.0)],
+        )
+        .with_qos_enforcement(false);
+        assert!(relaxed.allocate(&req(WorkloadType::Cpu, 1), &servers).is_ok());
+    }
+
+    #[test]
+    fn respects_model_hostability_bounds() {
+        // Fill one server to the memory bound; the next memory VM must go
+        // elsewhere even if QoS would allow it.
+        let m = model();
+        let osm = m.max_mix().mem;
+        let servers = vec![
+            ServerView::homogeneous(ServerId::new(0), MixVector::new(0, osm, 0)),
+            ServerView::homogeneous(ServerId::new(1), MixVector::EMPTY),
+        ];
+        let mut pa = proactive(OptimizationGoal::ENERGY);
+        let p = pa.allocate(&req(WorkloadType::Mem, 1), &servers).unwrap();
+        assert_eq!(p[0].server, ServerId::new(1));
+    }
+
+    #[test]
+    fn infeasible_when_everything_is_full() {
+        let m = model();
+        let bounds = m.max_mix();
+        let full = MixVector::new(bounds.cpu, 0, 0);
+        let servers = vec![ServerView::homogeneous(ServerId::new(0), full)];
+        let mut pa = proactive(OptimizationGoal::BALANCED);
+        assert!(matches!(
+            pa.allocate(&req(WorkloadType::Cpu, 1), &servers),
+            Err(EavmError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn application_awareness_separates_incompatible_types() {
+        // A server nearly saturated with memory VMs: a new memory VM
+        // placed there would thrash. PROACTIVE must send it elsewhere,
+        // while count-based FF-2 would happily stack it.
+        let m = model();
+        let osm = m.max_mix().mem;
+        let servers = vec![
+            ServerView::homogeneous(
+                ServerId::new(0),
+                MixVector::new(0, osm.saturating_sub(1).max(1), 0),
+            ),
+            ServerView::homogeneous(ServerId::new(1), MixVector::new(1, 0, 0)),
+        ];
+        let mut pa = proactive(OptimizationGoal::PERFORMANCE);
+        let p = pa.allocate(&req(WorkloadType::Mem, 2), &servers).unwrap();
+        // At least one VM must avoid the memory-saturated server 0.
+        let on_zero: u32 = p
+            .iter()
+            .filter(|pl| pl.server == ServerId::new(0))
+            .map(|pl| pl.add.total())
+            .sum();
+        assert!(on_zero < 2, "PA-0 stacked memory VMs onto a thrashing host");
+    }
+
+    #[test]
+    fn deterministic_for_same_inputs() {
+        let servers = empty_servers(3);
+        let r = req(WorkloadType::Io, 4);
+        let p1 = proactive(OptimizationGoal::BALANCED)
+            .allocate(&r, &servers)
+            .unwrap();
+        let p2 = proactive(OptimizationGoal::BALANCED)
+            .allocate(&r, &servers)
+            .unwrap();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn explain_exposes_the_ranked_candidates() {
+        let pa = proactive(OptimizationGoal::BALANCED);
+        let servers = empty_servers(4);
+        let r = req(WorkloadType::Cpu, 4);
+        let candidates = pa.explain(&r, &servers).unwrap();
+        // 4 identical VMs: the 5 integer partitions of 4, all feasible on
+        // an empty fleet.
+        assert_eq!(candidates.len(), 5);
+        assert_eq!(candidates.iter().filter(|c| c.chosen).count(), 1);
+        let chosen = candidates.iter().find(|c| c.chosen).unwrap();
+        // The chosen candidate carries the minimal score.
+        for c in &candidates {
+            assert!(chosen.score <= c.score + 1e-12);
+            let placed: u32 = c.placements.iter().map(|p| p.add.total()).sum();
+            assert_eq!(placed, 4, "every candidate covers the request");
+            let block_sum: u32 = c.blocks.iter().map(|b| b.total()).sum();
+            assert_eq!(block_sum, 4);
+        }
+        // allocate() commits exactly the chosen candidate's placements.
+        let mut pa2 = proactive(OptimizationGoal::BALANCED);
+        assert_eq!(pa2.allocate(&r, &servers).unwrap(), chosen.placements);
+    }
+
+    #[test]
+    fn explain_returns_empty_when_nothing_fits() {
+        let m = model();
+        let full = MixVector::new(m.max_mix().cpu, 0, 0);
+        let servers = vec![ServerView::homogeneous(ServerId::new(0), full)];
+        let pa = proactive(OptimizationGoal::BALANCED);
+        let candidates = pa.explain(&req(WorkloadType::Cpu, 2), &servers).unwrap();
+        assert!(candidates.is_empty());
+    }
+
+    #[test]
+    fn partition_cap_limits_search() {
+        let mut pa = proactive(OptimizationGoal::BALANCED).with_caps(SearchCaps {
+            max_partitions: 1,
+        });
+        let servers = empty_servers(4);
+        // Still succeeds: the first (single-block) partition is feasible.
+        let p = pa.allocate(&req(WorkloadType::Cpu, 4), &servers).unwrap();
+        validate_placements(&req(WorkloadType::Cpu, 4), &servers, &p).unwrap();
+    }
+}

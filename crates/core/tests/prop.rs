@@ -1,0 +1,107 @@
+//! Property-based tests for the allocation core: goal arithmetic,
+//! interval-weighted estimation, and first-fit capacity discipline.
+
+use eavm_core::estimate::{weighted_energy, weighted_exec_time};
+use eavm_core::strategy::{validate_placements, RequestView, ServerView};
+use eavm_core::{AllocationStrategy, FirstFit, OptimizationGoal};
+use eavm_types::{EavmError, JobId, Joules, MixVector, Seconds, ServerId, WorkloadType};
+use proptest::prelude::*;
+
+proptest! {
+    /// The goal score is monotone in both normalized objectives and
+    /// degenerates to the pure objective at the endpoints.
+    #[test]
+    fn goal_score_is_monotone(alpha in 0.0f64..=1.0, e in 1.0f64..10.0, t in 1.0f64..10.0, d in 0.01f64..2.0) {
+        let g = OptimizationGoal::new(alpha).unwrap();
+        prop_assert!(g.score(e + d, t) >= g.score(e, t) - 1e-12);
+        prop_assert!(g.score(e, t + d) >= g.score(e, t) - 1e-12);
+        prop_assert!((OptimizationGoal::ENERGY.score(e, t) - e).abs() < 1e-12);
+        prop_assert!((OptimizationGoal::PERFORMANCE.score(e, t) - t).abs() < 1e-12);
+    }
+
+    /// A weighted average lies within the convex hull of its inputs and
+    /// equals the plain mean for uniform weights.
+    #[test]
+    fn weighted_time_is_a_convex_combination(values in proptest::collection::vec(1.0f64..1e4, 1..8)) {
+        let n = values.len() as f64;
+        let intervals: Vec<(f64, Seconds)> =
+            values.iter().map(|&v| (1.0 / n, Seconds(v))).collect();
+        let w = weighted_exec_time(&intervals).unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(w.value() >= lo - 1e-9 && w.value() <= hi + 1e-9);
+        let mean = values.iter().sum::<f64>() / n;
+        prop_assert!((w.value() - mean).abs() < 1e-6 * mean.max(1.0));
+    }
+
+    /// Arbitrary normalized weights still yield in-hull results, for both
+    /// time and energy.
+    #[test]
+    fn weighted_values_stay_in_hull(pairs in proptest::collection::vec((0.01f64..1.0, 1.0f64..1e5), 1..8)) {
+        let total: f64 = pairs.iter().map(|(w, _)| w).sum();
+        let times: Vec<(f64, Seconds)> =
+            pairs.iter().map(|&(w, v)| (w / total, Seconds(v))).collect();
+        let energies: Vec<(f64, Joules)> =
+            pairs.iter().map(|&(w, v)| (w / total, Joules(v))).collect();
+        let lo = pairs.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        let hi = pairs.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+        let t = weighted_exec_time(&times).unwrap();
+        let e = weighted_energy(&energies).unwrap();
+        prop_assert!(t.value() >= lo - 1e-9 && t.value() <= hi + 1e-9);
+        prop_assert!(e.value() >= lo - 1e-9 && e.value() <= hi + 1e-9);
+    }
+
+    /// First fit fills strictly in server order: once it skips to server
+    /// k, every earlier server is full; and the placements validate.
+    #[test]
+    fn first_fit_fills_in_order(
+        n in 1u32..=4,
+        mult in 1u32..=3,
+        used in proptest::collection::vec(0u32..=12, 1..12),
+    ) {
+        let cap = 4 * mult;
+        let servers: Vec<ServerView> = used
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                ServerView::homogeneous(
+                    ServerId::from(i),
+                    MixVector::single(WorkloadType::Mem, u.min(cap)),
+                )
+            })
+            .collect();
+        let req = RequestView {
+            id: JobId::new(0),
+            workload: WorkloadType::Cpu,
+            vm_count: n,
+            deadline: Seconds(1e9),
+        };
+        let mut ff = FirstFit::with_multiplex(4, mult);
+        match ff.allocate(&req, &servers) {
+            Ok(placements) => {
+                validate_placements(&req, &servers, &placements).unwrap();
+                // First-fit discipline: every server before the first
+                // placement target is full.
+                let first_target = placements[0].server.index();
+                for s in &servers[..first_target] {
+                    prop_assert_eq!(s.mix.total(), cap);
+                }
+                // Placement targets are strictly increasing.
+                prop_assert!(placements.windows(2).all(|w| w[0].server < w[1].server));
+            }
+            Err(EavmError::Infeasible(_)) => {
+                let free: u32 = servers.iter().map(|s| cap - s.mix.total()).sum();
+                prop_assert!(free < n, "refused with {free} free slots for {n} VMs");
+            }
+            Err(e) => prop_assert!(false, "unexpected: {e}"),
+        }
+    }
+
+    /// Labels are stable and parse back through the goal constructor.
+    #[test]
+    fn goal_labels_are_stable(alpha in 0.0f64..=1.0) {
+        let g = OptimizationGoal::new(alpha).unwrap();
+        prop_assert!(g.label().starts_with("PA-"));
+        prop_assert_eq!(g.alpha(), alpha);
+    }
+}

@@ -1,0 +1,72 @@
+//! Bell and Stirling numbers, used to cross-check the generators.
+
+/// Stirling number of the second kind `S(n, k)`: the number of partitions
+/// of an `n`-element set into exactly `k` non-empty blocks.
+///
+/// Computed with the standard recurrence
+/// `S(n, k) = k·S(n−1, k) + S(n−1, k−1)`.
+pub fn stirling2(n: usize, k: usize) -> u128 {
+    if n == 0 && k == 0 {
+        return 1;
+    }
+    if n == 0 || k == 0 || k > n {
+        return 0;
+    }
+    // Row-by-row dynamic program over k.
+    let mut row = vec![0u128; k + 1];
+    row[0] = 1; // S(0, 0)
+    for _ in 1..=n {
+        let mut next = vec![0u128; k + 1];
+        for j in 1..=k {
+            next[j] = (j as u128) * row[j] + row[j - 1];
+        }
+        row = next;
+    }
+    row[k]
+}
+
+/// Bell number `B(n)`: the number of partitions of an `n`-element set.
+pub fn bell_number(n: usize) -> u128 {
+    (1..=n).map(|k| stirling2(n, k)).sum::<u128>().max(if n == 0 { 1 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_bell_numbers() {
+        let expected: [u128; 11] = [1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147, 115975];
+        for (n, &b) in expected.iter().enumerate() {
+            assert_eq!(bell_number(n), b, "B({n})");
+        }
+    }
+
+    #[test]
+    fn known_stirling_numbers() {
+        assert_eq!(stirling2(0, 0), 1);
+        assert_eq!(stirling2(4, 2), 7);
+        assert_eq!(stirling2(5, 3), 25);
+        assert_eq!(stirling2(6, 3), 90);
+        assert_eq!(stirling2(10, 5), 42_525);
+        assert_eq!(stirling2(3, 5), 0);
+        assert_eq!(stirling2(5, 0), 0);
+        assert_eq!(stirling2(0, 3), 0);
+    }
+
+    #[test]
+    fn stirling_row_sums_to_bell() {
+        for n in 1..=12 {
+            let sum: u128 = (1..=n).map(|k| stirling2(n, k)).sum();
+            assert_eq!(sum, bell_number(n));
+        }
+    }
+
+    #[test]
+    fn diagonal_and_edges() {
+        for n in 1..=10 {
+            assert_eq!(stirling2(n, n), 1, "all singletons");
+            assert_eq!(stirling2(n, 1), 1, "single block");
+        }
+    }
+}

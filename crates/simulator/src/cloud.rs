@@ -1,0 +1,70 @@
+//! Cloud sizing (Sect. IV-E).
+//!
+//! "in order to control the pressure of the system load, we modeled two
+//! different Clouds of different sizes rather than using different input
+//! traces with different arrival rates. The SMALLER Cloud system is the
+//! reference one and the LARGER Cloud system is over-dimensioned (15%
+//! approximately), which means that the former one is expected to be
+//! more loaded than the latter."
+
+use eavm_types::EavmError;
+
+/// Parameters of one simulated cloud.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CloudConfig {
+    /// Display name (`SMALLER`, `LARGER`, ...).
+    pub name: String,
+    /// Number of identical servers provisioned.
+    pub servers: usize,
+}
+
+impl CloudConfig {
+    /// A cloud with an explicit server count.
+    pub fn new(name: impl Into<String>, servers: usize) -> Result<Self, EavmError> {
+        if servers == 0 {
+            return Err(EavmError::InvalidConfig(
+                "a cloud needs at least one server".into(),
+            ));
+        }
+        Ok(CloudConfig {
+            name: name.into(),
+            servers,
+        })
+    }
+
+    /// The paper's pair: the reference (SMALLER) cloud plus a LARGER one
+    /// over-dimensioned by ~15 %.
+    pub fn smaller_and_larger(reference_servers: usize) -> Result<(Self, Self), EavmError> {
+        let smaller = CloudConfig::new("SMALLER", reference_servers)?;
+        let larger = CloudConfig::new(
+            "LARGER",
+            ((reference_servers as f64) * 1.15).ceil() as usize,
+        )?;
+        Ok((smaller, larger))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_is_about_fifteen_percent_bigger() {
+        let (s, l) = CloudConfig::smaller_and_larger(160).unwrap();
+        assert_eq!(s.servers, 160);
+        assert_eq!(l.servers, 184);
+        assert_eq!(s.name, "SMALLER");
+        assert_eq!(l.name, "LARGER");
+    }
+
+    #[test]
+    fn rounding_is_upward() {
+        let (_, l) = CloudConfig::smaller_and_larger(101).unwrap();
+        assert_eq!(l.servers, 117); // 116.15 -> 117
+    }
+
+    #[test]
+    fn zero_servers_rejected() {
+        assert!(CloudConfig::new("X", 0).is_err());
+    }
+}

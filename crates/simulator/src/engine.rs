@@ -1,0 +1,1314 @@
+//! The discrete-event engine.
+//!
+//! State advances between *events* — request arrivals and VM completions.
+//! Within an inter-event interval every server's allocation is constant,
+//! so each VM progresses linearly at rate `1 / T̂(mix, type)` and each
+//! server draws constant power `P(mix)`; realized execution times and
+//! energies are therefore exactly the interval-weighted averages of
+//! Fig. 4. Placement decisions happen *proactively at submission* (or as
+//! soon as the cloud can host a queued request after a completion), by
+//! delegating to the injected [`AllocationStrategy`]; requests the
+//! strategy cannot place wait in a FIFO queue.
+
+use eavm_core::strategy::{validate_placements, RequestView, ServerView};
+use eavm_core::{AllocationModel, AllocationStrategy};
+use eavm_swf::VmRequest;
+use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId, Watts, WorkloadType};
+
+use crate::cloud::CloudConfig;
+use crate::metrics::{AllocationInterval, SimOutcome};
+use crate::migration::MigrationConfig;
+
+/// Terminal simulation failures.
+#[derive(Debug)]
+pub enum SimulationError {
+    /// A queued request can never be placed: the cloud is empty, nothing
+    /// is running, and the strategy still refuses it.
+    Stuck {
+        /// Index of the stuck request within the input slice.
+        request: usize,
+        /// The strategy's refusal.
+        reason: EavmError,
+    },
+    /// A strategy returned malformed placements or a hard error.
+    Strategy(EavmError),
+    /// The ground-truth model failed on a committed allocation.
+    Model(EavmError),
+    /// Invalid inputs (unsorted/empty trace etc.).
+    Input(String),
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationError::Stuck { request, reason } => {
+                write!(f, "request #{request} can never be placed: {reason}")
+            }
+            SimulationError::Strategy(e) => write!(f, "strategy error: {e}"),
+            SimulationError::Model(e) => write!(f, "ground-truth model error: {e}"),
+            SimulationError::Input(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Queue discipline for requests the strategy cannot place immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Strict first-come-first-served: a blocked head request blocks
+    /// everything behind it (the default; simplest and starvation-free).
+    Fifo,
+    /// HPC-style backfilling: when the head is blocked, up to `window`
+    /// later requests may be placed out of order. Placements only consume
+    /// capacity, so backfilled requests can never delay the blocked head
+    /// beyond what FIFO would — but they can start sooner.
+    Backfill {
+        /// How deep past the head to look for placeable requests.
+        window: usize,
+    },
+    /// Earliest-deadline-first: the queue is kept ordered by absolute
+    /// deadline (submission + response-time bound), so urgent requests
+    /// jump the line. Can starve lax requests under sustained pressure.
+    Edf,
+}
+
+/// Completion slack guarding against floating-point drift.
+const EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone)]
+struct Vm {
+    ty: WorkloadType,
+    request: usize,
+    submit: Seconds,
+    deadline: Seconds,
+    remaining: f64,
+    done: Option<Seconds>,
+}
+
+#[derive(Debug, Clone)]
+struct Srv {
+    mix: MixVector,
+    vms: Vec<usize>,
+    /// Cached projected execution time per resident type (refreshed on
+    /// every mix change).
+    times: [Option<Seconds>; 3],
+    /// Cached power draw under the current mix.
+    power: Watts,
+    /// Hardware platform index.
+    platform: u32,
+}
+
+impl Srv {
+    fn refresh<M: AllocationModel>(&mut self, model: &M) -> Result<(), EavmError> {
+        self.power = model.power(self.mix)?;
+        if self.mix.is_empty() {
+            self.times = [None; 3];
+        } else {
+            let est = model.estimate_mix(self.mix)?;
+            self.times = est.per_type_time;
+        }
+        Ok(())
+    }
+}
+
+/// A configured datacenter simulation.
+#[derive(Debug, Clone)]
+pub struct Simulation<M> {
+    /// Ground-truth allocation model executed by the engine.
+    pub model: M,
+    /// Cloud under simulation.
+    pub cloud: CloudConfig,
+    /// When `false` (default), a server draws power only while hosting at
+    /// least one VM (empty servers are powered off) — the accounting under
+    /// which "minimizing the number of servers that are in operation ...
+    /// through VM consolidation will help reduce the energy consumption"
+    /// (Sect. I). When `true`, every provisioned server draws the 125 W
+    /// static floor for the whole makespan (always-on fleet ablation).
+    pub idle_servers_powered: bool,
+    /// When `true`, consecutive queued requests sharing a submission
+    /// instant and workload profile — one scientific-workflow burst, in
+    /// the paper's framing — are allocated as a single merged request, so
+    /// the PROACTIVE partition search co-optimizes the entire burst.
+    pub burst_allocation: bool,
+    /// Optional reactive consolidation: periodically drain under-utilized
+    /// servers via live VM migration (see [`MigrationConfig`]).
+    pub migration: Option<MigrationConfig>,
+    /// Record per-server allocation intervals (Fig. 4 timelines) into
+    /// [`SimOutcome::timeline`]. Off by default (memory proportional to
+    /// the number of allocation changes).
+    pub record_timeline: bool,
+    /// Queue discipline for blocked requests (default FIFO).
+    pub queue_policy: QueuePolicy,
+    /// Additional hardware platforms: `(ground-truth model, server
+    /// count)` pairs appended after the `cloud.servers` reference-platform
+    /// machines. Platform indices start at 1 (0 is the reference).
+    pub extra_platforms: Vec<(M, usize)>,
+}
+
+impl<M: AllocationModel> Simulation<M> {
+    /// Create a simulation of `cloud` governed by the ground-truth
+    /// `model`.
+    pub fn new(model: M, cloud: CloudConfig) -> Self {
+        Simulation {
+            model,
+            cloud,
+            idle_servers_powered: false,
+            burst_allocation: false,
+            migration: None,
+            record_timeline: false,
+            queue_policy: QueuePolicy::Fifo,
+            extra_platforms: Vec::new(),
+        }
+    }
+
+    /// Enable backfilling: when the queue head is blocked, up to `window`
+    /// later requests may be placed out of order.
+    pub fn with_backfill(mut self, window: usize) -> Self {
+        assert!(window > 0, "backfill window must be positive");
+        self.queue_policy = QueuePolicy::Backfill { window };
+        self
+    }
+
+    /// Order the queue by absolute deadline (earliest-deadline-first).
+    pub fn with_edf(mut self) -> Self {
+        self.queue_policy = QueuePolicy::Edf;
+        self
+    }
+
+    /// Record Fig.-4-style per-server allocation timelines.
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+
+    /// Append `count` servers of an additional hardware platform governed
+    /// by `model` (heterogeneous-fleet extension; the paper's future-work
+    /// item i). The new platform gets the next platform index.
+    pub fn with_platform(mut self, model: M, count: usize) -> Self {
+        assert!(count > 0, "a platform needs at least one server");
+        self.extra_platforms.push((model, count));
+        self
+    }
+
+    /// Keep empty servers powered on (always-on fleet ablation).
+    pub fn with_always_on_fleet(mut self) -> Self {
+        self.idle_servers_powered = true;
+        self
+    }
+
+    /// Allocate same-instant same-profile bursts as one merged request.
+    pub fn with_burst_allocation(mut self) -> Self {
+        self.burst_allocation = true;
+        self
+    }
+
+    /// Enable periodic reactive consolidation sweeps (live VM migration).
+    pub fn with_migration(mut self, config: MigrationConfig) -> Self {
+        debug_assert!(config.validate().is_ok(), "invalid migration config");
+        self.migration = Some(config);
+        self
+    }
+
+    /// The ground-truth model of a platform index.
+    fn model_of(&self, platform: u32) -> &M {
+        if platform == 0 {
+            &self.model
+        } else {
+            &self.extra_platforms[platform as usize - 1].0
+        }
+    }
+
+    /// Per-server platform indices: `cloud.servers` reference machines
+    /// followed by each extra platform's block.
+    fn platform_layout(&self) -> Vec<u32> {
+        let mut layout = vec![0u32; self.cloud.servers];
+        for (i, (_, count)) in self.extra_platforms.iter().enumerate() {
+            layout.extend(std::iter::repeat_n(i as u32 + 1, *count));
+        }
+        layout
+    }
+
+    /// Replay `requests` (sorted by submission time) under `strategy`.
+    pub fn run<S: AllocationStrategy + ?Sized>(
+        &self,
+        strategy: &mut S,
+        requests: &[VmRequest],
+    ) -> Result<SimOutcome, SimulationError> {
+        if requests.is_empty() {
+            return Err(SimulationError::Input("empty request list".into()));
+        }
+        if requests.windows(2).any(|w| w[0].submit > w[1].submit) {
+            return Err(SimulationError::Input(
+                "requests must be sorted by submission time".into(),
+            ));
+        }
+
+        let platforms = self.platform_layout();
+        let n_servers = platforms.len();
+        let mut servers: Vec<Srv> = platforms
+            .iter()
+            .map(|&platform| Srv {
+                mix: MixVector::EMPTY,
+                vms: Vec::new(),
+                times: [None; 3],
+                power: Watts::ZERO,
+                platform,
+            })
+            .collect();
+        for s in &mut servers {
+            s.refresh(self.model_of(s.platform))
+                .map_err(SimulationError::Model)?;
+        }
+
+        let mut vms: Vec<Vm> = Vec::with_capacity(requests.len() * 2);
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        let mut violated = vec![false; requests.len()];
+
+        let first_submit = requests[0].submit;
+        let mut t = first_submit;
+        let mut next_arrival = 0usize;
+        let mut active = 0usize;
+
+        let mut energy = Joules::ZERO;
+        let mut idle_energy = Joules::ZERO;
+        let idle_powers: Vec<Watts> = servers
+            .iter()
+            .map(|s| self.model_of(s.platform).power(MixVector::EMPTY))
+            .collect::<Result<_, _>>()
+            .map_err(SimulationError::Model)?;
+        let mut peak_busy = 0usize;
+        let mut total_response = Seconds::ZERO;
+        let mut total_wait = Seconds::ZERO;
+        let mut last_completion = first_submit;
+        let mut total_vms = 0usize;
+        let mut migrations = 0usize;
+        let mut last_sweep = first_submit;
+        let mut busy_server_seconds = Seconds::ZERO;
+        let mut timeline: Vec<AllocationInterval> = Vec::new();
+        let mut open_mix: Vec<MixVector> = vec![MixVector::EMPTY; n_servers];
+        let mut open_since: Vec<Seconds> = vec![first_submit; n_servers];
+        let mut per_type_requests = [0usize; 3];
+        for r in requests {
+            per_type_requests[r.workload.index()] += 1;
+        }
+
+        // Close/open Fig.-4 timeline intervals for servers whose mix
+        // changed, stamping the change at `now`.
+        fn sync_timeline(
+            servers: &[Srv],
+            open_mix: &mut [MixVector],
+            open_since: &mut [Seconds],
+            timeline: &mut Vec<AllocationInterval>,
+            now: Seconds,
+        ) {
+            for (si, s) in servers.iter().enumerate() {
+                if s.mix != open_mix[si] {
+                    if !open_mix[si].is_empty() {
+                        timeline.push(AllocationInterval {
+                            server: ServerId::from(si),
+                            start: open_since[si],
+                            end: now,
+                            mix: open_mix[si],
+                        });
+                    }
+                    open_mix[si] = s.mix;
+                    open_since[si] = now;
+                }
+            }
+        }
+
+        loop {
+            // EDF: keep the queue ordered by absolute deadline so the
+            // most urgent request is the head the drain works on.
+            if self.queue_policy == QueuePolicy::Edf && queue.len() > 1 {
+                queue
+                    .make_contiguous()
+                    .sort_by(|&a, &b| {
+                        let da = requests[a].submit + requests[a].deadline;
+                        let db = requests[b].submit + requests[b].deadline;
+                        da.partial_cmp(&db).expect("finite deadlines").then(a.cmp(&b))
+                    });
+            }
+
+            // Drain the queue as far as the strategy allows.
+            while let Some(&ridx) = queue.front() {
+                // Group: the head alone, or (burst mode) every consecutive
+                // queued request sharing its submit instant and profile.
+                let head = &requests[ridx];
+                let mut group: Vec<usize> = vec![ridx];
+                if self.burst_allocation {
+                    for &other in queue.iter().skip(1) {
+                        let r = &requests[other];
+                        if r.submit == head.submit && r.workload == head.workload {
+                            group.push(other);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                let group_vms: u32 = group.iter().map(|&i| requests[i].vm_count).sum();
+                let view = RequestView {
+                    id: head.id,
+                    workload: head.workload,
+                    vm_count: group_vms,
+                    deadline: head.deadline,
+                };
+                let server_views: Vec<ServerView> = servers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| ServerView {
+                        id: ServerId::from(i),
+                        mix: s.mix,
+                        platform: s.platform,
+                        cpu_slots: self.model_of(s.platform).cpu_slots(),
+                    })
+                    .collect();
+                match strategy.allocate(&view, &server_views) {
+                    Ok(placements) => {
+                        validate_placements(&view, &server_views, &placements)
+                            .map_err(SimulationError::Strategy)?;
+                        // Attribute the placed VMs back to the individual
+                        // requests of the group, in queue order.
+                        let mut owners: Vec<usize> = Vec::with_capacity(group_vms as usize);
+                        for &g in &group {
+                            owners.extend(std::iter::repeat_n(g, requests[g].vm_count as usize));
+                        }
+                        self.commit_placements(
+                            &placements, &owners, requests, t, &mut servers, &mut vms,
+                            &mut active, &mut total_vms, &mut total_wait, &mut peak_busy,
+                        )?;
+                        for _ in 0..group.len() {
+                            queue.pop_front();
+                        }
+                    }
+                    Err(EavmError::Infeasible(reason)) => {
+                        if group.len() > 1 {
+                            // A merged burst may be infeasible while its
+                            // head alone fits; retry the head unmerged by
+                            // falling back to single-request placement.
+                            let single = RequestView {
+                                id: head.id,
+                                workload: head.workload,
+                                vm_count: head.vm_count,
+                                deadline: head.deadline,
+                            };
+                            let retry = match strategy.allocate(&single, &server_views) {
+                                Ok(p) => Some(p),
+                                Err(EavmError::Infeasible(_)) => None,
+                                Err(e) => return Err(SimulationError::Strategy(e)),
+                            };
+                            if let Some(placements) = retry {
+                                validate_placements(&single, &server_views, &placements)
+                                    .map_err(SimulationError::Strategy)?;
+                                let owners = vec![ridx; head.vm_count as usize];
+                                self.commit_placements(
+                                    &placements, &owners, requests, t, &mut servers,
+                                    &mut vms, &mut active, &mut total_vms, &mut total_wait,
+                                    &mut peak_busy,
+                                )?;
+                                queue.pop_front();
+                                continue;
+                            }
+                        }
+                        // Head-of-line blocking: wait for a completion.
+                        if active == 0 && next_arrival >= requests.len() {
+                            return Err(SimulationError::Stuck {
+                                request: ridx,
+                                reason: EavmError::Infeasible(reason),
+                            });
+                        }
+                        break;
+                    }
+                    Err(e) => return Err(SimulationError::Strategy(e)),
+                }
+            }
+
+            // Backfilling: the head is blocked (or the queue drained);
+            // try to place up to `window` later requests out of order.
+            if let QueuePolicy::Backfill { window } = self.queue_policy {
+                let mut idx = 1usize;
+                while idx < queue.len() && idx <= window {
+                    let ridx = queue[idx];
+                    let req = &requests[ridx];
+                    let view = RequestView {
+                        id: req.id,
+                        workload: req.workload,
+                        vm_count: req.vm_count,
+                        deadline: req.deadline,
+                    };
+                    let server_views: Vec<ServerView> = servers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| ServerView {
+                            id: ServerId::from(i),
+                            mix: s.mix,
+                            platform: s.platform,
+                            cpu_slots: self.model_of(s.platform).cpu_slots(),
+                        })
+                        .collect();
+                    match strategy.allocate(&view, &server_views) {
+                        Ok(placements) => {
+                            validate_placements(&view, &server_views, &placements)
+                                .map_err(SimulationError::Strategy)?;
+                            let owners = vec![ridx; req.vm_count as usize];
+                            self.commit_placements(
+                                &placements, &owners, requests, t, &mut servers, &mut vms,
+                                &mut active, &mut total_vms, &mut total_wait, &mut peak_busy,
+                            )?;
+                            queue.remove(idx);
+                        }
+                        Err(EavmError::Infeasible(_)) => idx += 1,
+                        Err(e) => return Err(SimulationError::Strategy(e)),
+                    }
+                }
+            }
+
+            // Placements from the drain above happened at the current
+            // instant.
+            if self.record_timeline {
+                sync_timeline(&servers, &mut open_mix, &mut open_since, &mut timeline, t);
+            }
+
+            // Next event: arrival or completion.
+            let t_arrival = requests.get(next_arrival).map(|r| r.submit);
+            let mut t_finish: Option<Seconds> = None;
+            for s in &servers {
+                for &vid in &s.vms {
+                    let vm = &vms[vid];
+                    let t_ty = s.times[vm.ty.index()]
+                        .expect("resident type must have a cached time");
+                    let fin = t + t_ty * vm.remaining;
+                    t_finish = Some(match t_finish {
+                        Some(cur) => cur.min(fin),
+                        None => fin,
+                    });
+                }
+            }
+
+            let t_next = match (t_arrival, t_finish) {
+                (Some(a), Some(f)) => a.min(f),
+                (Some(a), None) => a,
+                (None, Some(f)) => f,
+                (None, None) => break, // no arrivals, nothing running
+            };
+
+            // Advance time: accrue energy and VM progress over [t, t_next].
+            let dt = t_next - t;
+            if dt > Seconds::ZERO {
+                for (si, s) in servers.iter_mut().enumerate() {
+                    if !s.mix.is_empty() {
+                        busy_server_seconds += dt;
+                    }
+                    if !s.mix.is_empty() || self.idle_servers_powered {
+                        energy += s.power * dt;
+                        // The static (idle-floor) share of the accrual.
+                        idle_energy += idle_powers[si] * dt;
+                    }
+                    for &vid in &s.vms {
+                        let vm = &mut vms[vid];
+                        let t_ty = s.times[vm.ty.index()].expect("resident type");
+                        vm.remaining -= dt / t_ty;
+                    }
+                }
+                t = t_next;
+            }
+
+            // Enqueue every arrival at this instant.
+            while let Some(r) = requests.get(next_arrival) {
+                if r.submit <= t {
+                    queue.push_back(next_arrival);
+                    next_arrival += 1;
+                } else {
+                    break;
+                }
+            }
+
+            // Retire completed VMs and update their servers.
+            #[allow(clippy::needless_range_loop)] // `servers[si]` is mutated in the body
+            for si in 0..servers.len() {
+                let mut changed = false;
+                let resident = std::mem::take(&mut servers[si].vms);
+                let mut kept = Vec::with_capacity(resident.len());
+                for vid in resident {
+                    if vms[vid].remaining <= EPS {
+                        let vm = &mut vms[vid];
+                        vm.done = Some(t);
+                        vm.remaining = 0.0;
+                        active -= 1;
+                        changed = true;
+                        last_completion = last_completion.max(t);
+                        let response = t - vm.submit;
+                        total_response += response;
+                        if response > vm.deadline {
+                            violated[vm.request] = true;
+                        }
+                        servers[si].mix = servers[si]
+                            .mix
+                            .minus(vm.ty)
+                            .expect("completed VM must be in its server's mix");
+                    } else {
+                        kept.push(vid);
+                    }
+                }
+                servers[si].vms = kept;
+                if changed {
+                    let platform = servers[si].platform;
+                    servers[si]
+                        .refresh(self.model_of(platform))
+                        .map_err(SimulationError::Model)?;
+                }
+            }
+
+            // Reactive consolidation sweep: drain straggler servers onto
+            // busier peers so the freed machines power off.
+            if let Some(cfg) = &self.migration {
+                if (t - last_sweep) >= cfg.check_interval {
+                    last_sweep = t;
+                    migrations += self
+                        .consolidation_sweep(cfg, &mut servers, &mut vms)
+                        .map_err(SimulationError::Model)?;
+                }
+            }
+
+            // Completions, burst fallbacks, and migrations above happened
+            // at the advanced instant.
+            if self.record_timeline {
+                sync_timeline(&servers, &mut open_mix, &mut open_since, &mut timeline, t);
+            }
+        }
+
+        // Close any interval still open at the end of the run.
+        if self.record_timeline {
+            for (si, mix) in open_mix.iter().enumerate() {
+                if !mix.is_empty() {
+                    timeline.push(AllocationInterval {
+                        server: ServerId::from(si),
+                        start: open_since[si],
+                        end: t,
+                        mix: *mix,
+                    });
+                }
+            }
+        }
+
+        if !queue.is_empty() {
+            let ridx = *queue.front().expect("non-empty queue");
+            return Err(SimulationError::Stuck {
+                request: ridx,
+                reason: EavmError::Infeasible("queue drained no further".into()),
+            });
+        }
+
+        Ok(SimOutcome {
+            strategy: strategy.name(),
+            cloud: self.cloud.name.clone(),
+            requests: requests.len(),
+            vms: total_vms,
+            first_submit,
+            last_completion,
+            energy,
+            idle_energy,
+            sla_violations: violated.iter().filter(|&&v| v).count(),
+            total_response_time: total_response,
+            total_wait_time: total_wait,
+            peak_servers_busy: peak_busy,
+            migrations,
+            per_type_violations: {
+                let mut v = [0usize; 3];
+                for (r, &bad) in requests.iter().zip(&violated) {
+                    if bad {
+                        v[r.workload.index()] += 1;
+                    }
+                }
+                v
+            },
+            per_type_requests,
+            busy_server_seconds,
+            timeline,
+        })
+    }
+
+    /// Materialize validated placements: create the VMs (attributed to
+    /// their owning requests, in order), update server mixes, refresh the
+    /// per-server caches, and track peaks.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_placements(
+        &self,
+        placements: &[eavm_core::Placement],
+        owners: &[usize],
+        requests: &[VmRequest],
+        t: Seconds,
+        servers: &mut [Srv],
+        vms: &mut Vec<Vm>,
+        active: &mut usize,
+        total_vms: &mut usize,
+        total_wait: &mut Seconds,
+        peak_busy: &mut usize,
+    ) -> Result<(), SimulationError> {
+        let mut owner_iter = owners.iter().copied();
+        for p in placements {
+            let si = p.server.index();
+            for (ty, count) in p.add.iter() {
+                for _ in 0..count {
+                    let owner = owner_iter.next().expect("owner per placed VM");
+                    let req = &requests[owner];
+                    let vid = vms.len();
+                    vms.push(Vm {
+                        ty,
+                        request: owner,
+                        submit: req.submit,
+                        deadline: req.deadline,
+                        remaining: 1.0,
+                        done: None,
+                    });
+                    servers[si].vms.push(vid);
+                    *active += 1;
+                    *total_vms += 1;
+                    *total_wait += t - req.submit;
+                }
+            }
+            servers[si].mix += p.add;
+            let platform = servers[si].platform;
+            servers[si]
+                .refresh(self.model_of(platform))
+                .map_err(SimulationError::Model)?;
+        }
+        let busy = servers.iter().filter(|s| !s.mix.is_empty()).count();
+        *peak_busy = (*peak_busy).max(busy);
+        Ok(())
+    }
+
+    /// One consolidation sweep: for every server hosting at most
+    /// `max_donor_vms` VMs, try to re-home *all* of its VMs onto
+    /// non-straggler servers (first fit within `receiver_bound`); on
+    /// success the donor empties (and powers off) and each moved VM pays
+    /// the live-migration penalty as lost progress. Returns the number of
+    /// VMs migrated.
+    fn consolidation_sweep(
+        &self,
+        cfg: &MigrationConfig,
+        servers: &mut [Srv],
+        vms: &mut [Vm],
+    ) -> Result<usize, EavmError> {
+        let mut moved_total = 0usize;
+        let donors: Vec<usize> = {
+            let mut d: Vec<usize> = (0..servers.len())
+                .filter(|&i| {
+                    let n = servers[i].mix.total();
+                    n > 0 && n <= cfg.max_donor_vms
+                })
+                .collect();
+            // Emptiest donors first: cheapest wins.
+            d.sort_by_key(|&i| servers[i].mix.total());
+            d
+        };
+
+        for donor in donors {
+            // Plan destinations for every resident VM, all-or-nothing.
+            let resident = servers[donor].vms.clone();
+            if resident.is_empty() {
+                continue;
+            }
+            let mut tentative: Vec<MixVector> = servers.iter().map(|s| s.mix).collect();
+            let mut plan: Vec<(usize, usize)> = Vec::with_capacity(resident.len());
+            let mut feasible = true;
+            for &vid in &resident {
+                let ty = vms[vid].ty;
+                let receiver = (0..servers.len()).find(|&r| {
+                    if r == donor
+                        || servers[r].mix.total() <= cfg.max_donor_vms
+                        || !tentative[r].plus(ty).fits_within(&cfg.receiver_bound)
+                    {
+                        return false;
+                    }
+                    // Degradation budget: nobody on the receiver may be
+                    // pushed past `max_slowdown x` its solo runtime.
+                    let model = self.model_of(servers[r].platform);
+                    let new_mix = tentative[r].plus(ty);
+                    match model.estimate_mix(new_mix) {
+                        Ok(est) => WorkloadType::ALL.into_iter().all(|t| {
+                            match est.time_of(t) {
+                                Some(time) => {
+                                    time <= model.solo_time(t) * cfg.max_slowdown
+                                }
+                                None => true,
+                            }
+                        }),
+                        Err(_) => false,
+                    }
+                });
+                match receiver {
+                    Some(r) => {
+                        tentative[r] = tentative[r].plus(ty);
+                        plan.push((vid, r));
+                    }
+                    None => {
+                        feasible = false;
+                        break;
+                    }
+                }
+            }
+            if !feasible {
+                continue;
+            }
+
+            // Commit: move VMs, charge penalties, refresh caches.
+            let mut touched: Vec<usize> = vec![donor];
+            for (vid, r) in plan {
+                let ty = vms[vid].ty;
+                servers[donor].vms.retain(|&x| x != vid);
+                servers[donor].mix = servers[donor]
+                    .mix
+                    .minus(ty)
+                    .expect("migrating VM must be resident");
+                servers[r].vms.push(vid);
+                servers[r].mix = servers[r].mix.plus(ty);
+                // Lost progress: down-time plus dirty-page re-copy,
+                // expressed as a fraction of the solo runtime.
+                let solo = self.model_of(servers[r].platform).solo_time(ty);
+                vms[vid].remaining = (vms[vid].remaining + cfg.penalty / solo).min(1.0);
+                if !touched.contains(&r) {
+                    touched.push(r);
+                }
+                moved_total += 1;
+            }
+            for i in touched {
+                let platform = servers[i].platform;
+                servers[i].refresh(self.model_of(platform))?;
+            }
+        }
+        Ok(moved_total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eavm_core::{AnalyticModel, FirstFit, OptimizationGoal, Proactive};
+    use eavm_types::JobId;
+
+    fn model() -> AnalyticModel {
+        AnalyticModel::reference()
+    }
+
+    fn req(id: u32, submit: f64, ty: WorkloadType, n: u32, deadline: f64) -> VmRequest {
+        VmRequest {
+            id: JobId::new(id),
+            submit: Seconds(submit),
+            workload: ty,
+            vm_count: n,
+            deadline: Seconds(deadline),
+        }
+    }
+
+    fn cloud(n: usize) -> CloudConfig {
+        CloudConfig::new("TEST", n).unwrap()
+    }
+
+    #[test]
+    fn single_request_runs_at_solo_speed() {
+        let sim = Simulation::new(model(), cloud(2));
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 1, 1e9)];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        // One FFTW-like VM alone: makespan == solo runtime (1200 s).
+        assert!((out.makespan().value() - 1200.0).abs() < 1e-6);
+        assert_eq!(out.vms, 1);
+        assert_eq!(out.sla_violations, 0);
+        assert_eq!(out.peak_servers_busy, 1);
+    }
+
+    #[test]
+    fn default_accounting_powers_only_busy_servers() {
+        let sim = Simulation::new(model(), cloud(3));
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 1, 1e9)];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        // One busy server draws its 125 W floor; the two empty servers
+        // are powered off.
+        let floor = 125.0 * out.makespan().value();
+        assert!((out.idle_energy.value() - floor).abs() < 1e-3);
+        assert!(out.energy > out.idle_energy);
+        assert!(out.energy.value() < 2.0 * floor, "empty servers drew power");
+    }
+
+    #[test]
+    fn always_on_fleet_charges_every_provisioned_server() {
+        let sim = Simulation::new(model(), cloud(3)).with_always_on_fleet();
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 1, 1e9)];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        // Static floor: 3 servers × 125 W × makespan.
+        let floor = 3.0 * 125.0 * out.makespan().value();
+        assert!(out.energy.value() > floor - 1e-6, "{} < {floor}", out.energy);
+        assert!((out.idle_energy.value() - floor).abs() < 1e-3);
+        assert!(out.idle_energy_fraction() > 0.5);
+    }
+
+    #[test]
+    fn contended_vms_take_longer_than_solo() {
+        let sim = Simulation::new(model(), cloud(1));
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 4, 1e9)];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        assert!(out.makespan().value() > 1200.0);
+        assert_eq!(out.vms, 4);
+    }
+
+    #[test]
+    fn queueing_delays_requests_until_capacity_frees() {
+        // One 4-slot server; two back-to-back 4-VM requests: the second
+        // waits for the first to finish.
+        let sim = Simulation::new(model(), cloud(1));
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
+            req(1, 1.0, WorkloadType::Cpu, 4, 1e9),
+        ];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        assert!(out.mean_wait_time() > Seconds(100.0), "{}", out.mean_wait_time());
+        assert_eq!(out.vms, 8);
+        // Roughly two sequential batches.
+        assert!(out.makespan().value() > 2.0 * 1200.0);
+    }
+
+    #[test]
+    fn sla_violations_are_counted_per_request() {
+        // Deadline lower than the solo runtime: guaranteed violation.
+        let sim = Simulation::new(model(), cloud(2));
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 2, 600.0),
+            req(1, 0.0, WorkloadType::Io, 1, 1e9),
+        ];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        assert_eq!(out.sla_violations, 1);
+        assert!((out.sla_violation_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_weighting_matches_fig4_semantics() {
+        // VM A (CPU) starts alone; VM B (IO) joins the same server later.
+        // A's realized time must lie between its solo time and the time
+        // it would take if B had been present from the start.
+        let sim = Simulation::new(model(), cloud(1));
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 1, 1e9),
+            req(1, 300.0, WorkloadType::Io, 1, 1e9),
+        ];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        let m = model();
+        let t_solo = m.solo_time(WorkloadType::Cpu).value();
+        let t_mixed = m
+            .exec_time(MixVector::new(1, 0, 1), WorkloadType::Cpu)
+            .unwrap()
+            .value();
+        // A finishes last (longer runtime); makespan = A's finish.
+        let realized = out.makespan().value();
+        assert!(realized > t_solo + 1e-6, "no contention accounted");
+        assert!(realized < t_mixed - 1e-6, "solo head start ignored");
+    }
+
+    #[test]
+    fn proactive_strategy_runs_end_to_end() {
+        use eavm_benchdb::DbBuilder;
+        use eavm_core::DbModel;
+        let db = DbModel::new(DbBuilder::exact().build().unwrap());
+        let sim = Simulation::new(model(), cloud(4));
+        let deadlines = [Seconds(4800.0), Seconds(4000.0), Seconds(3600.0)];
+        let mut pa = Proactive::new(db, OptimizationGoal::BALANCED, deadlines);
+        let reqs: Vec<VmRequest> = (0..12)
+            .map(|i| {
+                req(
+                    i,
+                    (i as f64) * 50.0,
+                    WorkloadType::from_index(i as usize % 3),
+                    1 + i % 4,
+                    4800.0,
+                )
+            })
+            .collect();
+        let out = sim.run(&mut pa, &reqs).unwrap();
+        assert_eq!(out.requests, 12);
+        assert_eq!(out.vms as u32, reqs.iter().map(|r| r.vm_count).sum::<u32>());
+        assert!(out.makespan() > Seconds::ZERO);
+    }
+
+    #[test]
+    fn impossible_request_reports_stuck() {
+        // 5 VMs can never fit a single 4-slot server under plain FF.
+        let sim = Simulation::new(model(), cloud(1));
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 5, 1e9)];
+        match sim.run(&mut ff, &reqs) {
+            Err(SimulationError::Stuck { request, .. }) => assert_eq!(request, 0),
+            other => panic!("expected Stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsorted_or_empty_inputs_rejected() {
+        let sim = Simulation::new(model(), cloud(1));
+        let mut ff = FirstFit::ff(4);
+        assert!(matches!(
+            sim.run(&mut ff, &[]),
+            Err(SimulationError::Input(_))
+        ));
+        let reqs = vec![
+            req(0, 100.0, WorkloadType::Cpu, 1, 1e9),
+            req(1, 0.0, WorkloadType::Cpu, 1, 1e9),
+        ];
+        assert!(matches!(
+            sim.run(&mut ff, &reqs),
+            Err(SimulationError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let sim = Simulation::new(model(), cloud(3));
+        let reqs: Vec<VmRequest> = (0..9)
+            .map(|i| {
+                req(
+                    i,
+                    (i as f64) * 100.0,
+                    WorkloadType::from_index(i as usize % 3),
+                    2,
+                    1e9,
+                )
+            })
+            .collect();
+        let a = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let b = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn burst_allocation_preserves_vm_population() {
+        use eavm_benchdb::DbBuilder;
+        use eavm_core::DbModel;
+        let db = DbModel::new(DbBuilder::exact().build().unwrap());
+        let deadlines = [Seconds(4800.0), Seconds(4000.0), Seconds(3600.0)];
+        // A 3-request burst (same instant, same profile) plus a straggler.
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 2, 4800.0),
+            req(1, 0.0, WorkloadType::Cpu, 3, 4800.0),
+            req(2, 0.0, WorkloadType::Cpu, 1, 4800.0),
+            req(3, 500.0, WorkloadType::Io, 2, 3600.0),
+        ];
+        let base = Simulation::new(model(), cloud(4));
+        let burst = Simulation::new(model(), cloud(4)).with_burst_allocation();
+
+        let mut pa1 = Proactive::new(db.clone(), OptimizationGoal::BALANCED, deadlines);
+        let mut pa2 = Proactive::new(db, OptimizationGoal::BALANCED, deadlines);
+        let per_request = base.run(&mut pa1, &reqs).unwrap();
+        let per_burst = burst.run(&mut pa2, &reqs).unwrap();
+
+        assert_eq!(per_request.vms, 8);
+        assert_eq!(per_burst.vms, 8);
+        assert_eq!(per_burst.requests, 4);
+        // Burst-level search sees the whole 6-VM set at once; it must be
+        // at least as consolidation-effective as per-request placement.
+        assert!(per_burst.peak_servers_busy <= per_request.peak_servers_busy);
+    }
+
+    #[test]
+    fn burst_allocation_falls_back_to_head_when_merged_burst_cannot_fit() {
+        // A 2x4-VM burst (8 VMs) on a single 4-slot FF server: the merged
+        // request can never fit, but the head alone can; the fallback
+        // must place the head and queue the rest.
+        let sim = Simulation::new(model(), cloud(1)).with_burst_allocation();
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
+            req(1, 0.0, WorkloadType::Cpu, 4, 1e9),
+        ];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        assert_eq!(out.vms, 8);
+        // Two sequential batches, like the non-burst case.
+        assert!(out.makespan().value() > 2.0 * 1200.0);
+    }
+
+    #[test]
+    fn migration_drains_straggler_servers() {
+        use crate::migration::MigrationConfig;
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 4, 1e9), // fills server 0 under FF
+            req(1, 0.0, WorkloadType::Io, 1, 1e9),  // straggler on server 1
+            req(2, 400.0, WorkloadType::Io, 1, 1e9),
+        ];
+        let plain = Simulation::new(model(), cloud(2));
+        let migrating = Simulation::new(model(), cloud(2)).with_migration(MigrationConfig {
+            max_donor_vms: 2,
+            receiver_bound: eavm_types::MixVector::new(10, 4, 7),
+            penalty: Seconds(45.0),
+            check_interval: Seconds(300.0),
+            max_slowdown: 1.8,
+        });
+
+        let base = plain.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let merged = migrating.run(&mut FirstFit::ff(4), &reqs).unwrap();
+
+        assert_eq!(base.migrations, 0);
+        assert!(merged.migrations >= 1, "sweep never fired");
+        assert_eq!(merged.vms, base.vms, "migration lost a VM");
+        // Draining the straggler powers a server off early: less energy,
+        // at some makespan cost from the penalty + added contention.
+        assert!(
+            merged.energy < base.energy,
+            "migration should save energy: {} vs {}",
+            merged.energy,
+            base.energy
+        );
+        assert!(merged.makespan() >= base.makespan() - Seconds(1e-6));
+    }
+
+    #[test]
+    fn migration_is_all_or_nothing_per_donor() {
+        use crate::migration::MigrationConfig;
+        // Only one server: the straggler has no receiver, so nothing may
+        // move and nothing may be lost.
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 1, 1e9),
+            req(1, 2000.0, WorkloadType::Cpu, 1, 1e9),
+        ];
+        let sim = Simulation::new(model(), cloud(1)).with_migration(MigrationConfig {
+            check_interval: Seconds(100.0),
+            ..Default::default()
+        });
+        let out = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        assert_eq!(out.migrations, 0);
+        assert_eq!(out.vms, 2);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_uses_big_node_capacity() {
+        use eavm_core::AnalyticModel;
+        use eavm_testbed::{BenchmarkSuite, ContentionModel, ServerSpec};
+        use eavm_types::MixVector;
+
+        let big = AnalyticModel::new(
+            ServerSpec::big_node(),
+            ContentionModel::default(),
+            &BenchmarkSuite::standard(),
+            MixVector::new(16, 16, 16),
+        );
+        // One reference server (4 slots) + one big node (8 slots).
+        let hetero = Simulation::new(model(), cloud(1)).with_platform(big, 1);
+        let homo = Simulation::new(model(), cloud(2));
+
+        // 12 CPU VMs under plain FF: the hetero fleet fits them as 4 + 8;
+        // the homogeneous pair can only hold 8 at a time and must queue.
+        let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
+                        req(1, 0.0, WorkloadType::Cpu, 4, 1e9),
+                        req(2, 0.0, WorkloadType::Cpu, 4, 1e9)];
+        let h = hetero.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let o = homo.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        assert_eq!(h.vms, 12);
+        assert!(
+            h.mean_wait_time() < o.mean_wait_time(),
+            "big node must absorb the overflow: {} vs {}",
+            h.mean_wait_time(),
+            o.mean_wait_time()
+        );
+        assert!(h.makespan() < o.makespan());
+    }
+
+    #[test]
+    fn heterogeneous_proactive_uses_per_platform_models() {
+        use eavm_benchdb::DbBuilder;
+        use eavm_core::{AnalyticModel, DbModel, Proactive};
+        use eavm_testbed::{BenchmarkSuite, ContentionModel, RunSimulator, ServerSpec};
+        use eavm_types::MixVector;
+
+        // Per-platform databases: reference + big node.
+        let db_ref = DbBuilder::exact().build().unwrap();
+        let db_big = DbBuilder {
+            sim: RunSimulator {
+                server: ServerSpec::big_node(),
+                model: ContentionModel::default(),
+            },
+            meter_seed: None,
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
+        assert!(
+            db_big.aux().os_bounds.cpu > db_ref.aux().os_bounds.cpu,
+            "the big node must host more VMs before its optimum"
+        );
+
+        let big_truth = AnalyticModel::new(
+            ServerSpec::big_node(),
+            ContentionModel::default(),
+            &BenchmarkSuite::standard(),
+            MixVector::new(24, 24, 24),
+        );
+        let sim = Simulation::new(model(), cloud(1)).with_platform(big_truth, 1);
+        let deadlines = [Seconds(4800.0), Seconds(4000.0), Seconds(3600.0)];
+        let mut pa = Proactive::heterogeneous(
+            vec![DbModel::new(db_ref), DbModel::new(db_big)],
+            OptimizationGoal::ENERGY,
+            deadlines,
+        );
+        let reqs: Vec<VmRequest> = (0..6)
+            .map(|i| req(i, (i as f64) * 10.0, WorkloadType::Cpu, 4, 1e9))
+            .collect();
+        let out = sim.run(&mut pa, &reqs).unwrap();
+        assert_eq!(out.vms, 24);
+        assert!(out.makespan() > Seconds::ZERO);
+    }
+
+    #[test]
+    fn per_type_violations_and_busy_seconds_are_tracked() {
+        let sim = Simulation::new(model(), cloud(2));
+        let mut ff = FirstFit::ff(4);
+        // The CPU request's deadline is impossible; the IO one is lax.
+        // 2 CPU + 4 IO VMs overflow the first 4-slot server, so two
+        // servers host VMs for part of the run.
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 2, 600.0),
+            req(1, 0.0, WorkloadType::Io, 4, 1e9),
+        ];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        assert_eq!(out.per_type_requests, [1, 0, 1]);
+        assert_eq!(out.per_type_violations, [1, 0, 0]);
+        assert!((out.sla_violation_pct_of(WorkloadType::Cpu) - 100.0).abs() < 1e-9);
+        assert_eq!(out.sla_violation_pct_of(WorkloadType::Io), 0.0);
+        // One server runs CPU VMs (~1266+ s), the other the IO VM (800 s):
+        // busy integral is between 1 and 2 server-makespans.
+        assert!(out.busy_server_seconds > out.makespan());
+        assert!(out.busy_server_seconds < out.makespan() * 2.0);
+        assert!(out.mean_servers_busy() > 1.0 && out.mean_servers_busy() < 2.0);
+    }
+
+    #[test]
+    fn timeline_reconstructs_fig4_intervals() {
+        // VM1 (CPU) runs alone, then VM2 (IO) joins at t=400; VM1
+        // finishes first (1200 s base vs the IO VM's 900 s joined late),
+        // leaving three intervals: (1,0,0), (1,0,1), (0,0,1).
+        let sim = Simulation::new(model(), cloud(1)).with_timeline();
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 1, 1e9),
+            req(1, 400.0, WorkloadType::Io, 1, 1e9),
+        ];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        let tl = out.timeline_of(eavm_types::ServerId::new(0));
+        assert_eq!(tl.len(), 3, "{tl:?}");
+        assert_eq!(tl[0].mix, MixVector::new(1, 0, 0));
+        assert_eq!(tl[1].mix, MixVector::new(1, 0, 1));
+        assert_eq!(tl[2].mix, MixVector::new(0, 0, 1));
+        // Contiguous, ordered, and covering submission..makespan.
+        assert_eq!(tl[0].start, Seconds(0.0));
+        assert_eq!(tl[0].end, tl[1].start);
+        assert_eq!(tl[1].end, tl[2].start);
+        assert_eq!(tl[2].end, out.last_completion);
+        assert_eq!(tl[1].start, Seconds(400.0));
+        // The realized VM1 execution time is the interval-weighted value.
+        let total: f64 = tl.iter().map(|iv| iv.duration().value()).sum();
+        assert!((total - out.makespan().value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timeline_is_empty_unless_enabled() {
+        let sim = Simulation::new(model(), cloud(1));
+        let mut ff = FirstFit::ff(4);
+        let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 1, 1e9)];
+        let out = sim.run(&mut ff, &reqs).unwrap();
+        assert!(out.timeline.is_empty());
+    }
+
+    #[test]
+    fn backfill_places_small_requests_past_a_blocked_head() {
+        // One 4-slot server running 2 VMs. Queue: [4-VM head (blocked),
+        // 2-VM filler]. FIFO leaves the filler waiting; backfill starts
+        // it immediately in the free slots.
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 2, 1e9),
+            req(1, 1.0, WorkloadType::Cpu, 4, 1e9),
+            req(2, 2.0, WorkloadType::Io, 2, 1e9),
+        ];
+        let fifo = Simulation::new(model(), cloud(1))
+            .run(&mut FirstFit::ff(4), &reqs)
+            .unwrap();
+        let backfill = Simulation::new(model(), cloud(1))
+            .with_backfill(8)
+            .run(&mut FirstFit::ff(4), &reqs)
+            .unwrap();
+        assert_eq!(fifo.vms, 8);
+        assert_eq!(backfill.vms, 8);
+        // The filler's wait shrinks, so total wait must drop.
+        assert!(
+            backfill.total_wait_time < fifo.total_wait_time,
+            "backfill did not reduce waiting: {} vs {}",
+            backfill.total_wait_time,
+            fifo.total_wait_time
+        );
+        assert!(backfill.makespan() <= fifo.makespan() + Seconds(1e-6));
+    }
+
+    #[test]
+    fn backfill_window_bounds_the_scan() {
+        // Window 1 can only look one slot past the head: the placeable
+        // request sits at depth 2 and must keep waiting.
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 2, 1e9),
+            req(1, 1.0, WorkloadType::Cpu, 4, 1e9), // blocked head
+            req(2, 1.0, WorkloadType::Cpu, 4, 1e9), // also blocked (depth 1)
+            req(3, 1.0, WorkloadType::Io, 2, 1e9),  // placeable (depth 2)
+        ];
+        let narrow = Simulation::new(model(), cloud(1))
+            .with_backfill(1)
+            .run(&mut FirstFit::ff(4), &reqs)
+            .unwrap();
+        let wide = Simulation::new(model(), cloud(1))
+            .with_backfill(8)
+            .run(&mut FirstFit::ff(4), &reqs)
+            .unwrap();
+        assert_eq!(narrow.vms, wide.vms);
+        assert!(
+            wide.total_wait_time < narrow.total_wait_time,
+            "the wide window must reach the placeable request"
+        );
+    }
+
+    #[test]
+    fn edf_serves_the_urgent_request_first() {
+        // Queue order: lax request first, tight-deadline request second.
+        // FIFO serves them in order; EDF lets the urgent one jump.
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 4, 1e9), // occupies the server
+            req(1, 1.0, WorkloadType::Cpu, 4, 1e9), // lax
+            req(2, 2.0, WorkloadType::Cpu, 4, 3000.0), // urgent
+        ];
+        let fifo = Simulation::new(model(), cloud(1))
+            .run(&mut FirstFit::ff(4), &reqs)
+            .unwrap();
+        let edf = Simulation::new(model(), cloud(1))
+            .with_edf()
+            .run(&mut FirstFit::ff(4), &reqs)
+            .unwrap();
+        assert_eq!(fifo.vms, edf.vms);
+        // FIFO: the urgent request waits two batches (~2800 s) and misses
+        // its 3000 s deadline; EDF serves it in the second batch.
+        assert_eq!(fifo.sla_violations, 1);
+        assert_eq!(edf.sla_violations, 0, "EDF must save the urgent request");
+    }
+
+    #[test]
+    fn ff3_packs_more_vms_per_server_than_ff() {
+        let reqs: Vec<VmRequest> = (0..6)
+            .map(|i| req(i, 0.0, WorkloadType::Cpu, 4, 1e9))
+            .collect();
+        let sim = Simulation::new(model(), cloud(6));
+        let ff = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let ff3 = sim.run(&mut FirstFit::with_multiplex(4, 3), &reqs).unwrap();
+        assert!(ff3.peak_servers_busy < ff.peak_servers_busy);
+        // Packing 12 CPU-heavy VMs per server crosses the thrash cliff:
+        // FF-3 must be slower end-to-end.
+        assert!(ff3.makespan() > ff.makespan());
+    }
+}

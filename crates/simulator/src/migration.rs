@@ -1,0 +1,117 @@
+//! Reactive VM migration (extension).
+//!
+//! Sect. II of the paper surveys the *dynamic* consolidation family —
+//! "the variations in VM's utilization requirements are handled through
+//! live VM migrations" (Bobroff et al., pMapper, Entropy) — and the
+//! paper's own motivation is that a good *proactive* allocation "can
+//! help ... minimize the energy costs by improving resource utilization
+//! and by avoiding costly VM migrations". This module supplies that
+//! comparison point: a periodic consolidation sweep that drains
+//! under-utilized servers onto their peers (so the freed servers power
+//! off), charging each moved VM a live-migration penalty.
+//!
+//! The sweep is deliberately simple — the classic "pack the stragglers"
+//! heuristic — because its role is to quantify how much of PROACTIVE's
+//! advantage a reactive scheme can claw back, and at what cost in
+//! migrations.
+
+use eavm_types::{MixVector, Seconds};
+
+/// Configuration of the reactive consolidation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationConfig {
+    /// Servers hosting at most this many VMs are drain candidates.
+    pub max_donor_vms: u32,
+    /// Hostability bound for receiving servers (typically the model
+    /// database's OS bounds — a receiver must stay inside the
+    /// benchmarked grid).
+    pub receiver_bound: MixVector,
+    /// Live-migration penalty per moved VM: the VM loses this much
+    /// progress (down-time plus dirty-page re-copy), expressed in
+    /// solo-runtime seconds.
+    pub penalty: Seconds,
+    /// Minimum simulated time between sweeps.
+    pub check_interval: Seconds,
+    /// Performance guard: a receiver is only eligible if, after taking
+    /// the VM, every resident type's projected execution time stays
+    /// within `max_slowdown ×` its solo runtime (Entropy/pMapper-style
+    /// degradation budgeting).
+    pub max_slowdown: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            max_donor_vms: 2,
+            receiver_bound: MixVector::new(10, 4, 7),
+            penalty: Seconds(45.0),
+            check_interval: Seconds(300.0),
+            max_slowdown: 1.8,
+        }
+    }
+}
+
+impl MigrationConfig {
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_donor_vms == 0 {
+            return Err("max_donor_vms must be positive".into());
+        }
+        if self.receiver_bound.is_empty() {
+            return Err("receiver bound must be non-empty".into());
+        }
+        if self.penalty < Seconds::ZERO {
+            return Err("migration penalty cannot be negative".into());
+        }
+        if self.check_interval <= Seconds::ZERO {
+            return Err("check interval must be positive".into());
+        }
+        if self.max_slowdown.is_nan() || self.max_slowdown < 1.0 {
+            return Err("max_slowdown must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(MigrationConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let no_donors = MigrationConfig {
+            max_donor_vms: 0,
+            ..Default::default()
+        };
+        assert!(no_donors.validate().is_err());
+
+        let no_receivers = MigrationConfig {
+            receiver_bound: MixVector::EMPTY,
+            ..Default::default()
+        };
+        assert!(no_receivers.validate().is_err());
+
+        let negative_penalty = MigrationConfig {
+            penalty: Seconds(-1.0),
+            ..Default::default()
+        };
+        assert!(negative_penalty.validate().is_err());
+
+        let zero_interval = MigrationConfig {
+            check_interval: Seconds(0.0),
+            ..Default::default()
+        };
+        assert!(zero_interval.validate().is_err());
+
+        let sub_unit_slowdown = MigrationConfig {
+            max_slowdown: 0.5,
+            ..Default::default()
+        };
+        assert!(sub_unit_slowdown.validate().is_err());
+    }
+}

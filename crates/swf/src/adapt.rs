@@ -1,0 +1,255 @@
+//! Adapting a cleaned SWF trace to the paper's simulation input.
+//!
+//! Sect. IV-B: "We randomly assigned one of the possible benchmark
+//! profiles to each request in the input trace, following a uniform
+//! distribution by bursts. The bursts of job requests were sized
+//! (randomly) from 1 to 5 job requests. ... we assigned 1 to 4 VMs per
+//! job request rather than the original CPU demand and we defined the QoS
+//! requirements (maximum in response time) per application type and not
+//! for each specific request."
+
+use eavm_types::{JobId, Seconds, WorkloadType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::format::SwfTrace;
+
+/// One job request entering the simulated cloud: a set of identical VMs
+/// with a shared profile and a per-type response-time deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmRequest {
+    /// Request identifier (renumbered from 0 after cleaning).
+    pub id: JobId,
+    /// Submission time.
+    pub submit: Seconds,
+    /// Assigned workload profile.
+    pub workload: WorkloadType,
+    /// Number of VMs (the paper: 1–4; "to run multiple processes (e.g.,
+    /// MPI applications) multiple VMs are required").
+    pub vm_count: u32,
+    /// Maximum response time (completion − submission) before the request
+    /// counts as an SLA violation.
+    pub deadline: Seconds,
+}
+
+/// Adaptation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptConfig {
+    /// RNG seed for profile/burst/VM-count assignment.
+    pub seed: u64,
+    /// VM count per request is uniform in `vms_min..=vms_max` (paper: 1–4).
+    pub vms_min: u32,
+    /// Upper bound of the VM count range.
+    pub vms_max: u32,
+    /// Profile-assignment bursts are uniform in `1..=max_burst` requests
+    /// (paper: 1–5).
+    pub max_burst: usize,
+    /// Per-type QoS: deadline = `qos_factor × solo time of the type`.
+    pub qos_factor: f64,
+    /// Reference solo times `(TC, TM, TI)` from the model's auxiliary
+    /// data.
+    pub solo_times: [Seconds; 3],
+}
+
+impl AdaptConfig {
+    /// Paper-shaped defaults on top of the given solo times.
+    pub fn paper(seed: u64, solo_times: [Seconds; 3]) -> Self {
+        AdaptConfig {
+            seed,
+            vms_min: 1,
+            vms_max: 4,
+            max_burst: 5,
+            qos_factor: 4.0,
+            solo_times,
+        }
+    }
+
+    /// Deadline for a workload type.
+    pub fn deadline(&self, ty: WorkloadType) -> Seconds {
+        self.solo_times[ty.index()] * self.qos_factor
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.vms_min == 0 || self.vms_min > self.vms_max {
+            return Err("VM count range must satisfy 1 <= min <= max".into());
+        }
+        if self.max_burst == 0 {
+            return Err("max_burst must be positive".into());
+        }
+        if self.qos_factor.is_nan() || self.qos_factor <= 1.0 {
+            return Err("qos_factor must exceed 1 (deadline beyond solo time)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Convert a *cleaned* trace into typed VM requests.
+pub fn adapt_trace(trace: &SwfTrace, config: &AdaptConfig) -> Vec<VmRequest> {
+    debug_assert!(config.validate().is_ok());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(trace.jobs.len());
+
+    // Profile assignment "uniform by bursts": consecutive requests share
+    // one uniformly drawn profile for a burst of 1..=max_burst requests.
+    let mut burst_left = 0usize;
+    let mut burst_type = WorkloadType::Cpu;
+
+    for (i, job) in trace.jobs.iter().enumerate() {
+        if burst_left == 0 {
+            burst_left = rng.gen_range(1..=config.max_burst);
+            burst_type = WorkloadType::from_index(rng.gen_range(0..3));
+        }
+        burst_left -= 1;
+
+        let vm_count = rng.gen_range(config.vms_min..=config.vms_max);
+        out.push(VmRequest {
+            id: JobId::from(i),
+            submit: Seconds(job.submit_time as f64),
+            workload: burst_type,
+            vm_count,
+            deadline: config.deadline(burst_type),
+        });
+    }
+    out
+}
+
+/// Total number of VMs requested.
+pub fn total_vms(requests: &[VmRequest]) -> u32 {
+    requests.iter().map(|r| r.vm_count).sum()
+}
+
+/// Truncate the request list so the total VM count does not exceed
+/// `max_total` (the paper's input trace "requests a total of 10,000 VMs").
+pub fn truncate_to_vm_total(requests: &mut Vec<VmRequest>, max_total: u32) {
+    let mut sum = 0u32;
+    let mut keep = requests.len();
+    for (i, r) in requests.iter().enumerate() {
+        if sum + r.vm_count > max_total {
+            keep = i;
+            break;
+        }
+        sum += r.vm_count;
+    }
+    requests.truncate(keep);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clean::clean_trace;
+    use crate::generator::{GeneratorConfig, TraceGenerator};
+
+    fn solo() -> [Seconds; 3] {
+        [Seconds(1200.0), Seconds(1000.0), Seconds(900.0)]
+    }
+
+    fn cleaned_trace(jobs: usize) -> SwfTrace {
+        let mut g = TraceGenerator::new(GeneratorConfig {
+            seed: 42,
+            total_jobs: jobs,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut t = g.generate();
+        clean_trace(&mut t);
+        t
+    }
+
+    #[test]
+    fn requests_mirror_trace_jobs() {
+        let t = cleaned_trace(2_000);
+        let reqs = adapt_trace(&t, &AdaptConfig::paper(1, solo()));
+        assert_eq!(reqs.len(), t.jobs.len());
+        for (r, j) in reqs.iter().zip(&t.jobs) {
+            assert_eq!(r.submit, Seconds(j.submit_time as f64));
+            assert!((1..=4).contains(&r.vm_count));
+        }
+    }
+
+    #[test]
+    fn profile_mix_is_roughly_uniform() {
+        let t = cleaned_trace(9_000);
+        let reqs = adapt_trace(&t, &AdaptConfig::paper(2, solo()));
+        let mut counts = [0usize; 3];
+        for r in &reqs {
+            counts[r.workload.index()] += 1;
+        }
+        let n = reqs.len() as f64;
+        for c in counts {
+            let frac = c as f64 / n;
+            assert!((frac - 1.0 / 3.0).abs() < 0.05, "type share {frac}");
+        }
+    }
+
+    #[test]
+    fn profiles_are_assigned_in_bursts() {
+        let t = cleaned_trace(5_000);
+        let reqs = adapt_trace(&t, &AdaptConfig::paper(3, solo()));
+        // Adjacent same-type pairs should be far more common than the
+        // 1/3 expected under independent assignment.
+        let same = reqs
+            .windows(2)
+            .filter(|w| w[0].workload == w[1].workload)
+            .count() as f64;
+        let frac = same / (reqs.len() - 1) as f64;
+        assert!(frac > 0.5, "burst structure missing: same-type frac {frac}");
+    }
+
+    #[test]
+    fn deadlines_are_per_type() {
+        let t = cleaned_trace(1_000);
+        let cfg = AdaptConfig::paper(4, solo());
+        let reqs = adapt_trace(&t, &cfg);
+        for r in &reqs {
+            assert_eq!(r.deadline, cfg.deadline(r.workload));
+        }
+        assert_eq!(cfg.deadline(WorkloadType::Cpu), Seconds(4800.0));
+    }
+
+    #[test]
+    fn adaptation_is_deterministic() {
+        let t = cleaned_trace(1_000);
+        let cfg = AdaptConfig::paper(5, solo());
+        assert_eq!(adapt_trace(&t, &cfg), adapt_trace(&t, &cfg));
+        let cfg2 = AdaptConfig::paper(6, solo());
+        assert_ne!(adapt_trace(&t, &cfg), adapt_trace(&t, &cfg2));
+    }
+
+    #[test]
+    fn truncation_caps_total_vms() {
+        let t = cleaned_trace(20_000);
+        let mut reqs = adapt_trace(&t, &AdaptConfig::paper(7, solo()));
+        assert!(total_vms(&reqs) > 10_000);
+        truncate_to_vm_total(&mut reqs, 10_000);
+        let total = total_vms(&reqs);
+        assert!(total <= 10_000);
+        assert!(total > 9_990, "truncation overshot: {total}");
+    }
+
+    #[test]
+    fn truncation_keeps_everything_when_under_cap() {
+        let t = cleaned_trace(100);
+        let mut reqs = adapt_trace(&t, &AdaptConfig::paper(8, solo()));
+        let before = reqs.len();
+        truncate_to_vm_total(&mut reqs, u32::MAX);
+        assert_eq!(reqs.len(), before);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = AdaptConfig::paper(1, solo());
+        assert!(c.validate().is_ok());
+        c.vms_min = 0;
+        assert!(c.validate().is_err());
+        let mut c = AdaptConfig::paper(1, solo());
+        c.vms_min = 5;
+        assert!(c.validate().is_err());
+        let mut c = AdaptConfig::paper(1, solo());
+        c.qos_factor = 0.5;
+        assert!(c.validate().is_err());
+        let mut c = AdaptConfig::paper(1, solo());
+        c.max_burst = 0;
+        assert!(c.validate().is_err());
+    }
+}

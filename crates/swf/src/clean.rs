@@ -1,0 +1,158 @@
+//! Trace cleaning (Sect. IV-B).
+//!
+//! "Then, we cleaned the trace, now in SWF format, in order to eliminate
+//! failed jobs, cancelled jobs and anomalies." Anomalies, per the
+//! Parallel Workloads Archive cleaning conventions: non-positive
+//! runtimes, non-positive processor counts, negative submit times, and
+//! out-of-order submission (repaired by sorting rather than dropping).
+
+use crate::format::{JobStatus, SwfTrace};
+
+/// What the cleaning pass removed or repaired.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleaningReport {
+    /// Jobs dropped with status `Failed` / `PartialFailed`.
+    pub failed: usize,
+    /// Jobs dropped with status `Cancelled`.
+    pub cancelled: usize,
+    /// Jobs dropped with non-`Completed` other statuses (partial/unknown).
+    pub other_status: usize,
+    /// Jobs dropped for anomalous fields (runtime/procs/submit).
+    pub anomalies: usize,
+    /// `true` if out-of-order submissions were repaired by sorting.
+    pub reordered: bool,
+    /// Jobs surviving the pass.
+    pub kept: usize,
+}
+
+impl CleaningReport {
+    /// Total number of jobs dropped.
+    pub fn dropped(&self) -> usize {
+        self.failed + self.cancelled + self.other_status + self.anomalies
+    }
+}
+
+/// Clean a trace in place, returning the report.
+pub fn clean_trace(trace: &mut SwfTrace) -> CleaningReport {
+    let mut report = CleaningReport::default();
+
+    trace.jobs.retain(|j| {
+        match j.job_status() {
+            JobStatus::Failed | JobStatus::PartialFailed => {
+                report.failed += 1;
+                return false;
+            }
+            JobStatus::Cancelled => {
+                report.cancelled += 1;
+                return false;
+            }
+            JobStatus::Completed => {}
+            _ => {
+                report.other_status += 1;
+                return false;
+            }
+        }
+        if j.run_time <= 0 || j.num_procs <= 0 || j.submit_time < 0 {
+            report.anomalies += 1;
+            return false;
+        }
+        true
+    });
+
+    let sorted = trace.jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time);
+    if !sorted {
+        trace.jobs.sort_by_key(|j| j.submit_time);
+        report.reordered = true;
+    }
+
+    report.kept = trace.jobs.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::SwfJob;
+
+    fn job(id: i64, submit: i64, run: i64, procs: i64, status: JobStatus) -> SwfJob {
+        let mut j = SwfJob::completed(id, submit, run, procs);
+        j.status = status.code();
+        j
+    }
+
+    #[test]
+    fn drops_failed_and_cancelled() {
+        let mut t = SwfTrace {
+            header: vec![],
+            jobs: vec![
+                job(1, 0, 100, 1, JobStatus::Completed),
+                job(2, 5, 100, 1, JobStatus::Failed),
+                job(3, 10, 100, 1, JobStatus::Cancelled),
+                job(4, 15, 100, 1, JobStatus::PartialFailed),
+                job(5, 20, 100, 1, JobStatus::Unknown),
+            ],
+        };
+        let r = clean_trace(&mut t);
+        assert_eq!(r.failed, 2);
+        assert_eq!(r.cancelled, 1);
+        assert_eq!(r.other_status, 1);
+        assert_eq!(r.kept, 1);
+        assert_eq!(t.jobs.len(), 1);
+        assert_eq!(t.jobs[0].job_id, 1);
+        assert_eq!(r.dropped(), 4);
+    }
+
+    #[test]
+    fn drops_anomalous_fields() {
+        let mut t = SwfTrace {
+            header: vec![],
+            jobs: vec![
+                job(1, 0, -1, 1, JobStatus::Completed),  // no runtime
+                job(2, 0, 100, 0, JobStatus::Completed), // no processors
+                job(3, -5, 100, 1, JobStatus::Completed), // negative submit
+                job(4, 0, 100, 1, JobStatus::Completed),
+            ],
+        };
+        let r = clean_trace(&mut t);
+        assert_eq!(r.anomalies, 3);
+        assert_eq!(r.kept, 1);
+    }
+
+    #[test]
+    fn repairs_submission_order() {
+        let mut t = SwfTrace {
+            header: vec![],
+            jobs: vec![
+                job(1, 100, 10, 1, JobStatus::Completed),
+                job(2, 50, 10, 1, JobStatus::Completed),
+            ],
+        };
+        let r = clean_trace(&mut t);
+        assert!(r.reordered);
+        assert_eq!(t.jobs[0].submit_time, 50);
+    }
+
+    #[test]
+    fn clean_trace_is_idempotent() {
+        let mut t = SwfTrace {
+            header: vec![],
+            jobs: vec![
+                job(1, 0, 10, 1, JobStatus::Completed),
+                job(2, 1, 10, 1, JobStatus::Failed),
+            ],
+        };
+        clean_trace(&mut t);
+        let r2 = clean_trace(&mut t);
+        assert_eq!(r2.dropped(), 0);
+        assert!(!r2.reordered);
+        assert_eq!(r2.kept, 1);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let mut t = SwfTrace::default();
+        let r = clean_trace(&mut t);
+        assert_eq!(r.kept, 0);
+        assert_eq!(r.dropped(), 0);
+    }
+}

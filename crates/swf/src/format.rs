@@ -1,0 +1,344 @@
+//! The Standard Workload Format (SWF), version 2.2.
+//!
+//! SWF is the Parallel Workloads Archive interchange format the paper
+//! converts its traces into: one job per line, 18 whitespace-separated
+//! integer fields, `-1` for unknown values, and `;`-prefixed header
+//! comments. See Feitelson's archive documentation (ref. \[24\] of the
+//! paper).
+
+use eavm_types::EavmError;
+
+/// SWF job status codes (field 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// 0 — the job failed.
+    Failed,
+    /// 1 — the job completed normally.
+    Completed,
+    /// 2 — partial execution (will be continued).
+    Partial,
+    /// 3 — the last partial execution.
+    LastPartial,
+    /// 4 — partial execution that failed.
+    PartialFailed,
+    /// 5 — the job was cancelled.
+    Cancelled,
+    /// -1 or other — unknown.
+    Unknown,
+}
+
+impl JobStatus {
+    /// Decode the SWF integer code.
+    pub fn from_code(code: i64) -> Self {
+        match code {
+            0 => JobStatus::Failed,
+            1 => JobStatus::Completed,
+            2 => JobStatus::Partial,
+            3 => JobStatus::LastPartial,
+            4 => JobStatus::PartialFailed,
+            5 => JobStatus::Cancelled,
+            _ => JobStatus::Unknown,
+        }
+    }
+
+    /// Encode back to the SWF integer code.
+    pub fn code(self) -> i64 {
+        match self {
+            JobStatus::Failed => 0,
+            JobStatus::Completed => 1,
+            JobStatus::Partial => 2,
+            JobStatus::LastPartial => 3,
+            JobStatus::PartialFailed => 4,
+            JobStatus::Cancelled => 5,
+            JobStatus::Unknown => -1,
+        }
+    }
+}
+
+/// One SWF job record (all 18 standard fields).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwfJob {
+    /// 1: job number, 1-based and unique.
+    pub job_id: i64,
+    /// 2: submit time, seconds from trace start.
+    pub submit_time: i64,
+    /// 3: wait time, seconds (-1 unknown).
+    pub wait_time: i64,
+    /// 4: run time, seconds (-1 unknown).
+    pub run_time: i64,
+    /// 5: number of allocated processors.
+    pub num_procs: i64,
+    /// 6: average CPU time used, seconds.
+    pub avg_cpu_time: i64,
+    /// 7: used memory, KB per processor.
+    pub used_mem: i64,
+    /// 8: requested processors.
+    pub req_procs: i64,
+    /// 9: requested time, seconds.
+    pub req_time: i64,
+    /// 10: requested memory, KB per processor.
+    pub req_mem: i64,
+    /// 11: status code (see [`JobStatus`]).
+    pub status: i64,
+    /// 12: user id.
+    pub user_id: i64,
+    /// 13: group id.
+    pub group_id: i64,
+    /// 14: executable (application) number.
+    pub exe_num: i64,
+    /// 15: queue number.
+    pub queue_num: i64,
+    /// 16: partition number.
+    pub partition_num: i64,
+    /// 17: preceding job number.
+    pub preceding_job: i64,
+    /// 18: think time from preceding job, seconds.
+    pub think_time: i64,
+}
+
+impl SwfJob {
+    /// A minimal completed job; unknown fields set to `-1`.
+    pub fn completed(job_id: i64, submit_time: i64, run_time: i64, num_procs: i64) -> Self {
+        SwfJob {
+            job_id,
+            submit_time,
+            wait_time: -1,
+            run_time,
+            num_procs,
+            avg_cpu_time: -1,
+            used_mem: -1,
+            req_procs: num_procs,
+            req_time: -1,
+            req_mem: -1,
+            status: JobStatus::Completed.code(),
+            user_id: -1,
+            group_id: -1,
+            exe_num: -1,
+            queue_num: -1,
+            partition_num: -1,
+            preceding_job: -1,
+            think_time: -1,
+        }
+    }
+
+    /// Decoded status.
+    pub fn job_status(&self) -> JobStatus {
+        JobStatus::from_code(self.status)
+    }
+
+    /// Serialize as one SWF line.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            self.job_id,
+            self.submit_time,
+            self.wait_time,
+            self.run_time,
+            self.num_procs,
+            self.avg_cpu_time,
+            self.used_mem,
+            self.req_procs,
+            self.req_time,
+            self.req_mem,
+            self.status,
+            self.user_id,
+            self.group_id,
+            self.exe_num,
+            self.queue_num,
+            self.partition_num,
+            self.preceding_job,
+            self.think_time
+        )
+    }
+
+    /// Parse one SWF data line (18 whitespace-separated integers).
+    pub fn from_line(line: &str) -> Result<Self, EavmError> {
+        let fields: Vec<i64> = line
+            .split_whitespace()
+            .map(|f| {
+                f.parse::<i64>()
+                    .map_err(|e| EavmError::Parse(format!("bad SWF field {f:?}: {e}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if fields.len() != 18 {
+            return Err(EavmError::Parse(format!(
+                "SWF line needs 18 fields, got {}: {line:?}",
+                fields.len()
+            )));
+        }
+        Ok(SwfJob {
+            job_id: fields[0],
+            submit_time: fields[1],
+            wait_time: fields[2],
+            run_time: fields[3],
+            num_procs: fields[4],
+            avg_cpu_time: fields[5],
+            used_mem: fields[6],
+            req_procs: fields[7],
+            req_time: fields[8],
+            req_mem: fields[9],
+            status: fields[10],
+            user_id: fields[11],
+            group_id: fields[12],
+            exe_num: fields[13],
+            queue_num: fields[14],
+            partition_num: fields[15],
+            preceding_job: fields[16],
+            think_time: fields[17],
+        })
+    }
+}
+
+/// A parsed SWF trace: header comments plus jobs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SwfTrace {
+    /// Header comment lines, without the leading `;`.
+    pub header: Vec<String>,
+    /// Job records, in file order.
+    pub jobs: Vec<SwfJob>,
+}
+
+impl SwfTrace {
+    /// Parse SWF text (`;` comments anywhere, blank lines ignored).
+    pub fn parse(text: &str) -> Result<Self, EavmError> {
+        let mut trace = SwfTrace::default();
+        for (i, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(comment) = trimmed.strip_prefix(';') {
+                trace.header.push(comment.trim().to_string());
+                continue;
+            }
+            let job = SwfJob::from_line(trimmed)
+                .map_err(|e| EavmError::Parse(format!("line {}: {e}", i + 1)))?;
+            trace.jobs.push(job);
+        }
+        Ok(trace)
+    }
+
+    /// Serialize to SWF text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for h in &self.header {
+            out.push_str("; ");
+            out.push_str(h);
+            out.push('\n');
+        }
+        for j in &self.jobs {
+            out.push_str(&j.to_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merge several traces into one (the paper combines multi-file
+    /// Grid Observatory logs): jobs are pooled, sorted by submit time, and
+    /// renumbered from 1.
+    pub fn merge(traces: &[SwfTrace]) -> SwfTrace {
+        let mut header: Vec<String> = Vec::new();
+        let mut jobs: Vec<SwfJob> = Vec::new();
+        for t in traces {
+            header.extend(t.header.iter().cloned());
+            jobs.extend(t.jobs.iter().cloned());
+        }
+        jobs.sort_by_key(|j| j.submit_time);
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.job_id = i as i64 + 1;
+        }
+        SwfTrace { header, jobs }
+    }
+
+    /// Total trace span: last submit time minus first, seconds.
+    pub fn span(&self) -> i64 {
+        match (self.jobs.first(), self.jobs.last()) {
+            (Some(a), Some(b)) => b.submit_time - a.submit_time,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_roundtrip() {
+        let j = SwfJob::completed(7, 1000, 360, 2);
+        let back = SwfJob::from_line(&j.to_line()).unwrap();
+        assert_eq!(back, j);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_field_count() {
+        assert!(SwfJob::from_line("1 2 3").is_err());
+        assert!(SwfJob::from_line("1 2 3 x 5 6 7 8 9 10 11 12 13 14 15 16 17 18").is_err());
+    }
+
+    #[test]
+    fn status_codes_roundtrip() {
+        for code in -1..=5 {
+            let s = JobStatus::from_code(code);
+            if code >= 0 {
+                assert_eq!(s.code(), code);
+            } else {
+                assert_eq!(s, JobStatus::Unknown);
+            }
+        }
+        assert_eq!(JobStatus::from_code(99), JobStatus::Unknown);
+    }
+
+    #[test]
+    fn trace_parse_handles_comments_and_blanks() {
+        let text = "; Computer: EGEE-like synthetic\n\n1 0 -1 100 1 -1 -1 1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n; trailing note\n2 10 -1 200 2 -1 -1 2 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        let t = SwfTrace::parse(text).unwrap();
+        assert_eq!(t.header.len(), 2);
+        assert_eq!(t.jobs.len(), 2);
+        assert_eq!(t.jobs[1].num_procs, 2);
+    }
+
+    #[test]
+    fn trace_text_roundtrip() {
+        let t = SwfTrace {
+            header: vec!["Version: 2.2".into()],
+            jobs: vec![
+                SwfJob::completed(1, 0, 50, 1),
+                SwfJob::completed(2, 30, 70, 4),
+            ],
+        };
+        let back = SwfTrace::parse(&t.to_text()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn merge_sorts_and_renumbers() {
+        let a = SwfTrace {
+            header: vec!["file-a".into()],
+            jobs: vec![SwfJob::completed(1, 100, 10, 1)],
+        };
+        let b = SwfTrace {
+            header: vec!["file-b".into()],
+            jobs: vec![
+                SwfJob::completed(1, 50, 10, 1),
+                SwfJob::completed(2, 150, 10, 1),
+            ],
+        };
+        let m = SwfTrace::merge(&[a, b]);
+        assert_eq!(m.jobs.len(), 3);
+        assert_eq!(
+            m.jobs.iter().map(|j| j.submit_time).collect::<Vec<_>>(),
+            vec![50, 100, 150]
+        );
+        assert_eq!(
+            m.jobs.iter().map(|j| j.job_id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(m.span(), 100);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_span() {
+        assert_eq!(SwfTrace::default().span(), 0);
+    }
+}

@@ -1,0 +1,340 @@
+//! Synthetic EGEE-like trace generation.
+//!
+//! The Grid Observatory's raw EGEE logs are not redistributable, so this
+//! generator synthesizes a trace with the statistical features the
+//! paper's pipeline depends on: *bursty* submissions (scientific
+//! workflows arrive as sets of near-identical jobs), a diurnal arrival
+//! cycle, heavy-tailed (log-normal) runtimes, small per-job processor
+//! counts, and a realistic share of failed/cancelled records for the
+//! cleaning pass to eliminate. The output is a plain [`SwfTrace`], so
+//! anything downstream is agnostic to whether the trace is synthetic or
+//! archival.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::format::{JobStatus, SwfJob, SwfTrace};
+
+/// Configuration of the synthetic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// RNG seed (the trace is a pure function of the config).
+    pub seed: u64,
+    /// Number of job records to emit (before cleaning).
+    pub total_jobs: usize,
+    /// Mean time between submission bursts, seconds.
+    pub mean_burst_gap_s: f64,
+    /// Burst size is uniform in `1..=max_burst_jobs` (the paper: 1–5).
+    pub max_burst_jobs: usize,
+    /// Log-normal runtime parameters (of the underlying normal), seconds.
+    pub runtime_mu: f64,
+    /// Log-normal sigma.
+    pub runtime_sigma: f64,
+    /// Fraction of jobs recorded as failed (status 0).
+    pub failed_frac: f64,
+    /// Fraction of jobs recorded as cancelled (status 5).
+    pub cancelled_frac: f64,
+    /// Amplitude of the diurnal arrival-rate modulation in `[0, 1)`
+    /// (0 disables the day/night cycle).
+    pub diurnal_amplitude: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0xE6EE,
+            total_jobs: 5_000,
+            mean_burst_gap_s: 90.0,
+            max_burst_jobs: 5,
+            runtime_mu: 6.9,    // median ~1000 s
+            runtime_sigma: 0.8, // heavy-ish tail
+            failed_frac: 0.08,
+            cancelled_frac: 0.04,
+            diurnal_amplitude: 0.5,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Validate config invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.total_jobs == 0 {
+            return Err("total_jobs must be positive".into());
+        }
+        if self.max_burst_jobs == 0 {
+            return Err("max_burst_jobs must be positive".into());
+        }
+        if self.mean_burst_gap_s.is_nan() || self.mean_burst_gap_s <= 0.0 {
+            return Err("mean_burst_gap_s must be positive".into());
+        }
+        if self.failed_frac + self.cancelled_frac >= 1.0 {
+            return Err("failure + cancellation fractions must leave completed jobs".into());
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err("diurnal_amplitude must be in [0,1)".into());
+        }
+        Ok(())
+    }
+}
+
+/// EGEE-like SWF trace generator.
+///
+/// ```
+/// use eavm_swf::{GeneratorConfig, TraceGenerator, clean_trace};
+/// let mut generator = TraceGenerator::new(GeneratorConfig {
+///     seed: 1,
+///     total_jobs: 100,
+///     ..Default::default()
+/// }).unwrap();
+/// let mut trace = generator.generate();
+/// assert_eq!(trace.jobs.len(), 100);
+/// let report = clean_trace(&mut trace);
+/// assert_eq!(report.kept, trace.jobs.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: GeneratorConfig,
+    rng: StdRng,
+}
+
+impl TraceGenerator {
+    /// Construct from a validated config.
+    pub fn new(config: GeneratorConfig) -> Result<Self, String> {
+        config.validate()?;
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(TraceGenerator { config, rng })
+    }
+
+    /// Sample a standard normal via Box–Muller.
+    fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Sample a job runtime, log-normal, clamped to `[60 s, 8 h]` (grid
+    /// jobs below a minute or above a workday are cleaned as anomalies in
+    /// practice).
+    fn runtime(&mut self) -> i64 {
+        let z = self.standard_normal();
+        let t = (self.config.runtime_mu + self.config.runtime_sigma * z).exp();
+        t.clamp(60.0, 8.0 * 3600.0) as i64
+    }
+
+    /// Diurnal arrival-rate multiplier at absolute time `t` (seconds):
+    /// slow nights, busy afternoons.
+    fn diurnal_factor(&self, t: f64) -> f64 {
+        let a = self.config.diurnal_amplitude;
+        if a == 0.0 {
+            return 1.0;
+        }
+        let day_phase = (t % 86_400.0) / 86_400.0;
+        // Peak around 15:00, trough around 03:00.
+        1.0 + a * (std::f64::consts::TAU * (day_phase - 0.625)).cos()
+    }
+
+    /// Sample the job status with the configured failure mix.
+    fn status(&mut self) -> JobStatus {
+        let x: f64 = self.rng.gen();
+        if x < self.config.failed_frac {
+            JobStatus::Failed
+        } else if x < self.config.failed_frac + self.config.cancelled_frac {
+            JobStatus::Cancelled
+        } else {
+            JobStatus::Completed
+        }
+    }
+
+    /// Generate the trace.
+    pub fn generate(&mut self) -> SwfTrace {
+        let mut jobs = Vec::with_capacity(self.config.total_jobs);
+        let mut t = 0.0f64;
+        let mut next_id = 1i64;
+
+        while jobs.len() < self.config.total_jobs {
+            // Exponential gap between bursts, modulated by the day cycle
+            // (thinning: higher rate => shorter gaps).
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            let rate = self.diurnal_factor(t) / self.config.mean_burst_gap_s;
+            t += -u.ln() / rate;
+
+            // A burst of near-identical jobs: one scientific workflow.
+            let burst = self.rng.gen_range(1..=self.config.max_burst_jobs);
+            let exe = self.rng.gen_range(1..=40);
+            let user = self.rng.gen_range(1..=60);
+            let runtime = self.runtime();
+            let procs = self.rng.gen_range(1..=8);
+            for _ in 0..burst {
+                if jobs.len() >= self.config.total_jobs {
+                    break;
+                }
+                // Jobs of one workflow share runtime scale and resources,
+                // with small per-job jitter.
+                let jitter = 1.0 + self.rng.gen_range(-0.1..0.1);
+                let jittered = ((runtime as f64) * jitter).clamp(60.0, 8.0 * 3600.0) as i64;
+                let mut job = SwfJob::completed(next_id, t as i64, jittered, procs);
+                job.status = self.status().code();
+                job.user_id = user;
+                job.exe_num = exe;
+                job.group_id = user % 10;
+                job.queue_num = 1;
+                jobs.push(job);
+                next_id += 1;
+            }
+        }
+
+        SwfTrace {
+            header: vec![
+                "Version: 2.2".into(),
+                "Computer: synthetic EGEE-like grid (eavm-swf generator)".into(),
+                format!("Note: seed={} jobs={}", self.config.seed, self.config.total_jobs),
+            ],
+            jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clean::clean_trace;
+
+    fn gen(seed: u64, jobs: usize) -> SwfTrace {
+        let mut g = TraceGenerator::new(GeneratorConfig {
+            seed,
+            total_jobs: jobs,
+            ..Default::default()
+        })
+        .unwrap();
+        g.generate()
+    }
+
+    #[test]
+    fn generates_requested_job_count() {
+        let t = gen(1, 2_000);
+        assert_eq!(t.jobs.len(), 2_000);
+        assert!(!t.header.is_empty());
+    }
+
+    #[test]
+    fn submissions_are_monotone_and_ids_unique() {
+        let t = gen(2, 3_000);
+        for w in t.jobs.windows(2) {
+            assert!(w[0].submit_time <= w[1].submit_time);
+            assert!(w[0].job_id < w[1].job_id);
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        assert_eq!(gen(3, 500), gen(3, 500));
+        assert_ne!(gen(3, 500), gen(4, 500));
+    }
+
+    #[test]
+    fn failure_mix_is_roughly_as_configured() {
+        let t = gen(5, 10_000);
+        let failed = t
+            .jobs
+            .iter()
+            .filter(|j| j.job_status() == JobStatus::Failed)
+            .count() as f64;
+        let cancelled = t
+            .jobs
+            .iter()
+            .filter(|j| j.job_status() == JobStatus::Cancelled)
+            .count() as f64;
+        let n = t.jobs.len() as f64;
+        assert!((failed / n - 0.08).abs() < 0.02);
+        assert!((cancelled / n - 0.04).abs() < 0.015);
+    }
+
+    #[test]
+    fn runtimes_are_heavy_tailed_but_bounded() {
+        let t = gen(6, 5_000);
+        let mut runtimes: Vec<i64> = t.jobs.iter().map(|j| j.run_time).collect();
+        runtimes.sort_unstable();
+        let median = runtimes[runtimes.len() / 2] as f64;
+        let p95 = runtimes[runtimes.len() * 95 / 100] as f64;
+        assert!((500.0..2_000.0).contains(&median), "median={median}");
+        assert!(p95 > 2.0 * median, "tail missing: p95={p95} median={median}");
+        assert!(*runtimes.first().unwrap() >= 60);
+        assert!(*runtimes.last().unwrap() <= 8 * 3600);
+    }
+
+    #[test]
+    fn cleaned_trace_only_keeps_completed_jobs() {
+        let mut t = gen(7, 4_000);
+        let report = clean_trace(&mut t);
+        assert!(report.failed > 0 && report.cancelled > 0);
+        assert!(report.kept > 3_000);
+        assert!(t
+            .jobs
+            .iter()
+            .all(|j| j.job_status() == JobStatus::Completed));
+    }
+
+    #[test]
+    fn bursts_exist() {
+        // At least some adjacent jobs share a submit time (same burst).
+        let t = gen(8, 2_000);
+        let shared = t
+            .jobs
+            .windows(2)
+            .filter(|w| w[0].submit_time == w[1].submit_time)
+            .count();
+        assert!(shared > 200, "only {shared} same-instant pairs");
+    }
+
+    #[test]
+    fn diurnal_cycle_shifts_arrivals() {
+        // With strong day/night modulation, daytime hours should receive
+        // noticeably more bursts than night hours.
+        let mut g = TraceGenerator::new(GeneratorConfig {
+            seed: 11,
+            total_jobs: 20_000,
+            diurnal_amplitude: 0.8,
+            ..Default::default()
+        })
+        .unwrap();
+        let t = g.generate();
+        let mut day = 0usize;
+        let mut night = 0usize;
+        for j in &t.jobs {
+            let hour = (j.submit_time % 86_400) / 3_600;
+            if (11..=19).contains(&hour) {
+                day += 1;
+            } else if !(6..=23).contains(&hour) {
+                night += 1;
+            }
+        }
+        // 9 day-hours vs 6 night-hours; normalize per hour.
+        let day_rate = day as f64 / 9.0;
+        let night_rate = night as f64 / 6.0;
+        assert!(
+            day_rate > 1.3 * night_rate,
+            "day={day_rate:.1}/h night={night_rate:.1}/h"
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(GeneratorConfig::default().validate().is_ok());
+        let no_jobs = GeneratorConfig {
+            total_jobs: 0,
+            ..Default::default()
+        };
+        assert!(no_jobs.validate().is_err());
+        let all_failures = GeneratorConfig {
+            failed_frac: 0.9,
+            cancelled_frac: 0.2,
+            ..Default::default()
+        };
+        assert!(all_failures.validate().is_err());
+        let full_amplitude = GeneratorConfig {
+            diurnal_amplitude: 1.0,
+            ..Default::default()
+        };
+        assert!(full_amplitude.validate().is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # eavm-swf
+//!
+//! Workload-trace substrate reproducing Sect. IV-B of the paper:
+//!
+//! > "we used production workload traces from the Grid Observatory, which
+//! > collects, publishes, and analyzes logs on the behavior of the EGEE
+//! > Grid. ... First, we converted the input traces to the Standard
+//! > Workload Format (SWF). ... Then, we cleaned the trace ... in order to
+//! > eliminate failed jobs, cancelled jobs and anomalies. ... We randomly
+//! > assigned one of the possible benchmark profiles to each request in
+//! > the input trace, following a uniform distribution by bursts. ...
+//! > we assigned 1 to 4 VMs per job request rather than the original CPU
+//! > demand and we defined the QoS requirements (maximum in response
+//! > time) per application type."
+//!
+//! The real Grid Observatory archives are not redistributable, so
+//! [`generator`] synthesizes an EGEE-like SWF trace (bursty arrivals with
+//! a diurnal cycle, heavy-tailed runtimes, a realistic share of
+//! failed/cancelled jobs for the cleaner to remove); [`format`](crate::format#) implements
+//! the SWF v2.2 file format itself, [`clean`] the cleaning pass, and
+//! [`adapt`] the conversion of cleaned SWF jobs into typed VM requests
+//! with per-type QoS deadlines.
+
+pub mod adapt;
+pub mod clean;
+pub mod format;
+pub mod generator;
+pub mod header;
+pub mod stats;
+
+pub use adapt::{adapt_trace, total_vms, truncate_to_vm_total, AdaptConfig, VmRequest};
+pub use clean::{clean_trace, CleaningReport};
+pub use format::{JobStatus, SwfJob, SwfTrace};
+pub use generator::{GeneratorConfig, TraceGenerator};
+pub use header::SwfMetadata;
+pub use stats::{Distribution, TraceStats};

@@ -1,0 +1,249 @@
+//! Descriptive statistics of an SWF trace.
+//!
+//! The paper pre-processes its Grid Observatory traces before simulation;
+//! this module provides the summary a practitioner inspects while doing
+//! that (arrival structure, runtime distribution, status mix), and backs
+//! the `eavm-cli trace-stats` subcommand.
+
+use crate::format::{JobStatus, SwfTrace};
+
+/// Percentile summary of an integer-valued field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Distribution {
+    /// Smallest observation.
+    pub min: i64,
+    /// Median.
+    pub median: i64,
+    /// 95th percentile (nearest-rank).
+    pub p95: i64,
+    /// Largest observation.
+    pub max: i64,
+}
+
+impl Distribution {
+    fn of(values: &mut [i64]) -> Option<Distribution> {
+        if values.is_empty() {
+            return None;
+        }
+        values.sort_unstable();
+        let n = values.len();
+        let rank = |q: f64| values[(((n as f64) * q).ceil() as usize).clamp(1, n) - 1];
+        Some(Distribution {
+            min: values[0],
+            median: rank(0.5),
+            p95: rank(0.95),
+            max: values[n - 1],
+        })
+    }
+}
+
+/// Aggregate statistics of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of job records.
+    pub jobs: usize,
+    /// Trace span (first to last submission), seconds.
+    pub span_s: i64,
+    /// Number of submission bursts (maximal same-instant groups).
+    pub bursts: usize,
+    /// Mean number of jobs per burst.
+    pub mean_burst_size: f64,
+    /// Mean gap between consecutive bursts, seconds.
+    pub mean_burst_gap_s: f64,
+    /// Runtime distribution of completed jobs, seconds.
+    pub runtime: Option<Distribution>,
+    /// Processor-count distribution.
+    pub procs: Option<Distribution>,
+    /// Jobs by status: (completed, failed, cancelled, other).
+    pub status_mix: (usize, usize, usize, usize),
+}
+
+impl TraceStats {
+    /// Compute statistics over a trace (jobs need not be cleaned).
+    pub fn of(trace: &SwfTrace) -> TraceStats {
+        let jobs = trace.jobs.len();
+        let mut bursts = 0usize;
+        let mut gaps: Vec<i64> = Vec::new();
+        let mut prev_submit: Option<i64> = None;
+        for j in &trace.jobs {
+            match prev_submit {
+                Some(p) if p == j.submit_time => {}
+                Some(p) => {
+                    bursts += 1;
+                    gaps.push(j.submit_time - p);
+                    prev_submit = Some(j.submit_time);
+                }
+                None => {
+                    bursts += 1;
+                    prev_submit = Some(j.submit_time);
+                }
+            }
+        }
+
+        let mut runtimes: Vec<i64> = trace
+            .jobs
+            .iter()
+            .filter(|j| j.job_status() == JobStatus::Completed && j.run_time > 0)
+            .map(|j| j.run_time)
+            .collect();
+        let mut procs: Vec<i64> = trace
+            .jobs
+            .iter()
+            .filter(|j| j.num_procs > 0)
+            .map(|j| j.num_procs)
+            .collect();
+
+        let mut status = (0usize, 0usize, 0usize, 0usize);
+        for j in &trace.jobs {
+            match j.job_status() {
+                JobStatus::Completed => status.0 += 1,
+                JobStatus::Failed | JobStatus::PartialFailed => status.1 += 1,
+                JobStatus::Cancelled => status.2 += 1,
+                _ => status.3 += 1,
+            }
+        }
+
+        TraceStats {
+            jobs,
+            span_s: trace.span(),
+            bursts,
+            mean_burst_size: if bursts == 0 {
+                0.0
+            } else {
+                jobs as f64 / bursts as f64
+            },
+            mean_burst_gap_s: if gaps.is_empty() {
+                0.0
+            } else {
+                gaps.iter().sum::<i64>() as f64 / gaps.len() as f64
+            },
+            runtime: Distribution::of(&mut runtimes),
+            procs: Distribution::of(&mut procs),
+            status_mix: status,
+        }
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let dist = |d: &Option<Distribution>| match d {
+            Some(d) => format!(
+                "min {} / median {} / p95 {} / max {}",
+                d.min, d.median, d.p95, d.max
+            ),
+            None => "n/a".to_string(),
+        };
+        let (ok, failed, cancelled, other) = self.status_mix;
+        format!(
+            "jobs:            {}\n\
+             span:            {} s\n\
+             bursts:          {} (mean size {:.2}, mean gap {:.1} s)\n\
+             runtimes (s):    {}\n\
+             processors:      {}\n\
+             status mix:      {} completed / {} failed / {} cancelled / {} other\n",
+            self.jobs,
+            self.span_s,
+            self.bursts,
+            self.mean_burst_size,
+            self.mean_burst_gap_s,
+            dist(&self.runtime),
+            dist(&self.procs),
+            ok,
+            failed,
+            cancelled,
+            other,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::SwfJob;
+    use crate::generator::{GeneratorConfig, TraceGenerator};
+
+    fn mini_trace() -> SwfTrace {
+        let mut jobs = vec![
+            SwfJob::completed(1, 0, 100, 1),
+            SwfJob::completed(2, 0, 200, 2), // same burst as job 1
+            SwfJob::completed(3, 50, 300, 4),
+            SwfJob::completed(4, 150, 400, 8),
+        ];
+        jobs[3].status = JobStatus::Failed.code();
+        SwfTrace {
+            header: vec![],
+            jobs,
+        }
+    }
+
+    #[test]
+    fn counts_bursts_and_gaps() {
+        let s = TraceStats::of(&mini_trace());
+        assert_eq!(s.jobs, 4);
+        assert_eq!(s.bursts, 3); // {0,0}, {50}, {150}
+        assert!((s.mean_burst_size - 4.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_burst_gap_s - 75.0).abs() < 1e-12); // gaps 50, 100
+        assert_eq!(s.span_s, 150);
+    }
+
+    #[test]
+    fn runtime_distribution_excludes_failures() {
+        let s = TraceStats::of(&mini_trace());
+        let r = s.runtime.unwrap();
+        assert_eq!(r.min, 100);
+        assert_eq!(r.max, 300); // job 4 failed, excluded
+        assert_eq!(r.median, 200);
+    }
+
+    #[test]
+    fn status_mix_counts_every_class() {
+        let s = TraceStats::of(&mini_trace());
+        assert_eq!(s.status_mix, (3, 1, 0, 0));
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::of(&SwfTrace::default());
+        assert_eq!(s.jobs, 0);
+        assert_eq!(s.bursts, 0);
+        assert!(s.runtime.is_none());
+        assert!(s.render().contains("n/a"));
+    }
+
+    #[test]
+    fn render_mentions_the_headline_numbers() {
+        let text = TraceStats::of(&mini_trace()).render();
+        assert!(text.contains("jobs:            4"));
+        assert!(text.contains("3 completed / 1 failed"));
+    }
+
+    #[test]
+    fn generated_trace_statistics_match_generator_config() {
+        let mut g = TraceGenerator::new(GeneratorConfig {
+            seed: 5,
+            total_jobs: 6_000,
+            mean_burst_gap_s: 90.0,
+            ..Default::default()
+        })
+        .unwrap();
+        let t = g.generate();
+        let s = TraceStats::of(&t);
+        // Burst sizes uniform 1..=5 => mean ~3.
+        assert!((s.mean_burst_size - 3.0).abs() < 0.25, "{}", s.mean_burst_size);
+        // Mean gap tracks the configured scale (diurnal modulation skews
+        // it somewhat).
+        assert!((60.0..140.0).contains(&s.mean_burst_gap_s), "{}", s.mean_burst_gap_s);
+        let (ok, failed, cancelled, _) = s.status_mix;
+        assert!(ok > failed + cancelled);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut values = vec![10, 20, 30, 40];
+        let d = Distribution::of(&mut values).unwrap();
+        assert_eq!(d.median, 20);
+        assert_eq!(d.p95, 40);
+        let mut single = vec![7];
+        let d = Distribution::of(&mut single).unwrap();
+        assert_eq!((d.min, d.median, d.p95, d.max), (7, 7, 7, 7));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the SWF tooling: format roundtrips, cleaner
+//! idempotence/soundness, adapter invariants.
+
+use eavm_swf::{
+    adapt_trace, clean_trace, total_vms, truncate_to_vm_total, AdaptConfig, JobStatus, SwfJob,
+    SwfTrace,
+};
+use eavm_types::Seconds;
+use proptest::prelude::*;
+
+fn arb_job() -> impl Strategy<Value = SwfJob> {
+    (
+        1i64..1_000_000,
+        -10i64..2_000_000,
+        -1i64..100_000,
+        -10i64..50_000,
+        -2i64..64,
+        -1i64..=5,
+    )
+        .prop_map(|(id, submit, wait, run, procs, status)| {
+            let mut j = SwfJob::completed(id, submit, run, procs);
+            j.wait_time = wait;
+            j.status = status;
+            j
+        })
+}
+
+proptest! {
+    #[test]
+    fn job_line_roundtrip(j in arb_job()) {
+        let back = SwfJob::from_line(&j.to_line()).unwrap();
+        prop_assert_eq!(back, j);
+    }
+
+    #[test]
+    fn trace_text_roundtrip(jobs in proptest::collection::vec(arb_job(), 0..30)) {
+        let t = SwfTrace { header: vec!["Version: 2.2".into()], jobs };
+        let back = SwfTrace::parse(&t.to_text()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Cleaning keeps exactly the completed, sane jobs, in submit order,
+    /// and is idempotent.
+    #[test]
+    fn cleaning_is_sound_and_idempotent(jobs in proptest::collection::vec(arb_job(), 0..60)) {
+        let mut t = SwfTrace { header: vec![], jobs };
+        let before = t.jobs.len();
+        let report = clean_trace(&mut t);
+        prop_assert_eq!(report.kept + report.dropped(), before);
+        prop_assert_eq!(report.kept, t.jobs.len());
+        for j in &t.jobs {
+            prop_assert_eq!(j.job_status(), JobStatus::Completed);
+            prop_assert!(j.run_time > 0 && j.num_procs > 0 && j.submit_time >= 0);
+        }
+        prop_assert!(t.jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time));
+
+        let again = clean_trace(&mut t);
+        prop_assert_eq!(again.dropped(), 0);
+        prop_assert!(!again.reordered);
+    }
+
+    /// Merging preserves the job population and renumbers 1..=n.
+    #[test]
+    fn merge_preserves_population(
+        a in proptest::collection::vec(arb_job(), 0..20),
+        b in proptest::collection::vec(arb_job(), 0..20),
+    ) {
+        let ta = SwfTrace { header: vec!["a".into()], jobs: a.clone() };
+        let tb = SwfTrace { header: vec!["b".into()], jobs: b.clone() };
+        let m = SwfTrace::merge(&[ta, tb]);
+        prop_assert_eq!(m.jobs.len(), a.len() + b.len());
+        prop_assert!(m.jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time));
+        for (i, j) in m.jobs.iter().enumerate() {
+            prop_assert_eq!(j.job_id, i as i64 + 1);
+        }
+    }
+
+    /// The adapter emits one typed request per cleaned job with VM counts
+    /// and deadlines inside the configured ranges; truncation respects
+    /// the cap and keeps a prefix.
+    #[test]
+    fn adaptation_invariants(jobs in proptest::collection::vec(arb_job(), 1..80), cap in 1u32..200) {
+        let mut t = SwfTrace { header: vec![], jobs };
+        clean_trace(&mut t);
+        prop_assume!(!t.jobs.is_empty());
+        let cfg = AdaptConfig::paper(7, [Seconds(1200.0), Seconds(1000.0), Seconds(900.0)]);
+        let requests = adapt_trace(&t, &cfg);
+        prop_assert_eq!(requests.len(), t.jobs.len());
+        for (r, j) in requests.iter().zip(&t.jobs) {
+            prop_assert!((cfg.vms_min..=cfg.vms_max).contains(&r.vm_count));
+            prop_assert_eq!(r.deadline, cfg.deadline(r.workload));
+            prop_assert_eq!(r.submit, Seconds(j.submit_time as f64));
+        }
+
+        let mut truncated = requests.clone();
+        truncate_to_vm_total(&mut truncated, cap);
+        prop_assert!(total_vms(&truncated) <= cap);
+        prop_assert_eq!(&truncated[..], &requests[..truncated.len()]);
+        // Maximality: adding the next request would overflow the cap.
+        if truncated.len() < requests.len() {
+            prop_assert!(total_vms(&truncated) + requests[truncated.len()].vm_count > cap);
+        }
+    }
+}

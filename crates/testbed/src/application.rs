@@ -1,0 +1,366 @@
+//! HPC application (benchmark workload) descriptors.
+//!
+//! Section III-A of the paper profiles a comprehensive set of standard HPC
+//! benchmarks with mpstat/iostat/netstat/perfctr/PAPI and classifies each
+//! as CPU-, memory-, and/or I/O-intensive. We encode the outcome of that
+//! profiling directly: each [`ApplicationProfile`] carries the average
+//! per-subsystem demand of one single-process VM running the benchmark,
+//! the fraction of solo runtime spent *bound* on each subsystem (used by
+//! the contention model to weight slowdowns), the guest memory footprint,
+//! the serial initialization fraction, and the solo runtime on an idle
+//! reference server.
+
+use eavm_types::{Seconds, WorkloadType};
+
+use crate::server::{PerSubsystem, Subsystem};
+
+/// Average resource demand of one VM, by subsystem. Units match
+/// [`crate::server::ServerSpec::capacity`]: CPU in cores, memory bandwidth
+/// in GB/s, disk bandwidth in MB/s, network bandwidth in MB/s.
+pub type DemandVector = PerSubsystem;
+
+/// A repeating demand burst used by the profiler to render phase-structured
+/// workloads (e.g. the compute/communicate alternation of MPI codes in
+/// Fig. 1 right). During the "on" part of each period the named subsystem's
+/// demand is scaled up and the others down, producing the interleaved
+/// utilization traces of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstPattern {
+    /// Subsystem that bursts.
+    pub subsystem: Subsystem,
+    /// Burst period, seconds.
+    pub period: Seconds,
+    /// Fraction of each period that the burst is active, in `(0, 1)`.
+    pub duty: f64,
+}
+
+/// Static profile of one benchmark workload (one single-process VM, per the
+/// paper's "single process per VM" assumption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationProfile {
+    /// Benchmark name (e.g. `fftw`, `hpl`, `sysbench`).
+    pub name: String,
+    /// Coarse classification used as the model-database key.
+    pub class: WorkloadType,
+    /// Average demand during the main phase.
+    pub demand: DemandVector,
+    /// Fraction of solo runtime bound on each subsystem; the contention
+    /// model weights per-subsystem slowdowns by these. Must sum to 1.
+    pub phase_weights: PerSubsystem,
+    /// Guest RAM footprint, MB.
+    pub mem_footprint_mb: f64,
+    /// Fraction of solo runtime that is serial initialization and does not
+    /// contend with co-located VMs (FFTW's "long initialization phase").
+    pub serial_frac: f64,
+    /// Solo runtime on an idle reference server (the paper's `TC`/`TM`/`TI`).
+    pub base_runtime: Seconds,
+    /// Optional bursty phase structure rendered by the profiler.
+    pub burst: Option<BurstPattern>,
+}
+
+impl ApplicationProfile {
+    /// Validate profile invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        let wsum = self.phase_weights.sum();
+        if (wsum - 1.0).abs() > 1e-9 {
+            return Err(format!(
+                "{}: phase weights must sum to 1, got {wsum}",
+                self.name
+            ));
+        }
+        if !(0.0..1.0).contains(&self.serial_frac) {
+            return Err(format!(
+                "{}: serial fraction must be in [0,1), got {}",
+                self.name, self.serial_frac
+            ));
+        }
+        if self.base_runtime <= Seconds::ZERO {
+            return Err(format!("{}: base runtime must be positive", self.name));
+        }
+        if self.mem_footprint_mb <= 0.0 {
+            return Err(format!("{}: memory footprint must be positive", self.name));
+        }
+        for (s, d) in self.demand.iter() {
+            if d < 0.0 {
+                return Err(format!("{}: negative demand for {s}", self.name));
+            }
+        }
+        if let Some(b) = &self.burst {
+            if b.period <= Seconds::ZERO || !(0.0 < b.duty && b.duty < 1.0) {
+                return Err(format!("{}: invalid burst pattern", self.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// FFTW: discrete Fourier transform, single thread, long initialization
+    /// phase (plan creation). The paper's Fig. 2 subject.
+    pub fn fftw() -> Self {
+        ApplicationProfile {
+            name: "fftw".into(),
+            class: WorkloadType::Cpu,
+            demand: PerSubsystem([1.0, 0.4, 2.0, 0.0]),
+            phase_weights: PerSubsystem([0.85, 0.11, 0.04, 0.0]),
+            mem_footprint_mb: 320.0,
+            serial_frac: 0.5,
+            base_runtime: Seconds(1200.0),
+            burst: None,
+        }
+    }
+
+    /// HPL Linpack: dense linear solve, double precision.
+    pub fn hpl() -> Self {
+        ApplicationProfile {
+            name: "hpl".into(),
+            class: WorkloadType::Cpu,
+            demand: PerSubsystem([1.0, 0.8, 1.0, 0.0]),
+            phase_weights: PerSubsystem([0.80, 0.17, 0.03, 0.0]),
+            mem_footprint_mb: 350.0,
+            serial_frac: 0.12,
+            base_runtime: Seconds(1500.0),
+            burst: None,
+        }
+    }
+
+    /// sysbench: multi-threaded database-style benchmark; memory-intensive.
+    pub fn sysbench() -> Self {
+        ApplicationProfile {
+            name: "sysbench".into(),
+            class: WorkloadType::Mem,
+            demand: PerSubsystem([0.6, 2.2, 5.0, 0.0]),
+            phase_weights: PerSubsystem([0.25, 0.65, 0.10, 0.0]),
+            mem_footprint_mb: 850.0,
+            serial_frac: 0.06,
+            base_runtime: Seconds(1000.0),
+            burst: None,
+        }
+    }
+
+    /// b_eff_io: MPI-I/O benchmark; disk- and network-intensive.
+    pub fn b_eff_io() -> Self {
+        ApplicationProfile {
+            name: "b_eff_io".into(),
+            class: WorkloadType::Io,
+            demand: PerSubsystem([0.3, 0.3, 55.0, 30.0]),
+            phase_weights: PerSubsystem([0.15, 0.05, 0.55, 0.25]),
+            mem_footprint_mb: 256.0,
+            serial_frac: 0.05,
+            base_runtime: Seconds(900.0),
+            burst: Some(BurstPattern {
+                subsystem: Subsystem::Net,
+                period: Seconds(40.0),
+                duty: 0.4,
+            }),
+        }
+    }
+
+    /// bonnie++: hard-drive and filesystem benchmark.
+    pub fn bonnie() -> Self {
+        ApplicationProfile {
+            name: "bonnie++".into(),
+            class: WorkloadType::Io,
+            demand: PerSubsystem([0.25, 0.2, 70.0, 0.0]),
+            phase_weights: PerSubsystem([0.10, 0.05, 0.85, 0.0]),
+            mem_footprint_mb: 128.0,
+            serial_frac: 0.02,
+            base_runtime: Seconds(800.0),
+            burst: None,
+        }
+    }
+
+    /// A CPU- cum network-intensive MPI workload, the subject of Fig. 1
+    /// (right): alternating compute and communication phases.
+    pub fn mpi_compute_comm() -> Self {
+        ApplicationProfile {
+            name: "mpi-compute-comm".into(),
+            class: WorkloadType::Cpu,
+            demand: PerSubsystem([1.0, 0.5, 1.0, 55.0]),
+            phase_weights: PerSubsystem([0.60, 0.10, 0.02, 0.28]),
+            mem_footprint_mb: 400.0,
+            serial_frac: 0.08,
+            base_runtime: Seconds(1400.0),
+            burst: Some(BurstPattern {
+                subsystem: Subsystem::Net,
+                period: Seconds(30.0),
+                duty: 0.35,
+            }),
+        }
+    }
+}
+
+/// The benchmark suite used to build the model database: one representative
+/// workload per [`WorkloadType`], mirroring the paper's choice of FFTW
+/// (CPU), sysbench (memory), and b_eff_io (I/O) as class representatives,
+/// plus the remaining profiled benchmarks.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSuite {
+    /// Representative profile per workload type, indexed by
+    /// [`WorkloadType::index`].
+    representatives: [ApplicationProfile; 3],
+    /// Every profiled benchmark (superset of the representatives).
+    all: Vec<ApplicationProfile>,
+}
+
+impl BenchmarkSuite {
+    /// The paper's suite with its default representatives.
+    pub fn standard() -> Self {
+        let reps = [
+            ApplicationProfile::fftw(),
+            ApplicationProfile::sysbench(),
+            ApplicationProfile::b_eff_io(),
+        ];
+        let all = vec![
+            ApplicationProfile::fftw(),
+            ApplicationProfile::hpl(),
+            ApplicationProfile::sysbench(),
+            ApplicationProfile::b_eff_io(),
+            ApplicationProfile::bonnie(),
+            ApplicationProfile::mpi_compute_comm(),
+        ];
+        BenchmarkSuite {
+            representatives: reps,
+            all,
+        }
+    }
+
+    /// Build a suite from explicit representatives (`[cpu, mem, io]`).
+    pub fn with_representatives(reps: [ApplicationProfile; 3]) -> Result<Self, String> {
+        for (i, p) in reps.iter().enumerate() {
+            p.validate()?;
+            if p.class.index() != i {
+                return Err(format!(
+                    "representative {} has class {} but occupies the {} slot",
+                    p.name,
+                    p.class,
+                    WorkloadType::from_index(i)
+                ));
+            }
+        }
+        let all = reps.to_vec();
+        Ok(BenchmarkSuite {
+            representatives: reps,
+            all,
+        })
+    }
+
+    /// The representative profile for a workload type.
+    #[inline]
+    pub fn representative(&self, ty: WorkloadType) -> &ApplicationProfile {
+        &self.representatives[ty.index()]
+    }
+
+    /// Every profiled benchmark.
+    pub fn all(&self) -> &[ApplicationProfile] {
+        &self.all
+    }
+
+    /// Find a benchmark by name.
+    pub fn by_name(&self, name: &str) -> Option<&ApplicationProfile> {
+        self.all.iter().find(|p| p.name == name)
+    }
+
+    /// Solo runtime of the representative for a type (the paper's
+    /// `TC`/`TM`/`TI`).
+    pub fn base_runtime(&self, ty: WorkloadType) -> Seconds {
+        self.representative(ty).base_runtime
+    }
+}
+
+impl Default for BenchmarkSuite {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_standard_profiles_validate() {
+        for p in BenchmarkSuite::standard().all() {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn representatives_cover_all_types() {
+        let suite = BenchmarkSuite::standard();
+        for ty in WorkloadType::ALL {
+            assert_eq!(suite.representative(ty).class, ty);
+        }
+    }
+
+    #[test]
+    fn fftw_matches_paper_narrative() {
+        let fftw = ApplicationProfile::fftw();
+        // "single thread, with long initialization phase"
+        assert_eq!(fftw.demand[Subsystem::Cpu], 1.0);
+        assert!(fftw.serial_frac >= 0.3);
+        assert_eq!(fftw.class, WorkloadType::Cpu);
+    }
+
+    #[test]
+    fn io_benchmarks_stress_disk() {
+        for p in [ApplicationProfile::b_eff_io(), ApplicationProfile::bonnie()] {
+            assert_eq!(p.class, WorkloadType::Io);
+            assert!(p.demand[Subsystem::Disk] > 30.0);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_benchmarks() {
+        let suite = BenchmarkSuite::standard();
+        assert!(suite.by_name("hpl").is_some());
+        assert!(suite.by_name("bonnie++").is_some());
+        assert!(suite.by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn with_representatives_checks_slot_classes() {
+        let bad = [
+            ApplicationProfile::fftw(),
+            ApplicationProfile::fftw(), // CPU profile in the MEM slot
+            ApplicationProfile::b_eff_io(),
+        ];
+        assert!(BenchmarkSuite::with_representatives(bad).is_err());
+
+        let good = [
+            ApplicationProfile::hpl(),
+            ApplicationProfile::sysbench(),
+            ApplicationProfile::bonnie(),
+        ];
+        assert!(BenchmarkSuite::with_representatives(good).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_profiles() {
+        let mut p = ApplicationProfile::fftw();
+        p.phase_weights = PerSubsystem([0.5, 0.0, 0.0, 0.0]);
+        assert!(p.validate().is_err());
+
+        let mut p = ApplicationProfile::fftw();
+        p.serial_frac = 1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = ApplicationProfile::fftw();
+        p.base_runtime = Seconds(0.0);
+        assert!(p.validate().is_err());
+
+        let mut p = ApplicationProfile::fftw();
+        p.mem_footprint_mb = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = ApplicationProfile::fftw();
+        p.demand[Subsystem::Net] = -1.0;
+        assert!(p.validate().is_err());
+
+        let mut p = ApplicationProfile::b_eff_io();
+        p.burst = Some(BurstPattern {
+            subsystem: Subsystem::Net,
+            period: Seconds(10.0),
+            duty: 1.5,
+        });
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! The analytic co-location model.
+//!
+//! This is the synthetic stand-in for the physics of the paper's testbed:
+//! given a set of single-process VMs co-located on one server, it projects
+//! each VM's execution time and the server's instantaneous power draw. The
+//! model composes three effects observed in the paper's measurements:
+//!
+//! 1. **Phase-weighted subsystem contention.** When the aggregate demand on
+//!    subsystem *k* exceeds its capacity, every VM's *k*-bound phases
+//!    stretch by the pressure ratio. A VM's overall slowdown is the
+//!    weighted sum of per-subsystem stretches, weighted by the fraction of
+//!    its solo runtime bound on each subsystem — this is what makes the
+//!    model *application-centric*: a CPU-bound VM barely notices disk
+//!    saturation and vice versa, so "compatible" VMs consolidate cheaply.
+//! 2. **Per-VM virtualization interference.** Xen scheduling, cache and
+//!    TLB pollution grow with the number of resident VMs; modelled as a
+//!    linear factor `1 + v·(n−1)`.
+//! 3. **Memory thrashing.** Once the sum of guest footprints exceeds the
+//!    RAM available to guests, the hypervisor swaps; execution time grows
+//!    steeply (square-root onset, which matches the "increases
+//!    significantly" cliff past 11 FFTW VMs in Fig. 2).
+//!
+//! Serial initialization phases (`serial_frac`) do not contend.
+
+use eavm_types::Seconds;
+
+use crate::application::ApplicationProfile;
+use crate::server::{PerSubsystem, ServerSpec, Subsystem};
+
+/// Tunable coefficients of the co-location model.
+///
+/// The defaults are calibrated (see `tests::fig2_calibration`) so that the
+/// FFTW profile reproduces Fig. 2: shortest average execution time at ~9
+/// VMs per server, significant degradation past 11.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionModel {
+    /// Per-additional-VM interference factor `v` (Xen scheduling, shared
+    /// cache/TLB pollution).
+    pub interference_per_vm: f64,
+    /// Thrashing coefficient: the multiplicative penalty is
+    /// `1 + thrash_coeff * sqrt(oversubscription_ratio)`.
+    pub thrash_coeff: f64,
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        ContentionModel {
+            interference_per_vm: 0.055,
+            thrash_coeff: 4.5,
+        }
+    }
+}
+
+impl ContentionModel {
+    /// Aggregate subsystem pressure ratios `r_k = Σ demand_k / capacity_k`
+    /// for a set of co-located VMs.
+    pub fn pressure(server: &ServerSpec, vms: &[&ApplicationProfile]) -> PerSubsystem {
+        let mut load = PerSubsystem::ZERO;
+        for vm in vms {
+            load.add(&vm.demand);
+        }
+        PerSubsystem::from_fn(|s| load[s] / server.capacity[s])
+    }
+
+    /// Effective utilization of each subsystem (pressure clamped to 1);
+    /// feeds the power model.
+    pub fn utilization(server: &ServerSpec, vms: &[&ApplicationProfile]) -> PerSubsystem {
+        let r = Self::pressure(server, vms);
+        PerSubsystem::from_fn(|s| r[s].min(1.0))
+    }
+
+    /// RAM oversubscription ratio: `max(0, (Σ footprints − guest RAM) /
+    /// guest RAM)`.
+    pub fn oversubscription(server: &ServerSpec, vms: &[&ApplicationProfile]) -> f64 {
+        let footprint: f64 = vms.iter().map(|v| v.mem_footprint_mb).sum();
+        let budget = server.guest_ram_mb();
+        ((footprint - budget) / budget).max(0.0)
+    }
+
+    /// The thrashing penalty factor for a set of VMs (≥ 1).
+    pub fn thrash_factor(&self, server: &ServerSpec, vms: &[&ApplicationProfile]) -> f64 {
+        1.0 + self.thrash_coeff * Self::oversubscription(server, vms).sqrt()
+    }
+
+    /// The virtualization interference factor for `n` resident VMs (≥ 1).
+    #[inline]
+    pub fn interference_factor(&self, n: usize) -> f64 {
+        1.0 + self.interference_per_vm * (n.saturating_sub(1) as f64)
+    }
+
+    /// Phase-weighted contention slowdown of VM `i` within the set (≥ 1).
+    pub fn contention_slowdown(
+        server: &ServerSpec,
+        vms: &[&ApplicationProfile],
+        i: usize,
+    ) -> f64 {
+        let r = Self::pressure(server, vms);
+        let me = vms[i];
+        Subsystem::ALL
+            .into_iter()
+            .map(|s| me.phase_weights[s] * r[s].max(1.0))
+            .sum()
+    }
+
+    /// Projected execution time of VM `i` when the whole set `vms` runs
+    /// together for its full duration.
+    pub fn projected_time(
+        &self,
+        server: &ServerSpec,
+        vms: &[&ApplicationProfile],
+        i: usize,
+    ) -> Seconds {
+        let me = vms[i];
+        let slow = Self::contention_slowdown(server, vms, i);
+        let ovh = self.interference_factor(vms.len());
+        let thrash = self.thrash_factor(server, vms);
+        let stretched = me.serial_frac + (1.0 - me.serial_frac) * slow;
+        me.base_runtime * (stretched * ovh * thrash)
+    }
+
+    /// Projected execution times of every VM in the set.
+    pub fn projected_times(
+        &self,
+        server: &ServerSpec,
+        vms: &[&ApplicationProfile],
+    ) -> Vec<Seconds> {
+        (0..vms.len())
+            .map(|i| self.projected_time(server, vms, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::ApplicationProfile;
+
+    fn server() -> ServerSpec {
+        ServerSpec::reference_rack_server()
+    }
+
+    #[test]
+    fn solo_vm_runs_at_base_speed() {
+        let m = ContentionModel::default();
+        let fftw = ApplicationProfile::fftw();
+        let t = m.projected_time(&server(), &[&fftw], 0);
+        assert!(
+            (t.value() - fftw.base_runtime.value()).abs() < 1e-9,
+            "solo run must take the base runtime, got {t}"
+        );
+    }
+
+    #[test]
+    fn pressure_is_additive() {
+        let fftw = ApplicationProfile::fftw();
+        let vms = vec![&fftw, &fftw, &fftw, &fftw];
+        let r = ContentionModel::pressure(&server(), &vms);
+        assert!((r[Subsystem::Cpu] - 1.0).abs() < 1e-12, "4 cores, 4 VMs");
+        let vms8: Vec<_> = std::iter::repeat_n(&fftw, 8).collect();
+        let r8 = ContentionModel::pressure(&server(), &vms8);
+        assert!((r8[Subsystem::Cpu] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_saturates_at_one() {
+        let fftw = ApplicationProfile::fftw();
+        let vms: Vec<_> = std::iter::repeat_n(&fftw, 8).collect();
+        let u = ContentionModel::utilization(&server(), &vms);
+        assert_eq!(u[Subsystem::Cpu], 1.0);
+        assert!(u[Subsystem::Mem] < 1.0);
+    }
+
+    #[test]
+    fn times_grow_monotonically_with_colocated_count() {
+        let m = ContentionModel::default();
+        let fftw = ApplicationProfile::fftw();
+        let mut prev = Seconds::ZERO;
+        for n in 1..=16 {
+            let vms: Vec<_> = std::iter::repeat_n(&fftw, n).collect();
+            let t = m.projected_time(&server(), &vms, 0);
+            assert!(t > prev, "time must grow with co-location: n={n}");
+            prev = t;
+        }
+    }
+
+    /// The Fig. 2 calibration: average execution time (projected time / n)
+    /// of FFTW is minimized in the 8..=10 range, exceeds the minimum by
+    /// >40 % at 12 VMs, and approaches the sequential average (the solo
+    /// > runtime) by 16 VMs.
+    #[test]
+    fn fig2_calibration() {
+        let m = ContentionModel::default();
+        let fftw = ApplicationProfile::fftw();
+        let avg = |n: usize| {
+            let vms: Vec<_> = std::iter::repeat_n(&fftw, n).collect();
+            m.projected_time(&server(), &vms, 0).value() / n as f64
+        };
+        let best_n = (1..=16).min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap()).unwrap();
+        assert!(
+            (8..=10).contains(&best_n),
+            "optimal FFTW consolidation should be ~9 VMs, got {best_n}"
+        );
+        assert!(
+            avg(12) > 1.4 * avg(best_n),
+            "past 11 VMs the average time must degrade significantly: avg(12)={} vs avg({best_n})={}",
+            avg(12),
+            avg(best_n)
+        );
+        assert!(
+            avg(16) > 0.55 * fftw.base_runtime.value(),
+            "by 16 VMs the average time should approach sequential execution"
+        );
+    }
+
+    #[test]
+    fn memory_intensive_vms_thrash_much_earlier() {
+        let m = ContentionModel::default();
+        let sys = ApplicationProfile::sysbench();
+        let four: Vec<_> = std::iter::repeat_n(&sys, 4).collect();
+        let five: Vec<_> = std::iter::repeat_n(&sys, 5).collect();
+        assert_eq!(ContentionModel::oversubscription(&server(), &four), 0.0);
+        assert!(ContentionModel::oversubscription(&server(), &five) > 0.0);
+        assert!(m.thrash_factor(&server(), &five) > 1.2);
+    }
+
+    #[test]
+    fn compatible_mixes_contend_less_than_clones() {
+        // Application-centric thesis: a CPU VM + an IO VM slow each other
+        // down less than two CPU VMs at the saturation point.
+        let m = ContentionModel::default();
+        let fftw = ApplicationProfile::fftw();
+        let io = ApplicationProfile::bonnie();
+        let srv = server();
+
+        // Saturate CPU with 5 FFTW clones, then compare adding a 6th clone
+        // vs adding an IO VM.
+        let base: Vec<&ApplicationProfile> = std::iter::repeat_n(&fftw, 5).collect();
+        let mut clones = base.clone();
+        clones.push(&fftw);
+        let mut mixed = base.clone();
+        mixed.push(&io);
+
+        let t_clone = m.projected_time(&srv, &clones, 0);
+        let t_mixed = m.projected_time(&srv, &mixed, 0);
+        assert!(
+            t_mixed < t_clone,
+            "adding a compatible IO VM must hurt the CPU VM less than another CPU clone \
+             ({t_mixed} vs {t_clone})"
+        );
+    }
+
+    #[test]
+    fn serial_fraction_shields_init_phase() {
+        let m = ContentionModel::default();
+        let srv = server();
+        let mut eager = ApplicationProfile::fftw();
+        eager.serial_frac = 0.0;
+        let lazy = ApplicationProfile::fftw(); // serial_frac = 0.5
+
+        let eager_vms: Vec<_> = std::iter::repeat_n(&eager, 8).collect();
+        let lazy_vms: Vec<_> = std::iter::repeat_n(&lazy, 8).collect();
+        let t_eager = m.projected_time(&srv, &eager_vms, 0) / eager.base_runtime;
+        let t_lazy = m.projected_time(&srv, &lazy_vms, 0) / lazy.base_runtime;
+        assert!(
+            t_lazy < t_eager,
+            "a large serial fraction must damp contention stretch"
+        );
+    }
+
+    #[test]
+    fn interference_factor_shape() {
+        let m = ContentionModel::default();
+        assert_eq!(m.interference_factor(1), 1.0);
+        assert!(m.interference_factor(2) > 1.0);
+        assert!(m.interference_factor(10) > m.interference_factor(5));
+    }
+}

@@ -1,0 +1,50 @@
+//! # eavm-testbed
+//!
+//! Synthetic single-server testbed substituting for the paper's physical
+//! infrastructure: Dell rack servers (quad-core Xeon X3220, 4 GB RAM, two
+//! disks, two 1 GbE NICs) running Xen 3.1, instrumented with a Watts Up?
+//! .NET power meter and OS-level profilers (mpstat / iostat / netstat /
+//! perfctr / PAPI).
+//!
+//! The substrate has five pieces:
+//!
+//! * [`server`] — the hardware description: per-subsystem capacities
+//!   (CPU cores, memory bandwidth, disk bandwidth, network bandwidth) and
+//!   the RAM budget available to guest VMs.
+//! * [`application`] — HPC benchmark workload descriptors: per-subsystem
+//!   demand vectors, phase weights, memory footprint, serial (init)
+//!   fraction, and solo runtime. Ships the paper's benchmark suite (HPL,
+//!   FFTW, sysbench, b_eff_io, bonnie++) plus the CPU+network MPI workload
+//!   of Fig. 1 (right).
+//! * [`contention`] — the analytic co-location model: phase-weighted
+//!   subsystem contention, Xen-like per-VM interference, and a RAM
+//!   oversubscription (thrashing) penalty. Calibrated so that a
+//!   CPU-intensive FFTW-like workload has its shortest *average* execution
+//!   time around 9 co-located VMs and degrades sharply past 11, matching
+//!   Fig. 2 of the paper.
+//! * [`power`] + [`meter`] — the server power model (125 W static draw plus
+//!   per-subsystem dynamic power) and a simulated Watts Up? meter (1 Hz
+//!   sampling, ±1.5 % accuracy) that integrates measured energy.
+//! * [`runsim`] + [`profiler`] — a piecewise integrator that replays a set
+//!   of VMs launched together on one server (producing the ground-truth
+//!   execution times / energy behind every model-database record), and a
+//!   subsystem-utilization profiler that reproduces Fig. 1 and the paper's
+//!   "X-intensive" classification rule.
+
+pub mod application;
+pub mod contention;
+pub mod meter;
+pub mod power;
+pub mod profiler;
+pub mod runsim;
+pub mod server;
+pub mod thermal;
+
+pub use application::{ApplicationProfile, BenchmarkSuite, DemandVector};
+pub use contention::ContentionModel;
+pub use meter::PowerMeter;
+pub use power::PowerModel;
+pub use profiler::{ClassificationRule, Profiler, UtilizationSample};
+pub use runsim::{RunOutcome, RunSimulator};
+pub use server::{PerSubsystem, ServerSpec, Subsystem};
+pub use thermal::{ThermalModel, ThermalOutcome};

@@ -1,0 +1,224 @@
+//! Simulated Watts Up? .NET power meter.
+//!
+//! The paper: "To empirically measure the instantaneous power consumption
+//! of the servers we used a Watts Up? .NET power meter. This power meter
+//! has an accuracy of 1.5% of the measured power with sampling rate of
+//! 1Hz. ... We estimate the consumed energy by integrating the actual
+//! power measures over time."
+//!
+//! [`PowerMeter`] reproduces that measurement chain: it samples a
+//! piecewise-constant ground-truth power trace at 1 Hz, perturbs each
+//! sample with ±1.5 % multiplicative noise, and integrates the *measured*
+//! samples with the trapezoidal rule. Model-database records therefore
+//! carry realistic measurement error relative to the analytic ground
+//! truth, exactly like the paper's empirical model does.
+
+use eavm_types::{Joules, Seconds, Watts};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One step of a piecewise-constant power trace: the server draws `power`
+/// from `start` until the next step (or the end of the trace).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerStep {
+    /// Step start time.
+    pub start: Seconds,
+    /// Constant power during the step.
+    pub power: Watts,
+}
+
+/// Result of metering one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeterReading {
+    /// Energy integrated from the (noisy, 1 Hz) samples.
+    pub energy: Joules,
+    /// Largest sampled power value (the paper's Table II `MaxPower`).
+    pub max_power: Watts,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Simulated wall-socket power meter.
+///
+/// ```
+/// use eavm_testbed::{PowerMeter, meter::PowerStep};
+/// use eavm_types::{Seconds, Watts};
+/// let trace = [PowerStep { start: Seconds::ZERO, power: Watts(125.0) }];
+/// let reading = PowerMeter::watts_up(7).measure(&trace, Seconds(600.0));
+/// let err = (reading.energy.value() - 125.0 * 600.0).abs() / (125.0 * 600.0);
+/// assert!(err < 0.015); // within the meter's ±1.5 % accuracy
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerMeter {
+    /// Sampling period (1 s for the Watts Up? .NET).
+    pub sample_period: Seconds,
+    /// Relative accuracy (0.015 = ±1.5 %).
+    pub accuracy: f64,
+    rng: StdRng,
+}
+
+impl PowerMeter {
+    /// A Watts Up? .NET-like meter: 1 Hz, ±1.5 %.
+    pub fn watts_up(seed: u64) -> Self {
+        PowerMeter {
+            sample_period: Seconds(1.0),
+            accuracy: 0.015,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// An ideal meter (no noise), useful for exact-value tests.
+    pub fn ideal(sample_period: Seconds) -> Self {
+        PowerMeter {
+            sample_period,
+            accuracy: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Ground-truth power at time `t` in a piecewise-constant trace that
+    /// ends at `end`.
+    fn truth_at(trace: &[PowerStep], end: Seconds, t: Seconds) -> Watts {
+        // A sample taken exactly at the end of the run still reads the
+        // final power level (the meter integrates up to, not past, `end`).
+        if t > end || trace.is_empty() {
+            return Watts::ZERO;
+        }
+        // Last step whose start is <= t.
+        let idx = trace.partition_point(|s| s.start <= t);
+        if idx == 0 {
+            Watts::ZERO
+        } else {
+            trace[idx - 1].power
+        }
+    }
+
+    /// Meter a run described by a piecewise-constant trace lasting until
+    /// `end`. Steps must be sorted by start time.
+    pub fn measure(&mut self, trace: &[PowerStep], end: Seconds) -> MeterReading {
+        debug_assert!(
+            trace.windows(2).all(|w| w[0].start <= w[1].start),
+            "power trace steps must be sorted by start time"
+        );
+        if end <= Seconds::ZERO {
+            return MeterReading {
+                energy: Joules::ZERO,
+                max_power: Watts::ZERO,
+                samples: 0,
+            };
+        }
+
+        let period = self.sample_period.value();
+        let n = (end.value() / period).ceil() as usize;
+        let mut prev_sample = self.sample(Self::truth_at(trace, end, Seconds::ZERO));
+        let mut max_power = prev_sample;
+        let mut energy = Joules::ZERO;
+        let mut samples = 1;
+
+        for i in 1..=n {
+            let t = Seconds((i as f64 * period).min(end.value()));
+            let dt = t - Seconds((i as f64 - 1.0) * period);
+            let s = self.sample(Self::truth_at(trace, end, t));
+            // Trapezoidal integration over the sampling interval.
+            energy += (prev_sample + s) * 0.5 * dt;
+            max_power = max_power.max(s);
+            prev_sample = s;
+            samples += 1;
+            if t >= end {
+                break;
+            }
+        }
+
+        MeterReading {
+            energy,
+            max_power,
+            samples,
+        }
+    }
+
+    /// Apply the meter's accuracy band to a true power value.
+    fn sample(&mut self, truth: Watts) -> Watts {
+        if self.accuracy == 0.0 {
+            return truth;
+        }
+        let rel: f64 = self.rng.gen_range(-self.accuracy..=self.accuracy);
+        truth * (1.0 + rel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_trace(power: f64) -> Vec<PowerStep> {
+        vec![PowerStep {
+            start: Seconds::ZERO,
+            power: Watts(power),
+        }]
+    }
+
+    #[test]
+    fn ideal_meter_integrates_exactly() {
+        let mut m = PowerMeter::ideal(Seconds(1.0));
+        let r = m.measure(&flat_trace(125.0), Seconds(100.0));
+        assert!((r.energy.value() - 12_500.0).abs() < 1e-6);
+        assert_eq!(r.max_power, Watts(125.0));
+    }
+
+    #[test]
+    fn ideal_meter_handles_fractional_end() {
+        let mut m = PowerMeter::ideal(Seconds(1.0));
+        let r = m.measure(&flat_trace(100.0), Seconds(10.5));
+        assert!((r.energy.value() - 1_050.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_step_trace_weights_each_level() {
+        let mut m = PowerMeter::ideal(Seconds(1.0));
+        let trace = vec![
+            PowerStep {
+                start: Seconds::ZERO,
+                power: Watts(100.0),
+            },
+            PowerStep {
+                start: Seconds(50.0),
+                power: Watts(200.0),
+            },
+        ];
+        let r = m.measure(&trace, Seconds(100.0));
+        // 50 s at 100 W + 50 s at 200 W = 15 kJ, modulo the single
+        // transition sample where the trapezoid splits the step.
+        assert!((r.energy.value() - 15_000.0).abs() < 200.0, "{}", r.energy);
+        assert_eq!(r.max_power, Watts(200.0));
+    }
+
+    #[test]
+    fn noisy_meter_stays_within_accuracy_band() {
+        let mut m = PowerMeter::watts_up(42);
+        let r = m.measure(&flat_trace(125.0), Seconds(1_000.0));
+        let truth = 125.0 * 1_000.0;
+        let err = (r.energy.value() - truth).abs() / truth;
+        assert!(err < 0.015, "integrated error {err} exceeds meter accuracy");
+        assert!(r.max_power.value() <= 125.0 * 1.015 + 1e-9);
+        assert!(r.max_power.value() >= 125.0);
+    }
+
+    #[test]
+    fn meter_is_deterministic_per_seed() {
+        let r1 = PowerMeter::watts_up(7).measure(&flat_trace(125.0), Seconds(60.0));
+        let r2 = PowerMeter::watts_up(7).measure(&flat_trace(125.0), Seconds(60.0));
+        assert_eq!(r1, r2);
+        let r3 = PowerMeter::watts_up(8).measure(&flat_trace(125.0), Seconds(60.0));
+        assert_ne!(r1.energy, r3.energy);
+    }
+
+    #[test]
+    fn empty_or_zero_length_runs() {
+        let mut m = PowerMeter::ideal(Seconds(1.0));
+        let r = m.measure(&[], Seconds(10.0));
+        assert_eq!(r.energy, Joules::ZERO);
+        let r = m.measure(&flat_trace(100.0), Seconds::ZERO);
+        assert_eq!(r.samples, 0);
+        assert_eq!(r.energy, Joules::ZERO);
+    }
+}

@@ -1,0 +1,89 @@
+//! Server power model.
+//!
+//! The paper measures whole-server power with a wall-socket meter and
+//! "assume\[s\] a fixed power dissipation of 125 W when a server" is powered
+//! on. We model instantaneous draw as that static floor plus a dynamic
+//! term per subsystem, linear in the subsystem's effective utilization —
+//! the standard datacenter power abstraction, and consistent with the
+//! paper's observation (via \[20\]) that under-utilized subsystems can be
+//! run in low-power states.
+
+use eavm_types::Watts;
+
+use crate::application::ApplicationProfile;
+use crate::contention::ContentionModel;
+use crate::server::{PerSubsystem, ServerSpec, Subsystem};
+
+/// Computes instantaneous server power from subsystem utilizations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerModel;
+
+impl PowerModel {
+    /// Power drawn by a powered-on server whose subsystem utilizations are
+    /// `util` (each in `[0, 1]`).
+    pub fn power_at(server: &ServerSpec, util: &PerSubsystem) -> Watts {
+        let dynamic: f64 = Subsystem::ALL
+            .into_iter()
+            .map(|s| server.dynamic_power_watts[s] * util[s].clamp(0.0, 1.0))
+            .sum();
+        Watts(server.idle_power_watts + dynamic)
+    }
+
+    /// Power drawn while the given set of VMs runs on the server.
+    pub fn power_with_vms(server: &ServerSpec, vms: &[&ApplicationProfile]) -> Watts {
+        Self::power_at(server, &ContentionModel::utilization(server, vms))
+    }
+
+    /// Power of an idle (but powered-on) server.
+    #[inline]
+    pub fn idle_power(server: &ServerSpec) -> Watts {
+        Watts(server.idle_power_watts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::ApplicationProfile;
+
+    #[test]
+    fn idle_server_draws_125w() {
+        let s = ServerSpec::reference_rack_server();
+        assert_eq!(PowerModel::idle_power(&s), Watts(125.0));
+        assert_eq!(PowerModel::power_at(&s, &PerSubsystem::ZERO), Watts(125.0));
+    }
+
+    #[test]
+    fn power_saturates_at_peak() {
+        let s = ServerSpec::reference_rack_server();
+        let full = PerSubsystem([1.0; 4]);
+        let over = PerSubsystem([3.0; 4]);
+        assert_eq!(PowerModel::power_at(&s, &full), PowerModel::power_at(&s, &over));
+        assert!((PowerModel::power_at(&s, &full).value() - s.peak_power_watts()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_grows_with_load() {
+        let s = ServerSpec::reference_rack_server();
+        let fftw = ApplicationProfile::fftw();
+        let p1 = PowerModel::power_with_vms(&s, &[&fftw]);
+        let p2 = PowerModel::power_with_vms(&s, &[&fftw, &fftw]);
+        assert!(p2 > p1);
+        assert!(p1 > PowerModel::idle_power(&s));
+    }
+
+    #[test]
+    fn cpu_load_dominates_dynamic_power() {
+        let s = ServerSpec::reference_rack_server();
+        let cpu_full = PerSubsystem([1.0, 0.0, 0.0, 0.0]);
+        let io_full = PerSubsystem([0.0, 0.0, 1.0, 1.0]);
+        assert!(PowerModel::power_at(&s, &cpu_full) > PowerModel::power_at(&s, &io_full));
+    }
+
+    #[test]
+    fn negative_utilization_is_clamped() {
+        let s = ServerSpec::reference_rack_server();
+        let neg = PerSubsystem([-1.0; 4]);
+        assert_eq!(PowerModel::power_at(&s, &neg), Watts(125.0));
+    }
+}

@@ -1,0 +1,324 @@
+//! Application profiling: subsystem utilization over time + classification.
+//!
+//! Reproduces Sect. III-A of the paper: "We profiled standard HPC
+//! benchmarks with respect to their behaviors and subsystem usage on
+//! individual servers" using mpstat/iostat/netstat/perfctr. The
+//! [`Profiler`] renders the utilization-over-time traces of Fig. 1 (1 Hz
+//! samples of CPU / memory / disk / network utilization of one VM running
+//! solo), and [`ClassificationRule`] implements the paper's labelling
+//! rule: "if the average demand for a subsystem X is significant, we
+//! consider the application to be X-intensive", with multi-dimensional
+//! intensity allowed (Fig. 1 right is CPU- *cum* network-intensive).
+
+use eavm_types::{Seconds, WorkloadType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::application::ApplicationProfile;
+use crate::server::{PerSubsystem, ServerSpec, Subsystem};
+
+/// One 1 Hz sample of subsystem utilization (fractions of capacity in
+/// `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationSample {
+    /// Sample timestamp.
+    pub time: Seconds,
+    /// Utilization fraction per subsystem.
+    pub util: PerSubsystem,
+}
+
+/// Result of classifying a profiled application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Subsystems whose average utilization is significant; an application
+    /// can be intensive along multiple dimensions.
+    pub intensive: Vec<Subsystem>,
+    /// The coarse database label derived from the dominant subsystem.
+    pub primary: WorkloadType,
+    /// Average utilization per subsystem over the whole run.
+    pub average_util: PerSubsystem,
+}
+
+/// The paper's "significant average demand" rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassificationRule {
+    /// Minimum average utilization fraction for a subsystem to count as
+    /// intensive.
+    pub threshold: f64,
+}
+
+impl Default for ClassificationRule {
+    fn default() -> Self {
+        ClassificationRule { threshold: 0.20 }
+    }
+}
+
+impl ClassificationRule {
+    /// Classify from per-subsystem average utilizations.
+    pub fn classify(&self, avg: &PerSubsystem) -> Classification {
+        let intensive: Vec<Subsystem> = Subsystem::ALL
+            .into_iter()
+            .filter(|&s| avg[s] >= self.threshold)
+            .collect();
+        // Dominant subsystem decides the coarse database label; disk and
+        // network both map to the paper's "I/O" class.
+        let dominant = Subsystem::ALL
+            .into_iter()
+            .max_by(|&a, &b| avg[a].partial_cmp(&avg[b]).unwrap())
+            .expect("non-empty subsystem list");
+        let primary = match dominant {
+            Subsystem::Cpu => WorkloadType::Cpu,
+            Subsystem::Mem => WorkloadType::Mem,
+            Subsystem::Disk | Subsystem::Net => WorkloadType::Io,
+        };
+        Classification {
+            intensive,
+            primary,
+            average_util: *avg,
+        }
+    }
+}
+
+/// Samples a solo run of one application at a fixed rate.
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    /// Server whose capacities normalize demand into utilization.
+    pub server: ServerSpec,
+    /// Sampling period (1 s, like mpstat/iostat in the paper).
+    pub sample_period: Seconds,
+    /// Relative sampling noise (OS counters jitter), e.g. 0.03.
+    pub noise: f64,
+    rng: StdRng,
+}
+
+impl Profiler {
+    /// A 1 Hz profiler on the reference server with mild counter jitter.
+    pub fn reference(seed: u64) -> Self {
+        Profiler {
+            server: ServerSpec::reference_rack_server(),
+            sample_period: Seconds(1.0),
+            noise: 0.03,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A noise-free profiler, for exact-value tests.
+    pub fn ideal(server: ServerSpec) -> Self {
+        Profiler {
+            server,
+            sample_period: Seconds(1.0),
+            noise: 0.0,
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Instantaneous demand of the application at solo-run time `t`,
+    /// before normalization by capacity.
+    fn demand_at(&self, app: &ApplicationProfile, t: Seconds) -> PerSubsystem {
+        let init_end = app.base_runtime * app.serial_frac;
+        if t < init_end {
+            // Initialization: serial single-core work (e.g. FFTW plan
+            // construction) plus input loading from disk; no steady-state
+            // pressure on the parallel subsystems yet.
+            let mut d = PerSubsystem::ZERO;
+            d[Subsystem::Cpu] = (app.demand[Subsystem::Cpu] * 0.9).min(1.0);
+            d[Subsystem::Disk] = app.demand[Subsystem::Disk].max(15.0);
+            d[Subsystem::Mem] = app.demand[Subsystem::Mem] * 0.2;
+            return d;
+        }
+        let mut d = app.demand;
+        if let Some(b) = &app.burst {
+            // Redistribute the bursting subsystem's average demand into
+            // on/off windows while preserving the average; CPU dips while
+            // the burst is active (e.g. blocked on communication).
+            let phase = ((t - init_end).value() / b.period.value()).fract();
+            let on = phase < b.duty;
+            let avg = app.demand[b.subsystem];
+            if on {
+                d[b.subsystem] = avg / b.duty;
+                d[Subsystem::Cpu] *= 0.35;
+            } else {
+                d[b.subsystem] = 0.0;
+                // Compensate CPU so that the run-average CPU demand holds.
+                let cpu = app.demand[Subsystem::Cpu];
+                d[Subsystem::Cpu] = (cpu - b.duty * cpu * 0.35) / (1.0 - b.duty);
+            }
+        }
+        d
+    }
+
+    /// Profile a solo run of `app`, returning 1 Hz utilization samples.
+    pub fn profile(&mut self, app: &ApplicationProfile) -> Vec<UtilizationSample> {
+        let total = app.base_runtime;
+        let period = self.sample_period.value();
+        let n = (total.value() / period).floor() as usize;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = Seconds(i as f64 * period);
+            let demand = self.demand_at(app, t);
+            let util = PerSubsystem::from_fn(|s| {
+                let base = demand[s] / self.server.capacity[s];
+                let jitter = if self.noise > 0.0 {
+                    1.0 + self.rng.gen_range(-self.noise..=self.noise)
+                } else {
+                    1.0
+                };
+                (base * jitter).clamp(0.0, 1.0)
+            });
+            out.push(UtilizationSample { time: t, util });
+        }
+        out
+    }
+
+    /// Average utilization per subsystem over a sample trace.
+    pub fn average(samples: &[UtilizationSample]) -> PerSubsystem {
+        if samples.is_empty() {
+            return PerSubsystem::ZERO;
+        }
+        let mut sum = PerSubsystem::ZERO;
+        for s in samples {
+            sum.add(&s.util);
+        }
+        PerSubsystem::from_fn(|k| sum[k] / samples.len() as f64)
+    }
+
+    /// Profile and classify in one step.
+    pub fn classify(
+        &mut self,
+        app: &ApplicationProfile,
+        rule: &ClassificationRule,
+    ) -> Classification {
+        let samples = self.profile(app);
+        rule.classify(&Self::average(&samples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::ApplicationProfile;
+
+    #[test]
+    fn sample_count_matches_runtime() {
+        let mut p = Profiler::ideal(ServerSpec::reference_rack_server());
+        let fftw = ApplicationProfile::fftw();
+        let samples = p.profile(&fftw);
+        assert_eq!(samples.len(), fftw.base_runtime.value() as usize);
+        assert_eq!(samples[0].time, Seconds::ZERO);
+    }
+
+    #[test]
+    fn utilization_stays_in_unit_interval() {
+        let mut p = Profiler::reference(1);
+        for app in [
+            ApplicationProfile::fftw(),
+            ApplicationProfile::sysbench(),
+            ApplicationProfile::b_eff_io(),
+            ApplicationProfile::mpi_compute_comm(),
+        ] {
+            for s in p.profile(&app) {
+                for (_, u) in s.util.iter() {
+                    assert!((0.0..=1.0).contains(&u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fftw_classifies_cpu_intensive_only() {
+        // Fig. 1 (left): a CPU-intensive workload.
+        let mut p = Profiler::ideal(ServerSpec::reference_rack_server());
+        let c = p.classify(&ApplicationProfile::fftw(), &ClassificationRule::default());
+        assert_eq!(c.primary, WorkloadType::Cpu);
+        assert_eq!(c.intensive, vec![Subsystem::Cpu]);
+    }
+
+    #[test]
+    fn mpi_workload_is_cpu_cum_network_intensive() {
+        // Fig. 1 (right): intensive along both CPU and network.
+        let mut p = Profiler::ideal(ServerSpec::reference_rack_server());
+        let c = p.classify(
+            &ApplicationProfile::mpi_compute_comm(),
+            &ClassificationRule::default(),
+        );
+        assert_eq!(c.primary, WorkloadType::Cpu);
+        assert!(c.intensive.contains(&Subsystem::Cpu));
+        assert!(c.intensive.contains(&Subsystem::Net));
+    }
+
+    #[test]
+    fn suite_representatives_classify_as_their_declared_type() {
+        let mut p = Profiler::ideal(ServerSpec::reference_rack_server());
+        let rule = ClassificationRule::default();
+        for app in [
+            ApplicationProfile::fftw(),
+            ApplicationProfile::sysbench(),
+            ApplicationProfile::b_eff_io(),
+            ApplicationProfile::bonnie(),
+        ] {
+            let c = p.classify(&app, &rule);
+            assert_eq!(
+                c.primary, app.class,
+                "{} classified as {:?}, declared {:?}",
+                app.name, c.primary, app.class
+            );
+        }
+    }
+
+    #[test]
+    fn burst_pattern_produces_alternating_network_activity() {
+        let mut p = Profiler::ideal(ServerSpec::reference_rack_server());
+        let mpi = ApplicationProfile::mpi_compute_comm();
+        let samples = p.profile(&mpi);
+        let init_end = (mpi.base_runtime.value() * mpi.serial_frac) as usize;
+        let main = &samples[init_end + 1..];
+        let active = main.iter().filter(|s| s.util[Subsystem::Net] > 0.0).count();
+        let idle = main.len() - active;
+        assert!(active > 0 && idle > 0, "network must alternate on/off");
+        // Duty cycle roughly matches the declared pattern.
+        let duty = active as f64 / main.len() as f64;
+        assert!((duty - mpi.burst.unwrap().duty).abs() < 0.05, "duty={duty}");
+    }
+
+    #[test]
+    fn average_preserved_by_burst_redistribution() {
+        // The redistribution must keep the run-average network demand close
+        // to the declared average demand.
+        let mut p = Profiler::ideal(ServerSpec::reference_rack_server());
+        let mpi = ApplicationProfile::mpi_compute_comm();
+        let samples = p.profile(&mpi);
+        let init_end = (mpi.base_runtime.value() * mpi.serial_frac) as usize;
+        let main = &samples[init_end + 1..];
+        let avg_net: f64 =
+            main.iter().map(|s| s.util[Subsystem::Net]).sum::<f64>() / main.len() as f64;
+        let declared = mpi.demand[Subsystem::Net] / p.server.capacity[Subsystem::Net];
+        assert!(
+            (avg_net - declared).abs() / declared < 0.10,
+            "avg={avg_net} declared={declared}"
+        );
+    }
+
+    #[test]
+    fn classification_rule_threshold_is_respected() {
+        let rule = ClassificationRule { threshold: 0.5 };
+        let mut avg = PerSubsystem::ZERO;
+        avg[Subsystem::Cpu] = 0.6;
+        avg[Subsystem::Disk] = 0.4;
+        let c = rule.classify(&avg);
+        assert_eq!(c.intensive, vec![Subsystem::Cpu]);
+        assert_eq!(c.primary, WorkloadType::Cpu);
+    }
+
+    #[test]
+    fn init_phase_shows_disk_activity() {
+        // The FFTW init phase loads plans/input: disk util must be higher
+        // during init than during the pure-compute main phase.
+        let mut p = Profiler::ideal(ServerSpec::reference_rack_server());
+        let fftw = ApplicationProfile::fftw();
+        let samples = p.profile(&fftw);
+        let init_end = (fftw.base_runtime.value() * fftw.serial_frac) as usize;
+        let disk_init = samples[init_end / 2].util[Subsystem::Disk];
+        let disk_main = samples[init_end + 100].util[Subsystem::Disk];
+        assert!(disk_init > disk_main);
+    }
+}

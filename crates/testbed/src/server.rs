@@ -1,0 +1,275 @@
+//! Physical server description.
+//!
+//! The paper's testbed is "Dell servers, each with a Intel quad-core Xeon
+//! X3220 processors, 4GB of memory, two hard disks, and two 1Gb Ethernet
+//! interfaces ... intended to represent a general-purpose rack server
+//! configuration". [`ServerSpec::reference_rack_server`] encodes that
+//! machine; the type is fully parametric so heterogeneous fleets (the
+//! paper's future-work item) can be simulated too.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The four server subsystems the paper profiles and consolidates over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subsystem {
+    /// Processor cores.
+    Cpu,
+    /// Memory bandwidth (the paper approximates memory activity by L2 cache
+    /// misses; we model the induced bandwidth demand directly).
+    Mem,
+    /// Disk (storage) bandwidth.
+    Disk,
+    /// Network interface bandwidth.
+    Net,
+}
+
+impl Subsystem {
+    /// All subsystems in canonical order.
+    pub const ALL: [Subsystem; 4] = [
+        Subsystem::Cpu,
+        Subsystem::Mem,
+        Subsystem::Disk,
+        Subsystem::Net,
+    ];
+
+    /// Canonical index within [`Self::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Subsystem::Cpu => 0,
+            Subsystem::Mem => 1,
+            Subsystem::Disk => 2,
+            Subsystem::Net => 3,
+        }
+    }
+
+    /// Short name used in profiler CSV output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Subsystem::Cpu => "cpu",
+            Subsystem::Mem => "mem",
+            Subsystem::Disk => "disk",
+            Subsystem::Net => "net",
+        }
+    }
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A `[f64; 4]` indexed by [`Subsystem`]; used for capacities, demands and
+/// utilizations alike.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerSubsystem(pub [f64; 4]);
+
+impl PerSubsystem {
+    /// All-zero vector.
+    pub const ZERO: PerSubsystem = PerSubsystem([0.0; 4]);
+
+    /// Build from a closure over subsystems.
+    pub fn from_fn(mut f: impl FnMut(Subsystem) -> f64) -> Self {
+        let mut out = [0.0; 4];
+        for s in Subsystem::ALL {
+            out[s.index()] = f(s);
+        }
+        PerSubsystem(out)
+    }
+
+    /// Component-wise addition of another vector.
+    pub fn add(&mut self, other: &PerSubsystem) {
+        for i in 0..4 {
+            self.0[i] += other.0[i];
+        }
+    }
+
+    /// Iterate `(subsystem, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Subsystem, f64)> + '_ {
+        Subsystem::ALL.into_iter().map(move |s| (s, self.0[s.index()]))
+    }
+
+    /// Sum of all components.
+    pub fn sum(&self) -> f64 {
+        self.0.iter().sum()
+    }
+}
+
+impl Index<Subsystem> for PerSubsystem {
+    type Output = f64;
+    #[inline]
+    fn index(&self, s: Subsystem) -> &f64 {
+        &self.0[s.index()]
+    }
+}
+
+impl IndexMut<Subsystem> for PerSubsystem {
+    #[inline]
+    fn index_mut(&mut self, s: Subsystem) -> &mut f64 {
+        &mut self.0[s.index()]
+    }
+}
+
+/// Hardware description of one physical server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// Human-readable model name.
+    pub name: String,
+    /// Subsystem capacities: CPU in cores, memory bandwidth in GB/s, disk
+    /// bandwidth in MB/s (aggregate over spindles), network bandwidth in
+    /// MB/s (aggregate over NICs).
+    pub capacity: PerSubsystem,
+    /// Total installed RAM in MB.
+    pub ram_mb: f64,
+    /// RAM reserved for the hypervisor and dom0; guests share
+    /// `ram_mb - dom0_ram_mb`.
+    pub dom0_ram_mb: f64,
+    /// Static power draw while the server is powered on, regardless of
+    /// load. The paper assumes a fixed 125 W.
+    pub idle_power_watts: f64,
+    /// Peak *additional* dynamic power of each subsystem at full
+    /// utilization, in watts.
+    pub dynamic_power_watts: PerSubsystem,
+}
+
+impl ServerSpec {
+    /// The paper's reference machine: quad-core Xeon X3220, 4 GB RAM, two
+    /// hard disks (~80 MB/s each), two 1 GbE NICs (~125 MB/s each), 125 W
+    /// idle draw and roughly 265 W peak.
+    pub fn reference_rack_server() -> Self {
+        ServerSpec {
+            name: "dell-xeon-x3220".to_string(),
+            capacity: PerSubsystem([4.0, 6.0, 160.0, 250.0]),
+            ram_mb: 4096.0,
+            dom0_ram_mb: 512.0,
+            idle_power_watts: 125.0,
+            dynamic_power_watts: PerSubsystem([90.0, 25.0, 15.0, 10.0]),
+        }
+    }
+
+    /// A beefier dual-socket machine used by the heterogeneous-fleet
+    /// ablation (the paper's future-work item i): twice the cores and RAM,
+    /// higher bandwidths, higher idle draw.
+    pub fn big_node() -> Self {
+        ServerSpec {
+            name: "dual-socket-bignode".to_string(),
+            capacity: PerSubsystem([8.0, 12.0, 320.0, 500.0]),
+            ram_mb: 8192.0,
+            dom0_ram_mb: 512.0,
+            idle_power_watts: 210.0,
+            dynamic_power_watts: PerSubsystem([160.0, 40.0, 25.0, 15.0]),
+        }
+    }
+
+    /// RAM available to guest VMs (total minus dom0 reservation), MB.
+    #[inline]
+    pub fn guest_ram_mb(&self) -> f64 {
+        (self.ram_mb - self.dom0_ram_mb).max(0.0)
+    }
+
+    /// Number of physical cores (CPU-slot count used by the FIRST-FIT
+    /// baselines).
+    #[inline]
+    pub fn cpu_slots(&self) -> u32 {
+        self.capacity[Subsystem::Cpu].round() as u32
+    }
+
+    /// Peak possible power draw (idle + all subsystems saturated), watts.
+    pub fn peak_power_watts(&self) -> f64 {
+        self.idle_power_watts + self.dynamic_power_watts.sum()
+    }
+
+    /// Validate internal consistency (positive capacities, RAM budget).
+    pub fn validate(&self) -> Result<(), String> {
+        for (s, c) in self.capacity.iter() {
+            if c.is_nan() || c <= 0.0 {
+                return Err(format!("capacity of {s} must be positive, got {c}"));
+            }
+        }
+        if self.guest_ram_mb() <= 0.0 {
+            return Err(format!(
+                "guest RAM must be positive: ram={} dom0={}",
+                self.ram_mb, self.dom0_ram_mb
+            ));
+        }
+        if self.idle_power_watts < 0.0 {
+            return Err("idle power must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        Self::reference_rack_server()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_server_matches_paper() {
+        let s = ServerSpec::reference_rack_server();
+        assert_eq!(s.cpu_slots(), 4);
+        assert_eq!(s.ram_mb, 4096.0);
+        assert_eq!(s.idle_power_watts, 125.0);
+        assert!(s.validate().is_ok());
+        assert!(s.peak_power_watts() > 250.0 && s.peak_power_watts() < 280.0);
+    }
+
+    #[test]
+    fn guest_ram_excludes_dom0() {
+        let s = ServerSpec::reference_rack_server();
+        assert_eq!(s.guest_ram_mb(), 4096.0 - 512.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let mut s = ServerSpec::reference_rack_server();
+        s.capacity[Subsystem::Disk] = 0.0;
+        assert!(s.validate().is_err());
+
+        let mut s = ServerSpec::reference_rack_server();
+        s.dom0_ram_mb = 5000.0;
+        assert!(s.validate().is_err());
+
+        let mut s = ServerSpec::reference_rack_server();
+        s.idle_power_watts = -1.0;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn subsystem_indexing() {
+        let mut v = PerSubsystem::ZERO;
+        v[Subsystem::Net] = 42.0;
+        assert_eq!(v[Subsystem::Net], 42.0);
+        assert_eq!(v.sum(), 42.0);
+        let w = PerSubsystem::from_fn(|s| s.index() as f64);
+        assert_eq!(w.0, [0.0, 1.0, 2.0, 3.0]);
+        let mut acc = v;
+        acc.add(&w);
+        assert_eq!(acc[Subsystem::Net], 45.0);
+    }
+
+    #[test]
+    fn subsystem_names_and_order() {
+        let names: Vec<&str> = Subsystem::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["cpu", "mem", "disk", "net"]);
+        for (i, s) in Subsystem::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn big_node_is_bigger() {
+        let small = ServerSpec::reference_rack_server();
+        let big = ServerSpec::big_node();
+        assert!(big.cpu_slots() > small.cpu_slots());
+        assert!(big.peak_power_watts() > small.peak_power_watts());
+        assert!(big.validate().is_ok());
+    }
+}

@@ -1,0 +1,203 @@
+//! Server thermal model (extension).
+//!
+//! The paper's future work item ii plans "integrating the proposed
+//! solution with schemes for autonomic thermal management in
+//! instrumented datacenters", and its companion work (\[3\]) studies
+//! reactive thermal management. This module provides the thermal
+//! substrate for that direction: a first-order RC model of server
+//! temperature driven by the power traces the testbed already produces.
+//!
+//! Dynamics: `τ · dT/dt = (T_amb + R·P(t)) − T`, i.e. the temperature
+//! relaxes toward the steady state `T_amb + R·P` with time constant `τ`
+//! — the standard lumped-capacitance abstraction for server thermals.
+
+use eavm_types::{Seconds, Watts};
+
+use crate::meter::PowerStep;
+
+/// First-order RC thermal model of one server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalModel {
+    /// Ambient (inlet) temperature, °C.
+    pub ambient_c: f64,
+    /// Thermal resistance, K/W: steady-state rise per watt dissipated.
+    pub resistance_k_per_w: f64,
+    /// Thermal time constant τ, seconds.
+    pub time_constant: Seconds,
+}
+
+impl Default for ThermalModel {
+    /// A rack server in a 25 °C aisle: 125 W idle ≈ 45 °C outlet,
+    /// 265 W peak ≈ 67 °C, τ = 120 s.
+    fn default() -> Self {
+        ThermalModel {
+            ambient_c: 25.0,
+            resistance_k_per_w: 0.16,
+            time_constant: Seconds(120.0),
+        }
+    }
+}
+
+/// One sample of the simulated temperature trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TemperatureSample {
+    /// Sample time.
+    pub time: Seconds,
+    /// Server temperature, °C.
+    pub temp_c: f64,
+}
+
+/// Summary of a thermal evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalOutcome {
+    /// Temperature trace at the evaluation step.
+    pub samples: Vec<TemperatureSample>,
+    /// Hottest temperature reached, °C.
+    pub peak_c: f64,
+    /// Time-averaged temperature, °C.
+    pub mean_c: f64,
+}
+
+impl ThermalModel {
+    /// Steady-state temperature under constant power.
+    pub fn steady_state_c(&self, power: Watts) -> f64 {
+        self.ambient_c + self.resistance_k_per_w * power.value()
+    }
+
+    /// Integrate the temperature response to a piecewise-constant power
+    /// trace lasting until `end`, starting from `initial_c`, sampled
+    /// every `step`.
+    pub fn evaluate(
+        &self,
+        trace: &[PowerStep],
+        end: Seconds,
+        initial_c: f64,
+        step: Seconds,
+    ) -> ThermalOutcome {
+        assert!(step > Seconds::ZERO, "sampling step must be positive");
+        let tau = self.time_constant.value();
+        let mut temp = initial_c;
+        let mut samples = Vec::new();
+        let mut peak = initial_c;
+        let mut sum = 0.0;
+        let mut t = 0.0;
+
+        let power_at = |time: f64| -> f64 {
+            let idx = trace.partition_point(|s| s.start.value() <= time);
+            if idx == 0 {
+                0.0
+            } else {
+                trace[idx - 1].power.value()
+            }
+        };
+
+        while t <= end.value() {
+            let target = self.ambient_c + self.resistance_k_per_w * power_at(t);
+            // Exact first-order response across one step.
+            let dt = step.value().min(end.value() - t).max(1e-9);
+            temp = target + (temp - target) * (-dt / tau).exp();
+            t += dt;
+            samples.push(TemperatureSample {
+                time: Seconds(t),
+                temp_c: temp,
+            });
+            peak = peak.max(temp);
+            sum += temp;
+            if dt < step.value() {
+                break;
+            }
+        }
+
+        let mean = if samples.is_empty() {
+            initial_c
+        } else {
+            sum / samples.len() as f64
+        };
+        ThermalOutcome {
+            samples,
+            peak_c: peak,
+            mean_c: mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(power: f64) -> Vec<PowerStep> {
+        vec![PowerStep {
+            start: Seconds::ZERO,
+            power: Watts(power),
+        }]
+    }
+
+    #[test]
+    fn steady_state_matches_formula() {
+        let m = ThermalModel::default();
+        assert!((m.steady_state_c(Watts(125.0)) - 45.0).abs() < 1e-9);
+        assert!((m.steady_state_c(Watts(0.0)) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let m = ThermalModel::default();
+        let out = m.evaluate(&flat(200.0), Seconds(3_000.0), m.ambient_c, Seconds(1.0));
+        let steady = m.steady_state_c(Watts(200.0));
+        let last = out.samples.last().unwrap().temp_c;
+        assert!((last - steady).abs() < 0.01, "last={last} steady={steady}");
+        assert!(out.peak_c <= steady + 1e-6);
+    }
+
+    #[test]
+    fn step_response_hits_63_percent_at_tau() {
+        let m = ThermalModel::default();
+        let out = m.evaluate(&flat(265.0), Seconds(120.0), m.ambient_c, Seconds(1.0));
+        let steady = m.steady_state_c(Watts(265.0));
+        let at_tau = out.samples.last().unwrap().temp_c;
+        let frac = (at_tau - m.ambient_c) / (steady - m.ambient_c);
+        assert!((frac - 0.632).abs() < 0.01, "step response fraction {frac}");
+    }
+
+    #[test]
+    fn hotter_power_means_hotter_server() {
+        let m = ThermalModel::default();
+        let cool = m.evaluate(&flat(125.0), Seconds(1_000.0), m.ambient_c, Seconds(1.0));
+        let hot = m.evaluate(&flat(260.0), Seconds(1_000.0), m.ambient_c, Seconds(1.0));
+        assert!(hot.peak_c > cool.peak_c);
+        assert!(hot.mean_c > cool.mean_c);
+    }
+
+    #[test]
+    fn cooldown_after_load_drop() {
+        let m = ThermalModel::default();
+        let trace = vec![
+            PowerStep {
+                start: Seconds::ZERO,
+                power: Watts(260.0),
+            },
+            PowerStep {
+                start: Seconds(1_000.0),
+                power: Watts(125.0),
+            },
+        ];
+        let out = m.evaluate(&trace, Seconds(3_000.0), m.ambient_c, Seconds(1.0));
+        let last = out.samples.last().unwrap().temp_c;
+        assert!((last - 45.0).abs() < 0.1, "must cool to the idle steady state");
+        assert!(out.peak_c > 60.0, "must have heated up first");
+    }
+
+    #[test]
+    fn integrates_real_run_traces() {
+        use crate::application::ApplicationProfile;
+        use crate::runsim::RunSimulator;
+        let sim = RunSimulator::reference();
+        let fftw = ApplicationProfile::fftw();
+        let light = sim.run_clones(&fftw, 2, None);
+        let heavy = sim.run_clones(&fftw, 12, None);
+        let m = ThermalModel::default();
+        let t_light = m.evaluate(&light.power_trace, light.makespan, m.ambient_c, Seconds(5.0));
+        let t_heavy = m.evaluate(&heavy.power_trace, heavy.makespan, m.ambient_c, Seconds(5.0));
+        assert!(t_heavy.peak_c > t_light.peak_c);
+    }
+}

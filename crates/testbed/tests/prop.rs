@@ -1,0 +1,138 @@
+//! Property-based tests for the testbed substrate: contention model
+//! physics, power bounds, meter accuracy, run-integrator invariants.
+
+use eavm_testbed::{
+    ApplicationProfile, BenchmarkSuite, ContentionModel, PerSubsystem, PowerMeter, PowerModel,
+    RunSimulator, ServerSpec,
+};
+use eavm_types::{Seconds, Watts, WorkloadType};
+use proptest::prelude::*;
+
+/// A bounded random application profile that always validates.
+fn arb_profile() -> impl Strategy<Value = ApplicationProfile> {
+    (
+        0.05f64..1.0,   // cpu demand (cores)
+        0.0f64..3.0,    // mem bandwidth GB/s
+        0.0f64..80.0,   // disk MB/s
+        0.0f64..100.0,  // net MB/s
+        50.0f64..900.0, // footprint MB
+        0.0f64..0.6,    // serial fraction
+        120.0f64..3000.0, // base runtime
+        0usize..3,      // class
+    )
+        .prop_map(|(cpu, mem, disk, net, foot, serial, runtime, class)| {
+            // Phase weights proportional to normalized demands (plus a CPU
+            // floor), summing to exactly 1.
+            let server = ServerSpec::reference_rack_server();
+            let mut w = [
+                0.2 + cpu / server.capacity.0[0],
+                mem / server.capacity.0[1],
+                disk / server.capacity.0[2],
+                net / server.capacity.0[3],
+            ];
+            let sum: f64 = w.iter().sum();
+            for x in &mut w {
+                *x /= sum;
+            }
+            ApplicationProfile {
+                name: "random".into(),
+                class: WorkloadType::from_index(class),
+                demand: PerSubsystem([cpu, mem, disk, net]),
+                phase_weights: PerSubsystem(w),
+                mem_footprint_mb: foot,
+                serial_frac: serial,
+                base_runtime: Seconds(runtime),
+                burst: None,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_profiles_validate(p in arb_profile()) {
+        prop_assert!(p.validate().is_ok(), "{:?}", p.validate());
+    }
+
+    /// Physics: a solo VM runs at base speed; co-location never speeds
+    /// anyone up; more co-tenants never help.
+    #[test]
+    fn colocation_never_helps(p in arb_profile(), q in arb_profile(), n in 1usize..6) {
+        let m = ContentionModel::default();
+        let server = ServerSpec::reference_rack_server();
+        let solo = m.projected_time(&server, &[&p], 0);
+        prop_assert!((solo.value() - p.base_runtime.value()).abs() < 1e-9);
+
+        let mut set: Vec<&ApplicationProfile> = vec![&p];
+        let mut prev = solo;
+        for _ in 0..n {
+            set.push(&q);
+            let t = m.projected_time(&server, &set, 0);
+            prop_assert!(t.value() >= prev.value() - 1e-9, "adding a co-tenant sped p up");
+            prev = t;
+        }
+    }
+
+    /// Power stays within [idle, peak] for any workload set.
+    #[test]
+    fn power_is_bounded(profiles in proptest::collection::vec(arb_profile(), 0..12)) {
+        let server = ServerSpec::reference_rack_server();
+        let refs: Vec<&ApplicationProfile> = profiles.iter().collect();
+        let pwr = PowerModel::power_with_vms(&server, &refs);
+        prop_assert!(pwr >= Watts(server.idle_power_watts));
+        prop_assert!(pwr.value() <= server.peak_power_watts() + 1e-9);
+        if refs.is_empty() {
+            prop_assert_eq!(pwr, Watts(server.idle_power_watts));
+        }
+    }
+
+    /// The noisy meter's integrated energy stays within its accuracy
+    /// band of the analytic truth, for any mixed run.
+    #[test]
+    fn meter_error_is_within_spec(seed in 0u64..500, n_cpu in 0usize..4, n_io in 0usize..4) {
+        prop_assume!(n_cpu + n_io > 0);
+        let suite = BenchmarkSuite::standard();
+        let mut vms: Vec<&ApplicationProfile> = Vec::new();
+        for _ in 0..n_cpu { vms.push(suite.representative(WorkloadType::Cpu)); }
+        for _ in 0..n_io { vms.push(suite.representative(WorkloadType::Io)); }
+        let sim = RunSimulator::reference();
+        let mut meter = PowerMeter::watts_up(seed);
+        let out = sim.run(&vms, Some(&mut meter));
+        let rel = (out.energy_measured.value() - out.energy_true.value()).abs()
+            / out.energy_true.value();
+        // ±1.5 % per-sample noise, plus ≤1 sample of discretization.
+        prop_assert!(rel < 0.02, "meter error {rel}");
+        prop_assert!(out.max_power.value() <= 1.015 * 265.0 + 1e-6);
+    }
+
+    /// Run-integrator sandwich: each VM's realized finish time lies
+    /// between its solo runtime and its held-full-mix projection.
+    #[test]
+    fn finish_times_are_sandwiched(profiles in proptest::collection::vec(arb_profile(), 1..6)) {
+        let sim = RunSimulator::reference();
+        let refs: Vec<&ApplicationProfile> = profiles.iter().collect();
+        let out = sim.run(&refs, None);
+        let held = sim.model.projected_times(&sim.server, &refs);
+        for (i, fin) in out.finish_times.iter().enumerate() {
+            prop_assert!(fin.value() >= refs[i].base_runtime.value() - 1e-6,
+                "vm {i} finished faster than solo");
+            prop_assert!(fin.value() <= held[i].value() + 1e-6,
+                "vm {i} slower than the held-mix worst case");
+        }
+        prop_assert_eq!(out.makespan,
+            out.finish_times.iter().copied().fold(Seconds::ZERO, Seconds::max));
+    }
+
+    /// Energy is consistent with the power bounds over the makespan.
+    #[test]
+    fn run_energy_is_bounded_by_power_envelope(profiles in proptest::collection::vec(arb_profile(), 1..6)) {
+        let sim = RunSimulator::reference();
+        let refs: Vec<&ApplicationProfile> = profiles.iter().collect();
+        let out = sim.run(&refs, None);
+        let lo = sim.server.idle_power_watts * out.makespan.value();
+        let hi = sim.server.peak_power_watts() * out.makespan.value();
+        prop_assert!(out.energy_true.value() >= lo - 1e-6);
+        prop_assert!(out.energy_true.value() <= hi + 1e-6);
+    }
+}

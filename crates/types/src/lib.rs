@@ -1,0 +1,22 @@
+//! # eavm-types
+//!
+//! Shared vocabulary types for the `eavm` workspace: strongly-typed physical
+//! units ([`Seconds`], [`Joules`], [`Watts`]), entity identifiers ([`VmId`],
+//! [`ServerId`], [`JobId`]), the three-way workload classification used
+//! throughout the paper ([`WorkloadType`]), and the per-type VM-count vector
+//! that keys the empirical model database ([`MixVector`]).
+//!
+//! Everything here is deliberately dependency-free so that every other crate
+//! in the workspace can share it without pulling in simulation machinery.
+
+pub mod error;
+pub mod ids;
+pub mod mix;
+pub mod units;
+pub mod workload;
+
+pub use error::EavmError;
+pub use ids::{JobId, ServerId, VmId};
+pub use mix::MixVector;
+pub use units::{Joules, Seconds, Watts};
+pub use workload::WorkloadType;

@@ -1,0 +1,263 @@
+//! The `(Ncpu, Nmem, Nio)` vector that keys the model database.
+//!
+//! Table II of the paper defines the database registers: each record is
+//! keyed by the number of co-located VMs of each workload type. The paper
+//! sorts records by this key and looks them up with binary search; we give
+//! the key a proper type with total ordering matching that sort order.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Sub};
+
+use crate::workload::WorkloadType;
+
+/// Number of VMs of each workload type co-located on one server:
+/// `(Ncpu, Nmem, Nio)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MixVector {
+    /// VMs running a CPU-intensive benchmark (`Ncpu`).
+    pub cpu: u32,
+    /// VMs running a memory-intensive benchmark (`Nmem`).
+    pub mem: u32,
+    /// VMs running an I/O-intensive benchmark (`Nio`).
+    pub io: u32,
+}
+
+impl MixVector {
+    /// The empty allocation (no VMs).
+    pub const EMPTY: MixVector = MixVector { cpu: 0, mem: 0, io: 0 };
+
+    /// Construct from explicit per-type counts.
+    #[inline]
+    pub const fn new(cpu: u32, mem: u32, io: u32) -> Self {
+        Self { cpu, mem, io }
+    }
+
+    /// A mix consisting of `n` VMs of a single type.
+    #[inline]
+    pub fn single(ty: WorkloadType, n: u32) -> Self {
+        let mut m = Self::EMPTY;
+        m[ty] = n;
+        m
+    }
+
+    /// Total number of VMs in the mix (`Ncpu + Nmem + Nio`).
+    #[inline]
+    pub const fn total(&self) -> u32 {
+        self.cpu + self.mem + self.io
+    }
+
+    /// `true` if no VMs are allocated.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// `true` if the mix contains VMs of exactly one workload type.
+    pub fn is_homogeneous(&self) -> bool {
+        let nonzero = [self.cpu, self.mem, self.io]
+            .iter()
+            .filter(|&&n| n > 0)
+            .count();
+        nonzero == 1
+    }
+
+    /// The single workload type present, if the mix is homogeneous.
+    pub fn sole_type(&self) -> Option<WorkloadType> {
+        if !self.is_homogeneous() {
+            return None;
+        }
+        WorkloadType::ALL.into_iter().find(|ty| self[*ty] > 0)
+    }
+
+    /// Count for a given workload type.
+    #[inline]
+    pub fn count(&self, ty: WorkloadType) -> u32 {
+        self[ty]
+    }
+
+    /// Add one VM of the given type, returning the new mix.
+    #[inline]
+    pub fn plus(mut self, ty: WorkloadType) -> Self {
+        self[ty] += 1;
+        self
+    }
+
+    /// Remove one VM of the given type, returning the new mix.
+    /// Returns `None` if no VM of that type is present.
+    pub fn minus(mut self, ty: WorkloadType) -> Option<Self> {
+        if self[ty] == 0 {
+            return None;
+        }
+        self[ty] -= 1;
+        Some(self)
+    }
+
+    /// Component-wise `<=` (can `self` fit inside `bound`?).
+    pub fn fits_within(&self, bound: &MixVector) -> bool {
+        self.cpu <= bound.cpu && self.mem <= bound.mem && self.io <= bound.io
+    }
+
+    /// Checked component-wise subtraction.
+    pub fn checked_sub(&self, rhs: &MixVector) -> Option<MixVector> {
+        Some(MixVector {
+            cpu: self.cpu.checked_sub(rhs.cpu)?,
+            mem: self.mem.checked_sub(rhs.mem)?,
+            io: self.io.checked_sub(rhs.io)?,
+        })
+    }
+
+    /// Iterate over `(type, count)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkloadType, u32)> + '_ {
+        WorkloadType::ALL.into_iter().map(move |ty| (ty, self[ty]))
+    }
+
+    /// Iterate over every mix with `cpu <= bounds.cpu`, `mem <= bounds.mem`,
+    /// `io <= bounds.io`, in ascending key order. This is the iteration
+    /// space of the paper's combined benchmarking phase.
+    pub fn space(bounds: MixVector) -> impl Iterator<Item = MixVector> {
+        (0..=bounds.cpu).flat_map(move |cpu| {
+            (0..=bounds.mem).flat_map(move |mem| {
+                (0..=bounds.io).map(move |io| MixVector { cpu, mem, io })
+            })
+        })
+    }
+}
+
+impl Index<WorkloadType> for MixVector {
+    type Output = u32;
+    #[inline]
+    fn index(&self, ty: WorkloadType) -> &u32 {
+        match ty {
+            WorkloadType::Cpu => &self.cpu,
+            WorkloadType::Mem => &self.mem,
+            WorkloadType::Io => &self.io,
+        }
+    }
+}
+
+impl IndexMut<WorkloadType> for MixVector {
+    #[inline]
+    fn index_mut(&mut self, ty: WorkloadType) -> &mut u32 {
+        match ty {
+            WorkloadType::Cpu => &mut self.cpu,
+            WorkloadType::Mem => &mut self.mem,
+            WorkloadType::Io => &mut self.io,
+        }
+    }
+}
+
+impl Add for MixVector {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            cpu: self.cpu + rhs.cpu,
+            mem: self.mem + rhs.mem,
+            io: self.io + rhs.io,
+        }
+    }
+}
+
+impl AddAssign for MixVector {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for MixVector {
+    type Output = Self;
+    /// Panics on underflow; use [`MixVector::checked_sub`] when the
+    /// relationship is not statically guaranteed.
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        self.checked_sub(&rhs)
+            .expect("MixVector subtraction underflow")
+    }
+}
+
+impl fmt::Display for MixVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.cpu, self.mem, self.io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_emptiness() {
+        assert!(MixVector::EMPTY.is_empty());
+        let m = MixVector::new(2, 1, 3);
+        assert_eq!(m.total(), 6);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn homogeneity_and_sole_type() {
+        assert!(MixVector::single(WorkloadType::Mem, 4).is_homogeneous());
+        assert_eq!(
+            MixVector::single(WorkloadType::Mem, 4).sole_type(),
+            Some(WorkloadType::Mem)
+        );
+        assert!(!MixVector::new(1, 1, 0).is_homogeneous());
+        assert_eq!(MixVector::new(1, 1, 0).sole_type(), None);
+        assert!(!MixVector::EMPTY.is_homogeneous());
+    }
+
+    #[test]
+    fn plus_minus_roundtrip() {
+        let m = MixVector::new(1, 0, 0);
+        let m2 = m.plus(WorkloadType::Io);
+        assert_eq!(m2, MixVector::new(1, 0, 1));
+        assert_eq!(m2.minus(WorkloadType::Io), Some(m));
+        assert_eq!(m.minus(WorkloadType::Io), None);
+    }
+
+    #[test]
+    fn ordering_matches_key_sort() {
+        // The paper sorts database records by (Ncpu, Nmem, Nio) ascending;
+        // the derived lexicographic Ord must agree.
+        let a = MixVector::new(0, 5, 5);
+        let b = MixVector::new(1, 0, 0);
+        assert!(a < b);
+        let c = MixVector::new(1, 0, 1);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn space_enumerates_full_grid_in_order() {
+        let bounds = MixVector::new(2, 1, 1);
+        let all: Vec<_> = MixVector::space(bounds).collect();
+        assert_eq!(all.len(), 3 * 2 * 2);
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted, "space() must yield ascending key order");
+        assert_eq!(all.first(), Some(&MixVector::EMPTY));
+        assert_eq!(all.last(), Some(&bounds));
+    }
+
+    #[test]
+    fn fits_and_sub() {
+        let small = MixVector::new(1, 1, 0);
+        let big = MixVector::new(2, 1, 1);
+        assert!(small.fits_within(&big));
+        assert!(!big.fits_within(&small));
+        assert_eq!(big - small, MixVector::new(1, 0, 1));
+        assert_eq!(big.checked_sub(&MixVector::new(3, 0, 0)), None);
+    }
+
+    #[test]
+    fn index_by_type() {
+        let mut m = MixVector::EMPTY;
+        m[WorkloadType::Cpu] = 5;
+        assert_eq!(m.count(WorkloadType::Cpu), 5);
+        assert_eq!(m.iter().map(|(_, n)| n).sum::<u32>(), 5);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(MixVector::new(1, 2, 3).to_string(), "(1,2,3)");
+    }
+}

@@ -1,0 +1,297 @@
+//! Physical units as transparent newtypes over `f64`.
+//!
+//! The simulation deals in three quantities that are easy to confuse when
+//! they are all bare `f64`s: elapsed time (seconds), consumed energy
+//! (joules), and instantaneous power (watts). The newtypes below make the
+//! dimensional relationships explicit: `Watts * Seconds = Joules`,
+//! `Joules / Seconds = Watts`, and so on. Only physically meaningful
+//! operator combinations are implemented.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Construct from a raw `f64` value.
+            #[inline]
+            pub const fn new(v: f64) -> Self {
+                Self(v)
+            }
+
+            /// Extract the raw `f64` value.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// `true` if the contained value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Element-wise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Element-wise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two same-unit quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// Elapsed or absolute simulation time in seconds.
+    Seconds,
+    "s"
+);
+unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+unit!(
+    /// Instantaneous power in watts.
+    Watts,
+    "W"
+);
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// Power sustained for a duration yields energy.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// Energy spread over a duration yields average power.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    /// Energy at a given power draw lasts this long.
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+impl Joules {
+    /// Energy-delay product, the paper's Table II `EDP` column
+    /// (joule-seconds).
+    #[inline]
+    pub fn edp(self, delay: Seconds) -> f64 {
+        self.0 * delay.0
+    }
+
+    /// Convert to kilojoules.
+    #[inline]
+    pub fn kilojoules(self) -> f64 {
+        self.0 / 1_000.0
+    }
+}
+
+impl Seconds {
+    /// Convert to hours.
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.0 / 3_600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_times_seconds_is_joules() {
+        let e = Watts(125.0) * Seconds(10.0);
+        assert_eq!(e, Joules(1_250.0));
+        let e2 = Seconds(10.0) * Watts(125.0);
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn joules_over_seconds_is_watts() {
+        assert_eq!(Joules(500.0) / Seconds(4.0), Watts(125.0));
+    }
+
+    #[test]
+    fn joules_over_watts_is_seconds() {
+        assert_eq!(Joules(500.0) / Watts(125.0), Seconds(4.0));
+    }
+
+    #[test]
+    fn same_unit_ratio_is_dimensionless() {
+        let r: f64 = Seconds(30.0) / Seconds(60.0);
+        assert!((r - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let mut t = Seconds(1.0);
+        t += Seconds(2.0);
+        t -= Seconds(0.5);
+        assert_eq!(t, Seconds(2.5));
+        assert!(Seconds(1.0) < Seconds(2.0));
+        assert_eq!(-Seconds(1.0), Seconds(-1.0));
+        assert_eq!(Seconds(2.0) * 3.0, Seconds(6.0));
+        assert_eq!(3.0 * Seconds(2.0), Seconds(6.0));
+        assert_eq!(Seconds(6.0) / 3.0, Seconds(2.0));
+        assert_eq!(Seconds(1.0).max(Seconds(2.0)), Seconds(2.0));
+        assert_eq!(Seconds(1.0).min(Seconds(2.0)), Seconds(1.0));
+        assert_eq!(Seconds(-1.5).abs(), Seconds(1.5));
+    }
+
+    #[test]
+    fn sum_of_units() {
+        let total: Joules = [Joules(1.0), Joules(2.0), Joules(3.5)].into_iter().sum();
+        assert_eq!(total, Joules(6.5));
+    }
+
+    #[test]
+    fn edp_matches_definition() {
+        assert!((Joules(100.0).edp(Seconds(3.0)) - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.2}", Watts(125.456)), "125.46 W");
+        assert_eq!(format!("{}", Joules(5.0)), "5 J");
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((Joules(2_500.0).kilojoules() - 2.5).abs() < 1e-12);
+        assert!((Seconds(7_200.0).hours() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_check() {
+        assert!(Seconds(1.0).is_finite());
+        assert!(!Seconds(f64::NAN).is_finite());
+        assert!(!Seconds(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's three-way workload classification.
+//!
+//! Section III-A of the paper profiles HPC benchmarks and labels each as
+//! CPU-, memory-, or I/O-intensive (network-intensive workloads are treated
+//! as a flavour of I/O at the allocation level; the paper's model database
+//! is keyed by exactly three counts `(Ncpu, Nmem, Nio)`). A workload can in
+//! reality be intensive along several dimensions — that richer structure
+//! lives in `eavm-testbed::ApplicationProfile`; this enum is the coarse
+//! label the *allocator* sees, mirroring the paper's assumption that "the
+//! applications' profiles are known in advance (e.g., specified by the user
+//! in the job definition)".
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::EavmError;
+
+/// Coarse application profile label used as the model database key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WorkloadType {
+    /// CPU-intensive (e.g. HPL Linpack, FFTW).
+    Cpu,
+    /// Memory-intensive (e.g. sysbench under database-style load).
+    Mem,
+    /// Disk/network I/O-intensive (e.g. b_eff_io, bonnie++).
+    Io,
+}
+
+impl WorkloadType {
+    /// All workload types in canonical (database-key) order.
+    pub const ALL: [WorkloadType; 3] = [WorkloadType::Cpu, WorkloadType::Mem, WorkloadType::Io];
+
+    /// Canonical index of this type within [`Self::ALL`]; also the index of
+    /// its count inside a [`crate::MixVector`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            WorkloadType::Cpu => 0,
+            WorkloadType::Mem => 1,
+            WorkloadType::Io => 2,
+        }
+    }
+
+    /// Inverse of [`Self::index`]. Panics if `i >= 3`.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Short lowercase name (`cpu` / `mem` / `io`), used in CSV headers.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WorkloadType::Cpu => "cpu",
+            WorkloadType::Mem => "mem",
+            WorkloadType::Io => "io",
+        }
+    }
+}
+
+impl fmt::Display for WorkloadType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for WorkloadType {
+    type Err = EavmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "cpu" => Ok(WorkloadType::Cpu),
+            "mem" | "memory" => Ok(WorkloadType::Mem),
+            "io" | "i/o" => Ok(WorkloadType::Io),
+            other => Err(EavmError::Parse(format!(
+                "unknown workload type: {other:?} (expected cpu|mem|io)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips() {
+        for (i, ty) in WorkloadType::ALL.iter().enumerate() {
+            assert_eq!(ty.index(), i);
+            assert_eq!(WorkloadType::from_index(i), *ty);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!("CPU".parse::<WorkloadType>().unwrap(), WorkloadType::Cpu);
+        assert_eq!("memory".parse::<WorkloadType>().unwrap(), WorkloadType::Mem);
+        assert_eq!(" i/o ".parse::<WorkloadType>().unwrap(), WorkloadType::Io);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("gpu".parse::<WorkloadType>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(WorkloadType::Cpu.to_string(), "cpu");
+        assert_eq!(WorkloadType::Mem.to_string(), "mem");
+        assert_eq!(WorkloadType::Io.to_string(), "io");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the core vocabulary types.
+
+use eavm_types::{Joules, MixVector, Seconds, Watts, WorkloadType};
+use proptest::prelude::*;
+
+fn arb_mix() -> impl Strategy<Value = MixVector> {
+    (0u32..50, 0u32..50, 0u32..50).prop_map(|(c, m, i)| MixVector::new(c, m, i))
+}
+
+proptest! {
+    #[test]
+    fn mix_addition_is_commutative_and_associative(a in arb_mix(), b in arb_mix(), c in arb_mix()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + MixVector::EMPTY, a);
+    }
+
+    #[test]
+    fn mix_add_then_sub_roundtrips(a in arb_mix(), b in arb_mix()) {
+        prop_assert_eq!((a + b) - b, a);
+        prop_assert_eq!((a + b).checked_sub(&a), Some(b));
+    }
+
+    #[test]
+    fn fits_within_iff_checked_sub_succeeds(a in arb_mix(), b in arb_mix()) {
+        prop_assert_eq!(a.fits_within(&b), b.checked_sub(&a).is_some());
+        prop_assert!(a.fits_within(&(a + b)));
+    }
+
+    #[test]
+    fn plus_and_minus_are_inverses(a in arb_mix(), ty_idx in 0usize..3) {
+        let ty = WorkloadType::from_index(ty_idx);
+        let plus = a.plus(ty);
+        prop_assert_eq!(plus.total(), a.total() + 1);
+        prop_assert_eq!(plus.minus(ty), Some(a));
+        if a[ty] == 0 {
+            prop_assert_eq!(a.minus(ty), None);
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_components(a in arb_mix()) {
+        let sum: u32 = a.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(a.total(), sum);
+        prop_assert_eq!(a.is_empty(), sum == 0);
+    }
+
+    #[test]
+    fn homogeneous_iff_sole_type_exists(a in arb_mix()) {
+        prop_assert_eq!(a.is_homogeneous(), a.sole_type().is_some());
+        if let Some(ty) = a.sole_type() {
+            prop_assert_eq!(a[ty], a.total());
+        }
+    }
+
+    #[test]
+    fn space_is_sorted_unique_and_complete(c in 0u32..5, m in 0u32..4, i in 0u32..4) {
+        let bounds = MixVector::new(c, m, i);
+        let all: Vec<MixVector> = MixVector::space(bounds).collect();
+        prop_assert_eq!(all.len(), ((c + 1) * (m + 1) * (i + 1)) as usize);
+        for w in all.windows(2) {
+            prop_assert!(w[0] < w[1], "space must be strictly ascending");
+        }
+        for mix in &all {
+            prop_assert!(mix.fits_within(&bounds));
+        }
+    }
+
+    #[test]
+    fn unit_algebra_is_consistent(p in 1.0f64..1000.0, t in 0.1f64..1e6) {
+        let e = Watts(p) * Seconds(t);
+        prop_assert!((e.value() - p * t).abs() < 1e-6 * p * t);
+        let back_p = e / Seconds(t);
+        prop_assert!((back_p.value() - p).abs() < 1e-9 * p);
+        let back_t = e / Watts(p);
+        prop_assert!((back_t.value() - t).abs() < 1e-9 * t);
+    }
+
+    #[test]
+    fn unit_sums_match_scalar_sums(values in proptest::collection::vec(0.0f64..1e6, 0..20)) {
+        let total: Joules = values.iter().map(|&v| Joules(v)).sum();
+        let scalar: f64 = values.iter().sum();
+        prop_assert!((total.value() - scalar).abs() <= 1e-9 * scalar.max(1.0));
+    }
+
+    #[test]
+    fn workload_parse_display_roundtrip(ty_idx in 0usize..3) {
+        let ty = WorkloadType::from_index(ty_idx);
+        let parsed: WorkloadType = ty.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, ty);
+    }
+}

@@ -1,0 +1,93 @@
+//! Capacity planning: use the simulator as an oracle for "how many
+//! servers do I need to keep SLA violations under X % for this
+//! workload?" — the operational question the paper's SMALLER/LARGER
+//! comparison gestures at, answered by bisection over the fleet size.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use eavm::prelude::*;
+
+fn build_workload(db: &ModelDatabase) -> (Vec<VmRequest>, [Seconds; 3]) {
+    let solo = [
+        db.aux().solo_time(WorkloadType::Cpu),
+        db.aux().solo_time(WorkloadType::Mem),
+        db.aux().solo_time(WorkloadType::Io),
+    ];
+    let mut generator = TraceGenerator::new(GeneratorConfig {
+        seed: 55,
+        total_jobs: 1_250,
+        mean_burst_gap_s: 18.0,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut trace = generator.generate();
+    clean_trace(&mut trace);
+    let cfg = AdaptConfig { qos_factor: 3.0, ..AdaptConfig::paper(55, solo) };
+    let mut requests = adapt_trace(&trace, &cfg);
+    eavm::swf::truncate_to_vm_total(&mut requests, 2_500);
+    let deadlines = [
+        cfg.deadline(WorkloadType::Cpu),
+        cfg.deadline(WorkloadType::Mem),
+        cfg.deadline(WorkloadType::Io),
+    ];
+    (requests, deadlines)
+}
+
+fn sla_at(
+    servers: usize,
+    db: &ModelDatabase,
+    deadlines: [Seconds; 3],
+    requests: &[VmRequest],
+) -> SimOutcome {
+    let cloud = CloudConfig::new(format!("N{servers}"), servers).unwrap();
+    let sim = Simulation::new(AnalyticModel::reference(), cloud);
+    let mut pa = Proactive::new(DbModel::new(db.clone()), OptimizationGoal::BALANCED, deadlines)
+        .with_qos_margin(0.65);
+    sim.run(&mut pa, requests).unwrap()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = DbBuilder::exact().build()?;
+    let (requests, deadlines) = build_workload(&db);
+    let target_pct = 5.0;
+    println!(
+        "workload: {} requests / {} VMs; target: <= {target_pct}% SLA violations under PA-0.5",
+        requests.len(),
+        eavm::swf::total_vms(&requests)
+    );
+
+    // Bisect the smallest fleet meeting the target. SLA% is monotone
+    // non-increasing in fleet size for a fixed workload.
+    let (mut lo, mut hi) = (4usize, 64usize);
+    let top = sla_at(hi, &db, deadlines, &requests);
+    assert!(
+        top.sla_violation_pct() <= target_pct,
+        "even {hi} servers cannot meet the target"
+    );
+    println!("\nservers  makespan_s  energy_MJ  sla_pct");
+    while lo + 1 < hi {
+        let mid = lo.midpoint(hi);
+        let out = sla_at(mid, &db, deadlines, &requests);
+        println!(
+            "{:>7}  {:>10.0}  {:>9.2}  {:>7.1}",
+            mid,
+            out.makespan().value(),
+            out.energy.value() / 1e6,
+            out.sla_violation_pct()
+        );
+        if out.sla_violation_pct() <= target_pct {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let chosen = sla_at(hi, &db, deadlines, &requests);
+    println!(
+        "\nanswer: {} servers ({:.1}% violations, makespan {:.0} s, energy {:.2} MJ)",
+        hi,
+        chosen.sla_violation_pct(),
+        chosen.makespan().value(),
+        chosen.energy.value() / 1e6,
+    );
+    Ok(())
+}

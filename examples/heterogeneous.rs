@@ -1,0 +1,107 @@
+//! Heterogeneous fleet walkthrough (the paper's future-work item i):
+//! build one model database per hardware platform, run a mixed fleet
+//! (reference rack servers + dual-socket big nodes), and compare a
+//! platform-aware PROACTIVE allocator against a platform-naive one and
+//! slot-aware FIRST-FIT.
+//!
+//! Run with: `cargo run --release --example heterogeneous`
+
+use eavm::prelude::*;
+use eavm::testbed::ContentionModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One database per platform; per-platform Table I parameters differ,
+    // which is exactly the "system characteristics in the database"
+    // extension Sect. III-C sketches.
+    println!("building per-platform databases...");
+    let db_ref = DbBuilder::exact().build()?;
+    let db_big = DbBuilder {
+        sim: RunSimulator {
+            server: ServerSpec::big_node(),
+            model: ContentionModel::default(),
+        },
+        meter_seed: None,
+        ..Default::default()
+    }
+    .build()?;
+    println!(
+        "  reference bounds {}  |  big-node bounds {}",
+        db_ref.aux().os_bounds,
+        db_big.aux().os_bounds
+    );
+
+    // Ground truth per platform.
+    let truth_ref = AnalyticModel::reference();
+    let truth_big = AnalyticModel::new(
+        ServerSpec::big_node(),
+        ContentionModel::default(),
+        &BenchmarkSuite::standard(),
+        MixVector::new(24, 24, 24),
+    );
+
+    // A small mixed fleet: 6 reference servers + 3 big nodes.
+    let fleet = |name: &str| {
+        Simulation::new(truth_ref.clone(), CloudConfig::new(name, 6).unwrap())
+            .with_platform(truth_big.clone(), 3)
+    };
+
+    // A bursty workload of ~900 VMs.
+    let solo = [
+        db_ref.aux().solo_time(WorkloadType::Cpu),
+        db_ref.aux().solo_time(WorkloadType::Mem),
+        db_ref.aux().solo_time(WorkloadType::Io),
+    ];
+    let mut generator = TraceGenerator::new(GeneratorConfig {
+        seed: 33,
+        total_jobs: 450,
+        ..Default::default()
+    })?;
+    let mut trace = generator.generate();
+    clean_trace(&mut trace);
+    let cfg = AdaptConfig { qos_factor: 3.0, ..AdaptConfig::paper(33, solo) };
+    let mut requests = adapt_trace(&trace, &cfg);
+    eavm::swf::truncate_to_vm_total(&mut requests, 900);
+    let deadlines = [
+        cfg.deadline(WorkloadType::Cpu),
+        cfg.deadline(WorkloadType::Mem),
+        cfg.deadline(WorkloadType::Io),
+    ];
+
+    println!("\nconfiguration           makespan_s  energy_MJ  sla_pct  mean_busy");
+    let show = |name: &str, out: SimOutcome| {
+        println!(
+            "{:<22}  {:>10.0}  {:>9.2}  {:>7.1}  {:>9.2}",
+            name,
+            out.makespan().value(),
+            out.energy.value() / 1e6,
+            out.sla_violation_pct(),
+            out.mean_servers_busy(),
+        );
+    };
+
+    let mut ff = FirstFit::ff(4); // slot-aware through the server views
+    show("FF (slot-aware)", fleet("HET").run(&mut ff, &requests)?);
+
+    let mut naive = Proactive::new(
+        DbModel::new(db_ref.clone()),
+        OptimizationGoal::BALANCED,
+        deadlines,
+    )
+    .with_qos_margin(0.65);
+    show("PA-0.5 naive", fleet("HET").run(&mut naive, &requests)?);
+
+    let mut aware = Proactive::heterogeneous(
+        vec![DbModel::new(db_ref), DbModel::new(db_big)],
+        OptimizationGoal::BALANCED,
+        deadlines,
+    )
+    .with_qos_margin(0.65);
+    show("PA-0.5 platform-aware", fleet("HET").run(&mut aware, &requests)?);
+
+    println!(
+        "\nSee `cargo run --release -p eavm-bench --bin hetero_fleet` for the full-scale\n\
+         version of this comparison and the analysis of why per-platform data alone\n\
+         does not rescue a myopic greedy."
+    );
+    Ok(())
+}

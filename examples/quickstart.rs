@@ -1,0 +1,70 @@
+//! Quickstart: build the empirical model, allocate a job with
+//! PROACTIVE(α), and compare the decision with plain FIRST-FIT.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eavm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the empirical allocation model exactly as Sect. III of the
+    //    paper prescribes: base tests (1..=16 clones of each workload
+    //    type) followed by the exhaustive combined benchmarks, all on the
+    //    synthetic reference server (quad-core Xeon, 4 GB RAM, Xen-like
+    //    virtualization overhead).
+    println!("building the empirical model database...");
+    let db = DbBuilder::default().build()?;
+    let aux = db.aux().clone();
+    println!(
+        "  {} registers; optimal scenarios OSP={} OSE={}; solo times (TC,TM,TI) = ({}, {}, {})",
+        db.len(),
+        aux.os_perf,
+        aux.os_energy,
+        aux.solo_times[0],
+        aux.solo_times[1],
+        aux.solo_times[2],
+    );
+
+    // 2. A small fleet: two servers already host VMs, two are powered off.
+    let servers = vec![
+        ServerView::homogeneous(ServerId::new(0), MixVector::new(3, 0, 0)),
+        ServerView::homogeneous(ServerId::new(1), MixVector::new(0, 2, 1)),
+        ServerView::homogeneous(ServerId::new(2), MixVector::EMPTY),
+        ServerView::homogeneous(ServerId::new(3), MixVector::EMPTY),
+    ];
+
+    // 3. An incoming job request: 3 CPU-intensive VMs with a 1-hour
+    //    response deadline.
+    let deadlines = [Seconds(3600.0), Seconds(3000.0), Seconds(2700.0)];
+    let request = RequestView {
+        id: JobId::new(42),
+        workload: WorkloadType::Cpu,
+        vm_count: 3,
+        deadline: deadlines[WorkloadType::Cpu.index()],
+    };
+
+    // 4. Ask each optimization goal where the VMs should go.
+    for goal in [
+        OptimizationGoal::ENERGY,
+        OptimizationGoal::PERFORMANCE,
+        OptimizationGoal::BALANCED,
+    ] {
+        let mut pa = Proactive::new(DbModel::new(db.clone()), goal, deadlines);
+        let placements = pa.allocate(&request, &servers)?;
+        let detail: Vec<String> = placements
+            .iter()
+            .map(|p| format!("{} VMs -> {}", p.add.total(), p.server))
+            .collect();
+        println!("{}: {}", goal.label(), detail.join(", "));
+    }
+
+    // 5. FIRST-FIT for contrast: profile-blind CPU-slot counting.
+    let mut ff = FirstFit::ff(4);
+    let placements = ff.allocate(&request, &servers)?;
+    let detail: Vec<String> = placements
+        .iter()
+        .map(|p| format!("{} VMs -> {}", p.add.total(), p.server))
+        .collect();
+    println!("FF  : {}", detail.join(", "));
+
+    Ok(())
+}

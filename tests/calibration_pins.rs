@@ -1,0 +1,65 @@
+//! Calibration pins: the contention-model constants are load-bearing
+//! (every figure's shape depends on them), so the exact values the
+//! deterministic (noise-free) pipeline produces are pinned here. If a
+//! change to `eavm-testbed` moves any of these, the experiment suite must
+//! be re-validated against `EXPERIMENTS.md` — this test makes that step
+//! impossible to forget.
+
+use eavm::prelude::*;
+
+fn close(actual: f64, pinned: f64, what: &str) {
+    let rel = (actual - pinned).abs() / pinned.abs().max(1e-12);
+    assert!(
+        rel < 1e-9,
+        "{what}: measured {actual}, pinned {pinned} — calibration moved; \
+         re-validate EXPERIMENTS.md before updating this pin"
+    );
+}
+
+#[test]
+fn table1_parameters_are_pinned() {
+    let db = DbBuilder::exact().build().unwrap();
+    let aux = db.aux();
+    assert_eq!(aux.os_perf, MixVector::new(10, 4, 7), "OSP moved");
+    assert_eq!(aux.os_energy, MixVector::new(8, 3, 4), "OSE moved");
+    assert_eq!(aux.os_bounds, MixVector::new(10, 4, 7), "bounds moved");
+    close(aux.solo_times[0].value(), 1200.0, "TC");
+    close(aux.solo_times[1].value(), 1000.0, "TM");
+    close(aux.solo_times[2].value(), 900.0, "TI");
+    assert_eq!(db.len(), 466, "database register count moved");
+}
+
+#[test]
+fn representative_registers_are_pinned() {
+    let db = DbBuilder::exact().build().unwrap();
+    // Homogeneous optimum point of the Fig. 2 curve.
+    let r9 = db.lookup(MixVector::new(9, 0, 0)).unwrap();
+    close(r9.time.value(), 2646.0, "time(9,0,0)");
+    close(r9.avg_time_vm.value(), 294.0, "avgTimeVM(9,0,0)");
+    // The all-types unit mix.
+    let r111 = db.lookup(MixVector::new(1, 1, 1)).unwrap();
+    close(r111.time.value(), 1304.5, "time(1,1,1)");
+    close(
+        r111.time_of(WorkloadType::Mem).unwrap().value(),
+        1104.5,
+        "timeMem(1,1,1)",
+    );
+    // The deepest combined register carries the thrash cliff.
+    let deep = db.lookup(MixVector::new(10, 4, 7)).unwrap();
+    assert!(
+        deep.time.value() > 20_000.0,
+        "thrash cliff at the bounds vanished: {}",
+        deep.time
+    );
+}
+
+#[test]
+fn fig2_shape_is_pinned() {
+    let sim = RunSimulator::reference();
+    let fftw = ApplicationProfile::fftw();
+    let avg = |n: usize| sim.run_clones(&fftw, n, None).avg_time_per_vm().value();
+    let best = (1..=16).min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap()).unwrap();
+    assert_eq!(best, 10, "FFTW optimum moved");
+    close(avg(10), 293.7675, "avg(10)");
+    assert!(avg(12) / avg(10) > 2.0, "post-cliff degradation weakened");
+}

@@ -1,0 +1,162 @@
+//! Integration: the full paper pipeline at reduced scale — model
+//! building, trace synthesis/cleaning/adaptation, and simulation under
+//! every strategy — checking cross-crate invariants.
+
+use eavm::prelude::*;
+
+fn build_requests(seed: u64, total_vms: u32, solo: [Seconds; 3]) -> Vec<VmRequest> {
+    let mut generator = TraceGenerator::new(GeneratorConfig {
+        seed,
+        total_jobs: (total_vms as usize) / 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut trace = generator.generate();
+    clean_trace(&mut trace);
+    let cfg = AdaptConfig {
+        qos_factor: 3.0,
+        ..AdaptConfig::paper(seed, solo)
+    };
+    let mut requests = adapt_trace(&trace, &cfg);
+    eavm::swf::truncate_to_vm_total(&mut requests, total_vms);
+    requests
+}
+
+fn solo_times(db: &ModelDatabase) -> [Seconds; 3] {
+    [
+        db.aux().solo_time(WorkloadType::Cpu),
+        db.aux().solo_time(WorkloadType::Mem),
+        db.aux().solo_time(WorkloadType::Io),
+    ]
+}
+
+fn deadlines(db: &ModelDatabase, factor: f64) -> [Seconds; 3] {
+    let solo = solo_times(db);
+    [solo[0] * factor, solo[1] * factor, solo[2] * factor]
+}
+
+#[test]
+fn every_strategy_completes_the_whole_workload() {
+    let db = DbBuilder::exact().build().unwrap();
+    let requests = build_requests(3, 400, solo_times(&db));
+    let total: u32 = requests.iter().map(|r| r.vm_count).sum();
+    let cloud = CloudConfig::new("E2E", 8).unwrap();
+    let ground_truth = AnalyticModel::reference();
+    let dl = deadlines(&db, 3.0);
+
+    let mut strategies: Vec<Box<dyn AllocationStrategy>> = vec![
+        Box::new(FirstFit::ff(4)),
+        Box::new(FirstFit::with_multiplex(4, 2)),
+        Box::new(FirstFit::with_multiplex(4, 3)),
+        Box::new(Proactive::new(DbModel::new(db.clone()), OptimizationGoal::ENERGY, dl).with_qos_margin(0.65)),
+        Box::new(Proactive::new(DbModel::new(db.clone()), OptimizationGoal::PERFORMANCE, dl).with_qos_margin(0.65)),
+        Box::new(Proactive::new(DbModel::new(db.clone()), OptimizationGoal::BALANCED, dl).with_qos_margin(0.65)),
+    ];
+    for strategy in &mut strategies {
+        let sim = Simulation::new(ground_truth.clone(), cloud.clone());
+        let out = sim.run(strategy.as_mut(), &requests).unwrap();
+        assert_eq!(out.vms as u32, total, "{} lost VMs", out.strategy);
+        assert_eq!(out.requests, requests.len());
+        assert!(out.makespan() > Seconds::ZERO);
+        assert!(out.energy > Joules::ZERO);
+        assert!(out.last_completion >= out.first_submit);
+        assert!(out.sla_violations <= out.requests);
+        assert!(out.peak_servers_busy <= cloud.servers);
+        // Energy is at least the static draw of one busy server over the
+        // busy portion, and no more than the whole fleet saturated
+        // forever.
+        let peak = AnalyticModel::reference().server().peak_power_watts();
+        assert!(out.energy.value() <= peak * cloud.servers as f64 * out.makespan().value());
+    }
+}
+
+#[test]
+fn proactive_dominates_ff3_under_load() {
+    let db = DbBuilder::exact().build().unwrap();
+    let requests = build_requests(5, 600, solo_times(&db));
+    let cloud = CloudConfig::new("LOAD", 6).unwrap();
+    let ground_truth = AnalyticModel::reference();
+    let dl = deadlines(&db, 3.0);
+
+    let sim = Simulation::new(ground_truth.clone(), cloud.clone());
+    let mut ff3 = FirstFit::with_multiplex(4, 3);
+    let ff3_out = sim.run(&mut ff3, &requests).unwrap();
+
+    let mut pa = Proactive::new(DbModel::new(db), OptimizationGoal::BALANCED, dl)
+        .with_qos_margin(0.65);
+    let pa_out = sim.run(&mut pa, &requests).unwrap();
+
+    assert!(
+        pa_out.makespan() < ff3_out.makespan(),
+        "PA {} vs FF-3 {}",
+        pa_out.makespan(),
+        ff3_out.makespan()
+    );
+    assert!(pa_out.energy < ff3_out.energy);
+    assert!(pa_out.sla_violations <= ff3_out.sla_violations);
+}
+
+#[test]
+fn larger_cloud_reduces_makespan_and_waits() {
+    let db = DbBuilder::exact().build().unwrap();
+    let requests = build_requests(9, 500, solo_times(&db));
+    let ground_truth = AnalyticModel::reference();
+
+    let mut outs = Vec::new();
+    for n in [5usize, 10] {
+        let cloud = CloudConfig::new(format!("N{n}"), n).unwrap();
+        let sim = Simulation::new(ground_truth.clone(), cloud);
+        let mut ff = FirstFit::ff(4);
+        outs.push(sim.run(&mut ff, &requests).unwrap());
+    }
+    assert!(outs[1].makespan() <= outs[0].makespan());
+    assert!(outs[1].mean_wait_time() <= outs[0].mean_wait_time());
+    assert!(outs[1].sla_violations <= outs[0].sla_violations);
+}
+
+#[test]
+fn simulation_is_reproducible_across_identical_pipelines() {
+    let db1 = DbBuilder::exact().build().unwrap();
+    let db2 = DbBuilder::exact().build().unwrap();
+    assert_eq!(db1.to_csv(), db2.to_csv());
+
+    let r1 = build_requests(11, 300, solo_times(&db1));
+    let r2 = build_requests(11, 300, solo_times(&db2));
+    assert_eq!(r1, r2);
+
+    let cloud = CloudConfig::new("REPRO", 5).unwrap();
+    let dl = deadlines(&db1, 3.0);
+    let sim = Simulation::new(AnalyticModel::reference(), cloud);
+    let mut a = Proactive::new(DbModel::new(db1), OptimizationGoal::BALANCED, dl);
+    let mut b = Proactive::new(DbModel::new(db2), OptimizationGoal::BALANCED, dl);
+    let oa = sim.run(&mut a, &r1).unwrap();
+    let ob = sim.run(&mut b, &r2).unwrap();
+    assert_eq!(oa, ob);
+}
+
+#[test]
+fn database_survives_disk_roundtrip_with_identical_decisions() {
+    let db = DbBuilder::exact().build().unwrap();
+    let dir = std::env::temp_dir().join("eavm-e2e-roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dbp = dir.join("model.csv");
+    let auxp = dir.join("aux.txt");
+    db.save(&dbp, &auxp).unwrap();
+    let loaded = ModelDatabase::load(&dbp, &auxp).unwrap();
+
+    let requests = build_requests(13, 250, solo_times(&db));
+    let cloud = CloudConfig::new("RT", 4).unwrap();
+    let dl = deadlines(&db, 3.0);
+    let sim = Simulation::new(AnalyticModel::reference(), cloud);
+    let mut pa_mem = Proactive::new(DbModel::new(db), OptimizationGoal::ENERGY, dl);
+    let mut pa_disk = Proactive::new(DbModel::new(loaded), OptimizationGoal::ENERGY, dl);
+    let a = sim.run(&mut pa_mem, &requests).unwrap();
+    let b = sim.run(&mut pa_disk, &requests).unwrap();
+    // CSV stores full f64 precision for the fields the allocator uses up
+    // to 1e-6; decisions must agree.
+    assert_eq!(a.makespan(), b.makespan());
+    assert_eq!(a.sla_violations, b.sla_violations);
+
+    std::fs::remove_file(dbp).ok();
+    std::fs::remove_file(auxp).ok();
+}

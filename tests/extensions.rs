@@ -1,0 +1,144 @@
+//! Integration tests for the extension features at pipeline scale:
+//! burst-level allocation, reactive migration, fleet power accounting,
+//! the learned-model allocator, and heterogeneous fleets.
+
+use eavm::prelude::*;
+use eavm::simulator::MigrationConfig;
+use eavm::testbed::ContentionModel;
+
+fn requests(seed: u64, total: u32, solo: [Seconds; 3]) -> Vec<VmRequest> {
+    let mut generator = TraceGenerator::new(GeneratorConfig {
+        seed,
+        total_jobs: (total as usize) / 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut trace = generator.generate();
+    clean_trace(&mut trace);
+    let cfg = AdaptConfig {
+        qos_factor: 3.0,
+        ..AdaptConfig::paper(seed, solo)
+    };
+    let mut reqs = adapt_trace(&trace, &cfg);
+    eavm::swf::truncate_to_vm_total(&mut reqs, total);
+    reqs
+}
+
+fn setup() -> (ModelDatabase, [Seconds; 3], Vec<VmRequest>) {
+    let db = DbBuilder::exact().build().unwrap();
+    let solo = [
+        db.aux().solo_time(WorkloadType::Cpu),
+        db.aux().solo_time(WorkloadType::Mem),
+        db.aux().solo_time(WorkloadType::Io),
+    ];
+    let deadlines = [solo[0] * 3.0, solo[1] * 3.0, solo[2] * 3.0];
+    let reqs = requests(77, 500, solo);
+    (db, deadlines, reqs)
+}
+
+#[test]
+fn burst_allocation_preserves_workload_and_measures_same_requests() {
+    let (db, deadlines, reqs) = setup();
+    let cloud = CloudConfig::new("BURST", 6).unwrap();
+    let total: u32 = reqs.iter().map(|r| r.vm_count).sum();
+
+    let per_request = {
+        let sim = Simulation::new(AnalyticModel::reference(), cloud.clone());
+        let mut pa = Proactive::new(DbModel::new(db.clone()), OptimizationGoal::BALANCED, deadlines)
+            .with_qos_margin(0.65);
+        sim.run(&mut pa, &reqs).unwrap()
+    };
+    let per_burst = {
+        let sim = Simulation::new(AnalyticModel::reference(), cloud).with_burst_allocation();
+        let mut pa = Proactive::new(DbModel::new(db), OptimizationGoal::BALANCED, deadlines)
+            .with_qos_margin(0.65);
+        sim.run(&mut pa, &reqs).unwrap()
+    };
+
+    for out in [&per_request, &per_burst] {
+        assert_eq!(out.vms as u32, total);
+        assert_eq!(out.requests, reqs.len());
+    }
+    // Within 10% of each other: merging changes decisions, not workload.
+    let rel = (per_burst.makespan() / per_request.makespan() - 1.0).abs();
+    assert!(rel < 0.10, "burst mode diverged: {rel}");
+}
+
+#[test]
+fn migration_preserves_workload_under_load() {
+    let (db, deadlines, reqs) = setup();
+    let cloud = CloudConfig::new("MIG", 6).unwrap();
+    let sim = Simulation::new(AnalyticModel::reference(), cloud).with_migration(MigrationConfig {
+        receiver_bound: db.aux().os_bounds,
+        ..Default::default()
+    });
+    let mut pa = Proactive::new(DbModel::new(db), OptimizationGoal::BALANCED, deadlines)
+        .with_qos_margin(0.65);
+    let out = sim.run(&mut pa, &reqs).unwrap();
+    assert_eq!(out.vms as u32, reqs.iter().map(|r| r.vm_count).sum::<u32>());
+    // PROACTIVE leaves few stragglers, so migrations should be rare.
+    assert!(out.migrations < out.vms / 4, "{} migrations", out.migrations);
+}
+
+#[test]
+fn always_on_fleet_never_uses_less_energy() {
+    let (_, _, reqs) = setup();
+    let cloud = CloudConfig::new("POWER", 8).unwrap();
+    let mut ff1 = FirstFit::ff(4);
+    let mut ff2 = FirstFit::ff(4);
+    let busy_only = Simulation::new(AnalyticModel::reference(), cloud.clone())
+        .run(&mut ff1, &reqs)
+        .unwrap();
+    let always_on = Simulation::new(AnalyticModel::reference(), cloud)
+        .with_always_on_fleet()
+        .run(&mut ff2, &reqs)
+        .unwrap();
+    assert_eq!(busy_only.makespan(), always_on.makespan());
+    assert!(always_on.energy >= busy_only.energy);
+    assert!(always_on.idle_energy >= busy_only.idle_energy);
+}
+
+#[test]
+fn learned_model_allocator_completes_the_workload() {
+    let (db, deadlines, reqs) = setup();
+    let learned = eavm::core::learned::LearnedModel::fit(&db).unwrap();
+    let cloud = CloudConfig::new("ML", 7).unwrap();
+    let sim = Simulation::new(AnalyticModel::reference(), cloud);
+    let mut pa = Proactive::new(learned, OptimizationGoal::BALANCED, deadlines)
+        .with_qos_margin(0.65);
+    let out = sim.run(&mut pa, &reqs).unwrap();
+    assert_eq!(out.vms as u32, reqs.iter().map(|r| r.vm_count).sum::<u32>());
+    assert!(out.sla_violations <= out.requests);
+}
+
+#[test]
+fn heterogeneous_fleet_completes_and_reports_platform_capacity() {
+    let (db, deadlines, reqs) = setup();
+    let big_truth = AnalyticModel::new(
+        ServerSpec::big_node(),
+        ContentionModel::default(),
+        &BenchmarkSuite::standard(),
+        MixVector::new(24, 24, 24),
+    );
+    let sim = Simulation::new(AnalyticModel::reference(), CloudConfig::new("HET", 4).unwrap())
+        .with_platform(big_truth, 2);
+    let mut pa = Proactive::new(DbModel::new(db), OptimizationGoal::BALANCED, deadlines)
+        .with_qos_margin(0.65);
+    let out = sim.run(&mut pa, &reqs).unwrap();
+    assert_eq!(out.vms as u32, reqs.iter().map(|r| r.vm_count).sum::<u32>());
+    // 4 + 2 servers provisioned; peak cannot exceed that.
+    assert!(out.peak_servers_busy <= 6);
+    assert!(out.mean_servers_busy() <= 6.0);
+}
+
+#[test]
+fn best_fit_completes_and_stays_close_to_first_fit() {
+    let (_, _, reqs) = setup();
+    let cloud = CloudConfig::new("BF", 7).unwrap();
+    let sim = Simulation::new(AnalyticModel::reference(), cloud);
+    let ff = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
+    let bf = sim.run(&mut eavm::core::BestFit::bf(4), &reqs).unwrap();
+    assert_eq!(ff.vms, bf.vms);
+    let rel = (bf.makespan() / ff.makespan() - 1.0).abs();
+    assert!(rel < 0.15, "count-blind heuristics should track each other: {rel}");
+}

@@ -1,0 +1,170 @@
+//! Cross-crate property-based tests (proptest): invariants that hold for
+//! arbitrary mixes, partitions, and fleet snapshots.
+
+use eavm::prelude::*;
+use proptest::prelude::*;
+
+fn db() -> &'static ModelDatabase {
+    use std::sync::OnceLock;
+    static DB: OnceLock<ModelDatabase> = OnceLock::new();
+    DB.get_or_init(|| DbBuilder::exact().build().unwrap())
+}
+
+fn arb_in_grid_mix() -> impl Strategy<Value = MixVector> {
+    let b = db().aux().os_bounds;
+    (0..=b.cpu, 0..=b.mem, 0..=b.io)
+        .prop_map(|(c, m, i)| MixVector::new(c, m, i))
+        .prop_filter("non-empty", |m| !m.is_empty())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every in-grid estimate is exact (not extrapolated), has positive
+    /// time and energy, and per-type times are present exactly for the
+    /// types in the mix.
+    #[test]
+    fn estimates_inside_grid_are_exact_and_positive(mix in arb_in_grid_mix()) {
+        let est = db().estimate(mix).unwrap();
+        prop_assert!(!est.extrapolated);
+        prop_assert!(est.time > Seconds::ZERO);
+        prop_assert!(est.energy > Joules::ZERO);
+        for ty in WorkloadType::ALL {
+            prop_assert_eq!(est.time_of(ty).is_some(), mix[ty] > 0);
+            if let Some(t) = est.time_of(ty) {
+                // Contention can only stretch, never compress below solo.
+                prop_assert!(t.value() >= db().aux().solo_time(ty).value() * 0.999);
+            }
+        }
+        // avgTimeVM consistency (Table II definition).
+        let avg = est.time / mix.total() as f64;
+        prop_assert!((avg.value() - est.avg_time_vm.value()).abs() / avg.value() < 1e-3);
+    }
+
+    /// Adding one VM to a mix never reduces the projected execution time
+    /// of the types already present (analytic model monotonicity).
+    #[test]
+    fn analytic_times_are_monotone_in_colocation(mix in arb_in_grid_mix(), extra in 0usize..3) {
+        let model = AnalyticModel::reference();
+        let ty_new = WorkloadType::ALL[extra];
+        let bigger = mix.plus(ty_new);
+        for ty in WorkloadType::ALL {
+            if mix[ty] == 0 { continue; }
+            let before = model.exec_time(mix, ty).unwrap();
+            let after = model.exec_time(bigger, ty).unwrap();
+            prop_assert!(after.value() >= before.value() - 1e-9,
+                "adding {ty_new} to {mix} sped up {ty}: {before} -> {after}");
+        }
+    }
+
+    /// PROACTIVE placements always cover the request exactly, land on
+    /// known servers, and never exceed the model's hostable bounds.
+    #[test]
+    fn proactive_placements_are_always_valid(
+        n in 1u32..=4,
+        ty_idx in 0usize..3,
+        occupancy in proptest::collection::vec((0u32..=4, 0u32..=2, 0u32..=3), 2..8),
+    ) {
+        let ty = WorkloadType::ALL[ty_idx];
+        let deadlines = [Seconds(3600.0), Seconds(3000.0), Seconds(2700.0)];
+        let servers: Vec<ServerView> = occupancy
+            .iter()
+            .enumerate()
+            .map(|(i, &(c, m, io))| ServerView::homogeneous(ServerId::from(i), MixVector::new(c, m, io)))
+            .collect();
+        let request = RequestView {
+            id: JobId::new(0),
+            workload: ty,
+            vm_count: n,
+            deadline: deadlines[ty.index()],
+        };
+        let mut pa = Proactive::new(DbModel::new(db().clone()), OptimizationGoal::BALANCED, deadlines)
+            .with_qos_margin(0.65);
+        match pa.allocate(&request, &servers) {
+            Ok(placements) => {
+                eavm::core::strategy::validate_placements(&request, &servers, &placements).unwrap();
+                let bounds = db().aux().os_bounds;
+                for p in &placements {
+                    let before = servers.iter().find(|s| s.id == p.server).unwrap().mix;
+                    prop_assert!((before + p.add).fits_within(&bounds));
+                }
+            }
+            Err(EavmError::Infeasible(_)) => {} // legitimate under load
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// First-fit placements also validate, and never exceed the slot cap.
+    #[test]
+    fn first_fit_placements_are_always_valid(
+        n in 1u32..=4,
+        mult in 1u32..=3,
+        used in proptest::collection::vec(0u32..=12, 1..10),
+    ) {
+        let servers: Vec<ServerView> = used
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| {
+                ServerView::homogeneous(
+                    ServerId::from(i),
+                    MixVector::single(WorkloadType::Cpu, u.min(4 * mult)),
+                )
+            })
+            .collect();
+        let request = RequestView {
+            id: JobId::new(1),
+            workload: WorkloadType::Io,
+            vm_count: n,
+            deadline: Seconds(1e9),
+        };
+        let mut ff = FirstFit::with_multiplex(4, mult);
+        match ff.allocate(&request, &servers) {
+            Ok(placements) => {
+                eavm::core::strategy::validate_placements(&request, &servers, &placements).unwrap();
+                for p in &placements {
+                    let before = servers.iter().find(|s| s.id == p.server).unwrap().mix;
+                    prop_assert!(before.total() + p.add.total() <= 4 * mult);
+                }
+            }
+            Err(EavmError::Infeasible(_)) => {
+                // Then the fleet really is full.
+                let free: u32 = servers.iter().map(|s| (4 * mult).saturating_sub(s.mix.total())).sum();
+                prop_assert!(free < n);
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// Simulating any feasible random mini-trace conserves VMs and
+    /// produces self-consistent metrics.
+    #[test]
+    fn simulation_conserves_vms(
+        seed in 0u64..1_000,
+        n_requests in 1usize..20,
+        servers in 2usize..6,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let requests: Vec<VmRequest> = (0..n_requests)
+            .map(|i| {
+                t += rng.gen_range(0.0..600.0);
+                VmRequest {
+                    id: JobId::from(i),
+                    submit: Seconds(t),
+                    workload: WorkloadType::from_index(rng.gen_range(0..3)),
+                    vm_count: rng.gen_range(1..=4),
+                    deadline: Seconds(1e9),
+                }
+            })
+            .collect();
+        let total: u32 = requests.iter().map(|r| r.vm_count).sum();
+        let sim = Simulation::new(AnalyticModel::reference(), CloudConfig::new("P", servers).unwrap());
+        let out = sim.run(&mut FirstFit::with_multiplex(4, 2), &requests).unwrap();
+        prop_assert_eq!(out.vms as u32, total);
+        prop_assert!(out.last_completion >= out.first_submit);
+        prop_assert!(out.total_response_time >= out.total_wait_time);
+        prop_assert!(out.energy >= out.idle_energy);
+        prop_assert!(out.sla_violations == 0, "deadlines are infinite here");
+    }
+}

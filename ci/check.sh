@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The repo's CI gate: build, test, format, lint — in that order, so the
+# cheapest failure mode (a broken build) surfaces before the slow test
+# run, and style gates never mask a real breakage.
+#
+# Run locally before pushing: ./ci/check.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI checks passed."

@@ -34,9 +34,7 @@ fn database() -> ModelDatabase {
 fn bench_database(c: &mut Criterion) {
     let db = database();
     let bounds = db.aux().os_bounds;
-    let mixes: Vec<MixVector> = MixVector::space(bounds)
-        .filter(|m| !m.is_empty())
-        .collect();
+    let mixes: Vec<MixVector> = MixVector::space(bounds).filter(|m| !m.is_empty()).collect();
     c.bench_function("db_binary_search_lookup", |b| {
         let mut i = 0;
         b.iter(|| {
@@ -56,12 +54,9 @@ fn bench_database(c: &mut Criterion) {
     });
 }
 
-fn bench_proactive_decision(c: &mut Criterion) {
-    let db = DbModel::new(database());
-    let deadlines = [Seconds(3600.0), Seconds(3000.0), Seconds(2700.0)];
-    let mut pa = Proactive::new(db, OptimizationGoal::BALANCED, deadlines).with_qos_margin(0.65);
-    // A 70-server fleet in a mid-load state.
-    let servers: Vec<ServerView> = (0..70u32)
+/// A 70-server fleet in a mid-load state.
+fn mid_load_fleet() -> Vec<ServerView> {
+    (0..70u32)
         .map(|i| {
             let mix = match i % 4 {
                 0 => MixVector::new(4, 0, 0),
@@ -71,16 +66,75 @@ fn bench_proactive_decision(c: &mut Criterion) {
             };
             ServerView::homogeneous(ServerId::new(i), mix)
         })
-        .collect();
-    let request = RequestView {
+        .collect()
+}
+
+fn cpu_request(deadline: Seconds) -> RequestView {
+    RequestView {
         id: JobId::new(0),
         workload: WorkloadType::Cpu,
         vm_count: 4,
-        deadline: deadlines[0],
-    };
+        deadline,
+    }
+}
+
+fn bench_proactive_decision(c: &mut Criterion) {
+    let db = DbModel::new(database());
+    let deadlines = [Seconds(3600.0), Seconds(3000.0), Seconds(2700.0)];
+    let mut pa = Proactive::new(db, OptimizationGoal::BALANCED, deadlines).with_qos_margin(0.65);
+    let servers = mid_load_fleet();
+    let request = cpu_request(deadlines[0]);
     c.bench_function("proactive_allocate_4vms_70servers", |b| {
-        b.iter(|| pa.allocate(black_box(&request), black_box(&servers)).unwrap())
+        b.iter(|| {
+            pa.allocate(black_box(&request), black_box(&servers))
+                .unwrap()
+        })
     });
+}
+
+fn bench_memoized_search(c: &mut Criterion) {
+    // The same partition-search scoring workload with and without the
+    // service's LRU memoization layer in front of the DbModel: every
+    // candidate block re-evaluates `(resident mix + pending block)`
+    // keys, so a warm cache should shortcut most model lookups.
+    let deadlines = [Seconds(3600.0), Seconds(3000.0), Seconds(2700.0)];
+    let servers = mid_load_fleet();
+    let request = cpu_request(deadlines[0]);
+    let mut group = c.benchmark_group("partition_search");
+    let mut plain = Proactive::new(
+        DbModel::new(database()),
+        OptimizationGoal::BALANCED,
+        deadlines,
+    )
+    .with_qos_margin(0.65);
+    group.bench_function("unmemoized", |b| {
+        b.iter(|| {
+            plain
+                .allocate(black_box(&request), black_box(&servers))
+                .unwrap()
+        })
+    });
+    let mut memoized = Proactive::new(
+        eavm_service::MemoModel::new(DbModel::new(database()), 4_096),
+        OptimizationGoal::BALANCED,
+        deadlines,
+    )
+    .with_qos_margin(0.65);
+    group.bench_function("memoized", |b| {
+        b.iter(|| {
+            memoized
+                .allocate(black_box(&request), black_box(&servers))
+                .unwrap()
+        })
+    });
+    group.finish();
+    let stats = memoized.model().cache_stats();
+    println!(
+        "#   memoized search cache: hits={} misses={} hit-rate={:.1}%",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
 }
 
 fn bench_runsim(c: &mut Criterion) {
@@ -121,7 +175,11 @@ fn bench_learned_model(c: &mut Criterion) {
     let model = eavm_core::learned::LearnedModel::fit(&db).unwrap();
     use eavm_core::AllocationModel;
     c.bench_function("learned_model_estimate", |b| {
-        b.iter(|| model.estimate_mix(black_box(MixVector::new(4, 2, 3))).unwrap())
+        b.iter(|| {
+            model
+                .estimate_mix(black_box(MixVector::new(4, 2, 3)))
+                .unwrap()
+        })
     });
 }
 
@@ -164,6 +222,7 @@ criterion_group!(
     bench_partitions,
     bench_database,
     bench_proactive_decision,
+    bench_memoized_search,
     bench_runsim,
     bench_end_to_end,
     bench_learned_model,

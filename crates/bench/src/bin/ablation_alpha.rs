@@ -29,11 +29,15 @@ fn main() {
     let (e_min, e_max) = results
         .iter()
         .map(|(_, o)| o.energy.value())
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), e| (lo.min(e), hi.max(e)));
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), e| {
+            (lo.min(e), hi.max(e))
+        });
     let (m_min, m_max) = results
         .iter()
         .map(|(_, o)| o.makespan().value())
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), m| (lo.min(m), hi.max(m)));
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), m| {
+            (lo.min(m), hi.max(m))
+        });
     println!(
         "spread across alpha: energy {:.1}%, makespan {:.1}% \
          (paper: intermediate alphas \"not significant enough\", <2-3%)",

@@ -24,7 +24,11 @@ fn main() {
         "mean_wait_s",
     ]);
     let mut rows: Vec<(String, f64)> = Vec::new();
-    for kind in [StrategyKind::Ff, StrategyKind::Pa(1.0), StrategyKind::Pa(0.0)] {
+    for kind in [
+        StrategyKind::Ff,
+        StrategyKind::Pa(1.0),
+        StrategyKind::Pa(0.0),
+    ] {
         for queue in ["fifo", "backfill-32", "edf"] {
             let mut sim = Simulation::new(p.ground_truth.clone(), smaller.clone());
             match queue {
@@ -42,7 +46,10 @@ fn main() {
                 format!("{:.1}", out.sla_violation_pct()),
                 format!("{:.0}", out.mean_wait_time().value()),
             ]);
-            rows.push((format!("{}/{}", kind.label(), queue), out.makespan().value()));
+            rows.push((
+                format!("{}/{}", kind.label(), queue),
+                out.makespan().value(),
+            ));
         }
     }
     println!("{}", t.render());

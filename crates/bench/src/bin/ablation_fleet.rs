@@ -21,11 +21,17 @@ fn main() {
         "energy_J (always-on)",
         "always-on uplift (%)",
     ]);
-    for kind in [StrategyKind::Ff, StrategyKind::Pa(1.0), StrategyKind::Pa(0.0)] {
+    for kind in [
+        StrategyKind::Ff,
+        StrategyKind::Pa(1.0),
+        StrategyKind::Pa(0.0),
+    ] {
         let busy = p.run(kind, &smaller).expect("busy-only run");
         let sim = Simulation::new(p.ground_truth.clone(), smaller.clone()).with_always_on_fleet();
         let mut strategy = p.strategy(kind);
-        let on = sim.run(strategy.as_mut(), &p.requests).expect("always-on run");
+        let on = sim
+            .run(strategy.as_mut(), &p.requests)
+            .expect("always-on run");
         t.row(vec![
             kind.label(),
             format!("{:.3e}", busy.energy.value()),

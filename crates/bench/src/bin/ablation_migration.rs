@@ -27,7 +27,12 @@ fn main() {
     };
 
     let mut t = Table::new(vec![
-        "cloud", "configuration", "makespan_s", "energy_J", "sla_pct", "migrations",
+        "cloud",
+        "configuration",
+        "makespan_s",
+        "energy_J",
+        "sla_pct",
+        "migrations",
     ]);
 
     for cloud in [&smaller, &roomy] {

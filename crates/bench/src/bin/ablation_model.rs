@@ -39,22 +39,26 @@ fn main() {
     };
 
     // 1. Table lookup (the paper's configuration).
-    let mut pa_db = Proactive::new(DbModel::new(p.db.clone()), goal, p.deadlines)
-        .with_qos_margin(margin);
-    row("db-lookup", p.run_custom(&mut pa_db, &smaller).expect("db run"));
+    let mut pa_db =
+        Proactive::new(DbModel::new(p.db.clone()), goal, p.deadlines).with_qos_margin(margin);
+    row(
+        "db-lookup",
+        p.run_custom(&mut pa_db, &smaller).expect("db run"),
+    );
 
     // 2. Learned regression surrogate.
     let learned = LearnedModel::fit(&p.db).expect("fit");
     println!(
         "# learned model: time R^2 = {:?}, energy R^2 = {:.3}, 5-fold CV mean rel. error = {:.3}",
-        learned
-            .time_r2()
-            .map(|r| (r * 1000.0).round() / 1000.0),
+        learned.time_r2().map(|r| (r * 1000.0).round() / 1000.0),
         learned.energy_r2(),
         LearnedModel::cross_validate(&p.db, 5).expect("cv")
     );
     let mut pa_ml = Proactive::new(learned, goal, p.deadlines).with_qos_margin(margin);
-    row("learned-regression", p.run_custom(&mut pa_ml, &smaller).expect("ml run"));
+    row(
+        "learned-regression",
+        p.run_custom(&mut pa_ml, &smaller).expect("ml run"),
+    );
 
     // 3. Oracle (analytic ground truth), bounded to the same hostable grid
     //    so the comparison isolates estimation error, not search space.

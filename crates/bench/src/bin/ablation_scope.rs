@@ -54,10 +54,16 @@ fn main() {
     );
 
     // Count-based baselines: first fit vs best fit.
-    push("FF  (first fit)", p.run(StrategyKind::Ff, &smaller).expect("ff"));
+    push(
+        "FF  (first fit)",
+        p.run(StrategyKind::Ff, &smaller).expect("ff"),
+    );
     let cpu_slots = p.ground_truth.server().cpu_slots();
     let mut bf = BestFit::bf(cpu_slots);
-    push("BF  (best fit)", p.run_custom(&mut bf, &smaller).expect("bf"));
+    push(
+        "BF  (best fit)",
+        p.run_custom(&mut bf, &smaller).expect("bf"),
+    );
     let mut bf2 = BestFit::with_multiplex(cpu_slots, 2);
     push("BF-2", p.run_custom(&mut bf2, &smaller).expect("bf2"));
 

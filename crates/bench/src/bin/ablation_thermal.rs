@@ -28,7 +28,12 @@ fn main() {
     ]);
     for n in [1usize, 2, 4, 6, 9, 12, 16] {
         let out = sim.run_clones(&fftw, n, None);
-        let th = thermal.evaluate(&out.power_trace, out.makespan, thermal.ambient_c, Seconds(5.0));
+        let th = thermal.evaluate(
+            &out.power_trace,
+            out.makespan,
+            thermal.ambient_c,
+            Seconds(5.0),
+        );
         // Degree-seconds above the hotspot threshold.
         let mut hot_ds = 0.0;
         for w in th.samples.windows(2) {

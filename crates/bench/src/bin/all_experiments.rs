@@ -35,10 +35,7 @@ fn main() {
         "left = CPU-intensive only; right = CPU- cum network-intensive",
         format!(
             "fftw intensive along {:?}; mpi intensive along {:?}",
-            fftw.intensive
-                .iter()
-                .map(|s| s.name())
-                .collect::<Vec<_>>(),
+            fftw.intensive.iter().map(|s| s.name()).collect::<Vec<_>>(),
             mpi.intensive.iter().map(|s| s.name()).collect::<Vec<_>>()
         ),
         fftw.intensive == vec![Subsystem::Cpu]
@@ -49,10 +46,10 @@ fn main() {
     // ---- Fig. 2: FFTW consolidation curve ----------------------------
     let sim = RunSimulator::reference();
     let fftw_app = ApplicationProfile::fftw();
-    let avg = |n: usize| {
-        sim.run_clones(&fftw_app, n, None).avg_time_per_vm().value()
-    };
-    let best_n = (1..=16).min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap()).unwrap();
+    let avg = |n: usize| sim.run_clones(&fftw_app, n, None).avg_time_per_vm().value();
+    let best_n = (1..=16)
+        .min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap())
+        .unwrap();
     check(
         "Fig. 2: FFTW optimal consolidation",
         "shortest average execution time at 9 VMs; significant increase past 11",
@@ -120,7 +117,11 @@ fn main() {
     let outs = p.run_matrix().expect("matrix");
 
     let mut t = Table::new(vec![
-        "cloud", "strategy", "makespan_s", "energy_J", "sla_pct",
+        "cloud",
+        "strategy",
+        "makespan_s",
+        "energy_J",
+        "sla_pct",
     ]);
     for o in &outs {
         t.row(vec![
@@ -167,9 +168,7 @@ fn main() {
             -pct_delta(pa0_s.energy.value(), pa1_s.energy.value()),
             -pct_delta(ff_l.energy.value(), ff_s.energy.value())
         ),
-        pa1_s.energy < ff_s.energy
-            && pa1_s.energy < pa0_s.energy
-            && ff_s.energy < ff_l.energy,
+        pa1_s.energy < ff_s.energy && pa1_s.energy < pa0_s.energy && ff_s.energy < ff_l.energy,
     );
 
     check(

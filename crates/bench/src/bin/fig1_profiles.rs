@@ -6,9 +6,7 @@
 //! classification each trace yields under the paper's
 //! "significant average demand" rule.
 
-use eavm_testbed::{
-    ApplicationProfile, ClassificationRule, Profiler, ServerSpec, Subsystem,
-};
+use eavm_testbed::{ApplicationProfile, ClassificationRule, Profiler, ServerSpec, Subsystem};
 
 fn emit(profiler: &mut Profiler, app: &ApplicationProfile, stride: usize) {
     println!("# workload: {} (declared class: {})", app.name, app.class);

@@ -21,7 +21,11 @@ fn main() {
         db.len(),
         db.aux().os_bounds
     );
-    println!("(ii)  auxiliary parameters: OSP={} OSE={}", db.aux().os_perf, db.aux().os_energy);
+    println!(
+        "(ii)  auxiliary parameters: OSP={} OSE={}",
+        db.aux().os_perf,
+        db.aux().os_energy
+    );
 
     let request = RequestView {
         id: JobId::new(7),
@@ -45,13 +49,21 @@ fn main() {
 
     for alpha in [1.0, 0.0, 0.5] {
         let goal = OptimizationGoal::new(alpha).unwrap();
-        println!("\n== (iv) goal {} — partition search and ranking ==", goal.label());
+        println!(
+            "\n== (iv) goal {} — partition search and ranking ==",
+            goal.label()
+        );
         let deadlines = [Seconds(3600.0), Seconds(3000.0), Seconds(2700.0)];
         let pa = Proactive::new(DbModel::new(db.clone()), goal, deadlines).with_qos_margin(0.65);
         let candidates = pa.explain(&request, &servers).expect("explain");
 
         let mut t = Table::new(vec![
-            "partition", "placements", "energy_kJ", "time_s", "score", "chosen",
+            "partition",
+            "placements",
+            "energy_kJ",
+            "time_s",
+            "score",
+            "chosen",
         ]);
         for c in &candidates {
             let blocks: Vec<String> = c.blocks.iter().map(|b| b.total().to_string()).collect();
@@ -66,7 +78,11 @@ fn main() {
                 format!("{:.0}", c.energy.kilojoules()),
                 format!("{:.0}", c.time.value()),
                 format!("{:.3}", c.score),
-                if c.chosen { "  <-- allocate".to_string() } else { String::new() },
+                if c.chosen {
+                    "  <-- allocate".to_string()
+                } else {
+                    String::new()
+                },
             ]);
         }
         println!("{}", t.render());

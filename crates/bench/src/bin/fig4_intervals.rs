@@ -108,7 +108,10 @@ fn main() {
     println!();
     println!("  VM1 realized execution time: {vm1_finish:.1} s");
     println!("  interval-weighted reconstruction: {weighted:.1} s");
-    assert!((vm1_finish - weighted).abs() < 1e-6, "Fig. 4 identity broken");
+    assert!(
+        (vm1_finish - weighted).abs() < 1e-6,
+        "Fig. 4 identity broken"
+    );
     assert!(
         vm1_finish > t_a.value() - 1e-9 && vm1_finish < t_b.value() + 1e-9,
         "VM1's time must interpolate between the pure-A and pure-B projections"

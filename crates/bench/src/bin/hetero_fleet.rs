@@ -32,7 +32,9 @@ fn main() {
 
     // Per-platform ground truth and allocator knowledge for the big node.
     eprintln!("building the big-node database...");
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let db_big = DbBuilder {
         sim: RunSimulator {
             server: ServerSpec::big_node(),
@@ -61,11 +63,18 @@ fn main() {
     let hetero_sim = |name: &str| {
         let mut c = mixed_cloud.clone();
         c.name = name.to_string();
-        Simulation::new(p.ground_truth.clone(), c).with_platform(big_truth.clone(), mixed_big_servers)
+        Simulation::new(p.ground_truth.clone(), c)
+            .with_platform(big_truth.clone(), mixed_big_servers)
     };
 
     let mut t = Table::new(vec![
-        "fleet", "strategy", "makespan_s", "energy_J", "sla_pct", "peak_busy", "mean_wait_s",
+        "fleet",
+        "strategy",
+        "makespan_s",
+        "energy_J",
+        "sla_pct",
+        "peak_busy",
+        "mean_wait_s",
     ]);
     let mut push = |fleet: &str, out: eavm_simulator::SimOutcome| {
         t.row(vec![
@@ -81,21 +90,31 @@ fn main() {
     };
 
     // Fleet A: the homogeneous baseline.
-    let homo_ff = push("homogeneous", p.run(StrategyKind::Ff, &smaller).expect("ff"));
-    let homo_pa = push("homogeneous", p.run(StrategyKind::Pa(alpha), &smaller).expect("pa"));
+    let homo_ff = push(
+        "homogeneous",
+        p.run(StrategyKind::Ff, &smaller).expect("ff"),
+    );
+    let homo_pa = push(
+        "homogeneous",
+        p.run(StrategyKind::Pa(alpha), &smaller).expect("pa"),
+    );
 
     // Fleet B: mixed hardware.
     let mut ff = p.strategy(StrategyKind::Ff);
     let mixed_ff = push(
         "mixed",
-        hetero_sim("MIXED").run(ff.as_mut(), &p.requests).expect("mixed ff"),
+        hetero_sim("MIXED")
+            .run(ff.as_mut(), &p.requests)
+            .expect("mixed ff"),
     );
 
     let mut pa_naive = Proactive::new(DbModel::new(p.db.clone()), goal, p.deadlines)
-    .with_qos_margin(p.config.qos_margin);
+        .with_qos_margin(p.config.qos_margin);
     let mixed_naive = push(
         "mixed (naive PA)",
-        hetero_sim("MIXED").run(&mut pa_naive, &p.requests).expect("naive"),
+        hetero_sim("MIXED")
+            .run(&mut pa_naive, &p.requests)
+            .expect("naive"),
     );
 
     let mut pa_aware = Proactive::heterogeneous(
@@ -106,7 +125,9 @@ fn main() {
     .with_qos_margin(p.config.qos_margin);
     let mixed_aware = push(
         "mixed (aware PA)",
-        hetero_sim("MIXED").run(&mut pa_aware, &p.requests).expect("aware"),
+        hetero_sim("MIXED")
+            .run(&mut pa_aware, &p.requests)
+            .expect("aware"),
     );
 
     println!("{}", t.render());
@@ -114,7 +135,10 @@ fn main() {
         "platform awareness on mixed hardware: {:.1}% energy, {:.1}% makespan vs the naive \
          single-database allocator",
         pct_delta(mixed_naive.energy.value(), mixed_aware.energy.value()),
-        pct_delta(mixed_naive.makespan().value(), mixed_aware.makespan().value()),
+        pct_delta(
+            mixed_naive.makespan().value(),
+            mixed_aware.makespan().value()
+        ),
     );
     println!(
         "context: homogeneous FF {:.3e} J / PA {:.3e} J; mixed FF {:.3e} J",

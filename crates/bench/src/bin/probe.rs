@@ -32,7 +32,13 @@ fn main() {
     );
 
     let mut t = Table::new(vec![
-        "cloud", "strategy", "makespan_s", "energy_MJ", "sla_pct", "peak_busy", "mean_wait_s",
+        "cloud",
+        "strategy",
+        "makespan_s",
+        "energy_MJ",
+        "sla_pct",
+        "peak_busy",
+        "mean_wait_s",
     ]);
     let start = std::time::Instant::now();
     for out in p.run_matrix().unwrap() {

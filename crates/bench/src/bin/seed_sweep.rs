@@ -41,7 +41,10 @@ fn main() {
             .iter()
             .map(|&s| scope.spawn(move || run_seed(s)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("seed worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed worker"))
+            .collect()
     });
 
     let mut t = Table::new(vec![
@@ -62,14 +65,29 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let gains = Summary::of(&results.iter().map(|r| r.makespan_gain_pct).collect::<Vec<_>>())
-        .expect("finite gains");
-    let savings = Summary::of(&results.iter().map(|r| r.energy_saving_pct).collect::<Vec<_>>())
-        .expect("finite savings");
+    let gains = Summary::of(
+        &results
+            .iter()
+            .map(|r| r.makespan_gain_pct)
+            .collect::<Vec<_>>(),
+    )
+    .expect("finite gains");
+    let savings = Summary::of(
+        &results
+            .iter()
+            .map(|r| r.energy_saving_pct)
+            .collect::<Vec<_>>(),
+    )
+    .expect("finite savings");
     println!("makespan gain: {} %   (paper: up to 18 %)", gains.pm(1));
-    println!("energy saving: {} %   (paper: ~12 % average)", savings.pm(1));
+    println!(
+        "energy saving: {} %   (paper: ~12 % average)",
+        savings.pm(1)
+    );
     assert!(
-        results.iter().all(|r| r.makespan_gain_pct > 0.0 && r.energy_saving_pct > 0.0),
+        results
+            .iter()
+            .all(|r| r.makespan_gain_pct > 0.0 && r.energy_saving_pct > 0.0),
         "a seed inverted the headline ordering"
     );
     println!("ordering held for all {} seeds.", results.len());

@@ -52,11 +52,7 @@ pub fn bar_chart(bars: &[Bar], width: usize) -> String {
 }
 
 /// Convenience: chart from `(label, value)` pairs with a value formatter.
-pub fn chart_of<F: Fn(f64) -> String>(
-    rows: &[(String, f64)],
-    width: usize,
-    fmt: F,
-) -> String {
+pub fn chart_of<F: Fn(f64) -> String>(rows: &[(String, f64)], width: usize, fmt: F) -> String {
     let bars: Vec<Bar> = rows
         .iter()
         .map(|(label, v)| Bar {
@@ -118,8 +114,16 @@ mod tests {
     #[test]
     fn fractional_tails_appear() {
         let b = vec![
-            Bar { label: "a".into(), value: 16.0, display: String::new() },
-            Bar { label: "b".into(), value: 15.0, display: String::new() },
+            Bar {
+                label: "a".into(),
+                value: 16.0,
+                display: String::new(),
+            },
+            Bar {
+                label: "b".into(),
+                value: 15.0,
+                display: String::new(),
+            },
         ];
         let s = bar_chart(&b, 16);
         let second = s.lines().nth(1).unwrap();
@@ -139,7 +143,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite")]
     fn rejects_nan_values() {
-        let b = vec![Bar { label: "n".into(), value: f64::NAN, display: String::new() }];
+        let b = vec![Bar {
+            label: "n".into(),
+            value: f64::NAN,
+            display: String::new(),
+        }];
         bar_chart(&b, 10);
     }
 }

@@ -47,9 +47,7 @@ impl StrategyKind {
             StrategyKind::Ff => "FF".into(),
             StrategyKind::Ff2 => "FF-2".into(),
             StrategyKind::Ff3 => "FF-3".into(),
-            StrategyKind::Pa(alpha) => OptimizationGoal::new(*alpha)
-                .expect("valid alpha")
-                .label(),
+            StrategyKind::Pa(alpha) => OptimizationGoal::new(*alpha).expect("valid alpha").label(),
         }
     }
 }
@@ -180,8 +178,7 @@ impl Pipeline {
 
     /// The paper's SMALLER/LARGER cloud pair for this configuration.
     pub fn clouds(&self) -> (CloudConfig, CloudConfig) {
-        CloudConfig::smaller_and_larger(self.config.smaller_servers)
-            .expect("positive server count")
+        CloudConfig::smaller_and_larger(self.config.smaller_servers).expect("positive server count")
     }
 
     /// Instantiate a strategy by kind.

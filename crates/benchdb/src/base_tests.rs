@@ -91,9 +91,7 @@ impl BaseTests {
                 .map(|n| {
                     let mut meter = meter_seed.map(|s| {
                         // Decorrelate runs: distinct stream per (type, n).
-                        PowerMeter::watts_up(
-                            s ^ ((profile.class.index() as u64) << 32 | n as u64),
-                        )
+                        PowerMeter::watts_up(s ^ ((profile.class.index() as u64) << 32 | n as u64))
                     });
                     let out = sim.run_clones(profile, n as usize, meter.as_mut());
                     BaseTestPoint {
@@ -195,10 +193,7 @@ mod tests {
         let base = run_base();
         let cpu = base.report(WorkloadType::Cpu);
         let osp = cpu.osp();
-        assert!(
-            (8..=10).contains(&osp),
-            "OSPC should be ~9, got {osp}"
-        );
+        assert!((8..=10).contains(&osp), "OSPC should be ~9, got {osp}");
         let at_opt = cpu.point(osp).unwrap().avg_time_vm;
         let at_12 = cpu.point(12).unwrap().avg_time_vm;
         assert!(at_12 > at_opt * 1.4, "blow-up past 11 VMs missing");

@@ -151,9 +151,7 @@ impl ModelDatabase {
             } else {
                 // A type present in `mix` but absent from the clamped
                 // record falls back to its solo time, stretched.
-                let t = base
-                    .time_of(ty)
-                    .unwrap_or_else(|| self.aux.solo_time(ty));
+                let t = base.time_of(ty).unwrap_or_else(|| self.aux.solo_time(ty));
                 Some(t * stretch)
             }
         });
@@ -173,9 +171,9 @@ impl ModelDatabase {
     /// runtime — the quantity the datacenter simulator integrates.
     pub fn slowdown(&self, mix: MixVector, ty: WorkloadType) -> Result<f64, EavmError> {
         let est = self.estimate(mix)?;
-        let t = est.time_of(ty).ok_or_else(|| {
-            EavmError::ModelMiss(format!("type {ty} absent from mix {mix}"))
-        })?;
+        let t = est
+            .time_of(ty)
+            .ok_or_else(|| EavmError::ModelMiss(format!("type {ty} absent from mix {mix}")))?;
         Ok(t / self.aux.solo_time(ty))
     }
 
@@ -189,9 +187,7 @@ impl ModelDatabase {
                 .filter(|r| r.mix.sole_type() == Some(ty))
                 .map(|r| r.mix[ty])
                 .max()
-                .ok_or_else(|| {
-                    EavmError::ModelMiss(format!("no base tests for type {ty}"))
-                })?;
+                .ok_or_else(|| EavmError::ModelMiss(format!("no base tests for type {ty}")))?;
             return Ok(MixVector::single(ty, mix[ty].min(max_n)));
         }
         let clamped = MixVector::new(
@@ -358,7 +354,9 @@ mod tests {
     #[test]
     fn homogeneous_overflow_clamps_to_deepest_base_test() {
         let db = sample_db();
-        let e = db.estimate(MixVector::single(WorkloadType::Cpu, 9)).unwrap();
+        let e = db
+            .estimate(MixVector::single(WorkloadType::Cpu, 9))
+            .unwrap();
         assert!(e.extrapolated);
         let base = db.lookup(MixVector::single(WorkloadType::Cpu, 4)).unwrap();
         assert!(e.time > base.time);
@@ -372,11 +370,51 @@ mod tests {
     #[test]
     fn slowdown_is_relative_to_solo_time() {
         let db = sample_db();
-        let s = db.slowdown(MixVector::new(2, 1, 0), WorkloadType::Cpu).unwrap();
+        let s = db
+            .slowdown(MixVector::new(2, 1, 0), WorkloadType::Cpu)
+            .unwrap();
         let r = db.lookup(MixVector::new(2, 1, 0)).unwrap();
         let expect = r.time_of(WorkloadType::Cpu).unwrap() / Seconds(1200.0);
         assert!((s - expect).abs() < 1e-12);
-        assert!(db.slowdown(MixVector::new(2, 1, 0), WorkloadType::Io).is_err());
+        assert!(db
+            .slowdown(MixVector::new(2, 1, 0), WorkloadType::Io)
+            .is_err());
+    }
+
+    #[test]
+    fn binary_search_hits_the_exact_first_and_last_records() {
+        let db = sample_db();
+        // Boundary hits: the endpoints of the sorted record array are
+        // where an off-by-one in the binary search would bite.
+        let first = db.records().first().unwrap().mix;
+        let last = db.records().last().unwrap().mix;
+        assert_eq!(db.lookup(first).unwrap().mix, first);
+        assert_eq!(db.lookup(last).unwrap().mix, last);
+        // Keys ordered strictly before the first / after the last
+        // record miss cleanly instead of wrapping or panicking.
+        assert!(MixVector::EMPTY < first);
+        assert!(db.lookup(MixVector::EMPTY).is_none());
+        let beyond = MixVector::new(last.cpu + 1, last.mem, last.io);
+        assert!(last < beyond);
+        assert!(db.lookup(beyond).is_none());
+    }
+
+    #[test]
+    fn extrapolation_beyond_the_largest_recorded_mix_stays_monotone() {
+        let db = sample_db();
+        let grid_corner = db.estimate(MixVector::new(2, 2, 2)).unwrap();
+        assert!(!grid_corner.extrapolated);
+        // (5,5,5) exceeds every recorded mix component-wise.
+        let outside = db.estimate(MixVector::new(5, 5, 5)).unwrap();
+        assert!(outside.extrapolated);
+        assert!(outside.time > grid_corner.time);
+        // The pessimistic stretch keeps growing with distance, and the
+        // per-type times stay populated for every present type.
+        let farther = db.estimate(MixVector::new(6, 6, 6)).unwrap();
+        assert!(farther.time >= outside.time);
+        for ty in WorkloadType::ALL {
+            assert!(outside.time_of(ty).is_some(), "missing {ty} time");
+        }
     }
 
     #[test]

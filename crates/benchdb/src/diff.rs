@@ -74,7 +74,11 @@ impl DbDiff {
             common,
             max_time_delta: max_time,
             max_energy_delta: max_energy,
-            mean_time_delta: if common > 0 { time_sum / common as f64 } else { 0.0 },
+            mean_time_delta: if common > 0 {
+                time_sum / common as f64
+            } else {
+                0.0
+            },
             mean_energy_delta: if common > 0 {
                 energy_sum / common as f64
             } else {
@@ -112,7 +116,11 @@ impl DbDiff {
             self.common,
             self.only_in_left.len(),
             self.only_in_right.len(),
-            if self.aux_changed { "CHANGED" } else { "identical" },
+            if self.aux_changed {
+                "CHANGED"
+            } else {
+                "identical"
+            },
             self.mean_time_delta,
             self.mean_energy_delta,
             fmt_max(&self.max_time_delta),

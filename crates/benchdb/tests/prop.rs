@@ -12,19 +12,22 @@ fn arb_mix_nonempty() -> impl Strategy<Value = MixVector> {
 }
 
 fn arb_record() -> impl Strategy<Value = DbRecord> {
-    (arb_mix_nonempty(), 10.0f64..1e5, 1.0f64..1e7, 125.0f64..270.0).prop_map(
-        |(mix, time, energy, power)| DbRecord {
+    (
+        arb_mix_nonempty(),
+        10.0f64..1e5,
+        1.0f64..1e7,
+        125.0f64..270.0,
+    )
+        .prop_map(|(mix, time, energy, power)| DbRecord {
             mix,
             time: Seconds(time),
             avg_time_vm: Seconds(time / mix.total() as f64),
             energy: Joules(energy),
             max_power: Watts(power),
             edp: energy * time,
-            per_type_time: WorkloadType::ALL.map(|ty| {
-                (mix[ty] > 0).then(|| Seconds(time * (0.5 + 0.1 * ty.index() as f64)))
-            }),
-        },
-    )
+            per_type_time: WorkloadType::ALL
+                .map(|ty| (mix[ty] > 0).then(|| Seconds(time * (0.5 + 0.1 * ty.index() as f64)))),
+        })
 }
 
 proptest! {

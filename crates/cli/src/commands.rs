@@ -28,6 +28,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "clean-trace" => clean_trace_cmd(&args),
         "trace-stats" => trace_stats(&args),
         "simulate" => simulate(&args),
+        "serve" => serve(&args),
+        "replay-online" => replay_online_cmd(&args),
         "db-diff" => db_diff(&args),
         "info" => info(&args),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -46,6 +48,12 @@ USAGE:
   eavm-cli simulate    --db-dir DIR --trace FILE --strategy NAME --servers N
                        [--big-nodes N] [--vms N] [--seed N] [--qos F] [--margin F]
                        [--burst] [--always-on] [--timeline-out FILE]
+  eavm-cli serve       --db-dir DIR --trace FILE --servers N [--shards N]
+                       [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
+                       [--queue N] [--cache N]
+  eavm-cli replay-online --db-dir DIR --trace FILE --servers N
+                       [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
+                       [--cache N]
   eavm-cli db-diff     --left DIR --right DIR [--tolerance F]
   eavm-cli info        --db-dir DIR
 
@@ -66,9 +74,7 @@ fn build_db(args: &Args) -> Result<String, String> {
         meter_seed: if args.flag("exact") { None } else { Some(seed) },
         ..Default::default()
     };
-    let db = builder
-        .build_parallel(threads)
-        .map_err(|e| e.to_string())?;
+    let db = builder.build_parallel(threads).map_err(|e| e.to_string())?;
     std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
     let (dbp, auxp) = db_paths(&out_dir);
     db.save(&dbp, &auxp).map_err(|e| e.to_string())?;
@@ -161,22 +167,23 @@ pub fn make_strategy(
             };
             let goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
             Box::new(
-                Proactive::new(DbModel::new(db.clone()), goal, deadlines)
-                    .with_qos_margin(margin),
+                Proactive::new(DbModel::new(db.clone()), goal, deadlines).with_qos_margin(margin),
             )
         }
     })
 }
 
-fn simulate(args: &Args) -> Result<String, String> {
+/// Shared front matter of `simulate` / `serve` / `replay-online`: load
+/// the model database and the trace, clean + adapt it, and derive the
+/// per-type deadlines.
+fn load_workload(
+    args: &Args,
+) -> Result<(ModelDatabase, Vec<eavm_swf::VmRequest>, [Seconds; 3]), String> {
     let db_dir = PathBuf::from(args.required("db-dir")?);
     let trace_path = PathBuf::from(args.required("trace")?);
-    let strategy_name = args.required("strategy")?;
-    let servers: usize = args.get_required("servers")?;
     let vm_cap: u32 = args.get_or("vms", 10_000)?;
     let seed: u64 = args.get_or("seed", 0xE6EE)?;
     let qos: f64 = args.get_or("qos", 3.0)?;
-    let margin: f64 = args.get_or("margin", 0.65)?;
 
     let (dbp, auxp) = db_paths(&db_dir);
     let db = ModelDatabase::load(&dbp, &auxp).map_err(|e| e.to_string())?;
@@ -206,6 +213,14 @@ fn simulate(args: &Args) -> Result<String, String> {
         adapt_cfg.deadline(WorkloadType::Mem),
         adapt_cfg.deadline(WorkloadType::Io),
     ];
+    Ok((db, requests, deadlines))
+}
+
+fn simulate(args: &Args) -> Result<String, String> {
+    let strategy_name = args.required("strategy")?;
+    let servers: usize = args.get_required("servers")?;
+    let margin: f64 = args.get_or("margin", 0.65)?;
+    let (db, requests, deadlines) = load_workload(args)?;
     let mut strategy = make_strategy(strategy_name, &db, deadlines, margin)?;
     let cloud = CloudConfig::new("CLI", servers).map_err(|e| e.to_string())?;
     let mut sim = Simulation::new(AnalyticModel::reference(), cloud);
@@ -267,6 +282,85 @@ fn render_outcome(out: &SimOutcome, requests: &[eavm_swf::VmRequest]) -> String 
     )
 }
 
+/// Run the trace through the live concurrent service
+/// ([`eavm_service::AllocService`]) and report its counters.
+fn serve(args: &Args) -> Result<String, String> {
+    let servers: usize = args.get_required("servers")?;
+    let shards: usize = args.get_or("shards", 4)?;
+    let margin: f64 = args.get_or("margin", 0.65)?;
+    let alpha: f64 = args.get_or("alpha", 0.5)?;
+    let (db, requests, deadlines) = load_workload(args)?;
+
+    let mut config = eavm_service::ServiceConfig::new(shards, servers);
+    config.queue_capacity = args.get_or("queue", 1024)?;
+    config.cache_capacity = args.get_or("cache", 4096)?;
+    config.goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
+    config.deadlines = deadlines;
+    config.qos_margin = margin;
+
+    let started = std::time::Instant::now();
+    let report = eavm_service::replay_online(&db, config, &requests).map_err(|e| e.to_string())?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let s = &report.stats;
+    let throughput = report.requests as f64 / elapsed.max(1e-9);
+    Ok(format!(
+        "service: shards={shards} servers={servers} requests={} vms={}\n\
+         admitted: local={} cross-shard={} after-wait={}\n\
+         shed: admission={} wait-queue={} unplaceable={}\n\
+         cache: hits={} misses={} evictions={} hit-rate={:.1}%\n\
+         reserve-conflicts={} virtual-makespan={:.0}s estimated-energy={:.3e}J\n\
+         wall-time={elapsed:.3}s throughput={throughput:.0} req/s\n",
+        report.requests,
+        report.vms,
+        s.admitted_local,
+        s.admitted_cross_shard,
+        s.admitted_after_wait,
+        s.shed_admission,
+        s.shed_wait_queue,
+        s.shed_unplaceable,
+        s.aggregate_cache.hits,
+        s.aggregate_cache.misses,
+        s.aggregate_cache.evictions,
+        100.0 * s.aggregate_cache.hit_rate(),
+        s.reserve_conflicts,
+        s.virtual_now.value(),
+        s.estimated_energy.value(),
+    ))
+}
+
+/// Replay the trace through the deterministic single-thread service
+/// mode: the simulator's virtual clock drives the memoized allocator,
+/// so output equals `simulate --strategy pa:<alpha>` exactly, plus the
+/// allocator-side cache counters.
+fn replay_online_cmd(args: &Args) -> Result<String, String> {
+    let servers: usize = args.get_required("servers")?;
+    let margin: f64 = args.get_or("margin", 0.65)?;
+    let alpha: f64 = args.get_or("alpha", 0.5)?;
+    let (db, requests, deadlines) = load_workload(args)?;
+
+    let goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
+    let mut config = eavm_service::DeterministicConfig::new(goal, deadlines);
+    config.qos_margin = margin;
+    config.cache_capacity = args.get_or("cache", 4096)?;
+    let cloud = CloudConfig::new("SERVICE", servers).map_err(|e| e.to_string())?;
+    let (out, cache) = eavm_service::replay_deterministic(
+        AnalyticModel::reference(),
+        cloud,
+        db,
+        &config,
+        &requests,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{}cache: hits={} misses={} evictions={} hit-rate={:.1}%\n",
+        render_outcome(&out, &requests),
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        100.0 * cache.hit_rate(),
+    ))
+}
+
 fn db_diff(args: &Args) -> Result<String, String> {
     let load = |key: &str| -> Result<ModelDatabase, String> {
         let dir = PathBuf::from(args.required(key)?);
@@ -288,11 +382,7 @@ fn info(args: &Args) -> Result<String, String> {
     let db_dir = PathBuf::from(args.required("db-dir")?);
     let (dbp, auxp) = db_paths(&db_dir);
     let db = ModelDatabase::load(&dbp, &auxp).map_err(|e| e.to_string())?;
-    Ok(format!(
-        "registers: {}\n{}",
-        db.len(),
-        db.aux().to_text()
-    ))
+    Ok(format!("registers: {}\n{}", db.len(), db.aux().to_text()))
 }
 
 #[cfg(test)]
@@ -399,13 +489,75 @@ mod tests {
             assert!(out.contains("summary:"), "{strategy}: {out}");
             assert!(out.contains("makespan="));
         }
+
+        // The service modes share the same db/trace front matter.
+        let serve_out = run(&[
+            "serve",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "8",
+            "--shards",
+            "2",
+            "--vms",
+            "200",
+        ])
+        .unwrap();
+        assert!(serve_out.contains("throughput="), "{serve_out}");
+        assert!(serve_out.contains("hit-rate="), "{serve_out}");
+
+        let replay_out = run(&[
+            "replay-online",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "8",
+            "--vms",
+            "200",
+        ])
+        .unwrap();
+        assert!(replay_out.contains("summary:"), "{replay_out}");
+        assert!(replay_out.contains("cache: hits="), "{replay_out}");
+
+        // Deterministic mode is the PROACTIVE simulation with a cache in
+        // front: the rendered outcome rows must match `simulate` exactly.
+        let sim_out = run(&[
+            "simulate",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--strategy",
+            "pa05",
+            "--servers",
+            "8",
+            "--vms",
+            "200",
+        ])
+        .unwrap();
+        let sim_summary = sim_out.lines().find(|l| l.starts_with("summary:"));
+        let replay_summary = replay_out.lines().find(|l| l.starts_with("summary:"));
+        assert_eq!(sim_summary, replay_summary);
     }
 
     #[test]
     fn trace_stats_reports_summary() {
         let dir = temp_dir("stats");
         let tracep = dir.join("s.swf");
-        run(&["gen-trace", "--out", tracep.to_str().unwrap(), "--jobs", "200", "--seed", "9"]).unwrap();
+        run(&[
+            "gen-trace",
+            "--out",
+            tracep.to_str().unwrap(),
+            "--jobs",
+            "200",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
         let out = run(&["trace-stats", "--input", tracep.to_str().unwrap()]).unwrap();
         assert!(out.contains("jobs:            200"));
         assert!(out.contains("bursts:"));
@@ -417,16 +569,39 @@ mod tests {
         let dir = temp_dir("hetero");
         let dbdir = dir.join("db");
         let tracep = dir.join("t.swf");
-        run(&["build-db", "--out-dir", dbdir.to_str().unwrap(), "--exact", "--threads", "4"]).unwrap();
-        run(&["gen-trace", "--out", tracep.to_str().unwrap(), "--jobs", "150", "--seed", "3"]).unwrap();
+        run(&[
+            "build-db",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+            "--exact",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        run(&[
+            "gen-trace",
+            "--out",
+            tracep.to_str().unwrap(),
+            "--jobs",
+            "150",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
         let out = run(&[
             "simulate",
-            "--db-dir", dbdir.to_str().unwrap(),
-            "--trace", tracep.to_str().unwrap(),
-            "--strategy", "ff",
-            "--servers", "3",
-            "--big-nodes", "2",
-            "--vms", "300",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--strategy",
+            "ff",
+            "--servers",
+            "3",
+            "--big-nodes",
+            "2",
+            "--vms",
+            "300",
             "--burst",
             "--always-on",
             "--timeline-out",
@@ -464,11 +639,42 @@ mod tests {
         let dir = temp_dir("diff");
         let a = dir.join("a");
         let b = dir.join("b");
-        run(&["build-db", "--out-dir", a.to_str().unwrap(), "--exact", "--threads", "4"]).unwrap();
-        run(&["build-db", "--out-dir", b.to_str().unwrap(), "--seed", "7", "--threads", "4"]).unwrap();
-        let same = run(&["db-diff", "--left", a.to_str().unwrap(), "--right", a.to_str().unwrap()]).unwrap();
+        run(&[
+            "build-db",
+            "--out-dir",
+            a.to_str().unwrap(),
+            "--exact",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        run(&[
+            "build-db",
+            "--out-dir",
+            b.to_str().unwrap(),
+            "--seed",
+            "7",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        let same = run(&[
+            "db-diff",
+            "--left",
+            a.to_str().unwrap(),
+            "--right",
+            a.to_str().unwrap(),
+        ])
+        .unwrap();
         assert!(same.contains("within 0.020 tolerance: yes"), "{same}");
-        let noisy = run(&["db-diff", "--left", a.to_str().unwrap(), "--right", b.to_str().unwrap()]).unwrap();
+        let noisy = run(&[
+            "db-diff",
+            "--left",
+            a.to_str().unwrap(),
+            "--right",
+            b.to_str().unwrap(),
+        ])
+        .unwrap();
         assert!(noisy.contains("shared keys:"), "{noisy}");
     }
 

@@ -114,7 +114,10 @@ mod tests {
     }
 
     fn view(id: u32, total: u32) -> ServerView {
-        ServerView::homogeneous(ServerId::new(id), MixVector::single(WorkloadType::Io, total))
+        ServerView::homogeneous(
+            ServerId::new(id),
+            MixVector::single(WorkloadType::Io, total),
+        )
     }
 
     #[test]

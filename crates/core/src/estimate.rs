@@ -50,9 +50,7 @@ impl<T: Copy> IntervalWeights<T> {
 
     fn check(&self) -> Result<(), EavmError> {
         if self.entries.is_empty() {
-            return Err(EavmError::InvalidConfig(
-                "no intervals to average".into(),
-            ));
+            return Err(EavmError::InvalidConfig("no intervals to average".into()));
         }
         if self.entries.iter().any(|(w, _)| !w.is_finite() || *w < 0.0) {
             return Err(EavmError::InvalidConfig(

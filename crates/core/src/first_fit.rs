@@ -16,6 +16,14 @@ use eavm_types::{EavmError, MixVector};
 
 use crate::strategy::{AllocationStrategy, Placement, RequestView, ServerView};
 
+/// CPU-slot count of the paper's reference rack server (the quad-core
+/// Xeon X3220) — the per-server budget the FF baselines count against.
+/// Derived from the testbed spec rather than hardcoded so a change to
+/// the reference machine propagates to every FF construction site.
+pub fn reference_cpu_slots() -> u32 {
+    eavm_testbed::ServerSpec::reference_rack_server().cpu_slots()
+}
+
 /// CPU-slot-counting first fit with a multiplexing factor.
 #[derive(Debug, Clone)]
 pub struct FirstFit {
@@ -110,26 +118,43 @@ mod tests {
     }
 
     fn view(id: u32, total: u32) -> ServerView {
-        ServerView::homogeneous(ServerId::new(id), MixVector::single(WorkloadType::Cpu, total))
+        ServerView::homogeneous(
+            ServerId::new(id),
+            MixVector::single(WorkloadType::Cpu, total),
+        )
+    }
+
+    /// Slot budget used throughout: the reference machine's core count.
+    fn slots() -> u32 {
+        reference_cpu_slots()
+    }
+
+    #[test]
+    fn reference_slots_match_the_testbed_quad_core() {
+        assert_eq!(
+            reference_cpu_slots(),
+            eavm_testbed::ServerSpec::reference_rack_server().cpu_slots()
+        );
+        assert_eq!(reference_cpu_slots(), 4, "paper's Xeon X3220 is quad-core");
     }
 
     #[test]
     fn names_match_paper() {
-        assert_eq!(FirstFit::ff(4).name(), "FF");
-        assert_eq!(FirstFit::with_multiplex(4, 2).name(), "FF-2");
-        assert_eq!(FirstFit::with_multiplex(4, 3).name(), "FF-3");
+        assert_eq!(FirstFit::ff(slots()).name(), "FF");
+        assert_eq!(FirstFit::with_multiplex(slots(), 2).name(), "FF-2");
+        assert_eq!(FirstFit::with_multiplex(slots(), 3).name(), "FF-3");
     }
 
     #[test]
     fn capacities_scale_with_multiplex() {
-        assert_eq!(FirstFit::ff(4).capacity(), 4);
-        assert_eq!(FirstFit::with_multiplex(4, 2).capacity(), 8);
-        assert_eq!(FirstFit::with_multiplex(4, 3).capacity(), 12);
+        assert_eq!(FirstFit::ff(slots()).capacity(), slots());
+        assert_eq!(FirstFit::with_multiplex(slots(), 2).capacity(), 2 * slots());
+        assert_eq!(FirstFit::with_multiplex(slots(), 3).capacity(), 3 * slots());
     }
 
     #[test]
     fn fills_first_server_first() {
-        let mut ff = FirstFit::ff(4);
+        let mut ff = FirstFit::ff(slots());
         let servers = vec![view(0, 0), view(1, 0)];
         let p = ff.allocate(&req(3), &servers).unwrap();
         assert_eq!(p.len(), 1);
@@ -140,19 +165,19 @@ mod tests {
 
     #[test]
     fn splits_across_servers_when_first_is_nearly_full() {
-        let mut ff = FirstFit::ff(4);
-        let servers = vec![view(0, 3), view(1, 0)];
-        let p = ff.allocate(&req(4), &servers).unwrap();
+        let mut ff = FirstFit::ff(slots());
+        let servers = vec![view(0, slots() - 1), view(1, 0)];
+        let p = ff.allocate(&req(slots()), &servers).unwrap();
         assert_eq!(p.len(), 2);
         assert_eq!(p[0].add.total(), 1);
-        assert_eq!(p[1].add.total(), 3);
-        validate_placements(&req(4), &servers, &p).unwrap();
+        assert_eq!(p[1].add.total(), slots() - 1);
+        validate_placements(&req(slots()), &servers, &p).unwrap();
     }
 
     #[test]
     fn skips_full_servers() {
-        let mut ff = FirstFit::ff(4);
-        let servers = vec![view(0, 4), view(1, 4), view(2, 1)];
+        let mut ff = FirstFit::ff(slots());
+        let servers = vec![view(0, slots()), view(1, slots()), view(2, 1)];
         let p = ff.allocate(&req(2), &servers).unwrap();
         assert_eq!(p.len(), 1);
         assert_eq!(p[0].server, ServerId::new(2));
@@ -160,25 +185,25 @@ mod tests {
 
     #[test]
     fn respects_multiplex_capacity() {
-        let servers = vec![view(0, 4)];
-        // Plain FF: server is full at 4.
-        assert!(FirstFit::ff(4).allocate(&req(1), &servers).is_err());
-        // FF-2 can still pack 4 more.
-        let p = FirstFit::with_multiplex(4, 2)
-            .allocate(&req(4), &servers)
+        let servers = vec![view(0, slots())];
+        // Plain FF: the server is full at one VM per core.
+        assert!(FirstFit::ff(slots()).allocate(&req(1), &servers).is_err());
+        // FF-2 can still pack a full server's worth more.
+        let p = FirstFit::with_multiplex(slots(), 2)
+            .allocate(&req(slots()), &servers)
             .unwrap();
-        assert_eq!(p[0].add.total(), 4);
-        // FF-3 takes up to 12 total.
-        let p = FirstFit::with_multiplex(4, 3)
-            .allocate(&req(4), &servers)
+        assert_eq!(p[0].add.total(), slots());
+        // FF-3 takes up to three VMs per core.
+        let p = FirstFit::with_multiplex(slots(), 3)
+            .allocate(&req(slots()), &servers)
             .unwrap();
-        assert_eq!(p[0].add.total(), 4);
+        assert_eq!(p[0].add.total(), slots());
     }
 
     #[test]
     fn infeasible_when_cloud_is_saturated() {
-        let mut ff = FirstFit::ff(4);
-        let servers = vec![view(0, 4), view(1, 4)];
+        let mut ff = FirstFit::ff(slots());
+        let servers = vec![view(0, slots()), view(1, slots())];
         let err = ff.allocate(&req(1), &servers).unwrap_err();
         assert!(matches!(err, EavmError::Infeasible(_)));
     }
@@ -186,9 +211,15 @@ mod tests {
     #[test]
     fn ignores_application_profile() {
         // The same counts decide regardless of workload types resident.
-        let mut ff = FirstFit::with_multiplex(4, 2);
-        let a = vec![ServerView::homogeneous(ServerId::new(0), MixVector::new(2, 2, 2))];
-        let b = vec![ServerView::homogeneous(ServerId::new(0), MixVector::new(6, 0, 0))];
+        let mut ff = FirstFit::with_multiplex(slots(), 2);
+        let a = vec![ServerView::homogeneous(
+            ServerId::new(0),
+            MixVector::new(2, 2, 2),
+        )];
+        let b = vec![ServerView::homogeneous(
+            ServerId::new(0),
+            MixVector::new(6, 0, 0),
+        )];
         let pa = ff.allocate(&req(2), &a).unwrap();
         let pb = ff.allocate(&req(2), &b).unwrap();
         assert_eq!(pa[0].add, pb[0].add);

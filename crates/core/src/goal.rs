@@ -91,7 +91,9 @@ mod tests {
         // Candidate A: frugal but slow; candidate B: fast but hungry.
         let a = (1.0, 2.0);
         let b = (2.0, 1.0);
-        assert!(OptimizationGoal::ENERGY.score(a.0, a.1) < OptimizationGoal::ENERGY.score(b.0, b.1));
+        assert!(
+            OptimizationGoal::ENERGY.score(a.0, a.1) < OptimizationGoal::ENERGY.score(b.0, b.1)
+        );
         assert!(
             OptimizationGoal::PERFORMANCE.score(b.0, b.1)
                 < OptimizationGoal::PERFORMANCE.score(a.0, a.1)

@@ -151,8 +151,7 @@ impl LearnedModel {
         // quadratic. Targets are fitted in log space so errors are
         // multiplicative, matching how contention compounds.
         let bounds = db.aux().os_bounds;
-        let in_bounds =
-            |mix: MixVector| mix.fits_within(&bounds);
+        let in_bounds = |mix: MixVector| mix.fits_within(&bounds);
         let mut time_theta = [[0.0; NFEAT]; 3];
         let mut time_r2 = [0.0; 3];
         for ty in WorkloadType::ALL {
@@ -178,11 +177,7 @@ impl LearnedModel {
             time_theta[ty.index()] = theta;
         }
 
-        let trainable: Vec<_> = db
-            .records()
-            .iter()
-            .filter(|r| in_bounds(r.mix))
-            .collect();
+        let trainable: Vec<_> = db.records().iter().filter(|r| in_bounds(r.mix)).collect();
         let xs: Vec<_> = trainable.iter().map(|r| features(r.mix)).collect();
         let ys: Vec<_> = trainable.iter().map(|r| r.energy.value().ln()).collect();
         let energy_theta = fit(&xs, &ys);
@@ -337,10 +332,7 @@ mod tests {
     fn fit_achieves_high_training_r2() {
         let m = LearnedModel::fit(&db()).unwrap();
         for (i, r2) in m.time_r2().iter().enumerate() {
-            assert!(
-                *r2 > 0.85,
-                "time regressor {i} underfits: R²={r2}"
-            );
+            assert!(*r2 > 0.85, "time regressor {i} underfits: R²={r2}");
         }
         assert!(m.energy_r2() > 0.85, "energy R²={}", m.energy_r2());
     }
@@ -377,7 +369,9 @@ mod tests {
     fn implements_model_contract() {
         let m = LearnedModel::fit(&db()).unwrap();
         assert_eq!(m.max_mix(), db().aux().os_bounds);
-        assert!(m.exec_time(MixVector::new(2, 1, 0), WorkloadType::Io).is_err());
+        assert!(m
+            .exec_time(MixVector::new(2, 1, 0), WorkloadType::Io)
+            .is_err());
         assert_eq!(m.run_energy(MixVector::EMPTY).unwrap(), Joules::ZERO);
         assert_eq!(m.power(MixVector::EMPTY).unwrap(), Watts(125.0));
         let p = m.power(MixVector::new(3, 1, 1)).unwrap();

@@ -40,8 +40,8 @@ pub mod proactive;
 pub mod strategy;
 
 pub use best_fit::BestFit;
-pub use first_fit::FirstFit;
+pub use first_fit::{reference_cpu_slots, FirstFit};
 pub use goal::OptimizationGoal;
-pub use model::{AllocationModel, AnalyticModel, DbModel, MixEstimate};
+pub use model::{AllocationModel, AnalyticModel, DbModel, MixEstimate, MixKey};
 pub use proactive::{PartitionCandidate, Proactive, SearchCaps};
 pub use strategy::{AllocationStrategy, Placement, RequestView, ServerView};

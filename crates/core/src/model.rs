@@ -46,6 +46,52 @@ impl MixEstimate {
     }
 }
 
+/// Canonical, hashable key for one model lookup: the full mix a server
+/// would host (resident VMs plus the pending block under evaluation).
+///
+/// The partition search evaluates the same joined mixes over and over —
+/// across candidate servers, partitions, and requests — so callers
+/// layering a memoization cache in front of [`AllocationModel::
+/// estimate_mix`] (e.g. `eavm-service`'s `MemoModel`) key it on this.
+/// Packing the three counts into one `u64` keeps the key `Copy`,
+/// order-preserving, and cheap to hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MixKey(u64);
+
+impl MixKey {
+    /// Key of a mix as-is.
+    #[inline]
+    pub fn of(mix: MixVector) -> Self {
+        MixKey(((mix.cpu as u64) << 42) | ((mix.mem as u64) << 21) | mix.io as u64)
+    }
+
+    /// Key of the mix a server would host after a pending block joins the
+    /// resident VMs — the canonical "resident-mix + pending-block" form.
+    /// Panics (debug) if a count overflows the 21-bit per-type field; the
+    /// OS bounds cap real mixes far below that.
+    #[inline]
+    pub fn compose(resident: MixVector, pending: MixVector) -> Self {
+        let joined = resident + pending;
+        debug_assert!(
+            joined.cpu < (1 << 21) && joined.mem < (1 << 21) && joined.io < (1 << 21),
+            "mix count overflows the key field"
+        );
+        Self::of(joined)
+    }
+
+    /// The packed representation.
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl From<MixVector> for MixKey {
+    fn from(mix: MixVector) -> Self {
+        Self::of(mix)
+    }
+}
+
 /// Per-server behaviour estimates keyed by the type-mix vector.
 pub trait AllocationModel {
     /// Projected full execution time of a VM of `ty` while `mix` (which
@@ -229,9 +275,9 @@ impl AnalyticModel {
 
 impl AllocationModel for AnalyticModel {
     fn exec_time(&self, mix: MixVector, ty: WorkloadType) -> Result<Seconds, EavmError> {
-        let i = self.index_of_first(mix, ty).ok_or_else(|| {
-            EavmError::ModelMiss(format!("type {ty} absent from mix {mix}"))
-        })?;
+        let i = self
+            .index_of_first(mix, ty)
+            .ok_or_else(|| EavmError::ModelMiss(format!("type {ty} absent from mix {mix}")))?;
         let vms = self.vms_of(mix);
         Ok(self.contention.projected_time(&self.server, &vms, i))
     }
@@ -326,7 +372,9 @@ mod tests {
             let t = a.exec_time(mix, ty).unwrap();
             assert!(t > a.solo_time(ty), "contention must stretch {ty}");
         }
-        assert!(a.exec_time(MixVector::new(2, 0, 0), WorkloadType::Io).is_err());
+        assert!(a
+            .exec_time(MixVector::new(2, 0, 0), WorkloadType::Io)
+            .is_err());
     }
 
     #[test]
@@ -336,7 +384,11 @@ mod tests {
         // up to the held-mix vs piecewise-run difference).
         let a = AnalyticModel::reference();
         let d = db_model();
-        for mix in [MixVector::new(2, 1, 0), MixVector::new(1, 1, 1), MixVector::new(3, 0, 2)] {
+        for mix in [
+            MixVector::new(2, 1, 0),
+            MixVector::new(1, 1, 1),
+            MixVector::new(3, 0, 2),
+        ] {
             for ty in WorkloadType::ALL {
                 if mix[ty] == 0 {
                     continue;
@@ -365,6 +417,26 @@ mod tests {
         assert_eq!(d.max_mix(), d.database().aux().os_bounds);
         let a = AnalyticModel::reference();
         assert_eq!(a.max_mix(), MixVector::new(16, 16, 16));
+    }
+
+    #[test]
+    fn mix_keys_are_injective_and_compose() {
+        use std::collections::HashSet;
+        let bounds = MixVector::new(12, 12, 12);
+        let mut seen = HashSet::new();
+        for mix in MixVector::space(bounds) {
+            assert!(seen.insert(MixKey::of(mix)), "key collision at {mix}");
+        }
+        let resident = MixVector::new(3, 1, 0);
+        let block = MixVector::new(1, 0, 2);
+        assert_eq!(
+            MixKey::compose(resident, block),
+            MixKey::of(resident + block)
+        );
+        assert_eq!(MixKey::from(resident), MixKey::of(resident));
+        // Ordering matches the database's sort key.
+        assert!(MixKey::of(MixVector::new(1, 0, 0)) < MixKey::of(MixVector::new(1, 0, 1)));
+        assert!(MixKey::of(MixVector::new(1, 2, 0)) < MixKey::of(MixVector::new(2, 0, 0)));
     }
 
     #[test]

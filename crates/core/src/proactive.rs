@@ -171,23 +171,19 @@ impl<M: AllocationModel> Proactive<M> {
             return true;
         }
         match model.estimate_mix(mix) {
-            Ok(est) => WorkloadType::ALL.into_iter().all(|ty| {
-                match est.time_of(ty) {
+            Ok(est) => WorkloadType::ALL
+                .into_iter()
+                .all(|ty| match est.time_of(ty) {
                     Some(t) => t <= self.deadlines[ty.index()] * self.qos_margin,
                     None => true,
-                }
-            }),
+                }),
             Err(_) => false,
         }
     }
 
     /// Place the blocks of one partition greedily, returning the scored
     /// candidate if every block fits.
-    fn place_partition(
-        &self,
-        blocks: &[MixVector],
-        servers: &[ServerView],
-    ) -> Option<Candidate> {
+    fn place_partition(&self, blocks: &[MixVector], servers: &[ServerView]) -> Option<Candidate> {
         // Tentative per-server mixes, updated as blocks commit.
         let mut mixes: Vec<MixVector> = servers.iter().map(|s| s.mix).collect();
         let mut adds: Vec<MixVector> = vec![MixVector::EMPTY; servers.len()];
@@ -326,8 +322,7 @@ impl<M: AllocationModel> Proactive<M> {
         let mut min_energy = f64::INFINITY;
         let mut min_time = f64::INFINITY;
         let mut scored: Vec<(Vec<MixVector>, Candidate)> = Vec::new();
-        let parts =
-            multiset_partitions_capped(&counts, max_block, self.caps.max_partitions);
+        let parts = multiset_partitions_capped(&counts, max_block, self.caps.max_partitions);
         for part in parts {
             let blocks: Vec<MixVector> = part.iter().map(|b| block_to_mix(b)).collect();
             if let Some(c) = self.place_partition(&blocks, servers) {
@@ -506,7 +501,9 @@ mod tests {
             [Seconds(10.0), Seconds(10.0), Seconds(10.0)],
         )
         .with_qos_enforcement(false);
-        assert!(relaxed.allocate(&req(WorkloadType::Cpu, 1), &servers).is_ok());
+        assert!(relaxed
+            .allocate(&req(WorkloadType::Cpu, 1), &servers)
+            .is_ok());
     }
 
     #[test]
@@ -611,9 +608,8 @@ mod tests {
 
     #[test]
     fn partition_cap_limits_search() {
-        let mut pa = proactive(OptimizationGoal::BALANCED).with_caps(SearchCaps {
-            max_partitions: 1,
-        });
+        let mut pa =
+            proactive(OptimizationGoal::BALANCED).with_caps(SearchCaps { max_partitions: 1 });
         let servers = empty_servers(4);
         // Still succeeds: the first (single-block) partition is feasible.
         let p = pa.allocate(&req(WorkloadType::Cpu, 4), &servers).unwrap();

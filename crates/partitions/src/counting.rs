@@ -27,7 +27,10 @@ pub fn stirling2(n: usize, k: usize) -> u128 {
 
 /// Bell number `B(n)`: the number of partitions of an `n`-element set.
 pub fn bell_number(n: usize) -> u128 {
-    (1..=n).map(|k| stirling2(n, k)).sum::<u128>().max(if n == 0 { 1 } else { 0 })
+    (1..=n)
+        .map(|k| stirling2(n, k))
+        .sum::<u128>()
+        .max(if n == 0 { 1 } else { 0 })
 }
 
 #[cfg(test)]

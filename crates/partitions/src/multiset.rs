@@ -49,7 +49,14 @@ pub fn multiset_partitions_capped(
     let mut acc: MultisetPart = Vec::new();
     // The first block may be anything up to the whole remaining multiset.
     let roof = counts.to_vec();
-    recurse(counts.to_vec(), &roof, max_block_total, max_parts, &mut acc, &mut out);
+    recurse(
+        counts.to_vec(),
+        &roof,
+        max_block_total,
+        max_parts,
+        &mut acc,
+        &mut out,
+    );
     out
 }
 

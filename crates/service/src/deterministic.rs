@@ -1,0 +1,118 @@
+//! Deterministic single-thread mode.
+//!
+//! The concurrent service trades exact reproducibility for throughput:
+//! batch composition depends on mailbox timing. This module is the
+//! reference mode — it drives the *same* memoized allocator through the
+//! discrete-event simulator's virtual clock, single-threaded, so a
+//! given trace always yields the same allocations and the same energy.
+//!
+//! The memoization layer is **semantically transparent**: it caches the
+//! deterministic `(resident mix ⊎ pending block) → estimate` function,
+//! so `replay_deterministic` must equal a plain
+//! `Simulation::run(Proactive<DbModel>, …)` bit for bit — the
+//! `service_replay` integration test asserts exactly that, alongside a
+//! nonzero cache hit-rate.
+
+use eavm_benchdb::ModelDatabase;
+use eavm_core::{AllocationModel, DbModel, OptimizationGoal, Proactive};
+use eavm_simulator::{CloudConfig, SimOutcome, Simulation, SimulationError};
+use eavm_swf::VmRequest;
+use eavm_types::Seconds;
+
+use crate::memo::{CacheStats, MemoModel};
+
+/// Configuration of a deterministic replay.
+#[derive(Debug, Clone)]
+pub struct DeterministicConfig {
+    /// PROACTIVE optimization goal α.
+    pub goal: OptimizationGoal,
+    /// Per-type response-time deadlines (Cpu, Mem, Io).
+    pub deadlines: [Seconds; 3],
+    /// QoS margin forwarded to the allocator.
+    pub qos_margin: f64,
+    /// LRU capacity of the memoized model cache.
+    pub cache_capacity: usize,
+    /// Record the per-interval allocation timeline in the outcome.
+    pub timeline: bool,
+}
+
+impl DeterministicConfig {
+    /// Defaults matching [`crate::ServiceConfig::new`].
+    pub fn new(goal: OptimizationGoal, deadlines: [Seconds; 3]) -> Self {
+        DeterministicConfig {
+            goal,
+            deadlines,
+            qos_margin: 0.65,
+            cache_capacity: 4096,
+            timeline: false,
+        }
+    }
+}
+
+/// Replay `requests` through the discrete-event engine with the
+/// service's memoized allocator, single-threaded and fully
+/// reproducible. `ground_truth` is the simulator's physics model;
+/// the returned [`CacheStats`] describe the allocator-side cache.
+pub fn replay_deterministic<G: AllocationModel>(
+    ground_truth: G,
+    cloud: CloudConfig,
+    db: ModelDatabase,
+    config: &DeterministicConfig,
+    requests: &[VmRequest],
+) -> Result<(SimOutcome, CacheStats), SimulationError> {
+    let mut strategy = Proactive::new(
+        MemoModel::new(DbModel::new(db), config.cache_capacity),
+        config.goal,
+        config.deadlines,
+    )
+    .with_qos_margin(config.qos_margin);
+    let mut simulation = Simulation::new(ground_truth, cloud);
+    if config.timeline {
+        simulation = simulation.with_timeline();
+    }
+    let outcome = simulation.run(&mut strategy, requests)?;
+    let cache = strategy.model().cache_stats();
+    Ok((outcome, cache))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eavm_benchdb::DbBuilder;
+    use eavm_core::AnalyticModel;
+    use eavm_types::{JobId, WorkloadType};
+
+    fn requests(n: u32) -> Vec<VmRequest> {
+        (0..n)
+            .map(|i| VmRequest {
+                id: JobId::new(i),
+                submit: Seconds((i as f64) * 120.0),
+                workload: WorkloadType::ALL[(i % 3) as usize],
+                vm_count: 1 + i % 3,
+                deadline: Seconds(7200.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_is_reproducible_run_to_run() {
+        let db = DbBuilder::exact().build().expect("db");
+        let cloud = CloudConfig::new("TEST", 6).expect("cloud");
+        let cfg = DeterministicConfig::new(OptimizationGoal::BALANCED, [Seconds(7200.0); 3]);
+        let reqs = requests(12);
+        let (a, cache_a) = replay_deterministic(
+            AnalyticModel::reference(),
+            cloud.clone(),
+            db.clone(),
+            &cfg,
+            &reqs,
+        )
+        .expect("first run");
+        let (b, cache_b) = replay_deterministic(AnalyticModel::reference(), cloud, db, &cfg, &reqs)
+            .expect("second run");
+        assert_eq!(a, b);
+        assert_eq!(cache_a.hits, cache_b.hits);
+        assert_eq!(cache_a.misses, cache_b.misses);
+        assert!(cache_a.hits > 0, "expected repeat lookups to hit");
+    }
+}

@@ -1,0 +1,45 @@
+//! # eavm-service
+//!
+//! An **online allocation control plane** on top of the paper's batch
+//! machinery: where `eavm-simulator` replays a whole trace offline,
+//! this crate keeps the fleet resident and serves a live stream of VM
+//! requests.
+//!
+//! Three layers, bottom-up:
+//!
+//! * [`memo`] — [`memo::MemoModel`]: a semantically transparent LRU
+//!   memoization layer over any [`eavm_core::AllocationModel`]. The
+//!   PROACTIVE partition search evaluates the same
+//!   `(resident mix ⊎ pending block)` keys over and over — the cache
+//!   (keyed on the packed [`eavm_core::MixKey`]) turns each repeat
+//!   into an O(1) hit and counts hits/misses/evictions.
+//! * [`shard`] — the fleet is split into contiguous server groups, each
+//!   owned exclusively by one `std::thread` worker with its own
+//!   memoized allocator; shards expose a message protocol with a
+//!   fast-path `TryLocal` and a two-phase `Reserve`/`Commit`/`Abort`
+//!   sequence for placements that must span shards atomically.
+//! * [`service`] — [`service::AllocService`]: bounded-queue admission
+//!   (blocking backpressure or shed-on-full), batched round-robin
+//!   fast-path dispatch, the serial cross-shard slow path with
+//!   optimistic validation and rollback, a parked FIFO wait queue tied
+//!   to the virtual clock, and a per-ticket [`service::Verdict`]
+//!   stream.
+//!
+//! [`deterministic::replay_deterministic`] is the single-threaded
+//! reference mode: the same memoized allocator driven by the
+//! discrete-event engine, reproducing `Simulation::run` exactly (the
+//! memo layer is provably invisible to allocation decisions — the
+//! `service_replay` integration test pins this down).
+
+pub mod deterministic;
+pub mod memo;
+pub mod service;
+pub mod shard;
+
+pub use deterministic::{replay_deterministic, DeterministicConfig};
+pub use memo::{CacheStats, MemoModel};
+pub use service::{
+    replay_online, AllocService, DrainReport, ReplayReport, ServiceConfig, ServiceStats,
+    ShedReason, SubmitOutcome, Verdict,
+};
+pub use shard::ShardStats;

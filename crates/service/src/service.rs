@@ -1,0 +1,1148 @@
+//! The allocation control plane: bounded admission, batched fast-path
+//! dispatch, and the cross-shard slow path.
+//!
+//! [`AllocService::start`] spawns one coordinator thread plus one worker
+//! thread per shard ([`crate::shard`]). Clients talk to the coordinator
+//! over a **bounded** `sync_channel`: [`AllocService::submit`] blocks
+//! when the queue is full (backpressure), [`AllocService::try_submit`]
+//! sheds instead. Every submitted request eventually produces at least
+//! one [`Verdict`] on the verdict stream, tagged with its ticket.
+//!
+//! The coordinator batches whatever submissions are waiting in its
+//! mailbox and fans the batch out as shard-local fast-path attempts
+//! (routed to the shard with the most free slots for the request's
+//! type) — these run concurrently on the shard threads, which is where
+//! multi-shard throughput comes from. Requests no single shard can
+//! host fall back to the slow path: run the memoized partition search
+//! over the whole fleet, then perform a two-phase reserve/commit so the
+//! cross-shard placement lands atomically (any Nack rolls back all
+//! acks and retries). Requests infeasible even fleet-wide are parked
+//! in a FIFO wait queue, retried after each virtual-clock advance, and
+//! shed when the wait queue overflows.
+//!
+//! The coordinator never snapshots the shards: it is the only writer,
+//! so it maintains an exact **fleet mirror** of every server's mix —
+//! updated from fast-path replies, its own commits, and the freed
+//! mixes reported by each virtual-clock advance. Slow-path searches
+//! read the mirror for free, and proposal staleness (two slow-path
+//! requests in one wave picking the same servers) is detected locally
+//! before any reserve message is sent.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use eavm_benchdb::ModelDatabase;
+use eavm_core::{
+    AllocationModel, AllocationStrategy, DbModel, OptimizationGoal, Placement, Proactive,
+    RequestView, ServerView,
+};
+use eavm_swf::VmRequest;
+use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId};
+
+use crate::memo::{CacheStats, MemoModel};
+use crate::shard::{build_strategy, run_worker, ShardCore, ShardMsg, ShardStats, TryLocalReply};
+
+/// Tuning knobs for [`AllocService::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker shards the fleet is split across (≥ 1).
+    pub shards: usize,
+    /// Total servers in the fleet, split contiguously across shards.
+    pub servers: usize,
+    /// Bound of the admission channel *and* of the parked wait queue.
+    pub queue_capacity: usize,
+    /// LRU capacity of each model cache (one per shard plus the
+    /// coordinator's global-search cache).
+    pub cache_capacity: usize,
+    /// PROACTIVE optimization goal α.
+    pub goal: OptimizationGoal,
+    /// Per-type response-time deadlines (Cpu, Mem, Io).
+    pub deadlines: [Seconds; 3],
+    /// QoS margin forwarded to the allocator.
+    pub qos_margin: f64,
+    /// Cross-shard reserve retries before a request is parked.
+    pub max_reserve_retries: u32,
+}
+
+impl ServiceConfig {
+    /// A small sane default around `servers` reference machines.
+    pub fn new(shards: usize, servers: usize) -> Self {
+        ServiceConfig {
+            shards,
+            servers,
+            queue_capacity: 1024,
+            cache_capacity: 4096,
+            goal: OptimizationGoal::BALANCED,
+            deadlines: [Seconds(5400.0), Seconds(4500.0), Seconds(4050.0)],
+            qos_margin: 0.65,
+            max_reserve_retries: 2,
+        }
+    }
+}
+
+/// Outcome of one submitted request, tagged by ticket on the verdict
+/// stream. A `Queued` verdict is followed by a second verdict when the
+/// parked request is later placed or shed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Placed entirely within one shard on the fast path.
+    Admitted {
+        /// Owning shard.
+        shard: usize,
+        /// The committed placements.
+        placements: Vec<Placement>,
+    },
+    /// Placed across shards via the two-phase slow path.
+    AdmittedCrossShard {
+        /// Shards that took part in the reservation.
+        shards: Vec<usize>,
+        /// The committed placements.
+        placements: Vec<Placement>,
+    },
+    /// Fleet-wide infeasible right now; parked at this wait-queue depth.
+    Queued {
+        /// Position in the wait queue (1 = head).
+        depth: usize,
+    },
+    /// Dropped; see the reason.
+    Shed {
+        /// Why the request was dropped.
+        reason: ShedReason,
+    },
+}
+
+/// Why a request was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// `try_submit` found the admission channel full.
+    AdmissionFull,
+    /// The parked wait queue was full.
+    WaitQueueFull,
+    /// Infeasible even on an otherwise empty fleet (drain gave up).
+    Unplaceable,
+}
+
+/// Aggregated service counters, assembled by [`AllocService::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// Requests the coordinator accepted off the admission channel.
+    pub submitted: u64,
+    /// Requests shed at admission (`try_submit` on a full channel).
+    pub shed_admission: u64,
+    /// Requests shed because the wait queue was full.
+    pub shed_wait_queue: u64,
+    /// Requests shed as unplaceable during drain.
+    pub shed_unplaceable: u64,
+    /// Fast-path (single-shard) admissions.
+    pub admitted_local: u64,
+    /// Slow-path (cross-shard two-phase) admissions.
+    pub admitted_cross_shard: u64,
+    /// Requests placed only after waiting in the parked queue.
+    pub admitted_after_wait: u64,
+    /// Requests currently parked.
+    pub parked: u64,
+    /// Cross-shard reservation rounds aborted on a Nack.
+    pub reserve_conflicts: u64,
+    /// Coordinator's global-search cache counters.
+    pub coordinator_cache: CacheStats,
+    /// Coordinator cache plus every shard cache, merged.
+    pub aggregate_cache: CacheStats,
+    /// Per-shard counters.
+    pub shards: Vec<ShardStats>,
+    /// Current virtual time.
+    pub virtual_now: Seconds,
+    /// VMs resident fleet-wide.
+    pub resident_vms: usize,
+    /// Model-estimated dynamic energy of everything committed so far.
+    pub estimated_energy: Joules,
+}
+
+/// Result of [`AllocService::drain`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DrainReport {
+    /// Virtual time after the drain.
+    pub advanced_to: Seconds,
+    /// VMs retired while draining.
+    pub retired: usize,
+    /// Parked requests shed as unplaceable.
+    pub shed_unplaceable: u64,
+}
+
+/// Outcome of a non-blocking [`AllocService::try_submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Accepted; a verdict with this ticket will follow.
+    Enqueued(u64),
+    /// Admission channel full; dropped with this ticket.
+    Shed(u64),
+}
+
+enum Ctl {
+    Submit { ticket: u64, request: VmRequest },
+    AdvanceTo { t: Seconds, done: Sender<()> },
+    Drain { done: Sender<DrainReport> },
+    Stats { reply: Sender<ServiceStats> },
+    Shutdown,
+}
+
+/// Handle to a running allocation service.
+pub struct AllocService {
+    ctl_tx: SyncSender<Ctl>,
+    verdict_rx: Receiver<(u64, Verdict)>,
+    next_ticket: AtomicU64,
+    shed_admission: Arc<AtomicU64>,
+    coordinator: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl AllocService {
+    /// Spawn the coordinator and shard workers over `db`.
+    pub fn start(db: ModelDatabase, config: ServiceConfig) -> Result<AllocService, EavmError> {
+        if config.shards == 0 {
+            return Err(EavmError::Parse("service needs at least one shard".into()));
+        }
+        if config.servers < config.shards {
+            return Err(EavmError::Parse(format!(
+                "{} servers cannot populate {} shards",
+                config.servers, config.shards
+            )));
+        }
+        let layout = shard_layout(config.servers, config.shards);
+        let mut shard_txs = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for (index, range) in layout.iter().enumerate() {
+            let strategy = build_strategy(
+                db.clone(),
+                config.cache_capacity,
+                config.goal,
+                config.deadlines,
+                config.qos_margin,
+            );
+            let core = ShardCore::new(index, range.clone().map(ServerId::from), strategy);
+            let (tx, rx) = channel();
+            shard_txs.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("eavm-shard-{index}"))
+                    .spawn(move || run_worker(core, rx))
+                    .map_err(EavmError::Io)?,
+            );
+        }
+
+        let global = build_strategy(
+            db,
+            config.cache_capacity,
+            config.goal,
+            config.deadlines,
+            config.qos_margin,
+        );
+        let (ctl_tx, ctl_rx) = sync_channel(config.queue_capacity);
+        let (verdict_tx, verdict_rx) = channel();
+        let shed_admission = Arc::new(AtomicU64::new(0));
+        let slots = global.model().cpu_slots();
+        let mirror = (0..config.servers)
+            .map(|i| ServerView {
+                id: ServerId::from(i),
+                mix: MixVector::EMPTY,
+                platform: 0,
+                cpu_slots: slots,
+            })
+            .collect();
+        let coordinator = {
+            let shed = Arc::clone(&shed_admission);
+            let mut coord = Coordinator {
+                config,
+                layout,
+                shards: shard_txs,
+                global,
+                mirror,
+                ctl_rx,
+                verdict_tx,
+                shed_admission: shed,
+                parked: VecDeque::new(),
+                now: Seconds(0.0),
+                stats: CoordStats::default(),
+            };
+            std::thread::Builder::new()
+                .name("eavm-coordinator".into())
+                .spawn(move || coord.run())
+                .map_err(EavmError::Io)?
+        };
+        Ok(AllocService {
+            ctl_tx,
+            verdict_rx,
+            next_ticket: AtomicU64::new(0),
+            shed_admission,
+            coordinator: Some(coordinator),
+            workers,
+        })
+    }
+
+    fn ticket(&self) -> u64 {
+        self.next_ticket.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Submit with backpressure: blocks while the admission queue is
+    /// full. Returns the request's ticket.
+    pub fn submit(&self, request: VmRequest) -> u64 {
+        let ticket = self.ticket();
+        let _ = self.ctl_tx.send(Ctl::Submit { ticket, request });
+        ticket
+    }
+
+    /// Submit without blocking: sheds the request when the admission
+    /// queue is full.
+    pub fn try_submit(&self, request: VmRequest) -> SubmitOutcome {
+        let ticket = self.ticket();
+        match self.ctl_tx.try_send(Ctl::Submit { ticket, request }) {
+            Ok(()) => SubmitOutcome::Enqueued(ticket),
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.shed_admission.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Shed(ticket)
+            }
+        }
+    }
+
+    /// Advance the virtual clock on every shard and retry parked
+    /// requests. Blocks until the advance is fully applied.
+    pub fn advance_to(&self, t: Seconds) {
+        let (done_tx, done_rx) = channel();
+        if self
+            .ctl_tx
+            .send(Ctl::AdvanceTo { t, done: done_tx })
+            .is_ok()
+        {
+            let _ = done_rx.recv();
+        }
+    }
+
+    /// Run virtual time forward until the wait queue empties (or its
+    /// head is unplaceable even on a drained fleet).
+    pub fn drain(&self) -> DrainReport {
+        let (done_tx, done_rx) = channel();
+        if self.ctl_tx.send(Ctl::Drain { done: done_tx }).is_ok() {
+            done_rx.recv().unwrap_or_default()
+        } else {
+            DrainReport::default()
+        }
+    }
+
+    /// Snapshot aggregated counters (coordinator + all shards).
+    pub fn stats(&self) -> ServiceStats {
+        let (reply_tx, reply_rx) = channel();
+        let mut stats = if self.ctl_tx.send(Ctl::Stats { reply: reply_tx }).is_ok() {
+            reply_rx.recv().unwrap_or_default()
+        } else {
+            ServiceStats::default()
+        };
+        stats.shed_admission = self.shed_admission.load(Ordering::Relaxed);
+        stats
+    }
+
+    /// Collect every verdict currently available, in emission order.
+    pub fn poll_verdicts(&self) -> Vec<(u64, Verdict)> {
+        self.verdict_rx.try_iter().collect()
+    }
+
+    /// Stop the coordinator and all shard workers, returning the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        let stats = self.stats();
+        let _ = self.ctl_tx.send(Ctl::Shutdown);
+        if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        stats
+    }
+}
+
+impl Drop for AllocService {
+    fn drop(&mut self) {
+        let _ = self.ctl_tx.send(Ctl::Shutdown);
+        if let Some(handle) = self.coordinator.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Contiguous server-index ranges, one per shard, sized within one of
+/// each other (`n = q·k + r` → the first `r` shards get `q + 1`).
+fn shard_layout(servers: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let q = servers / shards;
+    let r = servers % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = q + usize::from(i < r);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[derive(Debug, Default)]
+struct CoordStats {
+    submitted: u64,
+    shed_wait_queue: u64,
+    shed_unplaceable: u64,
+    admitted_local: u64,
+    admitted_cross_shard: u64,
+    admitted_after_wait: u64,
+    reserve_conflicts: u64,
+}
+
+struct Parked {
+    ticket: u64,
+    view: RequestView,
+}
+
+struct Coordinator {
+    config: ServiceConfig,
+    layout: Vec<std::ops::Range<usize>>,
+    shards: Vec<Sender<ShardMsg>>,
+    global: Proactive<MemoModel<DbModel>>,
+    /// Exact copy of every server's mix. The coordinator is the only
+    /// writer (fast-path replies, its own commits, advance retirements
+    /// all flow through it), so this never goes stale and the slow path
+    /// needs no snapshot round trips.
+    mirror: Vec<ServerView>,
+    ctl_rx: Receiver<Ctl>,
+    verdict_tx: Sender<(u64, Verdict)>,
+    #[allow(dead_code)] // shared for stats assembly symmetry
+    shed_admission: Arc<AtomicU64>,
+    parked: VecDeque<Parked>,
+    now: Seconds,
+    stats: CoordStats,
+}
+
+impl Coordinator {
+    fn run(&mut self) {
+        let mut batch: Vec<(u64, VmRequest)> = Vec::new();
+        loop {
+            let Ok(first) = self.ctl_rx.recv() else { break };
+            // Greedily drain whatever else is already queued so the fast
+            // path dispatches as one parallel wave across shards.
+            let mut control = None;
+            let mut msg = Some(first);
+            loop {
+                match msg.take() {
+                    Some(Ctl::Submit { ticket, request }) => batch.push((ticket, request)),
+                    Some(other) => {
+                        control = Some(other);
+                        break;
+                    }
+                    None => {}
+                }
+                match self.ctl_rx.try_recv() {
+                    Ok(next) => msg = Some(next),
+                    Err(_) => break,
+                }
+            }
+            if !batch.is_empty() {
+                self.process_batch(std::mem::take(&mut batch));
+            }
+            match control {
+                Some(Ctl::AdvanceTo { t, done }) => {
+                    // Mixes only shrink when VMs retire, so parked
+                    // requests can only have become placeable if the
+                    // advance actually retired something.
+                    if self.advance(t) > 0 {
+                        self.retry_parked();
+                    }
+                    let _ = done.send(());
+                }
+                Some(Ctl::Drain { done }) => {
+                    let report = self.drain();
+                    let _ = done.send(report);
+                }
+                Some(Ctl::Stats { reply }) => {
+                    let _ = reply.send(self.assemble_stats());
+                }
+                Some(Ctl::Shutdown) => break,
+                Some(Ctl::Submit { .. }) | None => {}
+            }
+        }
+        for tx in &self.shards {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+    }
+
+    fn verdict(&self, ticket: u64, verdict: Verdict) {
+        let _ = self.verdict_tx.send((ticket, verdict));
+    }
+
+    fn view_of(request: &VmRequest) -> RequestView {
+        RequestView {
+            id: request.id,
+            workload: request.workload,
+            vm_count: request.vm_count,
+            deadline: request.deadline,
+        }
+    }
+
+    /// Fan the batch out as parallel fast-path attempts (each routed to
+    /// the shard with the most free slots for its type), collect
+    /// replies in ticket order, then walk the failures through the
+    /// slow path.
+    fn process_batch(&mut self, batch: Vec<(u64, VmRequest)>) {
+        self.stats.submitted += batch.len() as u64;
+        let mut pending = Vec::with_capacity(batch.len());
+        // VMs dispatched earlier in this wave, per shard and type, so
+        // concurrent same-type requests spread out instead of piling
+        // onto the single emptiest shard.
+        let mut wave = vec![[0u32; 3]; self.shards.len()];
+        for (ticket, request) in &batch {
+            let view = Self::view_of(request);
+            self.now = self.now.max(request.submit);
+            let shard = self.route(&view, *ticket, &wave);
+            wave[shard][view.workload.index()] += view.vm_count;
+            let (reply_tx, reply_rx) = channel();
+            let sent = self.shards[shard]
+                .send(ShardMsg::TryLocal {
+                    request: view,
+                    now: request.submit,
+                    reply: reply_tx,
+                })
+                .is_ok();
+            pending.push((*ticket, view, shard, sent.then_some(reply_rx)));
+        }
+        let mut fallbacks = Vec::new();
+        let mut retired = 0u32;
+        for (ticket, view, shard, reply) in pending {
+            let Some(TryLocalReply { placements, freed }) = reply.and_then(|rx| rx.recv().ok())
+            else {
+                fallbacks.push((ticket, view));
+                continue;
+            };
+            retired += self.release(freed);
+            match placements {
+                Some(placements) => {
+                    self.apply_placements(&placements);
+                    self.stats.admitted_local += 1;
+                    self.verdict(ticket, Verdict::Admitted { shard, placements });
+                }
+                None => fallbacks.push((ticket, view)),
+            }
+        }
+        if !fallbacks.is_empty() {
+            // The slow path searches the whole fleet, so every shard's
+            // clock (and the mirror) must be synced to now first.
+            retired += self.advance(self.now) as u32;
+            self.admit_concurrent(fallbacks);
+        }
+        if retired > 0 && !self.parked.is_empty() {
+            self.advance(self.now);
+            self.retry_parked();
+        }
+    }
+
+    /// Subtract freed (retired) mixes from the mirror; returns the
+    /// number of VMs released.
+    fn release(&mut self, freed: Vec<(ServerId, MixVector)>) -> u32 {
+        let mut total = 0;
+        for (id, freed_mix) in freed {
+            total += freed_mix.total();
+            let mix = &mut self.mirror[id.index()].mix;
+            *mix = mix.checked_sub(&freed_mix).unwrap_or(MixVector::EMPTY);
+        }
+        total
+    }
+
+    /// Land a wave of slow-path requests. Searches run speculatively in
+    /// parallel on the shard threads; proposals that went stale (an
+    /// earlier commit this wave touched their servers) are re-searched
+    /// — again in parallel — in the next wave, never serially. A `None`
+    /// proposal means fleet-wide infeasible on a state at least as
+    /// empty as the current one (commits only add load), so the request
+    /// parks.
+    fn admit_concurrent(&mut self, mut items: Vec<(u64, RequestView)>) {
+        for _wave in 0..=self.config.max_reserve_retries {
+            if items.is_empty() {
+                return;
+            }
+            let (fleet, proposals) = self.propose_parallel(&items);
+            let mut next = Vec::new();
+            for ((ticket, view), proposal) in items.into_iter().zip(proposals) {
+                let Some(placements) = proposal else {
+                    self.park_or_shed(ticket, view);
+                    continue;
+                };
+                match self.commit_proposal(&fleet, &placements) {
+                    Some(shards) => {
+                        self.stats.admitted_cross_shard += 1;
+                        self.verdict(ticket, Verdict::AdmittedCrossShard { shards, placements });
+                    }
+                    None => next.push((ticket, view)),
+                }
+            }
+            items = next;
+        }
+        // The first item of every wave is never stale, so each wave
+        // makes progress and this is unreachable in practice.
+        for (ticket, view) in items {
+            self.park_or_shed(ticket, view);
+        }
+    }
+
+    /// Route a fast-path attempt to the shard with the most free
+    /// OS-bound slots for the request's type, judged from the mirror
+    /// minus what this wave already dispatched. Ties keep the
+    /// ticket-based round-robin choice.
+    fn route(&self, view: &RequestView, ticket: u64, wave: &[[u32; 3]]) -> usize {
+        let bound = self.global.model().max_mix()[view.workload];
+        let ti = view.workload.index();
+        let free_on = |i: usize| -> u32 {
+            let raw: u32 = self.mirror[self.layout[i].clone()]
+                .iter()
+                .map(|s| bound.saturating_sub(s.mix[view.workload]))
+                .sum();
+            raw.saturating_sub(wave[i][ti])
+        };
+        let mut best = ticket as usize % self.shards.len();
+        let mut best_free = free_on(best);
+        for i in 0..self.shards.len() {
+            let free = free_on(i);
+            if free > best_free {
+                best = i;
+                best_free = free;
+            }
+        }
+        best
+    }
+
+    /// Fold committed placements into the fleet mirror.
+    fn apply_placements(&mut self, placements: &[Placement]) {
+        for p in placements {
+            self.mirror[p.server.index()].mix += p.add;
+        }
+    }
+
+    /// Fan speculative fleet-wide searches for `items` out to the shard
+    /// threads, one per shard round-robin, all over the same mirror
+    /// state. Returns that state (for staleness validation) and one
+    /// proposal per item. A single-item batch searches inline on the
+    /// coordinator — no round trip beats one round trip.
+    #[allow(clippy::type_complexity)]
+    fn propose_parallel(
+        &mut self,
+        items: &[(u64, RequestView)],
+    ) -> (Vec<ServerView>, Vec<Option<Vec<Placement>>>) {
+        let fleet = self.mirror.clone();
+        if let [(_ticket, view)] = items {
+            let proposal = if self.capacity_feasible(view, &fleet) {
+                self.global.allocate(view, &fleet).ok()
+            } else {
+                None
+            };
+            return (fleet, vec![proposal]);
+        }
+        let mut waits = Vec::with_capacity(items.len());
+        for (k, (_ticket, view)) in items.iter().enumerate() {
+            if !self.capacity_feasible(view, &fleet) {
+                waits.push(None);
+                continue;
+            }
+            let shard = k % self.shards.len();
+            let (reply_tx, reply_rx) = channel();
+            let sent = self.shards[shard]
+                .send(ShardMsg::SearchGlobal {
+                    request: *view,
+                    fleet: fleet.clone(),
+                    reply: reply_tx,
+                })
+                .is_ok();
+            waits.push(sent.then_some(reply_rx));
+        }
+        let proposals = waits
+            .into_iter()
+            .map(|w| w.and_then(|rx| rx.recv().ok()).flatten())
+            .collect();
+        (fleet, proposals)
+    }
+
+    /// Cheap necessary condition before any partition search: the
+    /// request's type must have enough free OS-bound slots fleet-wide.
+    /// Under saturation this short-circuits almost every slow-path
+    /// attempt to O(servers) arithmetic.
+    fn capacity_feasible(&self, view: &RequestView, fleet: &[ServerView]) -> bool {
+        let bound = self.global.model().max_mix()[view.workload];
+        let free: u32 = fleet
+            .iter()
+            .map(|s| bound.saturating_sub(s.mix[view.workload]))
+            .sum();
+        free >= view.vm_count
+    }
+
+    /// Park a fleet-wide-infeasible request, or shed it when the wait
+    /// queue is full.
+    fn park_or_shed(&mut self, ticket: u64, view: RequestView) {
+        if self.parked.len() >= self.config.queue_capacity {
+            self.stats.shed_wait_queue += 1;
+            self.verdict(
+                ticket,
+                Verdict::Shed {
+                    reason: ShedReason::WaitQueueFull,
+                },
+            );
+        } else {
+            self.parked.push_back(Parked { ticket, view });
+            self.verdict(
+                ticket,
+                Verdict::Queued {
+                    depth: self.parked.len(),
+                },
+            );
+        }
+    }
+
+    /// Two-phase reserve/commit of `placements`, computed on the
+    /// `fleet` state. Staleness (an earlier commit this wave touched an
+    /// involved server) is caught against the mirror before any message
+    /// is sent. All shards Ack → commit everywhere, fold into the
+    /// mirror, and return the involved shard indices; any Nack → abort
+    /// the acked shards, count a conflict, and return `None`.
+    fn commit_proposal(
+        &mut self,
+        fleet: &[ServerView],
+        placements: &[Placement],
+    ) -> Option<Vec<usize>> {
+        if placements
+            .iter()
+            .any(|p| self.mirror[p.server.index()].mix != fleet[p.server.index()].mix)
+        {
+            self.stats.reserve_conflicts += 1;
+            return None;
+        }
+        // Group the placements (and the expected mixes backing them) by
+        // owning shard.
+        type ShardReserve = (Vec<(ServerId, MixVector)>, Vec<Placement>);
+        let mut per_shard: Vec<ShardReserve> = vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for p in placements {
+            let shard = self.shard_of(p.server);
+            let expected = self.mirror[p.server.index()].mix;
+            per_shard[shard].0.push((p.server, expected));
+            per_shard[shard].1.push(*p);
+        }
+        let involved: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| !per_shard[i].1.is_empty())
+            .collect();
+        let ticket = self.next_reservation_ticket();
+        // Fan the reserves out in parallel, then collect the votes.
+        let mut votes = Vec::with_capacity(involved.len());
+        for &i in &involved {
+            let (expected, placements) = per_shard[i].clone();
+            let (reply_tx, reply_rx) = channel();
+            let sent = self.shards[i]
+                .send(ShardMsg::Reserve {
+                    ticket,
+                    expected,
+                    placements,
+                    reply: reply_tx,
+                })
+                .is_ok();
+            votes.push((i, sent.then_some(reply_rx)));
+        }
+        let mut acked = Vec::new();
+        let mut all_ok = true;
+        for (i, reply) in votes {
+            if reply.and_then(|rx| rx.recv().ok()).unwrap_or(false) {
+                acked.push(i);
+            } else {
+                all_ok = false;
+            }
+        }
+        if all_ok {
+            self.finish_reservation(ticket, &involved, true);
+            self.apply_placements(placements);
+            return Some(involved);
+        }
+        // Roll back whatever acked.
+        self.stats.reserve_conflicts += 1;
+        self.finish_reservation(ticket, &acked, false);
+        None
+    }
+
+    /// Second phase of the reservation: commit (or abort) on every
+    /// shard in `targets`. Fire-and-forget — each shard mailbox is
+    /// FIFO, so any later message observes the finished reservation.
+    fn finish_reservation(&self, ticket: u64, targets: &[usize], commit: bool) {
+        for &i in targets {
+            let msg = if commit {
+                ShardMsg::Commit { ticket }
+            } else {
+                ShardMsg::Abort { ticket }
+            };
+            let _ = self.shards[i].send(msg);
+        }
+    }
+
+    fn next_reservation_ticket(&mut self) -> u64 {
+        // Reservation tickets only need to be unique per shard at a
+        // time; reuse the conflict counter plus commits as a source.
+        self.stats.reserve_conflicts
+            + self.stats.admitted_cross_shard
+            + self.stats.submitted.wrapping_mul(1_000_003)
+    }
+
+    fn shard_of(&self, server: ServerId) -> usize {
+        let idx = server.index();
+        self.layout
+            .iter()
+            .position(|r| r.contains(&idx))
+            .unwrap_or(0)
+    }
+
+    fn advance(&mut self, t: Seconds) -> usize {
+        self.now = self.now.max(t);
+        let mut retired = 0;
+        let mut waits = Vec::new();
+        for tx in &self.shards {
+            let (done_tx, done_rx) = channel();
+            if tx.send(ShardMsg::AdvanceTo { t, done: done_tx }).is_ok() {
+                waits.push(done_rx);
+            }
+        }
+        for rx in waits {
+            let Ok((n, freed)) = rx.recv() else { continue };
+            retired += n;
+            self.release(freed);
+        }
+        retired
+    }
+
+    /// FIFO retry of parked requests; stops at the first one that still
+    /// doesn't fit (head-of-line blocking mirrors the simulator queue).
+    /// Searches for the first `shards` parked requests run speculatively
+    /// in parallel; commits happen strictly in FIFO order, so a stale
+    /// proposal defers itself *and everything behind it* to the next
+    /// wave (nothing may overtake the queue head).
+    fn retry_parked(&mut self) {
+        while !self.parked.is_empty() {
+            let k = self.shards.len().min(self.parked.len());
+            let mut items: Vec<(u64, RequestView)> = self
+                .parked
+                .iter()
+                .take(k)
+                .map(|p| (p.ticket, p.view))
+                .collect();
+            while !items.is_empty() {
+                let (fleet, proposals) = self.propose_parallel(&items);
+                let mut pairs = items.into_iter().zip(proposals);
+                let mut next = Vec::new();
+                while let Some(((ticket, view), proposal)) = pairs.next() {
+                    // Everything before this item committed, so it is
+                    // the current queue head; infeasible means it (and
+                    // all behind it) waits for the next retirement.
+                    let Some(placements) = proposal else { return };
+                    match self.commit_proposal(&fleet, &placements) {
+                        Some(shards) => {
+                            self.parked.pop_front();
+                            self.stats.admitted_cross_shard += 1;
+                            self.stats.admitted_after_wait += 1;
+                            self.verdict(
+                                ticket,
+                                Verdict::AdmittedCrossShard { shards, placements },
+                            );
+                        }
+                        None => {
+                            next.push((ticket, view));
+                            next.extend(pairs.by_ref().map(|(item, _)| item));
+                        }
+                    }
+                }
+                items = next;
+            }
+        }
+    }
+
+    fn next_finish_all(&self) -> Option<Seconds> {
+        let waits: Vec<_> = self
+            .shards
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = channel();
+                tx.send(ShardMsg::NextFinish { reply: reply_tx })
+                    .ok()
+                    .map(|_| reply_rx)
+            })
+            .collect();
+        waits
+            .into_iter()
+            .filter_map(|rx| rx.and_then(|rx| rx.recv().ok()).flatten())
+            .reduce(Seconds::min)
+    }
+
+    fn drain(&mut self) -> DrainReport {
+        let mut report = DrainReport {
+            advanced_to: self.now,
+            ..DrainReport::default()
+        };
+        // Sync every shard clock (lazy fast-path advancement may have
+        // left some behind) so the mirror is exact before retries.
+        report.retired += self.advance(self.now);
+        loop {
+            self.retry_parked();
+            if self.parked.is_empty() {
+                break;
+            }
+            match self.next_finish_all() {
+                Some(finish) => {
+                    report.retired += self.advance(finish);
+                    report.advanced_to = self.now;
+                }
+                None => {
+                    // Fleet fully drained and the head still does not
+                    // fit: it (and anything behind it) never will.
+                    while let Some(head) = self.parked.pop_front() {
+                        self.stats.shed_unplaceable += 1;
+                        report.shed_unplaceable += 1;
+                        self.verdict(
+                            head.ticket,
+                            Verdict::Shed {
+                                reason: ShedReason::Unplaceable,
+                            },
+                        );
+                    }
+                    break;
+                }
+            }
+        }
+        report
+    }
+
+    fn assemble_stats(&self) -> ServiceStats {
+        let shard_stats: Vec<ShardStats> = self
+            .shards
+            .iter()
+            .map(|tx| {
+                let (reply_tx, reply_rx) = channel();
+                if tx.send(ShardMsg::Stats { reply: reply_tx }).is_ok() {
+                    reply_rx.recv().unwrap_or_default()
+                } else {
+                    ShardStats::default()
+                }
+            })
+            .collect();
+        let coordinator_cache = self.global.model().cache_stats();
+        let mut aggregate_cache = coordinator_cache;
+        for s in &shard_stats {
+            aggregate_cache.merge(&s.cache);
+        }
+        ServiceStats {
+            submitted: self.stats.submitted,
+            shed_admission: 0, // filled in by the handle
+            shed_wait_queue: self.stats.shed_wait_queue,
+            shed_unplaceable: self.stats.shed_unplaceable,
+            admitted_local: self.stats.admitted_local,
+            admitted_cross_shard: self.stats.admitted_cross_shard,
+            admitted_after_wait: self.stats.admitted_after_wait,
+            parked: self.parked.len() as u64,
+            reserve_conflicts: self.stats.reserve_conflicts,
+            resident_vms: shard_stats.iter().map(|s| s.resident_vms).sum(),
+            estimated_energy: shard_stats
+                .iter()
+                .fold(Joules(0.0), |acc, s| acc + s.estimated_energy),
+            coordinator_cache,
+            aggregate_cache,
+            shards: shard_stats,
+            virtual_now: self.now,
+        }
+    }
+}
+
+/// Summary returned by [`replay_online`].
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Final service counters.
+    pub stats: ServiceStats,
+    /// Every `(ticket, verdict)` pair, in emission order.
+    pub verdicts: Vec<(u64, Verdict)>,
+    /// VM requests fed to the service.
+    pub requests: usize,
+    /// Total VMs across those requests.
+    pub vms: u64,
+}
+
+/// Feed a (submit-sorted) trace through a live service with blocking
+/// backpressure, then drain and shut down. Virtual time rides along
+/// with each request — shards advance their own clocks lazily — so the
+/// submitter never rendezvouses mid-trace and the coordinator can form
+/// real multi-request batches.
+pub fn replay_online(
+    db: &ModelDatabase,
+    config: ServiceConfig,
+    requests: &[VmRequest],
+) -> Result<ReplayReport, EavmError> {
+    let service = AllocService::start(db.clone(), config)?;
+    for request in requests {
+        service.submit(request.clone());
+    }
+    service.drain();
+    let mut verdicts = service.poll_verdicts();
+    let stats = service.shutdown();
+    verdicts.sort_by_key(|(ticket, _)| *ticket);
+    Ok(ReplayReport {
+        stats,
+        verdicts,
+        requests: requests.len(),
+        vms: requests.iter().map(|r| r.vm_count as u64).sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eavm_benchdb::DbBuilder;
+    use eavm_types::{JobId, WorkloadType};
+
+    fn db() -> ModelDatabase {
+        DbBuilder::exact().build().expect("db")
+    }
+
+    fn request(id: u32, submit: f64, ty: WorkloadType, vms: u32) -> VmRequest {
+        VmRequest {
+            id: JobId::new(id),
+            submit: Seconds(submit),
+            workload: ty,
+            vm_count: vms,
+            deadline: Seconds(6000.0),
+        }
+    }
+
+    #[test]
+    fn layout_splits_contiguously_and_evenly() {
+        assert_eq!(shard_layout(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(shard_layout(4, 4), vec![0..1, 1..2, 2..3, 3..4]);
+        assert_eq!(shard_layout(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn rejects_degenerate_configs() {
+        assert!(AllocService::start(db(), ServiceConfig::new(0, 4)).is_err());
+        assert!(AllocService::start(db(), ServiceConfig::new(8, 4)).is_err());
+    }
+
+    #[test]
+    fn fast_path_admits_on_an_empty_fleet() {
+        let service = AllocService::start(db(), ServiceConfig::new(2, 6)).expect("start");
+        service.advance_to(Seconds(0.0));
+        let t0 = service.submit(request(0, 0.0, WorkloadType::Cpu, 2));
+        let t1 = service.submit(request(1, 0.0, WorkloadType::Io, 1));
+        // Stats is a synchronous rendezvous: the submissions above are
+        // fully processed once it returns.
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.admitted_local, 2);
+        assert_eq!(stats.resident_vms, 3);
+        assert!(stats.estimated_energy.0 > 0.0);
+        let verdicts = service.poll_verdicts();
+        assert_eq!(verdicts.len(), 2);
+        for (ticket, v) in verdicts {
+            assert!(ticket == t0 || ticket == t1);
+            assert!(matches!(v, Verdict::Admitted { .. }), "got {v:?}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_takes_the_cross_shard_path() {
+        // One server per shard: any request larger than one server's OS
+        // bound for its type cannot be placed locally.
+        let mut config = ServiceConfig::new(2, 2);
+        config.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        let service = AllocService::start(db(), config).expect("start");
+        // Mem bound per server is 4 in the paper's OS limits; ask for 6.
+        let _t = service.submit(request(0, 0.0, WorkloadType::Mem, 6));
+        let stats = service.stats();
+        assert_eq!(stats.admitted_cross_shard, 1);
+        assert_eq!(stats.resident_vms, 6);
+        let verdicts = service.poll_verdicts();
+        assert!(
+            matches!(&verdicts[0].1, Verdict::AdmittedCrossShard { shards, .. } if shards.len() == 2),
+            "got {verdicts:?}"
+        );
+        let total: u32 = match &verdicts[0].1 {
+            Verdict::AdmittedCrossShard { placements, .. } => {
+                placements.iter().map(|p| p.add.total()).sum()
+            }
+            _ => 0,
+        };
+        assert_eq!(total, 6);
+        service.shutdown();
+    }
+
+    #[test]
+    fn saturated_fleet_parks_then_places_after_retirement() {
+        let mut config = ServiceConfig::new(1, 1);
+        config.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        let service = AllocService::start(db(), config).expect("start");
+        // Saturate the single server's CPU bound (10).
+        for i in 0..10 {
+            service.submit(request(i, 0.0, WorkloadType::Cpu, 1));
+        }
+        let t_parked = service.submit(request(10, 0.0, WorkloadType::Cpu, 1));
+        let stats = service.stats();
+        assert_eq!(stats.parked, 1);
+        let report = service.drain();
+        assert!(report.retired > 0);
+        assert_eq!(report.shed_unplaceable, 0);
+        let stats = service.stats();
+        assert_eq!(stats.parked, 0);
+        assert_eq!(stats.admitted_after_wait, 1);
+        let verdicts = service.poll_verdicts();
+        let mine: Vec<_> = verdicts
+            .iter()
+            .filter(|(t, _)| *t == t_parked)
+            .map(|(_, v)| v.clone())
+            .collect();
+        assert!(matches!(mine[0], Verdict::Queued { .. }), "got {mine:?}");
+        assert!(
+            matches!(mine[1], Verdict::AdmittedCrossShard { .. }),
+            "got {mine:?}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn unplaceable_request_is_shed_on_drain() {
+        let mut config = ServiceConfig::new(1, 1);
+        config.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        let service = AllocService::start(db(), config).expect("start");
+        // 11 CPU VMs in one request exceeds the fleet-wide OS bound (10).
+        let t = service.submit(request(0, 0.0, WorkloadType::Cpu, 11));
+        let report = service.drain();
+        assert_eq!(report.shed_unplaceable, 1);
+        let verdicts = service.poll_verdicts();
+        let shed = verdicts
+            .iter()
+            .any(|(ticket, v)| *ticket == t && matches!(v, Verdict::Shed { .. }));
+        assert!(shed, "got {verdicts:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn replay_places_every_vm_and_hits_the_cache() {
+        let requests: Vec<VmRequest> = (0..20)
+            .map(|i| {
+                let ty = WorkloadType::ALL[(i % 3) as usize];
+                request(i, (i as f64) * 50.0, ty, 1 + i % 3)
+            })
+            .collect();
+        let report = replay_online(&db(), ServiceConfig::new(2, 8), &requests).expect("replay");
+        assert_eq!(report.requests, 20);
+        let admitted = report.stats.admitted_local + report.stats.admitted_cross_shard;
+        assert_eq!(admitted + report.stats.shed_unplaceable, 20);
+        assert_eq!(report.stats.shed_unplaceable, 0);
+        assert!(report.stats.aggregate_cache.hits > 0, "cache never hit");
+        assert!(report.stats.estimated_energy.0 > 0.0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Shard workers: each shard is a `std::thread` owning a contiguous
+//! block of the fleet plus its own memoized allocator.
+//!
+//! A shard is the unit of state ownership — no locks, no sharing: the
+//! only way to observe or mutate a shard's servers is a message on its
+//! mailbox. The coordinator uses two kinds of traffic:
+//!
+//! * **Fast path** — [`ShardMsg::TryLocal`]: place a request entirely
+//!   within this shard's servers and commit immediately. Shards process
+//!   fast-path traffic for different requests in parallel.
+//! * **Slow path** — the two-phase [`ShardMsg::Reserve`] /
+//!   [`ShardMsg::Commit`] (or [`ShardMsg::Abort`]) sequence, which lets
+//!   the coordinator place one partition atomically across several
+//!   shards. A reservation carries the mixes the coordinator *expected*
+//!   from its fleet mirror; a shard Nacks when its state has moved on
+//!   (optimistic validation), and an aborted reservation rolls the
+//!   provisional mixes back exactly. Commit/Abort need no reply: the
+//!   mailbox is FIFO, so any later message observes the finished
+//!   reservation.
+//!
+//! All placement/retirement logic lives in [`ShardCore`], a plain
+//! single-threaded struct, so the two-phase protocol is unit-testable
+//! without spawning threads; the worker loop is a thin match over
+//! [`ShardMsg`].
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+
+use eavm_core::{
+    AllocationModel, AllocationStrategy, DbModel, OptimizationGoal, Placement, Proactive,
+    RequestView, ServerView,
+};
+use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId, WorkloadType};
+
+use crate::memo::{CacheStats, MemoModel};
+
+/// One VM resident on a shard server, with its estimated completion
+/// time (fixed at commit, from the post-placement mix).
+#[derive(Debug, Clone, Copy)]
+struct ResidentVm {
+    ty: WorkloadType,
+    finish: Seconds,
+}
+
+/// One server owned by a shard.
+#[derive(Debug, Clone)]
+struct SrvState {
+    id: ServerId,
+    mix: MixVector,
+    resident: Vec<ResidentVm>,
+}
+
+/// An acked-but-uncommitted cross-shard reservation: the adds are
+/// already folded into the server mixes (so concurrent searches see
+/// them); `placements` is kept to materialize or roll back.
+#[derive(Debug, Clone)]
+struct PendingReservation {
+    placements: Vec<Placement>,
+}
+
+/// Per-shard counters, snapshotted by [`ShardCore::stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStats {
+    /// Shard index within the service.
+    pub shard: usize,
+    /// Servers owned by this shard.
+    pub servers: usize,
+    /// VMs currently resident (committed, not yet retired).
+    pub resident_vms: usize,
+    /// Fast-path placements committed locally.
+    pub local_allocations: u64,
+    /// Fast-path attempts that found no local placement.
+    pub local_rejections: u64,
+    /// Cross-shard reservations acknowledged.
+    pub reserves_acked: u64,
+    /// Cross-shard reservations rejected on stale expected mixes.
+    pub reserves_nacked: u64,
+    /// Reservations committed.
+    pub commits: u64,
+    /// Reservations rolled back.
+    pub aborts: u64,
+    /// VMs retired by virtual-clock advances.
+    pub retired_vms: u64,
+    /// Speculative fleet-wide searches run on behalf of the coordinator.
+    pub global_searches: u64,
+    /// Sum of model-estimated dynamic energy of committed placements.
+    pub estimated_energy: Joules,
+    /// Memoization counters of this shard's model cache.
+    pub cache: CacheStats,
+}
+
+/// The single-threaded heart of a shard worker.
+pub(crate) struct ShardCore {
+    index: usize,
+    servers: Vec<SrvState>,
+    strategy: Proactive<MemoModel<DbModel>>,
+    clock: Seconds,
+    pending: HashMap<u64, PendingReservation>,
+    local_allocations: u64,
+    local_rejections: u64,
+    reserves_acked: u64,
+    reserves_nacked: u64,
+    commits: u64,
+    aborts: u64,
+    retired_vms: u64,
+    global_searches: u64,
+    estimated_energy: Joules,
+}
+
+impl ShardCore {
+    pub(crate) fn new(
+        index: usize,
+        server_ids: impl IntoIterator<Item = ServerId>,
+        strategy: Proactive<MemoModel<DbModel>>,
+    ) -> Self {
+        ShardCore {
+            index,
+            servers: server_ids
+                .into_iter()
+                .map(|id| SrvState {
+                    id,
+                    mix: MixVector::EMPTY,
+                    resident: Vec::new(),
+                })
+                .collect(),
+            strategy,
+            clock: Seconds(0.0),
+            pending: HashMap::new(),
+            local_allocations: 0,
+            local_rejections: 0,
+            reserves_acked: 0,
+            reserves_nacked: 0,
+            commits: 0,
+            aborts: 0,
+            retired_vms: 0,
+            global_searches: 0,
+            estimated_energy: Joules(0.0),
+        }
+    }
+
+    fn cpu_slots(&self) -> u32 {
+        self.strategy.model().cpu_slots()
+    }
+
+    /// Current state of this shard's servers as strategy views.
+    pub(crate) fn snapshot(&self) -> Vec<ServerView> {
+        let slots = self.cpu_slots();
+        self.servers
+            .iter()
+            .map(|s| ServerView {
+                id: s.id,
+                mix: s.mix,
+                platform: 0,
+                cpu_slots: slots,
+            })
+            .collect()
+    }
+
+    fn server_mut(&mut self, id: ServerId) -> Option<&mut SrvState> {
+        self.servers.iter_mut().find(|s| s.id == id)
+    }
+
+    /// Fold `add` into the server's mix and materialize resident VMs
+    /// with finish times estimated from the post-placement mix.
+    fn materialize(&mut self, placement: &Placement) -> Result<(), EavmError> {
+        let clock = self.clock;
+        // Per-type finish estimates come from the (already updated) mix.
+        let srv = self
+            .server_mut(placement.server)
+            .ok_or_else(|| EavmError::Infeasible(format!("unknown server {}", placement.server)))?;
+        let mix = srv.mix;
+        for (ty, count) in placement.add.iter().filter(|(_, count)| *count > 0) {
+            let finish = clock + self.strategy.model().exec_time(mix, ty)?;
+            let srv = self.server_mut(placement.server).expect("checked above");
+            for _ in 0..count {
+                srv.resident.push(ResidentVm { ty, finish });
+            }
+        }
+        Ok(())
+    }
+
+    /// Model-estimated dynamic energy delta of adding `add` onto `old`.
+    fn energy_delta(&self, old: MixVector, add: MixVector) -> Joules {
+        let model = self.strategy.model();
+        let before = if old.is_empty() {
+            Joules(0.0)
+        } else {
+            model.run_energy(old).unwrap_or(Joules(0.0))
+        };
+        let after = model.run_energy(old + add).unwrap_or(before);
+        after - before
+    }
+
+    /// Fast path: place `request` entirely inside this shard and commit
+    /// immediately. `None` means no feasible local placement.
+    pub(crate) fn try_local(&mut self, request: &RequestView) -> Option<Vec<Placement>> {
+        let views = self.snapshot();
+        match self.strategy.allocate(request, &views) {
+            Ok(placements) => {
+                for p in &placements {
+                    let old = self.server_mut(p.server).map(|s| s.mix)?;
+                    self.estimated_energy += self.energy_delta(old, p.add);
+                    self.server_mut(p.server)?.mix = old + p.add;
+                    self.materialize(p).ok()?;
+                }
+                self.local_allocations += 1;
+                Some(placements)
+            }
+            Err(_) => {
+                self.local_rejections += 1;
+                None
+            }
+        }
+    }
+
+    /// Speculative slow-path search on behalf of the coordinator: run
+    /// the partition search over a *fleet-wide* snapshot without
+    /// touching this shard's state. The coordinator validates the
+    /// proposal against live shard state via the two-phase reserve.
+    pub(crate) fn search_global(
+        &mut self,
+        request: &RequestView,
+        fleet: &[ServerView],
+    ) -> Option<Vec<Placement>> {
+        self.global_searches += 1;
+        self.strategy.allocate(request, fleet).ok()
+    }
+
+    /// Phase one of cross-shard placement: validate the coordinator's
+    /// snapshot and provisionally apply the adds. Returns `false` (Nack)
+    /// if any expected mix is stale; the shard state is untouched then.
+    pub(crate) fn reserve(
+        &mut self,
+        ticket: u64,
+        expected: &[(ServerId, MixVector)],
+        placements: Vec<Placement>,
+    ) -> bool {
+        let stale = expected.iter().any(|(id, mix)| {
+            self.servers
+                .iter()
+                .find(|s| s.id == *id)
+                .map(|s| s.mix != *mix)
+                .unwrap_or(true)
+        });
+        if stale || self.pending.contains_key(&ticket) {
+            self.reserves_nacked += 1;
+            return false;
+        }
+        for p in &placements {
+            if let Some(srv) = self.server_mut(p.server) {
+                srv.mix += p.add;
+            }
+        }
+        self.pending
+            .insert(ticket, PendingReservation { placements });
+        self.reserves_acked += 1;
+        true
+    }
+
+    /// Phase two, success: turn the reservation's provisional mixes into
+    /// resident VMs and account their energy.
+    pub(crate) fn commit(&mut self, ticket: u64) {
+        let Some(reservation) = self.pending.remove(&ticket) else {
+            return;
+        };
+        for p in &reservation.placements {
+            let new_mix = self.server_mut(p.server).map(|s| s.mix).unwrap_or_default();
+            if let Some(old) = new_mix.checked_sub(&p.add) {
+                self.estimated_energy += self.energy_delta(old, p.add);
+            }
+            let _ = self.materialize(p);
+        }
+        self.commits += 1;
+    }
+
+    /// Phase two, failure: roll the provisional mixes back exactly.
+    pub(crate) fn abort(&mut self, ticket: u64) {
+        let Some(reservation) = self.pending.remove(&ticket) else {
+            return;
+        };
+        for p in &reservation.placements {
+            if let Some(srv) = self.server_mut(p.server) {
+                srv.mix = srv
+                    .mix
+                    .checked_sub(&p.add)
+                    .expect("reserved adds are subtractable");
+            }
+        }
+        self.aborts += 1;
+    }
+
+    /// Advance the virtual clock, retiring every VM whose estimated
+    /// finish is at or before `t`. Returns the number retired plus the
+    /// per-server freed mixes (so the coordinator can keep its fleet
+    /// mirror exact without a snapshot round trip).
+    pub(crate) fn advance_to(&mut self, t: Seconds) -> (usize, Vec<(ServerId, MixVector)>) {
+        self.clock = self.clock.max(t);
+        let mut retired = 0;
+        let mut freed = Vec::new();
+        for srv in &mut self.servers {
+            let mut freed_here = MixVector::EMPTY;
+            srv.resident.retain(|vm| {
+                let done = vm.finish.0 <= t.0;
+                if done {
+                    freed_here += MixVector::single(vm.ty, 1);
+                }
+                !done
+            });
+            if !freed_here.is_empty() {
+                srv.mix = srv.mix.checked_sub(&freed_here).unwrap_or_default();
+                retired += freed_here.total() as usize;
+                freed.push((srv.id, freed_here));
+            }
+        }
+        self.retired_vms += retired as u64;
+        (retired, freed)
+    }
+
+    /// Earliest estimated VM completion on this shard, if any.
+    pub(crate) fn next_finish(&self) -> Option<Seconds> {
+        self.servers
+            .iter()
+            .flat_map(|s| s.resident.iter().map(|vm| vm.finish))
+            .reduce(Seconds::min)
+    }
+
+    pub(crate) fn stats(&self) -> ShardStats {
+        ShardStats {
+            shard: self.index,
+            servers: self.servers.len(),
+            resident_vms: self.servers.iter().map(|s| s.resident.len()).sum(),
+            local_allocations: self.local_allocations,
+            local_rejections: self.local_rejections,
+            reserves_acked: self.reserves_acked,
+            reserves_nacked: self.reserves_nacked,
+            commits: self.commits,
+            aborts: self.aborts,
+            retired_vms: self.retired_vms,
+            global_searches: self.global_searches,
+            estimated_energy: self.estimated_energy,
+            cache: self.strategy.model().cache_stats(),
+        }
+    }
+}
+
+/// Reply to [`ShardMsg::TryLocal`]: the committed placements (if the
+/// request fit locally) plus whatever the piggybacked clock advance
+/// retired, so the coordinator's fleet mirror stays exact without a
+/// separate advance fan-out per submission burst.
+pub(crate) struct TryLocalReply {
+    pub placements: Option<Vec<Placement>>,
+    pub freed: Vec<(ServerId, MixVector)>,
+}
+
+/// Mailbox protocol between coordinator and shard worker.
+pub(crate) enum ShardMsg {
+    /// Fast path: advance this shard's clock to the request's submit
+    /// instant, then attempt a fully-local placement, committing on
+    /// success.
+    TryLocal {
+        request: RequestView,
+        now: Seconds,
+        reply: Sender<TryLocalReply>,
+    },
+    /// Speculative fleet-wide search over a coordinator snapshot.
+    SearchGlobal {
+        request: RequestView,
+        fleet: Vec<ServerView>,
+        reply: Sender<Option<Vec<Placement>>>,
+    },
+    /// Two-phase reserve; `true` = Ack.
+    Reserve {
+        ticket: u64,
+        expected: Vec<(ServerId, MixVector)>,
+        placements: Vec<Placement>,
+        reply: Sender<bool>,
+    },
+    /// Commit a previously acked reservation (fire-and-forget).
+    Commit { ticket: u64 },
+    /// Roll back a previously acked reservation (fire-and-forget).
+    Abort { ticket: u64 },
+    /// Advance the virtual clock; replies with the number of retired
+    /// VMs and the per-server freed mixes.
+    AdvanceTo {
+        t: Seconds,
+        done: Sender<(usize, Vec<(ServerId, MixVector)>)>,
+    },
+    /// Earliest estimated completion on this shard.
+    NextFinish { reply: Sender<Option<Seconds>> },
+    /// Counter snapshot.
+    Stats { reply: Sender<ShardStats> },
+    /// Terminate the worker loop.
+    Shutdown,
+}
+
+/// The shard worker thread body: serve mailbox messages until shutdown.
+pub(crate) fn run_worker(mut core: ShardCore, rx: Receiver<ShardMsg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::TryLocal {
+                request,
+                now,
+                reply,
+            } => {
+                let (_, freed) = core.advance_to(now);
+                let _ = reply.send(TryLocalReply {
+                    placements: core.try_local(&request),
+                    freed,
+                });
+            }
+            ShardMsg::SearchGlobal {
+                request,
+                fleet,
+                reply,
+            } => {
+                let _ = reply.send(core.search_global(&request, &fleet));
+            }
+            ShardMsg::Reserve {
+                ticket,
+                expected,
+                placements,
+                reply,
+            } => {
+                let _ = reply.send(core.reserve(ticket, &expected, placements));
+            }
+            ShardMsg::Commit { ticket } => {
+                core.commit(ticket);
+            }
+            ShardMsg::Abort { ticket } => {
+                core.abort(ticket);
+            }
+            ShardMsg::AdvanceTo { t, done } => {
+                let _ = done.send(core.advance_to(t));
+            }
+            ShardMsg::NextFinish { reply } => {
+                let _ = reply.send(core.next_finish());
+            }
+            ShardMsg::Stats { reply } => {
+                let _ = reply.send(core.stats());
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+/// Build the per-shard allocator used by both shard workers and the
+/// coordinator's global search.
+pub(crate) fn build_strategy(
+    db: eavm_benchdb::ModelDatabase,
+    cache_capacity: usize,
+    goal: OptimizationGoal,
+    deadlines: [Seconds; 3],
+    qos_margin: f64,
+) -> Proactive<MemoModel<DbModel>> {
+    Proactive::new(
+        MemoModel::new(DbModel::new(db), cache_capacity),
+        goal,
+        deadlines,
+    )
+    .with_qos_margin(qos_margin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eavm_benchdb::DbBuilder;
+    use eavm_types::JobId;
+
+    fn deadlines() -> [Seconds; 3] {
+        [Seconds(6000.0), Seconds(6000.0), Seconds(6000.0)]
+    }
+
+    fn core(n: usize) -> ShardCore {
+        let db = DbBuilder::exact().build().expect("db");
+        let strategy = build_strategy(db, 256, OptimizationGoal::BALANCED, deadlines(), 1.0);
+        ShardCore::new(0, (0..n).map(ServerId::from), strategy)
+    }
+
+    fn request(id: u32, ty: WorkloadType, vms: u32) -> RequestView {
+        RequestView {
+            id: JobId::new(id),
+            workload: ty,
+            vm_count: vms,
+            deadline: deadlines()[ty.index()],
+        }
+    }
+
+    #[test]
+    fn try_local_commits_and_later_advance_retires() {
+        let mut core = core(2);
+        let placements = core
+            .try_local(&request(1, WorkloadType::Cpu, 3))
+            .expect("feasible on empty shard");
+        let placed: u32 = placements.iter().map(|p| p.add.total()).sum();
+        assert_eq!(placed, 3);
+        let stats = core.stats();
+        assert_eq!(stats.resident_vms, 3);
+        assert_eq!(stats.local_allocations, 1);
+        assert!(stats.estimated_energy.0 > 0.0);
+
+        let finish = core.next_finish().expect("resident vms have finishes");
+        assert!(finish.0 > 0.0);
+        // Advancing short of the earliest finish retires nothing.
+        let (retired, freed) = core.advance_to(Seconds(finish.0 / 2.0));
+        assert_eq!(retired, 0);
+        assert!(freed.is_empty());
+        // Advancing past the last finish empties the shard and reports
+        // the freed mixes per server.
+        let (retired, freed) = core.advance_to(Seconds(finish.0 * 100.0));
+        assert_eq!(retired, 3);
+        assert_eq!(freed.iter().map(|(_, m)| m.total()).sum::<u32>(), 3);
+        let stats = core.stats();
+        assert_eq!(stats.resident_vms, 0);
+        assert_eq!(stats.retired_vms, 3);
+        assert!(core.snapshot().iter().all(|s| s.mix.is_empty()));
+    }
+
+    #[test]
+    fn reserve_commit_materializes_and_reserve_abort_rolls_back() {
+        let mut core = core(2);
+        let target = ServerId::new(0);
+        let add = MixVector::new(2, 0, 0);
+        let expected = vec![(target, MixVector::EMPTY)];
+        let placement = Placement {
+            server: target,
+            add,
+        };
+
+        assert!(core.reserve(7, &expected, vec![placement]));
+        // The provisional mix is visible immediately.
+        assert_eq!(core.snapshot()[0].mix, add);
+        // ...but nothing is resident until commit.
+        assert_eq!(core.stats().resident_vms, 0);
+        core.commit(7);
+        assert_eq!(core.stats().resident_vms, 2);
+        assert_eq!(core.stats().commits, 1);
+
+        // A second reservation rolled back leaves the committed state.
+        assert!(core.reserve(8, &[(target, add)], vec![placement]));
+        core.abort(8);
+        assert_eq!(core.snapshot()[0].mix, add);
+        assert_eq!(core.stats().aborts, 1);
+        assert_eq!(core.stats().resident_vms, 2);
+    }
+
+    #[test]
+    fn stale_expected_mix_nacks_without_side_effects() {
+        let mut core = core(1);
+        let target = ServerId::new(0);
+        core.try_local(&request(1, WorkloadType::Mem, 1))
+            .expect("feasible");
+        let occupied = core.snapshot()[0].mix;
+        assert!(!occupied.is_empty());
+
+        // Coordinator's snapshot predates the fast-path commit.
+        let stale = vec![(target, MixVector::EMPTY)];
+        let ok = core.reserve(
+            9,
+            &stale,
+            vec![Placement {
+                server: target,
+                add: MixVector::new(1, 0, 0),
+            }],
+        );
+        assert!(!ok);
+        assert_eq!(core.stats().reserves_nacked, 1);
+        assert_eq!(core.snapshot()[0].mix, occupied);
+        // Ticket 9 left no pending state: a commit of it is a no-op.
+        core.commit(9);
+        assert_eq!(core.stats().commits, 0);
+    }
+
+    #[test]
+    fn local_infeasible_on_saturated_shard() {
+        let mut core = core(1);
+        // Fill the one server to its OS bound for CPU VMs.
+        let bound = core.strategy.model().max_mix().cpu;
+        for i in 0..bound {
+            // One at a time: each is feasible until the bound is hit.
+            if core.try_local(&request(i, WorkloadType::Cpu, 1)).is_none() {
+                break;
+            }
+        }
+        assert!(core.try_local(&request(99, WorkloadType::Cpu, 1)).is_none());
+        assert!(core.stats().local_rejections >= 1);
+    }
+}

@@ -3,12 +3,30 @@ use eavm_simulator::{CloudConfig, Simulation};
 use eavm_swf::VmRequest;
 use eavm_types::{JobId, Seconds, WorkloadType};
 fn main() {
-    let sim = Simulation::new(AnalyticModel::reference(), CloudConfig::new("T",1).unwrap()).with_timeline();
+    let sim = Simulation::new(
+        AnalyticModel::reference(),
+        CloudConfig::new("T", 1).unwrap(),
+    )
+    .with_timeline();
     let reqs = vec![
-        VmRequest { id: JobId::new(0), submit: Seconds(0.0), workload: WorkloadType::Cpu, vm_count: 1, deadline: Seconds(1e9) },
-        VmRequest { id: JobId::new(1), submit: Seconds(300.0), workload: WorkloadType::Io, vm_count: 1, deadline: Seconds(1e9) },
+        VmRequest {
+            id: JobId::new(0),
+            submit: Seconds(0.0),
+            workload: WorkloadType::Cpu,
+            vm_count: 1,
+            deadline: Seconds(1e9),
+        },
+        VmRequest {
+            id: JobId::new(1),
+            submit: Seconds(300.0),
+            workload: WorkloadType::Io,
+            vm_count: 1,
+            deadline: Seconds(1e9),
+        },
     ];
     let out = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
     println!("makespan={} last={}", out.makespan(), out.last_completion);
-    for iv in &out.timeline { println!("{:?} {} -> {} mix {}", iv.server, iv.start, iv.end, iv.mix); }
+    for iv in &out.timeline {
+        println!("{:?} {} -> {} mix {}", iv.server, iv.start, iv.end, iv.mix);
+    }
 }

@@ -322,13 +322,13 @@ impl<M: AllocationModel> Simulation<M> {
             // EDF: keep the queue ordered by absolute deadline so the
             // most urgent request is the head the drain works on.
             if self.queue_policy == QueuePolicy::Edf && queue.len() > 1 {
-                queue
-                    .make_contiguous()
-                    .sort_by(|&a, &b| {
-                        let da = requests[a].submit + requests[a].deadline;
-                        let db = requests[b].submit + requests[b].deadline;
-                        da.partial_cmp(&db).expect("finite deadlines").then(a.cmp(&b))
-                    });
+                queue.make_contiguous().sort_by(|&a, &b| {
+                    let da = requests[a].submit + requests[a].deadline;
+                    let db = requests[b].submit + requests[b].deadline;
+                    da.partial_cmp(&db)
+                        .expect("finite deadlines")
+                        .then(a.cmp(&b))
+                });
             }
 
             // Drain the queue as far as the strategy allows.
@@ -375,8 +375,16 @@ impl<M: AllocationModel> Simulation<M> {
                             owners.extend(std::iter::repeat_n(g, requests[g].vm_count as usize));
                         }
                         self.commit_placements(
-                            &placements, &owners, requests, t, &mut servers, &mut vms,
-                            &mut active, &mut total_vms, &mut total_wait, &mut peak_busy,
+                            &placements,
+                            &owners,
+                            requests,
+                            t,
+                            &mut servers,
+                            &mut vms,
+                            &mut active,
+                            &mut total_vms,
+                            &mut total_wait,
+                            &mut peak_busy,
                         )?;
                         for _ in 0..group.len() {
                             queue.pop_front();
@@ -403,8 +411,15 @@ impl<M: AllocationModel> Simulation<M> {
                                     .map_err(SimulationError::Strategy)?;
                                 let owners = vec![ridx; head.vm_count as usize];
                                 self.commit_placements(
-                                    &placements, &owners, requests, t, &mut servers,
-                                    &mut vms, &mut active, &mut total_vms, &mut total_wait,
+                                    &placements,
+                                    &owners,
+                                    requests,
+                                    t,
+                                    &mut servers,
+                                    &mut vms,
+                                    &mut active,
+                                    &mut total_vms,
+                                    &mut total_wait,
                                     &mut peak_busy,
                                 )?;
                                 queue.pop_front();
@@ -453,8 +468,16 @@ impl<M: AllocationModel> Simulation<M> {
                                 .map_err(SimulationError::Strategy)?;
                             let owners = vec![ridx; req.vm_count as usize];
                             self.commit_placements(
-                                &placements, &owners, requests, t, &mut servers, &mut vms,
-                                &mut active, &mut total_vms, &mut total_wait, &mut peak_busy,
+                                &placements,
+                                &owners,
+                                requests,
+                                t,
+                                &mut servers,
+                                &mut vms,
+                                &mut active,
+                                &mut total_vms,
+                                &mut total_wait,
+                                &mut peak_busy,
                             )?;
                             queue.remove(idx);
                         }
@@ -476,8 +499,8 @@ impl<M: AllocationModel> Simulation<M> {
             for s in &servers {
                 for &vid in &s.vms {
                     let vm = &vms[vid];
-                    let t_ty = s.times[vm.ty.index()]
-                        .expect("resident type must have a cached time");
+                    let t_ty =
+                        s.times[vm.ty.index()].expect("resident type must have a cached time");
                     let fin = t + t_ty * vm.remaining;
                     t_finish = Some(match t_finish {
                         Some(cur) => cur.min(fin),
@@ -727,13 +750,9 @@ impl<M: AllocationModel> Simulation<M> {
                     let model = self.model_of(servers[r].platform);
                     let new_mix = tentative[r].plus(ty);
                     match model.estimate_mix(new_mix) {
-                        Ok(est) => WorkloadType::ALL.into_iter().all(|t| {
-                            match est.time_of(t) {
-                                Some(time) => {
-                                    time <= model.solo_time(t) * cfg.max_slowdown
-                                }
-                                None => true,
-                            }
+                        Ok(est) => WorkloadType::ALL.into_iter().all(|t| match est.time_of(t) {
+                            Some(time) => time <= model.solo_time(t) * cfg.max_slowdown,
+                            None => true,
                         }),
                         Err(_) => false,
                     }
@@ -785,11 +804,16 @@ impl<M: AllocationModel> Simulation<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eavm_core::{AnalyticModel, FirstFit, OptimizationGoal, Proactive};
+    use eavm_core::{reference_cpu_slots, AnalyticModel, FirstFit, OptimizationGoal, Proactive};
     use eavm_types::JobId;
 
     fn model() -> AnalyticModel {
         AnalyticModel::reference()
+    }
+
+    /// Plain FIRST-FIT over the reference machine's core count.
+    fn ff() -> FirstFit {
+        FirstFit::ff(reference_cpu_slots())
     }
 
     fn req(id: u32, submit: f64, ty: WorkloadType, n: u32, deadline: f64) -> VmRequest {
@@ -809,7 +833,7 @@ mod tests {
     #[test]
     fn single_request_runs_at_solo_speed() {
         let sim = Simulation::new(model(), cloud(2));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 1, 1e9)];
         let out = sim.run(&mut ff, &reqs).unwrap();
         // One FFTW-like VM alone: makespan == solo runtime (1200 s).
@@ -822,7 +846,7 @@ mod tests {
     #[test]
     fn default_accounting_powers_only_busy_servers() {
         let sim = Simulation::new(model(), cloud(3));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 1, 1e9)];
         let out = sim.run(&mut ff, &reqs).unwrap();
         // One busy server draws its 125 W floor; the two empty servers
@@ -836,12 +860,16 @@ mod tests {
     #[test]
     fn always_on_fleet_charges_every_provisioned_server() {
         let sim = Simulation::new(model(), cloud(3)).with_always_on_fleet();
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 1, 1e9)];
         let out = sim.run(&mut ff, &reqs).unwrap();
         // Static floor: 3 servers × 125 W × makespan.
         let floor = 3.0 * 125.0 * out.makespan().value();
-        assert!(out.energy.value() > floor - 1e-6, "{} < {floor}", out.energy);
+        assert!(
+            out.energy.value() > floor - 1e-6,
+            "{} < {floor}",
+            out.energy
+        );
         assert!((out.idle_energy.value() - floor).abs() < 1e-3);
         assert!(out.idle_energy_fraction() > 0.5);
     }
@@ -849,7 +877,7 @@ mod tests {
     #[test]
     fn contended_vms_take_longer_than_solo() {
         let sim = Simulation::new(model(), cloud(1));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 4, 1e9)];
         let out = sim.run(&mut ff, &reqs).unwrap();
         assert!(out.makespan().value() > 1200.0);
@@ -861,13 +889,17 @@ mod tests {
         // One 4-slot server; two back-to-back 4-VM requests: the second
         // waits for the first to finish.
         let sim = Simulation::new(model(), cloud(1));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![
             req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
             req(1, 1.0, WorkloadType::Cpu, 4, 1e9),
         ];
         let out = sim.run(&mut ff, &reqs).unwrap();
-        assert!(out.mean_wait_time() > Seconds(100.0), "{}", out.mean_wait_time());
+        assert!(
+            out.mean_wait_time() > Seconds(100.0),
+            "{}",
+            out.mean_wait_time()
+        );
         assert_eq!(out.vms, 8);
         // Roughly two sequential batches.
         assert!(out.makespan().value() > 2.0 * 1200.0);
@@ -877,7 +909,7 @@ mod tests {
     fn sla_violations_are_counted_per_request() {
         // Deadline lower than the solo runtime: guaranteed violation.
         let sim = Simulation::new(model(), cloud(2));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![
             req(0, 0.0, WorkloadType::Cpu, 2, 600.0),
             req(1, 0.0, WorkloadType::Io, 1, 1e9),
@@ -893,7 +925,7 @@ mod tests {
         // A's realized time must lie between its solo time and the time
         // it would take if B had been present from the start.
         let sim = Simulation::new(model(), cloud(1));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![
             req(0, 0.0, WorkloadType::Cpu, 1, 1e9),
             req(1, 300.0, WorkloadType::Io, 1, 1e9),
@@ -940,7 +972,7 @@ mod tests {
     fn impossible_request_reports_stuck() {
         // 5 VMs can never fit a single 4-slot server under plain FF.
         let sim = Simulation::new(model(), cloud(1));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 5, 1e9)];
         match sim.run(&mut ff, &reqs) {
             Err(SimulationError::Stuck { request, .. }) => assert_eq!(request, 0),
@@ -951,7 +983,7 @@ mod tests {
     #[test]
     fn unsorted_or_empty_inputs_rejected() {
         let sim = Simulation::new(model(), cloud(1));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         assert!(matches!(
             sim.run(&mut ff, &[]),
             Err(SimulationError::Input(_))
@@ -980,8 +1012,8 @@ mod tests {
                 )
             })
             .collect();
-        let a = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
-        let b = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let a = sim.run(&mut ff(), &reqs).unwrap();
+        let b = sim.run(&mut ff(), &reqs).unwrap();
         assert_eq!(a, b);
     }
 
@@ -1020,7 +1052,7 @@ mod tests {
         // request can never fit, but the head alone can; the fallback
         // must place the head and queue the rest.
         let sim = Simulation::new(model(), cloud(1)).with_burst_allocation();
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![
             req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
             req(1, 0.0, WorkloadType::Cpu, 4, 1e9),
@@ -1048,8 +1080,8 @@ mod tests {
             max_slowdown: 1.8,
         });
 
-        let base = plain.run(&mut FirstFit::ff(4), &reqs).unwrap();
-        let merged = migrating.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let base = plain.run(&mut ff(), &reqs).unwrap();
+        let merged = migrating.run(&mut ff(), &reqs).unwrap();
 
         assert_eq!(base.migrations, 0);
         assert!(merged.migrations >= 1, "sweep never fired");
@@ -1078,7 +1110,7 @@ mod tests {
             check_interval: Seconds(100.0),
             ..Default::default()
         });
-        let out = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let out = sim.run(&mut ff(), &reqs).unwrap();
         assert_eq!(out.migrations, 0);
         assert_eq!(out.vms, 2);
     }
@@ -1101,11 +1133,13 @@ mod tests {
 
         // 12 CPU VMs under plain FF: the hetero fleet fits them as 4 + 8;
         // the homogeneous pair can only hold 8 at a time and must queue.
-        let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
-                        req(1, 0.0, WorkloadType::Cpu, 4, 1e9),
-                        req(2, 0.0, WorkloadType::Cpu, 4, 1e9)];
-        let h = hetero.run(&mut FirstFit::ff(4), &reqs).unwrap();
-        let o = homo.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
+            req(1, 0.0, WorkloadType::Cpu, 4, 1e9),
+            req(2, 0.0, WorkloadType::Cpu, 4, 1e9),
+        ];
+        let h = hetero.run(&mut ff(), &reqs).unwrap();
+        let o = homo.run(&mut ff(), &reqs).unwrap();
         assert_eq!(h.vms, 12);
         assert!(
             h.mean_wait_time() < o.mean_wait_time(),
@@ -1164,7 +1198,7 @@ mod tests {
     #[test]
     fn per_type_violations_and_busy_seconds_are_tracked() {
         let sim = Simulation::new(model(), cloud(2));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         // The CPU request's deadline is impossible; the IO one is lax.
         // 2 CPU + 4 IO VMs overflow the first 4-slot server, so two
         // servers host VMs for part of the run.
@@ -1190,7 +1224,7 @@ mod tests {
         // finishes first (1200 s base vs the IO VM's 900 s joined late),
         // leaving three intervals: (1,0,0), (1,0,1), (0,0,1).
         let sim = Simulation::new(model(), cloud(1)).with_timeline();
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![
             req(0, 0.0, WorkloadType::Cpu, 1, 1e9),
             req(1, 400.0, WorkloadType::Io, 1, 1e9),
@@ -1215,7 +1249,7 @@ mod tests {
     #[test]
     fn timeline_is_empty_unless_enabled() {
         let sim = Simulation::new(model(), cloud(1));
-        let mut ff = FirstFit::ff(4);
+        let mut ff = ff();
         let reqs = vec![req(0, 0.0, WorkloadType::Cpu, 1, 1e9)];
         let out = sim.run(&mut ff, &reqs).unwrap();
         assert!(out.timeline.is_empty());
@@ -1232,11 +1266,11 @@ mod tests {
             req(2, 2.0, WorkloadType::Io, 2, 1e9),
         ];
         let fifo = Simulation::new(model(), cloud(1))
-            .run(&mut FirstFit::ff(4), &reqs)
+            .run(&mut ff(), &reqs)
             .unwrap();
         let backfill = Simulation::new(model(), cloud(1))
             .with_backfill(8)
-            .run(&mut FirstFit::ff(4), &reqs)
+            .run(&mut ff(), &reqs)
             .unwrap();
         assert_eq!(fifo.vms, 8);
         assert_eq!(backfill.vms, 8);
@@ -1262,11 +1296,11 @@ mod tests {
         ];
         let narrow = Simulation::new(model(), cloud(1))
             .with_backfill(1)
-            .run(&mut FirstFit::ff(4), &reqs)
+            .run(&mut ff(), &reqs)
             .unwrap();
         let wide = Simulation::new(model(), cloud(1))
             .with_backfill(8)
-            .run(&mut FirstFit::ff(4), &reqs)
+            .run(&mut ff(), &reqs)
             .unwrap();
         assert_eq!(narrow.vms, wide.vms);
         assert!(
@@ -1285,11 +1319,11 @@ mod tests {
             req(2, 2.0, WorkloadType::Cpu, 4, 3000.0), // urgent
         ];
         let fifo = Simulation::new(model(), cloud(1))
-            .run(&mut FirstFit::ff(4), &reqs)
+            .run(&mut ff(), &reqs)
             .unwrap();
         let edf = Simulation::new(model(), cloud(1))
             .with_edf()
-            .run(&mut FirstFit::ff(4), &reqs)
+            .run(&mut ff(), &reqs)
             .unwrap();
         assert_eq!(fifo.vms, edf.vms);
         // FIFO: the urgent request waits two batches (~2800 s) and misses
@@ -1304,7 +1338,7 @@ mod tests {
             .map(|i| req(i, 0.0, WorkloadType::Cpu, 4, 1e9))
             .collect();
         let sim = Simulation::new(model(), cloud(6));
-        let ff = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();
+        let ff = sim.run(&mut ff(), &reqs).unwrap();
         let ff3 = sim.run(&mut FirstFit::with_multiplex(4, 3), &reqs).unwrap();
         assert!(ff3.peak_servers_busy < ff.peak_servers_busy);
         // Packing 12 CPU-heavy VMs per server crosses the thrash cliff:

@@ -10,27 +10,25 @@ use eavm_types::{JobId, MixVector, Seconds, WorkloadType};
 use proptest::prelude::*;
 
 fn arb_requests() -> impl Strategy<Value = Vec<VmRequest>> {
-    proptest::collection::vec(
-        (0.0f64..5_000.0, 0usize..3, 1u32..=4, 1.0f64..10.0),
-        1..25,
+    proptest::collection::vec((0.0f64..5_000.0, 0usize..3, 1u32..=4, 1.0f64..10.0), 1..25).prop_map(
+        |specs| {
+            let mut t = 0.0;
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (gap, ty, n, slack))| {
+                    t += gap;
+                    VmRequest {
+                        id: JobId::from(i),
+                        submit: Seconds(t),
+                        workload: WorkloadType::from_index(ty),
+                        vm_count: n,
+                        deadline: Seconds(1_200.0 * slack),
+                    }
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        let mut t = 0.0;
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (gap, ty, n, slack))| {
-                t += gap;
-                VmRequest {
-                    id: JobId::from(i),
-                    submit: Seconds(t),
-                    workload: WorkloadType::from_index(ty),
-                    vm_count: n,
-                    deadline: Seconds(1_200.0 * slack),
-                }
-            })
-            .collect()
-    })
 }
 
 proptest! {

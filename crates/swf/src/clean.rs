@@ -59,7 +59,10 @@ pub fn clean_trace(trace: &mut SwfTrace) -> CleaningReport {
         true
     });
 
-    let sorted = trace.jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time);
+    let sorted = trace
+        .jobs
+        .windows(2)
+        .all(|w| w[0].submit_time <= w[1].submit_time);
     if !sorted {
         trace.jobs.sort_by_key(|j| j.submit_time);
         report.reordered = true;
@@ -107,8 +110,8 @@ mod tests {
         let mut t = SwfTrace {
             header: vec![],
             jobs: vec![
-                job(1, 0, -1, 1, JobStatus::Completed),  // no runtime
-                job(2, 0, 100, 0, JobStatus::Completed), // no processors
+                job(1, 0, -1, 1, JobStatus::Completed),   // no runtime
+                job(2, 0, 100, 0, JobStatus::Completed),  // no processors
                 job(3, -5, 100, 1, JobStatus::Completed), // negative submit
                 job(4, 0, 100, 1, JobStatus::Completed),
             ],

@@ -187,7 +187,10 @@ impl TraceGenerator {
             header: vec![
                 "Version: 2.2".into(),
                 "Computer: synthetic EGEE-like grid (eavm-swf generator)".into(),
-                format!("Note: seed={} jobs={}", self.config.seed, self.config.total_jobs),
+                format!(
+                    "Note: seed={} jobs={}",
+                    self.config.seed, self.config.total_jobs
+                ),
             ],
             jobs,
         }
@@ -257,7 +260,10 @@ mod tests {
         let median = runtimes[runtimes.len() / 2] as f64;
         let p95 = runtimes[runtimes.len() * 95 / 100] as f64;
         assert!((500.0..2_000.0).contains(&median), "median={median}");
-        assert!(p95 > 2.0 * median, "tail missing: p95={p95} median={median}");
+        assert!(
+            p95 > 2.0 * median,
+            "tail missing: p95={p95} median={median}"
+        );
         assert!(*runtimes.first().unwrap() >= 60);
         assert!(*runtimes.last().unwrap() <= 8 * 3600);
     }

@@ -228,10 +228,18 @@ mod tests {
         let t = g.generate();
         let s = TraceStats::of(&t);
         // Burst sizes uniform 1..=5 => mean ~3.
-        assert!((s.mean_burst_size - 3.0).abs() < 0.25, "{}", s.mean_burst_size);
+        assert!(
+            (s.mean_burst_size - 3.0).abs() < 0.25,
+            "{}",
+            s.mean_burst_size
+        );
         // Mean gap tracks the configured scale (diurnal modulation skews
         // it somewhat).
-        assert!((60.0..140.0).contains(&s.mean_burst_gap_s), "{}", s.mean_burst_gap_s);
+        assert!(
+            (60.0..140.0).contains(&s.mean_burst_gap_s),
+            "{}",
+            s.mean_burst_gap_s
+        );
         let (ok, failed, cancelled, _) = s.status_mix;
         assert!(ok > failed + cancelled);
     }

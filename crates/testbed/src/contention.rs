@@ -89,11 +89,7 @@ impl ContentionModel {
     }
 
     /// Phase-weighted contention slowdown of VM `i` within the set (≥ 1).
-    pub fn contention_slowdown(
-        server: &ServerSpec,
-        vms: &[&ApplicationProfile],
-        i: usize,
-    ) -> f64 {
+    pub fn contention_slowdown(server: &ServerSpec, vms: &[&ApplicationProfile], i: usize) -> f64 {
         let r = Self::pressure(server, vms);
         let me = vms[i];
         Subsystem::ALL
@@ -195,7 +191,9 @@ mod tests {
             let vms: Vec<_> = std::iter::repeat_n(&fftw, n).collect();
             m.projected_time(&server(), &vms, 0).value() / n as f64
         };
-        let best_n = (1..=16).min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap()).unwrap();
+        let best_n = (1..=16)
+            .min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap())
+            .unwrap();
         assert!(
             (8..=10).contains(&best_n),
             "optimal FFTW consolidation should be ~9 VMs, got {best_n}"

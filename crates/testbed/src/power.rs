@@ -58,7 +58,10 @@ mod tests {
         let s = ServerSpec::reference_rack_server();
         let full = PerSubsystem([1.0; 4]);
         let over = PerSubsystem([3.0; 4]);
-        assert_eq!(PowerModel::power_at(&s, &full), PowerModel::power_at(&s, &over));
+        assert_eq!(
+            PowerModel::power_at(&s, &full),
+            PowerModel::power_at(&s, &over)
+        );
         assert!((PowerModel::power_at(&s, &full).value() - s.peak_power_watts()).abs() < 1e-9);
     }
 

@@ -282,8 +282,8 @@ mod tests {
         ];
         let mut meter = PowerMeter::watts_up(123);
         let out = sim.run(&vms, Some(&mut meter));
-        let rel = (out.energy_measured.value() - out.energy_true.value()).abs()
-            / out.energy_true.value();
+        let rel =
+            (out.energy_measured.value() - out.energy_true.value()).abs() / out.energy_true.value();
         assert!(rel < 0.02, "meter error too large: {rel}");
         assert!(out.max_power > Watts::ZERO);
     }

@@ -88,7 +88,9 @@ impl PerSubsystem {
 
     /// Iterate `(subsystem, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Subsystem, f64)> + '_ {
-        Subsystem::ALL.into_iter().map(move |s| (s, self.0[s.index()]))
+        Subsystem::ALL
+            .into_iter()
+            .map(move |s| (s, self.0[s.index()]))
     }
 
     /// Sum of all components.

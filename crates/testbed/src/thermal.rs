@@ -183,7 +183,10 @@ mod tests {
         ];
         let out = m.evaluate(&trace, Seconds(3_000.0), m.ambient_c, Seconds(1.0));
         let last = out.samples.last().unwrap().temp_c;
-        assert!((last - 45.0).abs() < 0.1, "must cool to the idle steady state");
+        assert!(
+            (last - 45.0).abs() < 0.1,
+            "must cool to the idle steady state"
+        );
         assert!(out.peak_c > 60.0, "must have heated up first");
     }
 
@@ -196,8 +199,18 @@ mod tests {
         let light = sim.run_clones(&fftw, 2, None);
         let heavy = sim.run_clones(&fftw, 12, None);
         let m = ThermalModel::default();
-        let t_light = m.evaluate(&light.power_trace, light.makespan, m.ambient_c, Seconds(5.0));
-        let t_heavy = m.evaluate(&heavy.power_trace, heavy.makespan, m.ambient_c, Seconds(5.0));
+        let t_light = m.evaluate(
+            &light.power_trace,
+            light.makespan,
+            m.ambient_c,
+            Seconds(5.0),
+        );
+        let t_heavy = m.evaluate(
+            &heavy.power_trace,
+            heavy.makespan,
+            m.ambient_c,
+            Seconds(5.0),
+        );
         assert!(t_heavy.peak_c > t_light.peak_c);
     }
 }

@@ -11,14 +11,14 @@ use proptest::prelude::*;
 /// A bounded random application profile that always validates.
 fn arb_profile() -> impl Strategy<Value = ApplicationProfile> {
     (
-        0.05f64..1.0,   // cpu demand (cores)
-        0.0f64..3.0,    // mem bandwidth GB/s
-        0.0f64..80.0,   // disk MB/s
-        0.0f64..100.0,  // net MB/s
-        50.0f64..900.0, // footprint MB
-        0.0f64..0.6,    // serial fraction
+        0.05f64..1.0,     // cpu demand (cores)
+        0.0f64..3.0,      // mem bandwidth GB/s
+        0.0f64..80.0,     // disk MB/s
+        0.0f64..100.0,    // net MB/s
+        50.0f64..900.0,   // footprint MB
+        0.0f64..0.6,      // serial fraction
         120.0f64..3000.0, // base runtime
-        0usize..3,      // class
+        0usize..3,        // class
     )
         .prop_map(|(cpu, mem, disk, net, foot, serial, runtime, class)| {
             // Phase weights proportional to normalized demands (plus a CPU

@@ -62,7 +62,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(EavmError::Parse("x".into()).to_string().contains("parse"));
-        assert!(EavmError::ModelMiss("k".into()).to_string().contains("miss"));
+        assert!(EavmError::ModelMiss("k".into())
+            .to_string()
+            .contains("miss"));
         assert!(EavmError::Infeasible("v".into())
             .to_string()
             .contains("infeasible"));

@@ -24,7 +24,11 @@ pub struct MixVector {
 
 impl MixVector {
     /// The empty allocation (no VMs).
-    pub const EMPTY: MixVector = MixVector { cpu: 0, mem: 0, io: 0 };
+    pub const EMPTY: MixVector = MixVector {
+        cpu: 0,
+        mem: 0,
+        io: 0,
+    };
 
     /// Construct from explicit per-type counts.
     #[inline]
@@ -116,9 +120,8 @@ impl MixVector {
     /// space of the paper's combined benchmarking phase.
     pub fn space(bounds: MixVector) -> impl Iterator<Item = MixVector> {
         (0..=bounds.cpu).flat_map(move |cpu| {
-            (0..=bounds.mem).flat_map(move |mem| {
-                (0..=bounds.io).map(move |io| MixVector { cpu, mem, io })
-            })
+            (0..=bounds.mem)
+                .flat_map(move |mem| (0..=bounds.io).map(move |io| MixVector { cpu, mem, io }))
         })
     }
 }

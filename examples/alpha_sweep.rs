@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     let mut trace = generator.generate();
     clean_trace(&mut trace);
-    let adapt_cfg = AdaptConfig { qos_factor: 3.0, ..AdaptConfig::paper(21, solo) };
+    let adapt_cfg = AdaptConfig {
+        qos_factor: 3.0,
+        ..AdaptConfig::paper(21, solo)
+    };
     let mut requests = adapt_trace(&trace, &adapt_cfg);
     eavm::swf::truncate_to_vm_total(&mut requests, 1_200);
 
@@ -38,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..=10 {
         let alpha = i as f64 / 10.0;
         let goal = OptimizationGoal::new(alpha)?;
-        let mut pa = Proactive::new(DbModel::new(db.clone()), goal, deadlines)
-            .with_qos_margin(0.65);
+        let mut pa =
+            Proactive::new(DbModel::new(db.clone()), goal, deadlines).with_qos_margin(0.65);
         let sim = Simulation::new(ground_truth.clone(), cloud.clone());
         let out = sim.run(&mut pa, &requests)?;
         println!(

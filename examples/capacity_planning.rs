@@ -22,7 +22,10 @@ fn build_workload(db: &ModelDatabase) -> (Vec<VmRequest>, [Seconds; 3]) {
     .unwrap();
     let mut trace = generator.generate();
     clean_trace(&mut trace);
-    let cfg = AdaptConfig { qos_factor: 3.0, ..AdaptConfig::paper(55, solo) };
+    let cfg = AdaptConfig {
+        qos_factor: 3.0,
+        ..AdaptConfig::paper(55, solo)
+    };
     let mut requests = adapt_trace(&trace, &cfg);
     eavm::swf::truncate_to_vm_total(&mut requests, 2_500);
     let deadlines = [
@@ -41,8 +44,12 @@ fn sla_at(
 ) -> SimOutcome {
     let cloud = CloudConfig::new(format!("N{servers}"), servers).unwrap();
     let sim = Simulation::new(AnalyticModel::reference(), cloud);
-    let mut pa = Proactive::new(DbModel::new(db.clone()), OptimizationGoal::BALANCED, deadlines)
-        .with_qos_margin(0.65);
+    let mut pa = Proactive::new(
+        DbModel::new(db.clone()),
+        OptimizationGoal::BALANCED,
+        deadlines,
+    )
+    .with_qos_margin(0.65);
     sim.run(&mut pa, requests).unwrap()
 }
 

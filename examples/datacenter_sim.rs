@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.kept, report.failed, report.cancelled, report.anomalies
     );
 
-    let adapt_cfg = AdaptConfig { qos_factor: 3.0, ..AdaptConfig::paper(7, solo) };
+    let adapt_cfg = AdaptConfig {
+        qos_factor: 3.0,
+        ..AdaptConfig::paper(7, solo)
+    };
     let mut requests = adapt_trace(&trace, &adapt_cfg);
     eavm::swf::truncate_to_vm_total(&mut requests, 1_500);
     println!(
@@ -53,8 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "FF" => Box::new(FirstFit::ff(4)),
             "FF-2" => Box::new(FirstFit::with_multiplex(4, 2)),
             "PA-1" => Box::new(
-                Proactive::new(DbModel::new(db.clone()), OptimizationGoal::ENERGY, deadlines)
-                    .with_qos_margin(0.65),
+                Proactive::new(
+                    DbModel::new(db.clone()),
+                    OptimizationGoal::ENERGY,
+                    deadlines,
+                )
+                .with_qos_margin(0.65),
             ),
             _ => Box::new(
                 Proactive::new(

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     let mut trace = generator.generate();
     clean_trace(&mut trace);
-    let cfg = AdaptConfig { qos_factor: 3.0, ..AdaptConfig::paper(33, solo) };
+    let cfg = AdaptConfig {
+        qos_factor: 3.0,
+        ..AdaptConfig::paper(33, solo)
+    };
     let mut requests = adapt_trace(&trace, &cfg);
     eavm::swf::truncate_to_vm_total(&mut requests, 900);
     let deadlines = [
@@ -96,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         deadlines,
     )
     .with_qos_margin(0.65);
-    show("PA-0.5 platform-aware", fleet("HET").run(&mut aware, &requests)?);
+    show(
+        "PA-0.5 platform-aware",
+        fleet("HET").run(&mut aware, &requests)?,
+    );
 
     println!(
         "\nSee `cargo run --release -p eavm-bench --bin hetero_fleet` for the full-scale\n\

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rule = ClassificationRule::default();
 
     println!("== profiling the benchmark suite ==");
-    println!("{:<18} {:>6} {:>6} {:>6} {:>6}   classification", "benchmark", "cpu%", "mem%", "disk%", "net%");
+    println!(
+        "{:<18} {:>6} {:>6} {:>6} {:>6}   classification",
+        "benchmark", "cpu%", "mem%", "disk%", "net%"
+    );
     for app in suite.all() {
         let samples = profiler.profile(app);
         let avg = Profiler::average(&samples);

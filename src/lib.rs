@@ -56,6 +56,7 @@
 pub use eavm_benchdb as benchdb;
 pub use eavm_core as core;
 pub use eavm_partitions as partitions;
+pub use eavm_service as service;
 pub use eavm_simulator as simulator;
 pub use eavm_swf as swf;
 pub use eavm_testbed as testbed;
@@ -72,8 +73,7 @@ pub mod prelude {
     pub use eavm_partitions::{multiset_partitions, BoundedPartitions, SetPartitions};
     pub use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
     pub use eavm_swf::{
-        adapt_trace, clean_trace, AdaptConfig, GeneratorConfig, SwfTrace, TraceGenerator,
-        VmRequest,
+        adapt_trace, clean_trace, AdaptConfig, GeneratorConfig, SwfTrace, TraceGenerator, VmRequest,
     };
     pub use eavm_testbed::{
         ApplicationProfile, BenchmarkSuite, ContentionModel, PowerMeter, PowerModel, Profiler,

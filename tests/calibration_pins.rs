@@ -58,7 +58,9 @@ fn fig2_shape_is_pinned() {
     let sim = RunSimulator::reference();
     let fftw = ApplicationProfile::fftw();
     let avg = |n: usize| sim.run_clones(&fftw, n, None).avg_time_per_vm().value();
-    let best = (1..=16).min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap()).unwrap();
+    let best = (1..=16)
+        .min_by(|&a, &b| avg(a).partial_cmp(&avg(b)).unwrap())
+        .unwrap();
     assert_eq!(best, 10, "FFTW optimum moved");
     close(avg(10), 293.7675, "avg(10)");
     assert!(avg(12) / avg(10) > 2.0, "post-cliff degradation weakened");

@@ -48,9 +48,18 @@ fn every_strategy_completes_the_whole_workload() {
         Box::new(FirstFit::ff(4)),
         Box::new(FirstFit::with_multiplex(4, 2)),
         Box::new(FirstFit::with_multiplex(4, 3)),
-        Box::new(Proactive::new(DbModel::new(db.clone()), OptimizationGoal::ENERGY, dl).with_qos_margin(0.65)),
-        Box::new(Proactive::new(DbModel::new(db.clone()), OptimizationGoal::PERFORMANCE, dl).with_qos_margin(0.65)),
-        Box::new(Proactive::new(DbModel::new(db.clone()), OptimizationGoal::BALANCED, dl).with_qos_margin(0.65)),
+        Box::new(
+            Proactive::new(DbModel::new(db.clone()), OptimizationGoal::ENERGY, dl)
+                .with_qos_margin(0.65),
+        ),
+        Box::new(
+            Proactive::new(DbModel::new(db.clone()), OptimizationGoal::PERFORMANCE, dl)
+                .with_qos_margin(0.65),
+        ),
+        Box::new(
+            Proactive::new(DbModel::new(db.clone()), OptimizationGoal::BALANCED, dl)
+                .with_qos_margin(0.65),
+        ),
     ];
     for strategy in &mut strategies {
         let sim = Simulation::new(ground_truth.clone(), cloud.clone());
@@ -82,8 +91,8 @@ fn proactive_dominates_ff3_under_load() {
     let mut ff3 = FirstFit::with_multiplex(4, 3);
     let ff3_out = sim.run(&mut ff3, &requests).unwrap();
 
-    let mut pa = Proactive::new(DbModel::new(db), OptimizationGoal::BALANCED, dl)
-        .with_qos_margin(0.65);
+    let mut pa =
+        Proactive::new(DbModel::new(db), OptimizationGoal::BALANCED, dl).with_qos_margin(0.65);
     let pa_out = sim.run(&mut pa, &requests).unwrap();
 
     assert!(

@@ -44,8 +44,12 @@ fn burst_allocation_preserves_workload_and_measures_same_requests() {
 
     let per_request = {
         let sim = Simulation::new(AnalyticModel::reference(), cloud.clone());
-        let mut pa = Proactive::new(DbModel::new(db.clone()), OptimizationGoal::BALANCED, deadlines)
-            .with_qos_margin(0.65);
+        let mut pa = Proactive::new(
+            DbModel::new(db.clone()),
+            OptimizationGoal::BALANCED,
+            deadlines,
+        )
+        .with_qos_margin(0.65);
         sim.run(&mut pa, &reqs).unwrap()
     };
     let per_burst = {
@@ -77,7 +81,11 @@ fn migration_preserves_workload_under_load() {
     let out = sim.run(&mut pa, &reqs).unwrap();
     assert_eq!(out.vms as u32, reqs.iter().map(|r| r.vm_count).sum::<u32>());
     // PROACTIVE leaves few stragglers, so migrations should be rare.
-    assert!(out.migrations < out.vms / 4, "{} migrations", out.migrations);
+    assert!(
+        out.migrations < out.vms / 4,
+        "{} migrations",
+        out.migrations
+    );
 }
 
 #[test]
@@ -104,8 +112,8 @@ fn learned_model_allocator_completes_the_workload() {
     let learned = eavm::core::learned::LearnedModel::fit(&db).unwrap();
     let cloud = CloudConfig::new("ML", 7).unwrap();
     let sim = Simulation::new(AnalyticModel::reference(), cloud);
-    let mut pa = Proactive::new(learned, OptimizationGoal::BALANCED, deadlines)
-        .with_qos_margin(0.65);
+    let mut pa =
+        Proactive::new(learned, OptimizationGoal::BALANCED, deadlines).with_qos_margin(0.65);
     let out = sim.run(&mut pa, &reqs).unwrap();
     assert_eq!(out.vms as u32, reqs.iter().map(|r| r.vm_count).sum::<u32>());
     assert!(out.sla_violations <= out.requests);
@@ -120,8 +128,11 @@ fn heterogeneous_fleet_completes_and_reports_platform_capacity() {
         &BenchmarkSuite::standard(),
         MixVector::new(24, 24, 24),
     );
-    let sim = Simulation::new(AnalyticModel::reference(), CloudConfig::new("HET", 4).unwrap())
-        .with_platform(big_truth, 2);
+    let sim = Simulation::new(
+        AnalyticModel::reference(),
+        CloudConfig::new("HET", 4).unwrap(),
+    )
+    .with_platform(big_truth, 2);
     let mut pa = Proactive::new(DbModel::new(db), OptimizationGoal::BALANCED, deadlines)
         .with_qos_margin(0.65);
     let out = sim.run(&mut pa, &reqs).unwrap();
@@ -140,5 +151,8 @@ fn best_fit_completes_and_stays_close_to_first_fit() {
     let bf = sim.run(&mut eavm::core::BestFit::bf(4), &reqs).unwrap();
     assert_eq!(ff.vms, bf.vms);
     let rel = (bf.makespan() / ff.makespan() - 1.0).abs();
-    assert!(rel < 0.15, "count-blind heuristics should track each other: {rel}");
+    assert!(
+        rel < 0.15,
+        "count-blind heuristics should track each other: {rel}"
+    );
 }

@@ -104,7 +104,10 @@ fn headline_shapes_hold_under_load() {
         "PA-1 energy saving {saving:.3} out of the expected band"
     );
     assert!(m.pa1.energy < m.pa0.energy);
-    assert!(m.pa05.energy < m.pa0.energy, "balanced between the extremes");
+    assert!(
+        m.pa05.energy < m.pa0.energy,
+        "balanced between the extremes"
+    );
     for ff in [&m.ff2, &m.ff3] {
         assert!(m.pa1.energy < ff.energy);
     }

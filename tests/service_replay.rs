@@ -1,0 +1,82 @@
+//! Integration: the service's deterministic replay mode is bit-exact
+//! against the batch simulator. The memoization layer in front of the
+//! model must be semantically transparent — `replay_deterministic`
+//! (Proactive over the memoized DbModel) and a plain `Simulation::run`
+//! (Proactive over the bare DbModel) must make the same allocation
+//! decisions, interval for interval, and report the same total energy,
+//! while the cache demonstrably shortcuts repeat lookups.
+
+use eavm::prelude::*;
+use eavm::service::{replay_deterministic, DeterministicConfig};
+
+fn build_requests(seed: u64, total_vms: u32, solo: [Seconds; 3]) -> Vec<VmRequest> {
+    let mut generator = TraceGenerator::new(GeneratorConfig {
+        seed,
+        total_jobs: (total_vms as usize) / 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let mut trace = generator.generate();
+    clean_trace(&mut trace);
+    let cfg = AdaptConfig {
+        qos_factor: 3.0,
+        ..AdaptConfig::paper(seed, solo)
+    };
+    let mut requests = adapt_trace(&trace, &cfg);
+    eavm::swf::truncate_to_vm_total(&mut requests, total_vms);
+    requests
+}
+
+fn deadlines(db: &ModelDatabase, factor: f64) -> [Seconds; 3] {
+    [
+        db.aux().solo_time(WorkloadType::Cpu) * factor,
+        db.aux().solo_time(WorkloadType::Mem) * factor,
+        db.aux().solo_time(WorkloadType::Io) * factor,
+    ]
+}
+
+#[test]
+fn deterministic_replay_matches_batch_simulation_exactly() {
+    let db = DbBuilder::exact().build().unwrap();
+    let solo = [
+        db.aux().solo_time(WorkloadType::Cpu),
+        db.aux().solo_time(WorkloadType::Mem),
+        db.aux().solo_time(WorkloadType::Io),
+    ];
+    let requests = build_requests(11, 500, solo);
+    let cloud = CloudConfig::new("REPLAY", 6).unwrap();
+    let dl = deadlines(&db, 3.0);
+
+    // Reference: the batch simulator with the unmemoized model.
+    let mut reference = Proactive::new(DbModel::new(db.clone()), OptimizationGoal::BALANCED, dl)
+        .with_qos_margin(0.65);
+    let expected = Simulation::new(AnalyticModel::reference(), cloud.clone())
+        .with_timeline()
+        .run(&mut reference, &requests)
+        .unwrap();
+
+    // Service path: same allocator stack plus the memoization layer.
+    let mut config = DeterministicConfig::new(OptimizationGoal::BALANCED, dl);
+    config.timeline = true;
+    let (outcome, cache) =
+        replay_deterministic(AnalyticModel::reference(), cloud, db, &config, &requests).unwrap();
+
+    // Same allocation decisions: the timeline records every per-server
+    // allocation interval the strategy produced.
+    assert!(!outcome.timeline.is_empty());
+    assert_eq!(outcome.timeline, expected.timeline);
+    // Same totals, energy included, bit for bit.
+    assert_eq!(outcome, expected);
+    assert_eq!(outcome.energy, expected.energy);
+    assert_eq!(
+        outcome.vms as u32,
+        requests.iter().map(|r| r.vm_count).sum()
+    );
+
+    // And the cache was genuinely exercised, not bypassed.
+    assert!(cache.hits > 0, "memo cache never hit: {cache:?}");
+    assert!(
+        cache.hit_rate() > 0.5,
+        "repeat mixes should dominate: {cache:?}"
+    );
+}

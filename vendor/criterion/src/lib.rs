@@ -1,0 +1,135 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of criterion it uses: [`Criterion`],
+//! [`black_box`], `bench_function`, `benchmark_group` (with
+//! `sample_size`/`finish`), and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timing is a simple warmup + fixed-budget
+//! measurement loop printing mean wall time per iteration — good enough
+//! to compare variants locally, with no plots, statistics, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs one benchmark closure repeatedly and records elapsed time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, called `self.iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_once(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn format_time(per_iter: Duration) -> String {
+    let ns = per_iter.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Measurement budget per benchmark (smaller sample sizes shrink it).
+const MEASURE_BUDGET: Duration = Duration::from_millis(500);
+
+fn bench_one(name: &str, samples: u64, mut f: impl FnMut(&mut Bencher)) {
+    // Warmup + calibration: find an iteration count filling the budget.
+    let probe = run_once(&mut f, 1).max(Duration::from_nanos(1));
+    let budget = MEASURE_BUDGET * (samples as u32).clamp(1, 100) / 100;
+    let iters = (budget.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+    let elapsed = run_once(&mut f, iters);
+    let per_iter = elapsed / iters as u32;
+    println!(
+        "{name:<50} time: {:>12}   ({iters} iters)",
+        format_time(per_iter)
+    );
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: u64,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower/raise the measurement effort (criterion's sample count; here
+    /// it scales the time budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n as u64;
+        self
+    }
+
+    /// Benchmark `f` under `self.name/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        bench_one(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        bench_one(name, 100, f);
+        self
+    }
+
+    /// Open a named group whose benchmarks share settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 100,
+            _parent: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -20,4 +20,10 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run --workspace
+
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "CI checks passed."

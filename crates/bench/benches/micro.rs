@@ -205,6 +205,56 @@ fn bench_swf(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry(c: &mut Criterion) {
+    use eavm_service::{replay_online, ServiceConfig};
+    use eavm_telemetry::Telemetry;
+
+    // Raw instrument cost: a registry-backed increment/record against
+    // the disabled no-op handles (a branch on `None`).
+    let enabled = Telemetry::new();
+    let disabled = Telemetry::disabled();
+    let counter_on = enabled.counter("bench.counter");
+    let counter_off = disabled.counter("bench.counter");
+    let hist_on = enabled.histogram("bench.histogram");
+    let hist_off = disabled.histogram("bench.histogram");
+    let mut group = c.benchmark_group("telemetry_instrument");
+    group.bench_function("counter_enabled", |b| {
+        b.iter(|| counter_on.add(black_box(1)))
+    });
+    group.bench_function("counter_noop", |b| b.iter(|| counter_off.add(black_box(1))));
+    group.bench_function("histogram_enabled", |b| {
+        b.iter(|| hist_on.record(black_box(180)))
+    });
+    group.bench_function("histogram_noop", |b| {
+        b.iter(|| hist_off.record(black_box(180)))
+    });
+    group.finish();
+
+    // The overhead claim that matters: the full service throughput
+    // sweep with telemetry disabled vs enabled (instrumentation must be
+    // within noise when off, and cheap even when on).
+    let p = Pipeline::build(PipelineConfig::small(42)).expect("pipeline");
+    let mut group = c.benchmark_group("service_replay_telemetry");
+    group.sample_size(10);
+    for (label, handle) in [
+        ("disabled", Telemetry::disabled()),
+        ("enabled", Telemetry::new()),
+    ] {
+        let requests = &p.requests;
+        let db = &p.db;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut config = ServiceConfig::new(2, p.config.smaller_servers)
+                    .with_telemetry(std::sync::Arc::clone(&handle));
+                config.deadlines = p.deadlines;
+                config.qos_margin = p.config.qos_margin;
+                replay_online(black_box(db), config, black_box(requests)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_db_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("db_build");
     group.sample_size(10);
@@ -227,6 +277,7 @@ criterion_group!(
     bench_end_to_end,
     bench_learned_model,
     bench_swf,
+    bench_telemetry,
     bench_db_build
 );
 criterion_main!(benches);

@@ -38,7 +38,7 @@ fn main() {
         servers
     );
     println!(
-        "{:<7} {:>9} {:>9} {:>10} {:>9} {:>9} {:>7} {:>9} {:>10}",
+        "{:<7} {:>9} {:>9} {:>10} {:>9} {:>9} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10}",
         "shards",
         "wall_s",
         "req/s",
@@ -47,6 +47,9 @@ fn main() {
         "cross",
         "shed",
         "conflicts",
+        "p50_us",
+        "p95_us",
+        "p99_us",
         "energy_MJ"
     );
 
@@ -63,8 +66,9 @@ fn main() {
         let stats = &report.stats;
         let throughput = report.requests as f64 / wall.max(1e-9);
         let shed = stats.shed_admission + stats.shed_wait_queue + stats.shed_unplaceable;
+        let lat = &stats.admission_latency_us;
         println!(
-            "{:<7} {:>9.3} {:>9.0} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>10.3}",
+            "{:<7} {:>9.3} {:>9.0} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10.3}",
             shards,
             wall,
             throughput,
@@ -73,6 +77,9 @@ fn main() {
             stats.admitted_cross_shard,
             shed,
             stats.reserve_conflicts,
+            lat.p50,
+            lat.p95,
+            lat.p99,
             stats.estimated_energy.value() / 1e6,
         );
         match baseline {

@@ -2,16 +2,19 @@
 //! `String` so commands are directly unit-testable.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use eavm_benchdb::{DbBuilder, ModelDatabase};
 use eavm_core::{
     AllocationStrategy, AnalyticModel, BestFit, DbModel, FirstFit, OptimizationGoal, Proactive,
 };
+use eavm_service::CacheStats;
 use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
 use eavm_swf::{
     adapt_trace, clean_trace, total_vms, truncate_to_vm_total, AdaptConfig, GeneratorConfig,
     SwfTrace, TraceGenerator,
 };
+use eavm_telemetry::Telemetry;
 use eavm_types::{Seconds, WorkloadType};
 
 use crate::args::Args;
@@ -51,9 +54,11 @@ USAGE:
   eavm-cli serve       --db-dir DIR --trace FILE --servers N [--shards N]
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
                        [--queue N] [--cache N]
+                       [--metrics-out FILE] [--metrics-format prometheus|json]
   eavm-cli replay-online --db-dir DIR --trace FILE --servers N
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
                        [--cache N]
+                       [--metrics-out FILE] [--metrics-format prometheus|json]
   eavm-cli db-diff     --left DIR --right DIR [--tolerance F]
   eavm-cli info        --db-dir DIR
 
@@ -268,6 +273,41 @@ fn simulate(args: &Args) -> Result<String, String> {
     Ok(render_outcome(&out, &requests))
 }
 
+/// The one cache-counters line shared by `serve` and `replay-online`.
+fn render_cache(cache: &CacheStats) -> String {
+    format!(
+        "cache: hits={} misses={} evictions={} hit-rate={:.1}%\n",
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+        100.0 * cache.hit_rate(),
+    )
+}
+
+/// Honour `--metrics-out FILE` / `--metrics-format prometheus|json`:
+/// write the registry snapshot to the file and return a one-line note
+/// for stdout (empty when no export was requested).
+fn export_metrics(args: &Args, telemetry: &Telemetry) -> Result<String, String> {
+    let Some(path) = args.optional_path("metrics-out") else {
+        return Ok(String::new());
+    };
+    let format: String = args.get_or("metrics-format", "prometheus".to_string())?;
+    let snapshot = telemetry.snapshot();
+    let payload = match format.as_str() {
+        "prometheus" => snapshot.to_prometheus(),
+        "json" => snapshot.to_json(),
+        other => return Err(format!("unknown --metrics-format {other:?}")),
+    };
+    std::fs::write(&path, payload).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "metrics: {} counters, {} gauges, {} histograms -> {} ({format})\n",
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.histograms.len(),
+        path.display(),
+    ))
+}
+
 fn render_outcome(out: &SimOutcome, requests: &[eavm_swf::VmRequest]) -> String {
     format!(
         "{}\n{}\nsummary: strategy={} requests={} vms={} makespan={:.0}s energy={:.3e}J sla={:.1}%\n",
@@ -291,7 +331,9 @@ fn serve(args: &Args) -> Result<String, String> {
     let alpha: f64 = args.get_or("alpha", 0.5)?;
     let (db, requests, deadlines) = load_workload(args)?;
 
-    let mut config = eavm_service::ServiceConfig::new(shards, servers);
+    let telemetry = Telemetry::new();
+    let mut config =
+        eavm_service::ServiceConfig::new(shards, servers).with_telemetry(Arc::clone(&telemetry));
     config.queue_capacity = args.get_or("queue", 1024)?;
     config.cache_capacity = args.get_or("cache", 4096)?;
     config.goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
@@ -302,14 +344,16 @@ fn serve(args: &Args) -> Result<String, String> {
     let report = eavm_service::replay_online(&db, config, &requests).map_err(|e| e.to_string())?;
     let elapsed = started.elapsed().as_secs_f64();
     let s = &report.stats;
+    let lat = &s.admission_latency_us;
     let throughput = report.requests as f64 / elapsed.max(1e-9);
     Ok(format!(
         "service: shards={shards} servers={servers} requests={} vms={}\n\
          admitted: local={} cross-shard={} after-wait={}\n\
          shed: admission={} wait-queue={} unplaceable={}\n\
-         cache: hits={} misses={} evictions={} hit-rate={:.1}%\n\
+         {}\
+         admission-latency: p50={}us p95={}us p99={}us max={}us\n\
          reserve-conflicts={} virtual-makespan={:.0}s estimated-energy={:.3e}J\n\
-         wall-time={elapsed:.3}s throughput={throughput:.0} req/s\n",
+         wall-time={elapsed:.3}s throughput={throughput:.0} req/s\n{}",
         report.requests,
         report.vms,
         s.admitted_local,
@@ -318,13 +362,15 @@ fn serve(args: &Args) -> Result<String, String> {
         s.shed_admission,
         s.shed_wait_queue,
         s.shed_unplaceable,
-        s.aggregate_cache.hits,
-        s.aggregate_cache.misses,
-        s.aggregate_cache.evictions,
-        100.0 * s.aggregate_cache.hit_rate(),
+        render_cache(&s.aggregate_cache),
+        lat.p50,
+        lat.p95,
+        lat.p99,
+        lat.max,
         s.reserve_conflicts,
         s.virtual_now.value(),
         s.estimated_energy.value(),
+        export_metrics(args, &telemetry)?,
     ))
 }
 
@@ -339,7 +385,9 @@ fn replay_online_cmd(args: &Args) -> Result<String, String> {
     let (db, requests, deadlines) = load_workload(args)?;
 
     let goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
-    let mut config = eavm_service::DeterministicConfig::new(goal, deadlines);
+    let telemetry = Telemetry::new();
+    let mut config = eavm_service::DeterministicConfig::new(goal, deadlines)
+        .with_telemetry(Arc::clone(&telemetry));
     config.qos_margin = margin;
     config.cache_capacity = args.get_or("cache", 4096)?;
     let cloud = CloudConfig::new("SERVICE", servers).map_err(|e| e.to_string())?;
@@ -352,12 +400,10 @@ fn replay_online_cmd(args: &Args) -> Result<String, String> {
     )
     .map_err(|e| e.to_string())?;
     Ok(format!(
-        "{}cache: hits={} misses={} evictions={} hit-rate={:.1}%\n",
+        "{}{}{}",
         render_outcome(&out, &requests),
-        cache.hits,
-        cache.misses,
-        cache.evictions,
-        100.0 * cache.hit_rate(),
+        render_cache(&cache),
+        export_metrics(args, &telemetry)?,
     ))
 }
 
@@ -491,6 +537,7 @@ mod tests {
         }
 
         // The service modes share the same db/trace front matter.
+        let prom_path = dir.join("serve.prom");
         let serve_out = run(&[
             "serve",
             "--db-dir",
@@ -503,11 +550,18 @@ mod tests {
             "2",
             "--vms",
             "200",
+            "--metrics-out",
+            prom_path.to_str().unwrap(),
         ])
         .unwrap();
         assert!(serve_out.contains("throughput="), "{serve_out}");
         assert!(serve_out.contains("hit-rate="), "{serve_out}");
+        assert!(serve_out.contains("admission-latency: p50="), "{serve_out}");
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE service_submitted counter"), "{prom}");
+        assert!(prom.contains("service_admitted_local"), "{prom}");
 
+        let json_path = dir.join("replay.json");
         let replay_out = run(&[
             "replay-online",
             "--db-dir",
@@ -518,10 +572,17 @@ mod tests {
             "8",
             "--vms",
             "200",
+            "--metrics-out",
+            json_path.to_str().unwrap(),
+            "--metrics-format",
+            "json",
         ])
         .unwrap();
         assert!(replay_out.contains("summary:"), "{replay_out}");
         assert!(replay_out.contains("cache: hits="), "{replay_out}");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.contains("\"replay.cache.hits\""), "{json}");
+        assert!(json.contains("\"sim.vms_placed\""), "{json}");
 
         // Deterministic mode is the PROACTIVE simulation with a cache in
         // front: the rendered outcome rows must match `simulate` exactly.

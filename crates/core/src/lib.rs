@@ -43,5 +43,5 @@ pub use best_fit::BestFit;
 pub use first_fit::{reference_cpu_slots, FirstFit};
 pub use goal::OptimizationGoal;
 pub use model::{AllocationModel, AnalyticModel, DbModel, MixEstimate, MixKey};
-pub use proactive::{PartitionCandidate, Proactive, SearchCaps};
+pub use proactive::{PartitionCandidate, Proactive, SearchCaps, SearchMetrics};
 pub use strategy::{AllocationStrategy, Placement, RequestView, ServerView};

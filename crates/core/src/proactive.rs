@@ -24,6 +24,7 @@
 //! simulator to queue the request, exactly like a saturated cloud.
 
 use eavm_partitions::multiset_partitions_capped;
+use eavm_telemetry::Counter;
 use eavm_types::{EavmError, Joules, MixVector, Seconds, WorkloadType};
 
 use crate::goal::OptimizationGoal;
@@ -45,6 +46,27 @@ impl Default for SearchCaps {
             max_partitions: 4_096,
         }
     }
+}
+
+/// Counters observing the partition search. The default is all-no-op
+/// handles (a dropped write is a branch on `None`), so an allocator built
+/// without [`Proactive::with_search_metrics`] pays nothing.
+///
+/// Counts are accumulated locally during a search and flushed with one
+/// atomic add per counter at the end, onto `stripe` — sharded services
+/// give each worker its own stripe of one shared counter.
+#[derive(Debug, Clone, Default)]
+pub struct SearchMetrics {
+    /// Searches run (one per [`Proactive::explain`] call).
+    pub searches: Counter,
+    /// Partitions pulled from the enumeration and placed (or attempted).
+    pub partitions_evaluated: Counter,
+    /// Partitions whose every block found a feasible server.
+    pub partitions_feasible: Counter,
+    /// Per-block server candidates rejected by hostability/QoS checks.
+    pub candidates_pruned: Counter,
+    /// Stripe index this allocator writes (wraps modulo stripe count).
+    pub stripe: usize,
 }
 
 /// One fully scored partition candidate.
@@ -97,6 +119,7 @@ pub struct Proactive<M> {
     /// can only control the execution-time share of it).
     qos_margin: f64,
     caps: SearchCaps,
+    metrics: SearchMetrics,
 }
 
 impl<M: AllocationModel> Proactive<M> {
@@ -117,6 +140,7 @@ impl<M: AllocationModel> Proactive<M> {
             enforce_qos: true,
             qos_margin: 1.0,
             caps: SearchCaps::default(),
+            metrics: SearchMetrics::default(),
         }
     }
 
@@ -140,6 +164,12 @@ impl<M: AllocationModel> Proactive<M> {
     /// Override the search caps.
     pub fn with_caps(mut self, caps: SearchCaps) -> Self {
         self.caps = caps;
+        self
+    }
+
+    /// Attach search counters (see [`SearchMetrics`]).
+    pub fn with_search_metrics(mut self, metrics: SearchMetrics) -> Self {
+        self.metrics = metrics;
         self
     }
 
@@ -182,8 +212,14 @@ impl<M: AllocationModel> Proactive<M> {
     }
 
     /// Place the blocks of one partition greedily, returning the scored
-    /// candidate if every block fits.
-    fn place_partition(&self, blocks: &[MixVector], servers: &[ServerView]) -> Option<Candidate> {
+    /// candidate if every block fits. `pruned` accumulates the per-block
+    /// server candidates rejected by hostability/QoS.
+    fn place_partition(
+        &self,
+        blocks: &[MixVector],
+        servers: &[ServerView],
+        pruned: &mut u64,
+    ) -> Option<Candidate> {
         // Tentative per-server mixes, updated as blocks commit.
         let mut mixes: Vec<MixVector> = servers.iter().map(|s| s.mix).collect();
         let mut adds: Vec<MixVector> = vec![MixVector::EMPTY; servers.len()];
@@ -216,9 +252,11 @@ impl<M: AllocationModel> Proactive<M> {
                 let model = self.model_for(platform);
                 let new_mix = mixes[i] + *block;
                 if !self.feasible(new_mix, platform) {
+                    *pruned += 1;
                     continue;
                 }
                 let Ok(new_est) = model.estimate_mix(new_mix) else {
+                    *pruned += 1;
                     continue;
                 };
                 let old_energy = if mixes[i].is_empty() {
@@ -323,14 +361,23 @@ impl<M: AllocationModel> Proactive<M> {
         let mut min_time = f64::INFINITY;
         let mut scored: Vec<(Vec<MixVector>, Candidate)> = Vec::new();
         let parts = multiset_partitions_capped(&counts, max_block, self.caps.max_partitions);
+        let mut evaluated = 0u64;
+        let mut pruned = 0u64;
         for part in parts {
+            evaluated += 1;
             let blocks: Vec<MixVector> = part.iter().map(|b| block_to_mix(b)).collect();
-            if let Some(c) = self.place_partition(&blocks, servers) {
+            if let Some(c) = self.place_partition(&blocks, servers, &mut pruned) {
                 min_energy = min_energy.min(c.energy.value());
                 min_time = min_time.min(c.time.value());
                 scored.push((blocks, c));
             }
         }
+        // One flush per search keeps the hot loop free of atomics.
+        let m = &self.metrics;
+        m.searches.add_on(m.stripe, 1);
+        m.partitions_evaluated.add_on(m.stripe, evaluated);
+        m.partitions_feasible.add_on(m.stripe, scored.len() as u64);
+        m.candidates_pruned.add_on(m.stripe, pruned);
 
         // Normalize against the best-in-class values so α weighs two
         // comparable dimensionless quantities; the strict comparison
@@ -604,6 +651,33 @@ mod tests {
         let pa = proactive(OptimizationGoal::BALANCED);
         let candidates = pa.explain(&req(WorkloadType::Cpu, 2), &servers).unwrap();
         assert!(candidates.is_empty());
+    }
+
+    #[test]
+    fn search_metrics_observe_the_search() {
+        use eavm_telemetry::Counter;
+        let metrics = SearchMetrics {
+            searches: Counter::standalone(),
+            partitions_evaluated: Counter::standalone(),
+            partitions_feasible: Counter::standalone(),
+            candidates_pruned: Counter::standalone(),
+            stripe: 0,
+        };
+        let mut pa = proactive(OptimizationGoal::BALANCED).with_search_metrics(metrics.clone());
+        let servers = empty_servers(4);
+        pa.allocate(&req(WorkloadType::Cpu, 4), &servers).unwrap();
+        assert_eq!(metrics.searches.get(), 1);
+        // 4 identical VMs on an empty fleet: 5 partitions, all feasible.
+        assert_eq!(metrics.partitions_evaluated.get(), 5);
+        assert_eq!(metrics.partitions_feasible.get(), 5);
+        // Default (no-op) metrics must not change behavior.
+        let mut plain = proactive(OptimizationGoal::BALANCED);
+        assert_eq!(
+            plain
+                .allocate(&req(WorkloadType::Cpu, 4), &servers)
+                .unwrap(),
+            pa.allocate(&req(WorkloadType::Cpu, 4), &servers).unwrap()
+        );
     }
 
     #[test]

@@ -13,13 +13,16 @@
 //! `service_replay` integration test asserts exactly that, alongside a
 //! nonzero cache hit-rate.
 
+use std::sync::Arc;
+
 use eavm_benchdb::ModelDatabase;
-use eavm_core::{AllocationModel, DbModel, OptimizationGoal, Proactive};
+use eavm_core::{AllocationModel, DbModel, OptimizationGoal, Proactive, SearchMetrics};
 use eavm_simulator::{CloudConfig, SimOutcome, Simulation, SimulationError};
 use eavm_swf::VmRequest;
+use eavm_telemetry::Telemetry;
 use eavm_types::Seconds;
 
-use crate::memo::{CacheStats, MemoModel};
+use crate::memo::{CacheMetrics, CacheStats, MemoModel};
 
 /// Configuration of a deterministic replay.
 #[derive(Debug, Clone)]
@@ -34,6 +37,10 @@ pub struct DeterministicConfig {
     pub cache_capacity: usize,
     /// Record the per-interval allocation timeline in the outcome.
     pub timeline: bool,
+    /// Observability sink for the replay (cache, search, and simulator
+    /// instruments). Disabled by default; enabling it must not perturb
+    /// the outcome — nothing on this path reads the wall clock.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl DeterministicConfig {
@@ -45,7 +52,14 @@ impl DeterministicConfig {
             qos_margin: 0.65,
             cache_capacity: 4096,
             timeline: false,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Replace the observability sink.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -60,13 +74,37 @@ pub fn replay_deterministic<G: AllocationModel>(
     config: &DeterministicConfig,
     requests: &[VmRequest],
 ) -> Result<(SimOutcome, CacheStats), SimulationError> {
+    let tel = &config.telemetry;
+    let cache_metrics = if tel.is_enabled() {
+        CacheMetrics {
+            hits: tel.counter("replay.cache.hits"),
+            misses: tel.counter("replay.cache.misses"),
+            evictions: tel.counter("replay.cache.evictions"),
+            stripe: 0,
+        }
+    } else {
+        CacheMetrics::standalone()
+    };
+    let search_metrics = if tel.is_enabled() {
+        SearchMetrics {
+            searches: tel.counter("replay.search.searches"),
+            partitions_evaluated: tel.counter("replay.search.partitions_evaluated"),
+            partitions_feasible: tel.counter("replay.search.partitions_feasible"),
+            candidates_pruned: tel.counter("replay.search.candidates_pruned"),
+            stripe: 0,
+        }
+    } else {
+        SearchMetrics::default()
+    };
     let mut strategy = Proactive::new(
-        MemoModel::new(DbModel::new(db), config.cache_capacity),
+        MemoModel::with_metrics(DbModel::new(db), config.cache_capacity, cache_metrics),
         config.goal,
         config.deadlines,
     )
-    .with_qos_margin(config.qos_margin);
-    let mut simulation = Simulation::new(ground_truth, cloud);
+    .with_qos_margin(config.qos_margin)
+    .with_search_metrics(search_metrics);
+    let mut simulation =
+        Simulation::new(ground_truth, cloud).with_telemetry(Arc::clone(&config.telemetry));
     if config.timeline {
         simulation = simulation.with_timeline();
     }

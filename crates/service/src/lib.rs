@@ -37,7 +37,7 @@ pub mod service;
 pub mod shard;
 
 pub use deterministic::{replay_deterministic, DeterministicConfig};
-pub use memo::{CacheStats, MemoModel};
+pub use memo::{CacheMetrics, CacheStats, MemoModel};
 pub use service::{
     replay_online, AllocService, DrainReport, ReplayReport, ServiceConfig, ServiceStats,
     ShedReason, SubmitOutcome, Verdict,

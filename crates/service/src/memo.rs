@@ -18,7 +18,46 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use eavm_core::{AllocationModel, MixEstimate, MixKey};
+use eavm_telemetry::Counter;
 use eavm_types::{EavmError, Joules, MixVector, Seconds, Watts, WorkloadType};
+
+/// Live counter handles backing one cache, writing onto `stripe`.
+///
+/// The default ([`CacheMetrics::standalone`]) is a private set of real
+/// counters, so a bare [`LruCache::new`] still counts — registry-backed
+/// services instead hand every shard's cache the *same* telemetry
+/// counters with a distinct stripe each, making the registry the single
+/// source of truth while [`LruCache::stats`] keeps reporting per-cache
+/// numbers off its own stripe.
+#[derive(Debug, Clone)]
+pub struct CacheMetrics {
+    /// Lookup hits.
+    pub hits: Counter,
+    /// Lookup misses.
+    pub misses: Counter,
+    /// Capacity evictions.
+    pub evictions: Counter,
+    /// Stripe this cache writes and reads.
+    pub stripe: usize,
+}
+
+impl CacheMetrics {
+    /// Private single-stripe counters (the non-registry default).
+    pub fn standalone() -> CacheMetrics {
+        CacheMetrics {
+            hits: Counter::standalone(),
+            misses: Counter::standalone(),
+            evictions: Counter::standalone(),
+            stripe: 0,
+        }
+    }
+}
+
+impl Default for CacheMetrics {
+    fn default() -> Self {
+        CacheMetrics::standalone()
+    }
+}
 
 /// Counters of one cache's lifetime, exposed in `ServiceStats`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,14 +117,19 @@ pub struct LruCache {
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    metrics: CacheMetrics,
 }
 
 impl LruCache {
-    /// An empty cache holding at most `capacity` entries (min 1).
+    /// An empty cache holding at most `capacity` entries (min 1), with
+    /// private standalone counters.
     pub fn new(capacity: usize) -> Self {
+        LruCache::with_metrics(capacity, CacheMetrics::standalone())
+    }
+
+    /// An empty cache counting into the given (possibly registry-backed,
+    /// possibly shared-across-caches) counter handles.
+    pub fn with_metrics(capacity: usize, metrics: CacheMetrics) -> Self {
         let capacity = capacity.max(1);
         LruCache {
             map: HashMap::with_capacity(capacity),
@@ -93,9 +137,7 @@ impl LruCache {
             head: NIL,
             tail: NIL,
             capacity,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            metrics,
         }
     }
 
@@ -131,7 +173,7 @@ impl LruCache {
     pub fn get(&mut self, key: MixKey) -> Option<MixEstimate> {
         match self.map.get(&key).copied() {
             Some(i) => {
-                self.hits += 1;
+                self.metrics.hits.add_on(self.metrics.stripe, 1);
                 if self.head != i {
                     self.unlink(i);
                     self.link_front(i);
@@ -139,7 +181,7 @@ impl LruCache {
                 Some(self.slots[i].value)
             }
             None => {
-                self.misses += 1;
+                self.metrics.misses.add_on(self.metrics.stripe, 1);
                 None
             }
         }
@@ -169,7 +211,7 @@ impl LruCache {
             let victim = self.tail;
             self.unlink(victim);
             self.map.remove(&self.slots[victim].key);
-            self.evictions += 1;
+            self.metrics.evictions.add_on(self.metrics.stripe, 1);
             self.slots[victim] = Slot {
                 key,
                 value,
@@ -182,12 +224,13 @@ impl LruCache {
         self.link_front(i);
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (this cache's stripe only).
     pub fn stats(&self) -> CacheStats {
+        let m = &self.metrics;
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
+            hits: m.hits.on_stripe(m.stripe),
+            misses: m.misses.on_stripe(m.stripe),
+            evictions: m.evictions.on_stripe(m.stripe),
             len: self.map.len(),
             capacity: self.capacity,
         }
@@ -210,9 +253,14 @@ pub struct MemoModel<M> {
 impl<M: AllocationModel> MemoModel<M> {
     /// Wrap `inner` with a cache of `capacity` estimates.
     pub fn new(inner: M, capacity: usize) -> Self {
+        MemoModel::with_metrics(inner, capacity, CacheMetrics::standalone())
+    }
+
+    /// Wrap `inner` with a cache counting into `metrics`.
+    pub fn with_metrics(inner: M, capacity: usize, metrics: CacheMetrics) -> Self {
         MemoModel {
             inner,
-            cache: RefCell::new(LruCache::new(capacity)),
+            cache: RefCell::new(LruCache::with_metrics(capacity, metrics)),
         }
     }
 
@@ -344,6 +392,34 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.len, 8);
         assert_eq!(s.evictions as usize, 3 * 32 - 8);
+    }
+
+    #[test]
+    fn shared_striped_metrics_attribute_per_cache() {
+        // Two caches share one set of sharded counters, each on its own
+        // stripe: per-cache stats split, the counter sums fleet-wide.
+        let hits = Counter::standalone_sharded(2);
+        let misses = Counter::standalone_sharded(2);
+        let evictions = Counter::standalone_sharded(2);
+        let mk = |stripe| CacheMetrics {
+            hits: hits.clone(),
+            misses: misses.clone(),
+            evictions: evictions.clone(),
+            stripe,
+        };
+        let mut a = LruCache::with_metrics(4, mk(0));
+        let mut b = LruCache::with_metrics(4, mk(1));
+        let k = MixKey::of(MixVector::new(1, 2, 3));
+        a.insert(k, est(1.0));
+        a.get(k);
+        a.get(k);
+        b.get(k); // miss: caches are independent, only counters are shared
+        assert_eq!(a.stats().hits, 2);
+        assert_eq!(a.stats().misses, 0);
+        assert_eq!(b.stats().hits, 0);
+        assert_eq!(b.stats().misses, 1);
+        assert_eq!(hits.get(), 2);
+        assert_eq!(misses.get(), 1);
     }
 
     #[test]

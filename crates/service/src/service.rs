@@ -28,22 +28,26 @@
 //! requests in one wave picking the same servers) is detected locally
 //! before any reserve message is sent.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use eavm_benchdb::ModelDatabase;
 use eavm_core::{
     AllocationModel, AllocationStrategy, DbModel, OptimizationGoal, Placement, Proactive,
-    RequestView, ServerView,
+    RequestView, SearchMetrics, ServerView,
 };
 use eavm_swf::VmRequest;
+use eavm_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Severity, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId};
 
-use crate::memo::{CacheStats, MemoModel};
-use crate::shard::{build_strategy, run_worker, ShardCore, ShardMsg, ShardStats, TryLocalReply};
+use crate::memo::{CacheMetrics, CacheStats, MemoModel};
+use crate::shard::{
+    build_strategy, run_worker, ShardCore, ShardInstruments, ShardMsg, ShardStats, TryLocalReply,
+};
 
 /// Tuning knobs for [`AllocService::start`].
 #[derive(Debug, Clone)]
@@ -65,6 +69,11 @@ pub struct ServiceConfig {
     pub qos_margin: f64,
     /// Cross-shard reserve retries before a request is parked.
     pub max_reserve_retries: u32,
+    /// Observability sink shared by the coordinator and every shard.
+    /// Enabled by default; swap in [`Telemetry::disabled`] to make every
+    /// instrument a no-op (stats snapshots keep working off private
+    /// standalone counters).
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl ServiceConfig {
@@ -79,7 +88,14 @@ impl ServiceConfig {
             deadlines: [Seconds(5400.0), Seconds(4500.0), Seconds(4050.0)],
             qos_margin: 0.65,
             max_reserve_retries: 2,
+            telemetry: Telemetry::new(),
         }
+    }
+
+    /// Replace the observability sink.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 }
 
@@ -158,6 +174,8 @@ pub struct ServiceStats {
     pub resident_vms: usize,
     /// Model-estimated dynamic energy of everything committed so far.
     pub estimated_energy: Joules,
+    /// Wall-clock submit-to-first-verdict latency distribution (µs).
+    pub admission_latency_us: HistogramSnapshot,
 }
 
 /// Result of [`AllocService::drain`].
@@ -181,10 +199,24 @@ pub enum SubmitOutcome {
 }
 
 enum Ctl {
-    Submit { ticket: u64, request: VmRequest },
-    AdvanceTo { t: Seconds, done: Sender<()> },
-    Drain { done: Sender<DrainReport> },
-    Stats { reply: Sender<ServiceStats> },
+    Submit {
+        ticket: u64,
+        request: VmRequest,
+        /// Wall-clock submit instant for the admission-latency
+        /// histogram; `None` when telemetry is disabled, so the hot
+        /// submit path never reads the clock for nothing.
+        t0: Option<Instant>,
+    },
+    AdvanceTo {
+        t: Seconds,
+        done: Sender<()>,
+    },
+    Drain {
+        done: Sender<DrainReport>,
+    },
+    Stats {
+        reply: Sender<ServiceStats>,
+    },
     Shutdown,
 }
 
@@ -193,7 +225,8 @@ pub struct AllocService {
     ctl_tx: SyncSender<Ctl>,
     verdict_rx: Receiver<(u64, Verdict)>,
     next_ticket: AtomicU64,
-    shed_admission: Arc<AtomicU64>,
+    shed_admission: Counter,
+    telemetry: Arc<Telemetry>,
     coordinator: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -210,7 +243,40 @@ impl AllocService {
                 config.servers, config.shards
             )));
         }
+        let telemetry = Arc::clone(&config.telemetry);
         let layout = shard_layout(config.servers, config.shards);
+        // One stripe per shard plus a last one for the coordinator's
+        // global-search allocator: the registry holds a single counter
+        // per metric name, stats snapshots read their own stripe.
+        let stripes = config.shards + 1;
+        let cache_metrics = |stripe: usize| {
+            if telemetry.is_enabled() {
+                CacheMetrics {
+                    hits: telemetry.sharded_counter("service.cache.hits", stripes),
+                    misses: telemetry.sharded_counter("service.cache.misses", stripes),
+                    evictions: telemetry.sharded_counter("service.cache.evictions", stripes),
+                    stripe,
+                }
+            } else {
+                CacheMetrics::standalone()
+            }
+        };
+        let search_metrics = |stripe: usize| {
+            if telemetry.is_enabled() {
+                SearchMetrics {
+                    searches: telemetry.sharded_counter("service.search.searches", stripes),
+                    partitions_evaluated: telemetry
+                        .sharded_counter("service.search.partitions_evaluated", stripes),
+                    partitions_feasible: telemetry
+                        .sharded_counter("service.search.partitions_feasible", stripes),
+                    candidates_pruned: telemetry
+                        .sharded_counter("service.search.candidates_pruned", stripes),
+                    stripe,
+                }
+            } else {
+                SearchMetrics::default()
+            }
+        };
         let mut shard_txs = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         for (index, range) in layout.iter().enumerate() {
@@ -220,8 +286,15 @@ impl AllocService {
                 config.goal,
                 config.deadlines,
                 config.qos_margin,
+                cache_metrics(index),
+                search_metrics(index),
             );
-            let core = ShardCore::new(index, range.clone().map(ServerId::from), strategy);
+            let core = ShardCore::new(
+                index,
+                range.clone().map(ServerId::from),
+                strategy,
+                ShardInstruments::registered(&telemetry, config.shards, index),
+            );
             let (tx, rx) = channel();
             shard_txs.push(tx);
             workers.push(
@@ -238,10 +311,16 @@ impl AllocService {
             config.goal,
             config.deadlines,
             config.qos_margin,
+            cache_metrics(config.shards),
+            search_metrics(config.shards),
         );
         let (ctl_tx, ctl_rx) = sync_channel(config.queue_capacity);
         let (verdict_tx, verdict_rx) = channel();
-        let shed_admission = Arc::new(AtomicU64::new(0));
+        let shed_admission = if telemetry.is_enabled() {
+            telemetry.counter("service.shed.admission")
+        } else {
+            Counter::standalone()
+        };
         let slots = global.model().cpu_slots();
         let mirror = (0..config.servers)
             .map(|i| ServerView {
@@ -252,7 +331,7 @@ impl AllocService {
             })
             .collect();
         let coordinator = {
-            let shed = Arc::clone(&shed_admission);
+            let counters = CoordInstruments::new(&telemetry, shed_admission.clone());
             let mut coord = Coordinator {
                 config,
                 layout,
@@ -261,10 +340,10 @@ impl AllocService {
                 mirror,
                 ctl_rx,
                 verdict_tx,
-                shed_admission: shed,
                 parked: VecDeque::new(),
+                inflight: HashMap::new(),
                 now: Seconds(0.0),
-                stats: CoordStats::default(),
+                counters,
             };
             std::thread::Builder::new()
                 .name("eavm-coordinator".into())
@@ -276,6 +355,7 @@ impl AllocService {
             verdict_rx,
             next_ticket: AtomicU64::new(0),
             shed_admission,
+            telemetry,
             coordinator: Some(coordinator),
             workers,
         })
@@ -285,11 +365,26 @@ impl AllocService {
         self.next_ticket.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The observability sink this service reports into. Snapshot it
+    /// via [`Telemetry::snapshot`] for export.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    fn stamp(&self) -> Option<Instant> {
+        self.telemetry.is_enabled().then(Instant::now)
+    }
+
     /// Submit with backpressure: blocks while the admission queue is
     /// full. Returns the request's ticket.
     pub fn submit(&self, request: VmRequest) -> u64 {
         let ticket = self.ticket();
-        let _ = self.ctl_tx.send(Ctl::Submit { ticket, request });
+        let t0 = self.stamp();
+        let _ = self.ctl_tx.send(Ctl::Submit {
+            ticket,
+            request,
+            t0,
+        });
         ticket
     }
 
@@ -297,10 +392,15 @@ impl AllocService {
     /// queue is full.
     pub fn try_submit(&self, request: VmRequest) -> SubmitOutcome {
         let ticket = self.ticket();
-        match self.ctl_tx.try_send(Ctl::Submit { ticket, request }) {
+        let t0 = self.stamp();
+        match self.ctl_tx.try_send(Ctl::Submit {
+            ticket,
+            request,
+            t0,
+        }) {
             Ok(()) => SubmitOutcome::Enqueued(ticket),
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.shed_admission.fetch_add(1, Ordering::Relaxed);
+                self.shed_admission.add(1);
                 SubmitOutcome::Shed(ticket)
             }
         }
@@ -333,13 +433,11 @@ impl AllocService {
     /// Snapshot aggregated counters (coordinator + all shards).
     pub fn stats(&self) -> ServiceStats {
         let (reply_tx, reply_rx) = channel();
-        let mut stats = if self.ctl_tx.send(Ctl::Stats { reply: reply_tx }).is_ok() {
+        if self.ctl_tx.send(Ctl::Stats { reply: reply_tx }).is_ok() {
             reply_rx.recv().unwrap_or_default()
         } else {
             ServiceStats::default()
-        };
-        stats.shed_admission = self.shed_admission.load(Ordering::Relaxed);
-        stats
+        }
     }
 
     /// Collect every verdict currently available, in emission order.
@@ -389,15 +487,56 @@ fn shard_layout(servers: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
-#[derive(Debug, Default)]
-struct CoordStats {
-    submitted: u64,
-    shed_wait_queue: u64,
-    shed_unplaceable: u64,
-    admitted_local: u64,
-    admitted_cross_shard: u64,
-    admitted_after_wait: u64,
-    reserve_conflicts: u64,
+/// The coordinator's counters, gauge, and latency histogram. Registry
+/// handles when telemetry is enabled (exports see them live), private
+/// standalone instruments otherwise — [`ServiceStats`] reads them the
+/// same way in both modes.
+struct CoordInstruments {
+    submitted: Counter,
+    /// Shared with the [`AllocService`] handle, which is the writer.
+    shed_admission: Counter,
+    shed_wait_queue: Counter,
+    shed_unplaceable: Counter,
+    admitted_local: Counter,
+    admitted_cross_shard: Counter,
+    admitted_after_wait: Counter,
+    reserve_conflicts: Counter,
+    /// Depth of the parked wait queue.
+    parked_depth: Gauge,
+    /// Wall-clock submit-to-first-verdict latency (µs).
+    admission_latency: Histogram,
+}
+
+impl CoordInstruments {
+    fn new(telemetry: &Telemetry, shed_admission: Counter) -> CoordInstruments {
+        if telemetry.is_enabled() {
+            CoordInstruments {
+                submitted: telemetry.counter("service.submitted"),
+                shed_admission,
+                shed_wait_queue: telemetry.counter("service.shed.wait_queue"),
+                shed_unplaceable: telemetry.counter("service.shed.unplaceable"),
+                admitted_local: telemetry.counter("service.admitted.local"),
+                admitted_cross_shard: telemetry.counter("service.admitted.cross_shard"),
+                admitted_after_wait: telemetry.counter("service.admitted.after_wait"),
+                reserve_conflicts: telemetry.counter("service.reserve.conflicts"),
+                parked_depth: telemetry.gauge("service.parked_depth"),
+                admission_latency: telemetry.histogram("service.admission_latency_us"),
+            }
+        } else {
+            CoordInstruments {
+                submitted: Counter::standalone(),
+                shed_admission,
+                shed_wait_queue: Counter::standalone(),
+                shed_unplaceable: Counter::standalone(),
+                admitted_local: Counter::standalone(),
+                admitted_cross_shard: Counter::standalone(),
+                admitted_after_wait: Counter::standalone(),
+                reserve_conflicts: Counter::standalone(),
+                parked_depth: Gauge::standalone(),
+                admission_latency: Histogram::standalone(),
+            }
+        }
+    }
 }
 
 struct Parked {
@@ -417,11 +556,12 @@ struct Coordinator {
     mirror: Vec<ServerView>,
     ctl_rx: Receiver<Ctl>,
     verdict_tx: Sender<(u64, Verdict)>,
-    #[allow(dead_code)] // shared for stats assembly symmetry
-    shed_admission: Arc<AtomicU64>,
     parked: VecDeque<Parked>,
+    /// Submit instants of tickets that have not seen a verdict yet,
+    /// recorded only when telemetry is enabled.
+    inflight: HashMap<u64, Instant>,
     now: Seconds,
-    stats: CoordStats,
+    counters: CoordInstruments,
 }
 
 impl Coordinator {
@@ -435,7 +575,16 @@ impl Coordinator {
             let mut msg = Some(first);
             loop {
                 match msg.take() {
-                    Some(Ctl::Submit { ticket, request }) => batch.push((ticket, request)),
+                    Some(Ctl::Submit {
+                        ticket,
+                        request,
+                        t0,
+                    }) => {
+                        if let Some(t0) = t0 {
+                            self.inflight.insert(ticket, t0);
+                        }
+                        batch.push((ticket, request));
+                    }
                     Some(other) => {
                         control = Some(other);
                         break;
@@ -476,7 +625,15 @@ impl Coordinator {
         }
     }
 
-    fn verdict(&self, ticket: u64, verdict: Verdict) {
+    fn verdict(&mut self, ticket: u64, verdict: Verdict) {
+        // The admission latency is submit to *first* verdict: a parked
+        // request's `Queued` verdict stops its clock, the later
+        // placement or shed does not re-report.
+        if let Some(t0) = self.inflight.remove(&ticket) {
+            self.counters
+                .admission_latency
+                .record(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
         let _ = self.verdict_tx.send((ticket, verdict));
     }
 
@@ -494,7 +651,7 @@ impl Coordinator {
     /// replies in ticket order, then walk the failures through the
     /// slow path.
     fn process_batch(&mut self, batch: Vec<(u64, VmRequest)>) {
-        self.stats.submitted += batch.len() as u64;
+        self.counters.submitted.add(batch.len() as u64);
         let mut pending = Vec::with_capacity(batch.len());
         // VMs dispatched earlier in this wave, per shard and type, so
         // concurrent same-type requests spread out instead of piling
@@ -527,7 +684,7 @@ impl Coordinator {
             match placements {
                 Some(placements) => {
                     self.apply_placements(&placements);
-                    self.stats.admitted_local += 1;
+                    self.counters.admitted_local.add(1);
                     self.verdict(ticket, Verdict::Admitted { shard, placements });
                 }
                 None => fallbacks.push((ticket, view)),
@@ -578,7 +735,7 @@ impl Coordinator {
                 };
                 match self.commit_proposal(&fleet, &placements) {
                     Some(shards) => {
-                        self.stats.admitted_cross_shard += 1;
+                        self.counters.admitted_cross_shard.add(1);
                         self.verdict(ticket, Verdict::AdmittedCrossShard { shards, placements });
                     }
                     None => next.push((ticket, view)),
@@ -686,7 +843,8 @@ impl Coordinator {
     /// queue is full.
     fn park_or_shed(&mut self, ticket: u64, view: RequestView) {
         if self.parked.len() >= self.config.queue_capacity {
-            self.stats.shed_wait_queue += 1;
+            self.counters.shed_wait_queue.add(1);
+            self.shed_event(ticket, &view, "wait queue full");
             self.verdict(
                 ticket,
                 Verdict::Shed {
@@ -695,6 +853,7 @@ impl Coordinator {
             );
         } else {
             self.parked.push_back(Parked { ticket, view });
+            self.counters.parked_depth.set(self.parked.len() as i64);
             self.verdict(
                 ticket,
                 Verdict::Queued {
@@ -702,6 +861,22 @@ impl Coordinator {
                 },
             );
         }
+    }
+
+    /// Journal a shed decision (dropped entirely when telemetry is off).
+    fn shed_event(&self, ticket: u64, view: &RequestView, reason: &str) {
+        self.config.telemetry.event(
+            self.now.0,
+            "service",
+            Severity::Warn,
+            "request shed",
+            vec![
+                ("ticket", ticket.to_string()),
+                ("job", view.id.to_string()),
+                ("vms", view.vm_count.to_string()),
+                ("reason", reason.to_string()),
+            ],
+        );
     }
 
     /// Two-phase reserve/commit of `placements`, computed on the
@@ -719,7 +894,7 @@ impl Coordinator {
             .iter()
             .any(|p| self.mirror[p.server.index()].mix != fleet[p.server.index()].mix)
         {
-            self.stats.reserve_conflicts += 1;
+            self.counters.reserve_conflicts.add(1);
             return None;
         }
         // Group the placements (and the expected mixes backing them) by
@@ -766,7 +941,7 @@ impl Coordinator {
             return Some(involved);
         }
         // Roll back whatever acked.
-        self.stats.reserve_conflicts += 1;
+        self.counters.reserve_conflicts.add(1);
         self.finish_reservation(ticket, &acked, false);
         None
     }
@@ -788,9 +963,9 @@ impl Coordinator {
     fn next_reservation_ticket(&mut self) -> u64 {
         // Reservation tickets only need to be unique per shard at a
         // time; reuse the conflict counter plus commits as a source.
-        self.stats.reserve_conflicts
-            + self.stats.admitted_cross_shard
-            + self.stats.submitted.wrapping_mul(1_000_003)
+        self.counters.reserve_conflicts.get()
+            + self.counters.admitted_cross_shard.get()
+            + self.counters.submitted.get().wrapping_mul(1_000_003)
     }
 
     fn shard_of(&self, server: ServerId) -> usize {
@@ -846,8 +1021,9 @@ impl Coordinator {
                     match self.commit_proposal(&fleet, &placements) {
                         Some(shards) => {
                             self.parked.pop_front();
-                            self.stats.admitted_cross_shard += 1;
-                            self.stats.admitted_after_wait += 1;
+                            self.counters.parked_depth.set(self.parked.len() as i64);
+                            self.counters.admitted_cross_shard.add(1);
+                            self.counters.admitted_after_wait.add(1);
                             self.verdict(
                                 ticket,
                                 Verdict::AdmittedCrossShard { shards, placements },
@@ -903,8 +1079,9 @@ impl Coordinator {
                     // Fleet fully drained and the head still does not
                     // fit: it (and anything behind it) never will.
                     while let Some(head) = self.parked.pop_front() {
-                        self.stats.shed_unplaceable += 1;
+                        self.counters.shed_unplaceable.add(1);
                         report.shed_unplaceable += 1;
+                        self.shed_event(head.ticket, &head.view, "unplaceable");
                         self.verdict(
                             head.ticket,
                             Verdict::Shed {
@@ -912,6 +1089,7 @@ impl Coordinator {
                             },
                         );
                     }
+                    self.counters.parked_depth.set(0);
                     break;
                 }
             }
@@ -938,15 +1116,16 @@ impl Coordinator {
             aggregate_cache.merge(&s.cache);
         }
         ServiceStats {
-            submitted: self.stats.submitted,
-            shed_admission: 0, // filled in by the handle
-            shed_wait_queue: self.stats.shed_wait_queue,
-            shed_unplaceable: self.stats.shed_unplaceable,
-            admitted_local: self.stats.admitted_local,
-            admitted_cross_shard: self.stats.admitted_cross_shard,
-            admitted_after_wait: self.stats.admitted_after_wait,
+            submitted: self.counters.submitted.get(),
+            shed_admission: self.counters.shed_admission.get(),
+            shed_wait_queue: self.counters.shed_wait_queue.get(),
+            shed_unplaceable: self.counters.shed_unplaceable.get(),
+            admitted_local: self.counters.admitted_local.get(),
+            admitted_cross_shard: self.counters.admitted_cross_shard.get(),
+            admitted_after_wait: self.counters.admitted_after_wait.get(),
             parked: self.parked.len() as u64,
-            reserve_conflicts: self.stats.reserve_conflicts,
+            reserve_conflicts: self.counters.reserve_conflicts.get(),
+            admission_latency_us: self.counters.admission_latency.snapshot(),
             resident_vms: shard_stats.iter().map(|s| s.resident_vms).sum(),
             estimated_energy: shard_stats
                 .iter()

@@ -5,11 +5,11 @@
 //! only way to observe or mutate a shard's servers is a message on its
 //! mailbox. The coordinator uses two kinds of traffic:
 //!
-//! * **Fast path** — [`ShardMsg::TryLocal`]: place a request entirely
+//! * **Fast path** — `ShardMsg::TryLocal`: place a request entirely
 //!   within this shard's servers and commit immediately. Shards process
 //!   fast-path traffic for different requests in parallel.
-//! * **Slow path** — the two-phase [`ShardMsg::Reserve`] /
-//!   [`ShardMsg::Commit`] (or [`ShardMsg::Abort`]) sequence, which lets
+//! * **Slow path** — the two-phase `ShardMsg::Reserve` /
+//!   `ShardMsg::Commit` (or `ShardMsg::Abort`) sequence, which lets
 //!   the coordinator place one partition atomically across several
 //!   shards. A reservation carries the mixes the coordinator *expected*
 //!   from its fleet mirror; a shard Nacks when its state has moved on
@@ -18,10 +18,10 @@
 //!   mailbox is FIFO, so any later message observes the finished
 //!   reservation.
 //!
-//! All placement/retirement logic lives in [`ShardCore`], a plain
+//! All placement/retirement logic lives in `ShardCore`, a plain
 //! single-threaded struct, so the two-phase protocol is unit-testable
 //! without spawning threads; the worker loop is a thin match over
-//! [`ShardMsg`].
+//! `ShardMsg`.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -30,9 +30,10 @@ use eavm_core::{
     AllocationModel, AllocationStrategy, DbModel, OptimizationGoal, Placement, Proactive,
     RequestView, ServerView,
 };
+use eavm_telemetry::{Counter, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId, WorkloadType};
 
-use crate::memo::{CacheStats, MemoModel};
+use crate::memo::{CacheMetrics, CacheStats, MemoModel};
 
 /// One VM resident on a shard server, with its estimated completion
 /// time (fixed at commit, from the post-placement mix).
@@ -58,7 +59,7 @@ struct PendingReservation {
     placements: Vec<Placement>,
 }
 
-/// Per-shard counters, snapshotted by [`ShardCore::stats`].
+/// Per-shard counters, snapshotted by `ShardCore::stats`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ShardStats {
     /// Shard index within the service.
@@ -89,6 +90,66 @@ pub struct ShardStats {
     pub cache: CacheStats,
 }
 
+/// Live counter handles backing one shard's protocol counters.
+///
+/// Registry-backed services register one *sharded* counter per name and
+/// hand every worker the same handles with a distinct stripe, so the
+/// telemetry registry is the single source of truth while per-shard
+/// [`ShardStats`] read their own stripe. When telemetry is disabled each
+/// shard instead gets private standalone counters (stats keep working;
+/// nothing is exported).
+#[derive(Debug, Clone)]
+pub(crate) struct ShardInstruments {
+    pub local_allocations: Counter,
+    pub local_rejections: Counter,
+    pub reserves_acked: Counter,
+    pub reserves_nacked: Counter,
+    pub commits: Counter,
+    pub aborts: Counter,
+    pub retired_vms: Counter,
+    pub global_searches: Counter,
+    /// Stripe this shard writes and reads.
+    pub stripe: usize,
+}
+
+impl ShardInstruments {
+    /// Private single-stripe counters (for tests and disabled telemetry).
+    pub(crate) fn standalone() -> Self {
+        ShardInstruments {
+            local_allocations: Counter::standalone(),
+            local_rejections: Counter::standalone(),
+            reserves_acked: Counter::standalone(),
+            reserves_nacked: Counter::standalone(),
+            commits: Counter::standalone(),
+            aborts: Counter::standalone(),
+            retired_vms: Counter::standalone(),
+            global_searches: Counter::standalone(),
+            stripe: 0,
+        }
+    }
+
+    /// Registry-backed handles writing stripe `stripe` of `stripes`-lane
+    /// counters; falls back to [`ShardInstruments::standalone`] when the
+    /// telemetry handle is disabled.
+    pub(crate) fn registered(telemetry: &Telemetry, stripes: usize, stripe: usize) -> Self {
+        if !telemetry.is_enabled() {
+            return ShardInstruments::standalone();
+        }
+        ShardInstruments {
+            local_allocations: telemetry
+                .sharded_counter("service.shard.local_allocations", stripes),
+            local_rejections: telemetry.sharded_counter("service.shard.local_rejections", stripes),
+            reserves_acked: telemetry.sharded_counter("service.shard.reserves_acked", stripes),
+            reserves_nacked: telemetry.sharded_counter("service.shard.reserves_nacked", stripes),
+            commits: telemetry.sharded_counter("service.shard.commits", stripes),
+            aborts: telemetry.sharded_counter("service.shard.aborts", stripes),
+            retired_vms: telemetry.sharded_counter("service.shard.retired_vms", stripes),
+            global_searches: telemetry.sharded_counter("service.shard.global_searches", stripes),
+            stripe,
+        }
+    }
+}
+
 /// The single-threaded heart of a shard worker.
 pub(crate) struct ShardCore {
     index: usize,
@@ -96,14 +157,7 @@ pub(crate) struct ShardCore {
     strategy: Proactive<MemoModel<DbModel>>,
     clock: Seconds,
     pending: HashMap<u64, PendingReservation>,
-    local_allocations: u64,
-    local_rejections: u64,
-    reserves_acked: u64,
-    reserves_nacked: u64,
-    commits: u64,
-    aborts: u64,
-    retired_vms: u64,
-    global_searches: u64,
+    counters: ShardInstruments,
     estimated_energy: Joules,
 }
 
@@ -112,6 +166,7 @@ impl ShardCore {
         index: usize,
         server_ids: impl IntoIterator<Item = ServerId>,
         strategy: Proactive<MemoModel<DbModel>>,
+        counters: ShardInstruments,
     ) -> Self {
         ShardCore {
             index,
@@ -126,16 +181,14 @@ impl ShardCore {
             strategy,
             clock: Seconds(0.0),
             pending: HashMap::new(),
-            local_allocations: 0,
-            local_rejections: 0,
-            reserves_acked: 0,
-            reserves_nacked: 0,
-            commits: 0,
-            aborts: 0,
-            retired_vms: 0,
-            global_searches: 0,
+            counters,
             estimated_energy: Joules(0.0),
         }
+    }
+
+    /// Bump one of this shard's counters on its stripe.
+    fn bump(&self, counter: &Counter, n: u64) {
+        counter.add_on(self.counters.stripe, n);
     }
 
     fn cpu_slots(&self) -> u32 {
@@ -203,11 +256,11 @@ impl ShardCore {
                     self.server_mut(p.server)?.mix = old + p.add;
                     self.materialize(p).ok()?;
                 }
-                self.local_allocations += 1;
+                self.bump(&self.counters.local_allocations, 1);
                 Some(placements)
             }
             Err(_) => {
-                self.local_rejections += 1;
+                self.bump(&self.counters.local_rejections, 1);
                 None
             }
         }
@@ -222,7 +275,7 @@ impl ShardCore {
         request: &RequestView,
         fleet: &[ServerView],
     ) -> Option<Vec<Placement>> {
-        self.global_searches += 1;
+        self.bump(&self.counters.global_searches, 1);
         self.strategy.allocate(request, fleet).ok()
     }
 
@@ -243,7 +296,7 @@ impl ShardCore {
                 .unwrap_or(true)
         });
         if stale || self.pending.contains_key(&ticket) {
-            self.reserves_nacked += 1;
+            self.bump(&self.counters.reserves_nacked, 1);
             return false;
         }
         for p in &placements {
@@ -253,7 +306,7 @@ impl ShardCore {
         }
         self.pending
             .insert(ticket, PendingReservation { placements });
-        self.reserves_acked += 1;
+        self.bump(&self.counters.reserves_acked, 1);
         true
     }
 
@@ -270,7 +323,7 @@ impl ShardCore {
             }
             let _ = self.materialize(p);
         }
-        self.commits += 1;
+        self.bump(&self.counters.commits, 1);
     }
 
     /// Phase two, failure: roll the provisional mixes back exactly.
@@ -286,7 +339,7 @@ impl ShardCore {
                     .expect("reserved adds are subtractable");
             }
         }
-        self.aborts += 1;
+        self.bump(&self.counters.aborts, 1);
     }
 
     /// Advance the virtual clock, retiring every VM whose estimated
@@ -312,7 +365,7 @@ impl ShardCore {
                 freed.push((srv.id, freed_here));
             }
         }
-        self.retired_vms += retired as u64;
+        self.bump(&self.counters.retired_vms, retired as u64);
         (retired, freed)
     }
 
@@ -325,25 +378,27 @@ impl ShardCore {
     }
 
     pub(crate) fn stats(&self) -> ShardStats {
+        let c = &self.counters;
+        let read = |counter: &Counter| counter.on_stripe(c.stripe);
         ShardStats {
             shard: self.index,
             servers: self.servers.len(),
             resident_vms: self.servers.iter().map(|s| s.resident.len()).sum(),
-            local_allocations: self.local_allocations,
-            local_rejections: self.local_rejections,
-            reserves_acked: self.reserves_acked,
-            reserves_nacked: self.reserves_nacked,
-            commits: self.commits,
-            aborts: self.aborts,
-            retired_vms: self.retired_vms,
-            global_searches: self.global_searches,
+            local_allocations: read(&c.local_allocations),
+            local_rejections: read(&c.local_rejections),
+            reserves_acked: read(&c.reserves_acked),
+            reserves_nacked: read(&c.reserves_nacked),
+            commits: read(&c.commits),
+            aborts: read(&c.aborts),
+            retired_vms: read(&c.retired_vms),
+            global_searches: read(&c.global_searches),
             estimated_energy: self.estimated_energy,
             cache: self.strategy.model().cache_stats(),
         }
     }
 }
 
-/// Reply to [`ShardMsg::TryLocal`]: the committed placements (if the
+/// Reply to `ShardMsg::TryLocal`: the committed placements (if the
 /// request fit locally) plus whatever the piggybacked clock advance
 /// retired, so the coordinator's fleet mirror stays exact without a
 /// separate advance fan-out per submission burst.
@@ -444,20 +499,24 @@ pub(crate) fn run_worker(mut core: ShardCore, rx: Receiver<ShardMsg>) {
 }
 
 /// Build the per-shard allocator used by both shard workers and the
-/// coordinator's global search.
+/// coordinator's global search, counting cache traffic into
+/// `cache_metrics` and partition-search work into `search_metrics`.
 pub(crate) fn build_strategy(
     db: eavm_benchdb::ModelDatabase,
     cache_capacity: usize,
     goal: OptimizationGoal,
     deadlines: [Seconds; 3],
     qos_margin: f64,
+    cache_metrics: CacheMetrics,
+    search_metrics: eavm_core::SearchMetrics,
 ) -> Proactive<MemoModel<DbModel>> {
     Proactive::new(
-        MemoModel::new(DbModel::new(db), cache_capacity),
+        MemoModel::with_metrics(DbModel::new(db), cache_capacity, cache_metrics),
         goal,
         deadlines,
     )
     .with_qos_margin(qos_margin)
+    .with_search_metrics(search_metrics)
 }
 
 #[cfg(test)]
@@ -472,8 +531,21 @@ mod tests {
 
     fn core(n: usize) -> ShardCore {
         let db = DbBuilder::exact().build().expect("db");
-        let strategy = build_strategy(db, 256, OptimizationGoal::BALANCED, deadlines(), 1.0);
-        ShardCore::new(0, (0..n).map(ServerId::from), strategy)
+        let strategy = build_strategy(
+            db,
+            256,
+            OptimizationGoal::BALANCED,
+            deadlines(),
+            1.0,
+            CacheMetrics::standalone(),
+            eavm_core::SearchMetrics::default(),
+        );
+        ShardCore::new(
+            0,
+            (0..n).map(ServerId::from),
+            strategy,
+            ShardInstruments::standalone(),
+        )
     }
 
     fn request(id: u32, ty: WorkloadType, vms: u32) -> RequestView {

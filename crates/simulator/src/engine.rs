@@ -13,7 +13,9 @@
 use eavm_core::strategy::{validate_placements, RequestView, ServerView};
 use eavm_core::{AllocationModel, AllocationStrategy};
 use eavm_swf::VmRequest;
+use eavm_telemetry::{Severity, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId, Watts, WorkloadType};
+use std::sync::Arc;
 
 use crate::cloud::CloudConfig;
 use crate::metrics::{AllocationInterval, SimOutcome};
@@ -144,6 +146,10 @@ pub struct Simulation<M> {
     /// count)` pairs appended after the `cloud.servers` reference-platform
     /// machines. Platform indices start at 1 (0 is the reference).
     pub extra_platforms: Vec<(M, usize)>,
+    /// Observability sink (disabled by default). All instruments are
+    /// counters/histograms over *virtual* quantities — attaching an
+    /// enabled handle never changes simulation results.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl<M: AllocationModel> Simulation<M> {
@@ -159,6 +165,7 @@ impl<M: AllocationModel> Simulation<M> {
             record_timeline: false,
             queue_policy: QueuePolicy::Fifo,
             extra_platforms: Vec::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -200,6 +207,12 @@ impl<M: AllocationModel> Simulation<M> {
     /// Allocate same-instant same-profile bursts as one merged request.
     pub fn with_burst_allocation(mut self) -> Self {
         self.burst_allocation = true;
+        self
+    }
+
+    /// Attach an observability sink (metrics + journal).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -292,6 +305,8 @@ impl<M: AllocationModel> Simulation<M> {
         for r in requests {
             per_type_requests[r.workload.index()] += 1;
         }
+        // Per-VM queue wait in virtual seconds, recorded at placement.
+        let wait_hist = self.telemetry.histogram("sim.queue_wait_s");
 
         // Close/open Fig.-4 timeline intervals for servers whose mix
         // changed, stamping the change at `now`.
@@ -385,6 +400,7 @@ impl<M: AllocationModel> Simulation<M> {
                             &mut total_vms,
                             &mut total_wait,
                             &mut peak_busy,
+                            &wait_hist,
                         )?;
                         for _ in 0..group.len() {
                             queue.pop_front();
@@ -421,6 +437,7 @@ impl<M: AllocationModel> Simulation<M> {
                                     &mut total_vms,
                                     &mut total_wait,
                                     &mut peak_busy,
+                                    &wait_hist,
                                 )?;
                                 queue.pop_front();
                                 continue;
@@ -428,6 +445,13 @@ impl<M: AllocationModel> Simulation<M> {
                         }
                         // Head-of-line blocking: wait for a completion.
                         if active == 0 && next_arrival >= requests.len() {
+                            self.telemetry.event(
+                                t.value(),
+                                "simulator",
+                                Severity::Error,
+                                "run stuck: request can never be placed",
+                                vec![("request", ridx.to_string())],
+                            );
                             return Err(SimulationError::Stuck {
                                 request: ridx,
                                 reason: EavmError::Infeasible(reason),
@@ -478,6 +502,7 @@ impl<M: AllocationModel> Simulation<M> {
                                 &mut total_vms,
                                 &mut total_wait,
                                 &mut peak_busy,
+                                &wait_hist,
                             )?;
                             queue.remove(idx);
                         }
@@ -617,10 +642,39 @@ impl<M: AllocationModel> Simulation<M> {
 
         if !queue.is_empty() {
             let ridx = *queue.front().expect("non-empty queue");
+            self.telemetry.event(
+                t.value(),
+                "simulator",
+                Severity::Error,
+                "run stuck: queue drained no further",
+                vec![("request", ridx.to_string())],
+            );
             return Err(SimulationError::Stuck {
                 request: ridx,
                 reason: EavmError::Infeasible("queue drained no further".into()),
             });
+        }
+
+        // One flush per run keeps the event loop free of shared atomics.
+        let tel = &self.telemetry;
+        if tel.is_enabled() {
+            tel.counter("sim.runs").inc();
+            tel.counter("sim.requests").add(requests.len() as u64);
+            tel.counter("sim.vms_placed").add(total_vms as u64);
+            tel.counter("sim.sla_violations")
+                .add(violated.iter().filter(|&&v| v).count() as u64);
+            tel.counter("sim.migrations").add(migrations as u64);
+            tel.event(
+                t.value(),
+                "simulator",
+                Severity::Info,
+                "run complete",
+                vec![
+                    ("requests", requests.len().to_string()),
+                    ("vms", total_vms.to_string()),
+                    ("energy_j", format!("{:.0}", energy.value())),
+                ],
+            );
         }
 
         Ok(SimOutcome {
@@ -668,6 +722,7 @@ impl<M: AllocationModel> Simulation<M> {
         total_vms: &mut usize,
         total_wait: &mut Seconds,
         peak_busy: &mut usize,
+        wait_hist: &eavm_telemetry::Histogram,
     ) -> Result<(), SimulationError> {
         let mut owner_iter = owners.iter().copied();
         for p in placements {
@@ -689,6 +744,7 @@ impl<M: AllocationModel> Simulation<M> {
                     *active += 1;
                     *total_vms += 1;
                     *total_wait += t - req.submit;
+                    wait_hist.record((t - req.submit).value().max(0.0) as u64);
                 }
             }
             servers[si].mix += p.add;
@@ -1330,6 +1386,32 @@ mod tests {
         // its 3000 s deadline; EDF serves it in the second batch.
         assert_eq!(fifo.sla_violations, 1);
         assert_eq!(edf.sla_violations, 0, "EDF must save the urgent request");
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_results() {
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
+            req(1, 1.0, WorkloadType::Cpu, 4, 600.0), // waits, then violates
+        ];
+        let plain = Simulation::new(model(), cloud(1));
+        let telemetry = Telemetry::new();
+        let observed = Simulation::new(model(), cloud(1)).with_telemetry(telemetry.clone());
+
+        let a = plain.run(&mut ff(), &reqs).unwrap();
+        let b = observed.run(&mut ff(), &reqs).unwrap();
+        assert_eq!(a, b, "telemetry must not perturb the simulation");
+
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("sim.runs"), 1);
+        assert_eq!(snap.counter("sim.requests"), 2);
+        assert_eq!(snap.counter("sim.vms_placed"), 8);
+        assert_eq!(snap.counter("sim.sla_violations"), 1);
+        let (name, waits) = &snap.histograms[0];
+        assert_eq!(name, "sim.queue_wait_s");
+        assert_eq!(waits.count, 8);
+        assert!(waits.max > 1000, "the queued batch waited a full run");
+        assert_eq!(telemetry.journal().events().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Exporters over a [`MetricsSnapshot`]: Prometheus text format, a JSON
+//! document, and a human-readable block for CLI output.
+//!
+//! All three iterate the snapshot's already-sorted vectors, so output is
+//! byte-for-byte deterministic for a given set of instrument values —
+//! snapshot tests can assert on it directly.
+
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Map an instrument name to a legal Prometheus metric name: every
+/// character outside `[a-zA-Z0-9_]` becomes `_`, and a leading digit is
+/// prefixed with `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            if i == 0 && ch.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Counters and gauges become single samples; each histogram becomes
+    /// a summary (`{quantile="..."}` samples plus `_sum`, `_count`, and a
+    /// non-standard `_max` gauge).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let n = prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{n}{{quantile=\"0.95\"}} {}", h.p95);
+            let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+            let _ = writeln!(out, "{n}_max {}", h.max);
+        }
+        out
+    }
+
+    /// Render the snapshot as a pretty-printed JSON document with three
+    /// top-level objects (`counters`, `gauges`, `histograms`), keys in
+    /// sorted instrument order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": {value}", json_escape(name));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": {value}", json_escape(name));
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.max,
+                h.p50,
+                h.p95,
+                h.p99
+            );
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push('}');
+        out.push('\n');
+        out
+    }
+
+    /// Render a compact human-readable block for CLI output, one
+    /// instrument per line, indented for embedding under a heading.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {name}: count={} p50={} p95={} p99={} max={}",
+                h.count, h.p50, h.p95, h.p99, h.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("service.submitted").add(42);
+        r.counter("service.shed.admission").add(3);
+        r.gauge("service.parked_depth").set(-1);
+        let h = r.histogram("service.admission_latency_us");
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(5000);
+        r
+    }
+
+    #[test]
+    fn prometheus_export_is_deterministic() {
+        let expected = "\
+# TYPE service_shed_admission counter
+service_shed_admission 3
+# TYPE service_submitted counter
+service_submitted 42
+# TYPE service_parked_depth gauge
+service_parked_depth -1
+# TYPE service_admission_latency_us summary
+service_admission_latency_us{quantile=\"0.5\"} 127
+service_admission_latency_us{quantile=\"0.95\"} 5000
+service_admission_latency_us{quantile=\"0.99\"} 5000
+service_admission_latency_us_sum 5900
+service_admission_latency_us_count 10
+service_admission_latency_us_max 5000
+";
+        // Byte-identical across repeated snapshots and registration order.
+        assert_eq!(sample_registry().snapshot().to_prometheus(), expected);
+        assert_eq!(sample_registry().snapshot().to_prometheus(), expected);
+    }
+
+    #[test]
+    fn json_export_is_deterministic() {
+        let expected = "{
+  \"counters\": {
+    \"service.shed.admission\": 3,
+    \"service.submitted\": 42
+  },
+  \"gauges\": {
+    \"service.parked_depth\": -1
+  },
+  \"histograms\": {
+    \"service.admission_latency_us\": {\"count\": 10, \"sum\": 5900, \"max\": 5000, \"p50\": 127, \"p95\": 5000, \"p99\": 5000}
+  }
+}
+";
+        assert_eq!(sample_registry().snapshot().to_json(), expected);
+    }
+
+    #[test]
+    fn empty_snapshot_exports_are_valid() {
+        let r = Registry::new();
+        assert_eq!(r.snapshot().to_prometheus(), "");
+        assert_eq!(
+            r.snapshot().to_json(),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n"
+        );
+        assert_eq!(r.snapshot().render(), "");
+    }
+
+    #[test]
+    fn names_are_sanitized_for_prometheus() {
+        assert_eq!(super::prometheus_name("a.b-c/d"), "a_b_c_d");
+        assert_eq!(super::prometheus_name("9lives"), "_9lives");
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn human_render_lists_every_instrument() {
+        let s = sample_registry().snapshot().render();
+        assert!(s.contains("  service.submitted = 42"));
+        assert!(s.contains("  service.parked_depth = -1"));
+        assert!(s.contains("service.admission_latency_us: count=10 p50=127"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Bounded structured event journal.
+//!
+//! A fixed-capacity ring buffer of tagged events: when full, the oldest
+//! event is dropped and a drop counter bumps, so a misbehaving subsystem
+//! can never grow memory without bound. Timestamps are *virtual* seconds
+//! supplied by the caller (simulation/service time), never wall clock —
+//! journaling must not perturb deterministic replay.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Event severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fine-grained diagnostic detail.
+    Debug,
+    /// Normal operational milestones.
+    Info,
+    /// Unexpected but recoverable conditions (shed, conflict).
+    Warn,
+    /// Failures that lose work.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO",
+            Severity::Warn => "WARN",
+            Severity::Error => "ERROR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence number across the journal's lifetime (counts
+    /// dropped events too, so gaps reveal loss).
+    pub seq: u64,
+    /// Virtual time in seconds when the event was emitted.
+    pub time_s: f64,
+    /// Emitting subsystem (`"service"`, `"simulator"`, ...).
+    pub subsystem: &'static str,
+    /// Severity tag.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured key/value payload.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+impl Event {
+    /// Render as a single log line: `[12.5s service WARN] shed vm=3`.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "[{:.3}s {} {}] {}",
+            self.time_s, self.subsystem, self.severity, self.message
+        );
+        for (k, v) in &self.fields {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(v);
+        }
+        line
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Fixed-capacity, thread-safe event buffer.
+#[derive(Debug)]
+pub struct Journal {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            capacity: capacity.max(1),
+            ring: Mutex::new(Ring::default()),
+        }
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(
+        &self,
+        time_s: f64,
+        subsystem: &'static str,
+        severity: Severity,
+        message: impl Into<String>,
+        fields: Vec<(&'static str, String)>,
+    ) {
+        let mut ring = self.ring.lock().expect("journal poisoned");
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(Event {
+            seq,
+            time_s,
+            subsystem,
+            severity,
+            message: message.into(),
+            fields,
+        });
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring
+            .lock()
+            .expect("journal poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("journal poisoned").dropped
+    }
+
+    /// Total events ever pushed.
+    pub fn total(&self) -> u64 {
+        self.ring.lock().expect("journal poisoned").next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_newest_and_counts_drops() {
+        let j = Journal::new(2);
+        j.push(1.0, "svc", Severity::Info, "a", vec![]);
+        j.push(2.0, "svc", Severity::Info, "b", vec![]);
+        j.push(3.0, "svc", Severity::Warn, "c", vec![("vm", "3".into())]);
+        let events = j.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].message, "b");
+        assert_eq!(events[1].message, "c");
+        assert_eq!(events[1].seq, 2);
+        assert_eq!(j.dropped(), 1);
+        assert_eq!(j.total(), 3);
+    }
+
+    #[test]
+    fn renders_a_log_line() {
+        let j = Journal::new(4);
+        j.push(
+            12.5,
+            "service",
+            Severity::Warn,
+            "shed",
+            vec![("vm", "3".into()), ("reason", "full".into())],
+        );
+        assert_eq!(
+            j.events()[0].render(),
+            "[12.500s service WARN] shed vm=3 reason=full"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let j = Journal::new(0);
+        assert_eq!(j.capacity(), 1);
+        j.push(0.0, "x", Severity::Debug, "only", vec![]);
+        assert_eq!(j.events().len(), 1);
+    }
+
+    #[test]
+    fn severity_orders() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+}

@@ -49,6 +49,8 @@
 //! | [`swf`] | SWF parsing, cleaning, EGEE-like generation, VM-request adaptation |
 //! | [`core`] | PROACTIVE(α) + FIRST-FIT strategies, models, Fig. 4 estimation |
 //! | [`simulator`] | discrete-event datacenter engine + metrics + cloud sizing |
+//! | [`telemetry`] | metrics registry, bounded event journal, Prometheus/JSON exporters |
+//! | [`service`] | online concurrent allocation service (sharded fleet, batched admission) |
 //!
 //! The `eavm-bench` crate (not re-exported) regenerates every table and
 //! figure of the paper; see `EXPERIMENTS.md`.
@@ -59,6 +61,7 @@ pub use eavm_partitions as partitions;
 pub use eavm_service as service;
 pub use eavm_simulator as simulator;
 pub use eavm_swf as swf;
+pub use eavm_telemetry as telemetry;
 pub use eavm_testbed as testbed;
 pub use eavm_types as types;
 
@@ -75,6 +78,7 @@ pub mod prelude {
     pub use eavm_swf::{
         adapt_trace, clean_trace, AdaptConfig, GeneratorConfig, SwfTrace, TraceGenerator, VmRequest,
     };
+    pub use eavm_telemetry::{MetricsSnapshot, Severity, Telemetry};
     pub use eavm_testbed::{
         ApplicationProfile, BenchmarkSuite, ContentionModel, PowerMeter, PowerModel, Profiler,
         RunSimulator, ServerSpec, Subsystem,

@@ -6,6 +6,8 @@
 //! decisions, interval for interval, and report the same total energy,
 //! while the cache demonstrably shortcuts repeat lookups.
 
+use std::sync::Arc;
+
 use eavm::prelude::*;
 use eavm::service::{replay_deterministic, DeterministicConfig};
 
@@ -55,8 +57,12 @@ fn deterministic_replay_matches_batch_simulation_exactly() {
         .run(&mut reference, &requests)
         .unwrap();
 
-    // Service path: same allocator stack plus the memoization layer.
-    let mut config = DeterministicConfig::new(OptimizationGoal::BALANCED, dl);
+    // Service path: same allocator stack plus the memoization layer,
+    // with telemetry ENABLED — instruments must observe the replay
+    // without perturbing a single allocation decision.
+    let telemetry = Telemetry::new();
+    let mut config = DeterministicConfig::new(OptimizationGoal::BALANCED, dl)
+        .with_telemetry(Arc::clone(&telemetry));
     config.timeline = true;
     let (outcome, cache) =
         replay_deterministic(AnalyticModel::reference(), cloud, db, &config, &requests).unwrap();
@@ -79,4 +85,12 @@ fn deterministic_replay_matches_batch_simulation_exactly() {
         cache.hit_rate() > 0.5,
         "repeat mixes should dominate: {cache:?}"
     );
+
+    // The registry saw the same traffic the stats structs report: one
+    // source of truth, not parallel bookkeeping.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("replay.cache.hits"), cache.hits);
+    assert_eq!(snap.counter("replay.cache.misses"), cache.misses);
+    assert_eq!(snap.counter("sim.vms_placed"), outcome.vms as u64);
+    assert!(snap.counter("replay.search.searches") > 0);
 }

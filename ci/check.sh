@@ -26,4 +26,28 @@ cargo bench --no-run --workspace
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+echo "==> chaos smoke (deterministic fault injection)"
+# A short replay with a nonzero fault rate must exit 0, conserve VM
+# placements (trace + restarts), and survive an injected shard-worker
+# kill with every submission resolved to a final verdict.
+CHAOS_DIR="$(mktemp -d)"
+trap 'rm -rf "$CHAOS_DIR"' EXIT
+CLI=(cargo run --release -q -p eavm-cli --)
+"${CLI[@]}" build-db --out-dir "$CHAOS_DIR/db" --exact --threads 4 > /dev/null
+"${CLI[@]}" gen-trace --out "$CHAOS_DIR/t.swf" --jobs 200 --seed 5 > /dev/null
+REPLAY_OUT="$("${CLI[@]}" replay-online --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 6 --vms 200 \
+    --fault-seed 42 --fault-rate 2.0)"
+echo "$REPLAY_OUT" | grep -q "faults: seed=42" \
+    || { echo "chaos smoke: no faults line"; echo "$REPLAY_OUT"; exit 1; }
+echo "$REPLAY_OUT" | grep -q "conservation: ok" \
+    || { echo "chaos smoke: conservation violated"; echo "$REPLAY_OUT"; exit 1; }
+SERVE_OUT="$("${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 6 --shards 2 --vms 200 \
+    --fault-rate 2.0 --kill-shard 0 --kill-after 5 2>/dev/null)"
+echo "$SERVE_OUT" | grep -q "conservation: ok" \
+    || { echo "chaos smoke: service lost verdicts"; echo "$SERVE_OUT"; exit 1; }
+echo "$SERVE_OUT" | grep -q "respawns=1" \
+    || { echo "chaos smoke: shard never respawned"; echo "$SERVE_OUT"; exit 1; }
+
 echo "CI checks passed."

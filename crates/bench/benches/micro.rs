@@ -9,6 +9,7 @@ use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
 use eavm_benchdb::{DbBuilder, ModelDatabase};
 use eavm_core::strategy::{RequestView, ServerView};
 use eavm_core::{AllocationStrategy, DbModel, OptimizationGoal, Proactive};
+use eavm_faults::{FaultConfig, FaultPlan, LookupFaults};
 use eavm_partitions::{multiset_partitions, multiset_partitions_capped, SetPartitions};
 use eavm_testbed::{ApplicationProfile, RunSimulator};
 use eavm_types::{JobId, MixVector, Seconds, ServerId, WorkloadType};
@@ -255,6 +256,28 @@ fn bench_telemetry(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_faults(c: &mut Criterion) {
+    // Plan generation is front-loaded setup cost: it must stay cheap
+    // enough to regenerate per experiment run.
+    c.bench_function("fault_plan_generate_64_hosts_24h", |b| {
+        b.iter(|| {
+            FaultPlan::generate(black_box(&FaultConfig::uniform(42, 2.0)), 64, 86_400.0)
+                .events()
+                .len()
+        })
+    });
+    // The lookup predicate sits on the model hot path when chaos is
+    // armed; it is a hash and a compare, nothing more.
+    let faults = LookupFaults::new(7, 0.1);
+    c.bench_function("lookup_fault_predicate_1k", |b| {
+        b.iter(|| {
+            (0..1_000u64)
+                .filter(|&k| faults.fails(black_box(k)))
+                .count()
+        })
+    });
+}
+
 fn bench_db_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("db_build");
     group.sample_size(10);
@@ -278,6 +301,7 @@ criterion_group!(
     bench_learned_model,
     bench_swf,
     bench_telemetry,
+    bench_faults,
     bench_db_build
 );
 criterion_main!(benches);

@@ -65,6 +65,18 @@ impl Args {
         }
     }
 
+    /// An optional parsed option: `Ok(None)` when absent, an error only
+    /// when present but unparseable.
+    pub fn get_optional<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, String> {
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+
     /// A required parsed option.
     pub fn get_required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
         let v = self.required(name)?;
@@ -121,6 +133,14 @@ mod tests {
     fn invalid_numeric_value_is_reported() {
         let a = parse(&["x", "--n", "abc"]).unwrap();
         assert!(a.get_or::<u32>("n", 1).is_err());
+        assert!(a.get_optional::<u32>("n").is_err());
+    }
+
+    #[test]
+    fn optional_option_distinguishes_absent_from_present() {
+        let a = parse(&["x", "--kill-shard", "2"]).unwrap();
+        assert_eq!(a.get_optional::<usize>("kill-shard").unwrap(), Some(2));
+        assert_eq!(a.get_optional::<usize>("kill-after").unwrap(), None);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use eavm_benchdb::{DbBuilder, ModelDatabase};
 use eavm_core::{
     AllocationStrategy, AnalyticModel, BestFit, DbModel, FirstFit, OptimizationGoal, Proactive,
 };
+use eavm_faults::{FaultConfig, FaultPlan, WorkerFaultPlan};
 use eavm_service::CacheStats;
 use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
 use eavm_swf::{
@@ -51,13 +52,16 @@ USAGE:
   eavm-cli simulate    --db-dir DIR --trace FILE --strategy NAME --servers N
                        [--big-nodes N] [--vms N] [--seed N] [--qos F] [--margin F]
                        [--burst] [--always-on] [--timeline-out FILE]
+                       [--fault-seed N] [--fault-rate F]
   eavm-cli serve       --db-dir DIR --trace FILE --servers N [--shards N]
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
                        [--queue N] [--cache N]
+                       [--fault-seed N] [--fault-rate F]
+                       [--kill-shard N] [--kill-after M]
                        [--metrics-out FILE] [--metrics-format prometheus|json]
   eavm-cli replay-online --db-dir DIR --trace FILE --servers N
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
-                       [--cache N]
+                       [--cache N] [--fault-seed N] [--fault-rate F]
                        [--metrics-out FILE] [--metrics-format prometheus|json]
   eavm-cli db-diff     --left DIR --right DIR [--tolerance F]
   eavm-cli info        --db-dir DIR
@@ -221,6 +225,63 @@ fn load_workload(
     Ok((db, requests, deadlines))
 }
 
+/// Parse the chaos knobs shared by `simulate` and `replay-online`:
+/// `--fault-rate F` (expected crashes *and* degradations per host-hour)
+/// arms a deterministic [`FaultPlan`] seeded by `--fault-seed N` over
+/// `hosts` hosts and a horizon of the last submission plus ten hours.
+/// Returns `None` when no rate (or a zero rate) was given.
+fn fault_plan(
+    args: &Args,
+    hosts: usize,
+    requests: &[eavm_swf::VmRequest],
+) -> Result<Option<(u64, f64, FaultPlan)>, String> {
+    let rate: f64 = args.get_or("fault-rate", 0.0)?;
+    if rate <= 0.0 {
+        return Ok(None);
+    }
+    let seed: u64 = args.get_or("fault-seed", 0xFA17)?;
+    let horizon = requests
+        .iter()
+        .map(|r| r.submit.value())
+        .fold(0.0f64, f64::max)
+        + 36_000.0;
+    let plan = FaultPlan::generate(&FaultConfig::uniform(seed, rate), hosts, horizon);
+    Ok(Some((seed, rate, plan)))
+}
+
+/// The one chaos summary line printed whenever a fault plan is armed.
+fn render_faults(seed: u64, rate: f64, plan: &FaultPlan, out: &SimOutcome) -> String {
+    format!(
+        "faults: seed={seed} rate={rate} scheduled-crashes={} scheduled-degradations={} \
+         crashes={} degradations={} vms-killed={} vms-restarted={} \
+         lost-work={:.0}s restart-energy={:.3e}J\n",
+        plan.crash_count(),
+        plan.degrade_count(),
+        out.host_crashes,
+        out.host_degradations,
+        out.vms_killed,
+        out.vms_restarted,
+        out.lost_work.value(),
+        out.restart_energy.value(),
+    )
+}
+
+/// VM-conservation check under chaos: every VM in the trace must be
+/// placed exactly once, plus one extra placement per restart.
+fn render_conservation(out: &SimOutcome, requests: &[eavm_swf::VmRequest]) -> String {
+    let expected = total_vms(requests) as usize + out.vms_restarted;
+    if out.vms == expected {
+        format!("conservation: ok ({} = trace + restarts)\n", out.vms)
+    } else {
+        format!(
+            "conservation: VIOLATED (placed {} != trace {} + restarts {})\n",
+            out.vms,
+            total_vms(requests),
+            out.vms_restarted,
+        )
+    }
+}
+
 fn simulate(args: &Args) -> Result<String, String> {
     let strategy_name = args.required("strategy")?;
     let servers: usize = args.get_required("servers")?;
@@ -252,6 +313,10 @@ fn simulate(args: &Args) -> Result<String, String> {
     if timeline_out.is_some() {
         sim = sim.with_timeline();
     }
+    let chaos = fault_plan(args, servers + big_nodes, &requests)?;
+    if let Some((_, _, plan)) = &chaos {
+        sim = sim.with_faults(plan.clone());
+    }
     let out = sim
         .run(strategy.as_mut(), &requests)
         .map_err(|e| e.to_string())?;
@@ -270,7 +335,12 @@ fn simulate(args: &Args) -> Result<String, String> {
         }
         std::fs::write(&path, csv).map_err(|e| e.to_string())?;
     }
-    Ok(render_outcome(&out, &requests))
+    let mut output = render_outcome(&out, &requests);
+    if let Some((seed, rate, plan)) = &chaos {
+        output.push_str(&render_faults(*seed, *rate, plan, &out));
+        output.push_str(&render_conservation(&out, &requests));
+    }
+    Ok(output)
 }
 
 /// The one cache-counters line shared by `serve` and `replay-online`.
@@ -339,6 +409,25 @@ fn serve(args: &Args) -> Result<String, String> {
     config.goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
     config.deadlines = deadlines;
     config.qos_margin = margin;
+    // Chaos knobs: `--fault-rate` arms transient model-lookup failures
+    // (same seeding as the simulator's plan), `--kill-shard N` kills
+    // worker N after `--kill-after M` served messages to exercise the
+    // supervised respawn path end to end.
+    let fault_rate: f64 = args.get_or("fault-rate", 0.0)?;
+    if fault_rate > 0.0 {
+        let seed: u64 = args.get_or("fault-seed", 0xFA17)?;
+        let lookup = FaultConfig::uniform(seed, fault_rate).lookup_failure_rate;
+        config = config.with_lookup_faults(eavm_faults::LookupFaults::new(seed, lookup));
+    }
+    if let Some(kill_shard) = args.get_optional::<usize>("kill-shard")? {
+        if kill_shard >= shards {
+            return Err(format!(
+                "--kill-shard {kill_shard} out of range (shards={shards})"
+            ));
+        }
+        let after: u64 = args.get_or("kill-after", 16)?;
+        config = config.with_worker_faults(WorkerFaultPlan::kill_shard(shards, kill_shard, after));
+    }
 
     let started = std::time::Instant::now();
     let report = eavm_service::replay_online(&db, config, &requests).map_err(|e| e.to_string())?;
@@ -346,10 +435,30 @@ fn serve(args: &Args) -> Result<String, String> {
     let s = &report.stats;
     let lat = &s.admission_latency_us;
     let throughput = report.requests as f64 / elapsed.max(1e-9);
+    // Every accepted request must resolve to exactly one final verdict,
+    // shard deaths included.
+    let finals = s.admitted_local
+        + s.admitted_cross_shard
+        + s.shed_wait_queue
+        + s.shed_unplaceable
+        + s.shed_shard_failure;
+    let conservation = if finals + s.parked == s.submitted {
+        format!(
+            "conservation: ok ({finals} final verdicts + {} parked)\n",
+            s.parked
+        )
+    } else {
+        format!(
+            "conservation: VIOLATED ({finals} finals + {} parked != {} submitted)\n",
+            s.parked, s.submitted
+        )
+    };
     Ok(format!(
         "service: shards={shards} servers={servers} requests={} vms={}\n\
          admitted: local={} cross-shard={} after-wait={}\n\
-         shed: admission={} wait-queue={} unplaceable={}\n\
+         shed: admission={} wait-queue={} unplaceable={} shard-failure={}\n\
+         faults: shard-failures={} respawns={} requeued={} model-fallbacks={}\n\
+         {}\
          {}\
          admission-latency: p50={}us p95={}us p99={}us max={}us\n\
          reserve-conflicts={} virtual-makespan={:.0}s estimated-energy={:.3e}J\n\
@@ -362,6 +471,12 @@ fn serve(args: &Args) -> Result<String, String> {
         s.shed_admission,
         s.shed_wait_queue,
         s.shed_unplaceable,
+        s.shed_shard_failure,
+        s.shard_failures,
+        s.shard_respawns,
+        s.requeued,
+        s.model_fallbacks,
+        conservation,
         render_cache(&s.aggregate_cache),
         lat.p50,
         lat.p95,
@@ -390,8 +505,12 @@ fn replay_online_cmd(args: &Args) -> Result<String, String> {
         .with_telemetry(Arc::clone(&telemetry));
     config.qos_margin = margin;
     config.cache_capacity = args.get_or("cache", 4096)?;
+    let chaos = fault_plan(args, servers, &requests)?;
+    if let Some((_, _, plan)) = &chaos {
+        config = config.with_faults(plan.clone());
+    }
     let cloud = CloudConfig::new("SERVICE", servers).map_err(|e| e.to_string())?;
-    let (out, cache) = eavm_service::replay_deterministic(
+    let (out, cache, fallbacks) = eavm_service::replay_deterministic(
         AnalyticModel::reference(),
         cloud,
         db,
@@ -399,12 +518,18 @@ fn replay_online_cmd(args: &Args) -> Result<String, String> {
         &requests,
     )
     .map_err(|e| e.to_string())?;
-    Ok(format!(
-        "{}{}{}",
+    let mut output = format!(
+        "{}{}",
         render_outcome(&out, &requests),
         render_cache(&cache),
-        export_metrics(args, &telemetry)?,
-    ))
+    );
+    if let Some((seed, rate, plan)) = &chaos {
+        output.push_str(&render_faults(*seed, *rate, plan, &out));
+        output.push_str(&format!("model-fallbacks: {fallbacks}\n"));
+        output.push_str(&render_conservation(&out, &requests));
+    }
+    output.push_str(&export_metrics(args, &telemetry)?);
+    Ok(output)
 }
 
 fn db_diff(args: &Args) -> Result<String, String> {
@@ -673,6 +798,82 @@ mod tests {
         let csv = std::fs::read_to_string(dir.join("timeline.csv")).unwrap();
         assert!(csv.starts_with("server,start_s,end_s,ncpu,nmem,nio"));
         assert!(csv.lines().count() > 1, "timeline rows missing");
+    }
+
+    #[test]
+    fn chaos_flags_inject_faults_and_conserve_vms() {
+        let dir = temp_dir("chaos");
+        let dbdir = dir.join("db");
+        let tracep = dir.join("t.swf");
+        run(&[
+            "build-db",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+            "--exact",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        run(&[
+            "gen-trace",
+            "--out",
+            tracep.to_str().unwrap(),
+            "--jobs",
+            "200",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        let replay = |_: usize| {
+            run(&[
+                "replay-online",
+                "--db-dir",
+                dbdir.to_str().unwrap(),
+                "--trace",
+                tracep.to_str().unwrap(),
+                "--servers",
+                "6",
+                "--vms",
+                "200",
+                "--fault-seed",
+                "42",
+                "--fault-rate",
+                "2.0",
+            ])
+            .unwrap()
+        };
+        let first = replay(0);
+        assert!(first.contains("faults: seed=42 rate=2"), "{first}");
+        assert!(first.contains("conservation: ok"), "{first}");
+        assert!(first.contains("model-fallbacks:"), "{first}");
+        // Deterministic chaos: the whole report reproduces byte for byte.
+        assert_eq!(first, replay(1));
+
+        // The live service survives an injected worker kill and still
+        // resolves every submission.
+        let serve_out = run(&[
+            "serve",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--shards",
+            "2",
+            "--vms",
+            "200",
+            "--fault-rate",
+            "2.0",
+            "--kill-shard",
+            "0",
+            "--kill-after",
+            "5",
+        ])
+        .unwrap();
+        assert!(serve_out.contains("conservation: ok"), "{serve_out}");
+        assert!(serve_out.contains("respawns=1"), "{serve_out}");
+        assert!(!serve_out.contains("VIOLATED"), "{serve_out}");
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //! * [`learned`] — extension (the paper's future-work item): a
 //!   least-squares regression model fitted to the database, usable as a
 //!   drop-in [`model::AllocationModel`].
+//! * [`resilient`] — fault-tolerant wrapper: injected transient lookup
+//!   failures degrade to the analytic estimate (counted, never panicking)
+//!   instead of failing the allocation.
 
 pub mod best_fit;
 pub mod estimate;
@@ -37,6 +40,7 @@ pub mod goal;
 pub mod learned;
 pub mod model;
 pub mod proactive;
+pub mod resilient;
 pub mod strategy;
 
 pub use best_fit::BestFit;
@@ -44,4 +48,5 @@ pub use first_fit::{reference_cpu_slots, FirstFit};
 pub use goal::OptimizationGoal;
 pub use model::{AllocationModel, AnalyticModel, DbModel, MixEstimate, MixKey};
 pub use proactive::{PartitionCandidate, Proactive, SearchCaps, SearchMetrics};
+pub use resilient::ResilientModel;
 pub use strategy::{AllocationStrategy, Placement, RequestView, ServerView};

@@ -16,10 +16,13 @@
 use std::sync::Arc;
 
 use eavm_benchdb::ModelDatabase;
-use eavm_core::{AllocationModel, DbModel, OptimizationGoal, Proactive, SearchMetrics};
+use eavm_core::{
+    AllocationModel, DbModel, OptimizationGoal, Proactive, ResilientModel, SearchMetrics,
+};
+use eavm_faults::{FaultPlan, LookupFaults};
 use eavm_simulator::{CloudConfig, SimOutcome, Simulation, SimulationError};
 use eavm_swf::VmRequest;
-use eavm_telemetry::Telemetry;
+use eavm_telemetry::{Counter, Telemetry};
 use eavm_types::Seconds;
 
 use crate::memo::{CacheMetrics, CacheStats, MemoModel};
@@ -41,6 +44,13 @@ pub struct DeterministicConfig {
     /// instruments). Disabled by default; enabling it must not perturb
     /// the outcome — nothing on this path reads the wall clock.
     pub telemetry: Arc<Telemetry>,
+    /// Deterministic fault plan: host crashes and degradations are
+    /// injected into the simulator, and the plan's lookup-fault stream
+    /// perturbs the allocator's model lookups through
+    /// [`ResilientModel`]. `None` replays faithfully. Because both
+    /// injections are pure functions of the plan, replays with the same
+    /// plan are byte-identical, telemetry on or off.
+    pub faults: Option<FaultPlan>,
 }
 
 impl DeterministicConfig {
@@ -53,6 +63,7 @@ impl DeterministicConfig {
             cache_capacity: 4096,
             timeline: false,
             telemetry: Telemetry::disabled(),
+            faults: None,
         }
     }
 
@@ -61,19 +72,27 @@ impl DeterministicConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Inject a deterministic fault plan into the replay.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// Replay `requests` through the discrete-event engine with the
 /// service's memoized allocator, single-threaded and fully
 /// reproducible. `ground_truth` is the simulator's physics model;
-/// the returned [`CacheStats`] describe the allocator-side cache.
+/// the returned [`CacheStats`] describe the allocator-side cache and
+/// the trailing `u64` counts model lookups answered by the analytic
+/// fallback under injected faults (always zero without a fault plan).
 pub fn replay_deterministic<G: AllocationModel>(
     ground_truth: G,
     cloud: CloudConfig,
     db: ModelDatabase,
     config: &DeterministicConfig,
     requests: &[VmRequest],
-) -> Result<(SimOutcome, CacheStats), SimulationError> {
+) -> Result<(SimOutcome, CacheStats, u64), SimulationError> {
     let tel = &config.telemetry;
     let cache_metrics = if tel.is_enabled() {
         CacheMetrics {
@@ -96,8 +115,23 @@ pub fn replay_deterministic<G: AllocationModel>(
     } else {
         SearchMetrics::default()
     };
+    let lookup = config
+        .faults
+        .as_ref()
+        .map(|plan| plan.lookup_faults())
+        .unwrap_or_else(LookupFaults::disabled);
+    let fallbacks = if tel.is_enabled() {
+        tel.counter("replay.model_fallbacks")
+    } else {
+        Counter::standalone()
+    };
     let mut strategy = Proactive::new(
-        MemoModel::with_metrics(DbModel::new(db), config.cache_capacity, cache_metrics),
+        ResilientModel::with_faults(
+            MemoModel::with_metrics(DbModel::new(db), config.cache_capacity, cache_metrics),
+            lookup,
+            fallbacks,
+            0,
+        ),
         config.goal,
         config.deadlines,
     )
@@ -108,9 +142,13 @@ pub fn replay_deterministic<G: AllocationModel>(
     if config.timeline {
         simulation = simulation.with_timeline();
     }
+    if let Some(plan) = &config.faults {
+        simulation = simulation.with_faults(plan.clone());
+    }
     let outcome = simulation.run(&mut strategy, requests)?;
-    let cache = strategy.model().cache_stats();
-    Ok((outcome, cache))
+    let cache = strategy.model().inner().cache_stats();
+    let fallbacks = strategy.model().model_fallbacks();
+    Ok((outcome, cache, fallbacks))
 }
 
 #[cfg(test)]
@@ -138,7 +176,7 @@ mod tests {
         let cloud = CloudConfig::new("TEST", 6).expect("cloud");
         let cfg = DeterministicConfig::new(OptimizationGoal::BALANCED, [Seconds(7200.0); 3]);
         let reqs = requests(12);
-        let (a, cache_a) = replay_deterministic(
+        let (a, cache_a, fb_a) = replay_deterministic(
             AnalyticModel::reference(),
             cloud.clone(),
             db.clone(),
@@ -146,11 +184,13 @@ mod tests {
             &reqs,
         )
         .expect("first run");
-        let (b, cache_b) = replay_deterministic(AnalyticModel::reference(), cloud, db, &cfg, &reqs)
-            .expect("second run");
+        let (b, cache_b, fb_b) =
+            replay_deterministic(AnalyticModel::reference(), cloud, db, &cfg, &reqs)
+                .expect("second run");
         assert_eq!(a, b);
         assert_eq!(cache_a.hits, cache_b.hits);
         assert_eq!(cache_a.misses, cache_b.misses);
         assert!(cache_a.hits > 0, "expected repeat lookups to hit");
+        assert_eq!((fb_a, fb_b), (0, 0), "no fault plan, no fallbacks");
     }
 }

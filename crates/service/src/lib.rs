@@ -25,6 +25,16 @@
 //!   to the virtual clock, and a per-ticket [`service::Verdict`]
 //!   stream.
 //!
+//! The service is **self-healing**: shard workers are supervised
+//! through their channels, so a dead worker (including one killed by an
+//! injected [`eavm_faults::WorkerFaultPlan`]) surfaces as an explicit
+//! failure, is respawned from the coordinator's fleet mirror, and its
+//! in-flight requests are requeued ([`service::Verdict::Requeued`]) —
+//! every submission still resolves to exactly one final verdict.
+//! Injected transient model-lookup failures
+//! ([`eavm_faults::LookupFaults`]) degrade to the analytic estimate via
+//! [`eavm_core::ResilientModel`] and are counted as `model_fallbacks`.
+//!
 //! [`deterministic::replay_deterministic`] is the single-threaded
 //! reference mode: the same memoized allocator driven by the
 //! discrete-event engine, reproducing `Simulation::run` exactly (the

@@ -37,16 +37,18 @@ use std::time::Instant;
 
 use eavm_benchdb::ModelDatabase;
 use eavm_core::{
-    AllocationModel, AllocationStrategy, DbModel, OptimizationGoal, Placement, Proactive,
-    RequestView, SearchMetrics, ServerView,
+    AllocationModel, AllocationStrategy, OptimizationGoal, Placement, RequestView, SearchMetrics,
+    ServerView,
 };
+use eavm_faults::{LookupFaults, WorkerFaultPlan};
 use eavm_swf::VmRequest;
 use eavm_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Severity, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId};
 
-use crate::memo::{CacheMetrics, CacheStats, MemoModel};
+use crate::memo::{CacheMetrics, CacheStats};
 use crate::shard::{
-    build_strategy, run_worker, ShardCore, ShardInstruments, ShardMsg, ShardStats, TryLocalReply,
+    build_strategy, run_worker, ServiceStrategy, ShardCore, ShardInstruments, ShardMsg, ShardStats,
+    TryLocalReply,
 };
 
 /// Tuning knobs for [`AllocService::start`].
@@ -74,6 +76,15 @@ pub struct ServiceConfig {
     /// instrument a no-op (stats snapshots keep working off private
     /// standalone counters).
     pub telemetry: Arc<Telemetry>,
+    /// Injected transient model-lookup failures (disabled by default).
+    /// Faulted lookups degrade to the analytic estimate and are counted
+    /// as `model_fallbacks`; they never fail a request.
+    pub lookup_faults: LookupFaults,
+    /// Injected shard-worker kills (none by default). A killed worker
+    /// panics mid-stream; the coordinator respawns the shard from its
+    /// fleet mirror and requeues the affected requests, so every
+    /// submission still gets exactly one final verdict.
+    pub worker_faults: Option<WorkerFaultPlan>,
 }
 
 impl ServiceConfig {
@@ -89,12 +100,26 @@ impl ServiceConfig {
             qos_margin: 0.65,
             max_reserve_retries: 2,
             telemetry: Telemetry::new(),
+            lookup_faults: LookupFaults::disabled(),
+            worker_faults: None,
         }
     }
 
     /// Replace the observability sink.
     pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Inject transient model-lookup failures.
+    pub fn with_lookup_faults(mut self, faults: LookupFaults) -> Self {
+        self.lookup_faults = faults;
+        self
+    }
+
+    /// Arm injected shard-worker kills.
+    pub fn with_worker_faults(mut self, plan: WorkerFaultPlan) -> Self {
+        self.worker_faults = Some(plan);
         self
     }
 }
@@ -123,6 +148,13 @@ pub enum Verdict {
         /// Position in the wait queue (1 = head).
         depth: usize,
     },
+    /// The shard handling this request died before answering; the
+    /// request was requeued through the slow path. Always followed by a
+    /// final verdict (admitted, queued-then-resolved, or shed).
+    Requeued {
+        /// The shard that failed.
+        shard: usize,
+    },
     /// Dropped; see the reason.
     Shed {
         /// Why the request was dropped.
@@ -139,6 +171,9 @@ pub enum ShedReason {
     WaitQueueFull,
     /// Infeasible even on an otherwise empty fleet (drain gave up).
     Unplaceable,
+    /// A shard worker died and could not be respawned, leaving the
+    /// request with no shard able to answer for it.
+    ShardFailure,
 }
 
 /// Aggregated service counters, assembled by [`AllocService::stats`].
@@ -152,6 +187,9 @@ pub struct ServiceStats {
     pub shed_wait_queue: u64,
     /// Requests shed as unplaceable during drain.
     pub shed_unplaceable: u64,
+    /// Requests shed because an irrecoverable shard left no one able to
+    /// answer for them.
+    pub shed_shard_failure: u64,
     /// Fast-path (single-shard) admissions.
     pub admitted_local: u64,
     /// Slow-path (cross-shard two-phase) admissions.
@@ -162,6 +200,16 @@ pub struct ServiceStats {
     pub parked: u64,
     /// Cross-shard reservation rounds aborted on a Nack.
     pub reserve_conflicts: u64,
+    /// Shard-worker deaths the coordinator detected (disconnected
+    /// mailbox or reply channel).
+    pub shard_failures: u64,
+    /// Shards successfully respawned from the fleet mirror.
+    pub shard_respawns: u64,
+    /// Requests requeued through the slow path after their shard died.
+    pub requeued: u64,
+    /// Model lookups (coordinator + all shards) answered by the
+    /// analytic fallback after an injected transient failure.
+    pub model_fallbacks: u64,
     /// Coordinator's global-search cache counters.
     pub coordinator_cache: CacheStats,
     /// Coordinator cache plus every shard cache, merged.
@@ -249,36 +297,13 @@ impl AllocService {
         // global-search allocator: the registry holds a single counter
         // per metric name, stats snapshots read their own stripe.
         let stripes = config.shards + 1;
-        let cache_metrics = |stripe: usize| {
-            if telemetry.is_enabled() {
-                CacheMetrics {
-                    hits: telemetry.sharded_counter("service.cache.hits", stripes),
-                    misses: telemetry.sharded_counter("service.cache.misses", stripes),
-                    evictions: telemetry.sharded_counter("service.cache.evictions", stripes),
-                    stripe,
-                }
-            } else {
-                CacheMetrics::standalone()
-            }
-        };
-        let search_metrics = |stripe: usize| {
-            if telemetry.is_enabled() {
-                SearchMetrics {
-                    searches: telemetry.sharded_counter("service.search.searches", stripes),
-                    partitions_evaluated: telemetry
-                        .sharded_counter("service.search.partitions_evaluated", stripes),
-                    partitions_feasible: telemetry
-                        .sharded_counter("service.search.partitions_feasible", stripes),
-                    candidates_pruned: telemetry
-                        .sharded_counter("service.search.candidates_pruned", stripes),
-                    stripe,
-                }
-            } else {
-                SearchMetrics::default()
-            }
-        };
+        // One shared fallback counter for every allocator (coordinator
+        // included); shared so a respawned shard keeps accumulating on
+        // its stripe instead of resetting.
+        let fallbacks = fallback_counter(&telemetry, stripes);
         let mut shard_txs = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
+        let mut instruments = Vec::with_capacity(config.shards);
         for (index, range) in layout.iter().enumerate() {
             let strategy = build_strategy(
                 db.clone(),
@@ -286,33 +311,45 @@ impl AllocService {
                 config.goal,
                 config.deadlines,
                 config.qos_margin,
-                cache_metrics(index),
-                search_metrics(index),
+                cache_metrics_for(&telemetry, stripes, index),
+                search_metrics_for(&telemetry, stripes, index),
+                config.lookup_faults,
+                fallbacks.clone(),
+                index,
             );
+            let shard_instruments = ShardInstruments::registered(&telemetry, config.shards, index);
+            instruments.push(shard_instruments.clone());
             let core = ShardCore::new(
                 index,
                 range.clone().map(ServerId::from),
                 strategy,
-                ShardInstruments::registered(&telemetry, config.shards, index),
+                shard_instruments,
             );
             let (tx, rx) = channel();
             shard_txs.push(tx);
+            let kill_after = config
+                .worker_faults
+                .as_ref()
+                .and_then(|plan| plan.kill_after(index));
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("eavm-shard-{index}"))
-                    .spawn(move || run_worker(core, rx))
+                    .spawn(move || run_worker(core, rx, kill_after))
                     .map_err(EavmError::Io)?,
             );
         }
 
         let global = build_strategy(
-            db,
+            db.clone(),
             config.cache_capacity,
             config.goal,
             config.deadlines,
             config.qos_margin,
-            cache_metrics(config.shards),
-            search_metrics(config.shards),
+            cache_metrics_for(&telemetry, stripes, config.shards),
+            search_metrics_for(&telemetry, stripes, config.shards),
+            config.lookup_faults,
+            fallbacks.clone(),
+            config.shards,
         );
         let (ctl_tx, ctl_rx) = sync_channel(config.queue_capacity);
         let (verdict_tx, verdict_rx) = channel();
@@ -332,10 +369,16 @@ impl AllocService {
             .collect();
         let coordinator = {
             let counters = CoordInstruments::new(&telemetry, shed_admission.clone());
+            let shards = config.shards;
             let mut coord = Coordinator {
                 config,
+                db,
                 layout,
                 shards: shard_txs,
+                instruments,
+                fallbacks,
+                respawned: Vec::new(),
+                irrecoverable: vec![false; shards],
                 global,
                 mirror,
                 ctl_rx,
@@ -406,38 +449,40 @@ impl AllocService {
         }
     }
 
+    fn coordinator_down() -> EavmError {
+        EavmError::Unavailable("coordinator thread is down".into())
+    }
+
     /// Advance the virtual clock on every shard and retry parked
-    /// requests. Blocks until the advance is fully applied.
-    pub fn advance_to(&self, t: Seconds) {
+    /// requests. Blocks until the advance is fully applied; `Err` means
+    /// the coordinator thread is dead.
+    pub fn advance_to(&self, t: Seconds) -> Result<(), EavmError> {
         let (done_tx, done_rx) = channel();
-        if self
-            .ctl_tx
+        self.ctl_tx
             .send(Ctl::AdvanceTo { t, done: done_tx })
-            .is_ok()
-        {
-            let _ = done_rx.recv();
-        }
+            .map_err(|_| Self::coordinator_down())?;
+        done_rx.recv().map_err(|_| Self::coordinator_down())
     }
 
     /// Run virtual time forward until the wait queue empties (or its
-    /// head is unplaceable even on a drained fleet).
-    pub fn drain(&self) -> DrainReport {
+    /// head is unplaceable even on a drained fleet). `Err` means the
+    /// coordinator thread is dead — never a silently empty report.
+    pub fn drain(&self) -> Result<DrainReport, EavmError> {
         let (done_tx, done_rx) = channel();
-        if self.ctl_tx.send(Ctl::Drain { done: done_tx }).is_ok() {
-            done_rx.recv().unwrap_or_default()
-        } else {
-            DrainReport::default()
-        }
+        self.ctl_tx
+            .send(Ctl::Drain { done: done_tx })
+            .map_err(|_| Self::coordinator_down())?;
+        done_rx.recv().map_err(|_| Self::coordinator_down())
     }
 
-    /// Snapshot aggregated counters (coordinator + all shards).
-    pub fn stats(&self) -> ServiceStats {
+    /// Snapshot aggregated counters (coordinator + all shards). `Err`
+    /// means the coordinator thread is dead — never silent zeros.
+    pub fn stats(&self) -> Result<ServiceStats, EavmError> {
         let (reply_tx, reply_rx) = channel();
-        if self.ctl_tx.send(Ctl::Stats { reply: reply_tx }).is_ok() {
-            reply_rx.recv().unwrap_or_default()
-        } else {
-            ServiceStats::default()
-        }
+        self.ctl_tx
+            .send(Ctl::Stats { reply: reply_tx })
+            .map_err(|_| Self::coordinator_down())?;
+        reply_rx.recv().map_err(|_| Self::coordinator_down())
     }
 
     /// Collect every verdict currently available, in emission order.
@@ -446,8 +491,8 @@ impl AllocService {
     }
 
     /// Stop the coordinator and all shard workers, returning the final
-    /// counters.
-    pub fn shutdown(mut self) -> ServiceStats {
+    /// counters. Threads are joined even when the final snapshot fails.
+    pub fn shutdown(mut self) -> Result<ServiceStats, EavmError> {
         let stats = self.stats();
         let _ = self.ctl_tx.send(Ctl::Shutdown);
         if let Some(handle) = self.coordinator.take() {
@@ -487,6 +532,51 @@ fn shard_layout(servers: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     ranges
 }
 
+/// Cache counters for stripe `stripe` of the service-wide sharded
+/// metrics; private standalone counters when telemetry is disabled.
+/// Module-level (not a closure in `start`) because the coordinator
+/// rebuilds strategies with the same striping when respawning a shard.
+fn cache_metrics_for(telemetry: &Telemetry, stripes: usize, stripe: usize) -> CacheMetrics {
+    if telemetry.is_enabled() {
+        CacheMetrics {
+            hits: telemetry.sharded_counter("service.cache.hits", stripes),
+            misses: telemetry.sharded_counter("service.cache.misses", stripes),
+            evictions: telemetry.sharded_counter("service.cache.evictions", stripes),
+            stripe,
+        }
+    } else {
+        CacheMetrics::standalone()
+    }
+}
+
+/// Partition-search counters for stripe `stripe`; see
+/// [`cache_metrics_for`].
+fn search_metrics_for(telemetry: &Telemetry, stripes: usize, stripe: usize) -> SearchMetrics {
+    if telemetry.is_enabled() {
+        SearchMetrics {
+            searches: telemetry.sharded_counter("service.search.searches", stripes),
+            partitions_evaluated: telemetry
+                .sharded_counter("service.search.partitions_evaluated", stripes),
+            partitions_feasible: telemetry
+                .sharded_counter("service.search.partitions_feasible", stripes),
+            candidates_pruned: telemetry
+                .sharded_counter("service.search.candidates_pruned", stripes),
+            stripe,
+        }
+    } else {
+        SearchMetrics::default()
+    }
+}
+
+/// The shared model-fallback counter (one stripe per allocator).
+fn fallback_counter(telemetry: &Telemetry, stripes: usize) -> Counter {
+    if telemetry.is_enabled() {
+        telemetry.sharded_counter("service.model_fallbacks", stripes)
+    } else {
+        Counter::standalone_sharded(stripes)
+    }
+}
+
 /// The coordinator's counters, gauge, and latency histogram. Registry
 /// handles when telemetry is enabled (exports see them live), private
 /// standalone instruments otherwise — [`ServiceStats`] reads them the
@@ -497,10 +587,14 @@ struct CoordInstruments {
     shed_admission: Counter,
     shed_wait_queue: Counter,
     shed_unplaceable: Counter,
+    shed_shard_failure: Counter,
     admitted_local: Counter,
     admitted_cross_shard: Counter,
     admitted_after_wait: Counter,
     reserve_conflicts: Counter,
+    shard_failures: Counter,
+    shard_respawns: Counter,
+    requeued: Counter,
     /// Depth of the parked wait queue.
     parked_depth: Gauge,
     /// Wall-clock submit-to-first-verdict latency (µs).
@@ -515,10 +609,14 @@ impl CoordInstruments {
                 shed_admission,
                 shed_wait_queue: telemetry.counter("service.shed.wait_queue"),
                 shed_unplaceable: telemetry.counter("service.shed.unplaceable"),
+                shed_shard_failure: telemetry.counter("service.shed.shard_failure"),
                 admitted_local: telemetry.counter("service.admitted.local"),
                 admitted_cross_shard: telemetry.counter("service.admitted.cross_shard"),
                 admitted_after_wait: telemetry.counter("service.admitted.after_wait"),
                 reserve_conflicts: telemetry.counter("service.reserve.conflicts"),
+                shard_failures: telemetry.counter("service.shard.failures"),
+                shard_respawns: telemetry.counter("service.shard.respawns"),
+                requeued: telemetry.counter("service.requeued"),
                 parked_depth: telemetry.gauge("service.parked_depth"),
                 admission_latency: telemetry.histogram("service.admission_latency_us"),
             }
@@ -528,10 +626,14 @@ impl CoordInstruments {
                 shed_admission,
                 shed_wait_queue: Counter::standalone(),
                 shed_unplaceable: Counter::standalone(),
+                shed_shard_failure: Counter::standalone(),
                 admitted_local: Counter::standalone(),
                 admitted_cross_shard: Counter::standalone(),
                 admitted_after_wait: Counter::standalone(),
                 reserve_conflicts: Counter::standalone(),
+                shard_failures: Counter::standalone(),
+                shard_respawns: Counter::standalone(),
+                requeued: Counter::standalone(),
                 parked_depth: Gauge::standalone(),
                 admission_latency: Histogram::standalone(),
             }
@@ -546,9 +648,24 @@ struct Parked {
 
 struct Coordinator {
     config: ServiceConfig,
+    /// Kept to rebuild a shard's allocator when respawning its worker.
+    db: ModelDatabase,
     layout: Vec<std::ops::Range<usize>>,
     shards: Vec<Sender<ShardMsg>>,
-    global: Proactive<MemoModel<DbModel>>,
+    /// Per-shard counter handles (Arc-backed, shared with the live
+    /// cores): a respawned shard reuses its predecessor's handles so
+    /// protocol counters survive the crash.
+    instruments: Vec<ShardInstruments>,
+    /// Shared model-fallback counter; see [`fallback_counter`].
+    fallbacks: Counter,
+    /// Join handles of respawned workers (originals live in
+    /// [`AllocService`]); joined when the coordinator exits.
+    respawned: Vec<JoinHandle<()>>,
+    /// Shards whose respawn itself failed (thread spawn error): no
+    /// further revival attempts; requests needing them shed with
+    /// [`ShedReason::ShardFailure`].
+    irrecoverable: Vec<bool>,
+    global: ServiceStrategy,
     /// Exact copy of every server's mix. The coordinator is the only
     /// writer (fast-path replies, its own commits, advance retirements
     /// all flow through it), so this never goes stale and the slow path
@@ -623,6 +740,11 @@ impl Coordinator {
         for tx in &self.shards {
             let _ = tx.send(ShardMsg::Shutdown);
         }
+        // Original workers are joined by `AllocService`; respawned ones
+        // are ours.
+        for handle in self.respawned.drain(..) {
+            let _ = handle.join();
+        }
     }
 
     fn verdict(&mut self, ticket: u64, verdict: Verdict) {
@@ -674,21 +796,40 @@ impl Coordinator {
         }
         let mut fallbacks = Vec::new();
         let mut retired = 0u32;
+        let mut dead: Vec<usize> = Vec::new();
         for (ticket, view, shard, reply) in pending {
-            let Some(TryLocalReply { placements, freed }) = reply.and_then(|rx| rx.recv().ok())
-            else {
-                fallbacks.push((ticket, view));
-                continue;
-            };
-            retired += self.release(freed);
-            match placements {
-                Some(placements) => {
-                    self.apply_placements(&placements);
-                    self.counters.admitted_local.add(1);
-                    self.verdict(ticket, Verdict::Admitted { shard, placements });
+            match reply.map(|rx| rx.recv()) {
+                Some(Ok(TryLocalReply { placements, freed })) => {
+                    retired += self.release(freed);
+                    match placements {
+                        Some(placements) => {
+                            self.apply_placements(&placements);
+                            self.counters.admitted_local.add(1);
+                            self.verdict(ticket, Verdict::Admitted { shard, placements });
+                        }
+                        None => fallbacks.push((ticket, view)),
+                    }
                 }
-                None => fallbacks.push((ticket, view)),
+                // The worker died before answering (send failed or the
+                // reply channel dropped mid-request). The request is
+                // explicitly requeued — never silently swallowed — and
+                // re-driven through the slow path against the respawned
+                // fleet, so it still gets exactly one final verdict.
+                Some(Err(_)) | None => {
+                    if !dead.contains(&shard) {
+                        dead.push(shard);
+                    }
+                    self.counters.requeued.add(1);
+                    self.verdict(ticket, Verdict::Requeued { shard });
+                    fallbacks.push((ticket, view));
+                }
             }
+        }
+        // Respawn each dead shard once. A failed respawn is tolerable
+        // here: the affected requests already sit in `fallbacks` and
+        // will park or shed if the remaining fleet cannot host them.
+        for shard in dead {
+            let _ = self.respawn_shard(shard);
         }
         if !fallbacks.is_empty() {
             // The slow path searches the whole fleet, so every shard's
@@ -709,7 +850,12 @@ impl Coordinator {
         for (id, freed_mix) in freed {
             total += freed_mix.total();
             let mix = &mut self.mirror[id.index()].mix;
-            *mix = mix.checked_sub(&freed_mix).unwrap_or(MixVector::EMPTY);
+            let shrunk = mix.checked_sub(&freed_mix);
+            debug_assert!(
+                shrunk.is_some(),
+                "mirror drift on server {id}: freed {freed_mix:?} not in mirrored {mix:?}"
+            );
+            *mix = shrunk.unwrap_or(MixVector::EMPTY);
         }
         total
     }
@@ -744,9 +890,24 @@ impl Coordinator {
             items = next;
         }
         // The first item of every wave is never stale, so each wave
-        // makes progress and this is unreachable in practice.
+        // makes progress and this is unreachable in practice — unless a
+        // shard is irrecoverably lost, in which case commits touching
+        // its range can never land and the survivors must be shed
+        // rather than retried forever.
+        let crippled = self.irrecoverable.iter().any(|&dead| dead);
         for (ticket, view) in items {
-            self.park_or_shed(ticket, view);
+            if crippled {
+                self.counters.shed_shard_failure.add(1);
+                self.shed_event(ticket, &view, "shard irrecoverable");
+                self.verdict(
+                    ticket,
+                    Verdict::Shed {
+                        reason: ShedReason::ShardFailure,
+                    },
+                );
+            } else {
+                self.park_or_shed(ticket, view);
+            }
         }
     }
 
@@ -817,12 +978,48 @@ impl Coordinator {
                     reply: reply_tx,
                 })
                 .is_ok();
-            waits.push(sent.then_some(reply_rx));
+            waits.push(Some((shard, sent.then_some(reply_rx))));
         }
-        let proposals = waits
-            .into_iter()
-            .map(|w| w.and_then(|rx| rx.recv().ok()).flatten())
-            .collect();
+        let mut proposals = Vec::with_capacity(waits.len());
+        let mut dead: Vec<usize> = Vec::new();
+        for wait in waits {
+            match wait {
+                None => proposals.push(None),
+                Some((shard, Some(rx))) => match rx.recv() {
+                    Ok(proposal) => proposals.push(proposal),
+                    // Worker died mid-search: respawn below and rerun
+                    // the search inline so the item is not wrongly
+                    // parked as infeasible.
+                    Err(_) => {
+                        if !dead.contains(&shard) {
+                            dead.push(shard);
+                        }
+                        proposals.push(None);
+                    }
+                },
+                Some((shard, None)) => {
+                    if !dead.contains(&shard) {
+                        dead.push(shard);
+                    }
+                    proposals.push(None);
+                }
+            }
+        }
+        for shard in &dead {
+            let _ = self.respawn_shard(*shard);
+        }
+        // Recover the searches lost to dead workers inline: a `None`
+        // from a disconnect is not an infeasibility verdict.
+        if !dead.is_empty() {
+            for (k, (_ticket, view)) in items.iter().enumerate() {
+                if proposals[k].is_none()
+                    && dead.contains(&(k % self.shards.len()))
+                    && self.capacity_feasible(view, &fleet)
+                {
+                    proposals[k] = self.global.allocate(view, &fleet).ok();
+                }
+            }
+        }
         (fleet, proposals)
     }
 
@@ -928,12 +1125,25 @@ impl Coordinator {
         }
         let mut acked = Vec::new();
         let mut all_ok = true;
+        let mut dead: Vec<usize> = Vec::new();
         for (i, reply) in votes {
-            if reply.and_then(|rx| rx.recv().ok()).unwrap_or(false) {
-                acked.push(i);
-            } else {
-                all_ok = false;
+            match reply.map(|rx| rx.recv()) {
+                Some(Ok(true)) => acked.push(i),
+                Some(Ok(false)) => all_ok = false,
+                // A dead worker is an explicit Nack, never a silent
+                // default: the reservation aborts, the shard respawns
+                // from the mirror (discarding whatever provisional state
+                // died with the worker), and the caller retries.
+                Some(Err(_)) | None => {
+                    all_ok = false;
+                    if !dead.contains(&i) {
+                        dead.push(i);
+                    }
+                }
             }
+        }
+        for shard in dead {
+            let _ = self.respawn_shard(shard);
         }
         if all_ok {
             self.finish_reservation(ticket, &involved, true);
@@ -976,20 +1186,142 @@ impl Coordinator {
             .unwrap_or(0)
     }
 
+    /// Respawn a dead shard worker from the fleet mirror.
+    ///
+    /// The mirror holds every *committed* placement (fast-path replies,
+    /// two-phase commits, advance retirements all flow through the
+    /// coordinator), so the restored core is exactly the dead worker's
+    /// durable state: provisional reservations and unreported commits
+    /// die with the worker, and the coordinator re-drives the affected
+    /// requests. The new worker reuses the shard's counter handles
+    /// (Arc-backed — counts survive) and never carries an injected kill
+    /// switch: chaos plans kill a worker at most once per shard.
+    fn respawn_shard(&mut self, index: usize) -> Result<(), EavmError> {
+        if self.irrecoverable[index] {
+            return Err(EavmError::Unavailable(format!(
+                "shard {index} is irrecoverable"
+            )));
+        }
+        self.counters.shard_failures.add(1);
+        self.config.telemetry.event(
+            self.now.0,
+            "service",
+            Severity::Error,
+            "shard worker died",
+            vec![("shard", index.to_string())],
+        );
+        let stripes = self.config.shards + 1;
+        let strategy = build_strategy(
+            self.db.clone(),
+            self.config.cache_capacity,
+            self.config.goal,
+            self.config.deadlines,
+            self.config.qos_margin,
+            cache_metrics_for(&self.config.telemetry, stripes, index),
+            search_metrics_for(&self.config.telemetry, stripes, index),
+            self.config.lookup_faults,
+            self.fallbacks.clone(),
+            index,
+        );
+        let occupancy: Vec<(ServerId, MixVector)> = self.mirror[self.layout[index].clone()]
+            .iter()
+            .map(|s| (s.id, s.mix))
+            .collect();
+        let core = ShardCore::restore(
+            index,
+            &occupancy,
+            strategy,
+            self.now,
+            self.instruments[index].clone(),
+        );
+        let (tx, rx) = channel();
+        let handle = match std::thread::Builder::new()
+            .name(format!("eavm-shard-{index}-respawn"))
+            .spawn(move || run_worker(core, rx, None))
+        {
+            Ok(handle) => handle,
+            Err(e) => {
+                self.irrecoverable[index] = true;
+                return Err(EavmError::Io(e));
+            }
+        };
+        self.shards[index] = tx;
+        self.respawned.push(handle);
+        self.counters.shard_respawns.add(1);
+        self.config.telemetry.event(
+            self.now.0,
+            "service",
+            Severity::Info,
+            "shard respawned from mirror",
+            vec![
+                ("shard", index.to_string()),
+                (
+                    "resident_vms",
+                    occupancy
+                        .iter()
+                        .map(|(_, m)| m.total() as usize)
+                        .sum::<usize>()
+                        .to_string(),
+                ),
+            ],
+        );
+        Ok(())
+    }
+
+    /// One request/reply round trip to shard `index`. A dead worker
+    /// (disconnected mailbox or dropped reply channel) is respawned
+    /// from the mirror and the call retried once; a second failure
+    /// declares the shard unavailable. Retries are attempt-bounded, not
+    /// time-based, so supervision stays deterministic — no wall clock.
+    fn shard_call<T>(
+        &mut self,
+        index: usize,
+        make: impl Fn(Sender<T>) -> ShardMsg,
+    ) -> Result<T, EavmError> {
+        for attempt in 0..2 {
+            let (reply_tx, reply_rx) = channel();
+            if self.shards[index].send(make(reply_tx)).is_ok() {
+                if let Ok(value) = reply_rx.recv() {
+                    return Ok(value);
+                }
+            }
+            if attempt == 0 {
+                self.respawn_shard(index)?;
+            }
+        }
+        Err(EavmError::Unavailable(format!(
+            "shard {index} worker died twice in one call"
+        )))
+    }
+
     fn advance(&mut self, t: Seconds) -> usize {
         self.now = self.now.max(t);
         let mut retired = 0;
-        let mut waits = Vec::new();
-        for tx in &self.shards {
+        let mut waits = Vec::with_capacity(self.shards.len());
+        for (i, tx) in self.shards.iter().enumerate() {
             let (done_tx, done_rx) = channel();
-            if tx.send(ShardMsg::AdvanceTo { t, done: done_tx }).is_ok() {
-                waits.push(done_rx);
+            let sent = tx.send(ShardMsg::AdvanceTo { t, done: done_tx }).is_ok();
+            waits.push((i, sent.then_some(done_rx)));
+        }
+        let mut dead: Vec<usize> = Vec::new();
+        for (i, rx) in waits {
+            match rx.map(|rx| rx.recv()) {
+                Some(Ok((n, freed))) => {
+                    retired += n;
+                    self.release(freed);
+                }
+                // A worker that died during the advance is respawned at
+                // `self.now`; its restored residents carry fresh finish
+                // estimates, so no separate re-advance is needed.
+                Some(Err(_)) | None => {
+                    if !dead.contains(&i) {
+                        dead.push(i);
+                    }
+                }
             }
         }
-        for rx in waits {
-            let Ok((n, freed)) = rx.recv() else { continue };
-            retired += n;
-            self.release(freed);
+        for shard in dead {
+            let _ = self.respawn_shard(shard);
         }
         retired
     }
@@ -1040,20 +1372,17 @@ impl Coordinator {
         }
     }
 
-    fn next_finish_all(&self) -> Option<Seconds> {
-        let waits: Vec<_> = self
-            .shards
-            .iter()
-            .map(|tx| {
-                let (reply_tx, reply_rx) = channel();
-                tx.send(ShardMsg::NextFinish { reply: reply_tx })
+    fn next_finish_all(&mut self) -> Option<Seconds> {
+        // Serial round trips with supervised retry: a dead shard is
+        // respawned (its restored residents still report finishes) so a
+        // crash mid-drain cannot make the fleet look empty and shed
+        // parked requests as unplaceable.
+        (0..self.shards.len())
+            .filter_map(|i| {
+                self.shard_call(i, |reply| ShardMsg::NextFinish { reply })
                     .ok()
-                    .map(|_| reply_rx)
+                    .flatten()
             })
-            .collect();
-        waits
-            .into_iter()
-            .filter_map(|rx| rx.and_then(|rx| rx.recv().ok()).flatten())
             .reduce(Seconds::min)
     }
 
@@ -1097,20 +1426,19 @@ impl Coordinator {
         report
     }
 
-    fn assemble_stats(&self) -> ServiceStats {
-        let shard_stats: Vec<ShardStats> = self
-            .shards
-            .iter()
-            .map(|tx| {
-                let (reply_tx, reply_rx) = channel();
-                if tx.send(ShardMsg::Stats { reply: reply_tx }).is_ok() {
-                    reply_rx.recv().unwrap_or_default()
-                } else {
-                    ShardStats::default()
-                }
+    fn assemble_stats(&mut self) -> ServiceStats {
+        // Supervised per-shard snapshots: a dead worker is respawned and
+        // re-queried rather than silently reported as all-zeros.
+        let shard_stats: Vec<ShardStats> = (0..self.shards.len())
+            .map(|i| {
+                self.shard_call(i, |reply| ShardMsg::Stats { reply })
+                    .unwrap_or_else(|_| ShardStats {
+                        shard: i,
+                        ..ShardStats::default()
+                    })
             })
             .collect();
-        let coordinator_cache = self.global.model().cache_stats();
+        let coordinator_cache = self.global.model().inner().cache_stats();
         let mut aggregate_cache = coordinator_cache;
         for s in &shard_stats {
             aggregate_cache.merge(&s.cache);
@@ -1120,11 +1448,17 @@ impl Coordinator {
             shed_admission: self.counters.shed_admission.get(),
             shed_wait_queue: self.counters.shed_wait_queue.get(),
             shed_unplaceable: self.counters.shed_unplaceable.get(),
+            shed_shard_failure: self.counters.shed_shard_failure.get(),
             admitted_local: self.counters.admitted_local.get(),
             admitted_cross_shard: self.counters.admitted_cross_shard.get(),
             admitted_after_wait: self.counters.admitted_after_wait.get(),
             parked: self.parked.len() as u64,
             reserve_conflicts: self.counters.reserve_conflicts.get(),
+            shard_failures: self.counters.shard_failures.get(),
+            shard_respawns: self.counters.shard_respawns.get(),
+            requeued: self.counters.requeued.get(),
+            model_fallbacks: self.global.model().model_fallbacks()
+                + shard_stats.iter().map(|s| s.model_fallbacks).sum::<u64>(),
             admission_latency_us: self.counters.admission_latency.snapshot(),
             resident_vms: shard_stats.iter().map(|s| s.resident_vms).sum(),
             estimated_energy: shard_stats
@@ -1165,9 +1499,9 @@ pub fn replay_online(
     for request in requests {
         service.submit(request.clone());
     }
-    service.drain();
+    service.drain()?;
     let mut verdicts = service.poll_verdicts();
-    let stats = service.shutdown();
+    let stats = service.shutdown()?;
     verdicts.sort_by_key(|(ticket, _)| *ticket);
     Ok(ReplayReport {
         stats,
@@ -1213,12 +1547,12 @@ mod tests {
     #[test]
     fn fast_path_admits_on_an_empty_fleet() {
         let service = AllocService::start(db(), ServiceConfig::new(2, 6)).expect("start");
-        service.advance_to(Seconds(0.0));
+        service.advance_to(Seconds(0.0)).expect("advance");
         let t0 = service.submit(request(0, 0.0, WorkloadType::Cpu, 2));
         let t1 = service.submit(request(1, 0.0, WorkloadType::Io, 1));
         // Stats is a synchronous rendezvous: the submissions above are
         // fully processed once it returns.
-        let stats = service.stats();
+        let stats = service.stats().expect("stats");
         assert_eq!(stats.submitted, 2);
         assert_eq!(stats.admitted_local, 2);
         assert_eq!(stats.resident_vms, 3);
@@ -1229,7 +1563,7 @@ mod tests {
             assert!(ticket == t0 || ticket == t1);
             assert!(matches!(v, Verdict::Admitted { .. }), "got {v:?}");
         }
-        service.shutdown();
+        service.shutdown().expect("shutdown");
     }
 
     #[test]
@@ -1241,7 +1575,7 @@ mod tests {
         let service = AllocService::start(db(), config).expect("start");
         // Mem bound per server is 4 in the paper's OS limits; ask for 6.
         let _t = service.submit(request(0, 0.0, WorkloadType::Mem, 6));
-        let stats = service.stats();
+        let stats = service.stats().expect("stats");
         assert_eq!(stats.admitted_cross_shard, 1);
         assert_eq!(stats.resident_vms, 6);
         let verdicts = service.poll_verdicts();
@@ -1256,7 +1590,7 @@ mod tests {
             _ => 0,
         };
         assert_eq!(total, 6);
-        service.shutdown();
+        service.shutdown().expect("shutdown");
     }
 
     #[test]
@@ -1269,12 +1603,12 @@ mod tests {
             service.submit(request(i, 0.0, WorkloadType::Cpu, 1));
         }
         let t_parked = service.submit(request(10, 0.0, WorkloadType::Cpu, 1));
-        let stats = service.stats();
+        let stats = service.stats().expect("stats");
         assert_eq!(stats.parked, 1);
-        let report = service.drain();
+        let report = service.drain().expect("drain");
         assert!(report.retired > 0);
         assert_eq!(report.shed_unplaceable, 0);
-        let stats = service.stats();
+        let stats = service.stats().expect("stats");
         assert_eq!(stats.parked, 0);
         assert_eq!(stats.admitted_after_wait, 1);
         let verdicts = service.poll_verdicts();
@@ -1288,7 +1622,7 @@ mod tests {
             matches!(mine[1], Verdict::AdmittedCrossShard { .. }),
             "got {mine:?}"
         );
-        service.shutdown();
+        service.shutdown().expect("shutdown");
     }
 
     #[test]
@@ -1298,14 +1632,14 @@ mod tests {
         let service = AllocService::start(db(), config).expect("start");
         // 11 CPU VMs in one request exceeds the fleet-wide OS bound (10).
         let t = service.submit(request(0, 0.0, WorkloadType::Cpu, 11));
-        let report = service.drain();
+        let report = service.drain().expect("drain");
         assert_eq!(report.shed_unplaceable, 1);
         let verdicts = service.poll_verdicts();
         let shed = verdicts
             .iter()
             .any(|(ticket, v)| *ticket == t && matches!(v, Verdict::Shed { .. }));
         assert!(shed, "got {verdicts:?}");
-        service.shutdown();
+        service.shutdown().expect("shutdown");
     }
 
     #[test]

@@ -28,12 +28,19 @@ use std::sync::mpsc::{Receiver, Sender};
 
 use eavm_core::{
     AllocationModel, AllocationStrategy, DbModel, OptimizationGoal, Placement, Proactive,
-    RequestView, ServerView,
+    RequestView, ResilientModel, ServerView,
 };
+use eavm_faults::LookupFaults;
 use eavm_telemetry::{Counter, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId, WorkloadType};
 
 use crate::memo::{CacheMetrics, CacheStats, MemoModel};
+
+/// The allocator every shard (and the coordinator's global search)
+/// runs: the memoized empirical model behind a fault-tolerant wrapper.
+/// The resilient layer sits *outside* the memo so a degraded analytic
+/// answer is never cached as if it were the empirical one.
+pub(crate) type ServiceStrategy = Proactive<ResilientModel<MemoModel<DbModel>>>;
 
 /// One VM resident on a shard server, with its estimated completion
 /// time (fixed at commit, from the post-placement mix).
@@ -84,6 +91,9 @@ pub struct ShardStats {
     pub retired_vms: u64,
     /// Speculative fleet-wide searches run on behalf of the coordinator.
     pub global_searches: u64,
+    /// Model lookups answered by the analytic fallback after an injected
+    /// transient failure (0 without lookup-fault injection).
+    pub model_fallbacks: u64,
     /// Sum of model-estimated dynamic energy of committed placements.
     pub estimated_energy: Joules,
     /// Memoization counters of this shard's model cache.
@@ -154,7 +164,7 @@ impl ShardInstruments {
 pub(crate) struct ShardCore {
     index: usize,
     servers: Vec<SrvState>,
-    strategy: Proactive<MemoModel<DbModel>>,
+    strategy: ServiceStrategy,
     clock: Seconds,
     pending: HashMap<u64, PendingReservation>,
     counters: ShardInstruments,
@@ -165,7 +175,7 @@ impl ShardCore {
     pub(crate) fn new(
         index: usize,
         server_ids: impl IntoIterator<Item = ServerId>,
-        strategy: Proactive<MemoModel<DbModel>>,
+        strategy: ServiceStrategy,
         counters: ShardInstruments,
     ) -> Self {
         ShardCore {
@@ -184,6 +194,57 @@ impl ShardCore {
             counters,
             estimated_energy: Joules(0.0),
         }
+    }
+
+    /// Rebuild a shard from the coordinator's fleet mirror after its
+    /// worker died. The mirror holds only *committed* occupancy, so the
+    /// restored shard is consistent by construction: any acked-but-
+    /// uncommitted reservation the dead worker held is discarded (the
+    /// coordinator re-drives those requests), and every resident VM gets
+    /// a fresh finish estimate from `clock` — a crash loses progress,
+    /// exactly like the simulator's restart accounting.
+    pub(crate) fn restore(
+        index: usize,
+        occupancy: &[(ServerId, MixVector)],
+        strategy: ServiceStrategy,
+        clock: Seconds,
+        counters: ShardInstruments,
+    ) -> Self {
+        let mut core = ShardCore {
+            index,
+            servers: occupancy
+                .iter()
+                .map(|&(id, mix)| SrvState {
+                    id,
+                    mix,
+                    resident: Vec::new(),
+                })
+                .collect(),
+            strategy,
+            clock,
+            pending: HashMap::new(),
+            counters,
+            estimated_energy: Joules(0.0),
+        };
+        for si in 0..core.servers.len() {
+            let mix = core.servers[si].mix;
+            if mix.is_empty() {
+                continue;
+            }
+            core.estimated_energy += core.strategy.model().run_energy(mix).unwrap_or(Joules(0.0));
+            for (ty, count) in mix.iter().filter(|(_, count)| *count > 0) {
+                let finish = clock
+                    + core
+                        .strategy
+                        .model()
+                        .exec_time(mix, ty)
+                        .unwrap_or_else(|_| core.strategy.model().solo_time(ty));
+                for _ in 0..count {
+                    core.servers[si].resident.push(ResidentVm { ty, finish });
+                }
+            }
+        }
+        core
     }
 
     /// Bump one of this shard's counters on its stripe.
@@ -318,7 +379,15 @@ impl ShardCore {
         };
         for p in &reservation.placements {
             let new_mix = self.server_mut(p.server).map(|s| s.mix).unwrap_or_default();
-            if let Some(old) = new_mix.checked_sub(&p.add) {
+            let old = new_mix.checked_sub(&p.add);
+            debug_assert!(
+                old.is_some(),
+                "committing ticket on shard {}: reserved add {:?} not in live mix {:?}",
+                self.index,
+                p.add,
+                new_mix
+            );
+            if let Some(old) = old {
                 self.estimated_energy += self.energy_delta(old, p.add);
             }
             let _ = self.materialize(p);
@@ -360,7 +429,15 @@ impl ShardCore {
                 !done
             });
             if !freed_here.is_empty() {
-                srv.mix = srv.mix.checked_sub(&freed_here).unwrap_or_default();
+                let shrunk = srv.mix.checked_sub(&freed_here);
+                debug_assert!(
+                    shrunk.is_some(),
+                    "retiring on server {}: freed {:?} not in mix {:?}",
+                    srv.id,
+                    freed_here,
+                    srv.mix
+                );
+                srv.mix = shrunk.unwrap_or_default();
                 retired += freed_here.total() as usize;
                 freed.push((srv.id, freed_here));
             }
@@ -392,8 +469,9 @@ impl ShardCore {
             aborts: read(&c.aborts),
             retired_vms: read(&c.retired_vms),
             global_searches: read(&c.global_searches),
+            model_fallbacks: self.strategy.model().model_fallbacks(),
             estimated_energy: self.estimated_energy,
-            cache: self.strategy.model().cache_stats(),
+            cache: self.strategy.model().inner().cache_stats(),
         }
     }
 }
@@ -449,8 +527,22 @@ pub(crate) enum ShardMsg {
 }
 
 /// The shard worker thread body: serve mailbox messages until shutdown.
-pub(crate) fn run_worker(mut core: ShardCore, rx: Receiver<ShardMsg>) {
+///
+/// `kill_after` is the injected-fault switch: `Some(n)` makes the
+/// worker panic immediately before serving its `n`-th message,
+/// unwinding out of the loop. The unwind drops the mailbox receiver, so
+/// the coordinator observes the death as a disconnected channel —
+/// exactly what a crashed worker looks like — and respawns the shard
+/// from its fleet mirror. Respawned workers always run with `None`.
+pub(crate) fn run_worker(mut core: ShardCore, rx: Receiver<ShardMsg>, kill_after: Option<u64>) {
+    let mut remaining = kill_after;
     while let Ok(msg) = rx.recv() {
+        if let Some(n) = remaining.as_mut() {
+            if *n == 0 {
+                panic!("injected fault: shard {} worker killed", core.index);
+            }
+            *n -= 1;
+        }
         match msg {
             ShardMsg::TryLocal {
                 request,
@@ -500,7 +592,10 @@ pub(crate) fn run_worker(mut core: ShardCore, rx: Receiver<ShardMsg>) {
 
 /// Build the per-shard allocator used by both shard workers and the
 /// coordinator's global search, counting cache traffic into
-/// `cache_metrics` and partition-search work into `search_metrics`.
+/// `cache_metrics`, partition-search work into `search_metrics`, and
+/// injected-lookup-failure fallbacks into stripe `fallback_stripe` of
+/// `fallbacks`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_strategy(
     db: eavm_benchdb::ModelDatabase,
     cache_capacity: usize,
@@ -509,9 +604,17 @@ pub(crate) fn build_strategy(
     qos_margin: f64,
     cache_metrics: CacheMetrics,
     search_metrics: eavm_core::SearchMetrics,
-) -> Proactive<MemoModel<DbModel>> {
+    lookup_faults: LookupFaults,
+    fallbacks: Counter,
+    fallback_stripe: usize,
+) -> ServiceStrategy {
     Proactive::new(
-        MemoModel::with_metrics(DbModel::new(db), cache_capacity, cache_metrics),
+        ResilientModel::with_faults(
+            MemoModel::with_metrics(DbModel::new(db), cache_capacity, cache_metrics),
+            lookup_faults,
+            fallbacks,
+            fallback_stripe,
+        ),
         goal,
         deadlines,
     )
@@ -529,9 +632,9 @@ mod tests {
         [Seconds(6000.0), Seconds(6000.0), Seconds(6000.0)]
     }
 
-    fn core(n: usize) -> ShardCore {
+    fn strategy() -> ServiceStrategy {
         let db = DbBuilder::exact().build().expect("db");
-        let strategy = build_strategy(
+        build_strategy(
             db,
             256,
             OptimizationGoal::BALANCED,
@@ -539,11 +642,17 @@ mod tests {
             1.0,
             CacheMetrics::standalone(),
             eavm_core::SearchMetrics::default(),
-        );
+            LookupFaults::disabled(),
+            Counter::noop(),
+            0,
+        )
+    }
+
+    fn core(n: usize) -> ShardCore {
         ShardCore::new(
             0,
             (0..n).map(ServerId::from),
-            strategy,
+            strategy(),
             ShardInstruments::standalone(),
         )
     }
@@ -640,6 +749,40 @@ mod tests {
         // Ticket 9 left no pending state: a commit of it is a no-op.
         core.commit(9);
         assert_eq!(core.stats().commits, 0);
+    }
+
+    #[test]
+    fn restore_rebuilds_residents_from_committed_occupancy() {
+        // Commit some load, snapshot the mixes (= what the coordinator's
+        // mirror would hold), then rebuild a fresh core from them.
+        let mut original = core(2);
+        original
+            .try_local(&request(1, WorkloadType::Cpu, 3))
+            .expect("feasible");
+        original
+            .try_local(&request(2, WorkloadType::Io, 2))
+            .expect("feasible");
+        let occupancy: Vec<(ServerId, MixVector)> =
+            original.snapshot().iter().map(|s| (s.id, s.mix)).collect();
+
+        let restored = ShardCore::restore(
+            0,
+            &occupancy,
+            strategy(),
+            Seconds(500.0),
+            ShardInstruments::standalone(),
+        );
+        let stats = restored.stats();
+        assert_eq!(stats.resident_vms, 5, "every committed VM must survive");
+        assert!(stats.estimated_energy.0 > 0.0);
+        // Mix-for-mix identical to the dead shard's committed state.
+        let restored_occ: Vec<(ServerId, MixVector)> =
+            restored.snapshot().iter().map(|s| (s.id, s.mix)).collect();
+        assert_eq!(restored_occ, occupancy);
+        // Restored finishes restart from the restore clock: all strictly
+        // after it (crash loses progress, never time-travels).
+        let finish = restored.next_finish().expect("residents have finishes");
+        assert!(finish > Seconds(500.0));
     }
 
     #[test]

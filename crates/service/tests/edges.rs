@@ -50,7 +50,7 @@ fn try_submit_sheds_on_a_full_admission_queue() {
         "512 tight-loop submissions never filled the queue"
     );
 
-    let stats = service.shutdown();
+    let stats = service.shutdown().expect("shutdown");
     assert_eq!(stats.shed_admission, shed);
     assert_eq!(telemetry.snapshot().counter("service.shed.admission"), shed);
     // Everything that got in received a verdict path of some kind.
@@ -81,7 +81,7 @@ fn concurrent_slow_path_proposals_conflict_and_are_counted() {
         service.submit(request(100, WorkloadType::Io, 5));
         service.submit(request(0, WorkloadType::Mem, 5));
         service.submit(request(1, WorkloadType::Mem, 5));
-        let stats = service.shutdown();
+        let stats = service.shutdown().expect("shutdown");
         if stats.reserve_conflicts > 0 {
             assert_eq!(
                 telemetry.snapshot().counter("service.reserve.conflicts"),

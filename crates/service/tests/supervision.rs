@@ -1,0 +1,147 @@
+//! Integration: supervised shard recovery. An injected worker kill
+//! (deterministic [`WorkerFaultPlan`]) panics one shard thread while the
+//! service is under load; the coordinator must detect the dead mailbox,
+//! respawn the shard from its fleet mirror, requeue the in-flight
+//! requests, and still deliver **exactly one final verdict for every
+//! submission** — the headline zero-lost-verdicts property.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eavm_benchdb::{DbBuilder, ModelDatabase};
+use eavm_faults::WorkerFaultPlan;
+use eavm_service::{AllocService, ServiceConfig, Verdict};
+use eavm_swf::VmRequest;
+use eavm_telemetry::Telemetry;
+use eavm_types::{JobId, Seconds, WorkloadType};
+
+fn db() -> ModelDatabase {
+    DbBuilder::exact().build().expect("db")
+}
+
+fn request(id: u32, ty: WorkloadType, vms: u32) -> VmRequest {
+    VmRequest {
+        id: JobId::new(id),
+        submit: Seconds(0.0),
+        workload: ty,
+        vm_count: vms,
+        deadline: Seconds(1e7),
+    }
+}
+
+/// `true` for verdicts that end a request's life; `Queued` and
+/// `Requeued` are interim states that must be followed by one of these.
+fn is_final(v: &Verdict) -> bool {
+    matches!(
+        v,
+        Verdict::Admitted { .. } | Verdict::AdmittedCrossShard { .. } | Verdict::Shed { .. }
+    )
+}
+
+#[test]
+fn killed_shard_worker_is_respawned_with_zero_lost_verdicts() {
+    let telemetry = Telemetry::new();
+    // Kill shard 0's worker after it has served 3 messages: mid-load by
+    // construction, since the trace below sends it far more than that.
+    let mut config = ServiceConfig::new(2, 4)
+        .with_telemetry(Arc::clone(&telemetry))
+        .with_worker_faults(WorkerFaultPlan::kill_shard(2, 0, 3));
+    config.deadlines = [Seconds(1e7); 3];
+    let service = AllocService::start(db(), config).expect("start");
+
+    let total = 64u32;
+    let mut tickets = Vec::new();
+    for i in 0..total {
+        let ty = WorkloadType::ALL[(i % 3) as usize];
+        tickets.push(service.submit(request(i, ty, 1)));
+    }
+    // Drain retires residents until every parked request lands, driving
+    // the respawned shard through advances and slow-path commits.
+    service.drain().expect("drain");
+    let stats = service.stats().expect("stats");
+    let verdicts = service.poll_verdicts();
+    let final_stats = service.shutdown().expect("shutdown");
+
+    // The kill fired and the supervisor recovered from it.
+    assert!(stats.shard_failures >= 1, "kill never detected: {stats:?}");
+    assert!(
+        stats.shard_respawns >= 1,
+        "shard never respawned: {stats:?}"
+    );
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("service.shard.failures"), stats.shard_failures);
+    assert_eq!(snap.counter("service.shard.respawns"), stats.shard_respawns);
+    assert_eq!(snap.counter("service.requeued"), stats.requeued);
+
+    // Zero lost verdicts: every ticket resolves to exactly one final
+    // verdict, no matter which shard died underneath it.
+    let mut finals: HashMap<u64, usize> = HashMap::new();
+    for (ticket, v) in &verdicts {
+        if is_final(v) {
+            *finals.entry(*ticket).or_insert(0) += 1;
+        }
+    }
+    for ticket in &tickets {
+        assert_eq!(
+            finals.get(ticket).copied().unwrap_or(0),
+            1,
+            "ticket {ticket} did not get exactly one final verdict"
+        );
+    }
+    assert_eq!(finals.len(), tickets.len());
+
+    // Conservation through the crash: everything submitted was either
+    // admitted or shed, and with generous deadlines nothing sheds here.
+    assert_eq!(stats.submitted, u64::from(total));
+    assert_eq!(
+        stats.admitted_local + stats.admitted_cross_shard,
+        u64::from(total),
+        "stats: {stats:?}"
+    );
+    assert_eq!(
+        stats.shed_wait_queue + stats.shed_unplaceable + stats.shed_shard_failure,
+        0
+    );
+    assert_eq!(stats.parked, 0);
+
+    // Mirror/shard reconciliation survived the restore: the fleet still
+    // accounts for every admitted VM after the crash-recovery drain.
+    let resident: usize = final_stats.shards.iter().map(|s| s.resident_vms).sum();
+    assert_eq!(resident, final_stats.resident_vms);
+}
+
+/// A requeued request's interim [`Verdict::Requeued`] names the shard
+/// that failed, and the verdict stream orders it before the final one.
+#[test]
+fn requeued_verdicts_precede_finals_and_name_the_dead_shard() {
+    let mut config =
+        ServiceConfig::new(2, 4).with_worker_faults(WorkerFaultPlan::kill_shard(2, 1, 1));
+    config.deadlines = [Seconds(1e7); 3];
+    let service = AllocService::start(db(), config).expect("start");
+    for i in 0..32 {
+        service.submit(request(i, WorkloadType::Cpu, 1));
+    }
+    service.drain().expect("drain");
+    let verdicts = service.poll_verdicts();
+    let stats = service.shutdown().expect("shutdown");
+
+    let mut seen_final: HashMap<u64, bool> = HashMap::new();
+    let mut requeued = 0u64;
+    for (ticket, v) in &verdicts {
+        if let Verdict::Requeued { shard } = v {
+            assert_eq!(*shard, 1, "only shard 1 was killed");
+            assert!(
+                !seen_final.get(ticket).copied().unwrap_or(false),
+                "Requeued after a final verdict for ticket {ticket}"
+            );
+            requeued += 1;
+        }
+        if is_final(v) {
+            seen_final.insert(*ticket, true);
+        }
+    }
+    assert_eq!(requeued, stats.requeued, "stream and stats disagree");
+    // Every submission still resolved.
+    let finals = verdicts.iter().filter(|(_, v)| is_final(v)).count();
+    assert_eq!(finals, 32);
+}

@@ -71,6 +71,20 @@ pub struct SimOutcome {
     /// server-seconds; `busy_server_seconds / makespan` is the average
     /// fleet footprint.
     pub busy_server_seconds: Seconds,
+    /// Host crashes fired by the fault plan (0 without faults).
+    pub host_crashes: usize,
+    /// Degradation windows opened by the fault plan (0 without faults).
+    pub host_degradations: usize,
+    /// VMs killed by host crashes.
+    pub vms_killed: usize,
+    /// Killed VMs re-placed after their host crashed. Equals
+    /// `vms_killed` whenever the run drains (restart conservation).
+    pub vms_restarted: usize,
+    /// Completed solo-equivalent work thrown away by crashes.
+    pub lost_work: Seconds,
+    /// Model-estimated energy of the thrown-away work — the extra
+    /// energy the restarts must re-spend.
+    pub restart_energy: Joules,
     /// Per-server allocation intervals (Fig. 4 timelines); empty unless
     /// the simulation was configured with `with_timeline`.
     pub timeline: Vec<AllocationInterval>,
@@ -151,7 +165,7 @@ impl SimOutcome {
     /// One CSV row (see [`Self::CSV_HEADER`]).
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{:.3},{:.3},{:.3},{},{:.4},{:.3},{:.3},{},{}",
+            "{},{},{},{},{:.3},{:.3},{:.3},{},{:.4},{:.3},{:.3},{},{},{},{},{},{},{:.3},{:.3}",
             self.strategy,
             self.cloud,
             self.requests,
@@ -165,12 +179,19 @@ impl SimOutcome {
             self.mean_wait_time().value(),
             self.peak_servers_busy,
             self.migrations,
+            self.host_crashes,
+            self.host_degradations,
+            self.vms_killed,
+            self.vms_restarted,
+            self.lost_work.value(),
+            self.restart_energy.value(),
         )
     }
 
     /// Header for [`Self::to_csv`].
     pub const CSV_HEADER: &'static str = "strategy,cloud,requests,vms,makespan_s,energy_j,\
-idle_energy_j,sla_violations,sla_pct,mean_response_s,mean_wait_s,peak_servers_busy,migrations";
+idle_energy_j,sla_violations,sla_pct,mean_response_s,mean_wait_s,peak_servers_busy,migrations,\
+host_crashes,host_degradations,vms_killed,vms_restarted,lost_work_s,restart_energy_j";
 }
 
 #[cfg(test)]
@@ -195,6 +216,12 @@ mod tests {
             per_type_violations: [20, 6, 4],
             per_type_requests: [80, 60, 60],
             busy_server_seconds: Seconds(900_000.0),
+            host_crashes: 2,
+            host_degradations: 1,
+            vms_killed: 5,
+            vms_restarted: 5,
+            lost_work: Seconds(3_000.0),
+            restart_energy: Joules(1.0e6),
             timeline: Vec::new(),
         }
     }

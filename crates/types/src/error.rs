@@ -22,6 +22,9 @@ pub enum EavmError {
     Infeasible(String),
     /// Configuration that is internally inconsistent.
     InvalidConfig(String),
+    /// A required subsystem (coordinator, shard worker) is down or
+    /// unreachable; the operation cannot produce a trustworthy answer.
+    Unavailable(String),
 }
 
 impl fmt::Display for EavmError {
@@ -32,6 +35,7 @@ impl fmt::Display for EavmError {
             EavmError::ModelMiss(msg) => write!(f, "model database miss: {msg}"),
             EavmError::Infeasible(msg) => write!(f, "infeasible allocation: {msg}"),
             EavmError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EavmError::Unavailable(msg) => write!(f, "subsystem unavailable: {msg}"),
         }
     }
 }
@@ -71,6 +75,9 @@ mod tests {
         assert!(EavmError::InvalidConfig("c".into())
             .to_string()
             .contains("configuration"));
+        assert!(EavmError::Unavailable("shard 3".into())
+            .to_string()
+            .contains("unavailable"));
     }
 
     #[test]

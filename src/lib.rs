@@ -49,6 +49,7 @@
 //! | [`swf`] | SWF parsing, cleaning, EGEE-like generation, VM-request adaptation |
 //! | [`core`] | PROACTIVE(α) + FIRST-FIT strategies, models, Fig. 4 estimation |
 //! | [`simulator`] | discrete-event datacenter engine + metrics + cloud sizing |
+//! | [`faults`] | seeded deterministic fault plans: crashes, degradation, lookup failures |
 //! | [`telemetry`] | metrics registry, bounded event journal, Prometheus/JSON exporters |
 //! | [`service`] | online concurrent allocation service (sharded fleet, batched admission) |
 //!
@@ -57,6 +58,7 @@
 
 pub use eavm_benchdb as benchdb;
 pub use eavm_core as core;
+pub use eavm_faults as faults;
 pub use eavm_partitions as partitions;
 pub use eavm_service as service;
 pub use eavm_simulator as simulator;
@@ -73,6 +75,7 @@ pub mod prelude {
         AllocationModel, AllocationStrategy, AnalyticModel, DbModel, FirstFit, MixEstimate,
         OptimizationGoal, Proactive,
     };
+    pub use eavm_faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, LookupFaults};
     pub use eavm_partitions::{multiset_partitions, BoundedPartitions, SetPartitions};
     pub use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
     pub use eavm_swf::{

@@ -64,8 +64,9 @@ fn deterministic_replay_matches_batch_simulation_exactly() {
     let mut config = DeterministicConfig::new(OptimizationGoal::BALANCED, dl)
         .with_telemetry(Arc::clone(&telemetry));
     config.timeline = true;
-    let (outcome, cache) =
+    let (outcome, cache, fallbacks) =
         replay_deterministic(AnalyticModel::reference(), cloud, db, &config, &requests).unwrap();
+    assert_eq!(fallbacks, 0, "no fault plan must mean no fallbacks");
 
     // Same allocation decisions: the timeline records every per-server
     // allocation interval the strategy produced.

@@ -37,17 +37,44 @@ CLI=(cargo run --release -q -p eavm-cli --)
 "${CLI[@]}" gen-trace --out "$CHAOS_DIR/t.swf" --jobs 200 --seed 5 > /dev/null
 REPLAY_OUT="$("${CLI[@]}" replay-online --db-dir "$CHAOS_DIR/db" \
     --trace "$CHAOS_DIR/t.swf" --servers 6 --vms 200 \
-    --fault-seed 42 --fault-rate 2.0)"
+    --fault-seed 42 --fault-rate 1.0)"
 echo "$REPLAY_OUT" | grep -q "faults: seed=42" \
     || { echo "chaos smoke: no faults line"; echo "$REPLAY_OUT"; exit 1; }
 echo "$REPLAY_OUT" | grep -q "conservation: ok" \
     || { echo "chaos smoke: conservation violated"; echo "$REPLAY_OUT"; exit 1; }
 SERVE_OUT="$("${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
     --trace "$CHAOS_DIR/t.swf" --servers 6 --shards 2 --vms 200 \
-    --fault-rate 2.0 --kill-shard 0 --kill-after 5 2>/dev/null)"
+    --fault-rate 1.0 --kill-shard 0 --kill-after 5 2>/dev/null)"
 echo "$SERVE_OUT" | grep -q "conservation: ok" \
     || { echo "chaos smoke: service lost verdicts"; echo "$SERVE_OUT"; exit 1; }
 echo "$SERVE_OUT" | grep -q "respawns=1" \
     || { echo "chaos smoke: shard never respawned"; echo "$SERVE_OUT"; exit 1; }
+
+echo "==> crash-loop smoke (durable service recovery)"
+# Control: a full paced run under a journal; its verdict log is the
+# ground truth. Then the same run is killed mid-stream by the crash
+# schedule (the process SIGABRTs after N journal appends), recovered
+# from whatever hit the disk, and the reconstructed verdict log must be
+# byte-identical to the control's.
+"${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 6 --shards 2 --vms 200 \
+    --paced --journal-dir "$CHAOS_DIR/ctrl" --checkpoint-every 16 \
+    --verdicts-out "$CHAOS_DIR/ctrl.log" > /dev/null
+test -s "$CHAOS_DIR/ctrl.log" \
+    || { echo "crash-loop smoke: control wrote no verdicts"; exit 1; }
+# The crashed run aborts by design: a nonzero exit here is the point.
+"${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 6 --shards 2 --vms 200 \
+    --paced --journal-dir "$CHAOS_DIR/crash" --checkpoint-every 16 \
+    --crash-after-events 37 > /dev/null 2>&1 || true
+test -s "$CHAOS_DIR/crash/wal.log" \
+    || { echo "crash-loop smoke: crashed run left no WAL"; exit 1; }
+"${CLI[@]}" recover --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 6 --shards 2 --vms 200 \
+    --journal-dir "$CHAOS_DIR/crash" --checkpoint-every 16 \
+    --verdicts-out "$CHAOS_DIR/rec.log" > /dev/null
+cmp "$CHAOS_DIR/ctrl.log" "$CHAOS_DIR/rec.log" \
+    || { echo "crash-loop smoke: recovered verdict log diverged"; \
+         diff "$CHAOS_DIR/ctrl.log" "$CHAOS_DIR/rec.log" | head -20; exit 1; }
 
 echo "CI checks passed."

@@ -290,6 +290,130 @@ fn bench_db_build(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_durability(c: &mut Criterion) {
+    use eavm_durability::{
+        recover_dir, wal_path, PlacementRec, ReqRec, SnapshotRec, Wal, WalRecord,
+    };
+
+    fn bench_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eavm-bench-dur-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn admitted(ticket: u64) -> WalRecord {
+        WalRecord::Admitted {
+            ticket,
+            shard: (ticket % 4) as u32,
+            placements: vec![PlacementRec {
+                server: (ticket % 16) as u32,
+                cpu: 2,
+                mem: 1,
+                io: 0,
+            }],
+        }
+    }
+
+    // Journal-append overhead per admission: one verdict record encoded
+    // and framed into the WAL. A batch of 256 appends plus the one
+    // fsync a checkpoint boundary would pay, on a fresh file each
+    // iteration so the cost does not drift with file size.
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(20);
+    let dir = bench_dir("append");
+    let mut n = 0u64;
+    group.bench_function("wal_append_256_sync", |b| {
+        b.iter(|| {
+            n += 1;
+            let path = wal_path(&dir).with_extension(format!("{n}"));
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for ticket in 0..256u64 {
+                wal.append(black_box(&admitted(ticket).encode())).unwrap();
+            }
+            wal.sync().unwrap();
+            drop(wal);
+            let _ = std::fs::remove_file(&path);
+        })
+    });
+
+    group.bench_function("wal_record_encode_decode", |b| {
+        let record = admitted(12345);
+        b.iter(|| {
+            let bytes = black_box(&record).encode();
+            WalRecord::decode(black_box(&bytes)).unwrap()
+        })
+    });
+
+    // Replay cost: decode + validate a 2 000-frame WAL (1 000
+    // submit/admit pairs), the dominant term of a snapshotless restart.
+    let replay = bench_dir("replay");
+    {
+        let (mut wal, _) = Wal::open(&wal_path(&replay)).unwrap();
+        for ticket in 0..1_000u64 {
+            let req = ReqRec {
+                id: ticket as u32,
+                submit: ticket as f64,
+                workload: (ticket % 3) as u8,
+                vm_count: 2,
+                deadline: 5_000.0,
+            };
+            wal.append(&WalRecord::Submit { ticket, req }.encode())
+                .unwrap();
+            wal.append(&admitted(ticket).encode()).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+    group.bench_function("recover_dir_2k_frames", |b| {
+        b.iter(|| {
+            let state = recover_dir(black_box(&replay)).unwrap();
+            assert_eq!(state.frames, 2_000);
+            state
+        })
+    });
+
+    // Checkpoint round trip: a 4-shard, 64-server fleet snapshot,
+    // written atomically (tmp + rename + fsync) and read back.
+    let snapdir = bench_dir("snap");
+    let snapshot = SnapshotRec {
+        seq: 1,
+        wal_frames: 2_000,
+        now: 1_234.5,
+        next_ticket: 1_000,
+        cache_generation: 1,
+        shards: (0..4u32)
+            .map(|index| eavm_durability::ShardSnapRec {
+                index,
+                clock: 1_234.5,
+                energy: 9.9e6,
+                servers: (0..16u32)
+                    .map(|s| eavm_durability::ServerSnapRec {
+                        server: index * 16 + s,
+                        residents: vec![(0, 2_000.0), (1, 2_500.0), (2, 3_000.0)],
+                    })
+                    .collect(),
+            })
+            .collect(),
+        parked: vec![],
+        counters: vec![("submitted".into(), 1_000)],
+    };
+    let mut seq = 0u64;
+    group.bench_function("snapshot_write_read", |b| {
+        b.iter(|| {
+            seq += 1;
+            let path = eavm_durability::write_snapshot(&snapdir, seq, &snapshot.encode()).unwrap();
+            let payload = eavm_durability::read_snapshot(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            SnapshotRec::decode(black_box(&payload)).unwrap()
+        })
+    });
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&replay);
+    let _ = std::fs::remove_dir_all(&snapdir);
+}
+
 criterion_group!(
     benches,
     bench_partitions,
@@ -302,6 +426,7 @@ criterion_group!(
     bench_swf,
     bench_telemetry,
     bench_faults,
-    bench_db_build
+    bench_db_build,
+    bench_durability
 );
 criterion_main!(benches);

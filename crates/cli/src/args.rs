@@ -88,6 +88,29 @@ impl Args {
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// An optional probability/rate option that must lie in `[0, 1]`.
+    /// Rejects NaN and out-of-range values with an error naming the
+    /// flag, so a typo like `--fault-rate 10` fails loudly instead of
+    /// arming a nonsensical fault plan.
+    pub fn fraction_or(&self, name: &str, default: f64) -> Result<f64, String> {
+        let v: f64 = self.get_or(name, default)?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("--{name} must be within [0, 1], got {v}",));
+        }
+        Ok(v)
+    }
+
+    /// An optional count option that must be nonzero: "after 0 events"
+    /// is never what anyone means, and silently treating it as "never"
+    /// or "immediately" hides the mistake.
+    pub fn nonzero_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        let v: u64 = self.get_or(name, default)?;
+        if v == 0 {
+            return Err(format!("--{name} must be nonzero"));
+        }
+        Ok(v)
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +170,39 @@ mod tests {
     fn trailing_flag_is_boolean() {
         let a = parse(&["x", "--exact"]).unwrap();
         assert!(a.flag("exact"));
+    }
+
+    #[test]
+    fn fraction_enforces_the_unit_interval() {
+        let a = parse(&["x", "--fault-rate", "0.25"]).unwrap();
+        assert_eq!(a.fraction_or("fault-rate", 0.0).unwrap(), 0.25);
+        assert_eq!(a.fraction_or("other-rate", 0.5).unwrap(), 0.5);
+        for bad in ["1.5", "-0.1", "10", "NaN"] {
+            let a = parse(&["x", "--fault-rate", bad]).unwrap();
+            let err = a.fraction_or("fault-rate", 0.0).unwrap_err();
+            assert!(
+                err.contains("fault-rate") && (err.contains("[0, 1]") || err.contains("invalid")),
+                "unhelpful error for {bad:?}: {err}"
+            );
+        }
+        // Boundary values are legal.
+        for ok in ["0", "1", "0.0", "1.0"] {
+            let a = parse(&["x", "--fault-rate", ok]).unwrap();
+            assert!(a.fraction_or("fault-rate", 0.0).is_ok(), "{ok} rejected");
+        }
+    }
+
+    #[test]
+    fn nonzero_rejects_zero_counts() {
+        let a = parse(&["x", "--kill-after", "0"]).unwrap();
+        let err = a.nonzero_or("kill-after", 16).unwrap_err();
+        assert!(
+            err.contains("kill-after") && err.contains("nonzero"),
+            "{err}"
+        );
+        let a = parse(&["x", "--kill-after", "3"]).unwrap();
+        assert_eq!(a.nonzero_or("kill-after", 16).unwrap(), 3);
+        let a = parse(&["x"]).unwrap();
+        assert_eq!(a.nonzero_or("kill-after", 16).unwrap(), 16);
     }
 }

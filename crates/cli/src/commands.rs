@@ -8,8 +8,8 @@ use eavm_benchdb::{DbBuilder, ModelDatabase};
 use eavm_core::{
     AllocationStrategy, AnalyticModel, BestFit, DbModel, FirstFit, OptimizationGoal, Proactive,
 };
-use eavm_faults::{FaultConfig, FaultPlan, WorkerFaultPlan};
-use eavm_service::CacheStats;
+use eavm_faults::{CrashSchedule, FaultConfig, FaultPlan, WorkerFaultPlan};
+use eavm_service::{CacheStats, DurabilityConfig, ReplayReport};
 use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
 use eavm_swf::{
     adapt_trace, clean_trace, total_vms, truncate_to_vm_total, AdaptConfig, GeneratorConfig,
@@ -33,6 +33,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "trace-stats" => trace_stats(&args),
         "simulate" => simulate(&args),
         "serve" => serve(&args),
+        "recover" => recover(&args),
         "replay-online" => replay_online_cmd(&args),
         "db-diff" => db_diff(&args),
         "info" => info(&args),
@@ -58,7 +59,13 @@ USAGE:
                        [--queue N] [--cache N]
                        [--fault-seed N] [--fault-rate F]
                        [--kill-shard N] [--kill-after M]
+                       [--journal-dir DIR] [--checkpoint-every N] [--paced]
+                       [--crash-after-events N] [--verdicts-out FILE]
                        [--metrics-out FILE] [--metrics-format prometheus|json]
+  eavm-cli recover     --db-dir DIR --trace FILE --servers N --journal-dir DIR
+                       [--shards N] [--vms N] [--seed N] [--qos F] [--margin F]
+                       [--alpha F] [--queue N] [--cache N] [--checkpoint-every N]
+                       [--verdicts-out FILE]
   eavm-cli replay-online --db-dir DIR --trace FILE --servers N
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
                        [--cache N] [--fault-seed N] [--fault-rate F]
@@ -226,16 +233,17 @@ fn load_workload(
 }
 
 /// Parse the chaos knobs shared by `simulate` and `replay-online`:
-/// `--fault-rate F` (expected crashes *and* degradations per host-hour)
-/// arms a deterministic [`FaultPlan`] seeded by `--fault-seed N` over
-/// `hosts` hosts and a horizon of the last submission plus ten hours.
-/// Returns `None` when no rate (or a zero rate) was given.
+/// `--fault-rate F` (expected crashes *and* degradations per host-hour,
+/// validated into `[0, 1]`) arms a deterministic [`FaultPlan`] seeded
+/// by `--fault-seed N` over `hosts` hosts and a horizon of the last
+/// submission plus ten hours. Returns `None` when no rate (or a zero
+/// rate) was given.
 fn fault_plan(
     args: &Args,
     hosts: usize,
     requests: &[eavm_swf::VmRequest],
 ) -> Result<Option<(u64, f64, FaultPlan)>, String> {
-    let rate: f64 = args.get_or("fault-rate", 0.0)?;
+    let rate: f64 = args.fraction_or("fault-rate", 0.0)?;
     if rate <= 0.0 {
         return Ok(None);
     }
@@ -392,18 +400,21 @@ fn render_outcome(out: &SimOutcome, requests: &[eavm_swf::VmRequest]) -> String 
     )
 }
 
-/// Run the trace through the live concurrent service
-/// ([`eavm_service::AllocService`]) and report its counters.
-fn serve(args: &Args) -> Result<String, String> {
-    let servers: usize = args.get_required("servers")?;
-    let shards: usize = args.get_or("shards", 4)?;
+/// Build the [`eavm_service::ServiceConfig`] shared by `serve` and
+/// `recover`: sizing, allocator knobs, chaos injection, and the
+/// durability flags (`--journal-dir DIR`, `--checkpoint-every N`,
+/// `--crash-after-events N`).
+fn service_config(
+    args: &Args,
+    shards: usize,
+    servers: usize,
+    deadlines: [Seconds; 3],
+    telemetry: &Arc<Telemetry>,
+) -> Result<eavm_service::ServiceConfig, String> {
     let margin: f64 = args.get_or("margin", 0.65)?;
     let alpha: f64 = args.get_or("alpha", 0.5)?;
-    let (db, requests, deadlines) = load_workload(args)?;
-
-    let telemetry = Telemetry::new();
     let mut config =
-        eavm_service::ServiceConfig::new(shards, servers).with_telemetry(Arc::clone(&telemetry));
+        eavm_service::ServiceConfig::new(shards, servers).with_telemetry(Arc::clone(telemetry));
     config.queue_capacity = args.get_or("queue", 1024)?;
     config.cache_capacity = args.get_or("cache", 4096)?;
     config.goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
@@ -413,7 +424,7 @@ fn serve(args: &Args) -> Result<String, String> {
     // (same seeding as the simulator's plan), `--kill-shard N` kills
     // worker N after `--kill-after M` served messages to exercise the
     // supervised respawn path end to end.
-    let fault_rate: f64 = args.get_or("fault-rate", 0.0)?;
+    let fault_rate: f64 = args.fraction_or("fault-rate", 0.0)?;
     if fault_rate > 0.0 {
         let seed: u64 = args.get_or("fault-seed", 0xFA17)?;
         let lookup = FaultConfig::uniform(seed, fault_rate).lookup_failure_rate;
@@ -425,12 +436,98 @@ fn serve(args: &Args) -> Result<String, String> {
                 "--kill-shard {kill_shard} out of range (shards={shards})"
             ));
         }
-        let after: u64 = args.get_or("kill-after", 16)?;
+        let after = args.nonzero_or("kill-after", 16)?;
         config = config.with_worker_faults(WorkerFaultPlan::kill_shard(shards, kill_shard, after));
     }
+    // Durability: journal every admission verdict before acking it and
+    // checkpoint the fleet periodically; `--crash-after-events N`
+    // aborts the process after N journal appends (crash-loop drills).
+    match args.optional_path("journal-dir") {
+        Some(dir) => {
+            let mut durability = DurabilityConfig::new(dir)
+                .with_checkpoint_every(args.nonzero_or("checkpoint-every", 256)?);
+            if let Some(after) = args.get_optional::<u64>("crash-after-events")? {
+                if after == 0 {
+                    return Err("--crash-after-events must be nonzero".into());
+                }
+                durability = durability.with_crash(CrashSchedule::after_events(after));
+            }
+            config = config.with_durability(durability);
+        }
+        None => {
+            if args.get_optional::<u64>("crash-after-events")?.is_some() {
+                return Err("--crash-after-events needs --journal-dir".into());
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// Honour `--verdicts-out FILE`: write the ticket-ordered verdict log.
+/// With a journal directory the log is reconstructed from the WAL (the
+/// canonical record, crash-surviving); otherwise it comes from the live
+/// verdict stream. The two agree byte for byte on an uncrashed run.
+fn export_verdicts(args: &Args, report: &ReplayReport) -> Result<String, String> {
+    let Some(path) = args.optional_path("verdicts-out") else {
+        return Ok(String::new());
+    };
+    let mut lines: Vec<(u64, String)> = match args.optional_path("journal-dir") {
+        Some(dir) => eavm_durability::recover_dir(&dir)
+            .map_err(|e| e.to_string())?
+            .verdict_lines(),
+        None => report
+            .verdicts
+            .iter()
+            .map(|(t, v)| (*t, eavm_service::verdict_line(*t, v)))
+            .collect(),
+    };
+    lines.sort_by_key(|(ticket, _)| *ticket);
+    let text: String = lines
+        .iter()
+        .map(|(ticket, line)| format!("{ticket} {line}\n"))
+        .collect();
+    std::fs::write(&path, &text).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "verdicts: {} lines -> {}\n",
+        lines.len(),
+        path.display()
+    ))
+}
+
+/// The one durability summary line, printed whenever journaling is on.
+fn render_durability(s: &eavm_service::ServiceStats) -> String {
+    let d = &s.durability;
+    format!(
+        "durability: wal-appends={} snapshots-written={} frames-replayed={} \
+         snapshots-loaded={} torn-frames-dropped={}\n",
+        d.wal_appends,
+        d.snapshots_written,
+        d.frames_replayed,
+        d.snapshots_loaded,
+        d.torn_frames_dropped,
+    )
+}
+
+/// Run the trace through the live concurrent service
+/// ([`eavm_service::AllocService`]) and report its counters.
+fn serve(args: &Args) -> Result<String, String> {
+    let servers: usize = args.get_required("servers")?;
+    let shards: usize = args.get_or("shards", 4)?;
+    let (db, requests, deadlines) = load_workload(args)?;
+    let telemetry = Telemetry::new();
+    let config = service_config(args, shards, servers, deadlines, &telemetry)?;
+    let journaled = config.durability.is_some();
 
     let started = std::time::Instant::now();
-    let report = eavm_service::replay_online(&db, config, &requests).map_err(|e| e.to_string())?;
+    // Paced submission (one request per admission batch) trades
+    // throughput for a fully deterministic verdict stream — the driving
+    // mode the crash-recovery byte-parity guarantee is stated for.
+    let report = if args.flag("paced") {
+        eavm_service::replay_online_paced(&db, config, &requests)
+    } else {
+        eavm_service::replay_online(&db, config, &requests)
+    }
+    .map_err(|e| e.to_string())?;
     let elapsed = started.elapsed().as_secs_f64();
     let s = &report.stats;
     let lat = &s.admission_latency_us;
@@ -453,7 +550,7 @@ fn serve(args: &Args) -> Result<String, String> {
             s.parked, s.submitted
         )
     };
-    Ok(format!(
+    let mut output = format!(
         "service: shards={shards} servers={servers} requests={} vms={}\n\
          admitted: local={} cross-shard={} after-wait={}\n\
          shed: admission={} wait-queue={} unplaceable={} shard-failure={}\n\
@@ -462,7 +559,7 @@ fn serve(args: &Args) -> Result<String, String> {
          {}\
          admission-latency: p50={}us p95={}us p99={}us max={}us\n\
          reserve-conflicts={} virtual-makespan={:.0}s estimated-energy={:.3e}J\n\
-         wall-time={elapsed:.3}s throughput={throughput:.0} req/s\n{}",
+         wall-time={elapsed:.3}s throughput={throughput:.0} req/s\n",
         report.requests,
         report.vms,
         s.admitted_local,
@@ -485,8 +582,71 @@ fn serve(args: &Args) -> Result<String, String> {
         s.reserve_conflicts,
         s.virtual_now.value(),
         s.estimated_energy.value(),
-        export_metrics(args, &telemetry)?,
-    ))
+    );
+    if journaled {
+        output.push_str(&render_durability(s));
+    }
+    output.push_str(&export_verdicts(args, &report)?);
+    output.push_str(&export_metrics(args, &telemetry)?);
+    Ok(output)
+}
+
+/// Resume a crashed (or cleanly stopped) `serve --journal-dir` run:
+/// rebuild the fleet from the newest usable checkpoint plus the WAL
+/// tail, re-drive every submitted-but-undecided request, then submit
+/// whatever part of the trace the crashed process never reached (paced,
+/// so the verdict stream stays deterministic) and drain to completion.
+/// The reconstructed verdict log is byte-identical to an uncrashed
+/// paced run over the same trace.
+fn recover(args: &Args) -> Result<String, String> {
+    let servers: usize = args.get_required("servers")?;
+    let shards: usize = args.get_or("shards", 4)?;
+    let (db, requests, deadlines) = load_workload(args)?;
+    if args.optional_path("journal-dir").is_none() {
+        return Err("recover needs --journal-dir".into());
+    }
+    let telemetry = Telemetry::new();
+    let config = service_config(args, shards, servers, deadlines, &telemetry)?;
+
+    let (service, recovery) =
+        eavm_service::AllocService::recover(db, config).map_err(|e| e.to_string())?;
+    // Tickets are dense in submission order, so the watermark says
+    // exactly how far into the trace the crashed process got.
+    let resume_from = (recovery.next_ticket as usize).min(requests.len());
+    eavm_service::drive_paced(&service, &requests[resume_from..]).map_err(|e| e.to_string())?;
+    service.drain().map_err(|e| e.to_string())?;
+    let mut verdicts = service.poll_verdicts();
+    let stats = service.shutdown().map_err(|e| e.to_string())?;
+    verdicts.sort_by_key(|(ticket, _)| *ticket);
+    let report = ReplayReport {
+        stats,
+        verdicts,
+        requests: requests.len(),
+        vms: requests.iter().map(|r| r.vm_count as u64).sum(),
+    };
+
+    let s = &report.stats;
+    let mut output = format!(
+        "{}\nresubmitted: {} of {} trace requests\n\
+         admitted: local={} cross-shard={} after-wait={}\n\
+         shed: wait-queue={} unplaceable={} shard-failure={}\n\
+         virtual-makespan={:.0}s estimated-energy={:.3e}J\n",
+        recovery.summary(),
+        requests.len() - resume_from,
+        requests.len(),
+        s.admitted_local,
+        s.admitted_cross_shard,
+        s.admitted_after_wait,
+        s.shed_wait_queue,
+        s.shed_unplaceable,
+        s.shed_shard_failure,
+        s.virtual_now.value(),
+        s.estimated_energy.value(),
+    );
+    output.push_str(&render_durability(s));
+    output.push_str(&export_verdicts(args, &report)?);
+    output.push_str(&export_metrics(args, &telemetry)?);
+    Ok(output)
 }
 
 /// Replay the trace through the deterministic single-thread service
@@ -838,12 +998,12 @@ mod tests {
                 "--fault-seed",
                 "42",
                 "--fault-rate",
-                "2.0",
+                "1.0",
             ])
             .unwrap()
         };
         let first = replay(0);
-        assert!(first.contains("faults: seed=42 rate=2"), "{first}");
+        assert!(first.contains("faults: seed=42 rate=1"), "{first}");
         assert!(first.contains("conservation: ok"), "{first}");
         assert!(first.contains("model-fallbacks:"), "{first}");
         // Deterministic chaos: the whole report reproduces byte for byte.
@@ -864,7 +1024,7 @@ mod tests {
             "--vms",
             "200",
             "--fault-rate",
-            "2.0",
+            "1.0",
             "--kill-shard",
             "0",
             "--kill-after",
@@ -874,6 +1034,152 @@ mod tests {
         assert!(serve_out.contains("conservation: ok"), "{serve_out}");
         assert!(serve_out.contains("respawns=1"), "{serve_out}");
         assert!(!serve_out.contains("VIOLATED"), "{serve_out}");
+
+        // Out-of-range chaos knobs are rejected up front, not armed.
+        let err = run(&[
+            "replay-online",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--fault-rate",
+            "2.0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+        let err = run(&[
+            "serve",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--kill-shard",
+            "0",
+            "--kill-after",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("nonzero"), "{err}");
+    }
+
+    #[test]
+    fn serve_journals_and_recover_reproduces_the_verdict_log() {
+        let dir = temp_dir("journal");
+        let dbdir = dir.join("db");
+        let tracep = dir.join("t.swf");
+        run(&[
+            "build-db",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+            "--exact",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        run(&[
+            "gen-trace",
+            "--out",
+            tracep.to_str().unwrap(),
+            "--jobs",
+            "150",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+
+        let journal = dir.join("journal");
+        let _ = std::fs::remove_dir_all(&journal);
+        let served = dir.join("served.log");
+        let serve_out = run(&[
+            "serve",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--shards",
+            "2",
+            "--vms",
+            "150",
+            "--paced",
+            "--journal-dir",
+            journal.to_str().unwrap(),
+            "--checkpoint-every",
+            "16",
+            "--verdicts-out",
+            served.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(
+            serve_out.contains("durability: wal-appends="),
+            "{serve_out}"
+        );
+        assert!(serve_out.contains("verdicts:"), "{serve_out}");
+        let served_log = std::fs::read_to_string(&served).unwrap();
+        assert!(!served_log.is_empty());
+
+        // Recovering a *completed* journal resubmits nothing, replays
+        // the full WAL, and reconstructs the identical verdict log.
+        let recovered = dir.join("recovered.log");
+        let recover_out = run(&[
+            "recover",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--shards",
+            "2",
+            "--vms",
+            "150",
+            "--journal-dir",
+            journal.to_str().unwrap(),
+            "--checkpoint-every",
+            "16",
+            "--verdicts-out",
+            recovered.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(
+            recover_out.contains("recovered snapshots_loaded="),
+            "{recover_out}"
+        );
+        assert!(recover_out.contains("resubmitted: 0 of"), "{recover_out}");
+        let recovered_log = std::fs::read_to_string(&recovered).unwrap();
+        assert_eq!(served_log, recovered_log, "verdict logs diverged");
+
+        // The crash knob is guarded: it needs a journal to crash into,
+        // and recover without a journal directory is meaningless.
+        let err = run(&[
+            "serve",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--crash-after-events",
+            "10",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--journal-dir"), "{err}");
+        let err = run(&[
+            "recover",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--journal-dir"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over byte
+//! slices — the checksum guarding every WAL frame and snapshot payload.
+//!
+//! Hand-rolled on purpose: the durability crate must stay dependency
+//! free (nothing below it but `eavm-types`), and the classic table-driven
+//! implementation is ~20 lines. The test vectors pin the exact variant so
+//! journals written today stay readable forever.
+
+/// 256-entry lookup table for the reflected IEEE polynomial, built at
+/// compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (initial value `!0`, final xor `!0`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"journal frame payload");
+        let mut corrupted = b"journal frame payload".to_vec();
+        corrupted[4] ^= 0x01;
+        assert_ne!(crc32(&corrupted), base);
+    }
+}

@@ -1,0 +1,39 @@
+//! # eavm-durability
+//!
+//! Crash durability for the allocation service: an append-only
+//! write-ahead log of admission events, periodic checkpoint snapshots,
+//! and the recovery scan that stitches them back into live state.
+//!
+//! Design in one paragraph: the coordinator journals every admission
+//! event (submit, admit, queue, requeue, shed, clock advance) as a
+//! CRC32-checksummed length-prefixed frame *before* acking it, and
+//! every `checkpoint_every` appends it snapshots its full placement
+//! state (per-shard resident VMs with bit-exact finish times, parked
+//! queue, counters) to an atomically renamed snapshot file. Recovery
+//! loads the newest snapshot whose coverage is consistent with the
+//! surviving WAL, replays the WAL tail, truncates any torn trailing
+//! frames, and hands the service enough state to resume with verdicts
+//! byte-identical to the run that never crashed.
+//!
+//! The crate knows nothing about the service: records carry primitive
+//! fields only, and the service layer owns the mapping to its own
+//! `VmRequest`/`Placement`/`Verdict` types. That keeps this crate at
+//! the bottom of the dependency DAG (only `eavm-types` below it) and
+//! its formats trivially testable.
+
+pub mod codec;
+pub mod crc32;
+pub mod record;
+pub mod recovery;
+pub mod snapshot;
+pub mod wal;
+
+pub use crc32::crc32;
+pub use record::{
+    shed_reason_name, PlacementRec, ReqRec, ServerSnapRec, ShardSnapRec, SnapshotRec, WalRecord,
+};
+pub use recovery::{recover_dir, wal_path, RecoveredState, WAL_FILE};
+pub use snapshot::{
+    list_snapshots, prune_snapshots, read_snapshot, snapshot_name, write_snapshot, SNAPSHOT_MAGIC,
+};
+pub use wal::{read_frames, Wal, FRAME_HEADER, MAX_FRAME_LEN, WAL_MAGIC};

@@ -1,0 +1,179 @@
+//! Checkpoint snapshot files: atomic, checksummed, self-pruning.
+//!
+//! A snapshot is a single CRC-guarded blob written as
+//! `snap-<seq:016x>.snap` in the journal directory via the classic
+//! temp-file-then-rename dance: the payload lands in `.tmp`, is synced,
+//! and only then renamed into place, so a crash mid-checkpoint leaves
+//! either the previous snapshot set intact or the new file complete —
+//! never a half-written `.snap`. Readers validate magic + CRC and simply
+//! skip files that fail, falling back to the next-older sequence (or a
+//! full-WAL replay when none survive).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use eavm_types::EavmError;
+
+use crate::crc32::crc32;
+
+/// File magic: `EAVMSNP` + format version byte.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EAVMSNP\x01";
+
+/// File name for checkpoint sequence `seq`.
+pub fn snapshot_name(seq: u64) -> String {
+    format!("snap-{seq:016x}.snap")
+}
+
+/// Write `payload` as checkpoint `seq` in `dir`, atomically.
+pub fn write_snapshot(dir: &Path, seq: u64, payload: &[u8]) -> Result<PathBuf, EavmError> {
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("{}.tmp", snapshot_name(seq)));
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    file.write_all(&SNAPSHOT_MAGIC)?;
+    file.write_all(&(payload.len() as u32).to_le_bytes())?;
+    file.write_all(&crc32(payload).to_le_bytes())?;
+    file.write_all(payload)?;
+    file.sync_data()?;
+    drop(file);
+    let path = dir.join(snapshot_name(seq));
+    fs::rename(&tmp, &path)?;
+    // Best-effort directory sync so the rename itself is durable.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+/// Validate and return the payload of one snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, EavmError> {
+    let raw = fs::read(path)?;
+    let head = SNAPSHOT_MAGIC.len();
+    if raw.len() < head + 8 || raw[..head] != SNAPSHOT_MAGIC {
+        return Err(EavmError::Durability(format!(
+            "{} is not a snapshot (bad magic)",
+            path.display()
+        )));
+    }
+    let len = u32::from_le_bytes(raw[head..head + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(raw[head + 4..head + 8].try_into().unwrap());
+    if raw.len() != head + 8 + len {
+        return Err(EavmError::Durability(format!(
+            "{}: payload length {len} does not match file size",
+            path.display()
+        )));
+    }
+    let payload = &raw[head + 8..];
+    if crc32(payload) != crc {
+        return Err(EavmError::Durability(format!(
+            "{}: checksum mismatch",
+            path.display()
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+/// All snapshot files in `dir`, newest sequence first. A missing
+/// directory is an empty set.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, EavmError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(hex) = name
+            .strip_prefix("snap-")
+            .and_then(|rest| rest.strip_suffix(".snap"))
+        else {
+            continue;
+        };
+        if let Ok(seq) = u64::from_str_radix(hex, 16) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    Ok(found)
+}
+
+/// Delete all but the newest `keep` snapshots; returns how many were
+/// removed. Removal failures are ignored — pruning is hygiene, not
+/// correctness.
+pub fn prune_snapshots(dir: &Path, keep: usize) -> Result<u64, EavmError> {
+    let mut removed = 0;
+    for (_, path) in list_snapshots(dir)?.into_iter().skip(keep) {
+        if fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eavm-snap-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_read_round_trip_and_ordering() {
+        let dir = tmp("roundtrip");
+        write_snapshot(&dir, 1, b"one").unwrap();
+        write_snapshot(&dir, 3, b"three").unwrap();
+        write_snapshot(&dir, 2, b"two").unwrap();
+        let listed = list_snapshots(&dir).unwrap();
+        assert_eq!(
+            listed.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            [3, 2, 1]
+        );
+        assert_eq!(read_snapshot(&listed[0].1).unwrap(), b"three");
+        // No leftover temp files.
+        assert!(fs::read_dir(&dir).unwrap().all(|e| !e
+            .unwrap()
+            .file_name()
+            .to_string_lossy()
+            .ends_with(".tmp")));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected() {
+        let dir = tmp("corrupt");
+        let path = write_snapshot(&dir, 7, b"precious state").unwrap();
+        let mut raw = fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x80;
+        fs::write(&path, &raw).unwrap();
+        assert!(read_snapshot(&path).is_err());
+    }
+
+    #[test]
+    fn prune_keeps_the_newest() {
+        let dir = tmp("prune");
+        for seq in 0..5 {
+            write_snapshot(&dir, seq, b"x").unwrap();
+        }
+        assert_eq!(prune_snapshots(&dir, 2).unwrap(), 3);
+        let left = list_snapshots(&dir).unwrap();
+        assert_eq!(left.iter().map(|(s, _)| *s).collect::<Vec<_>>(), [4, 3]);
+    }
+
+    #[test]
+    fn missing_dir_lists_empty() {
+        let dir = tmp("missing").join("nope");
+        assert!(list_snapshots(&dir).unwrap().is_empty());
+        assert_eq!(prune_snapshots(&dir, 1).unwrap(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! The append-only write-ahead log file.
+//!
+//! Layout: an 8-byte magic header (`EAVMWAL\x01`) followed by frames of
+//!
+//! ```text
+//! [len: u32 LE][crc32(payload): u32 LE][payload: len bytes]
+//! ```
+//!
+//! A frame is valid iff its full length is present *and* the CRC
+//! matches. Opening a WAL scans from the header and keeps the longest
+//! valid prefix; anything after the first incomplete or corrupt frame is
+//! a **torn tail** — the remains of a write that was racing a crash —
+//! and is truncated away (counted, never replayed). Appends are
+//! `write_all`-then-`flush` so a frame is handed to the OS before the
+//! caller acks anything that depends on it; [`Wal::sync`] additionally
+//! forces it to stable storage (used at checkpoints and shutdown).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use eavm_types::EavmError;
+
+use crate::crc32::crc32;
+
+/// File magic: `EAVMWAL` + format version byte.
+pub const WAL_MAGIC: [u8; 8] = *b"EAVMWAL\x01";
+
+/// Per-frame overhead: length prefix + checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame payload; anything larger in a length
+/// prefix is treated as corruption rather than an allocation request.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// An open, append-positioned write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    frames: u64,
+    bytes: u64,
+}
+
+/// Split `bytes` (past the magic) into valid frame payloads. Returns the
+/// payloads, the byte length of the valid prefix (excluding the magic),
+/// and the number of torn/corrupt trailing frames dropped (0 or 1: the
+/// scan stops at the first bad frame, and whatever follows it is
+/// unframeable noise by definition).
+fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize, u64) {
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= FRAME_HEADER {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_FRAME_LEN || bytes.len() - pos - FRAME_HEADER < len {
+            return (payloads, pos, 1);
+        }
+        let payload = &bytes[pos + FRAME_HEADER..pos + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            return (payloads, pos, 1);
+        }
+        payloads.push(payload.to_vec());
+        pos += FRAME_HEADER + len;
+    }
+    let torn = u64::from(pos != bytes.len());
+    (payloads, pos, torn)
+}
+
+impl Wal {
+    /// Open (or create) the WAL at `path`, truncating any torn tail.
+    /// Returns the handle positioned for appends plus the number of
+    /// torn frames dropped.
+    pub fn open(path: &Path) -> Result<(Wal, u64), EavmError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        if raw.is_empty() {
+            file.write_all(&WAL_MAGIC)?;
+            file.flush()?;
+            return Ok((
+                Wal {
+                    file,
+                    path: path.to_path_buf(),
+                    frames: 0,
+                    bytes: WAL_MAGIC.len() as u64,
+                },
+                0,
+            ));
+        }
+        if raw.len() < WAL_MAGIC.len() || raw[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(EavmError::Durability(format!(
+                "{} is not a WAL (bad magic)",
+                path.display()
+            )));
+        }
+        let (payloads, valid, torn) = scan_frames(&raw[WAL_MAGIC.len()..]);
+        let end = (WAL_MAGIC.len() + valid) as u64;
+        if end < raw.len() as u64 {
+            file.set_len(end)?;
+        }
+        file.seek(SeekFrom::Start(end))?;
+        Ok((
+            Wal {
+                file,
+                path: path.to_path_buf(),
+                frames: payloads.len() as u64,
+                bytes: end,
+            },
+            torn,
+        ))
+    }
+
+    /// Append one frame; returns the total frame count after the append.
+    /// The frame is flushed to the OS before returning, so a subsequent
+    /// process abort cannot lose it.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, EavmError> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(EavmError::Durability(format!(
+                "frame payload of {} bytes exceeds the {} byte cap",
+                payload.len(),
+                MAX_FRAME_LEN
+            )));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.file.flush()?;
+        self.frames += 1;
+        self.bytes += frame.len() as u64;
+        Ok(self.frames)
+    }
+
+    /// Force everything appended so far onto stable storage.
+    pub fn sync(&self) -> Result<(), EavmError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Frames currently in the log (valid prefix only).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Bytes in the log, header included.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Read-only scan of a WAL file: every valid frame payload plus the
+/// count of torn trailing frames. A missing file is an empty log, not an
+/// error (recovery from a never-started journal directory is valid).
+pub fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, u64), EavmError> {
+    let raw = match std::fs::read(path) {
+        Ok(raw) => raw,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e.into()),
+    };
+    if raw.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    if raw.len() < WAL_MAGIC.len() || raw[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(EavmError::Durability(format!(
+            "{} is not a WAL (bad magic)",
+            path.display()
+        )));
+    }
+    let (payloads, _, torn) = scan_frames(&raw[WAL_MAGIC.len()..]);
+    Ok((payloads, torn))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eavm-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn append_then_reopen_round_trips() {
+        let path = tmp("roundtrip");
+        let (mut wal, torn) = Wal::open(&path).unwrap();
+        assert_eq!(torn, 0);
+        for i in 0..5u8 {
+            wal.append(&[i; 9]).unwrap();
+        }
+        assert_eq!(wal.frames(), 5);
+        wal.sync().unwrap();
+        drop(wal);
+
+        let (payloads, torn) = read_frames(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(payloads.len(), 5);
+        assert_eq!(payloads[3], vec![3u8; 9]);
+
+        // Reopening continues the frame count and stays appendable.
+        let (mut wal, torn) = Wal::open(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(wal.frames(), 5);
+        wal.append(b"six").unwrap();
+        let (payloads, _) = read_frames(&path).unwrap();
+        assert_eq!(payloads.len(), 6);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp("torn");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"keep me").unwrap();
+        wal.append(b"keep me too").unwrap();
+        drop(wal);
+        // Simulate a crash mid-write: a partial frame header plus noise.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&[0x55, 0x44, 0x33]);
+        std::fs::write(&path, &raw).unwrap();
+
+        let (wal, torn) = Wal::open(&path).unwrap();
+        assert_eq!(torn, 1);
+        assert_eq!(wal.frames(), 2);
+        // The file itself shrank back to the valid prefix.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), wal.bytes());
+        let (payloads, torn) = read_frames(&path).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(payloads, vec![b"keep me".to_vec(), b"keep me too".to_vec()]);
+    }
+
+    #[test]
+    fn corrupt_crc_drops_the_frame_and_everything_after() {
+        let path = tmp("crc");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"frame zero").unwrap();
+        let keep = wal.bytes();
+        wal.append(b"frame one").unwrap();
+        wal.append(b"frame two").unwrap();
+        drop(wal);
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip a payload byte of frame one: its CRC no longer matches,
+        // so frame two (bit-perfect on disk) is unreachable too.
+        raw[keep as usize + FRAME_HEADER] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+
+        let (payloads, torn) = read_frames(&path).unwrap();
+        assert_eq!(torn, 1);
+        assert_eq!(payloads, vec![b"frame zero".to_vec()]);
+        let (wal, torn) = Wal::open(&path).unwrap();
+        assert_eq!((wal.frames(), torn), (1, 1));
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty_and_bad_magic_errors() {
+        let path = tmp("magic");
+        assert_eq!(read_frames(&path).unwrap(), (Vec::new(), 0));
+        std::fs::write(&path, b"definitely not a journal").unwrap();
+        assert!(read_frames(&path).is_err());
+        assert!(Wal::open(&path).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corruption() {
+        let path = tmp("oversize");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(b"ok").unwrap();
+        drop(wal);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 40]);
+        std::fs::write(&path, &raw).unwrap();
+        let (payloads, torn) = read_frames(&path).unwrap();
+        assert_eq!((payloads.len(), torn), (1, 1));
+    }
+}

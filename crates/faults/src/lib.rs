@@ -394,6 +394,43 @@ impl WorkerFaultPlan {
     }
 }
 
+/// A scheduled *process* crash: the whole service aborts after the
+/// journal has made its `after_events`-th admission event durable.
+///
+/// Unlike [`WorkerFaultPlan`], which kills one shard thread and lets the
+/// supervisor respawn it, a process crash takes everything down — the
+/// only survivor is the write-ahead journal, which is exactly what
+/// `Service::recover` is tested against. The counter-based trigger makes
+/// the crash point deterministic, so a chaos harness can crash a run at
+/// a known WAL offset and compare the recovered verdict stream against
+/// an uncrashed control byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSchedule {
+    after_events: u64,
+}
+
+impl CrashSchedule {
+    /// Crash once `n` journal events have been appended (clamped to at
+    /// least 1 — "crash before doing anything" would journal nothing
+    /// and prove nothing).
+    pub fn after_events(n: u64) -> Self {
+        CrashSchedule {
+            after_events: n.max(1),
+        }
+    }
+
+    /// Whether the process should crash now, given that `appended`
+    /// events have been made durable.
+    pub fn should_crash(&self, appended: u64) -> bool {
+        appended >= self.after_events
+    }
+
+    /// The configured trigger count.
+    pub fn trigger(&self) -> u64 {
+        self.after_events
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +524,19 @@ mod tests {
         assert_eq!(one.kill_after(99), None);
         // A zero message budget still kills before the first message.
         assert_eq!(WorkerFaultPlan::kill_shard(2, 0, 0).kill_after(0), Some(1));
+    }
+
+    #[test]
+    fn crash_schedule_triggers_at_and_after_the_threshold() {
+        let crash = CrashSchedule::after_events(5);
+        assert_eq!(crash.trigger(), 5);
+        assert!(!crash.should_crash(0));
+        assert!(!crash.should_crash(4));
+        assert!(crash.should_crash(5));
+        assert!(crash.should_crash(6));
+        // Zero clamps to 1: the crash always lets at least one event
+        // become durable first.
+        assert_eq!(CrashSchedule::after_events(0).trigger(), 1);
     }
 
     #[test]

@@ -42,14 +42,16 @@
 //! `service_replay` integration test pins this down).
 
 pub mod deterministic;
+pub mod durable;
 pub mod memo;
 pub mod service;
 pub mod shard;
 
 pub use deterministic::{replay_deterministic, DeterministicConfig};
+pub use durable::{verdict_line, DurabilityConfig, DurabilityStats, RecoveryReport};
 pub use memo::{CacheMetrics, CacheStats, MemoModel};
 pub use service::{
-    replay_online, AllocService, DrainReport, ReplayReport, ServiceConfig, ServiceStats,
-    ShedReason, SubmitOutcome, Verdict,
+    drive_paced, replay_online, replay_online_paced, AllocService, DrainReport, ReplayReport,
+    ServiceConfig, ServiceStats, ShedReason, SubmitOutcome, Verdict,
 };
 pub use shard::ShardStats;

@@ -45,6 +45,12 @@ use eavm_swf::VmRequest;
 use eavm_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Severity, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId};
 
+use eavm_durability::{recover_dir, RecoveredState, SnapshotRec, WalRecord};
+
+use crate::durable::{
+    dump_to_snap, rebuild, req_to_rec, verdict_to_record, view_to_rec, DurInstruments,
+    DurabilityConfig, DurabilityStats, Journal, RecoveryReport,
+};
 use crate::memo::{CacheMetrics, CacheStats};
 use crate::shard::{
     build_strategy, run_worker, ServiceStrategy, ShardCore, ShardInstruments, ShardMsg, ShardStats,
@@ -85,6 +91,12 @@ pub struct ServiceConfig {
     /// fleet mirror and requeues the affected requests, so every
     /// submission still gets exactly one final verdict.
     pub worker_faults: Option<WorkerFaultPlan>,
+    /// Durability: when set, the coordinator journals every admission
+    /// event to a write-ahead log *before* acking it and checkpoints
+    /// its full fleet state periodically, making the service crash-
+    /// recoverable via [`AllocService::recover`]. `None` (the default)
+    /// journals nothing.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl ServiceConfig {
@@ -102,7 +114,20 @@ impl ServiceConfig {
             telemetry: Telemetry::new(),
             lookup_faults: LookupFaults::disabled(),
             worker_faults: None,
+            durability: None,
         }
+    }
+
+    /// Journal into `dir` with default durability settings.
+    pub fn with_journal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.durability = Some(DurabilityConfig::new(dir));
+        self
+    }
+
+    /// Set the full durability configuration.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
     }
 
     /// Replace the observability sink.
@@ -224,6 +249,8 @@ pub struct ServiceStats {
     pub estimated_energy: Joules,
     /// Wall-clock submit-to-first-verdict latency distribution (µs).
     pub admission_latency_us: HistogramSnapshot,
+    /// WAL/checkpoint/recovery counters (all zero without durability).
+    pub durability: DurabilityStats,
 }
 
 /// Result of [`AllocService::drain`].
@@ -257,13 +284,13 @@ enum Ctl {
     },
     AdvanceTo {
         t: Seconds,
-        done: Sender<()>,
+        done: Sender<Result<(), EavmError>>,
     },
     Drain {
-        done: Sender<DrainReport>,
+        done: Sender<Result<DrainReport, EavmError>>,
     },
     Stats {
-        reply: Sender<ServiceStats>,
+        reply: Sender<Result<ServiceStats, EavmError>>,
     },
     Shutdown,
 }
@@ -282,6 +309,38 @@ pub struct AllocService {
 impl AllocService {
     /// Spawn the coordinator and shard workers over `db`.
     pub fn start(db: ModelDatabase, config: ServiceConfig) -> Result<AllocService, EavmError> {
+        Self::launch(db, config, None).map(|(service, _)| service)
+    }
+
+    /// Recover a service from its journal directory (`config.durability`
+    /// must be set): load the newest usable checkpoint, replay the WAL
+    /// tail deterministically (no search re-runs — journaled decisions
+    /// are re-applied with their original placements and clock
+    /// advances), re-drive any submitted-but-undecided requests before
+    /// new traffic, and continue journaling where the crashed process
+    /// stopped. An empty journal directory recovers to a fresh service.
+    pub fn recover(
+        db: ModelDatabase,
+        config: ServiceConfig,
+    ) -> Result<(AllocService, RecoveryReport), EavmError> {
+        let dir = config
+            .durability
+            .as_ref()
+            .map(|d| d.dir.clone())
+            .ok_or_else(|| {
+                EavmError::InvalidConfig(
+                    "recover needs a journal directory (ServiceConfig::with_journal_dir)".into(),
+                )
+            })?;
+        let state = recover_dir(&dir)?;
+        Self::launch(db, config, Some(state))
+    }
+
+    fn launch(
+        db: ModelDatabase,
+        config: ServiceConfig,
+        recovered: Option<RecoveredState>,
+    ) -> Result<(AllocService, RecoveryReport), EavmError> {
         if config.shards == 0 {
             return Err(EavmError::Parse("service needs at least one shard".into()));
         }
@@ -301,8 +360,7 @@ impl AllocService {
         // included); shared so a respawned shard keeps accumulating on
         // its stripe instead of resetting.
         let fallbacks = fallback_counter(&telemetry, stripes);
-        let mut shard_txs = Vec::with_capacity(config.shards);
-        let mut workers = Vec::with_capacity(config.shards);
+        let mut cores = Vec::with_capacity(config.shards);
         let mut instruments = Vec::with_capacity(config.shards);
         for (index, range) in layout.iter().enumerate() {
             let strategy = build_strategy(
@@ -319,12 +377,78 @@ impl AllocService {
             );
             let shard_instruments = ShardInstruments::registered(&telemetry, config.shards, index);
             instruments.push(shard_instruments.clone());
-            let core = ShardCore::new(
+            cores.push(ShardCore::new(
                 index,
                 range.clone().map(ServerId::from),
                 strategy,
                 shard_instruments,
-            );
+            ));
+        }
+
+        let shed_admission = if telemetry.is_enabled() {
+            telemetry.counter("service.shed.admission")
+        } else {
+            Counter::standalone()
+        };
+        let counters = CoordInstruments::new(&telemetry, shed_admission.clone());
+
+        // Rebuild recovered state into the fresh cores *before* the
+        // workers spawn: load the snapshot, replay the WAL tail
+        // deterministically, then seed the coordinator counters with
+        // the crashed process's values.
+        let mut report = RecoveryReport::default();
+        let (now, restored_parked, resume, next_ticket) = match recovered.as_ref() {
+            Some(state) => {
+                let rebuilt = rebuild(state, &mut cores, &layout);
+                counters.seed(&rebuilt.counters);
+                counters
+                    .durability
+                    .frames_replayed
+                    .add(rebuilt.frames_replayed);
+                counters
+                    .durability
+                    .snapshots_loaded
+                    .add(state.snapshots_loaded);
+                counters
+                    .durability
+                    .torn_frames_dropped
+                    .add(state.torn_frames_dropped);
+                report = RecoveryReport {
+                    snapshots_loaded: state.snapshots_loaded,
+                    frames_replayed: rebuilt.frames_replayed,
+                    torn_frames_dropped: state.torn_frames_dropped,
+                    resumed_inflight: rebuilt.resume.len(),
+                    restored_parked: rebuilt.parked.len(),
+                    resident_vms: cores.iter().map(|c| c.stats().resident_vms).sum(),
+                    virtual_now: rebuilt.now,
+                    next_ticket: rebuilt.next_ticket,
+                    verdicts: state.verdict_lines(),
+                };
+                (
+                    rebuilt.now,
+                    rebuilt.parked,
+                    rebuilt.resume,
+                    rebuilt.next_ticket,
+                )
+            }
+            None => (Seconds(0.0), Vec::new(), Vec::new(), 0),
+        };
+        let journal = match &config.durability {
+            Some(dcfg) => Some(Journal::open(
+                dcfg,
+                recovered.as_ref(),
+                &counters.durability,
+            )?),
+            None => None,
+        };
+        // The mirror starts as the rebuilt cores' exact committed state
+        // (all-empty on a fresh start; servers are contiguous in shard
+        // order, so concatenation indexes by server id).
+        let mirror: Vec<ServerView> = cores.iter().flat_map(|core| core.snapshot()).collect();
+
+        let mut shard_txs = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for (index, core) in cores.into_iter().enumerate() {
             let (tx, rx) = channel();
             shard_txs.push(tx);
             let kill_after = config
@@ -353,22 +477,8 @@ impl AllocService {
         );
         let (ctl_tx, ctl_rx) = sync_channel(config.queue_capacity);
         let (verdict_tx, verdict_rx) = channel();
-        let shed_admission = if telemetry.is_enabled() {
-            telemetry.counter("service.shed.admission")
-        } else {
-            Counter::standalone()
-        };
-        let slots = global.model().cpu_slots();
-        let mirror = (0..config.servers)
-            .map(|i| ServerView {
-                id: ServerId::from(i),
-                mix: MixVector::EMPTY,
-                platform: 0,
-                cpu_slots: slots,
-            })
-            .collect();
+        counters.parked_depth.set(restored_parked.len() as i64);
         let coordinator = {
-            let counters = CoordInstruments::new(&telemetry, shed_admission.clone());
             let shards = config.shards;
             let mut coord = Coordinator {
                 config,
@@ -383,25 +493,34 @@ impl AllocService {
                 mirror,
                 ctl_rx,
                 verdict_tx,
-                parked: VecDeque::new(),
+                parked: restored_parked
+                    .into_iter()
+                    .map(|(ticket, view)| Parked { ticket, view })
+                    .collect(),
                 inflight: HashMap::new(),
-                now: Seconds(0.0),
+                now,
                 counters,
+                journal,
+                resume,
+                ticket_watermark: next_ticket,
             };
             std::thread::Builder::new()
                 .name("eavm-coordinator".into())
                 .spawn(move || coord.run())
                 .map_err(EavmError::Io)?
         };
-        Ok(AllocService {
-            ctl_tx,
-            verdict_rx,
-            next_ticket: AtomicU64::new(0),
-            shed_admission,
-            telemetry,
-            coordinator: Some(coordinator),
-            workers,
-        })
+        Ok((
+            AllocService {
+                ctl_tx,
+                verdict_rx,
+                next_ticket: AtomicU64::new(next_ticket),
+                shed_admission,
+                telemetry,
+                coordinator: Some(coordinator),
+                workers,
+            },
+            report,
+        ))
     }
 
     fn ticket(&self) -> u64 {
@@ -454,35 +573,40 @@ impl AllocService {
     }
 
     /// Advance the virtual clock on every shard and retry parked
-    /// requests. Blocks until the advance is fully applied; `Err` means
-    /// the coordinator thread is dead.
+    /// requests. Blocks until the advance is fully applied. `Err` means
+    /// the coordinator thread is dead, or — as
+    /// [`EavmError::ShardDown`], with the shard index — that a shard
+    /// worker died and could not be revived.
     pub fn advance_to(&self, t: Seconds) -> Result<(), EavmError> {
         let (done_tx, done_rx) = channel();
         self.ctl_tx
             .send(Ctl::AdvanceTo { t, done: done_tx })
             .map_err(|_| Self::coordinator_down())?;
-        done_rx.recv().map_err(|_| Self::coordinator_down())
+        done_rx.recv().map_err(|_| Self::coordinator_down())?
     }
 
     /// Run virtual time forward until the wait queue empties (or its
     /// head is unplaceable even on a drained fleet). `Err` means the
-    /// coordinator thread is dead — never a silently empty report.
+    /// coordinator thread is dead — never a silently empty report — or
+    /// names the irrecoverable shard ([`EavmError::ShardDown`]).
     pub fn drain(&self) -> Result<DrainReport, EavmError> {
         let (done_tx, done_rx) = channel();
         self.ctl_tx
             .send(Ctl::Drain { done: done_tx })
             .map_err(|_| Self::coordinator_down())?;
-        done_rx.recv().map_err(|_| Self::coordinator_down())
+        done_rx.recv().map_err(|_| Self::coordinator_down())?
     }
 
     /// Snapshot aggregated counters (coordinator + all shards). `Err`
-    /// means the coordinator thread is dead — never silent zeros.
+    /// means the coordinator thread is dead — never silent zeros — or
+    /// names the shard whose worker could not be revived
+    /// ([`EavmError::ShardDown`]).
     pub fn stats(&self) -> Result<ServiceStats, EavmError> {
         let (reply_tx, reply_rx) = channel();
         self.ctl_tx
             .send(Ctl::Stats { reply: reply_tx })
             .map_err(|_| Self::coordinator_down())?;
-        reply_rx.recv().map_err(|_| Self::coordinator_down())
+        reply_rx.recv().map_err(|_| Self::coordinator_down())?
     }
 
     /// Collect every verdict currently available, in emission order.
@@ -599,6 +723,8 @@ struct CoordInstruments {
     parked_depth: Gauge,
     /// Wall-clock submit-to-first-verdict latency (µs).
     admission_latency: Histogram,
+    /// WAL/checkpoint/recovery counters.
+    durability: DurInstruments,
 }
 
 impl CoordInstruments {
@@ -619,6 +745,7 @@ impl CoordInstruments {
                 requeued: telemetry.counter("service.requeued"),
                 parked_depth: telemetry.gauge("service.parked_depth"),
                 admission_latency: telemetry.histogram("service.admission_latency_us"),
+                durability: DurInstruments::new(telemetry),
             }
         } else {
             CoordInstruments {
@@ -636,8 +763,48 @@ impl CoordInstruments {
                 requeued: Counter::standalone(),
                 parked_depth: Gauge::standalone(),
                 admission_latency: Histogram::standalone(),
+                durability: DurInstruments::new(telemetry),
             }
         }
+    }
+
+    /// The counters persisted by checkpoints and seeded on recovery,
+    /// with their stable snapshot names. `shed_admission` is excluded:
+    /// it is written handle-side and never journaled.
+    fn named(&self) -> [(&'static str, &Counter); 11] {
+        [
+            ("submitted", &self.submitted),
+            ("shed_wait_queue", &self.shed_wait_queue),
+            ("shed_unplaceable", &self.shed_unplaceable),
+            ("shed_shard_failure", &self.shed_shard_failure),
+            ("admitted_local", &self.admitted_local),
+            ("admitted_cross_shard", &self.admitted_cross_shard),
+            ("admitted_after_wait", &self.admitted_after_wait),
+            ("reserve_conflicts", &self.reserve_conflicts),
+            ("shard_failures", &self.shard_failures),
+            ("shard_respawns", &self.shard_respawns),
+            ("requeued", &self.requeued),
+        ]
+    }
+
+    /// Restore counter values saved by a checkpoint (plus tail replay).
+    fn seed(&self, values: &[(String, u64)]) {
+        for (name, value) in values {
+            if *value == 0 {
+                continue;
+            }
+            if let Some((_, counter)) = self.named().iter().find(|(n, _)| n == name) {
+                counter.add(*value);
+            }
+        }
+    }
+
+    /// Current values of every persisted counter, for a checkpoint.
+    fn values(&self) -> Vec<(String, u64)> {
+        self.named()
+            .iter()
+            .map(|(name, counter)| (name.to_string(), counter.get()))
+            .collect()
     }
 }
 
@@ -679,10 +846,27 @@ struct Coordinator {
     inflight: HashMap<u64, Instant>,
     now: Seconds,
     counters: CoordInstruments,
+    /// Write-ahead journal; `None` without durability. Every admission
+    /// event is appended *before* its verdict is acked.
+    journal: Option<Journal>,
+    /// Recovered submitted-but-undecided requests, re-driven as the
+    /// coordinator's first batch before any new traffic.
+    resume: Vec<(u64, VmRequest)>,
+    /// Strictly above every ticket seen (or recovered); checkpoints
+    /// persist it as `next_ticket`.
+    ticket_watermark: u64,
 }
 
 impl Coordinator {
     fn run(&mut self) {
+        // Re-drive recovered in-flight requests before any new traffic:
+        // deterministic re-execution means they land exactly where the
+        // crashed process would have put them.
+        let resume = std::mem::take(&mut self.resume);
+        if !resume.is_empty() {
+            self.process_batch(resume, true);
+            self.maybe_checkpoint();
+        }
         let mut batch: Vec<(u64, VmRequest)> = Vec::new();
         loop {
             let Ok(first) = self.ctl_rx.recv() else { break };
@@ -700,6 +884,7 @@ impl Coordinator {
                         if let Some(t0) = t0 {
                             self.inflight.insert(ticket, t0);
                         }
+                        self.ticket_watermark = self.ticket_watermark.max(ticket + 1);
                         batch.push((ticket, request));
                     }
                     Some(other) => {
@@ -714,7 +899,7 @@ impl Coordinator {
                 }
             }
             if !batch.is_empty() {
-                self.process_batch(std::mem::take(&mut batch));
+                self.process_batch(std::mem::take(&mut batch), false);
             }
             match control {
                 Some(Ctl::AdvanceTo { t, done }) => {
@@ -724,11 +909,11 @@ impl Coordinator {
                     if self.advance(t) > 0 {
                         self.retry_parked();
                     }
-                    let _ = done.send(());
+                    let _ = done.send(self.health());
                 }
                 Some(Ctl::Drain { done }) => {
                     let report = self.drain();
-                    let _ = done.send(report);
+                    let _ = done.send(self.health().map(|()| report));
                 }
                 Some(Ctl::Stats { reply }) => {
                     let _ = reply.send(self.assemble_stats());
@@ -736,6 +921,13 @@ impl Coordinator {
                 Some(Ctl::Shutdown) => break,
                 Some(Ctl::Submit { .. }) | None => {}
             }
+            // Checkpoints happen only here, between fully processed
+            // control rounds: no request is mid-flight, so the snapshot
+            // needs no pending set.
+            self.maybe_checkpoint();
+        }
+        if let Some(journal) = self.journal.as_mut() {
+            let _ = journal.sync();
         }
         for tx in &self.shards {
             let _ = tx.send(ShardMsg::Shutdown);
@@ -756,6 +948,13 @@ impl Coordinator {
                 .admission_latency
                 .record(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         }
+        // Journal-before-ack: the verdict becomes durable (and the
+        // injected crash schedule gets its chance to abort) before the
+        // client can observe it, so recovery never re-decides a request
+        // whose answer may have escaped.
+        if let Some(journal) = self.journal.as_mut() {
+            let _ = journal.append(&verdict_to_record(ticket, &verdict));
+        }
         let _ = self.verdict_tx.send((ticket, verdict));
     }
 
@@ -771,9 +970,24 @@ impl Coordinator {
     /// Fan the batch out as parallel fast-path attempts (each routed to
     /// the shard with the most free slots for its type), collect
     /// replies in ticket order, then walk the failures through the
-    /// slow path.
-    fn process_batch(&mut self, batch: Vec<(u64, VmRequest)>) {
-        self.counters.submitted.add(batch.len() as u64);
+    /// slow path. `resumed` marks recovered in-flight requests being
+    /// re-driven: their submissions were already journaled and counted
+    /// by the crashed process, so neither happens again.
+    fn process_batch(&mut self, batch: Vec<(u64, VmRequest)>, resumed: bool) {
+        if !resumed {
+            if self.journal.is_some() {
+                for (ticket, request) in &batch {
+                    let record = WalRecord::Submit {
+                        ticket: *ticket,
+                        req: req_to_rec(request),
+                    };
+                    if let Some(journal) = self.journal.as_mut() {
+                        let _ = journal.append(&record);
+                    }
+                }
+            }
+            self.counters.submitted.add(batch.len() as u64);
+        }
         let mut pending = Vec::with_capacity(batch.len());
         // VMs dispatched earlier in this wave, per shard and type, so
         // concurrent same-type requests spread out instead of piling
@@ -1289,13 +1503,78 @@ impl Coordinator {
                 self.respawn_shard(index)?;
             }
         }
-        Err(EavmError::Unavailable(format!(
-            "shard {index} worker died twice in one call"
-        )))
+        Err(EavmError::ShardDown {
+            shard: index,
+            detail: "worker died twice in one call".into(),
+        })
+    }
+
+    /// `Err` naming the first irrecoverable shard, `Ok` otherwise.
+    /// Control operations (`advance_to`, `drain`, `stats` → `shutdown`)
+    /// report through this so a degraded fleet is attributable to a
+    /// specific shard instead of surfacing as silent under-counting.
+    fn health(&self) -> Result<(), EavmError> {
+        match self.irrecoverable.iter().position(|&dead| dead) {
+            Some(shard) => Err(EavmError::ShardDown {
+                shard,
+                detail: "worker died and could not be respawned".into(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Write a checkpoint when the journal's cadence says one is due.
+    /// Runs only at control-round boundaries (no request mid-flight).
+    /// Any failure — a shard that cannot answer its dump, an I/O error
+    /// — skips this checkpoint rather than crashing the coordinator:
+    /// the WAL alone is always sufficient for recovery.
+    fn maybe_checkpoint(&mut self) {
+        if !self.journal.as_ref().is_some_and(Journal::checkpoint_due) {
+            return;
+        }
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            match self.shard_call(i, |reply| ShardMsg::Dump { reply }) {
+                Ok(dump) => shards.push(dump_to_snap(i, &dump)),
+                Err(_) => return,
+            }
+        }
+        let snapshot = SnapshotRec {
+            // seq / wal_frames / cache_generation are stamped by the
+            // journal at write time.
+            seq: 0,
+            wal_frames: 0,
+            cache_generation: 0,
+            now: self.now.0,
+            next_ticket: self.ticket_watermark,
+            shards,
+            parked: self
+                .parked
+                .iter()
+                .map(|p| (p.ticket, view_to_rec(&p.view)))
+                .collect(),
+            counters: self.counters.values(),
+        };
+        if let Some(journal) = self.journal.as_mut() {
+            if journal.write_checkpoint(snapshot).is_err() {
+                self.config.telemetry.event(
+                    self.now.0,
+                    "service",
+                    Severity::Warn,
+                    "checkpoint write failed; continuing on WAL alone",
+                    vec![],
+                );
+            }
+        }
     }
 
     fn advance(&mut self, t: Seconds) -> usize {
         self.now = self.now.max(t);
+        // Clock advances are journaled so recovery retires resident VMs
+        // at exactly the instants the live run did.
+        if let Some(journal) = self.journal.as_mut() {
+            let _ = journal.append(&WalRecord::Clock { t: t.0 });
+        }
         let mut retired = 0;
         let mut waits = Vec::with_capacity(self.shards.len());
         for (i, tx) in self.shards.iter().enumerate() {
@@ -1426,24 +1705,29 @@ impl Coordinator {
         report
     }
 
-    fn assemble_stats(&mut self) -> ServiceStats {
+    fn assemble_stats(&mut self) -> Result<ServiceStats, EavmError> {
         // Supervised per-shard snapshots: a dead worker is respawned and
-        // re-queried rather than silently reported as all-zeros.
-        let shard_stats: Vec<ShardStats> = (0..self.shards.len())
-            .map(|i| {
-                self.shard_call(i, |reply| ShardMsg::Stats { reply })
-                    .unwrap_or_else(|_| ShardStats {
+        // re-queried; one that cannot be revived surfaces as an error
+        // naming the shard rather than silent all-zero rows.
+        let mut shard_stats: Vec<ShardStats> = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            let stats = self
+                .shard_call(i, |reply| ShardMsg::Stats { reply })
+                .map_err(|e| match e {
+                    down @ EavmError::ShardDown { .. } => down,
+                    other => EavmError::ShardDown {
                         shard: i,
-                        ..ShardStats::default()
-                    })
-            })
-            .collect();
+                        detail: other.to_string(),
+                    },
+                })?;
+            shard_stats.push(stats);
+        }
         let coordinator_cache = self.global.model().inner().cache_stats();
         let mut aggregate_cache = coordinator_cache;
         for s in &shard_stats {
             aggregate_cache.merge(&s.cache);
         }
-        ServiceStats {
+        Ok(ServiceStats {
             submitted: self.counters.submitted.get(),
             shed_admission: self.counters.shed_admission.get(),
             shed_wait_queue: self.counters.shed_wait_queue.get(),
@@ -1468,7 +1752,8 @@ impl Coordinator {
             aggregate_cache,
             shards: shard_stats,
             virtual_now: self.now,
-        }
+            durability: self.counters.durability.stats(),
+        })
     }
 }
 
@@ -1499,6 +1784,37 @@ pub fn replay_online(
     for request in requests {
         service.submit(request.clone());
     }
+    finish_replay(service, requests)
+}
+
+/// Like [`replay_online`] but *paced*: each submission rendezvouses
+/// with the coordinator (via the synchronous stats round trip) before
+/// the next, so batches are single-request and the admission order —
+/// hence the verdict stream — is fully deterministic. This is the
+/// driving mode the crash-recovery byte-parity guarantee is stated
+/// for: a recovered journal replays to the exact verdict log of an
+/// uncrashed paced run.
+pub fn replay_online_paced(
+    db: &ModelDatabase,
+    config: ServiceConfig,
+    requests: &[VmRequest],
+) -> Result<ReplayReport, EavmError> {
+    let service = AllocService::start(db.clone(), config)?;
+    drive_paced(&service, requests)?;
+    finish_replay(service, requests)
+}
+
+/// Submit `requests` one at a time, rendezvousing with the coordinator
+/// after each so every admission forms its own single-request batch.
+pub fn drive_paced(service: &AllocService, requests: &[VmRequest]) -> Result<(), EavmError> {
+    for request in requests {
+        service.submit(request.clone());
+        service.stats()?;
+    }
+    Ok(())
+}
+
+fn finish_replay(service: AllocService, requests: &[VmRequest]) -> Result<ReplayReport, EavmError> {
     service.drain()?;
     let mut verdicts = service.poll_verdicts();
     let stats = service.shutdown()?;

@@ -454,6 +454,92 @@ impl ShardCore {
             .reduce(Seconds::min)
     }
 
+    /// Re-apply a committed admission decision read back from the WAL,
+    /// without re-running any search. Mirrors the two-phase commit
+    /// exactly: fold every add first (the reserve), then materialize
+    /// each placement with finish times from the post-fold mix and
+    /// account its energy against the pre-add mix. Partition proposals
+    /// place each server at most once, so this is also bit-identical to
+    /// the fast path's incremental fold.
+    pub(crate) fn apply_committed(&mut self, placements: &[Placement]) {
+        for p in placements {
+            if let Some(srv) = self.server_mut(p.server) {
+                srv.mix += p.add;
+            }
+        }
+        for p in placements {
+            let new_mix = self.server_mut(p.server).map(|s| s.mix).unwrap_or_default();
+            if let Some(old) = new_mix.checked_sub(&p.add) {
+                self.estimated_energy += self.energy_delta(old, p.add);
+            }
+            let _ = self.materialize(p);
+        }
+    }
+
+    /// Serialize this shard's placement state for a durability
+    /// checkpoint: clock, accumulated energy, and every resident VM
+    /// with its bit-exact finish time.
+    pub(crate) fn dump(&self) -> ShardDump {
+        ShardDump {
+            clock: self.clock,
+            energy: self.estimated_energy,
+            servers: self
+                .servers
+                .iter()
+                .map(|s| {
+                    (
+                        s.id,
+                        s.resident.iter().map(|vm| (vm.ty, vm.finish)).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Load a checkpoint dump into this core, replacing its placement
+    /// state. Unlike [`ShardCore::restore`] (worker-crash path, which
+    /// re-estimates finishes from the restore clock and so *loses*
+    /// progress), this keeps every resident's persisted finish time, so
+    /// a recovered process retires VMs at exactly the virtual instants
+    /// the crashed one would have — the keystone of bit-exact recovery.
+    pub(crate) fn load_dump(&mut self, dump: &ShardDump) {
+        self.servers = dump
+            .servers
+            .iter()
+            .map(|(id, residents)| {
+                let mut mix = MixVector::EMPTY;
+                for &(ty, _) in residents {
+                    mix += MixVector::single(ty, 1);
+                }
+                SrvState {
+                    id: *id,
+                    mix,
+                    resident: residents
+                        .iter()
+                        .map(|&(ty, finish)| ResidentVm { ty, finish })
+                        .collect(),
+                }
+            })
+            .collect();
+        self.clock = dump.clock;
+        self.pending.clear();
+        self.estimated_energy = dump.energy;
+    }
+
+    /// Build a fresh shard directly from a checkpoint dump; see
+    /// [`ShardCore::load_dump`].
+    #[cfg(test)]
+    pub(crate) fn from_dump(
+        index: usize,
+        dump: &ShardDump,
+        strategy: ServiceStrategy,
+        counters: ShardInstruments,
+    ) -> Self {
+        let mut core = ShardCore::new(index, Vec::<ServerId>::new(), strategy, counters);
+        core.load_dump(dump);
+        core
+    }
+
     pub(crate) fn stats(&self) -> ShardStats {
         let c = &self.counters;
         let read = |counter: &Counter| counter.on_stripe(c.stripe);
@@ -474,6 +560,15 @@ impl ShardCore {
             cache: self.strategy.model().inner().cache_stats(),
         }
     }
+}
+
+/// One shard's placement state serialized for a checkpoint: per-server
+/// resident VMs carrying their exact finish instants.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ShardDump {
+    pub clock: Seconds,
+    pub energy: Joules,
+    pub servers: Vec<(ServerId, Vec<(WorkloadType, Seconds)>)>,
 }
 
 /// Reply to `ShardMsg::TryLocal`: the committed placements (if the
@@ -522,6 +617,8 @@ pub(crate) enum ShardMsg {
     NextFinish { reply: Sender<Option<Seconds>> },
     /// Counter snapshot.
     Stats { reply: Sender<ShardStats> },
+    /// Full placement-state dump for a durability checkpoint.
+    Dump { reply: Sender<ShardDump> },
     /// Terminate the worker loop.
     Shutdown,
 }
@@ -584,6 +681,9 @@ pub(crate) fn run_worker(mut core: ShardCore, rx: Receiver<ShardMsg>, kill_after
             }
             ShardMsg::Stats { reply } => {
                 let _ = reply.send(core.stats());
+            }
+            ShardMsg::Dump { reply } => {
+                let _ = reply.send(core.dump());
             }
             ShardMsg::Shutdown => break,
         }
@@ -783,6 +883,40 @@ mod tests {
         // after it (crash loses progress, never time-travels).
         let finish = restored.next_finish().expect("residents have finishes");
         assert!(finish > Seconds(500.0));
+    }
+
+    #[test]
+    fn dump_round_trips_bit_exact_and_apply_committed_matches_try_local() {
+        let mut live = core(2);
+        let placements = live
+            .try_local(&request(1, WorkloadType::Cpu, 3))
+            .expect("feasible");
+        live.try_local(&request(2, WorkloadType::Io, 2))
+            .expect("feasible");
+
+        // from_dump(dump()) preserves mixes, energy, clock, and every
+        // finish instant bit-exact.
+        let dump = live.dump();
+        let twin = ShardCore::from_dump(0, &dump, strategy(), ShardInstruments::standalone());
+        assert_eq!(twin.dump(), dump);
+        assert_eq!(
+            twin.estimated_energy.0.to_bits(),
+            live.estimated_energy.0.to_bits()
+        );
+        assert_eq!(
+            twin.next_finish().unwrap().0.to_bits(),
+            live.next_finish().unwrap().0.to_bits()
+        );
+
+        // Replaying the first request's journaled placements onto a
+        // fresh core reproduces the live core's post-commit state.
+        let mut replayed = core(2);
+        replayed.apply_committed(&placements);
+        let mut reference = core(2);
+        reference
+            .try_local(&request(1, WorkloadType::Cpu, 3))
+            .expect("feasible");
+        assert_eq!(replayed.dump(), reference.dump());
     }
 
     #[test]

@@ -121,6 +121,54 @@ fn same_seed_same_plan_is_byte_identical_with_telemetry_on_or_off() {
     );
 }
 
+/// Conservation is not a property of one lucky seed: across 50
+/// independently derived fault regimes (seed and rate both varied),
+/// every VM in the trace is placed exactly once plus once more per
+/// crash-induced restart, and no VM is ever lost or double-placed.
+#[test]
+fn vm_conservation_holds_for_fifty_random_fault_regimes() {
+    fn splitmix(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    let db = DbBuilder::exact().build().unwrap();
+    let solo = [
+        db.aux().solo_time(WorkloadType::Cpu),
+        db.aux().solo_time(WorkloadType::Mem),
+        db.aux().solo_time(WorkloadType::Io),
+    ];
+    let requests = build_requests(31, 120, solo);
+    let deadlines = [solo[0] * 3.0, solo[1] * 3.0, solo[2] * 3.0];
+    let trace_vms: u32 = requests.iter().map(|r| r.vm_count).sum();
+
+    let mut crashes_seen = 0usize;
+    for i in 0..50u64 {
+        let seed = splitmix(i).max(1);
+        // Rates spread over [0.25, 4.0] expected crashes per server.
+        let rate = 0.25 + 3.75 * (splitmix(seed) as f64 / u64::MAX as f64);
+        let plan = plan_for(&requests, 6, seed, rate);
+        let (outcome, _, _) = run(&db, &requests, deadlines, &plan, None);
+        assert_eq!(
+            outcome.vms,
+            (trace_vms as usize) + outcome.vms_restarted,
+            "VM conservation violated for seed {seed} rate {rate:.3}: {outcome:?}"
+        );
+        assert_eq!(
+            outcome.vms_killed, outcome.vms_restarted,
+            "a killed VM vanished for seed {seed} rate {rate:.3}: {outcome:?}"
+        );
+        crashes_seen += outcome.host_crashes;
+    }
+    assert!(
+        crashes_seen > 0,
+        "50 regimes with rates up to 4.0 must crash at least once"
+    );
+}
+
 #[test]
 fn different_fault_seeds_perturb_the_world() {
     let (db, requests, deadlines) = fixture();

@@ -8,6 +8,16 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Every temp dir any step allocates lands here; the single EXIT trap
+# sweeps them all, so later steps can add dirs without clobbering it.
+TMP_DIRS=()
+cleanup() {
+    for d in ${TMP_DIRS[@]+"${TMP_DIRS[@]}"}; do
+        rm -rf "$d"
+    done
+}
+trap cleanup EXIT
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -20,6 +30,12 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> eavm lint --deny (workspace invariant checker)"
+# Statically enforces the determinism/panic-safety/codec invariants
+# (DESIGN.md §10). Any unwaived violation — including deleting the
+# reason from an existing allow-pragma — fails the gate.
+cargo run --release -q -p eavm-cli -- lint --deny
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run --workspace
 
@@ -31,7 +47,7 @@ echo "==> chaos smoke (deterministic fault injection)"
 # placements (trace + restarts), and survive an injected shard-worker
 # kill with every submission resolved to a final verdict.
 CHAOS_DIR="$(mktemp -d)"
-trap 'rm -rf "$CHAOS_DIR"' EXIT
+TMP_DIRS+=("$CHAOS_DIR")
 CLI=(cargo run --release -q -p eavm-cli --)
 "${CLI[@]}" build-db --out-dir "$CHAOS_DIR/db" --exact --threads 4 > /dev/null
 "${CLI[@]}" gen-trace --out "$CHAOS_DIR/t.swf" --jobs 200 --seed 5 > /dev/null

@@ -5,6 +5,8 @@
 //! the results significantly. This sweep quantifies that claim on the
 //! SMALLER cloud.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::{pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
 

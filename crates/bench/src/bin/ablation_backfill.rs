@@ -7,6 +7,8 @@
 //! of the FF/PROACTIVE gap is head-of-line blocking vs placement
 //! quality.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::{pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
 use eavm_simulator::Simulation;

@@ -7,6 +7,8 @@
 //! onto the makespan ranking — quantifying how much of PROACTIVE's
 //! energy advantage is *placement* (mix efficiency) vs *fleet sizing*.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::{pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
 use eavm_simulator::Simulation;

@@ -9,6 +9,8 @@
 //! the Table I parameters shift with the platform — the data a
 //! heterogeneity-aware PROACTIVE would key on.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_benchdb::BaseTests;
 use eavm_testbed::{BenchmarkSuite, ContentionModel, RunSimulator, ServerSpec};

@@ -10,6 +10,8 @@
 //! consolidation only has stragglers to harvest when the fleet is
 //! under-loaded.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::{pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
 use eavm_simulator::{CloudConfig, MigrationConfig, Simulation};

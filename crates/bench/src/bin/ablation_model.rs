@@ -8,6 +8,8 @@
 //! * `AnalyticModel` — oracle access to the simulator's ground truth
 //!   (upper bound: a perfect model).
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_bench::{Pipeline, PipelineConfig};
 use eavm_core::learned::LearnedModel;

@@ -8,6 +8,8 @@
 //! with Orlov's generator), at the price of head-of-line granularity.
 //! Also compares the BEST-FIT baseline against FIRST-FIT.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
 use eavm_core::{BestFit, OptimizationGoal, Proactive};

@@ -8,6 +8,8 @@
 //! and degree-seconds above a 60 °C hotspot threshold per completed VM
 //! — the quantity a thermal-aware allocator would trade against energy.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_testbed::{ApplicationProfile, RunSimulator, ThermalModel};
 use eavm_types::Seconds;

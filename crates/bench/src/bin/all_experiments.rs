@@ -1,6 +1,8 @@
 //! Run the complete evaluation — every table and figure of the paper —
 //! and print a paper-vs-measured summary suitable for `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::{pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig};
 use eavm_benchdb::combined::expected_combined_count;

@@ -6,6 +6,8 @@
 //! classification each trace yields under the paper's
 //! "significant average demand" rule.
 
+#![forbid(unsafe_code)]
+
 use eavm_testbed::{ApplicationProfile, ClassificationRule, Profiler, ServerSpec, Subsystem};
 
 fn emit(profiler: &mut Profiler, app: &ApplicationProfile, stride: usize) {

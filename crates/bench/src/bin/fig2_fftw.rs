@@ -6,6 +6,8 @@
 //! execution time increases significantly", approaching the sequential
 //! average (the solo runtime).
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_testbed::{ApplicationProfile, RunSimulator};
 

@@ -5,6 +5,8 @@
 //! with every candidate's working data printed, for each optimization
 //! goal.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_benchdb::DbBuilder;
 use eavm_core::strategy::{RequestView, ServerView};

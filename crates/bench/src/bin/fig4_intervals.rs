@@ -9,6 +9,8 @@
 //! and the energy consumption for the whole outcome will be: Energy =
 //! 0.35*15KJ + 0.15*20KJ + 0.5*12KJ = 14.25KJ."
 
+#![forbid(unsafe_code)]
+
 use eavm_core::estimate::{weighted_energy, weighted_exec_time};
 use eavm_core::{AllocationModel, AnalyticModel, FirstFit};
 use eavm_simulator::{CloudConfig, Simulation};

@@ -2,6 +2,8 @@
 //! PA-1, PA-0 and PA-0.5 on the SMALLER and LARGER clouds, replaying the
 //! 10,000-VM adapted trace.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::chart::chart_of;
 use eavm_bench::report::{pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig};

@@ -1,6 +1,8 @@
 //! Fig. 6 — "Energy consumption (J)": total energy for each strategy ×
 //! cloud, replaying the 10,000-VM adapted trace.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::chart::chart_of;
 use eavm_bench::report::{grouped, pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig};

@@ -4,6 +4,8 @@
 //! correlate with makespan, and the SMALLER (more loaded) cloud violates
 //! more.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::chart::chart_of;
 use eavm_bench::report::Table;
 use eavm_bench::{Pipeline, PipelineConfig};

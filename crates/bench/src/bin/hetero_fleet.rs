@@ -13,6 +13,8 @@
 //!   ("we should include system characteristics such as number of CPUs,
 //!   amount of memory, ..." — Sect. III-C).
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::{pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
 use eavm_benchdb::DbBuilder;

@@ -2,6 +2,8 @@
 //! and print the headline comparisons. Not part of the published
 //! experiment set; used to tune pipeline constants.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_bench::{Pipeline, PipelineConfig};
 

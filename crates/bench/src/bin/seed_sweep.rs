@@ -3,6 +3,8 @@
 //! noise per seed) and report mean ± population stddev of the headline
 //! percentages. Seeds run in parallel, one OS thread each.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_bench::stats::Summary;
 use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};

@@ -11,6 +11,8 @@
 //! service_throughput [total_vms] [servers] [shard_counts,comma-separated]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use eavm_bench::{Pipeline, PipelineConfig};

@@ -3,6 +3,8 @@
 //! type, and the solo reference runtimes (`T*`), measured on the
 //! synthetic testbed exactly as Sect. III-B describes.
 
+#![forbid(unsafe_code)]
+
 use eavm_bench::report::Table;
 use eavm_benchdb::DbBuilder;
 use eavm_types::WorkloadType;

@@ -3,6 +3,8 @@
 //! Watts Up?-metered) and print its schema, size accounting (the paper's
 //! experiment-count formula), and a sample of registers in CSV form.
 
+#![forbid(unsafe_code)]
+
 use eavm_benchdb::{combined::expected_combined_count, DbBuilder, DbRecord};
 use eavm_types::MixVector;
 

@@ -32,6 +32,8 @@
 //! synthesis/cleaning/adaptation, simulation driving) and [`report`]
 //! (fixed-width table rendering) so binaries stay thin.
 
+#![forbid(unsafe_code)]
+
 pub mod chart;
 pub mod pipeline;
 pub mod report;

@@ -24,6 +24,8 @@
 //!   [`eavm_testbed::RunSimulator`] and a benchmark suite, optionally
 //!   metered with the noisy Watts Up? meter like the real methodology.
 
+#![forbid(unsafe_code)]
+
 pub mod auxdata;
 pub mod base_tests;
 pub mod builder;

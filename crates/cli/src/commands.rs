@@ -37,6 +37,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "replay-online" => replay_online_cmd(&args),
         "db-diff" => db_diff(&args),
         "info" => info(&args),
+        "lint" => lint(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -72,6 +73,7 @@ USAGE:
                        [--metrics-out FILE] [--metrics-format prometheus|json]
   eavm-cli db-diff     --left DIR --right DIR [--tolerance F]
   eavm-cli info        --db-dir DIR
+  eavm-cli lint        [--root DIR] [--format text|json] [--deny]
 
 STRATEGIES: ff ff2 ff3 bf bf2 bf3 pa0 pa05 pa1 pa:<alpha>
 "
@@ -518,6 +520,7 @@ fn serve(args: &Args) -> Result<String, String> {
     let config = service_config(args, shards, servers, deadlines, &telemetry)?;
     let journaled = config.durability.is_some();
 
+    // eavm-lint: allow(D1, reason = "wall-clock throughput figure for the operator summary line; no simulated or replayed state reads it")
     let started = std::time::Instant::now();
     // Paced submission (one request per admission batch) trades
     // throughput for a fully deterministic verdict stream — the driving
@@ -714,6 +717,30 @@ fn info(args: &Args) -> Result<String, String> {
     let (dbp, auxp) = db_paths(&db_dir);
     let db = ModelDatabase::load(&dbp, &auxp).map_err(|e| e.to_string())?;
     Ok(format!("registers: {}\n{}", db.len(), db.aux().to_text()))
+}
+
+/// Run the workspace invariant checker ([`eavm_lint`]) over `--root`
+/// (default: the current directory). Under `--deny`, any unwaived
+/// violation turns the report into an `Err`, which exits nonzero — the
+/// mode CI runs between clippy and the chaos smoke.
+fn lint(args: &Args) -> Result<String, String> {
+    let root = args
+        .optional_path("root")
+        .unwrap_or_else(|| PathBuf::from("."));
+    let format: String = args.get_or("format", "text".to_string())?;
+    let report = eavm_lint::run_lint(&root)?;
+    let rendered = match format.as_str() {
+        "text" => report.render_text(),
+        "json" => report.render_json(),
+        other => return Err(format!("unknown --format {other:?} (text|json)")),
+    };
+    let violations = report.violations().count();
+    if args.flag("deny") && violations > 0 {
+        return Err(format!(
+            "{rendered}lint: {violations} unwaived violation(s) under --deny"
+        ));
+    }
+    Ok(rendered)
 }
 
 #[cfg(test)]

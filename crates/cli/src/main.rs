@@ -12,6 +12,8 @@
 //! Strategies: `ff`, `ff2`, `ff3`, `bf`, `bf2`, `bf3`, `pa0`, `pa05`,
 //! `pa1`, or `pa:<alpha>`.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

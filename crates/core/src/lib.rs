@@ -33,6 +33,8 @@
 //!   failures degrade to the analytic estimate (counted, never panicking)
 //!   instead of failing the allocation.
 
+#![forbid(unsafe_code)]
+
 pub mod best_fit;
 pub mod estimate;
 pub mod first_fit;

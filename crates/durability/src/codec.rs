@@ -39,9 +39,19 @@ impl Enc {
         self.put_u64(v.to_bits());
     }
 
+    /// Checked `usize -> u32` length prefix: the codec's one narrowing
+    /// conversion, in one place. Record collections are bounded far
+    /// below `u32::MAX`; a longer one is a logic bug, surfaced by the
+    /// debug assert and saturated in release (producing a record the
+    /// decoder rejects as truncated — never a silently wrapped length).
+    pub fn put_len(&mut self, n: usize) {
+        debug_assert!(u32::try_from(n).is_ok(), "record length {n} exceeds u32");
+        self.put_u32(u32::try_from(n).unwrap_or(u32::MAX));
+    }
+
     /// Length-prefixed byte string.
     pub fn put_bytes(&mut self, v: &[u8]) {
-        self.put_u32(v.len() as u32);
+        self.put_len(v.len());
         self.buf.extend_from_slice(v);
     }
 
@@ -95,8 +105,17 @@ impl<'a> Dec<'a> {
         Ok(f64::from_bits(self.get_u64()?))
     }
 
+    /// Checked counterpart of [`Enc::put_len`]: a wire length widened
+    /// to `usize` via `try_from`, so even a 16-bit target fails with a
+    /// decode error instead of truncating.
+    pub fn get_len(&mut self) -> Result<usize, EavmError> {
+        let v = self.get_u32()?;
+        usize::try_from(v)
+            .map_err(|_| EavmError::Durability(format!("record length {v} exceeds usize")))
+    }
+
     pub fn get_bytes(&mut self) -> Result<&'a [u8], EavmError> {
-        let len = self.get_u32()? as usize;
+        let len = self.get_len()?;
         self.take(len)
     }
 

@@ -21,6 +21,8 @@
 //! the bottom of the dependency DAG (only `eavm-types` below it) and
 //! its formats trivially testable.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod crc32;
 pub mod record;

@@ -76,14 +76,14 @@ impl PlacementRec {
 }
 
 fn encode_placements(e: &mut Enc, ps: &[PlacementRec]) {
-    e.put_u32(ps.len() as u32);
+    e.put_len(ps.len());
     for p in ps {
         p.encode(e);
     }
 }
 
 fn decode_placements(d: &mut Dec) -> Result<Vec<PlacementRec>, EavmError> {
-    let n = d.get_u32()? as usize;
+    let n = d.get_len()?;
     (0..n).map(|_| PlacementRec::decode(d)).collect()
 }
 
@@ -156,7 +156,7 @@ impl WalRecord {
             } => {
                 e.put_u8(TAG_ADMITTED_CROSS);
                 e.put_u64(*ticket);
-                e.put_u32(shards.len() as u32);
+                e.put_len(shards.len());
                 for s in shards {
                     e.put_u32(*s);
                 }
@@ -199,7 +199,7 @@ impl WalRecord {
             },
             TAG_ADMITTED_CROSS => {
                 let ticket = d.get_u64()?;
-                let n = d.get_u32()? as usize;
+                let n = d.get_len()?;
                 let shards = (0..n).map(|_| d.get_u32()).collect::<Result<_, _>>()?;
                 WalRecord::AdmittedCrossShard {
                     ticket,
@@ -349,27 +349,27 @@ impl SnapshotRec {
         e.put_f64(self.now);
         e.put_u64(self.next_ticket);
         e.put_u64(self.cache_generation);
-        e.put_u32(self.shards.len() as u32);
+        e.put_len(self.shards.len());
         for shard in &self.shards {
             e.put_u32(shard.index);
             e.put_f64(shard.clock);
             e.put_f64(shard.energy);
-            e.put_u32(shard.servers.len() as u32);
+            e.put_len(shard.servers.len());
             for srv in &shard.servers {
                 e.put_u32(srv.server);
-                e.put_u32(srv.residents.len() as u32);
+                e.put_len(srv.residents.len());
                 for (ty, finish) in &srv.residents {
                     e.put_u8(*ty);
                     e.put_f64(*finish);
                 }
             }
         }
-        e.put_u32(self.parked.len() as u32);
+        e.put_len(self.parked.len());
         for (ticket, req) in &self.parked {
             e.put_u64(*ticket);
             req.encode(&mut e);
         }
-        e.put_u32(self.counters.len() as u32);
+        e.put_len(self.counters.len());
         for (name, value) in &self.counters {
             e.put_str(name);
             e.put_u64(*value);
@@ -390,17 +390,17 @@ impl SnapshotRec {
         let now = d.get_f64()?;
         let next_ticket = d.get_u64()?;
         let cache_generation = d.get_u64()?;
-        let shard_count = d.get_u32()? as usize;
+        let shard_count = d.get_len()?;
         let mut shards = Vec::with_capacity(shard_count);
         for _ in 0..shard_count {
             let index = d.get_u32()?;
             let clock = d.get_f64()?;
             let energy = d.get_f64()?;
-            let server_count = d.get_u32()? as usize;
+            let server_count = d.get_len()?;
             let mut servers = Vec::with_capacity(server_count);
             for _ in 0..server_count {
                 let server = d.get_u32()?;
-                let n = d.get_u32()? as usize;
+                let n = d.get_len()?;
                 let residents = (0..n)
                     .map(|_| Ok((d.get_u8()?, d.get_f64()?)))
                     .collect::<Result<_, EavmError>>()?;
@@ -413,11 +413,11 @@ impl SnapshotRec {
                 servers,
             });
         }
-        let parked_count = d.get_u32()? as usize;
+        let parked_count = d.get_len()?;
         let parked = (0..parked_count)
             .map(|_| Ok((d.get_u64()?, ReqRec::decode(&mut d)?)))
             .collect::<Result<_, EavmError>>()?;
-        let counter_count = d.get_u32()? as usize;
+        let counter_count = d.get_len()?;
         let counters = (0..counter_count)
             .map(|_| Ok((d.get_string()?, d.get_u64()?)))
             .collect::<Result<_, EavmError>>()?;

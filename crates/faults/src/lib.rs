@@ -24,6 +24,8 @@
 //! model), each host seeded independently so adding hosts never
 //! perturbs the schedule of existing ones.
 
+#![forbid(unsafe_code)]
+
 /// SplitMix64 finalizer: a high-quality 64-bit mixing function.
 ///
 /// Used both as the PRNG state transition and as a stateless hash for

@@ -1,0 +1,324 @@
+//! A minimal Rust lexer — just enough token structure for the invariant
+//! rules: comments (kept, because allow-pragmas live in them), string
+//! and raw-string literals (skipped by rules, so a fixture embedded in
+//! a test string never fires), identifiers, numbers, and single-char
+//! punctuation. No parse tree: every rule is a pattern over a few
+//! adjacent tokens, which is exactly the granularity source-level
+//! invariants like "no `Instant::now`" need.
+
+/// Token classes the rules distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`Instant`, `as`, `unwrap`, ...).
+    Ident,
+    /// One punctuation character (`:`, `[`, `!`, `#`, ...).
+    Punct(char),
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Numeric literal.
+    Number,
+    /// `// ...` line comment (text includes the slashes).
+    LineComment,
+    /// `/* ... */` block comment, nesting handled.
+    BlockComment,
+    /// `'a` lifetime marker.
+    Lifetime,
+}
+
+/// One token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs are closed at
+/// end of input, because a linter must degrade gracefully on the code
+/// it is pointed at.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_alphabetic() || c == '_' => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct(c), c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Plain `"..."` string with escapes.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+    }
+
+    /// Handle `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`. Returns
+    /// `false` (consuming nothing) when the `r`/`b` starts an ordinary
+    /// identifier instead.
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        let mut ahead = 1; // past the leading r or b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            return false;
+        }
+        // Escapes are inert only in true raw strings; a plain b"..."
+        // byte string processes them like an ordinary string literal.
+        let raw = self.peek(0) == Some('r') || self.peek(1) == Some('r') || hashes > 0;
+        for _ in 0..=ahead {
+            self.bump(); // prefix, hashes, and the opening quote
+        }
+        loop {
+            match self.bump() {
+                None => break,
+                Some('\\') if !raw => {
+                    self.bump();
+                }
+                Some('"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Literal, String::new(), line);
+        true
+    }
+
+    /// `'a'` char literal vs `'a` lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then closing quote.
+                self.bump();
+                self.bump();
+                while self.peek(0).is_some() && self.peek(0) != Some('\'') {
+                    self.bump();
+                }
+                self.bump();
+                self.push(TokKind::Literal, String::new(), line);
+            }
+            Some(c) if (c.is_alphanumeric() || c == '_') && self.peek(1) != Some('\'') => {
+                // Lifetime: consume the identifier.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, String::new(), line);
+            }
+            Some(_) => {
+                self.bump(); // the char
+                self.bump(); // closing quote
+                self.push(TokKind::Literal, String::new(), line);
+            }
+            None => self.push(TokKind::Literal, String::new(), line),
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        // Rough but sufficient: digits plus alphanumerics, underscores,
+        // and dots (covers 0xFF, 1_000, 1.5e-9). A trailing range `..`
+        // must not be swallowed.
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '.' && self.peek(1) == Some('.') {
+                break;
+            }
+            if c.is_alphanumeric() || c == '_' || c == '.' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Number, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = tokenize("let x = foo::bar(42);");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "foo", "bar"]);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Number));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = tokenize(r#"let s = "Instant::now()";"#);
+        assert!(!toks.iter().any(|t| t.text == "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = tokenize(r##"let s = r#"a "quoted" thread_rng"# ; next"##);
+        assert!(!toks.iter().any(|t| t.text == "thread_rng"));
+        assert!(toks.iter().any(|t| t.text == "next"));
+    }
+
+    #[test]
+    fn comments_are_kept_with_text() {
+        let toks = tokenize("x // eavm-lint: allow(D1, reason = \"y\")\nz");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokKind::LineComment)
+            .expect("comment token");
+        assert!(c.text.contains("eavm-lint"));
+        assert_eq!(c.line, 1);
+        assert!(toks.iter().any(|t| t.text == "z" && t.line == 2));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        assert!(kinds("&'a str").contains(&TokKind::Lifetime));
+        assert!(kinds("'x'").contains(&TokKind::Literal));
+        assert!(kinds(r"'\n'").contains(&TokKind::Literal));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = tokenize("/* outer /* inner */ still */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].text, "after");
+    }
+
+    #[test]
+    fn lines_survive_multiline_tokens() {
+        let toks = tokenize("a\n\"two\nline\"\nb");
+        let b = toks.iter().find(|t| t.text == "b").expect("b token");
+        assert_eq!(b.line, 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! # eavm-lint — workspace invariant checker
+//!
+//! Statically enforces the source-level invariants every bit-exact
+//! guarantee in this reproduction rests on: deterministic replay vs
+//! `Simulation::run`, replay unchanged with telemetry enabled,
+//! byte-identical chaos under a fixed fault seed, and byte-identical
+//! verdict logs across crash/recovery. Replay tests catch a violated
+//! invariant only when a seed happens to exercise it; this tool catches
+//! the violation at the source line, before it ships.
+//!
+//! The rules (see [`Rule`]):
+//!
+//! | rule | invariant | default scope |
+//! |------|-----------|---------------|
+//! | D1   | no `Instant::now`/`SystemTime::now` | everything but `crates/bench` |
+//! | D2   | no OS randomness (`thread_rng`, ...) | everywhere |
+//! | D3   | no `HashMap`/`HashSet` | replay-critical crates, non-test |
+//! | P1   | no `unwrap`/`expect`/`panic!`/indexing | shard worker (`shard.rs`) |
+//! | C1   | no bare `as` numeric casts | durability codec/record |
+//!
+//! Violations are waived only by an inline pragma with a mandatory
+//! reason; the report records every waiver, so the audit trail is the
+//! report itself:
+//!
+//! ```text
+//! // eavm-lint: allow(D1, reason = "telemetry-gated; never on replay path")
+//! let t0 = self.telemetry.is_enabled().then(Instant::now);
+//! ```
+//!
+//! The crate is dependency-free: it ships its own minimal Rust lexer
+//! (the `lexer` module) — comments, strings, raw strings, idents,
+//! punctuation — because rule patterns only ever span a few adjacent
+//! tokens.
+
+#![forbid(unsafe_code)]
+
+mod lexer;
+mod report;
+mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use report::Report;
+pub use rules::{scan_source, Finding, LintConfig, Rule, Scope};
+
+/// Lint every `.rs` file under `root`'s workspace source roots
+/// (`src/`, `tests/`, `crates/*/src`, `crates/*/tests`) against the
+/// default rule set. File order, and therefore report byte layout, is
+/// deterministic: paths are collected sorted.
+pub fn run_lint(root: &Path) -> Result<Report, String> {
+    run_lint_with(root, &LintConfig::workspace_default())
+}
+
+/// As [`run_lint`] with an explicit rule set.
+pub fn run_lint_with(root: &Path, config: &LintConfig) -> Result<Report, String> {
+    let mut files = Vec::new();
+    for dir in source_roots(root)? {
+        collect_rs_files(&dir, &mut files)?;
+    }
+    let mut rels: Vec<(String, PathBuf)> = files
+        .into_iter()
+        .map(|abs| (relative_slash_path(root, &abs), abs))
+        .collect();
+    rels.sort();
+
+    let mut findings = Vec::new();
+    let files_scanned = rels.len();
+    for (rel, abs) in rels {
+        let src =
+            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        findings.extend(scan_source(&rel, &src, config));
+    }
+    findings.sort();
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+/// The directories walked: top-level `src`/`tests` plus each crate's
+/// `src`/`tests`. Vendored stand-ins and `target/` are never walked.
+fn source_roots(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut roots = vec![root.join("src"), root.join("tests")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates)
+            .map_err(|e| format!("reading {}: {e}", crates.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for entry in entries {
+            roots.push(entry.join("src"));
+            roots.push(entry.join("tests"));
+        }
+    }
+    Ok(roots.into_iter().filter(|p| p.is_dir()).collect())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes, so scoping and report
+/// bytes are identical regardless of platform or invocation directory.
+fn relative_slash_path(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,166 @@
+//! Deterministic report rendering: human text and JSON, both sorted by
+//! (path, line, rule) and free of timestamps, absolute paths, or map
+//! iteration — two runs over the same tree are byte-identical.
+
+use crate::rules::Finding;
+
+/// The outcome of a lint run over a tree.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All findings, sorted; waived ones carry their pragma reason.
+    pub findings: Vec<Finding>,
+    /// Files scanned (workspace-relative, sorted).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Unwaived violations — what `--deny` counts.
+    pub fn violations(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_none())
+    }
+
+    /// Pragma-waived sites, for the audit trail.
+    pub fn waived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.waived.is_some())
+    }
+
+    /// Human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("eavm-lint report\n");
+        let violations: Vec<&Finding> = self.violations().collect();
+        if violations.is_empty() {
+            out.push_str("  no violations\n");
+        } else {
+            for f in &violations {
+                out.push_str(&format!(
+                    "  {}:{} {} {} — {}\n",
+                    f.path,
+                    f.line,
+                    f.rule.id(),
+                    f.snippet,
+                    f.rule.invariant()
+                ));
+            }
+        }
+        let waived: Vec<&Finding> = self.waived().collect();
+        if !waived.is_empty() {
+            out.push_str("waived sites\n");
+            for f in &waived {
+                out.push_str(&format!(
+                    "  {}:{} {} {} (reason: {})\n",
+                    f.path,
+                    f.line,
+                    f.rule.id(),
+                    f.snippet,
+                    f.waived.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "files scanned: {}  violations: {}  waived: {}\n",
+            self.files_scanned,
+            violations.len(),
+            waived.len()
+        ));
+        out
+    }
+
+    /// JSON report. Hand-rendered (the workspace is dependency-free)
+    /// with sorted arrays and escaped strings, so it is byte-stable.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        append_findings(&mut out, self.violations());
+        out.push_str("],\n  \"waived\": [");
+        append_findings(&mut out, self.waived());
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"violation_count\": {},\n  \"waived_count\": {}\n}}\n",
+            self.files_scanned,
+            self.violations().count(),
+            self.waived().count()
+        ));
+        out
+    }
+}
+
+fn append_findings<'a>(out: &mut String, findings: impl Iterator<Item = &'a Finding>) {
+    let mut first = true;
+    for f in findings {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"snippet\": {}",
+            json_str(&f.path),
+            f.line,
+            json_str(f.rule.id()),
+            json_str(&f.snippet)
+        ));
+        if let Some(reason) = &f.waived {
+            out.push_str(&format!(", \"reason\": {}", json_str(reason)));
+        }
+        out.push('}');
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(path: &str, line: u32, waived: Option<&str>) -> Finding {
+        Finding {
+            path: path.into(),
+            line,
+            rule: Rule::D1,
+            snippet: "Instant::now".into(),
+            waived: waived.map(String::from),
+        }
+    }
+
+    #[test]
+    fn text_report_lists_violations_then_waivers() {
+        let report = Report {
+            findings: vec![finding("a.rs", 3, None), finding("b.rs", 9, Some("gated"))],
+            files_scanned: 2,
+        };
+        let text = report.render_text();
+        assert!(text.contains("a.rs:3 D1 Instant::now"));
+        assert!(text.contains("b.rs:9 D1 Instant::now (reason: gated)"));
+        assert!(text.contains("files scanned: 2  violations: 1  waived: 1"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let report = Report {
+            findings: vec![finding("a \"b\".rs", 1, None)],
+            files_scanned: 1,
+        };
+        let json = report.render_json();
+        assert!(json.contains(r#""path": "a \"b\".rs""#));
+        assert!(json.contains("\"violation_count\": 1"));
+        assert!(json.contains("\"waived\": []"));
+    }
+}

@@ -1,0 +1,457 @@
+//! The invariant rules and the per-file scanner.
+//!
+//! Each rule is a pattern over a few adjacent non-comment tokens plus a
+//! path scope. Violations are waivable only by an inline pragma
+//!
+//! ```text
+//! // eavm-lint: allow(D1, reason = "telemetry-gated; never on replay path")
+//! ```
+//!
+//! on the same line as the violation or on the line immediately above
+//! it. A pragma without a `reason` never waives — it is itself reported
+//! as a malformed-pragma violation, so justification is mandatory.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+
+/// Stable rule identifiers (these appear in pragmas and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No wall-clock reads (`Instant::now` / `SystemTime::now`).
+    D1,
+    /// No OS randomness (`thread_rng`, `from_entropy`, `OsRng`, ...).
+    D2,
+    /// No default-hasher `HashMap`/`HashSet` in replay-critical crates.
+    D3,
+    /// No `unwrap`/`expect`/`panic!`/slice-indexing in worker hot paths.
+    P1,
+    /// No bare `as` narrowing casts in durability codec/record code.
+    C1,
+    /// A pragma that cannot waive anything (unknown rule or no reason).
+    Pragma,
+}
+
+impl Rule {
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::D2 => "D2",
+            Rule::D3 => "D3",
+            Rule::P1 => "P1",
+            Rule::C1 => "C1",
+            Rule::Pragma => "pragma",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        match id {
+            "D1" => Some(Rule::D1),
+            "D2" => Some(Rule::D2),
+            "D3" => Some(Rule::D3),
+            "P1" => Some(Rule::P1),
+            "C1" => Some(Rule::C1),
+            _ => None,
+        }
+    }
+
+    /// One-line statement of the invariant, for reports.
+    pub fn invariant(self) -> &'static str {
+        match self {
+            Rule::D1 => "no wall-clock reads outside telemetry-gated sites",
+            Rule::D2 => "no OS randomness; only explicitly seeded generators",
+            Rule::D3 => "no default-hasher maps/sets in replay-critical crates",
+            Rule::P1 => "no panic paths (unwrap/expect/panic!/indexing) in shard-worker code",
+            Rule::C1 => "no bare `as` casts in codec/record code; use checked helpers",
+            Rule::Pragma => "allow-pragmas must name a known rule and give a reason",
+        }
+    }
+}
+
+/// Where each rule applies. Paths are workspace-relative with forward
+/// slashes; a rule fires in a file iff some include prefix matches and
+/// no exclude prefix does.
+#[derive(Debug, Clone)]
+pub struct Scope {
+    pub rule: Rule,
+    pub include: Vec<String>,
+    pub exclude: Vec<String>,
+    /// Whether the rule also applies inside test code (`tests/` files
+    /// and items gated behind a `#[cfg(test)]` attribute).
+    pub applies_to_tests: bool,
+}
+
+impl Scope {
+    fn matches(&self, path: &str) -> bool {
+        self.include.iter().any(|p| path.starts_with(p.as_str()))
+            && !self.exclude.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// The rule set to run; [`LintConfig::workspace_default`] is the one CI
+/// enforces.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    pub scopes: Vec<Scope>,
+}
+
+/// The crates whose state feeds bit-exact replay/recovery proofs; D3's
+/// ordered-iteration requirement is scoped to these.
+const REPLAY_CRITICAL: [&str; 4] = [
+    "crates/simulator/",
+    "crates/service/",
+    "crates/durability/",
+    "crates/partitions/",
+];
+
+impl LintConfig {
+    /// The workspace rule set: D1/D2 everywhere (tests included — a
+    /// replay test that reads a clock is as nondeterministic as the
+    /// code under test), D3 in replay-critical crates, P1 in the shard
+    /// worker (a panic there is a silent shard death the supervisor
+    /// must mop up), C1 in the durability wire codec. The bench crate
+    /// is wall-clock by nature and exempt from D1.
+    pub fn workspace_default() -> Self {
+        LintConfig {
+            scopes: vec![
+                Scope {
+                    rule: Rule::D1,
+                    include: vec!["crates/".into(), "src/".into(), "tests/".into()],
+                    exclude: vec!["crates/bench/".into()],
+                    applies_to_tests: true,
+                },
+                Scope {
+                    rule: Rule::D2,
+                    include: vec!["crates/".into(), "src/".into(), "tests/".into()],
+                    exclude: vec![],
+                    applies_to_tests: true,
+                },
+                Scope {
+                    rule: Rule::D3,
+                    include: REPLAY_CRITICAL.iter().map(|s| s.to_string()).collect(),
+                    exclude: vec![],
+                    applies_to_tests: false,
+                },
+                Scope {
+                    rule: Rule::P1,
+                    include: vec!["crates/service/src/shard.rs".into()],
+                    exclude: vec![],
+                    applies_to_tests: false,
+                },
+                Scope {
+                    rule: Rule::C1,
+                    include: vec![
+                        "crates/durability/src/codec.rs".into(),
+                        "crates/durability/src/record.rs".into(),
+                    ],
+                    exclude: vec![],
+                    applies_to_tests: false,
+                },
+            ],
+        }
+    }
+}
+
+/// One rule hit at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub rule: Rule,
+    /// The offending token sequence, e.g. `Instant::now`.
+    pub snippet: String,
+    /// `Some(reason)` when waived by a pragma.
+    pub waived: Option<String>,
+}
+
+/// A parsed allow-pragma comment (tag + rule + mandatory reason).
+#[derive(Debug)]
+struct Pragma {
+    rule: Rule,
+    reason: String,
+    line: u32,
+}
+
+const PRAGMA_TAG: &str = "eavm-lint:";
+
+/// Parse an allow-pragma out of a comment body. Returns `Err(finding)`
+/// for a comment that names the tag but is malformed (unknown rule or
+/// missing reason) — those must fail loudly, not silently stop waiving.
+fn parse_pragma(text: &str, line: u32, path: &str) -> Option<Result<Pragma, Finding>> {
+    let at = text.find(PRAGMA_TAG)?;
+    let rest = text[at + PRAGMA_TAG.len()..].trim_start();
+    let malformed = |why: &str| {
+        Some(Err(Finding {
+            path: path.to_string(),
+            line,
+            rule: Rule::Pragma,
+            snippet: why.to_string(),
+            waived: None,
+        }))
+    };
+    let Some(body) = rest.strip_prefix("allow(") else {
+        return malformed("pragma is not `allow(<rule>, reason = \"...\")`");
+    };
+    // Close at the LAST `)` so a reason may itself contain parens.
+    let Some(end) = body.rfind(')') else {
+        return malformed("unterminated allow-pragma");
+    };
+    let body = &body[..end];
+    let mut parts = body.splitn(2, ',');
+    let rule_id = parts.next().unwrap_or("").trim();
+    let Some(rule) = Rule::from_id(rule_id) else {
+        return malformed(&format!("unknown rule {rule_id:?} in allow-pragma"));
+    };
+    let reason = parts
+        .next()
+        .and_then(|kv| kv.split_once('='))
+        .filter(|(key, _)| key.trim() == "reason")
+        .map(|(_, v)| v.trim().trim_matches('"').to_string())
+        .unwrap_or_default();
+    if reason.is_empty() {
+        return malformed(&format!("allow({rule_id}) has no reason — one is required"));
+    }
+    Some(Ok(Pragma { rule, reason, line }))
+}
+
+/// Scan one file's source against the config. `path` must be
+/// workspace-relative with forward slashes (it drives rule scoping).
+pub fn scan_source(path: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
+    let in_tests_dir = path.split('/').any(|seg| seg == "tests");
+    let toks = tokenize(src);
+
+    let mut pragmas: Vec<Pragma> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for t in &toks {
+        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            match parse_pragma(&t.text, t.line, path) {
+                Some(Ok(p)) => pragmas.push(p),
+                Some(Err(f)) => findings.push(f),
+                None => {}
+            }
+        }
+    }
+
+    // Code tokens only, each tagged with whether it sits in test code:
+    // files under `tests/`, or the single item (fn, mod, impl, use, ...)
+    // that a `#[cfg(test)]` attribute gates — the item extends to its
+    // closing brace, or to a `;` for brace-less items.
+    let code: Vec<(&Tok, bool)> = {
+        let significant: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let flags = test_flags(&significant, in_tests_dir);
+        significant.into_iter().zip(flags).collect()
+    };
+
+    for scope in &config.scopes {
+        if !scope.matches(path) {
+            continue;
+        }
+        for (i, &(tok, in_test)) in code.iter().enumerate() {
+            if in_test && !scope.applies_to_tests {
+                continue;
+            }
+            if let Some(snippet) = match_rule(scope.rule, &code, i, tok) {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: tok.line,
+                    rule: scope.rule,
+                    snippet,
+                    waived: None,
+                });
+            }
+        }
+    }
+
+    // Apply waivers: a pragma covers its own line and the next line.
+    for f in &mut findings {
+        if f.rule == Rule::Pragma {
+            continue;
+        }
+        if let Some(p) = pragmas
+            .iter()
+            .find(|p| p.rule == f.rule && (p.line == f.line || p.line + 1 == f.line))
+        {
+            f.waived = Some(p.reason.clone());
+        }
+    }
+
+    findings.sort();
+    findings
+}
+
+/// Per-token test-code flags. A `#[cfg(test)]` attribute marks itself,
+/// any attributes stacked after it, and the one item it gates — up to
+/// the matching `}` of the item's first `{`, or a top-level `;` for
+/// brace-less items (`use`, `mod tests;`). A mid-file test-only helper
+/// therefore does NOT exempt the unrelated code below it.
+fn test_flags(significant: &[&Tok], in_tests_dir: bool) -> Vec<bool> {
+    let mut flags = vec![in_tests_dir; significant.len()];
+    if in_tests_dir {
+        return flags;
+    }
+    let punct = |j: usize| match significant.get(j) {
+        Some(t) => match t.kind {
+            TokKind::Punct(c) => Some(c),
+            _ => None,
+        },
+        None => None,
+    };
+    let mut i = 0;
+    while i < significant.len() {
+        if !is_cfg_test_at(significant, i) {
+            i += 1;
+            continue;
+        }
+        // Walk to the end of the gated item: count `{`/`}` depth,
+        // stopping at the brace that closes the first one opened, or at
+        // a `;` before any brace opens. Brackets inside the attribute
+        // itself contain neither, so no special casing is needed.
+        let mut depth = 0usize;
+        let mut end = significant.len() - 1;
+        for (j, _) in significant.iter().enumerate().skip(i) {
+            match punct(j) {
+                Some('{') => depth += 1,
+                Some('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                Some(';') if depth == 0 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        for flag in flags.iter_mut().take(end + 1).skip(i) {
+            *flag = true;
+        }
+        i = end + 1;
+    }
+    flags
+}
+
+/// Does `significant[i]` start a `#[cfg(test)]` attribute?
+fn is_cfg_test_at(significant: &[&Tok], i: usize) -> bool {
+    let texts: Vec<&str> = significant[i..]
+        .iter()
+        .take(7)
+        .map(|t| t.text.as_str())
+        .collect();
+    matches!(
+        texts.as_slice(),
+        ["#", "[", "cfg", "(", "test", ")", "]"] | ["#", "[", "cfg", "(", "test", ",", _]
+    )
+}
+
+fn ident_at<'a>(code: &'a [(&'a Tok, bool)], i: usize) -> Option<&'a str> {
+    code.get(i)
+        .and_then(|(t, _)| (t.kind == TokKind::Ident).then_some(t.text.as_str()))
+}
+
+fn punct_at(code: &[(&Tok, bool)], i: usize) -> Option<char> {
+    code.get(i).and_then(|(t, _)| match t.kind {
+        TokKind::Punct(c) => Some(c),
+        _ => None,
+    })
+}
+
+const NUMERIC_TYPES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Match `rule` at position `i` of the code-token stream; returns the
+/// offending snippet on a hit.
+fn match_rule(rule: Rule, code: &[(&Tok, bool)], i: usize, tok: &Tok) -> Option<String> {
+    match rule {
+        Rule::D1 => {
+            // `Instant::now` / `SystemTime::now` as adjacent tokens.
+            if tok.kind == TokKind::Ident && (tok.text == "Instant" || tok.text == "SystemTime") {
+                let path_sep =
+                    punct_at(code, i + 1) == Some(':') && punct_at(code, i + 2) == Some(':');
+                if path_sep && ident_at(code, i + 3) == Some("now") {
+                    return Some(format!("{}::now", tok.text));
+                }
+            }
+            None
+        }
+        Rule::D2 => {
+            const BANNED: [&str; 5] = [
+                "thread_rng",
+                "from_entropy",
+                "OsRng",
+                "getrandom",
+                "RandomState",
+            ];
+            (tok.kind == TokKind::Ident && BANNED.contains(&tok.text.as_str()))
+                .then(|| tok.text.clone())
+        }
+        Rule::D3 => (tok.kind == TokKind::Ident
+            && (tok.text == "HashMap" || tok.text == "HashSet"))
+            .then(|| tok.text.clone()),
+        Rule::P1 => p1_match(code, i, tok),
+        Rule::C1 => {
+            if tok.kind == TokKind::Ident && tok.text == "as" {
+                if let Some(ty) = ident_at(code, i + 1) {
+                    if NUMERIC_TYPES.contains(&ty) {
+                        return Some(format!("as {ty}"));
+                    }
+                }
+            }
+            None
+        }
+        Rule::Pragma => None, // produced by the pragma parser, not matching
+    }
+}
+
+fn p1_match(code: &[(&Tok, bool)], i: usize, tok: &Tok) -> Option<String> {
+    match tok.kind {
+        TokKind::Ident if tok.text == "unwrap" || tok.text == "expect" => {
+            // Only as a method call: `.unwrap(` / `.expect(` — never
+            // `unwrap_or*` (distinct idents) or free definitions.
+            let is_call = punct_at(code, i.checked_sub(1)?) == Some('.')
+                && punct_at(code, i + 1) == Some('(');
+            is_call.then(|| format!(".{}()", tok.text))
+        }
+        TokKind::Ident if tok.text == "panic" || tok.text == "unreachable" => {
+            (punct_at(code, i + 1) == Some('!')).then(|| format!("{}!", tok.text))
+        }
+        TokKind::Punct('[') => {
+            // Indexing: `[` directly after an ident, `)`, `]`, or a
+            // literal is `expr[...]`. Attribute (`#[`), macro (`vec![`),
+            // slice types (`&[T]`), and array types (`: [T; N]`) all
+            // have a different preceding token.
+            let i = i.checked_sub(1)?;
+            let (prev, _) = code.get(i)?;
+            let indexing = matches!(prev.kind, TokKind::Ident | TokKind::Number)
+                && !is_keyword(&prev.text)
+                || matches!(prev.kind, TokKind::Punct(')') | TokKind::Punct(']'));
+            indexing.then(|| format!("{}[..]", prev.text))
+        }
+        _ => None,
+    }
+}
+
+/// Keywords that can directly precede `[` without it being indexing
+/// (`let [a, b] = ..` destructuring, `return [..]`, `for _ in [..]`).
+fn is_keyword(text: &str) -> bool {
+    matches!(
+        text,
+        "let"
+            | "as"
+            | "return"
+            | "break"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "mut"
+            | "ref"
+            | "const"
+            | "static"
+    )
+}

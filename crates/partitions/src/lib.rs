@@ -23,6 +23,8 @@
 //!   candidates than Bell(n) when a job request's VMs share one profile,
 //!   which is exactly the paper's workload shape.
 
+#![forbid(unsafe_code)]
+
 pub mod counting;
 pub mod multiset;
 pub mod rgs;

@@ -17,7 +17,7 @@
 //!   times, retirement instants, and every later verdict come out
 //!   bit-identical to the run that never crashed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use eavm_core::{Placement, RequestView};
@@ -443,7 +443,9 @@ pub(crate) struct Rebuilt {
     pub frames_replayed: u64,
 }
 
-fn bump(counters: &mut HashMap<String, u64>, name: &str, n: u64) {
+// Ordered map so recovery bookkeeping (and the counter Vec handed to
+// `CoordInstruments::seed`) never depends on hash-iteration order.
+fn bump(counters: &mut BTreeMap<String, u64>, name: &str, n: u64) {
     *counters.entry(name.to_string()).or_insert(0) += n;
 }
 
@@ -458,7 +460,7 @@ pub(crate) fn rebuild(
     cores: &mut [ShardCore],
     layout: &[std::ops::Range<usize>],
 ) -> Rebuilt {
-    let mut counters: HashMap<String, u64> = HashMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut now = Seconds(0.0);
     let mut next_ticket = 0u64;
     let mut parked: Vec<(u64, RequestView)> = Vec::new();
@@ -526,7 +528,10 @@ pub(crate) fn rebuild(
                     pending.remove(i);
                 }
                 let placements = recs_to_placements(placements);
-                let mut per_shard: HashMap<usize, Vec<Placement>> = HashMap::new();
+                // Ordered by shard index: replayed `apply_committed`
+                // calls happen in the same deterministic order on every
+                // recovery of the same journal.
+                let mut per_shard: BTreeMap<usize, Vec<Placement>> = BTreeMap::new();
                 for p in &placements {
                     per_shard
                         .entry(shard_of(p.server.index()))

@@ -41,6 +41,8 @@
 //! memo layer is provably invisible to allocation decisions — the
 //! `service_replay` integration test pins this down).
 
+#![forbid(unsafe_code)]
+
 pub mod deterministic;
 pub mod durable;
 pub mod memo;

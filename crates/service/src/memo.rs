@@ -15,6 +15,7 @@
 //! successful `estimate_mix` results are cached; errors always re-query.
 
 use std::cell::RefCell;
+// eavm-lint: allow(D3, reason = "LRU index map is point-lookup only (get/insert/remove by MixKey); nothing ever iterates it, and the hash lookup is the memoized hot path")
 use std::collections::HashMap;
 
 use eavm_core::{AllocationModel, MixEstimate, MixKey};
@@ -112,6 +113,7 @@ const NIL: usize = usize::MAX;
 /// a hash map over an intrusive doubly-linked recency list.
 #[derive(Debug)]
 pub struct LruCache {
+    // eavm-lint: allow(D3, reason = "point lookups only; recency order lives in the intrusive list, never in map iteration")
     map: HashMap<MixKey, usize>,
     slots: Vec<Slot>,
     head: usize, // most recently used
@@ -132,6 +134,7 @@ impl LruCache {
     pub fn with_metrics(capacity: usize, metrics: CacheMetrics) -> Self {
         let capacity = capacity.max(1);
         LruCache {
+            // eavm-lint: allow(D3, reason = "see the field declaration: lookup-only map")
             map: HashMap::with_capacity(capacity),
             slots: Vec::with_capacity(capacity),
             head: NIL,

@@ -23,7 +23,7 @@
 //! without spawning threads; the worker loop is a thin match over
 //! `ShardMsg`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::mpsc::{Receiver, Sender};
 
 use eavm_core::{
@@ -166,7 +166,10 @@ pub(crate) struct ShardCore {
     servers: Vec<SrvState>,
     strategy: ServiceStrategy,
     clock: Seconds,
-    pending: HashMap<u64, PendingReservation>,
+    /// Acked-but-uncommitted reservations by ticket. Ordered map: the
+    /// shard is replay-critical state, so even bookkeeping never
+    /// depends on hash order.
+    pending: BTreeMap<u64, PendingReservation>,
     counters: ShardInstruments,
     estimated_energy: Joules,
 }
@@ -190,7 +193,7 @@ impl ShardCore {
                 .collect(),
             strategy,
             clock: Seconds(0.0),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             counters,
             estimated_energy: Joules(0.0),
         }
@@ -222,27 +225,37 @@ impl ShardCore {
                 .collect(),
             strategy,
             clock,
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             counters,
             estimated_energy: Joules(0.0),
         };
-        for si in 0..core.servers.len() {
-            let mix = core.servers[si].mix;
-            if mix.is_empty() {
-                continue;
-            }
-            core.estimated_energy += core.strategy.model().run_energy(mix).unwrap_or(Joules(0.0));
-            for (ty, count) in mix.iter().filter(|(_, count)| *count > 0) {
-                let finish = clock
-                    + core
-                        .strategy
-                        .model()
-                        .exec_time(mix, ty)
-                        .unwrap_or_else(|_| core.strategy.model().solo_time(ty));
-                for _ in 0..count {
-                    core.servers[si].resident.push(ResidentVm { ty, finish });
+        // Two passes so the strategy borrow never overlaps the server
+        // mutation (and no index arithmetic is needed): estimate every
+        // resident's finish first, then move them into their servers.
+        let mut energy = Joules(0.0);
+        let mut materialized: Vec<Vec<ResidentVm>> = Vec::with_capacity(core.servers.len());
+        for srv in &core.servers {
+            let mix = srv.mix;
+            let mut residents = Vec::new();
+            if !mix.is_empty() {
+                energy += core.strategy.model().run_energy(mix).unwrap_or(Joules(0.0));
+                for (ty, count) in mix.iter().filter(|(_, count)| *count > 0) {
+                    let finish = clock
+                        + core
+                            .strategy
+                            .model()
+                            .exec_time(mix, ty)
+                            .unwrap_or_else(|_| core.strategy.model().solo_time(ty));
+                    for _ in 0..count {
+                        residents.push(ResidentVm { ty, finish });
+                    }
                 }
             }
+            materialized.push(residents);
+        }
+        core.estimated_energy = energy;
+        for (srv, residents) in core.servers.iter_mut().zip(materialized) {
+            srv.resident = residents;
         }
         core
     }
@@ -279,16 +292,21 @@ impl ShardCore {
     fn materialize(&mut self, placement: &Placement) -> Result<(), EavmError> {
         let clock = self.clock;
         // Per-type finish estimates come from the (already updated) mix.
-        let srv = self
+        let mix = self
             .server_mut(placement.server)
-            .ok_or_else(|| EavmError::Infeasible(format!("unknown server {}", placement.server)))?;
-        let mix = srv.mix;
+            .ok_or_else(|| EavmError::Infeasible(format!("unknown server {}", placement.server)))?
+            .mix;
+        // Estimate every finish before touching the server again, so no
+        // second (fallible) lookup happens inside the mutation loop.
+        let mut fresh: Vec<ResidentVm> = Vec::new();
         for (ty, count) in placement.add.iter().filter(|(_, count)| *count > 0) {
             let finish = clock + self.strategy.model().exec_time(mix, ty)?;
-            let srv = self.server_mut(placement.server).expect("checked above");
             for _ in 0..count {
-                srv.resident.push(ResidentVm { ty, finish });
+                fresh.push(ResidentVm { ty, finish });
             }
+        }
+        if let Some(srv) = self.server_mut(placement.server) {
+            srv.resident.extend(fresh);
         }
         Ok(())
     }
@@ -400,12 +418,23 @@ impl ShardCore {
         let Some(reservation) = self.pending.remove(&ticket) else {
             return;
         };
+        let index = self.index;
         for p in &reservation.placements {
             if let Some(srv) = self.server_mut(p.server) {
-                srv.mix = srv
-                    .mix
-                    .checked_sub(&p.add)
-                    .expect("reserved adds are subtractable");
+                let rolled = srv.mix.checked_sub(&p.add);
+                debug_assert!(
+                    rolled.is_some(),
+                    "aborting ticket on shard {index}: reserved add {:?} not in live mix {:?}",
+                    p.add,
+                    srv.mix
+                );
+                // A shard worker must never panic (supervision treats a
+                // panic as a crash); an unsubtractable rollback is a
+                // protocol bug surfaced by the debug_assert, and release
+                // builds keep the mix unchanged rather than dying.
+                if let Some(rolled) = rolled {
+                    srv.mix = rolled;
+                }
             }
         }
         self.bump(&self.counters.aborts, 1);
@@ -636,6 +665,7 @@ pub(crate) fn run_worker(mut core: ShardCore, rx: Receiver<ShardMsg>, kill_after
     while let Ok(msg) = rx.recv() {
         if let Some(n) = remaining.as_mut() {
             if *n == 0 {
+                // eavm-lint: allow(P1, reason = "the injected-fault kill switch: this panic IS the simulated worker crash the supervisor must detect")
                 panic!("injected fault: shard {} worker killed", core.index);
             }
             *n -= 1;

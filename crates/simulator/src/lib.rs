@@ -20,6 +20,8 @@
 //!
 //! [`AllocationStrategy`]: eavm_core::AllocationStrategy
 
+#![forbid(unsafe_code)]
+
 pub mod cloud;
 pub mod engine;
 pub mod metrics;

@@ -21,6 +21,8 @@
 //! [`adapt`] the conversion of cleaned SWF jobs into typed VM requests
 //! with per-type QoS deadlines.
 
+#![forbid(unsafe_code)]
+
 pub mod adapt;
 pub mod clean;
 pub mod format;

@@ -23,6 +23,8 @@
 //! enabled (asserted by `tests/service_replay.rs` at the workspace
 //! root).
 
+#![forbid(unsafe_code)]
+
 mod export;
 mod journal;
 mod metrics;

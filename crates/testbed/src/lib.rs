@@ -31,6 +31,8 @@
 //!   subsystem-utilization profiler that reproduces Fig. 1 and the paper's
 //!   "X-intensive" classification rule.
 
+#![forbid(unsafe_code)]
+
 pub mod application;
 pub mod contention;
 pub mod meter;

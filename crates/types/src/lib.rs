@@ -9,6 +9,8 @@
 //! Everything here is deliberately dependency-free so that every other crate
 //! in the workspace can share it without pulling in simulation machinery.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod ids;
 pub mod mix;

@@ -57,6 +57,8 @@
 //! The `eavm-bench` crate (not re-exported) regenerates every table and
 //! figure of the paper; see `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 pub use eavm_benchdb as benchdb;
 pub use eavm_core as core;
 pub use eavm_durability as durability;

@@ -8,6 +8,8 @@
 //! measurement loop printing mean wall time per iteration — good enough
 //! to compare variants locally, with no plots, statistics, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -12,6 +12,8 @@
 //! reports the case number and the assertion message only. Set
 //! `PROPTEST_CASES` to raise or lower the case count globally.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

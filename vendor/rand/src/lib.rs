@@ -8,6 +8,8 @@
 //! but are **not** bit-compatible with upstream `rand 0.8` — nothing in
 //! this repository pins upstream streams.
 
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// The next 64 uniformly distributed bits.

@@ -93,4 +93,27 @@ cmp "$CHAOS_DIR/ctrl.log" "$CHAOS_DIR/rec.log" \
     || { echo "crash-loop smoke: recovered verdict log diverged"; \
          diff "$CHAOS_DIR/ctrl.log" "$CHAOS_DIR/rec.log" | head -20; exit 1; }
 
+echo "==> scenario library (byte-deterministic replays)"
+# Every committed scenario must check clean and produce byte-identical
+# outcome CSVs across two runs (against the exact model database the
+# chaos smoke already built). Any diff fails the gate — scenarios are
+# replay-critical artifacts, not examples.
+SCEN_DIR="$(mktemp -d)"
+TMP_DIRS+=("$SCEN_DIR")
+for f in scenarios/*.eavm; do
+    name="$(basename "$f" .eavm)"
+    "${CLI[@]}" scenario check "$f" > /dev/null \
+        || { echo "scenario library: $f failed check"; exit 1; }
+    "${CLI[@]}" scenario run "$f" --db-dir "$CHAOS_DIR/db" \
+        --out "$SCEN_DIR/$name.1.csv" > /dev/null 2>&1 \
+        || { echo "scenario library: $f failed first run"; exit 1; }
+    "${CLI[@]}" scenario run "$f" --db-dir "$CHAOS_DIR/db" \
+        --out "$SCEN_DIR/$name.2.csv" > /dev/null 2>&1 \
+        || { echo "scenario library: $f failed second run"; exit 1; }
+    cmp "$SCEN_DIR/$name.1.csv" "$SCEN_DIR/$name.2.csv" \
+        || { echo "scenario library: $f is not byte-deterministic"; \
+             diff "$SCEN_DIR/$name.1.csv" "$SCEN_DIR/$name.2.csv" | head -20; exit 1; }
+    echo "    $name: deterministic ($(wc -l < "$SCEN_DIR/$name.1.csv") rows)"
+done
+
 echo "CI checks passed."

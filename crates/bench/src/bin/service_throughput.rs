@@ -40,10 +40,11 @@ fn main() {
         servers
     );
     println!(
-        "{:<7} {:>9} {:>9} {:>10} {:>9} {:>9} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10}",
+        "{:<7} {:>9} {:>9} {:>7} {:>10} {:>9} {:>9} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10}",
         "shards",
         "wall_s",
         "req/s",
+        "eff%",
         "hit_rate%",
         "local",
         "cross",
@@ -55,7 +56,11 @@ fn main() {
         "energy_MJ"
     );
 
-    let mut baseline = None;
+    // (first shard count, its wall time, its throughput): the scaling
+    // baseline. eff% = throughput at N shards / (N/N0 x baseline
+    // throughput) — 100% means perfectly linear scaling from the first
+    // configuration (normally 1 shard).
+    let mut baseline: Option<(usize, f64, f64)> = None;
     for &shards in &shard_counts {
         let mut config = ServiceConfig::new(shards, servers);
         config.deadlines = pipeline.deadlines;
@@ -69,11 +74,19 @@ fn main() {
         let throughput = report.requests as f64 / wall.max(1e-9);
         let shed = stats.shed_admission + stats.shed_wait_queue + stats.shed_unplaceable;
         let lat = &stats.admission_latency_us;
+        let efficiency = match baseline {
+            None => 100.0,
+            Some((base_shards, _, base_tput)) => {
+                let ideal = base_tput * shards as f64 / base_shards as f64;
+                100.0 * throughput / ideal.max(1e-9)
+            }
+        };
         println!(
-            "{:<7} {:>9.3} {:>9.0} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10.3}",
+            "{:<7} {:>9.3} {:>9.0} {:>7.1} {:>10.1} {:>9} {:>9} {:>7} {:>9} {:>8} {:>8} {:>8} {:>10.3}",
             shards,
             wall,
             throughput,
+            efficiency,
             100.0 * stats.aggregate_cache.hit_rate(),
             stats.admitted_local,
             stats.admitted_cross_shard,
@@ -85,10 +98,11 @@ fn main() {
             stats.estimated_energy.value() / 1e6,
         );
         match baseline {
-            None => baseline = Some(wall),
-            Some(base) => println!(
-                "#   speedup vs 1 shard at {shards} shards: {:.2}x",
-                base / wall.max(1e-9)
+            None => baseline = Some((shards, wall, throughput)),
+            Some((base_shards, base_wall, _)) => println!(
+                "#   speedup vs {base_shards} shard(s) at {shards} shards: {:.2}x \
+                 (scaling efficiency {efficiency:.1}%)",
+                base_wall / wall.max(1e-9)
             ),
         }
     }

@@ -1,0 +1,201 @@
+//! The chaos-injection flags shared by `simulate`, `serve`, `recover`,
+//! `replay-online`, and `scenario run`: parsed once into [`ChaosFlags`]
+//! so every subcommand agrees on names, defaults, and validation.
+//!
+//! * `--fault-seed N` — seed for fault plans / lookup faults (default
+//!   `0xFA17`).
+//! * `--fault-rate F` — expected crashes *and* degradations per
+//!   host-hour (simulator) or the knob deriving the transient
+//!   model-lookup failure probability (service); must be in `[0, 1]`.
+//! * `--kill-shard N` / `--kill-after M` — kill worker N after M served
+//!   messages to exercise the supervised respawn path.
+
+use eavm_faults::{FaultConfig, FaultPlan, LookupFaults, WorkerFaultPlan};
+
+use crate::args::Args;
+
+/// Default chaos seed, shared with [`eavm_scenario::FaultSpec`].
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA17;
+
+/// Default served-message count before an armed worker kill fires.
+pub const DEFAULT_KILL_AFTER: u64 = 16;
+
+/// The four chaos flags, each remembering whether it was given
+/// explicitly (so `scenario run` can overlay only what the user set).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosFlags {
+    seed: Option<u64>,
+    rate: Option<f64>,
+    kill_shard: Option<usize>,
+    kill_after: Option<u64>,
+}
+
+impl ChaosFlags {
+    /// Parse and validate the chaos flags from a command line.
+    pub fn from_args(args: &Args) -> Result<Self, String> {
+        let rate: Option<f64> = args.get_optional("fault-rate")?;
+        // `fraction_or` owns the range check (and its error message).
+        args.fraction_or("fault-rate", 0.0)?;
+        let kill_after: Option<u64> = args.get_optional("kill-after")?;
+        if kill_after == Some(0) {
+            return Err("--kill-after must be nonzero".into());
+        }
+        Ok(ChaosFlags {
+            seed: args.get_optional("fault-seed")?,
+            rate,
+            kill_shard: args.get_optional("kill-shard")?,
+            kill_after,
+        })
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(DEFAULT_FAULT_SEED)
+    }
+
+    pub fn rate(&self) -> f64 {
+        self.rate.unwrap_or(0.0)
+    }
+
+    pub fn kill_after(&self) -> u64 {
+        self.kill_after.unwrap_or(DEFAULT_KILL_AFTER)
+    }
+
+    /// Arm a deterministic host-level [`FaultPlan`] over `hosts` hosts
+    /// and a horizon of the last submission plus ten hours. Returns
+    /// `None` when no rate (or a zero rate) was given.
+    pub fn host_plan(
+        &self,
+        hosts: usize,
+        requests: &[eavm_swf::VmRequest],
+    ) -> Option<(u64, f64, FaultPlan)> {
+        let rate = self.rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        let seed = self.seed();
+        let horizon = requests
+            .iter()
+            .map(|r| r.submit.value())
+            .fold(0.0f64, f64::max)
+            + 36_000.0;
+        let plan = FaultPlan::generate(&FaultConfig::uniform(seed, rate), hosts, horizon);
+        Some((seed, rate, plan))
+    }
+
+    /// Arm transient model-lookup failures for the online service (same
+    /// seeding as the simulator's plan). `None` when the rate is zero.
+    pub fn lookup_faults(&self) -> Option<LookupFaults> {
+        let rate = self.rate();
+        if rate <= 0.0 {
+            return None;
+        }
+        let seed = self.seed();
+        let lookup = FaultConfig::uniform(seed, rate).lookup_failure_rate;
+        Some(LookupFaults::new(seed, lookup))
+    }
+
+    /// Arm the worker-kill plan when `--kill-shard` was given, range-
+    /// checking the shard index against the fleet.
+    pub fn worker_faults(&self, shards: usize) -> Result<Option<WorkerFaultPlan>, String> {
+        let Some(kill_shard) = self.kill_shard else {
+            return Ok(None);
+        };
+        if kill_shard >= shards {
+            return Err(format!(
+                "--kill-shard {kill_shard} out of range (shards={shards})"
+            ));
+        }
+        Ok(Some(WorkerFaultPlan::kill_shard(
+            shards,
+            kill_shard,
+            self.kill_after(),
+        )))
+    }
+
+    /// Overlay explicitly-given flags onto a scenario's fault spec
+    /// (command line wins over the file), then re-validate the spec so
+    /// overrides cannot smuggle in a mode/feature mismatch.
+    pub fn apply_to_spec(&self, spec: &mut eavm_scenario::ScenarioSpec) -> Result<(), String> {
+        if let Some(seed) = self.seed {
+            spec.faults.seed = seed;
+        }
+        if let Some(rate) = self.rate {
+            spec.faults.lookup_failure_rate = rate;
+        }
+        if let Some(shard) = self.kill_shard {
+            spec.faults.kill_shard = Some(shard);
+        }
+        if let Some(after) = self.kill_after {
+            spec.faults.kill_after = after;
+        }
+        spec.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> ChaosFlags {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        ChaosFlags::from_args(&Args::parse(&argv).expect("argv parses")).expect("flags parse")
+    }
+
+    #[test]
+    fn defaults_arm_nothing() {
+        let flags = parse(&["x"]);
+        assert_eq!(flags.seed(), DEFAULT_FAULT_SEED);
+        assert!(flags.host_plan(8, &[]).is_none());
+        assert!(flags.lookup_faults().is_none());
+        assert!(flags.worker_faults(4).expect("in range").is_none());
+    }
+
+    #[test]
+    fn rate_and_kill_flags_validate() {
+        let argv: Vec<String> = ["x", "--fault-rate", "1.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = ChaosFlags::from_args(&Args::parse(&argv).expect("argv parses"))
+            .expect_err("rate out of range");
+        assert!(err.contains("[0, 1]"), "{err}");
+
+        let argv: Vec<String> = ["x", "--kill-after", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let err = ChaosFlags::from_args(&Args::parse(&argv).expect("argv parses"))
+            .expect_err("zero kill-after");
+        assert!(err.contains("nonzero"), "{err}");
+
+        let flags = parse(&["x", "--kill-shard", "9"]);
+        let err = flags.worker_faults(4).expect_err("shard out of range");
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn overrides_only_touch_given_flags() {
+        let mut spec = eavm_scenario::parse_scenario(
+            "[scenario]\nname = \"t\"\nmode = \"simulate\"\n\
+             [fleet]\nservers = 4\n\
+             [phase.base]\nexit_jobs = 10\n",
+        )
+        .expect("valid scenario");
+        let before = spec.faults.seed;
+        parse(&["x"]).apply_to_spec(&mut spec).expect("no-op apply");
+        assert_eq!(spec.faults.seed, before);
+
+        parse(&["x", "--fault-seed", "7", "--fault-rate", "0.25"])
+            .apply_to_spec(&mut spec)
+            .expect("overrides apply");
+        assert_eq!(spec.faults.seed, 7);
+        assert!((spec.faults.lookup_failure_rate - 0.25).abs() < 1e-12);
+
+        // A kill override on a simulate-mode scenario must fail the
+        // re-validation instead of silently compiling to nothing.
+        let err = parse(&["x", "--kill-shard", "0"])
+            .apply_to_spec(&mut spec)
+            .expect_err("kill needs service mode");
+        assert!(err.contains("kill"), "{err}");
+    }
+}

@@ -8,7 +8,7 @@ use eavm_benchdb::{DbBuilder, ModelDatabase};
 use eavm_core::{
     AllocationStrategy, AnalyticModel, BestFit, DbModel, FirstFit, OptimizationGoal, Proactive,
 };
-use eavm_faults::{CrashSchedule, FaultConfig, FaultPlan, WorkerFaultPlan};
+use eavm_faults::{CrashSchedule, FaultPlan};
 use eavm_service::{CacheStats, DurabilityConfig, ReplayReport};
 use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
 use eavm_swf::{
@@ -19,11 +19,17 @@ use eavm_telemetry::Telemetry;
 use eavm_types::{Seconds, WorkloadType};
 
 use crate::args::Args;
+use crate::chaos::ChaosFlags;
 
 /// Dispatch a parsed command line; returns the stdout payload.
 pub fn dispatch(argv: &[String]) -> Result<String, String> {
     if argv.is_empty() || argv[0] == "help" || argv[0] == "--help" {
         return Ok(usage());
+    }
+    // `scenario run|check FILE` carries positionals the flag parser
+    // rejects; peel them off before handing the rest to `Args`.
+    if argv[0] == "scenario" {
+        return scenario_cmd(&argv[1..]);
     }
     let args = Args::parse(argv)?;
     match args.command.as_str() {
@@ -71,6 +77,10 @@ USAGE:
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
                        [--cache N] [--fault-seed N] [--fault-rate F]
                        [--metrics-out FILE] [--metrics-format prometheus|json]
+  eavm-cli scenario check FILE
+  eavm-cli scenario run FILE [--db-dir DIR] [--threads N] [--out FILE]
+                       [--fault-seed N] [--fault-rate F]
+                       [--kill-shard N] [--kill-after M]
   eavm-cli db-diff     --left DIR --right DIR [--tolerance F]
   eavm-cli info        --db-dir DIR
   eavm-cli lint        [--root DIR] [--format text|json] [--deny]
@@ -234,29 +244,15 @@ fn load_workload(
     Ok((db, requests, deadlines))
 }
 
-/// Parse the chaos knobs shared by `simulate` and `replay-online`:
-/// `--fault-rate F` (expected crashes *and* degradations per host-hour,
-/// validated into `[0, 1]`) arms a deterministic [`FaultPlan`] seeded
-/// by `--fault-seed N` over `hosts` hosts and a horizon of the last
-/// submission plus ten hours. Returns `None` when no rate (or a zero
-/// rate) was given.
+/// Parse the chaos knobs shared by `simulate` and `replay-online` into
+/// the host-level plan (see [`ChaosFlags::host_plan`]). Returns `None`
+/// when no rate (or a zero rate) was given.
 fn fault_plan(
     args: &Args,
     hosts: usize,
     requests: &[eavm_swf::VmRequest],
 ) -> Result<Option<(u64, f64, FaultPlan)>, String> {
-    let rate: f64 = args.fraction_or("fault-rate", 0.0)?;
-    if rate <= 0.0 {
-        return Ok(None);
-    }
-    let seed: u64 = args.get_or("fault-seed", 0xFA17)?;
-    let horizon = requests
-        .iter()
-        .map(|r| r.submit.value())
-        .fold(0.0f64, f64::max)
-        + 36_000.0;
-    let plan = FaultPlan::generate(&FaultConfig::uniform(seed, rate), hosts, horizon);
-    Ok(Some((seed, rate, plan)))
+    Ok(ChaosFlags::from_args(args)?.host_plan(hosts, requests))
 }
 
 /// The one chaos summary line printed whenever a fault plan is armed.
@@ -422,24 +418,17 @@ fn service_config(
     config.goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
     config.deadlines = deadlines;
     config.qos_margin = margin;
-    // Chaos knobs: `--fault-rate` arms transient model-lookup failures
-    // (same seeding as the simulator's plan), `--kill-shard N` kills
-    // worker N after `--kill-after M` served messages to exercise the
-    // supervised respawn path end to end.
-    let fault_rate: f64 = args.fraction_or("fault-rate", 0.0)?;
-    if fault_rate > 0.0 {
-        let seed: u64 = args.get_or("fault-seed", 0xFA17)?;
-        let lookup = FaultConfig::uniform(seed, fault_rate).lookup_failure_rate;
-        config = config.with_lookup_faults(eavm_faults::LookupFaults::new(seed, lookup));
+    // Chaos knobs (shared parsing in [`ChaosFlags`]): `--fault-rate`
+    // arms transient model-lookup failures (same seeding as the
+    // simulator's plan), `--kill-shard N` kills worker N after
+    // `--kill-after M` served messages to exercise the supervised
+    // respawn path end to end.
+    let chaos = ChaosFlags::from_args(args)?;
+    if let Some(lookup) = chaos.lookup_faults() {
+        config = config.with_lookup_faults(lookup);
     }
-    if let Some(kill_shard) = args.get_optional::<usize>("kill-shard")? {
-        if kill_shard >= shards {
-            return Err(format!(
-                "--kill-shard {kill_shard} out of range (shards={shards})"
-            ));
-        }
-        let after = args.nonzero_or("kill-after", 16)?;
-        config = config.with_worker_faults(WorkerFaultPlan::kill_shard(shards, kill_shard, after));
+    if let Some(plan) = chaos.worker_faults(shards)? {
+        config = config.with_worker_faults(plan);
     }
     // Durability: journal every admission verdict before acking it and
     // checkpoint the fleet periodically; `--crash-after-events N`
@@ -741,6 +730,117 @@ fn lint(args: &Args) -> Result<String, String> {
         ));
     }
     Ok(rendered)
+}
+
+/// `scenario check FILE` / `scenario run FILE [flags]`. The action and
+/// file are positionals peeled off in [`dispatch`]; the remaining
+/// tokens are ordinary `--flag` options (chaos overrides, `--db-dir`,
+/// `--out`).
+fn scenario_cmd(rest: &[String]) -> Result<String, String> {
+    const USAGE: &str = "usage: eavm-cli scenario run|check FILE [--db-dir DIR] \
+                         [--threads N] [--out FILE] [--fault-seed N] [--fault-rate F] \
+                         [--kill-shard N] [--kill-after M]";
+    let (action, file, flags) = match rest {
+        [action, file, flags @ ..] if !action.starts_with("--") && !file.starts_with("--") => {
+            (action.as_str(), PathBuf::from(file), flags)
+        }
+        _ => return Err(USAGE.into()),
+    };
+    let mut argv = vec!["scenario".to_string()];
+    argv.extend(flags.iter().cloned());
+    let args = Args::parse(&argv)?;
+
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+    let mut spec =
+        eavm_scenario::parse_scenario(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+    // Command-line chaos flags overlay the file's [faults] section.
+    ChaosFlags::from_args(&args)?.apply_to_spec(&mut spec)?;
+
+    match action {
+        "check" => Ok(render_scenario_check(&spec)),
+        "run" => scenario_run(&args, &spec),
+        other => Err(format!("unknown scenario action {other:?}\n{USAGE}")),
+    }
+}
+
+/// The `scenario check` report: the validated shape of the scenario,
+/// one line per phase. Parsing already failed loudly if the file was
+/// malformed, so reaching this function *is* the verdict.
+fn render_scenario_check(spec: &eavm_scenario::ScenarioSpec) -> String {
+    use std::fmt::Write as _;
+    let big = if spec.fleet.big_nodes > 0 {
+        format!("+{}big", spec.fleet.big_nodes)
+    } else {
+        String::new()
+    };
+    let mut out = format!(
+        "scenario {:?}: ok (mode={} policy={} seed={} servers={}{} phases={})\n",
+        spec.name,
+        spec.mode.label(),
+        spec.policy,
+        spec.seed,
+        spec.fleet.servers,
+        big,
+        spec.phases.len(),
+    );
+    for phase in &spec.phases {
+        let exit = match phase.exit {
+            eavm_scenario::ExitCondition::Jobs(n) => format!("{n} jobs"),
+            eavm_scenario::ExitCondition::AfterSeconds(s) => format!("{s:.0}s"),
+        };
+        let policy = match &phase.policy {
+            Some(p) => format!(" policy={p}"),
+            None => String::new(),
+        };
+        let faults = if phase.has_faults() { " faults" } else { "" };
+        let _ = writeln!(
+            out,
+            "  phase {:?}: exit after {exit} gap={:.0}s burst<={} vms={}..={}{policy}{faults}",
+            phase.name, phase.mean_gap_s, phase.max_burst, phase.vms_min, phase.vms_max,
+        );
+    }
+    out
+}
+
+/// `scenario run`: compile and execute against `--db-dir DIR`, or —
+/// when no database is given — the exact (meter-free) model built in
+/// process, which is deterministic and keeps runs reproducible.
+fn scenario_run(args: &Args, spec: &eavm_scenario::ScenarioSpec) -> Result<String, String> {
+    let db = match args.optional_path("db-dir") {
+        Some(dir) => {
+            let (dbp, auxp) = db_paths(&dir);
+            ModelDatabase::load(&dbp, &auxp).map_err(|e| e.to_string())?
+        }
+        None => {
+            let threads: usize = args.get_or("threads", 1)?;
+            DbBuilder::exact()
+                .build_parallel(threads)
+                .map_err(|e| e.to_string())?
+        }
+    };
+    let outcome = eavm_scenario::run_scenario(spec, &db)?;
+    let csv = outcome.to_csv();
+    match args.optional_path("out") {
+        Some(path) => {
+            std::fs::write(&path, &csv).map_err(|e| e.to_string())?;
+            let total = outcome.total();
+            Ok(format!(
+                "scenario {:?}: {} phase(s) -> {}\nsummary: jobs={} vms={} placed={} \
+                 shed={} requeued={} sla={} energy={:.3e}J\n",
+                spec.name,
+                outcome.rows.len().saturating_sub(1),
+                path.display(),
+                total.jobs,
+                total.vms,
+                total.placed,
+                total.shed,
+                total.requeued,
+                total.sla_violations,
+                total.energy_j,
+            ))
+        }
+        None => Ok(csv),
+    }
 }
 
 #[cfg(test)]
@@ -1207,6 +1307,97 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--journal-dir"), "{err}");
+    }
+
+    const SCENARIO_FIXTURE: &str = r#"
+[scenario]
+name = "cli_smoke"
+seed = 11
+mode = "simulate"
+alpha = 0.5
+
+[fleet]
+servers = 4
+
+[phase.calm]
+exit_jobs = 8
+mean_gap_s = 60.0
+
+[phase.rough]
+exit_jobs = 8
+mean_gap_s = 30.0
+crash_rate = 0.4
+"#;
+
+    #[test]
+    fn scenario_check_and_run_are_deterministic() {
+        let dir = temp_dir("scenario");
+        let file = dir.join("s.eavm");
+        std::fs::write(&file, SCENARIO_FIXTURE).unwrap();
+
+        let checked = run(&["scenario", "check", file.to_str().unwrap()]).unwrap();
+        assert!(checked.contains("\"cli_smoke\": ok"), "{checked}");
+        assert!(checked.contains("phase \"rough\""), "{checked}");
+
+        // Without --out the CSV goes to stdout; with it, a summary does.
+        let csv = run(&["scenario", "run", file.to_str().unwrap()]).unwrap();
+        assert!(csv.starts_with("scenario,phase,backend,"), "{csv}");
+        assert_eq!(csv.lines().count(), 1 + 2 + 1, "two phases + total");
+
+        let a = dir.join("a.csv");
+        let b = dir.join("b.csv");
+        for out in [&a, &b] {
+            let note = run(&[
+                "scenario",
+                "run",
+                file.to_str().unwrap(),
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap();
+            assert!(note.contains("2 phase(s)"), "{note}");
+        }
+        let bytes_a = std::fs::read(&a).unwrap();
+        assert_eq!(bytes_a, std::fs::read(&b).unwrap(), "runs diverged");
+        assert_eq!(String::from_utf8(bytes_a).unwrap(), csv);
+    }
+
+    #[test]
+    fn scenario_flags_override_faults_and_usage_is_guarded() {
+        let dir = temp_dir("scenover");
+        let file = dir.join("s.eavm");
+        std::fs::write(&file, SCENARIO_FIXTURE).unwrap();
+
+        // Chaos overlays re-validate: a worker kill needs service mode.
+        let err = run(&[
+            "scenario",
+            "run",
+            file.to_str().unwrap(),
+            "--kill-shard",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("kill_shard"), "{err}");
+        // A fault-seed override still runs (and stays deterministic).
+        let csv = run(&[
+            "scenario",
+            "run",
+            file.to_str().unwrap(),
+            "--fault-seed",
+            "99",
+        ])
+        .unwrap();
+        assert!(csv.contains("cli_smoke,total,"), "{csv}");
+
+        assert!(run(&["scenario"]).is_err());
+        assert!(run(&["scenario", "run"]).is_err());
+        assert!(run(&["scenario", "audit", file.to_str().unwrap()]).is_err());
+        assert!(run(&["scenario", "check", "/nonexistent/x.eavm"]).is_err());
+        // Parse errors surface the file and the line.
+        let bad = dir.join("bad.eavm");
+        std::fs::write(&bad, "[scenario]\nname = \"x\"\nbogus = 1\n").unwrap();
+        let err = run(&["scenario", "check", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("scenario:3:"), "{err}");
     }
 
     #[test]

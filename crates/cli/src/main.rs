@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 
 mod args;
+mod chaos;
 mod commands;
 
 use std::process::ExitCode;

@@ -95,11 +95,12 @@ pub struct LintConfig {
 
 /// The crates whose state feeds bit-exact replay/recovery proofs; D3's
 /// ordered-iteration requirement is scoped to these.
-const REPLAY_CRITICAL: [&str; 4] = [
+const REPLAY_CRITICAL: [&str; 5] = [
     "crates/simulator/",
     "crates/service/",
     "crates/durability/",
     "crates/partitions/",
+    "crates/scenario/",
 ];
 
 impl LintConfig {

@@ -94,6 +94,7 @@ fn d3_fires_in_replay_critical_crates_only() {
         "crates/simulator/src/x.rs",
         "crates/durability/src/x.rs",
         "crates/partitions/src/x.rs",
+        "crates/scenario/src/x.rs",
     ] {
         let found = violations(path, src);
         assert_eq!(found.len(), 1, "{path}");
@@ -107,6 +108,21 @@ fn d3_fires_in_replay_critical_crates_only() {
         1
     );
     assert!(violations("crates/service/src/x.rs", "use std::collections::BTreeMap;").is_empty());
+}
+
+#[test]
+fn d3_scenario_crate_positive_negative_pair() {
+    // The scenario crate is replay-critical: an unordered map in the
+    // compiler would let phase lowering drift between two runs of the
+    // same file, breaking the CI byte-diff.
+    let positive = "use std::collections::HashMap;\npub fn compile() {}";
+    let found = violations("crates/scenario/src/compile.rs", positive);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, Rule::D3);
+    // The crate's actual idiom — ordered sets for duplicate-key
+    // detection — stays clean.
+    let negative = "use std::collections::BTreeSet;\npub fn parse() {}";
+    assert!(violations("crates/scenario/src/parse.rs", negative).is_empty());
 }
 
 #[test]

@@ -1,0 +1,142 @@
+//! Property tests for the `.eavm` parser: malformed input — truncated
+//! files, duplicated phases, unknown keys, out-of-range rates, raw
+//! byte garbage — must come back as structured [`ScenarioError`]s,
+//! never a panic, over a corpus of mutated valid files.
+
+use eavm_scenario::{parse_scenario, ErrorKind};
+use proptest::prelude::*;
+
+/// A valid scenario file parameterized over its numeric knobs; every
+/// draw from the generator ranges below must parse.
+fn valid_file(seed: u64, servers: usize, gap: f64, jobs: usize, crash: f64) -> String {
+    format!(
+        "# generated corpus file\n\
+         [scenario]\n\
+         name = \"corpus\"\n\
+         seed = {seed}\n\
+         mode = \"simulate\"\n\
+         alpha = 0.5\n\
+         \n\
+         [fleet]\n\
+         servers = {servers}\n\
+         \n\
+         [phase.calm]\n\
+         exit_jobs = {jobs}\n\
+         mean_gap_s = {gap:.3}\n\
+         \n\
+         [phase.storm]\n\
+         exit_jobs = {jobs}\n\
+         mean_gap_s = {gap:.3}\n\
+         max_burst = 6\n\
+         crash_rate = {crash:.4}\n"
+    )
+}
+
+/// The knob tuple strategy shared by every property below.
+fn knobs() -> impl Strategy<Value = (u64, usize, f64, usize, f64)> {
+    (
+        0u64..1_000_000,
+        1usize..64,
+        0.5f64..600.0,
+        1usize..500,
+        0.0f64..1.0,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn corpus_files_parse((seed, servers, gap, jobs, crash) in knobs()) {
+        let text = valid_file(seed, servers, gap, jobs, crash);
+        let spec = parse_scenario(&text);
+        prop_assert!(spec.is_ok(), "corpus file rejected: {:?}", spec.err());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic(
+        (seed, servers, gap, jobs, crash) in knobs(),
+        frac in 0.0f64..1.0,
+    ) {
+        let text = valid_file(seed, servers, gap, jobs, crash);
+        let mut cut = (text.len() as f64 * frac) as usize;
+        while cut < text.len() && !text.is_char_boundary(cut) {
+            cut += 1;
+        }
+        // Must not panic; when it fails, the error is structured.
+        if let Err(e) = parse_scenario(&text[..cut]) {
+            prop_assert!(!e.message.is_empty());
+            prop_assert!(e.line <= text.lines().count());
+        }
+    }
+
+    #[test]
+    fn duplicated_phase_sections_are_rejected(
+        (seed, servers, gap, jobs, crash) in knobs(),
+        which in 0usize..2,
+    ) {
+        let mut text = valid_file(seed, servers, gap, jobs, crash);
+        let name = ["calm", "storm"][which];
+        text.push_str(&format!("\n[phase.{name}]\nexit_jobs = 1\n"));
+        let err = parse_scenario(&text).expect_err("duplicate phase");
+        prop_assert_eq!(err.kind, ErrorKind::DuplicatePhase);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected(
+        (seed, servers, gap, jobs, crash) in knobs(),
+        section in 0usize..4,
+        suffix in 0u32..1000,
+    ) {
+        let text = valid_file(seed, servers, gap, jobs, crash);
+        let anchor = ["[scenario]", "[fleet]", "[phase.calm]", "[phase.storm]"][section];
+        let bogus = format!("{anchor}\nbogus_knob_{suffix} = 1");
+        let mutated = text.replace(anchor, &bogus);
+        let err = parse_scenario(&mutated).expect_err("unknown key");
+        prop_assert_eq!(err.kind, ErrorKind::UnknownKey);
+        prop_assert!(err.line > 0, "unknown keys carry their source line");
+    }
+
+    #[test]
+    fn out_of_range_rates_are_rejected(
+        (seed, servers, gap, jobs, _crash) in knobs(),
+        excess in 0.001f64..10.0,
+        which in 0usize..3,
+    ) {
+        let text = valid_file(seed, servers, gap, jobs, 0.5);
+        let (from, to) = match which {
+            0 => ("crash_rate = 0.5000".to_string(), format!("crash_rate = {:.4}", 1.0 + excess)),
+            1 => ("alpha = 0.5".to_string(), format!("alpha = {:.4}", 1.0 + excess)),
+            _ => ("max_burst = 6".to_string(), format!("diurnal = {:.4}", 1.0 + excess)),
+        };
+        let mutated = text.replace(&from, &to);
+        prop_assert!(mutated != text, "mutation must apply");
+        let err = parse_scenario(&mutated).expect_err("rate out of range");
+        prop_assert_eq!(err.kind, ErrorKind::OutOfRange);
+    }
+
+    #[test]
+    fn byte_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255u8, 0usize..512)) {
+        let text = String::from_utf8_lossy(&bytes);
+        // Ok or structured Err are both acceptable; panics are not.
+        let _ = parse_scenario(&text);
+    }
+
+    #[test]
+    fn garbage_spliced_into_a_valid_file_never_panics(
+        (seed, servers, gap, jobs, crash) in knobs(),
+        frac in 0.0f64..1.0,
+        bytes in proptest::collection::vec(0u8..=127u8, 1usize..32),
+    ) {
+        let text = valid_file(seed, servers, gap, jobs, crash);
+        let mut at = (text.len() as f64 * frac) as usize;
+        while at < text.len() && !text.is_char_boundary(at) {
+            at += 1;
+        }
+        let mut mutated = String::new();
+        mutated.push_str(&text[..at]);
+        mutated.push_str(&String::from_utf8_lossy(&bytes));
+        mutated.push_str(&text[at..]);
+        let _ = parse_scenario(&mutated);
+    }
+}

@@ -93,6 +93,33 @@ cmp "$CHAOS_DIR/ctrl.log" "$CHAOS_DIR/rec.log" \
     || { echo "crash-loop smoke: recovered verdict log diverged"; \
          diff "$CHAOS_DIR/ctrl.log" "$CHAOS_DIR/rec.log" | head -20; exit 1; }
 
+echo "==> consolidation crash drill (mid-sweep recovery parity)"
+# Same drill with online consolidation sweeps running between
+# admissions: Migrate frames are journaled *before* their moves
+# execute, so a crash landing mid-sweep must recover — replaying the
+# journaled move schedule, never re-planning — to a verdict log
+# byte-identical to the uncrashed control's.
+CONS_FLAGS=(--consolidate-every 50 --drain-threshold 2)
+CONS_OUT="$("${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 8 --shards 2 --vms 200 \
+    --paced --journal-dir "$CHAOS_DIR/cons-ctrl" --checkpoint-every 16 \
+    "${CONS_FLAGS[@]}" --verdicts-out "$CHAOS_DIR/cons-ctrl.log")"
+echo "$CONS_OUT" | grep -q "consolidation: sweeps=" \
+    || { echo "consolidation drill: no sweeps ran"; echo "$CONS_OUT"; exit 1; }
+"${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 8 --shards 2 --vms 200 \
+    --paced --journal-dir "$CHAOS_DIR/cons-crash" --checkpoint-every 16 \
+    "${CONS_FLAGS[@]}" --crash-after-events 53 > /dev/null 2>&1 || true
+test -s "$CHAOS_DIR/cons-crash/wal.log" \
+    || { echo "consolidation drill: crashed run left no WAL"; exit 1; }
+"${CLI[@]}" recover --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 8 --shards 2 --vms 200 \
+    --journal-dir "$CHAOS_DIR/cons-crash" --checkpoint-every 16 \
+    "${CONS_FLAGS[@]}" --verdicts-out "$CHAOS_DIR/cons-rec.log" > /dev/null
+cmp "$CHAOS_DIR/cons-ctrl.log" "$CHAOS_DIR/cons-rec.log" \
+    || { echo "consolidation drill: recovered verdict log diverged"; \
+         diff "$CHAOS_DIR/cons-ctrl.log" "$CHAOS_DIR/cons-rec.log" | head -20; exit 1; }
+
 echo "==> scenario library (byte-deterministic replays)"
 # Every committed scenario must check clean and produce byte-identical
 # outcome CSVs across two runs (against the exact model database the

@@ -3,18 +3,29 @@
 //! The paper's central motivation: a good application-centric proactive
 //! allocation "can help ... minimize the energy costs by improving
 //! resource utilization and by avoiding costly VM migrations". This
-//! ablation quantifies that claim by giving the profile-blind FIRST-FIT
-//! baseline a reactive consolidation sweep (periodic live migration of
-//! straggler servers' VMs) and comparing it against PROACTIVE, which
-//! needs no migrations at all — at two load levels, because reactive
-//! consolidation only has stragglers to harvest when the fleet is
-//! under-loaded.
+//! ablation quantifies that claim in two parts. First it gives the
+//! profile-blind FIRST-FIT baseline a reactive consolidation sweep
+//! (periodic live migration of straggler servers' VMs) and compares it
+//! against PROACTIVE, which needs no migrations at all — at two load
+//! levels, because reactive consolidation only has stragglers to
+//! harvest when the fleet is under-loaded. Second it sweeps the
+//! reactive regime's two knobs — sweep interval and drain threshold —
+//! across a grid on the roomy fleet, charting the whole static-vs-
+//! dynamic energy/SLA frontier that reactive consolidation can reach,
+//! with the pre-copy cost model's traffic and downtime made explicit.
 
 #![forbid(unsafe_code)]
 
 use eavm_bench::report::{pct_delta, Table};
 use eavm_bench::{Pipeline, PipelineConfig, StrategyKind};
 use eavm_simulator::{CloudConfig, MigrationConfig, Simulation};
+use eavm_types::Seconds;
+
+/// Sweep intervals for the frontier grid (seconds between sweeps).
+const INTERVALS: [f64; 3] = [150.0, 300.0, 600.0];
+
+/// Drain thresholds for the frontier grid (max resident VMs on a donor).
+const THRESHOLDS: [u32; 3] = [1, 2, 3];
 
 fn main() {
     let p = Pipeline::build(PipelineConfig::default()).expect("pipeline");
@@ -35,6 +46,9 @@ fn main() {
         "energy_J",
         "sla_pct",
         "migrations",
+        "migrated_MB",
+        "downtime_s",
+        "powered_down",
     ]);
 
     for cloud in [&smaller, &roomy] {
@@ -57,6 +71,9 @@ fn main() {
                 format!("{:.3e}", out.energy.value()),
                 format!("{:.1}", out.sla_violation_pct()),
                 out.migrations.to_string(),
+                format!("{:.0}", out.migrated_mb),
+                format!("{:.1}", out.migration_downtime.value()),
+                out.hosts_powered_down.to_string(),
             ]);
         }
 
@@ -73,11 +90,72 @@ fn main() {
     }
     println!();
     println!("{}", t.render());
+
+    // Static-vs-dynamic frontier: how far can the reactive regime's two
+    // knobs push FF on the roomy fleet, and at what migration cost?
+    // Every cell is FF + reactive consolidation with a different
+    // (sweep interval, drain threshold) pair; the FF and PA-1 rows of
+    // the table above are the static endpoints it is chasing.
+    let ff_roomy = p.run(StrategyKind::Ff, &roomy).expect("ff roomy");
+    let pa_roomy = p.run(StrategyKind::Pa(1.0), &roomy).expect("pa roomy");
+    let mut f = Table::new(vec![
+        "interval_s",
+        "drain_vms",
+        "energy_J",
+        "energy_vs_FF_pct",
+        "sla_pct",
+        "migrations",
+        "migrated_MB",
+        "downtime_s",
+        "powered_down",
+    ]);
+    let mut best = (0.0f64, INTERVALS[0], THRESHOLDS[0]);
+    for interval in INTERVALS {
+        for threshold in THRESHOLDS {
+            let cfg = MigrationConfig {
+                max_donor_vms: threshold,
+                receiver_bound: p.db.aux().os_bounds,
+                check_interval: Seconds(interval),
+                ..Default::default()
+            };
+            let sim = Simulation::new(p.ground_truth.clone(), roomy.clone()).with_migration(cfg);
+            let mut strategy = p.strategy(StrategyKind::Ff);
+            let out = sim.run(strategy.as_mut(), &p.requests).expect("frontier");
+            let delta = pct_delta(ff_roomy.energy.value(), out.energy.value());
+            if delta < best.0 {
+                best = (delta, interval, threshold);
+            }
+            f.row(vec![
+                format!("{interval:.0}"),
+                threshold.to_string(),
+                format!("{:.3e}", out.energy.value()),
+                format!("{delta:+.1}"),
+                format!("{:.1}", out.sla_violation_pct()),
+                out.migrations.to_string(),
+                format!("{:.0}", out.migrated_mb),
+                format!("{:.1}", out.migration_downtime.value()),
+                out.hosts_powered_down.to_string(),
+            ]);
+        }
+    }
+    println!("frontier (ROOMY, FF + reactive consolidation, interval x drain threshold):");
+    println!("{}", f.render());
+    println!(
+        "best reactive cell: interval={:.0}s drain<={} recovers {:.1}% energy; \
+         PROACTIVE recovers {:.1}% with zero migration traffic",
+        best.1,
+        best.2,
+        best.0.abs(),
+        -pct_delta(ff_roomy.energy.value(), pa_roomy.energy.value()),
+    );
+    println!();
     println!(
         "reading: on the loaded reference cloud there are no stragglers worth harvesting,\n\
          so hundreds of degradation-budgeted migrations net out to ~zero; on the roomy\n\
-         fleet they recover a little energy — but PROACTIVE placement beats both regimes\n\
-         by an order of magnitude more, without a single migration: the paper's argument\n\
-         for proactive application-centric allocation, quantified."
+         fleet the frontier sweep shows reactive consolidation recovering a little energy\n\
+         at its best setting — paid for in gigabytes of pre-copy traffic and seconds of\n\
+         cumulative downtime — while PROACTIVE placement beats every cell of the grid\n\
+         without a single migration: the paper's argument for proactive\n\
+         application-centric allocation, quantified."
     );
 }

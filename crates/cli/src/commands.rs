@@ -9,8 +9,9 @@ use eavm_core::{
     AllocationStrategy, AnalyticModel, BestFit, DbModel, FirstFit, OptimizationGoal, Proactive,
 };
 use eavm_faults::{CrashSchedule, FaultPlan};
+use eavm_migrate::ConsolidationConfig;
 use eavm_service::{CacheStats, DurabilityConfig, ReplayReport};
-use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
+use eavm_simulator::{CloudConfig, MigrationConfig, SimOutcome, Simulation};
 use eavm_swf::{
     adapt_trace, clean_trace, total_vms, truncate_to_vm_total, AdaptConfig, GeneratorConfig,
     SwfTrace, TraceGenerator,
@@ -60,10 +61,12 @@ USAGE:
   eavm-cli simulate    --db-dir DIR --trace FILE --strategy NAME --servers N
                        [--big-nodes N] [--vms N] [--seed N] [--qos F] [--margin F]
                        [--burst] [--always-on] [--timeline-out FILE]
+                       [--consolidate-every SECS] [--drain-threshold N]
                        [--fault-seed N] [--fault-rate F]
   eavm-cli serve       --db-dir DIR --trace FILE --servers N [--shards N]
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
                        [--queue N] [--cache N]
+                       [--consolidate-every SECS] [--drain-threshold N]
                        [--fault-seed N] [--fault-rate F]
                        [--kill-shard N] [--kill-after M]
                        [--journal-dir DIR] [--checkpoint-every N] [--paced]
@@ -72,6 +75,7 @@ USAGE:
   eavm-cli recover     --db-dir DIR --trace FILE --servers N --journal-dir DIR
                        [--shards N] [--vms N] [--seed N] [--qos F] [--margin F]
                        [--alpha F] [--queue N] [--cache N] [--checkpoint-every N]
+                       [--consolidate-every SECS] [--drain-threshold N]
                        [--verdicts-out FILE]
   eavm-cli replay-online --db-dir DIR --trace FILE --servers N
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
@@ -319,6 +323,17 @@ fn simulate(args: &Args) -> Result<String, String> {
     if timeline_out.is_some() {
         sim = sim.with_timeline();
     }
+    // `--consolidate-every SECS` arms the reactive consolidation sweep
+    // (drain stragglers, power donors down), pricing every move with
+    // the pre-copy migration model instead of a flat penalty.
+    if let Some((every, threshold)) = consolidation_flags(args)? {
+        sim = sim.with_migration(MigrationConfig {
+            max_donor_vms: threshold,
+            receiver_bound: db.aux().os_bounds,
+            check_interval: Seconds(every),
+            ..MigrationConfig::default()
+        });
+    }
     let chaos = fault_plan(args, servers + big_nodes, &requests)?;
     if let Some((_, _, plan)) = &chaos {
         sim = sim.with_faults(plan.clone());
@@ -398,15 +413,44 @@ fn render_outcome(out: &SimOutcome, requests: &[eavm_swf::VmRequest]) -> String 
     )
 }
 
+/// Honour `--consolidate-every SECS` / `--drain-threshold N`, the
+/// consolidation knobs shared by `simulate`, `serve`, and `recover`.
+/// Returns `(interval, threshold)` when sweeps are enabled.
+fn consolidation_flags(args: &Args) -> Result<Option<(f64, u32)>, String> {
+    let every = args.get_optional::<f64>("consolidate-every")?;
+    let threshold = args.get_optional::<u32>("drain-threshold")?;
+    match every {
+        Some(every) => {
+            if !every.is_finite() || every <= 0.0 {
+                return Err("--consolidate-every must be positive".into());
+            }
+            let threshold = threshold.unwrap_or(2);
+            if threshold == 0 {
+                return Err("--drain-threshold must be nonzero".into());
+            }
+            Ok(Some((every, threshold)))
+        }
+        None => {
+            if threshold.is_some() {
+                return Err("--drain-threshold needs --consolidate-every".into());
+            }
+            Ok(None)
+        }
+    }
+}
+
 /// Build the [`eavm_service::ServiceConfig`] shared by `serve` and
-/// `recover`: sizing, allocator knobs, chaos injection, and the
-/// durability flags (`--journal-dir DIR`, `--checkpoint-every N`,
-/// `--crash-after-events N`).
+/// `recover`: sizing, allocator knobs, consolidation, chaos injection,
+/// and the durability flags (`--journal-dir DIR`, `--checkpoint-every
+/// N`, `--crash-after-events N`). `os_bounds` is the model database's
+/// per-server hostability bound, reused as the consolidation receiver
+/// bound.
 fn service_config(
     args: &Args,
     shards: usize,
     servers: usize,
     deadlines: [Seconds; 3],
+    os_bounds: eavm_types::MixVector,
     telemetry: &Arc<Telemetry>,
 ) -> Result<eavm_service::ServiceConfig, String> {
     let margin: f64 = args.get_or("margin", 0.65)?;
@@ -418,6 +462,16 @@ fn service_config(
     config.goal = OptimizationGoal::new(alpha).map_err(|e| e.to_string())?;
     config.deadlines = deadlines;
     config.qos_margin = margin;
+    // Consolidation sweeps between admissions: journaled before they
+    // execute, so they survive `--crash-after-events` drills bit-exact.
+    if let Some((every, threshold)) = consolidation_flags(args)? {
+        config = config.with_consolidation(ConsolidationConfig {
+            interval: Seconds(every),
+            drain_threshold: threshold,
+            receiver_bound: os_bounds,
+            ..ConsolidationConfig::default()
+        });
+    }
     // Chaos knobs (shared parsing in [`ChaosFlags`]): `--fault-rate`
     // arms transient model-lookup failures (same seeding as the
     // simulator's plan), `--kill-shard N` kills worker N after
@@ -485,6 +539,17 @@ fn export_verdicts(args: &Args, report: &ReplayReport) -> Result<String, String>
     ))
 }
 
+/// The one consolidation summary line, printed once sweeps have run.
+fn render_consolidation(s: &eavm_service::ServiceStats) -> String {
+    if s.consolidation_sweeps == 0 {
+        return String::new();
+    }
+    format!(
+        "consolidation: sweeps={} migrations={} hosts-drained={}\n",
+        s.consolidation_sweeps, s.consolidation_migrations, s.consolidation_hosts_drained,
+    )
+}
+
 /// The one durability summary line, printed whenever journaling is on.
 fn render_durability(s: &eavm_service::ServiceStats) -> String {
     let d = &s.durability;
@@ -506,7 +571,14 @@ fn serve(args: &Args) -> Result<String, String> {
     let shards: usize = args.get_or("shards", 4)?;
     let (db, requests, deadlines) = load_workload(args)?;
     let telemetry = Telemetry::new();
-    let config = service_config(args, shards, servers, deadlines, &telemetry)?;
+    let config = service_config(
+        args,
+        shards,
+        servers,
+        deadlines,
+        db.aux().os_bounds,
+        &telemetry,
+    )?;
     let journaled = config.durability.is_some();
 
     // eavm-lint: allow(D1, reason = "wall-clock throughput figure for the operator summary line; no simulated or replayed state reads it")
@@ -575,6 +647,7 @@ fn serve(args: &Args) -> Result<String, String> {
         s.virtual_now.value(),
         s.estimated_energy.value(),
     );
+    output.push_str(&render_consolidation(s));
     if journaled {
         output.push_str(&render_durability(s));
     }
@@ -598,7 +671,14 @@ fn recover(args: &Args) -> Result<String, String> {
         return Err("recover needs --journal-dir".into());
     }
     let telemetry = Telemetry::new();
-    let config = service_config(args, shards, servers, deadlines, &telemetry)?;
+    let config = service_config(
+        args,
+        shards,
+        servers,
+        deadlines,
+        db.aux().os_bounds,
+        &telemetry,
+    )?;
 
     let (service, recovery) =
         eavm_service::AllocService::recover(db, config).map_err(|e| e.to_string())?;
@@ -635,6 +715,7 @@ fn recover(args: &Args) -> Result<String, String> {
         s.virtual_now.value(),
         s.estimated_energy.value(),
     );
+    output.push_str(&render_consolidation(s));
     output.push_str(&render_durability(s));
     output.push_str(&export_verdicts(args, &report)?);
     output.push_str(&export_metrics(args, &telemetry)?);
@@ -793,9 +874,17 @@ fn render_scenario_check(spec: &eavm_scenario::ScenarioSpec) -> String {
             None => String::new(),
         };
         let faults = if phase.has_faults() { " faults" } else { "" };
+        let consolidate = if phase.consolidate {
+            format!(
+                " consolidate(every={:.0}s drain<={})",
+                phase.consolidate_every_s, phase.drain_threshold
+            )
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "  phase {:?}: exit after {exit} gap={:.0}s burst<={} vms={}..={}{policy}{faults}",
+            "  phase {:?}: exit after {exit} gap={:.0}s burst<={} vms={}..={}{policy}{faults}{consolidate}",
             phase.name, phase.mean_gap_s, phase.max_burst, phase.vms_min, phase.vms_max,
         );
     }

@@ -32,7 +32,8 @@ pub mod wal;
 
 pub use crc32::crc32;
 pub use record::{
-    shed_reason_name, PlacementRec, ReqRec, ServerSnapRec, ShardSnapRec, SnapshotRec, WalRecord,
+    shed_reason_name, MoveRec, PlacementRec, ReqRec, ServerSnapRec, ShardSnapRec, SnapshotRec,
+    WalRecord,
 };
 pub use recovery::{recover_dir, wal_path, RecoveredState, WAL_FILE};
 pub use snapshot::{

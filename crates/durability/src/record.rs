@@ -99,6 +99,34 @@ const TAG_QUEUED: u8 = 4;
 const TAG_REQUEUED: u8 = 5;
 const TAG_SHED: u8 = 6;
 const TAG_CLOCK: u8 = 7;
+const TAG_MIGRATE: u8 = 8;
+
+/// One VM move inside a journaled consolidation sweep: drain the
+/// first resident of workload-type index `ty` from server `from` and
+/// inject it on server `to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveRec {
+    pub from: u32,
+    pub to: u32,
+    /// Workload-type index (see `WorkloadType::index`).
+    pub ty: u8,
+}
+
+impl MoveRec {
+    fn encode(&self, e: &mut Enc) {
+        e.put_u32(self.from);
+        e.put_u32(self.to);
+        e.put_u8(self.ty);
+    }
+
+    fn decode(d: &mut Dec) -> Result<MoveRec, EavmError> {
+        Ok(MoveRec {
+            from: d.get_u32()?,
+            to: d.get_u32()?,
+            ty: d.get_u8()?,
+        })
+    }
+}
 
 /// One admission event, journaled before the matching ack leaves the
 /// coordinator. `Clock` records the coordinator's fleet-wide virtual
@@ -128,6 +156,17 @@ pub enum WalRecord {
     Shed { ticket: u64, reason: u8 },
     /// Fleet-wide virtual clock advance to `t`.
     Clock { t: f64 },
+    /// One consolidation sweep at epoch `epoch`, journaled *before* any
+    /// move executes: the sweep's virtual instant `t`, the per-move
+    /// migration stall in solo-runtime seconds, and the full move list
+    /// (possibly empty — an empty sweep still durably advances the
+    /// epoch watermark so recovery never re-plans it).
+    Migrate {
+        epoch: u64,
+        t: f64,
+        stall: f64,
+        moves: Vec<MoveRec>,
+    },
 }
 
 impl WalRecord {
@@ -181,6 +220,21 @@ impl WalRecord {
                 e.put_u8(TAG_CLOCK);
                 e.put_f64(*t);
             }
+            WalRecord::Migrate {
+                epoch,
+                t,
+                stall,
+                moves,
+            } => {
+                e.put_u8(TAG_MIGRATE);
+                e.put_u64(*epoch);
+                e.put_f64(*t);
+                e.put_f64(*stall);
+                e.put_len(moves.len());
+                for m in moves {
+                    m.encode(&mut e);
+                }
+            }
         }
         e.finish()
     }
@@ -220,6 +274,21 @@ impl WalRecord {
                 reason: d.get_u8()?,
             },
             TAG_CLOCK => WalRecord::Clock { t: d.get_f64()? },
+            TAG_MIGRATE => {
+                let epoch = d.get_u64()?;
+                let t = d.get_f64()?;
+                let stall = d.get_f64()?;
+                let n = d.get_len()?;
+                let moves = (0..n)
+                    .map(|_| MoveRec::decode(&mut d))
+                    .collect::<Result<_, _>>()?;
+                WalRecord::Migrate {
+                    epoch,
+                    t,
+                    stall,
+                    moves,
+                }
+            }
             tag => {
                 return Err(EavmError::Durability(format!(
                     "unknown WAL record tag {tag}"
@@ -239,7 +308,7 @@ impl WalRecord {
             | WalRecord::Queued { ticket, .. }
             | WalRecord::Requeued { ticket, .. }
             | WalRecord::Shed { ticket, .. } => Some(*ticket),
-            WalRecord::Clock { .. } => None,
+            WalRecord::Clock { .. } | WalRecord::Migrate { .. } => None,
         }
     }
 
@@ -250,7 +319,11 @@ impl WalRecord {
     /// acceptance test.
     pub fn verdict_line(&self) -> Option<String> {
         match self {
-            WalRecord::Submit { .. } | WalRecord::Clock { .. } => None,
+            // `Migrate` is an internal rebalance, never a client-visible
+            // verdict — keeping it out of the verdict log is what makes
+            // crashed-vs-uncrashed verdict files byte-identical even when
+            // the crash lands mid-sweep.
+            WalRecord::Submit { .. } | WalRecord::Clock { .. } | WalRecord::Migrate { .. } => None,
             WalRecord::Admitted {
                 ticket,
                 shard,
@@ -492,6 +565,29 @@ mod tests {
                 reason: 2,
             },
             WalRecord::Clock { t: 4321.0625 },
+            WalRecord::Migrate {
+                epoch: 9,
+                t: 5400.5,
+                stall: 1.90625,
+                moves: vec![
+                    MoveRec {
+                        from: 3,
+                        to: 0,
+                        ty: 2,
+                    },
+                    MoveRec {
+                        from: 3,
+                        to: 1,
+                        ty: 0,
+                    },
+                ],
+            },
+            WalRecord::Migrate {
+                epoch: 10,
+                t: 6000.0,
+                stall: 1.90625,
+                moves: vec![],
+            },
         ]
     }
 
@@ -531,6 +627,32 @@ mod tests {
         assert_eq!(lines[4].as_deref(), Some("6 requeued shard=0"));
         assert_eq!(lines[5].as_deref(), Some("7 shed reason=unplaceable"));
         assert_eq!(lines[6], None);
+        // Migrate frames (with and without moves) never surface in the
+        // verdict log.
+        assert_eq!(lines[7], None);
+        assert_eq!(lines[8], None);
+    }
+
+    #[test]
+    fn migrate_frames_carry_no_ticket_and_round_trip_bit_exact() {
+        let rec = WalRecord::Migrate {
+            epoch: 41,
+            t: 12_300.25,
+            stall: 1.906_25,
+            moves: vec![MoveRec {
+                from: 7,
+                to: 2,
+                ty: 1,
+            }],
+        };
+        assert_eq!(rec.ticket(), None);
+        let decoded = WalRecord::decode(&rec.encode()).unwrap();
+        assert_eq!(decoded, rec);
+        if let WalRecord::Migrate { stall, .. } = decoded {
+            assert_eq!(stall.to_bits(), 1.906_25f64.to_bits());
+        } else {
+            panic!("decoded to a different variant");
+        }
     }
 
     #[test]

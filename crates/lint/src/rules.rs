@@ -95,12 +95,13 @@ pub struct LintConfig {
 
 /// The crates whose state feeds bit-exact replay/recovery proofs; D3's
 /// ordered-iteration requirement is scoped to these.
-const REPLAY_CRITICAL: [&str; 5] = [
+const REPLAY_CRITICAL: [&str; 6] = [
     "crates/simulator/",
     "crates/service/",
     "crates/durability/",
     "crates/partitions/",
     "crates/scenario/",
+    "crates/migrate/",
 ];
 
 impl LintConfig {

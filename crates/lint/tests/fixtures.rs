@@ -95,6 +95,7 @@ fn d3_fires_in_replay_critical_crates_only() {
         "crates/durability/src/x.rs",
         "crates/partitions/src/x.rs",
         "crates/scenario/src/x.rs",
+        "crates/migrate/src/x.rs",
     ] {
         let found = violations(path, src);
         assert_eq!(found.len(), 1, "{path}");
@@ -123,6 +124,21 @@ fn d3_scenario_crate_positive_negative_pair() {
     // detection — stays clean.
     let negative = "use std::collections::BTreeSet;\npub fn parse() {}";
     assert!(violations("crates/scenario/src/parse.rs", negative).is_empty());
+}
+
+#[test]
+fn d3_migrate_crate_positive_negative_pair() {
+    // The migrate crate plans the migration schedule the service
+    // journals and replays: an unordered map in `plan_moves` would let
+    // the donor/receiver order drift between a live run and its crash
+    // recovery, breaking verdict byte-parity.
+    let positive = "use std::collections::HashMap;\npub fn plan_moves() {}";
+    let found = violations("crates/migrate/src/policy.rs", positive);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, Rule::D3);
+    // The crate's actual idiom — index-ordered vectors — stays clean.
+    let negative = "pub struct Hysteresis { cooldown: Vec<u32> }";
+    assert!(violations("crates/migrate/src/policy.rs", negative).is_empty());
 }
 
 #[test]

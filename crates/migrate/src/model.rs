@@ -1,0 +1,247 @@
+//! The physical live-migration cost model: bounded iterative pre-copy.
+//!
+//! Pre-copy live migration (Clark et al., NSDI'05) transfers the guest's
+//! memory while it keeps running: round `i` copies the pages dirtied
+//! during round `i-1`, so the residue shrinks geometrically as long as
+//! the link outruns the dirty-page rate. After a bounded number of
+//! rounds — or once the residue is small enough — the VM is paused and
+//! the remainder is moved in one stop-and-copy burst, which is the only
+//! interval the guest is actually down.
+//!
+//! With memory footprint `M` (MB), link bandwidth `B` (MB/s), and
+//! dirty-page rate `D` (MB/s), round `i` copies `rᵢ` MB in `rᵢ/B`
+//! seconds during which the guest dirties `rᵢ·(D/B)` MB:
+//!
+//! ```text
+//! r₀ = M,   rᵢ₊₁ = min(M, rᵢ · D/B)
+//! precopy  = Σ rᵢ/B          (guest runs, degraded)
+//! downtime = r_final / B     (guest paused)
+//! ```
+//!
+//! When `D ≥ B` the residue never shrinks (the `min` clamp keeps it at
+//! `M`); the round bound then forces a stop-and-copy of the whole
+//! footprint — the model degrades to cold migration instead of looping.
+
+use eavm_testbed::{ServerSpec, Subsystem};
+use eavm_types::Seconds;
+
+/// Parameters of the pre-copy transfer, in megabytes and seconds.
+///
+/// [`MigrationModel::from_server_spec`] derives them from the testbed
+/// platform description; [`Default`] is `from_server_spec` applied to
+/// the reference rack server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationModel {
+    /// Guest memory footprint per VM (MB): what must be copied at least
+    /// once.
+    pub vm_ram_mb: f64,
+    /// Migration link bandwidth (MB/s) — the NIC capacity of the
+    /// sending host.
+    pub link_mb_per_s: f64,
+    /// Rate at which the running guest dirties its pages (MB/s). Must
+    /// stay below the link bandwidth for pre-copy to converge; the
+    /// model still terminates (via the round bound) if it does not.
+    pub dirty_mb_per_s: f64,
+    /// Maximum number of pre-copy rounds before forcing stop-and-copy.
+    pub max_rounds: u32,
+    /// Residue threshold (MB) below which the model stops pre-copying
+    /// and pays the final stop-and-copy.
+    pub stop_copy_mb: f64,
+    /// Fraction of the pre-copy duration charged to the guest as
+    /// slowdown (page tracing + transfer interference). The downtime is
+    /// charged in full; pre-copy only at this rate.
+    pub copy_degradation: f64,
+}
+
+impl Default for MigrationModel {
+    fn default() -> Self {
+        MigrationModel::from_server_spec(&ServerSpec::reference_rack_server())
+    }
+}
+
+impl MigrationModel {
+    /// Derive the transfer parameters from a testbed platform: each VM
+    /// owns an equal share of the guest RAM (one per CPU slot), the
+    /// link is the server's NIC capacity, and the dirty rate is a
+    /// conservative 40% of the link (pre-copy converges in a handful of
+    /// rounds, as measured transfers do).
+    pub fn from_server_spec(spec: &ServerSpec) -> Self {
+        let link = spec.capacity[Subsystem::Net];
+        MigrationModel {
+            vm_ram_mb: spec.guest_ram_mb() / spec.cpu_slots() as f64,
+            link_mb_per_s: link,
+            dirty_mb_per_s: 0.4 * link,
+            max_rounds: 8,
+            stop_copy_mb: 64.0,
+            copy_degradation: 0.3,
+        }
+    }
+
+    /// Check the parameters are physical. The dirty rate may exceed the
+    /// link (the model degrades to cold migration), but everything must
+    /// be finite and positive where positivity is required.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            ("vm_ram_mb", self.vm_ram_mb),
+            ("link_mb_per_s", self.link_mb_per_s),
+            ("stop_copy_mb", self.stop_copy_mb),
+        ];
+        for (name, v) in positive {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        if !self.dirty_mb_per_s.is_finite() || self.dirty_mb_per_s < 0.0 {
+            return Err(format!(
+                "dirty_mb_per_s must be finite and non-negative, got {}",
+                self.dirty_mb_per_s
+            ));
+        }
+        if self.max_rounds == 0 {
+            return Err("max_rounds must be nonzero".into());
+        }
+        if !self.copy_degradation.is_finite() || !(0.0..=1.0).contains(&self.copy_degradation) {
+            return Err(format!(
+                "copy_degradation must be in [0, 1], got {}",
+                self.copy_degradation
+            ));
+        }
+        Ok(())
+    }
+
+    /// Run the bounded pre-copy iteration and price one migration.
+    pub fn cost(&self) -> MigrationCost {
+        let shrink = self.dirty_mb_per_s / self.link_mb_per_s;
+        let mut residue = self.vm_ram_mb;
+        let mut precopy = 0.0;
+        let mut bytes_mb = 0.0;
+        let mut rounds = 0u32;
+        while rounds < self.max_rounds && residue > self.stop_copy_mb {
+            precopy += residue / self.link_mb_per_s;
+            bytes_mb += residue;
+            residue = (residue * shrink).min(self.vm_ram_mb);
+            rounds += 1;
+        }
+        let downtime = residue / self.link_mb_per_s;
+        bytes_mb += residue;
+        MigrationCost {
+            precopy: Seconds(precopy),
+            downtime: Seconds(downtime),
+            bytes_mb,
+            rounds,
+            stall: Seconds(downtime + self.copy_degradation * precopy),
+        }
+    }
+}
+
+/// The priced outcome of one VM migration under a [`MigrationModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationCost {
+    /// Total pre-copy duration (guest runs, degraded).
+    pub precopy: Seconds,
+    /// Stop-and-copy pause (guest down).
+    pub downtime: Seconds,
+    /// Total megabytes pushed over the link (all rounds + final copy).
+    pub bytes_mb: f64,
+    /// Pre-copy rounds actually executed (0 when the footprint already
+    /// fits under the stop-and-copy threshold).
+    pub rounds: u32,
+    /// The wall-clock delay charged to the migrated VM:
+    /// `downtime + copy_degradation × precopy`.
+    pub stall: Seconds,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_converges_in_a_few_rounds() {
+        let model = MigrationModel::default();
+        model.validate().unwrap();
+        let cost = model.cost();
+        // Reference server: 3584 MB guest RAM / 4 slots = 896 MB per VM
+        // over a 250 MB/s link with a 100 MB/s dirty rate: residues
+        // 896 → 358.4 → 143.36 → 57.34 (≤ 64 stops).
+        assert_eq!(cost.rounds, 3);
+        assert!((cost.precopy.value() - 5.591).abs() < 1e-2, "{cost:?}");
+        assert!((cost.downtime.value() - 0.229).abs() < 1e-2, "{cost:?}");
+        assert!(cost.stall > cost.downtime);
+        assert!(cost.stall < Seconds(5.0), "stall should be seconds-scale");
+        assert!((cost.bytes_mb - (896.0 + 358.4 + 143.36 + 57.344)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn divergent_dirty_rate_degrades_to_cold_migration() {
+        let model = MigrationModel {
+            dirty_mb_per_s: 500.0, // 2x the link: pre-copy cannot converge
+            ..MigrationModel::default()
+        };
+        model.validate().unwrap();
+        let cost = model.cost();
+        assert_eq!(cost.rounds, model.max_rounds);
+        // The residue clamp keeps every round at the full footprint.
+        assert!((cost.downtime.value() - model.vm_ram_mb / model.link_mb_per_s).abs() < 1e-9);
+        assert!(cost.bytes_mb <= (model.max_rounds + 1) as f64 * model.vm_ram_mb + 1e-9);
+    }
+
+    #[test]
+    fn tiny_footprint_skips_precopy_entirely() {
+        let model = MigrationModel {
+            vm_ram_mb: 32.0,
+            ..MigrationModel::default()
+        };
+        let cost = model.cost();
+        assert_eq!(cost.rounds, 0);
+        assert_eq!(cost.precopy, Seconds(0.0));
+        assert!((cost.downtime.value() - 32.0 / 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_link_strictly_improves_downtime_and_stall() {
+        let slow = MigrationModel::default();
+        let fast = MigrationModel {
+            link_mb_per_s: 2.0 * slow.link_mb_per_s,
+            ..slow.clone()
+        };
+        // Same dirty rate, double the link: shrink factor halves.
+        let (cs, cf) = (slow.cost(), fast.cost());
+        assert!(cf.downtime < cs.downtime);
+        assert!(cf.stall < cs.stall);
+    }
+
+    #[test]
+    fn big_node_parameters_come_from_its_spec() {
+        let spec = ServerSpec::big_node();
+        let model = MigrationModel::from_server_spec(&spec);
+        assert!((model.link_mb_per_s - spec.capacity[Subsystem::Net]).abs() < 1e-9);
+        assert!((model.vm_ram_mb - spec.guest_ram_mb() / spec.cpu_slots() as f64).abs() < 1e-9);
+        model.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_unphysical_parameters() {
+        let bad = |f: fn(&mut MigrationModel)| {
+            let mut m = MigrationModel::default();
+            f(&mut m);
+            m.validate().unwrap_err()
+        };
+        assert!(bad(|m| m.vm_ram_mb = 0.0).contains("vm_ram_mb"));
+        assert!(bad(|m| m.link_mb_per_s = -1.0).contains("link_mb_per_s"));
+        assert!(bad(|m| m.dirty_mb_per_s = f64::NAN).contains("dirty_mb_per_s"));
+        assert!(bad(|m| m.max_rounds = 0).contains("max_rounds"));
+        assert!(bad(|m| m.stop_copy_mb = 0.0).contains("stop_copy_mb"));
+        assert!(bad(|m| m.copy_degradation = 1.5).contains("copy_degradation"));
+    }
+
+    #[test]
+    fn cost_is_bit_exactly_deterministic() {
+        let model = MigrationModel::default();
+        let a = model.cost();
+        let b = model.cost();
+        assert_eq!(a.precopy.value().to_bits(), b.precopy.value().to_bits());
+        assert_eq!(a.downtime.value().to_bits(), b.downtime.value().to_bits());
+        assert_eq!(a.stall.value().to_bits(), b.stall.value().to_bits());
+        assert_eq!(a.bytes_mb.to_bits(), b.bytes_mb.to_bits());
+    }
+}

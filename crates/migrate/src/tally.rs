@@ -1,0 +1,93 @@
+//! Migration accounting: what consolidation cost, summed over a run.
+
+use eavm_types::Seconds;
+
+use crate::model::MigrationCost;
+
+/// Cumulative migration counters for one run (simulator or service).
+///
+/// The tally is pure bookkeeping — [`record`](MigrationTally::record)
+/// folds in one priced move, [`charge_violation`] counts a moved VM
+/// whose stall pushed it past its deadline — so the simulator, the
+/// service, and the ablation study all report identical columns.
+///
+/// [`charge_violation`]: MigrationTally::charge_violation
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MigrationTally {
+    /// VMs moved.
+    pub migrations: usize,
+    /// Megabytes pushed over migration links (all pre-copy rounds plus
+    /// final stop-and-copy, per move).
+    pub migrated_mb: f64,
+    /// Total stop-and-copy downtime across all moves.
+    pub downtime: Seconds,
+    /// Total stall charged to moved VMs (downtime + degraded pre-copy).
+    pub stall: Seconds,
+    /// Donor hosts fully drained and powered down.
+    pub hosts_powered_down: usize,
+    /// Moved VMs whose migration stall pushed them past their deadline.
+    pub sla_violations: usize,
+}
+
+impl MigrationTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold in one executed move.
+    pub fn record(&mut self, cost: &MigrationCost) {
+        self.migrations += 1;
+        self.migrated_mb += cost.bytes_mb;
+        self.downtime += cost.downtime;
+        self.stall += cost.stall;
+    }
+
+    /// Count donors powered down by a committed sweep.
+    pub fn record_powered_down(&mut self, hosts: usize) {
+        self.hosts_powered_down += hosts;
+    }
+
+    /// Count a moved VM that missed its deadline because of the stall.
+    pub fn charge_violation(&mut self) {
+        self.sla_violations += 1;
+    }
+
+    /// Merge another tally into this one (per-phase roll-ups).
+    pub fn merge(&mut self, other: &MigrationTally) {
+        self.migrations += other.migrations;
+        self.migrated_mb += other.migrated_mb;
+        self.downtime += other.downtime;
+        self.stall += other.stall;
+        self.hosts_powered_down += other.hosts_powered_down;
+        self.sla_violations += other.sla_violations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MigrationModel;
+
+    #[test]
+    fn tally_accumulates_and_merges() {
+        let cost = MigrationModel::default().cost();
+        let mut a = MigrationTally::new();
+        a.record(&cost);
+        a.record(&cost);
+        a.record_powered_down(1);
+        a.charge_violation();
+        assert_eq!(a.migrations, 2);
+        assert!((a.migrated_mb - 2.0 * cost.bytes_mb).abs() < 1e-9);
+        assert!((a.downtime.value() - 2.0 * cost.downtime.value()).abs() < 1e-9);
+        assert_eq!(a.hosts_powered_down, 1);
+        assert_eq!(a.sla_violations, 1);
+
+        let mut b = MigrationTally::new();
+        b.record(&cost);
+        b.merge(&a);
+        assert_eq!(b.migrations, 3);
+        assert_eq!(b.hosts_powered_down, 1);
+        assert!((b.stall.value() - 3.0 * cost.stall.value()).abs() < 1e-9);
+    }
+}

@@ -27,8 +27,9 @@ use eavm_core::{
     Proactive, RequestView, ServerView,
 };
 use eavm_faults::WorkerFaultPlan;
+use eavm_migrate::ConsolidationConfig;
 use eavm_service::{drive_paced, AllocService, ServiceConfig, ServiceStats};
-use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
+use eavm_simulator::{CloudConfig, MigrationConfig, MigrationWindow, SimOutcome, Simulation};
 use eavm_telemetry::Telemetry;
 use eavm_types::{EavmError, Seconds, WorkloadType};
 
@@ -282,6 +283,26 @@ fn run_simulate(
     if !compiled.fault_plan.is_empty() {
         sim = sim.with_faults(compiled.fault_plan.clone());
     }
+    // Phases with `consolidate = true` lower to absolute-time migration
+    // windows: the sweep regime switches exactly at phase boundaries.
+    let windows: Vec<MigrationWindow> = spec
+        .phases
+        .iter()
+        .zip(&compiled.phases)
+        .filter(|(p, _)| p.consolidate)
+        .map(|(p, window)| MigrationWindow {
+            start: Seconds(window.start),
+            end: Seconds(window.end),
+            config: MigrationConfig {
+                max_donor_vms: p.drain_threshold,
+                check_interval: Seconds(p.consolidate_every_s),
+                ..MigrationConfig::default()
+            },
+        })
+        .collect();
+    if !windows.is_empty() {
+        sim = sim.with_migration_windows(windows);
+    }
 
     let mut rows = Vec::with_capacity(compiled.phases.len() + 1);
     let mut prev = SimCounters::default();
@@ -378,6 +399,16 @@ fn run_service(compiled: &CompiledScenario, db: &ModelDatabase) -> Result<Scenar
             shard,
             spec.faults.kill_after,
         ));
+    }
+    // The service's consolidation regime is global (sweeps are keyed to
+    // the virtual clock, not phase windows): the first consolidating
+    // phase sets the knobs for the whole run.
+    if let Some(phase) = spec.phases.iter().find(|p| p.consolidate) {
+        config = config.with_consolidation(ConsolidationConfig {
+            interval: Seconds(phase.consolidate_every_s),
+            drain_threshold: phase.drain_threshold,
+            ..ConsolidationConfig::default()
+        });
     }
 
     let service = AllocService::start(db.clone(), config).map_err(|e| e.to_string())?;
@@ -554,6 +585,37 @@ vms_max = 2
         // resolved. Paced batches are single-request, so the worker can
         // die idle — a requeue is possible but not guaranteed.
         assert!(total.requeued >= 0);
+    }
+
+    #[test]
+    fn consolidating_phases_stay_deterministic_on_both_backends() {
+        // Simulate: the burst phase gains a consolidation window.
+        let text = SIM.replace(
+            "strategy = \"ff\"",
+            "strategy = \"ff\"\nconsolidate = true\nconsolidate_every_s = 300.0\ndrain_threshold = 2",
+        );
+        let spec = parse_scenario(&text).expect("spec");
+        let a = run_scenario(&spec, db()).expect("run a");
+        let b = run_scenario(&spec, db()).expect("run b");
+        assert_eq!(a.to_csv(), b.to_csv(), "consolidating sim must reproduce");
+        assert_eq!(a.total().jobs, 65);
+
+        // Service: consolidation sweeps between admissions must not
+        // break request conservation or determinism.
+        let text = SVC.replace(
+            "[phase.ramp]",
+            "[phase.ramp]\nconsolidate = true\nconsolidate_every_s = 120.0",
+        );
+        let spec = parse_scenario(&text).expect("spec");
+        let a = run_scenario(&spec, db()).expect("run a");
+        let b = run_scenario(&spec, db()).expect("run b");
+        assert_eq!(
+            a.to_csv(),
+            b.to_csv(),
+            "consolidating service must reproduce"
+        );
+        let total = a.total();
+        assert_eq!(total.placed + total.shed, total.jobs as i64);
     }
 
     #[test]

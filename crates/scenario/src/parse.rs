@@ -235,6 +235,16 @@ impl Assignment {
         })
     }
 
+    fn boolean(&self) -> Result<bool, ScenarioError> {
+        match &self.value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(self.err(
+                ErrorKind::BadValue,
+                format!("{} expects true|false, got {}", self.key, other.type_name()),
+            )),
+        }
+    }
+
     fn text(&self) -> Result<&str, ScenarioError> {
         match &self.value {
             Value::Text(s) => Ok(s),
@@ -479,6 +489,11 @@ fn build_spec(
                     "mean_degradation_s" => phase.mean_degradation_s = a.f64_at_least(0.0)?,
                     "offline_hosts" => phase.offline_hosts = Some(a.range()?),
                     "degrade_hosts" => phase.degrade_hosts = Some(a.range()?),
+                    "consolidate" => phase.consolidate = a.boolean()?,
+                    "consolidate_every_s" => phase.consolidate_every_s = a.f64_at_least(0.0)?,
+                    "drain_threshold" => {
+                        phase.drain_threshold = a.unsigned()?.min(u64::from(u32::MAX)) as u32
+                    }
                     "alpha" => {
                         phase.policy = Some(Policy::Proactive {
                             alpha: a.fraction()?,
@@ -632,6 +647,32 @@ crash_rate = 0.3
         assert_eq!(
             kind_of(&VALID.replace("exit_jobs = 20", "exit_jobs = 20\nexit_after_s = 5.0")),
             ErrorKind::DuplicateKey
+        );
+    }
+
+    #[test]
+    fn consolidation_knobs_parse_and_validate() {
+        let text = VALID.replace(
+            "max_burst = 8",
+            "max_burst = 8\nconsolidate = true\nconsolidate_every_s = 450.0\ndrain_threshold = 3",
+        );
+        let spec = parse_scenario(&text).expect("consolidating scenario");
+        assert!(!spec.phases[0].consolidate, "default is off");
+        let storm = &spec.phases[1];
+        assert!(storm.consolidate);
+        assert_eq!(storm.consolidate_every_s, 450.0);
+        assert_eq!(storm.drain_threshold, 3);
+        assert_eq!(
+            kind_of(&text.replace("drain_threshold = 3", "drain_threshold = 0")),
+            ErrorKind::OutOfRange
+        );
+        assert_eq!(
+            kind_of(&text.replace("consolidate = true", "consolidate = 1")),
+            ErrorKind::BadValue
+        );
+        assert_eq!(
+            kind_of(&text.replace("consolidate_every_s = 450.0", "consolidate_every_s = -5.0")),
+            ErrorKind::OutOfRange
         );
     }
 

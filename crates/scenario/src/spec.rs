@@ -126,6 +126,14 @@ pub struct PhaseSpec {
     /// Policy override for requests submitted during this phase; `None`
     /// inherits the scenario default.
     pub policy: Option<Policy>,
+
+    // Consolidation (eavm-migrate knobs), scoped to this phase's window.
+    /// Whether threshold-driven consolidation sweeps run in this phase.
+    pub consolidate: bool,
+    /// Seconds between consolidation sweeps while enabled.
+    pub consolidate_every_s: f64,
+    /// Hosts with `0 < vms ≤ drain_threshold` are drain candidates.
+    pub drain_threshold: u32,
 }
 
 impl PhaseSpec {
@@ -150,6 +158,9 @@ impl PhaseSpec {
             offline_hosts: None,
             degrade_hosts: None,
             policy: None,
+            consolidate: false,
+            consolidate_every_s: 600.0,
+            drain_threshold: 2,
         }
     }
 
@@ -379,6 +390,12 @@ impl ScenarioSpec {
                     )));
                 }
             }
+        }
+        if phase.consolidate_every_s.is_nan() || phase.consolidate_every_s <= 0.0 {
+            return Err(at("consolidate_every_s must be positive".into()));
+        }
+        if phase.consolidate && phase.drain_threshold == 0 {
+            return Err(at("drain_threshold must be nonzero".into()));
         }
         if let Some(policy) = &phase.policy {
             self.validate_policy(policy)?;

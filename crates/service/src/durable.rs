@@ -17,7 +17,7 @@
 //!   times, retirement instants, and every later verdict come out
 //!   bit-identical to the run that never crashed.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 
 use eavm_core::{Placement, RequestView};
@@ -26,6 +26,7 @@ use eavm_durability::{
     ShardSnapRec, SnapshotRec, Wal, WalRecord,
 };
 use eavm_faults::CrashSchedule;
+use eavm_migrate::{ConsolidationConfig, Hysteresis, Move, MovePlan};
 use eavm_swf::VmRequest;
 use eavm_telemetry::{Counter, Telemetry};
 use eavm_types::{EavmError, JobId, Joules, MixVector, Seconds, ServerId, WorkloadType};
@@ -440,6 +441,36 @@ pub(crate) struct Rebuilt {
     pub resume: Vec<(u64, VmRequest)>,
     /// Coordinator counter values (snapshot baseline plus tail replay).
     pub counters: Vec<(String, u64)>,
+    /// Consolidation hysteresis, restored from the snapshot's reserved
+    /// `consolidation_cooldown_<host>` counter entries and advanced by
+    /// every replayed `Migrate` frame — so the first post-recovery
+    /// sweep plans exactly what the crashed process would have.
+    pub hysteresis: Hysteresis,
+    /// The journal ends on a *decision* frame: the crashed process had
+    /// finished a control round but its boundary `Migrate` frame (if a
+    /// sweep was due) may have been lost to the crash. The coordinator
+    /// must re-check consolidation before serving any new traffic —
+    /// the live run swept before its next admission, so the recovered
+    /// one must too. When the journal instead ends mid-round (a
+    /// trailing `Submit` leaves in-flight work to re-drive, a trailing
+    /// `Clock` sits inside a drain/advance), the normal boundary after
+    /// the resumed round re-checks at the same virtual instant the
+    /// crashed process would have.
+    pub pending_sweep: bool,
+    /// The crashed round retired resident VMs — via a mid-round `Clock`
+    /// or a fast-path admission's routed-shard advance — but its
+    /// post-batch parked-retry pass is not in the journal. The live
+    /// round follows such a retirement with `advance(now)` plus a
+    /// parked retry once its batch decisions land (`process_batch`
+    /// tail), but the recovered coordinator cannot observe it: the
+    /// rebuild already applied the retirement, so both the re-driven
+    /// resume batch and the startup retry would see zero freed capacity
+    /// (and possibly an unsynced fleet) and land differently than the
+    /// crashed process. The coordinator re-runs `advance(now)` plus the
+    /// retry pass explicitly when this flag is set. Cleared when a
+    /// journaled post-decision `Clock` (the fleet-wide sync) or a new
+    /// round's `Submit` shows the debt was already consumed.
+    pub tail_retired: bool,
     pub frames_replayed: u64,
 }
 
@@ -459,16 +490,29 @@ pub(crate) fn rebuild(
     state: &RecoveredState,
     cores: &mut [ShardCore],
     layout: &[std::ops::Range<usize>],
+    consolidation: Option<&ConsolidationConfig>,
 ) -> Rebuilt {
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut now = Seconds(0.0);
     let mut next_ticket = 0u64;
     let mut parked: Vec<(u64, RequestView)> = Vec::new();
+    let n_servers = layout.last().map(|r| r.end).unwrap_or(0);
+    let mut saved_cooldowns: Vec<(usize, u32)> = Vec::new();
 
     if let Some(snap) = &state.snapshot {
         now = Seconds(snap.now);
         next_ticket = snap.next_ticket;
         for (name, value) in &snap.counters {
+            // Reserved names carry hysteresis cooldowns, not counters;
+            // strip them here so `CoordInstruments::seed` never sees
+            // them and a later checkpoint re-emits them fresh.
+            if let Some(host) = name
+                .strip_prefix("consolidation_cooldown_")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                saved_cooldowns.push((host, u32::try_from(*value).unwrap_or(u32::MAX)));
+                continue;
+            }
             bump(&mut counters, name, *value);
         }
         for shard in &snap.shards {
@@ -482,11 +526,28 @@ pub(crate) fn rebuild(
 
     let shard_of =
         |server: usize| -> usize { layout.iter().position(|r| r.contains(&server)).unwrap_or(0) };
+    let mut hysteresis = Hysteresis::restore(n_servers, &saved_cooldowns);
     // Submitted-but-undecided requests, in submission order.
     let mut pending: Vec<(u64, VmRequest)> = Vec::new();
+    let mut pending_sweep = false;
+    let mut tail_retired = false;
     for record in state.tail() {
+        pending_sweep = matches!(
+            record,
+            WalRecord::Admitted { .. }
+                | WalRecord::AdmittedCrossShard { .. }
+                | WalRecord::Queued { .. }
+                | WalRecord::Shed { .. }
+        );
         match record {
             WalRecord::Submit { ticket, req } => {
+                // A submit on an empty pending set opens a new batch
+                // round; retirement owed by the previous round was
+                // either consumed by its journaled retry pass or
+                // skipped (nothing parked), so the debt never carries.
+                if pending.is_empty() {
+                    tail_retired = false;
+                }
                 let request = rec_to_req(req);
                 now = now.max(request.submit);
                 next_ticket = next_ticket.max(ticket + 1);
@@ -496,8 +557,22 @@ pub(crate) fn rebuild(
             WalRecord::Clock { t } => {
                 let t = Seconds(*t);
                 now = now.max(t);
+                let mut retired = 0usize;
                 for core in cores.iter_mut() {
-                    core.advance_to(t);
+                    retired += core.advance_to(t).0;
+                }
+                if pending.is_empty() {
+                    // The round's post-decision fleet-wide advance (or
+                    // a drain/AdvanceTo) made it to the journal: every
+                    // shard is synced here, so the retry pass the
+                    // coordinator runs at startup needs no re-advance.
+                    tail_retired = false;
+                } else if retired > 0 {
+                    // Mid-round advance: the re-driven resume batch
+                    // cannot observe this retirement (it is already
+                    // applied), so the coordinator must re-run the
+                    // retry pass the crashed process was about to.
+                    tail_retired = true;
                 }
             }
             WalRecord::Admitted {
@@ -512,8 +587,13 @@ pub(crate) fn rebuild(
                     .unwrap_or(now);
                 if let Some(core) = cores.get_mut(*shard as usize) {
                     // The live fast path advances the routed shard to
-                    // the request's submit instant before placing.
-                    core.advance_to(submit);
+                    // the request's submit instant before placing; any
+                    // capacity that advance freed fed the live round's
+                    // `retired` count and would have triggered a
+                    // post-batch parked-retry pass.
+                    if core.advance_to(submit).0 > 0 {
+                        tail_retired = true;
+                    }
                     core.apply_committed(&recs_to_placements(placements));
                 }
                 bump(&mut counters, "admitted_local", 1);
@@ -562,6 +642,71 @@ pub(crate) fn rebuild(
             WalRecord::Requeued { .. } => {
                 bump(&mut counters, "requeued", 1);
             }
+            WalRecord::Migrate {
+                epoch,
+                t,
+                stall,
+                moves,
+            } => {
+                // The frame is the replay authority: re-execute exactly
+                // the journaled moves (never re-plan). Draining "the
+                // first resident of the journaled type" picks the same
+                // VM the live run drained because resident vectors
+                // rebuild bit-exact, and the journaled stall — not a
+                // recomputed one — delays its finish instant.
+                let t = Seconds(*t);
+                now = now.max(t);
+                hysteresis.begin_sweep();
+                let stall = Seconds(*stall);
+                let mut replayed: Vec<Move> = Vec::new();
+                let mut executed = 0u64;
+                let mut drained: BTreeSet<usize> = BTreeSet::new();
+                for m in moves {
+                    let Some(&ty) = WorkloadType::ALL.get(usize::from(m.ty)) else {
+                        continue;
+                    };
+                    let from = ServerId::from(m.from as usize);
+                    let to = ServerId::from(m.to as usize);
+                    replayed.push(Move {
+                        from: from.index(),
+                        to: to.index(),
+                        ty,
+                    });
+                    let Some(finish) = cores
+                        .get_mut(shard_of(from.index()))
+                        .and_then(|core| core.drain_vm(from, ty))
+                    else {
+                        continue;
+                    };
+                    let landed = cores
+                        .get_mut(shard_of(to.index()))
+                        .is_some_and(|core| core.inject_vm(to, ty, finish + stall));
+                    if landed {
+                        executed += 1;
+                        drained.insert(from.index());
+                    } else if let Some(core) = cores.get_mut(shard_of(from.index())) {
+                        core.inject_vm(from, ty, finish);
+                    }
+                }
+                hysteresis.commit(
+                    &MovePlan {
+                        moves: replayed,
+                        emptied: Vec::new(),
+                    },
+                    consolidation.map_or(1, |c| c.hysteresis_sweeps),
+                );
+                let prev = counters.get("consolidation_epoch").copied().unwrap_or(0);
+                if *epoch > prev {
+                    bump(&mut counters, "consolidation_epoch", epoch - prev);
+                }
+                bump(&mut counters, "consolidation_sweeps", 1);
+                bump(&mut counters, "consolidation_migrations", executed);
+                bump(
+                    &mut counters,
+                    "consolidation_hosts_drained",
+                    drained.len() as u64,
+                );
+            }
             WalRecord::Shed { ticket, reason } => {
                 pending.retain(|(t, _)| t != ticket);
                 parked.retain(|(t, _)| t != ticket);
@@ -582,6 +727,9 @@ pub(crate) fn rebuild(
         parked,
         resume: pending,
         counters: counters.into_iter().collect(),
+        hysteresis,
+        pending_sweep,
+        tail_retired,
         frames_replayed: state.tail().len() as u64,
     }
 }

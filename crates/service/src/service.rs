@@ -45,7 +45,8 @@ use eavm_swf::VmRequest;
 use eavm_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Severity, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId};
 
-use eavm_durability::{recover_dir, RecoveredState, SnapshotRec, WalRecord};
+use eavm_durability::{recover_dir, MoveRec, RecoveredState, SnapshotRec, WalRecord};
+use eavm_migrate::{plan_moves, ConsolidationConfig, HostLoad, Hysteresis};
 
 use crate::durable::{
     dump_to_snap, rebuild, req_to_rec, verdict_to_record, view_to_rec, DurInstruments,
@@ -97,6 +98,14 @@ pub struct ServiceConfig {
     /// recoverable via [`AllocService::recover`]. `None` (the default)
     /// journals nothing.
     pub durability: Option<DurabilityConfig>,
+    /// Online consolidation: when set, the coordinator runs a
+    /// threshold-driven drain sweep whenever the virtual clock crosses
+    /// into a new `interval`-sized epoch, live-migrating VMs off
+    /// underutilized servers (each charged its pre-copy stall) so the
+    /// emptied donors stop drawing power. Sweeps are journaled *before*
+    /// execution, so a crash mid-sweep recovers bit-exactly. `None`
+    /// (the default) never migrates.
+    pub consolidation: Option<ConsolidationConfig>,
 }
 
 impl ServiceConfig {
@@ -115,7 +124,14 @@ impl ServiceConfig {
             lookup_faults: LookupFaults::disabled(),
             worker_faults: None,
             durability: None,
+            consolidation: None,
         }
+    }
+
+    /// Enable periodic consolidation sweeps.
+    pub fn with_consolidation(mut self, consolidation: ConsolidationConfig) -> Self {
+        self.consolidation = Some(consolidation);
+        self
     }
 
     /// Journal into `dir` with default durability settings.
@@ -251,6 +267,13 @@ pub struct ServiceStats {
     pub admission_latency_us: HistogramSnapshot,
     /// WAL/checkpoint/recovery counters (all zero without durability).
     pub durability: DurabilityStats,
+    /// Consolidation sweeps run (epoch crossings; 0 without
+    /// consolidation).
+    pub consolidation_sweeps: u64,
+    /// VMs live-migrated by consolidation sweeps.
+    pub consolidation_migrations: u64,
+    /// Donor hosts fully drained (powered down) by sweeps.
+    pub consolidation_hosts_drained: u64,
 }
 
 /// Result of [`AllocService::drain`].
@@ -350,6 +373,9 @@ impl AllocService {
                 config.servers, config.shards
             )));
         }
+        if let Some(consolidation) = &config.consolidation {
+            consolidation.validate().map_err(EavmError::InvalidConfig)?;
+        }
         let telemetry = Arc::clone(&config.telemetry);
         let layout = shard_layout(config.servers, config.shards);
         // One stripe per shard plus a last one for the coordinator's
@@ -397,9 +423,15 @@ impl AllocService {
         // deterministically, then seed the coordinator counters with
         // the crashed process's values.
         let mut report = RecoveryReport::default();
+        let mut hysteresis = Hysteresis::new(config.servers);
+        let mut pending_sweep = false;
+        let mut resume_retired = false;
         let (now, restored_parked, resume, next_ticket) = match recovered.as_ref() {
             Some(state) => {
-                let rebuilt = rebuild(state, &mut cores, &layout);
+                let rebuilt = rebuild(state, &mut cores, &layout, config.consolidation.as_ref());
+                hysteresis = rebuilt.hysteresis;
+                pending_sweep = rebuilt.pending_sweep;
+                resume_retired = rebuilt.tail_retired;
                 counters.seed(&rebuilt.counters);
                 counters
                     .durability
@@ -503,6 +535,9 @@ impl AllocService {
                 journal,
                 resume,
                 ticket_watermark: next_ticket,
+                hysteresis,
+                pending_sweep,
+                resume_retired,
             };
             std::thread::Builder::new()
                 .name("eavm-coordinator".into())
@@ -726,6 +761,16 @@ struct CoordInstruments {
     admission_latency: Histogram,
     /// WAL/checkpoint/recovery counters.
     durability: DurInstruments,
+    /// Consolidation sweeps run (one per epoch crossing).
+    consolidation_sweeps: Counter,
+    /// VMs live-migrated by sweeps.
+    consolidation_migrations: Counter,
+    /// Donor hosts fully drained (powered down) by sweeps.
+    consolidation_hosts_drained: Counter,
+    /// The last swept epoch — monotone, so a counter models it; this is
+    /// the durable watermark that keeps recovery from re-planning a
+    /// sweep whose journaled frame it already replayed.
+    consolidation_epoch: Counter,
 }
 
 impl CoordInstruments {
@@ -747,6 +792,11 @@ impl CoordInstruments {
                 parked_depth: telemetry.gauge("service.parked_depth"),
                 admission_latency: telemetry.histogram("service.admission_latency_us"),
                 durability: DurInstruments::new(telemetry),
+                consolidation_sweeps: telemetry.counter("service.consolidation.sweeps"),
+                consolidation_migrations: telemetry.counter("service.consolidation.migrations"),
+                consolidation_hosts_drained: telemetry
+                    .counter("service.consolidation.hosts_drained"),
+                consolidation_epoch: telemetry.counter("service.consolidation.epoch"),
             }
         } else {
             CoordInstruments {
@@ -765,6 +815,10 @@ impl CoordInstruments {
                 parked_depth: Gauge::standalone(),
                 admission_latency: Histogram::standalone(),
                 durability: DurInstruments::new(telemetry),
+                consolidation_sweeps: Counter::standalone(),
+                consolidation_migrations: Counter::standalone(),
+                consolidation_hosts_drained: Counter::standalone(),
+                consolidation_epoch: Counter::standalone(),
             }
         }
     }
@@ -772,7 +826,7 @@ impl CoordInstruments {
     /// The counters persisted by checkpoints and seeded on recovery,
     /// with their stable snapshot names. `shed_admission` is excluded:
     /// it is written handle-side and never journaled.
-    fn named(&self) -> [(&'static str, &Counter); 11] {
+    fn named(&self) -> [(&'static str, &Counter); 15] {
         [
             ("submitted", &self.submitted),
             ("shed_wait_queue", &self.shed_wait_queue),
@@ -785,6 +839,13 @@ impl CoordInstruments {
             ("shard_failures", &self.shard_failures),
             ("shard_respawns", &self.shard_respawns),
             ("requeued", &self.requeued),
+            ("consolidation_sweeps", &self.consolidation_sweeps),
+            ("consolidation_migrations", &self.consolidation_migrations),
+            (
+                "consolidation_hosts_drained",
+                &self.consolidation_hosts_drained,
+            ),
+            ("consolidation_epoch", &self.consolidation_epoch),
         ]
     }
 
@@ -858,6 +919,18 @@ struct Coordinator {
     /// Strictly above every ticket seen (or recovered); checkpoints
     /// persist it as `next_ticket`.
     ticket_watermark: u64,
+    /// Anti-flapping cooldowns of the consolidation policy; checkpoints
+    /// persist the nonzero entries and recovery replays journaled
+    /// sweeps, so planned moves after a crash match the uncrashed run.
+    hysteresis: Hysteresis,
+    /// Recovery found the journal ending on a completed round whose
+    /// boundary `Migrate` frame may have been lost to the crash; see
+    /// [`Rebuilt::pending_sweep`].
+    pending_sweep: bool,
+    /// The crashed round's journaled `Clock` retired capacity the
+    /// rebuild already applied, so re-driving the resume batch cannot
+    /// observe it; see [`Rebuilt::tail_retired`].
+    resume_retired: bool,
 }
 
 impl Coordinator {
@@ -866,9 +939,53 @@ impl Coordinator {
         // deterministic re-execution means they land exactly where the
         // crashed process would have put them.
         let resume = std::mem::take(&mut self.resume);
+        let pending_sweep = std::mem::take(&mut self.pending_sweep);
+        let resume_retired = std::mem::take(&mut self.resume_retired);
         if !resume.is_empty() {
             self.process_batch(resume, true);
+            if resume_retired && !self.parked.is_empty() {
+                // The crashed round's advance retired capacity, so the
+                // live run followed its batch decisions with a parked
+                // retry — but the rebuild already applied that
+                // retirement, so the re-driven batch above saw zero
+                // freed capacity and skipped it. Re-run the exact tail
+                // of `process_batch`: the re-journaled `Clock` and the
+                // retry admissions land frame-for-frame where the
+                // crashed process would have put them.
+                self.advance(self.now);
+                self.retry_parked();
+            }
+            self.maybe_consolidate();
             self.maybe_checkpoint();
+        } else {
+            // A crash can also cut a round's parked-retry sequence
+            // short: the crashed process had already retired capacity
+            // and begun admitting waiters at this instant, so finish
+            // the sequence now, before any new traffic — the rebuilt
+            // fleet is exactly the mid-sequence state, so each re-run
+            // search lands where the crashed process would have. No-op
+            // when nothing parked fits (including every fresh start).
+            let waited = self.counters.admitted_after_wait.get();
+            if !self.parked.is_empty() {
+                if resume_retired {
+                    // The crashed round's fast path freed capacity but
+                    // its fleet-wide sync was lost with the crash: sync
+                    // now (re-journaling the `Clock` the live run wrote)
+                    // so the retry searches the fleet the crashed
+                    // process saw, not one with stale shard clocks.
+                    self.advance(self.now);
+                }
+                self.retry_parked();
+            }
+            if pending_sweep || self.counters.admitted_after_wait.get() > waited {
+                // The round those retries belonged to closed with a
+                // consolidation check; likewise if the journal ended on
+                // a decision frame, the boundary sweep may have been
+                // due but its `Migrate` frame lost — re-fire before any
+                // new admission sees the un-consolidated fleet. No-op
+                // when the watermark is current.
+                self.maybe_consolidate();
+            }
         }
         let mut batch: Vec<(u64, VmRequest)> = Vec::new();
         loop {
@@ -924,9 +1041,12 @@ impl Coordinator {
                 Some(Ctl::Shutdown) => break,
                 Some(Ctl::Submit { .. }) | None => {}
             }
-            // Checkpoints happen only here, between fully processed
-            // control rounds: no request is mid-flight, so the snapshot
-            // needs no pending set.
+            // Consolidation and checkpoints happen only here, between
+            // fully processed control rounds: no request is mid-flight,
+            // so the sweep sees a settled mirror and the snapshot needs
+            // no pending set. Sweep first — a due checkpoint then
+            // captures the post-sweep fleet.
+            self.maybe_consolidate();
             self.maybe_checkpoint();
         }
         if let Some(journal) = self.journal.as_mut() {
@@ -1526,6 +1646,131 @@ impl Coordinator {
         }
     }
 
+    /// Run one consolidation sweep if the virtual clock has crossed
+    /// into a new epoch. The sweep plans over the fleet mirror (exact
+    /// by construction), journals the full move list *before* touching
+    /// any shard — the frame, not the re-planned sweep, is the replay
+    /// authority — then executes each move as a drain/inject pair
+    /// through the shard mailboxes, charging the moved VM its pre-copy
+    /// stall by pushing its finish instant out.
+    fn maybe_consolidate(&mut self) {
+        let Some(cfg) = self.config.consolidation.clone() else {
+            return;
+        };
+        let epoch = cfg.epoch_of(self.now);
+        let last = self.counters.consolidation_epoch.get();
+        if epoch <= last {
+            return;
+        }
+        self.counters.consolidation_epoch.add(epoch - last);
+        self.hysteresis.begin_sweep();
+        let hosts: Vec<HostLoad> = self
+            .mirror
+            .iter()
+            .map(|s| HostLoad {
+                mix: s.mix,
+                available: !self.irrecoverable[self.shard_of(s.id)],
+            })
+            .collect();
+        // The coordinator's richer guard is the fleet-wide OS bound; the
+        // per-receiver capacity bound lives in the config itself.
+        let bound = self.global.model().max_mix();
+        let plan = plan_moves(&hosts, &cfg, &self.hysteresis, |_, mix| {
+            mix.fits_within(&bound)
+        });
+        let cost = cfg.model.cost();
+        if let Some(journal) = self.journal.as_mut() {
+            let _ = journal.append(&WalRecord::Migrate {
+                epoch,
+                t: self.now.0,
+                stall: cost.stall.0,
+                moves: plan
+                    .moves
+                    .iter()
+                    .map(|m| MoveRec {
+                        from: m.from as u32,
+                        to: m.to as u32,
+                        ty: m.ty.index() as u8,
+                    })
+                    .collect(),
+            });
+        }
+        let mut executed = 0u64;
+        for m in &plan.moves {
+            if self.execute_move(m, cost.stall) {
+                executed += 1;
+            }
+        }
+        let drained = plan
+            .emptied
+            .iter()
+            .filter(|&&h| self.mirror[h].mix.is_empty())
+            .count() as u64;
+        self.hysteresis.commit(&plan, cfg.hysteresis_sweeps);
+        self.counters.consolidation_sweeps.add(1);
+        self.counters.consolidation_migrations.add(executed);
+        self.counters.consolidation_hosts_drained.add(drained);
+        if executed > 0 {
+            self.config.telemetry.event(
+                self.now.0,
+                "service",
+                Severity::Info,
+                "consolidation sweep",
+                vec![
+                    ("epoch", epoch.to_string()),
+                    ("migrations", executed.to_string()),
+                    ("hosts_drained", drained.to_string()),
+                ],
+            );
+        }
+    }
+
+    /// Execute one planned migration: drain the VM off its donor shard
+    /// (learning its finish instant), land it on the receiver with the
+    /// finish pushed out by `stall`, and fold the move into the mirror.
+    /// A failed drain skips the move; a failed landing puts the VM back
+    /// on its donor — either way the mirror stays exact.
+    fn execute_move(&mut self, m: &eavm_migrate::Move, stall: Seconds) -> bool {
+        let from = ServerId::from(m.from);
+        let to = ServerId::from(m.to);
+        let ty = m.ty;
+        let from_shard = self.shard_of(from);
+        let to_shard = self.shard_of(to);
+        let finish = match self.shard_call(from_shard, |reply| ShardMsg::DrainVm {
+            server: from,
+            ty,
+            reply,
+        }) {
+            Ok(Some(finish)) => finish,
+            Ok(None) | Err(_) => return false,
+        };
+        let delayed = finish + stall;
+        let landed = self
+            .shard_call(to_shard, |done| ShardMsg::InjectVm {
+                server: to,
+                ty,
+                finish: delayed,
+                done,
+            })
+            .unwrap_or(false);
+        if !landed {
+            let _ = self.shard_call(from_shard, |done| ShardMsg::InjectVm {
+                server: from,
+                ty,
+                finish,
+                done,
+            });
+            return false;
+        }
+        let single = MixVector::single(ty, 1);
+        let donor_mix = &mut self.mirror[m.from].mix;
+        if let Some(shrunk) = donor_mix.checked_sub(&single) {
+            *donor_mix = shrunk;
+        }
+        self.mirror[m.to].mix += single;
+        true
+    }
+
     /// Write a checkpoint when the journal's cadence says one is due.
     /// Runs only at control-round boundaries (no request mid-flight).
     /// Any failure — a shard that cannot answer its dump, an I/O error
@@ -1556,7 +1801,18 @@ impl Coordinator {
                 .iter()
                 .map(|p| (p.ticket, view_to_rec(&p.view)))
                 .collect(),
-            counters: self.counters.values(),
+            counters: {
+                // Nonzero hysteresis cooldowns ride along as reserved
+                // counter names; recovery strips them back out before
+                // seeding the real counters.
+                let mut values = self.counters.values();
+                for (host, c) in self.hysteresis.cooldowns().iter().enumerate() {
+                    if *c > 0 {
+                        values.push((format!("consolidation_cooldown_{host}"), u64::from(*c)));
+                    }
+                }
+                values
+            },
         };
         if let Some(journal) = self.journal.as_mut() {
             if journal.write_checkpoint(snapshot).is_err() {
@@ -1756,6 +2012,9 @@ impl Coordinator {
             shards: shard_stats,
             virtual_now: self.now,
             durability: self.counters.durability.stats(),
+            consolidation_sweeps: self.counters.consolidation_sweeps.get(),
+            consolidation_migrations: self.counters.consolidation_migrations.get(),
+            consolidation_hosts_drained: self.counters.consolidation_hosts_drained.get(),
         })
     }
 }
@@ -1958,6 +2217,34 @@ mod tests {
             .iter()
             .any(|(ticket, v)| *ticket == t && matches!(v, Verdict::Shed { .. }));
         assert!(shed, "got {verdicts:?}");
+        service.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn consolidation_sweeps_fire_and_conserve_vms() {
+        let mut config = ServiceConfig::new(1, 4);
+        config.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        config.consolidation = Some(ConsolidationConfig {
+            interval: Seconds(100.0),
+            drain_threshold: 1,
+            hysteresis_sweeps: 0,
+            ..ConsolidationConfig::default()
+        });
+        let service = AllocService::start(db(), config).expect("start");
+        for i in 0..6 {
+            service.submit(request(i, 0.0, WorkloadType::ALL[(i % 3) as usize], 1));
+        }
+        let before = service.stats().expect("stats");
+        assert_eq!(before.resident_vms, 6);
+        // Crossing two epoch boundaries fires at least one sweep (the
+        // epoch watermark jumps straight to epoch_of(now)).
+        service.advance_to(Seconds(250.0)).expect("advance");
+        let stats = service.stats().expect("stats");
+        assert!(stats.consolidation_sweeps >= 1, "no sweep fired: {stats:?}");
+        // Consolidation moves VMs, never creates or destroys them:
+        // nothing retires this early, so residency is conserved.
+        assert_eq!(stats.resident_vms, 6);
+        assert!(stats.consolidation_migrations >= stats.consolidation_hosts_drained);
         service.shutdown().expect("shutdown");
     }
 

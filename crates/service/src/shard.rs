@@ -475,6 +475,41 @@ impl ShardCore {
         (retired, freed)
     }
 
+    /// Consolidation drain: remove the first resident VM of `ty` from
+    /// `server` and return its estimated finish instant. `None` when
+    /// the server is unknown or hosts no VM of that type — the
+    /// coordinator skips the move then, leaving its mirror untouched.
+    /// "First in `resident` order" is what makes live drains and WAL
+    /// replays pick the *same* VM (resident vectors rebuild bit-exact).
+    pub(crate) fn drain_vm(&mut self, server: ServerId, ty: WorkloadType) -> Option<Seconds> {
+        let srv = self.server_mut(server)?;
+        let pos = srv.resident.iter().position(|vm| vm.ty == ty)?;
+        let shrunk = srv.mix.checked_sub(&MixVector::single(ty, 1))?;
+        let vm = srv.resident.remove(pos);
+        srv.mix = shrunk;
+        Some(vm.finish)
+    }
+
+    /// Consolidation landing: host a drained VM on `server` with its
+    /// migration-delayed finish instant. Appends to the resident vector
+    /// (order matters for replay; see [`ShardCore::drain_vm`]). Returns
+    /// `false` for an unknown server.
+    pub(crate) fn inject_vm(
+        &mut self,
+        server: ServerId,
+        ty: WorkloadType,
+        finish: Seconds,
+    ) -> bool {
+        match self.server_mut(server) {
+            Some(srv) => {
+                srv.mix += MixVector::single(ty, 1);
+                srv.resident.push(ResidentVm { ty, finish });
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Earliest estimated VM completion on this shard, if any.
     pub(crate) fn next_finish(&self) -> Option<Seconds> {
         self.servers
@@ -642,6 +677,21 @@ pub(crate) enum ShardMsg {
         t: Seconds,
         done: Sender<(usize, Vec<(ServerId, MixVector)>)>,
     },
+    /// Consolidation: drain the first resident VM of `ty` from
+    /// `server`, replying with its finish instant (`None` = no such VM).
+    DrainVm {
+        server: ServerId,
+        ty: WorkloadType,
+        reply: Sender<Option<Seconds>>,
+    },
+    /// Consolidation: land a drained VM on `server` with its
+    /// stall-delayed finish; `false` = unknown server.
+    InjectVm {
+        server: ServerId,
+        ty: WorkloadType,
+        finish: Seconds,
+        done: Sender<bool>,
+    },
     /// Earliest estimated completion on this shard.
     NextFinish { reply: Sender<Option<Seconds>> },
     /// Counter snapshot.
@@ -705,6 +755,17 @@ pub(crate) fn run_worker(mut core: ShardCore, rx: Receiver<ShardMsg>, kill_after
             }
             ShardMsg::AdvanceTo { t, done } => {
                 let _ = done.send(core.advance_to(t));
+            }
+            ShardMsg::DrainVm { server, ty, reply } => {
+                let _ = reply.send(core.drain_vm(server, ty));
+            }
+            ShardMsg::InjectVm {
+                server,
+                ty,
+                finish,
+                done,
+            } => {
+                let _ = done.send(core.inject_vm(server, ty, finish));
             }
             ShardMsg::NextFinish { reply } => {
                 let _ = reply.send(core.next_finish());
@@ -947,6 +1008,46 @@ mod tests {
             .try_local(&request(1, WorkloadType::Cpu, 3))
             .expect("feasible");
         assert_eq!(replayed.dump(), reference.dump());
+    }
+
+    #[test]
+    fn drain_then_inject_preserves_the_vm_and_delays_its_finish() {
+        let mut core = core(2);
+        core.try_local(&request(1, WorkloadType::Cpu, 2))
+            .expect("feasible");
+        let before = core.stats().resident_vms;
+        let donor = core
+            .servers
+            .iter()
+            .find(|s| !s.mix.is_empty())
+            .map(|s| s.id)
+            .expect("placed somewhere");
+        let receiver = core
+            .servers
+            .iter()
+            .find(|s| s.id != donor)
+            .map(|s| s.id)
+            .expect("two servers");
+
+        // No IO VM is resident: the drain refuses without side effects.
+        assert_eq!(core.drain_vm(donor, WorkloadType::Io), None);
+
+        let finish = core
+            .drain_vm(donor, WorkloadType::Cpu)
+            .expect("a cpu vm is resident");
+        let stall = Seconds(1.5);
+        assert!(core.inject_vm(receiver, WorkloadType::Cpu, finish + stall));
+        assert_eq!(core.stats().resident_vms, before, "vm conservation");
+        assert_eq!(
+            core.server_mut(receiver).unwrap().mix,
+            MixVector::new(1, 0, 0)
+        );
+        // The moved VM's finish carries the migration stall bit-exact.
+        let moved = core.server_mut(receiver).unwrap().resident[0];
+        assert_eq!(moved.finish.0.to_bits(), (finish + stall).0.to_bits());
+        // Unknown servers are refused, not panicked on.
+        assert!(!core.inject_vm(ServerId::new(99), WorkloadType::Cpu, finish));
+        assert_eq!(core.drain_vm(ServerId::new(99), WorkloadType::Cpu), None);
     }
 
     #[test]

@@ -18,9 +18,11 @@ use eavm_telemetry::{Severity, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId, Watts, WorkloadType};
 use std::sync::Arc;
 
+use eavm_migrate::{plan_moves, HostLoad, Hysteresis, MigrationTally};
+
 use crate::cloud::CloudConfig;
 use crate::metrics::{AllocationInterval, SimOutcome};
-use crate::migration::MigrationConfig;
+use crate::migration::{MigrationConfig, MigrationWindow};
 
 /// Terminal simulation failures.
 #[derive(Debug)]
@@ -87,6 +89,9 @@ struct Vm {
     deadline: Seconds,
     remaining: f64,
     done: Option<Seconds>,
+    /// Whether a consolidation sweep ever moved this VM — a deadline
+    /// miss on a migrated VM is charged to the migration SLA tally.
+    migrated: bool,
 }
 
 /// One queue entry: a block of VMs waiting for placement. Arrivals map
@@ -226,6 +231,12 @@ pub struct Simulation<M> {
     /// Optional reactive consolidation: periodically drain under-utilized
     /// servers via live VM migration (see [`MigrationConfig`]).
     pub migration: Option<MigrationConfig>,
+    /// Absolute-time consolidation windows (scenario phases): inside a
+    /// window, its regime sweeps; outside every window, consolidation is
+    /// off. Ignored when [`Self::migration`] is set (a run-wide regime
+    /// wins). Windows must be disjoint; the first covering window is
+    /// used.
+    pub migration_windows: Vec<MigrationWindow>,
     /// Record per-server allocation intervals (Fig. 4 timelines) into
     /// [`SimOutcome::timeline`]. Off by default (memory proportional to
     /// the number of allocation changes).
@@ -257,6 +268,7 @@ impl<M: AllocationModel> Simulation<M> {
             idle_servers_powered: false,
             burst_allocation: false,
             migration: None,
+            migration_windows: Vec::new(),
             record_timeline: false,
             queue_policy: QueuePolicy::Fifo,
             faults: None,
@@ -325,6 +337,28 @@ impl<M: AllocationModel> Simulation<M> {
         debug_assert!(config.validate().is_ok(), "invalid migration config");
         self.migration = Some(config);
         self
+    }
+
+    /// Enable per-window consolidation regimes (scenario phases lower to
+    /// absolute-time windows; see [`MigrationWindow`]).
+    pub fn with_migration_windows(mut self, windows: Vec<MigrationWindow>) -> Self {
+        debug_assert!(
+            windows.iter().all(|w| w.validate().is_ok()),
+            "invalid migration window"
+        );
+        self.migration_windows = windows;
+        self
+    }
+
+    /// The consolidation regime in force at simulated time `t`, if any.
+    fn active_migration(&self, t: Seconds) -> Option<&MigrationConfig> {
+        if let Some(cfg) = &self.migration {
+            return Some(cfg);
+        }
+        self.migration_windows
+            .iter()
+            .find(|w| w.covers(t))
+            .map(|w| &w.config)
     }
 
     /// The ground-truth model of a platform index.
@@ -406,7 +440,8 @@ impl<M: AllocationModel> Simulation<M> {
         let mut total_wait = Seconds::ZERO;
         let mut last_completion = first_submit;
         let mut total_vms = 0usize;
-        let mut migrations = 0usize;
+        let mut mig_tally = MigrationTally::new();
+        let mut hysteresis = Hysteresis::new(n_servers);
         let mut last_sweep = first_submit;
         let mut busy_server_seconds = Seconds::ZERO;
         let mut timeline: Vec<AllocationInterval> = Vec::new();
@@ -418,6 +453,14 @@ impl<M: AllocationModel> Simulation<M> {
         }
         // Per-VM queue wait in virtual seconds, recorded at placement.
         let wait_hist = self.telemetry.histogram("sim.queue_wait_s");
+        // Per-move migration stall in virtual milliseconds; only
+        // registered when consolidation can actually fire, so plain
+        // runs expose an unchanged instrument set.
+        let stall_hist = if self.migration.is_some() || !self.migration_windows.is_empty() {
+            self.telemetry.histogram("sim.migration_stall_ms")
+        } else {
+            eavm_telemetry::Histogram::noop()
+        };
 
         // Close/open Fig.-4 timeline intervals for servers whose mix
         // changed, stamping the change at `now`.
@@ -761,6 +804,9 @@ impl<M: AllocationModel> Simulation<M> {
                         total_response += response;
                         if response > vm.deadline {
                             violated[vm.request] = true;
+                            if vm.migrated {
+                                mig_tally.charge_violation();
+                            }
                         }
                         servers[si].mix = servers[si]
                             .mix
@@ -780,13 +826,22 @@ impl<M: AllocationModel> Simulation<M> {
             }
 
             // Reactive consolidation sweep: drain straggler servers onto
-            // busier peers so the freed machines power off.
-            if let Some(cfg) = &self.migration {
+            // busier peers so the freed machines power off. The active
+            // regime is either the run-wide config or the scenario
+            // window covering `t`.
+            if let Some(cfg) = self.active_migration(t) {
                 if (t - last_sweep) >= cfg.check_interval {
                     last_sweep = t;
-                    migrations += self
-                        .consolidation_sweep(cfg, &mut servers, &mut vms, &fault_state)
-                        .map_err(SimulationError::Model)?;
+                    self.consolidation_sweep(
+                        cfg,
+                        &mut servers,
+                        &mut vms,
+                        &fault_state,
+                        &mut hysteresis,
+                        &mut mig_tally,
+                        &stall_hist,
+                    )
+                    .map_err(SimulationError::Model)?;
                 }
             }
 
@@ -834,7 +889,18 @@ impl<M: AllocationModel> Simulation<M> {
             tel.counter("sim.vms_placed").add(total_vms as u64);
             tel.counter("sim.sla_violations")
                 .add(violated.iter().filter(|&&v| v).count() as u64);
-            tel.counter("sim.migrations").add(migrations as u64);
+            tel.counter("sim.migrations")
+                .add(mig_tally.migrations as u64);
+            if mig_tally.migrations > 0 {
+                tel.counter("sim.migrated_mb")
+                    .add(mig_tally.migrated_mb.round() as u64);
+                tel.counter("sim.migration_downtime_ms")
+                    .add((mig_tally.downtime.value() * 1e3).round() as u64);
+                tel.counter("sim.hosts_powered_down")
+                    .add(mig_tally.hosts_powered_down as u64);
+                tel.counter("sim.migration_sla_violations")
+                    .add(mig_tally.sla_violations as u64);
+            }
             if self.faults.is_some() {
                 tel.counter("sim.host_crashes")
                     .add(tallies.host_crashes as u64);
@@ -870,7 +936,10 @@ impl<M: AllocationModel> Simulation<M> {
             total_response_time: total_response,
             total_wait_time: total_wait,
             peak_servers_busy: peak_busy,
-            migrations,
+            migrations: mig_tally.migrations,
+            migrated_mb: mig_tally.migrated_mb,
+            migration_downtime: mig_tally.downtime,
+            hosts_powered_down: mig_tally.hosts_powered_down,
             per_type_violations: {
                 let mut v = [0usize; 3];
                 for (r, &bad) in requests.iter().zip(&violated) {
@@ -1034,6 +1103,7 @@ impl<M: AllocationModel> Simulation<M> {
                         deadline: req.deadline,
                         remaining: 1.0,
                         done: None,
+                        migrated: false,
                     });
                     servers[si].vms.push(vid);
                     *active += 1;
@@ -1053,104 +1123,95 @@ impl<M: AllocationModel> Simulation<M> {
         Ok(())
     }
 
-    /// One consolidation sweep: for every server hosting at most
-    /// `max_donor_vms` VMs, try to re-home *all* of its VMs onto
-    /// non-straggler servers (first fit within `receiver_bound`); on
-    /// success the donor empties (and powers off) and each moved VM pays
-    /// the live-migration penalty as lost progress. Returns the number of
-    /// VMs migrated.
+    /// One consolidation sweep: [`eavm_migrate::plan_moves`] picks the
+    /// donors (servers hosting at most `max_donor_vms` VMs, hysteresis
+    /// permitting) and re-homes *all* of their VMs onto non-straggler
+    /// receivers (first fit within `receiver_bound`, slowdown-guarded),
+    /// all-or-nothing per donor; on success the donor empties (and
+    /// powers off) and each moved VM pays the pre-copy migration stall
+    /// as lost progress.
+    #[allow(clippy::too_many_arguments)] // the sweep is run()'s private helper over its loop state
     fn consolidation_sweep(
         &self,
         cfg: &MigrationConfig,
         servers: &mut [Srv],
         vms: &mut [Vm],
         fault_state: &FaultState,
-    ) -> Result<usize, EavmError> {
-        let mut moved_total = 0usize;
-        let donors: Vec<usize> = {
-            let mut d: Vec<usize> = (0..servers.len())
-                .filter(|&i| {
-                    let n = servers[i].mix.total();
-                    n > 0 && n <= cfg.max_donor_vms
-                })
-                .collect();
-            // Emptiest donors first: cheapest wins.
-            d.sort_by_key(|&i| servers[i].mix.total());
-            d
+        hysteresis: &mut Hysteresis,
+        tally: &mut MigrationTally,
+        stall_hist: &eavm_telemetry::Histogram,
+    ) -> Result<(), EavmError> {
+        let hosts: Vec<HostLoad> = servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| HostLoad {
+                mix: s.mix,
+                available: fault_state.available(i),
+            })
+            .collect();
+        let platforms: Vec<u32> = servers.iter().map(|s| s.platform).collect();
+        let policy = eavm_migrate::ConsolidationConfig {
+            interval: cfg.check_interval,
+            drain_threshold: cfg.max_donor_vms,
+            receiver_bound: cfg.receiver_bound,
+            hysteresis_sweeps: cfg.hysteresis_sweeps,
+            model: cfg.model.clone(),
         };
-
-        for donor in donors {
-            // Plan destinations for every resident VM, all-or-nothing.
-            let resident = servers[donor].vms.clone();
-            if resident.is_empty() {
-                continue;
+        hysteresis.begin_sweep();
+        // Degradation budget guard: nobody on the receiver may be
+        // pushed past `max_slowdown x` its solo runtime.
+        let plan = plan_moves(&hosts, &policy, hysteresis, |r, new_mix| {
+            let model = self.model_of(platforms[r]);
+            match model.estimate_mix(new_mix) {
+                Ok(est) => WorkloadType::ALL.into_iter().all(|t| match est.time_of(t) {
+                    Some(time) => time <= model.solo_time(t) * cfg.max_slowdown,
+                    None => true,
+                }),
+                Err(_) => false,
             }
-            let mut tentative: Vec<MixVector> = servers.iter().map(|s| s.mix).collect();
-            let mut plan: Vec<(usize, usize)> = Vec::with_capacity(resident.len());
-            let mut feasible = true;
-            for &vid in &resident {
-                let ty = vms[vid].ty;
-                let receiver = (0..servers.len()).find(|&r| {
-                    if r == donor
-                        || !fault_state.available(r)
-                        || servers[r].mix.total() <= cfg.max_donor_vms
-                        || !tentative[r].plus(ty).fits_within(&cfg.receiver_bound)
-                    {
-                        return false;
-                    }
-                    // Degradation budget: nobody on the receiver may be
-                    // pushed past `max_slowdown x` its solo runtime.
-                    let model = self.model_of(servers[r].platform);
-                    let new_mix = tentative[r].plus(ty);
-                    match model.estimate_mix(new_mix) {
-                        Ok(est) => WorkloadType::ALL.into_iter().all(|t| match est.time_of(t) {
-                            Some(time) => time <= model.solo_time(t) * cfg.max_slowdown,
-                            None => true,
-                        }),
-                        Err(_) => false,
-                    }
-                });
-                match receiver {
-                    Some(r) => {
-                        tentative[r] = tentative[r].plus(ty);
-                        plan.push((vid, r));
-                    }
-                    None => {
-                        feasible = false;
-                        break;
-                    }
-                }
-            }
-            if !feasible {
-                continue;
-            }
-
-            // Commit: move VMs, charge penalties, refresh caches.
-            let mut touched: Vec<usize> = vec![donor];
-            for (vid, r) in plan {
-                let ty = vms[vid].ty;
-                servers[donor].vms.retain(|&x| x != vid);
-                servers[donor].mix = servers[donor]
-                    .mix
-                    .minus(ty)
-                    .expect("migrating VM must be resident");
-                servers[r].vms.push(vid);
-                servers[r].mix = servers[r].mix.plus(ty);
-                // Lost progress: down-time plus dirty-page re-copy,
-                // expressed as a fraction of the solo runtime.
-                let solo = self.model_of(servers[r].platform).solo_time(ty);
-                vms[vid].remaining = (vms[vid].remaining + cfg.penalty / solo).min(1.0);
-                if !touched.contains(&r) {
-                    touched.push(r);
-                }
-                moved_total += 1;
-            }
-            for i in touched {
-                let platform = servers[i].platform;
-                servers[i].refresh(self.model_of(platform))?;
-            }
+        });
+        if plan.is_empty() {
+            return Ok(());
         }
-        Ok(moved_total)
+
+        // Commit: move VMs, charge the pre-copy stall, refresh caches.
+        let cost = cfg.model.cost();
+        let mut touched: Vec<usize> = Vec::new();
+        for m in &plan.moves {
+            let vid = servers[m.from]
+                .vms
+                .iter()
+                .copied()
+                .find(|&v| vms[v].ty == m.ty)
+                .ok_or_else(|| {
+                    EavmError::Infeasible("planned move references absent resident".into())
+                })?;
+            servers[m.from].vms.retain(|&x| x != vid);
+            servers[m.from].mix = servers[m.from]
+                .mix
+                .minus(m.ty)
+                .expect("migrating VM must be resident");
+            servers[m.to].vms.push(vid);
+            servers[m.to].mix = servers[m.to].mix.plus(m.ty);
+            // Lost progress: stop-and-copy downtime plus degraded
+            // pre-copy, expressed as a fraction of the solo runtime.
+            let solo = self.model_of(platforms[m.to]).solo_time(m.ty);
+            vms[vid].remaining = (vms[vid].remaining + cost.stall / solo).min(1.0);
+            vms[vid].migrated = true;
+            tally.record(&cost);
+            stall_hist.record((cost.stall.value() * 1e3).round() as u64);
+            touched.push(m.from);
+            touched.push(m.to);
+        }
+        tally.record_powered_down(plan.emptied.len());
+        hysteresis.commit(&plan, cfg.hysteresis_sweeps);
+        touched.sort_unstable();
+        touched.dedup();
+        for i in touched {
+            let platform = servers[i].platform;
+            servers[i].refresh(self.model_of(platform))?;
+        }
+        Ok(())
     }
 }
 
@@ -1428,19 +1489,38 @@ mod tests {
         let migrating = Simulation::new(model(), cloud(2)).with_migration(MigrationConfig {
             max_donor_vms: 2,
             receiver_bound: eavm_types::MixVector::new(10, 4, 7),
-            penalty: Seconds(45.0),
             check_interval: Seconds(300.0),
             max_slowdown: 1.8,
+            // No cooldown: the straggler host receives a fresh arrival
+            // right after being drained and must be drained again for
+            // the energy win this test asserts.
+            hysteresis_sweeps: 0,
+            ..Default::default()
         });
 
         let base = plain.run(&mut ff(), &reqs).unwrap();
         let merged = migrating.run(&mut ff(), &reqs).unwrap();
 
         assert_eq!(base.migrations, 0);
+        assert_eq!(base.hosts_powered_down, 0);
+        assert_eq!(base.migrated_mb, 0.0);
         assert!(merged.migrations >= 1, "sweep never fired");
         assert_eq!(merged.vms, base.vms, "migration lost a VM");
+        // The physical cost columns must be consistent with the count.
+        let per_move = MigrationConfig::default().model.cost();
+        assert!(
+            (merged.migrated_mb - merged.migrations as f64 * per_move.bytes_mb).abs() < 1e-6,
+            "migrated bytes must equal moves x per-move transfer"
+        );
+        assert!(
+            (merged.migration_downtime.value()
+                - merged.migrations as f64 * per_move.downtime.value())
+            .abs()
+                < 1e-9
+        );
+        assert!(merged.hosts_powered_down >= 1, "donor never powered down");
         // Draining the straggler powers a server off early: less energy,
-        // at some makespan cost from the penalty + added contention.
+        // at some makespan cost from the stall + added contention.
         assert!(
             merged.energy < base.energy,
             "migration should save energy: {} vs {}",
@@ -1466,6 +1546,47 @@ mod tests {
         let out = sim.run(&mut ff(), &reqs).unwrap();
         assert_eq!(out.migrations, 0);
         assert_eq!(out.vms, 2);
+    }
+
+    #[test]
+    fn migration_windows_gate_consolidation_in_time() {
+        use crate::migration::{MigrationConfig, MigrationWindow};
+        let reqs = vec![
+            req(0, 0.0, WorkloadType::Cpu, 4, 1e9),
+            req(1, 0.0, WorkloadType::Io, 1, 1e9),
+            // An arrival event at 400 s gives the sweep gate an instant
+            // to fire at while the straggler is still populated.
+            req(2, 400.0, WorkloadType::Io, 1, 1e9),
+        ];
+        let cfg = MigrationConfig {
+            check_interval: Seconds(300.0),
+            ..Default::default()
+        };
+        // A window that closes before the first sweep could fire: the
+        // regime is armed but never active, so nothing moves.
+        let closed =
+            Simulation::new(model(), cloud(2)).with_migration_windows(vec![MigrationWindow {
+                start: Seconds(0.0),
+                end: Seconds(100.0),
+                config: cfg.clone(),
+            }]);
+        let out = closed.run(&mut ff(), &reqs).unwrap();
+        assert_eq!(out.migrations, 0);
+
+        // An all-run window behaves exactly like `with_migration`.
+        let open =
+            Simulation::new(model(), cloud(2)).with_migration_windows(vec![MigrationWindow {
+                start: Seconds(0.0),
+                end: Seconds(f64::MAX),
+                config: cfg.clone(),
+            }]);
+        let windowed = open.run(&mut ff(), &reqs).unwrap();
+        let flat = Simulation::new(model(), cloud(2))
+            .with_migration(cfg)
+            .run(&mut ff(), &reqs)
+            .unwrap();
+        assert_eq!(windowed, flat, "all-run window must equal flat config");
+        assert!(windowed.migrations >= 1, "sweep never fired in-window");
     }
 
     #[test]

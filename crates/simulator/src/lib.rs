@@ -30,4 +30,4 @@ pub mod migration;
 pub use cloud::CloudConfig;
 pub use engine::{QueuePolicy, Simulation, SimulationError};
 pub use metrics::{AllocationInterval, SimOutcome};
-pub use migration::MigrationConfig;
+pub use migration::{MigrationConfig, MigrationWindow};

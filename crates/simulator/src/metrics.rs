@@ -62,6 +62,13 @@ pub struct SimOutcome {
     /// Number of live VM migrations performed (0 unless the reactive
     /// consolidation extension is enabled).
     pub migrations: usize,
+    /// Megabytes copied over migration links (every pre-copy round plus
+    /// the final stop-and-copy, summed across all migrations).
+    pub migrated_mb: f64,
+    /// Total stop-and-copy downtime across all migrations.
+    pub migration_downtime: Seconds,
+    /// Donor hosts fully drained and powered off by consolidation.
+    pub hosts_powered_down: usize,
     /// Requests violating their deadline, by workload type (the paper's
     /// QoS is defined per application type).
     pub per_type_violations: [usize; 3],
@@ -165,7 +172,7 @@ impl SimOutcome {
     /// One CSV row (see [`Self::CSV_HEADER`]).
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{:.3},{:.3},{:.3},{},{:.4},{:.3},{:.3},{},{},{},{},{},{},{:.3},{:.3}",
+            "{},{},{},{},{:.3},{:.3},{:.3},{},{:.4},{:.3},{:.3},{},{},{:.1},{:.3},{},{},{},{},{},{:.3},{:.3}",
             self.strategy,
             self.cloud,
             self.requests,
@@ -179,6 +186,9 @@ impl SimOutcome {
             self.mean_wait_time().value(),
             self.peak_servers_busy,
             self.migrations,
+            self.migrated_mb,
+            self.migration_downtime.value(),
+            self.hosts_powered_down,
             self.host_crashes,
             self.host_degradations,
             self.vms_killed,
@@ -191,6 +201,7 @@ impl SimOutcome {
     /// Header for [`Self::to_csv`].
     pub const CSV_HEADER: &'static str = "strategy,cloud,requests,vms,makespan_s,energy_j,\
 idle_energy_j,sla_violations,sla_pct,mean_response_s,mean_wait_s,peak_servers_busy,migrations,\
+migrated_mb,migration_downtime_s,hosts_powered_down,\
 host_crashes,host_degradations,vms_killed,vms_restarted,lost_work_s,restart_energy_j";
 }
 
@@ -213,6 +224,9 @@ mod tests {
             total_wait_time: Seconds(50_000.0),
             peak_servers_busy: 120,
             migrations: 0,
+            migrated_mb: 0.0,
+            migration_downtime: Seconds::ZERO,
+            hosts_powered_down: 0,
             per_type_violations: [20, 6, 4],
             per_type_requests: [80, 60, 60],
             busy_server_seconds: Seconds(900_000.0),

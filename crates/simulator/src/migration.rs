@@ -8,13 +8,17 @@
 //! and by avoiding costly VM migrations". This module supplies that
 //! comparison point: a periodic consolidation sweep that drains
 //! under-utilized servers onto their peers (so the freed servers power
-//! off), charging each moved VM a live-migration penalty.
+//! off), charging each moved VM its *physical* live-migration stall
+//! from the [`eavm_migrate::MigrationModel`] pre-copy iteration —
+//! downtime plus degraded pre-copy time, not a flat penalty.
 //!
 //! The sweep is deliberately simple — the classic "pack the stragglers"
 //! heuristic — because its role is to quantify how much of PROACTIVE's
 //! advantage a reactive scheme can claw back, and at what cost in
-//! migrations.
+//! migrations. [`eavm_migrate::Hysteresis`] keeps a freshly drained
+//! host from bouncing back into service and being drained again.
 
+use eavm_migrate::MigrationModel;
 use eavm_types::{MixVector, Seconds};
 
 /// Configuration of the reactive consolidation sweep.
@@ -26,10 +30,10 @@ pub struct MigrationConfig {
     /// database's OS bounds — a receiver must stay inside the
     /// benchmarked grid).
     pub receiver_bound: MixVector,
-    /// Live-migration penalty per moved VM: the VM loses this much
-    /// progress (down-time plus dirty-page re-copy), expressed in
-    /// solo-runtime seconds.
-    pub penalty: Seconds,
+    /// The pre-copy cost model pricing each move: the moved VM loses
+    /// `stall = downtime + copy_degradation × precopy` seconds of
+    /// progress, expressed in solo-runtime seconds.
+    pub model: MigrationModel,
     /// Minimum simulated time between sweeps.
     pub check_interval: Seconds,
     /// Performance guard: a receiver is only eligible if, after taking
@@ -37,6 +41,9 @@ pub struct MigrationConfig {
     /// within `max_slowdown ×` its solo runtime (Entropy/pMapper-style
     /// degradation budgeting).
     pub max_slowdown: f64,
+    /// Sweeps a host touched by a committed plan (donor or receiver)
+    /// sits out before donating again — the anti-flapping hysteresis.
+    pub hysteresis_sweeps: u32,
 }
 
 impl Default for MigrationConfig {
@@ -44,9 +51,10 @@ impl Default for MigrationConfig {
         MigrationConfig {
             max_donor_vms: 2,
             receiver_bound: MixVector::new(10, 4, 7),
-            penalty: Seconds(45.0),
+            model: MigrationModel::default(),
             check_interval: Seconds(300.0),
             max_slowdown: 1.8,
+            hysteresis_sweeps: 1,
         }
     }
 }
@@ -60,9 +68,7 @@ impl MigrationConfig {
         if self.receiver_bound.is_empty() {
             return Err("receiver bound must be non-empty".into());
         }
-        if self.penalty < Seconds::ZERO {
-            return Err("migration penalty cannot be negative".into());
-        }
+        self.model.validate()?;
         if self.check_interval <= Seconds::ZERO {
             return Err("check interval must be positive".into());
         }
@@ -70,6 +76,40 @@ impl MigrationConfig {
             return Err("max_slowdown must be at least 1".into());
         }
         Ok(())
+    }
+}
+
+/// One consolidation regime active over a simulated-time window —
+/// scenarios switch consolidation on, off, or re-tuned per phase by
+/// lowering each phase to an absolute-time window
+/// ([`Simulation::with_migration_windows`](crate::Simulation::with_migration_windows)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationWindow {
+    /// Window start (absolute simulated time, inclusive).
+    pub start: Seconds,
+    /// Window end (absolute simulated time, exclusive; `Seconds::MAX`
+    /// for "until the end of the run").
+    pub end: Seconds,
+    /// The regime in force inside the window.
+    pub config: MigrationConfig,
+}
+
+impl MigrationWindow {
+    /// Does this window cover timestamp `t`?
+    pub fn covers(&self, t: Seconds) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Validate the window shape and its embedded config.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.end <= self.start {
+            return Err(format!(
+                "migration window must have start < end, got [{}, {})",
+                self.start.value(),
+                self.end.value()
+            ));
+        }
+        self.config.validate()
     }
 }
 
@@ -96,11 +136,14 @@ mod tests {
         };
         assert!(no_receivers.validate().is_err());
 
-        let negative_penalty = MigrationConfig {
-            penalty: Seconds(-1.0),
+        let broken_model = MigrationConfig {
+            model: MigrationModel {
+                max_rounds: 0,
+                ..MigrationModel::default()
+            },
             ..Default::default()
         };
-        assert!(negative_penalty.validate().is_err());
+        assert!(broken_model.validate().unwrap_err().contains("max_rounds"));
 
         let zero_interval = MigrationConfig {
             check_interval: Seconds(0.0),
@@ -113,5 +156,36 @@ mod tests {
             ..Default::default()
         };
         assert!(sub_unit_slowdown.validate().is_err());
+    }
+
+    #[test]
+    fn default_stall_is_seconds_scale() {
+        // The physical model must charge far less than the old flat
+        // 45 s penalty: a sub-GB guest over a 250 MB/s link stalls for
+        // about two seconds.
+        let cost = MigrationConfig::default().model.cost();
+        assert!(cost.stall > Seconds(0.1), "{cost:?}");
+        assert!(cost.stall < Seconds(10.0), "{cost:?}");
+    }
+
+    #[test]
+    fn windows_cover_half_open_ranges_and_validate() {
+        let w = MigrationWindow {
+            start: Seconds(100.0),
+            end: Seconds(200.0),
+            config: MigrationConfig::default(),
+        };
+        w.validate().unwrap();
+        assert!(w.covers(Seconds(100.0)));
+        assert!(w.covers(Seconds(199.9)));
+        assert!(!w.covers(Seconds(200.0)));
+        assert!(!w.covers(Seconds(99.9)));
+
+        let inverted = MigrationWindow {
+            start: Seconds(5.0),
+            end: Seconds(5.0),
+            config: MigrationConfig::default(),
+        };
+        assert!(inverted.validate().is_err());
     }
 }

@@ -52,6 +52,7 @@
 //! | [`faults`] | seeded deterministic fault plans: crashes, degradation, lookup failures |
 //! | [`telemetry`] | metrics registry, bounded event journal, Prometheus/JSON exporters |
 //! | [`durability`] | write-ahead admission journal, checkpoint snapshots, crash recovery |
+//! | [`migrate`] | live-migration pre-copy cost model + threshold consolidation policy |
 //! | [`service`] | online concurrent allocation service (sharded fleet, batched admission) |
 //!
 //! The `eavm-bench` crate (not re-exported) regenerates every table and
@@ -63,6 +64,7 @@ pub use eavm_benchdb as benchdb;
 pub use eavm_core as core;
 pub use eavm_durability as durability;
 pub use eavm_faults as faults;
+pub use eavm_migrate as migrate;
 pub use eavm_partitions as partitions;
 pub use eavm_service as service;
 pub use eavm_simulator as simulator;

@@ -13,11 +13,14 @@
 
 use std::path::{Path, PathBuf};
 
-use eavm::durability::{read_frames, recover_dir, wal_path, Wal};
+use eavm::durability::{read_frames, recover_dir, wal_path, Wal, WalRecord};
+use eavm::faults::WorkerFaultPlan;
+use eavm::migrate::ConsolidationConfig;
 use eavm::prelude::*;
 use eavm::service::{
     drive_paced, replay_online_paced, verdict_line, AllocService, DurabilityConfig, ServiceConfig,
 };
+use proptest::prelude::*;
 
 fn tmp(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("eavm-recov-{}-{name}", std::process::id()));
@@ -166,6 +169,203 @@ fn recovery_is_bit_exact_at_every_wal_truncation_point() {
             payloads.len()
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Like [`config`] but with consolidation sweeps enabled: every 100
+/// virtual seconds any host holding at most 2 VMs drains onto best-fit
+/// peers (no hysteresis, so every sweep is eligible). Paced submissions
+/// below advance virtual time across many epoch boundaries, so sweeps —
+/// and the `Migrate` WAL frames they journal *before* executing — are
+/// interleaved with admissions, checkpoints, and retirements.
+fn consolidated_config(dir: &Path) -> ServiceConfig {
+    config(dir).with_consolidation(ConsolidationConfig {
+        interval: Seconds(100.0),
+        drain_threshold: 2,
+        hysteresis_sweeps: 0,
+        ..ConsolidationConfig::default()
+    })
+}
+
+/// A workload whose paced submissions stretch across nine consolidation
+/// epochs: an early block of CPU VMs anchors a receiver host while
+/// later single-VM arrivals scatter stragglers for the sweeps to
+/// harvest (deadlines are far out, so nothing retires mid-run and every
+/// journaled move concerns a still-resident VM).
+fn consolidating_workload() -> Vec<VmRequest> {
+    vec![
+        request(0, 0.0, WorkloadType::Cpu, 6),
+        request(1, 60.0, WorkloadType::Io, 1),
+        request(2, 120.0, WorkloadType::Mem, 1),
+        request(3, 240.0, WorkloadType::Io, 1),
+        request(4, 360.0, WorkloadType::Cpu, 2),
+        request(5, 480.0, WorkloadType::Mem, 10),
+        request(6, 600.0, WorkloadType::Cpu, 33),
+        request(7, 720.0, WorkloadType::Io, 1),
+        request(8, 840.0, WorkloadType::Cpu, 1),
+    ]
+}
+
+/// Crash-mid-migration byte parity: with consolidation sweeps running
+/// between admissions, truncate the WAL at EVERY frame boundary —
+/// including boundaries that land between a journaled `Migrate` frame
+/// and the sweep that follows it — recover, re-drive, and demand both a
+/// byte-identical verdict log and identical consolidation totals. The
+/// journal-before-execute discipline is what makes this hold: a sweep's
+/// move list is durable before any VM moves, so replay re-executes
+/// exactly the journaled schedule instead of re-planning.
+#[test]
+fn recovery_is_bit_exact_across_consolidation_sweeps() {
+    let db = DbBuilder::exact().build().expect("db");
+    let requests = consolidating_workload();
+
+    let ctrl = tmp("mig-ctrl");
+    let report =
+        replay_online_paced(&db, consolidated_config(&ctrl), &requests).expect("control run");
+    let control = journal_lines(&ctrl);
+    assert!(
+        report.stats.consolidation_migrations >= 1,
+        "workload never migrated a VM: {:?}",
+        report.stats
+    );
+
+    let (payloads, torn) = read_frames(&wal_path(&ctrl)).expect("control wal");
+    assert_eq!(torn, 0);
+    let migrate_frames = payloads
+        .iter()
+        .filter_map(|p| match WalRecord::decode(p) {
+            Ok(WalRecord::Migrate { moves, .. }) => Some(moves.len()),
+            _ => None,
+        })
+        .collect::<Vec<_>>();
+    assert!(
+        migrate_frames.iter().any(|&moves| moves > 0),
+        "no Migrate frame with a non-empty move list was journaled"
+    );
+    let snapshots: Vec<PathBuf> = std::fs::read_dir(&ctrl)
+        .unwrap()
+        .filter_map(|e| {
+            let path = e.unwrap().path();
+            (path.extension().is_some_and(|x| x == "snap")).then_some(path)
+        })
+        .collect();
+
+    for k in 0..=payloads.len() {
+        let dir = tmp(&format!("mig-cut{k}"));
+        for snap in &snapshots {
+            std::fs::copy(snap, dir.join(snap.file_name().unwrap())).unwrap();
+        }
+        let (mut wal, _) = Wal::open(&wal_path(&dir)).expect("wal");
+        for payload in &payloads[..k] {
+            wal.append(payload).expect("append");
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+
+        let (service, rec) =
+            AllocService::recover(db.clone(), consolidated_config(&dir)).expect("recover");
+        let resume_from = rec.next_ticket as usize;
+        drive_paced(&service, &requests[resume_from..]).expect("re-drive");
+        service.drain().expect("drain");
+        let _ = service.poll_verdicts();
+        let stats = service.shutdown().expect("shutdown");
+
+        assert_eq!(
+            journal_lines(&dir),
+            control,
+            "verdict log diverged after crash at WAL frame {k}/{}",
+            payloads.len()
+        );
+        // The consolidation schedule itself converged too: the same
+        // sweeps ran, the same VMs moved, the same donors powered down.
+        assert_eq!(
+            (
+                stats.consolidation_sweeps,
+                stats.consolidation_migrations,
+                stats.consolidation_hosts_drained,
+            ),
+            (
+                report.stats.consolidation_sweeps,
+                report.stats.consolidation_migrations,
+                report.stats.consolidation_hosts_drained,
+            ),
+            "consolidation totals diverged after crash at WAL frame {k}/{}",
+            payloads.len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ctrl);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: consolidation never creates or destroys a VM, no
+    /// matter the sweep regime and no matter which shard workers die
+    /// underneath it. Random (interval, threshold, hysteresis) regimes
+    /// are crossed with seeded worker-kill plans; throughout, the
+    /// coordinator's fleet mirror and the shards' own resident counts
+    /// must agree, and every submission must still resolve to exactly
+    /// one final verdict.
+    #[test]
+    fn consolidation_regimes_and_worker_faults_conserve_vms(
+        seed in 1u64..u64::MAX,
+        interval in 40.0f64..300.0,
+        threshold in 1u32..=3,
+        hysteresis in 0u32..=2,
+        kill_probability in 0.0f64..=0.6,
+    ) {
+        let db = DbBuilder::exact().build().expect("db");
+        let mut config = ServiceConfig::new(2, 6)
+            .with_consolidation(ConsolidationConfig {
+                interval: Seconds(interval),
+                drain_threshold: threshold,
+                hysteresis_sweeps: hysteresis,
+                ..ConsolidationConfig::default()
+            })
+            .with_worker_faults(WorkerFaultPlan::generate(seed, 2, kill_probability, 20.0));
+        config.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        let service = AllocService::start(db, config).expect("start");
+
+        let total = 30u32;
+        for i in 0..total {
+            let ty = WorkloadType::ALL[(i % 3) as usize];
+            service.submit(request(i, f64::from(i) * 30.0, ty, 1 + i % 2));
+            service.stats().expect("stats");
+        }
+
+        // Mid-run, after many sweeps but before anything is forced to
+        // retire: the mirror the coordinator plans sweeps against must
+        // agree with the shards' ground truth.
+        let mid = service.stats().expect("stats");
+        let shard_resident: usize = mid.shards.iter().map(|s| s.resident_vms).sum();
+        prop_assert_eq!(mid.resident_vms, shard_resident,
+            "mirror out of sync with shards mid-run: {:?}", mid);
+        prop_assert!(mid.consolidation_sweeps >= 1,
+            "interval {} over 870 virtual seconds fired no sweep", interval);
+
+        service.drain().expect("drain");
+        let stats = service.shutdown().expect("shutdown");
+
+        // Every submission resolves: nothing lost to a sweep or a
+        // worker death, nothing double-counted.
+        prop_assert_eq!(
+            stats.admitted_local
+                + stats.admitted_cross_shard
+                + stats.shed_wait_queue
+                + stats.shed_unplaceable
+                + stats.shed_shard_failure,
+            u64::from(total),
+            "verdict conservation broken: {:?}", stats
+        );
+        prop_assert_eq!(stats.parked, 0);
+        // A drained host implies at least one executed move.
+        prop_assert!(
+            stats.consolidation_migrations >= stats.consolidation_hosts_drained,
+            "more hosts drained than VMs moved: {:?}", stats
+        );
+        let shard_resident: usize = stats.shards.iter().map(|s| s.resident_vms).sum();
+        prop_assert_eq!(stats.resident_vms, shard_resident);
     }
 }
 

@@ -120,6 +120,89 @@ cmp "$CHAOS_DIR/cons-ctrl.log" "$CHAOS_DIR/cons-rec.log" \
     || { echo "consolidation drill: recovered verdict log diverged"; \
          diff "$CHAOS_DIR/cons-ctrl.log" "$CHAOS_DIR/cons-rec.log" | head -20; exit 1; }
 
+echo "==> corruption matrix drill (scrub + degraded-mode recovery parity)"
+# Four storage-fault cells, each driven back to the uncrashed control's
+# verdict log byte for byte: a bit-flipped newest snapshot, a torn WAL
+# tail, ENOSPC mid-run, and a crash with every fsync dropped. Scrub
+# reports are seeded-deterministic: the same corruption seed on an
+# identical journal copy must render the identical report.
+CORR_DIR="$(mktemp -d)"
+TMP_DIRS+=("$CORR_DIR")
+RECOVER=("${CLI[@]}" recover --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 6 --shards 2 --vms 200 \
+    --checkpoint-every 16)
+
+# Cell 1: bit-flip the newest snapshot — twice, on two identical
+# copies, to pin the scrub report's determinism.
+for side in a b; do
+    mkdir "$CORR_DIR/flip-$side"
+    cp "$CHAOS_DIR/ctrl/"* "$CORR_DIR/flip-$side/"
+    "${CLI[@]}" corrupt --journal-dir "$CORR_DIR/flip-$side" \
+        --kind snapshot-bit-flip --seed 9 > /dev/null
+    "${CLI[@]}" scrub --journal-dir "$CORR_DIR/flip-$side" \
+        > "$CORR_DIR/flip-$side.report"
+done
+cmp "$CORR_DIR/flip-a.report" "$CORR_DIR/flip-b.report" \
+    || { echo "corruption drill: scrub report not deterministic"; \
+         diff "$CORR_DIR/flip-a.report" "$CORR_DIR/flip-b.report"; exit 1; }
+grep -q "quarantined=1" "$CORR_DIR/flip-a.report" \
+    || { echo "corruption drill: flipped snapshot not quarantined"; \
+         cat "$CORR_DIR/flip-a.report"; exit 1; }
+"${RECOVER[@]}" --journal-dir "$CORR_DIR/flip-a" \
+    --verdicts-out "$CORR_DIR/flip.log" > /dev/null
+cmp "$CHAOS_DIR/ctrl.log" "$CORR_DIR/flip.log" \
+    || { echo "corruption drill: snapshot-bit-flip cell diverged"; exit 1; }
+
+# Cell 2: torn WAL tail — a frame header promising bytes that never
+# landed. Scrub repairs the tail; a second scrub must come back clean.
+mkdir "$CORR_DIR/torn"
+cp "$CHAOS_DIR/ctrl/"* "$CORR_DIR/torn/"
+"${CLI[@]}" corrupt --journal-dir "$CORR_DIR/torn" \
+    --kind wal-torn-tail --seed 7 > /dev/null
+"${CLI[@]}" scrub --journal-dir "$CORR_DIR/torn" > "$CORR_DIR/torn.report"
+grep -q "torn_tails_repaired=1" "$CORR_DIR/torn.report" \
+    || { echo "corruption drill: torn tail not repaired"; \
+         cat "$CORR_DIR/torn.report"; exit 1; }
+"${CLI[@]}" scrub --journal-dir "$CORR_DIR/torn" | grep -q "verdict: clean" \
+    || { echo "corruption drill: scrub not idempotent on torn tail"; exit 1; }
+"${RECOVER[@]}" --journal-dir "$CORR_DIR/torn" \
+    --verdicts-out "$CORR_DIR/torn.log" > /dev/null
+cmp "$CHAOS_DIR/ctrl.log" "$CORR_DIR/torn.log" \
+    || { echo "corruption drill: wal-torn-tail cell diverged"; exit 1; }
+
+# Cell 3: ENOSPC mid-checkpoint — the byte budget runs dry mid-stream,
+# the service degrades (WAL-only, then read-only shed) but must still
+# conserve verdicts; recovery on healthy storage re-drives the
+# undecided suffix back to parity.
+ENOSPC_OUT="$("${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 6 --shards 2 --vms 200 \
+    --paced --journal-dir "$CORR_DIR/enospc" --checkpoint-every 16 \
+    --storage-enospc-after 6000 --storage-fault-seed 3)"
+echo "$ENOSPC_OUT" | grep -q "conservation: ok" \
+    || { echo "corruption drill: ENOSPC run lost verdicts"; echo "$ENOSPC_OUT"; exit 1; }
+echo "$ENOSPC_OUT" | grep -q "storage: faults-injected=" \
+    || { echo "corruption drill: ENOSPC run injected no faults"; echo "$ENOSPC_OUT"; exit 1; }
+"${RECOVER[@]}" --journal-dir "$CORR_DIR/enospc" --scrub \
+    --verdicts-out "$CORR_DIR/enospc.log" > /dev/null
+cmp "$CHAOS_DIR/ctrl.log" "$CORR_DIR/enospc.log" \
+    || { echo "corruption drill: ENOSPC cell diverged"; \
+         diff "$CHAOS_DIR/ctrl.log" "$CORR_DIR/enospc.log" | head -20; exit 1; }
+
+# Cell 4: every fsync dropped, then a hard crash — the WAL bytes that
+# reached the page cache must still replay to the control's log.
+"${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$CHAOS_DIR/t.swf" --servers 6 --shards 2 --vms 200 \
+    --paced --journal-dir "$CORR_DIR/dropsync" --checkpoint-every 16 \
+    --storage-drop-sync 1.0 --storage-fault-seed 11 \
+    --crash-after-events 37 > /dev/null 2>&1 || true
+test -s "$CORR_DIR/dropsync/wal.log" \
+    || { echo "corruption drill: dropped-fsync run left no WAL"; exit 1; }
+"${RECOVER[@]}" --journal-dir "$CORR_DIR/dropsync" --scrub \
+    --verdicts-out "$CORR_DIR/dropsync.log" > /dev/null
+cmp "$CHAOS_DIR/ctrl.log" "$CORR_DIR/dropsync.log" \
+    || { echo "corruption drill: dropped-fsync cell diverged"; \
+         diff "$CHAOS_DIR/ctrl.log" "$CORR_DIR/dropsync.log" | head -20; exit 1; }
+
 echo "==> scenario library (byte-deterministic replays)"
 # Every committed scenario must check clean and produce byte-identical
 # outcome CSVs across two runs (against the exact model database the

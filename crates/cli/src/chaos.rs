@@ -9,8 +9,14 @@
 //!   model-lookup failure probability (service); must be in `[0, 1]`.
 //! * `--kill-shard N` / `--kill-after M` — kill worker N after M served
 //!   messages to exercise the supervised respawn path.
+//!
+//! The durability plane has its own fault family (torn appends, bit
+//! rot, ENOSPC, dropped syncs, failed renames), parsed by
+//! [`storage_fault_flags`] into an [`eavm_storage::StorageFaultConfig`]
+//! armed on the journal's storage backend.
 
 use eavm_faults::{FaultConfig, FaultPlan, LookupFaults, WorkerFaultPlan};
+use eavm_storage::StorageFaultConfig;
 
 use crate::args::Args;
 
@@ -132,6 +138,46 @@ impl ChaosFlags {
     }
 }
 
+/// Parse the storage-fault flags shared by `serve` and `recover` into
+/// a [`StorageFaultConfig`], or `None` when no fault is armed:
+///
+/// * `--storage-torn-append F` — probability an append tears mid-write.
+/// * `--storage-bit-flip F` — probability a read-back flips one bit.
+/// * `--storage-drop-sync F` — probability an fsync is silently dropped.
+/// * `--storage-fail-rename F` — probability an atomic rename fails.
+/// * `--storage-enospc-after BYTES` — byte budget before writes ENOSPC.
+/// * `--storage-fault-seed N` — deterministic seed (default `0xFA17`);
+///   rejected on its own, since a seed with nothing armed is a typo.
+pub fn storage_fault_flags(args: &Args) -> Result<Option<StorageFaultConfig>, String> {
+    let torn = args.fraction_or("storage-torn-append", 0.0)?;
+    let flip = args.fraction_or("storage-bit-flip", 0.0)?;
+    let drop = args.fraction_or("storage-drop-sync", 0.0)?;
+    let rename = args.fraction_or("storage-fail-rename", 0.0)?;
+    let enospc = args.get_optional::<u64>("storage-enospc-after")?;
+    if enospc == Some(0) {
+        return Err("--storage-enospc-after must be nonzero".into());
+    }
+    let armed = torn > 0.0 || flip > 0.0 || drop > 0.0 || rename > 0.0 || enospc.is_some();
+    if !armed {
+        if args.get_optional::<u64>("storage-fault-seed")?.is_some() {
+            return Err(
+                "--storage-fault-seed needs a storage fault rate or --storage-enospc-after".into(),
+            );
+        }
+        return Ok(None);
+    }
+    let seed = args.get_or("storage-fault-seed", DEFAULT_FAULT_SEED)?;
+    let mut faults = StorageFaultConfig::quiet(seed)
+        .with_torn_append(torn)
+        .with_bit_flip(flip)
+        .with_drop_sync(drop)
+        .with_fail_rename(rename);
+    if let Some(bytes) = enospc {
+        faults = faults.with_enospc_after(bytes);
+    }
+    Ok(Some(faults))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +243,26 @@ mod tests {
             .apply_to_spec(&mut spec)
             .expect_err("kill needs service mode");
         assert!(err.contains("kill"), "{err}");
+    }
+
+    fn storage(argv: &[&str]) -> Result<Option<StorageFaultConfig>, String> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        storage_fault_flags(&Args::parse(&argv).expect("argv parses"))
+    }
+
+    #[test]
+    fn storage_flags_arm_only_when_a_fault_is_given() {
+        assert!(storage(&["x"]).expect("parses").is_none());
+        let armed = storage(&["x", "--storage-bit-flip", "0.5"])
+            .expect("parses")
+            .expect("armed");
+        assert!(!armed.is_quiet());
+
+        let err = storage(&["x", "--storage-fault-seed", "9"]).expect_err("seed alone");
+        assert!(err.contains("storage-fault-seed"), "{err}");
+        let err = storage(&["x", "--storage-enospc-after", "0"]).expect_err("zero budget");
+        assert!(err.contains("nonzero"), "{err}");
+        let err = storage(&["x", "--storage-torn-append", "1.5"]).expect_err("out of range");
+        assert!(err.contains("[0, 1]"), "{err}");
     }
 }

@@ -20,7 +20,7 @@ use eavm_telemetry::Telemetry;
 use eavm_types::{Seconds, WorkloadType};
 
 use crate::args::Args;
-use crate::chaos::ChaosFlags;
+use crate::chaos::{storage_fault_flags, ChaosFlags};
 
 /// Dispatch a parsed command line; returns the stdout payload.
 pub fn dispatch(argv: &[String]) -> Result<String, String> {
@@ -41,6 +41,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, String> {
         "simulate" => simulate(&args),
         "serve" => serve(&args),
         "recover" => recover(&args),
+        "scrub" => scrub_cmd(&args),
+        "corrupt" => corrupt_cmd(&args),
         "replay-online" => replay_online_cmd(&args),
         "db-diff" => db_diff(&args),
         "info" => info(&args),
@@ -71,12 +73,18 @@ USAGE:
                        [--kill-shard N] [--kill-after M]
                        [--journal-dir DIR] [--checkpoint-every N] [--paced]
                        [--crash-after-events N] [--verdicts-out FILE]
+                       [--storage-fault-seed N] [--storage-torn-append F]
+                       [--storage-bit-flip F] [--storage-drop-sync F]
+                       [--storage-fail-rename F] [--storage-enospc-after BYTES]
                        [--metrics-out FILE] [--metrics-format prometheus|json]
   eavm-cli recover     --db-dir DIR --trace FILE --servers N --journal-dir DIR
                        [--shards N] [--vms N] [--seed N] [--qos F] [--margin F]
                        [--alpha F] [--queue N] [--cache N] [--checkpoint-every N]
                        [--consolidate-every SECS] [--drain-threshold N]
-                       [--verdicts-out FILE]
+                       [--scrub] [--verdicts-out FILE]
+  eavm-cli scrub       --journal-dir DIR
+  eavm-cli corrupt     --journal-dir DIR --seed N
+                       --kind snapshot-bit-flip|wal-torn-tail|wal-zero-run
   eavm-cli replay-online --db-dir DIR --trace FILE --servers N
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
                        [--cache N] [--fault-seed N] [--fault-rate F]
@@ -487,8 +495,17 @@ fn service_config(
     // Durability: journal every admission verdict before acking it and
     // checkpoint the fleet periodically; `--crash-after-events N`
     // aborts the process after N journal appends (crash-loop drills).
+    // The storage-fault family (torn appends, bit rot, ENOSPC, dropped
+    // syncs, failed renames) arms the journal's storage backend, and
+    // `--scrub` repairs the directory before recovery replays it.
     match args.optional_path("journal-dir") {
         Some(dir) => {
+            if dir.is_file() {
+                return Err(format!(
+                    "--journal-dir {}: exists and is a file, not a directory",
+                    dir.display()
+                ));
+            }
             let mut durability = DurabilityConfig::new(dir)
                 .with_checkpoint_every(args.nonzero_or("checkpoint-every", 256)?);
             if let Some(after) = args.get_optional::<u64>("crash-after-events")? {
@@ -497,11 +514,20 @@ fn service_config(
                 }
                 durability = durability.with_crash(CrashSchedule::after_events(after));
             }
+            if let Some(faults) = storage_fault_flags(args)? {
+                durability = durability.with_storage_faults(faults);
+            }
+            if args.flag("scrub") {
+                durability = durability.with_scrub_on_recover();
+            }
             config = config.with_durability(durability);
         }
         None => {
             if args.get_optional::<u64>("crash-after-events")?.is_some() {
                 return Err("--crash-after-events needs --journal-dir".into());
+            }
+            if storage_fault_flags(args)?.is_some() {
+                return Err("storage fault injection needs --journal-dir".into());
             }
         }
     }
@@ -550,10 +576,12 @@ fn render_consolidation(s: &eavm_service::ServiceStats) -> String {
     )
 }
 
-/// The one durability summary line, printed whenever journaling is on.
+/// The durability summary, printed whenever journaling is on: one line
+/// always, plus a storage-health line when anything went wrong (kept
+/// conditional so clean-run output stays byte-stable).
 fn render_durability(s: &eavm_service::ServiceStats) -> String {
     let d = &s.durability;
-    format!(
+    let mut out = format!(
         "durability: wal-appends={} snapshots-written={} frames-replayed={} \
          snapshots-loaded={} torn-frames-dropped={}\n",
         d.wal_appends,
@@ -561,7 +589,31 @@ fn render_durability(s: &eavm_service::ServiceStats) -> String {
         d.frames_replayed,
         d.snapshots_loaded,
         d.torn_frames_dropped,
-    )
+    );
+    let troubled = d.storage_faults_injected
+        + d.append_failures
+        + d.checkpoint_failures
+        + d.degraded_entries
+        + d.torn_tails_repaired
+        + d.snapshots_quarantined
+        + d.dir_sync_failures
+        + d.tmp_swept;
+    if troubled > 0 {
+        out.push_str(&format!(
+            "storage: faults-injected={} append-failures={} checkpoint-failures={} \
+             degraded-entries={} torn-tails-repaired={} snapshots-quarantined={} \
+             dir-sync-failures={} tmp-swept={}\n",
+            d.storage_faults_injected,
+            d.append_failures,
+            d.checkpoint_failures,
+            d.degraded_entries,
+            d.torn_tails_repaired,
+            d.snapshots_quarantined,
+            d.dir_sync_failures,
+            d.tmp_swept,
+        ));
+    }
+    out
 }
 
 /// Run the trace through the live concurrent service
@@ -602,7 +654,8 @@ fn serve(args: &Args) -> Result<String, String> {
         + s.admitted_cross_shard
         + s.shed_wait_queue
         + s.shed_unplaceable
-        + s.shed_shard_failure;
+        + s.shed_shard_failure
+        + s.shed_storage_degraded;
     let conservation = if finals + s.parked == s.submitted {
         format!(
             "conservation: ok ({finals} final verdicts + {} parked)\n",
@@ -617,7 +670,7 @@ fn serve(args: &Args) -> Result<String, String> {
     let mut output = format!(
         "service: shards={shards} servers={servers} requests={} vms={}\n\
          admitted: local={} cross-shard={} after-wait={}\n\
-         shed: admission={} wait-queue={} unplaceable={} shard-failure={}\n\
+         shed: admission={} wait-queue={} unplaceable={} shard-failure={} storage-degraded={}\n\
          faults: shard-failures={} respawns={} requeued={} model-fallbacks={}\n\
          {}\
          {}\
@@ -633,6 +686,7 @@ fn serve(args: &Args) -> Result<String, String> {
         s.shed_wait_queue,
         s.shed_unplaceable,
         s.shed_shard_failure,
+        s.shed_storage_degraded,
         s.shard_failures,
         s.shard_respawns,
         s.requeued,
@@ -701,7 +755,7 @@ fn recover(args: &Args) -> Result<String, String> {
     let mut output = format!(
         "{}\nresubmitted: {} of {} trace requests\n\
          admitted: local={} cross-shard={} after-wait={}\n\
-         shed: wait-queue={} unplaceable={} shard-failure={}\n\
+         shed: wait-queue={} unplaceable={} shard-failure={} storage-degraded={}\n\
          virtual-makespan={:.0}s estimated-energy={:.3e}J\n",
         recovery.summary(),
         requests.len() - resume_from,
@@ -712,6 +766,7 @@ fn recover(args: &Args) -> Result<String, String> {
         s.shed_wait_queue,
         s.shed_unplaceable,
         s.shed_shard_failure,
+        s.shed_storage_degraded,
         s.virtual_now.value(),
         s.estimated_energy.value(),
     );
@@ -720,6 +775,94 @@ fn recover(args: &Args) -> Result<String, String> {
     output.push_str(&export_verdicts(args, &report)?);
     output.push_str(&export_metrics(args, &telemetry)?);
     Ok(output)
+}
+
+/// Offline journal repair: sweep checkpoint debris, truncate a torn or
+/// bit-rotted WAL tail back to a valid record boundary, and quarantine
+/// corrupt snapshots so recovery falls back to the next-newest good
+/// one. The report is deterministic — same directory bytes, same
+/// output — which is what the CI corruption drill `cmp`s.
+fn scrub_cmd(args: &Args) -> Result<String, String> {
+    let dir = args
+        .optional_path("journal-dir")
+        .ok_or("scrub needs --journal-dir")?;
+    if !dir.is_dir() {
+        return Err(format!("--journal-dir {}: not a directory", dir.display()));
+    }
+    let report = eavm_durability::scrub_dir(&dir).map_err(|e| e.to_string())?;
+    Ok(report.render())
+}
+
+/// Deterministically damage a journal directory for scrub/recovery
+/// drills. Every mutation is a pure function of `--seed` and the file
+/// bytes, so two copies of the same journal corrupted with the same
+/// seed end up byte-identical (and scrub to identical reports).
+fn corrupt_cmd(args: &Args) -> Result<String, String> {
+    let dir = args
+        .optional_path("journal-dir")
+        .ok_or("corrupt needs --journal-dir")?;
+    let kind = args.required("kind")?;
+    let mut rng = eavm_storage::SplitMix64::new(args.get_or("seed", 0xC0FF)?);
+    let read = |p: &Path| std::fs::read(p).map_err(|e| format!("{}: {e}", p.display()));
+    let write =
+        |p: &Path, raw: &[u8]| std::fs::write(p, raw).map_err(|e| format!("{}: {e}", p.display()));
+    match kind {
+        // Flip one seeded bit in the newest snapshot: its CRC no longer
+        // matches, so scrub must quarantine it and fall back.
+        "snapshot-bit-flip" => {
+            let snaps = eavm_durability::list_snapshots(&dir).map_err(|e| e.to_string())?;
+            let (_, path) = snaps.first().ok_or("no snapshots to corrupt")?;
+            let mut raw = read(path)?;
+            let byte = (rng.next_u64() % raw.len().max(1) as u64) as usize;
+            let bit = (rng.next_u64() % 8) as u32;
+            raw[byte] ^= 1 << bit;
+            write(path, &raw)?;
+            let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+            Ok(format!(
+                "corrupted: snapshot-bit-flip {} byte={byte} bit={bit}\n",
+                name.unwrap_or_default()
+            ))
+        }
+        // Append a frame header that promises more payload than
+        // follows — exactly what a crash mid-append leaves behind.
+        "wal-torn-tail" => {
+            let path = eavm_durability::wal_path(&dir);
+            let mut raw = read(&path)?;
+            let promised = 64 + (rng.next_u64() % 192) as usize;
+            raw.extend_from_slice(&(promised as u32).to_le_bytes());
+            raw.extend_from_slice(&(rng.next_u64() as u32).to_le_bytes());
+            for _ in 0..promised / 2 {
+                raw.push(rng.next_u64() as u8);
+            }
+            write(&path, &raw)?;
+            Ok(format!(
+                "corrupted: wal-torn-tail promised={promised} written={}\n",
+                promised / 2
+            ))
+        }
+        // Zero a seeded run of bytes inside the record region: the
+        // frame it lands in fails its CRC (or decodes to garbage), so
+        // scrub truncates the WAL back to the last boundary before it.
+        "wal-zero-run" => {
+            let path = eavm_durability::wal_path(&dir);
+            let mut raw = read(&path)?;
+            let magic = eavm_durability::WAL_MAGIC.len();
+            let body = raw.len().saturating_sub(magic);
+            if body < 16 {
+                return Err("WAL too short to corrupt".into());
+            }
+            let run = (8 + (rng.next_u64() % 24) as usize).min(body);
+            let start = magic + (rng.next_u64() % (body - run + 1) as u64) as usize;
+            raw[start..start + run].fill(0);
+            write(&path, &raw)?;
+            Ok(format!(
+                "corrupted: wal-zero-run offset={start} len={run}\n"
+            ))
+        }
+        other => Err(format!(
+            "unknown --kind {other:?} (snapshot-bit-flip|wal-torn-tail|wal-zero-run)"
+        )),
+    }
 }
 
 /// Replay the trace through the deterministic single-thread service
@@ -1396,6 +1539,284 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--journal-dir"), "{err}");
+    }
+
+    /// Copy the flat journal directory `src` to `dst` byte-for-byte.
+    fn copy_journal(src: &Path, dst: &Path) {
+        std::fs::create_dir_all(dst).unwrap();
+        for entry in std::fs::read_dir(src).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupt_scrub_recover_drill_restores_byte_parity() {
+        let dir = temp_dir("scrubdrill");
+        let dbdir = dir.join("db");
+        let tracep = dir.join("t.swf");
+        run(&[
+            "build-db",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+            "--exact",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        run(&[
+            "gen-trace",
+            "--out",
+            tracep.to_str().unwrap(),
+            "--jobs",
+            "120",
+            "--seed",
+            "13",
+        ])
+        .unwrap();
+
+        // Control: a clean paced run; its verdict log is the oracle.
+        let journal = dir.join("journal");
+        let _ = std::fs::remove_dir_all(&journal);
+        let ctrl = dir.join("ctrl.log");
+        run(&[
+            "serve",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--shards",
+            "2",
+            "--vms",
+            "120",
+            "--paced",
+            "--journal-dir",
+            journal.to_str().unwrap(),
+            "--checkpoint-every",
+            "8",
+            "--verdicts-out",
+            ctrl.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // Same seed, two copies of the journal: identical damage and
+        // byte-identical scrub reports.
+        let twin = dir.join("journal-twin");
+        let _ = std::fs::remove_dir_all(&twin);
+        copy_journal(&journal, &twin);
+        for j in [&journal, &twin] {
+            let note = run(&[
+                "corrupt",
+                "--journal-dir",
+                j.to_str().unwrap(),
+                "--kind",
+                "snapshot-bit-flip",
+                "--seed",
+                "5",
+            ])
+            .unwrap();
+            assert!(note.contains("snapshot-bit-flip snap-"), "{note}");
+        }
+        let report = run(&["scrub", "--journal-dir", journal.to_str().unwrap()]).unwrap();
+        let twin_report = run(&["scrub", "--journal-dir", twin.to_str().unwrap()]).unwrap();
+        assert_eq!(report, twin_report, "scrub reports diverged");
+        assert!(report.contains("quarantined=1"), "{report}");
+        assert!(report.contains("verdict: repaired"), "{report}");
+
+        // Tear the WAL tail on top; scrub repairs that too, and a second
+        // pass finds nothing left to fix.
+        run(&[
+            "corrupt",
+            "--journal-dir",
+            journal.to_str().unwrap(),
+            "--kind",
+            "wal-torn-tail",
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        let report = run(&["scrub", "--journal-dir", journal.to_str().unwrap()]).unwrap();
+        assert!(report.contains("torn_tails_repaired=1"), "{report}");
+        assert!(run(&["scrub", "--journal-dir", journal.to_str().unwrap()])
+            .unwrap()
+            .contains("verdict: clean"));
+
+        // Recovery from the scrubbed journal reproduces the control log.
+        let recovered = dir.join("recovered.log");
+        let recover_out = run(&[
+            "recover",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--shards",
+            "2",
+            "--vms",
+            "120",
+            "--journal-dir",
+            journal.to_str().unwrap(),
+            "--checkpoint-every",
+            "8",
+            "--verdicts-out",
+            recovered.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(recover_out.contains("resubmitted: 0 of"), "{recover_out}");
+        assert_eq!(
+            std::fs::read_to_string(&ctrl).unwrap(),
+            std::fs::read_to_string(&recovered).unwrap(),
+            "verdict logs diverged after corrupt+scrub"
+        );
+
+        // Guard rails: a file is not a journal directory, the fault
+        // flags need a journal, and scrub needs an existing directory.
+        let not_a_dir = dir.join("plain.txt");
+        std::fs::write(&not_a_dir, "hello").unwrap();
+        let err = run(&[
+            "serve",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--journal-dir",
+            not_a_dir.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("not a directory"), "{err}");
+        let err = run(&[
+            "serve",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--storage-enospc-after",
+            "4096",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--journal-dir"), "{err}");
+        assert!(run(&["scrub", "--journal-dir", not_a_dir.to_str().unwrap()]).is_err());
+        assert!(run(&[
+            "corrupt",
+            "--journal-dir",
+            journal.to_str().unwrap(),
+            "--kind",
+            "nonsense"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn enospc_serve_degrades_and_recovers_to_byte_parity() {
+        let dir = temp_dir("enospc");
+        let dbdir = dir.join("db");
+        let tracep = dir.join("t.swf");
+        run(&[
+            "build-db",
+            "--out-dir",
+            dbdir.to_str().unwrap(),
+            "--exact",
+            "--threads",
+            "4",
+        ])
+        .unwrap();
+        run(&[
+            "gen-trace",
+            "--out",
+            tracep.to_str().unwrap(),
+            "--jobs",
+            "100",
+            "--seed",
+            "21",
+        ])
+        .unwrap();
+        let serve = |journal: &Path, log: &Path, extra: &[&str]| {
+            let mut argv = vec![
+                "serve",
+                "--db-dir",
+                dbdir.to_str().unwrap(),
+                "--trace",
+                tracep.to_str().unwrap(),
+                "--servers",
+                "6",
+                "--shards",
+                "2",
+                "--vms",
+                "100",
+                "--paced",
+                "--checkpoint-every",
+                "8",
+            ];
+            let journal_s = journal.to_str().unwrap().to_string();
+            let log_s = log.to_str().unwrap().to_string();
+            argv.extend(["--journal-dir", &journal_s, "--verdicts-out", &log_s]);
+            argv.extend(extra);
+            run(&argv)
+        };
+
+        let ctrl_dir = dir.join("ctrl-journal");
+        let _ = std::fs::remove_dir_all(&ctrl_dir);
+        let ctrl = dir.join("ctrl.log");
+        serve(&ctrl_dir, &ctrl, &[]).unwrap();
+
+        // The faulty run exhausts its byte budget mid-trace, degrades to
+        // shedding, and still resolves every submission exactly once.
+        let faulty_dir = dir.join("faulty-journal");
+        let _ = std::fs::remove_dir_all(&faulty_dir);
+        let faulty_log = dir.join("faulty.log");
+        let out = serve(
+            &faulty_dir,
+            &faulty_log,
+            &[
+                "--storage-enospc-after",
+                "6000",
+                "--storage-fault-seed",
+                "3",
+            ],
+        )
+        .unwrap();
+        assert!(out.contains("conservation: ok"), "{out}");
+        assert!(out.contains("storage: faults-injected="), "{out}");
+        assert!(out.contains("degraded-entries="), "{out}");
+
+        // Recovery over the surviving journal re-drives the shed tail
+        // on healthy storage: the rebuilt log matches the clean control.
+        let recovered = dir.join("recovered.log");
+        let recover_out = run(&[
+            "recover",
+            "--db-dir",
+            dbdir.to_str().unwrap(),
+            "--trace",
+            tracep.to_str().unwrap(),
+            "--servers",
+            "6",
+            "--shards",
+            "2",
+            "--vms",
+            "100",
+            "--paced",
+            "--checkpoint-every",
+            "8",
+            "--journal-dir",
+            faulty_dir.to_str().unwrap(),
+            "--scrub",
+            "--verdicts-out",
+            recovered.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(!recover_out.contains("VIOLATED"), "{recover_out}");
+        assert_eq!(
+            std::fs::read_to_string(&ctrl).unwrap(),
+            std::fs::read_to_string(&recovered).unwrap(),
+            "ENOSPC recovery diverged from the clean control"
+        );
     }
 
     const SCENARIO_FIXTURE: &str = r#"

@@ -18,8 +18,13 @@
 //! The crate knows nothing about the service: records carry primitive
 //! fields only, and the service layer owns the mapping to its own
 //! `VmRequest`/`Placement`/`Verdict` types. That keeps this crate at
-//! the bottom of the dependency DAG (only `eavm-types` below it) and
-//! its formats trivially testable.
+//! the bottom of the dependency DAG (only `eavm-types` and the
+//! `eavm-storage` file-operation abstraction below it) and its formats
+//! trivially testable. Every file access routes through an
+//! [`eavm_storage::Storage`] backend, so the fault injector can drive
+//! torn writes, bit rot, ENOSPC, and dropped syncs through the exact
+//! production code paths; [`scrub`] is the offline repair pass that
+//! truncates damaged tails and quarantines corrupt snapshots.
 
 #![forbid(unsafe_code)]
 
@@ -27,6 +32,7 @@ pub mod codec;
 pub mod crc32;
 pub mod record;
 pub mod recovery;
+pub mod scrub;
 pub mod snapshot;
 pub mod wal;
 
@@ -35,8 +41,11 @@ pub use record::{
     shed_reason_name, MoveRec, PlacementRec, ReqRec, ServerSnapRec, ShardSnapRec, SnapshotRec,
     WalRecord,
 };
-pub use recovery::{recover_dir, wal_path, RecoveredState, WAL_FILE};
+pub use recovery::{recover_dir, recover_dir_with, wal_path, RecoveredState, WAL_FILE};
+pub use scrub::{scrub_dir, scrub_dir_with, ScrubReport};
 pub use snapshot::{
-    list_snapshots, prune_snapshots, read_snapshot, snapshot_name, write_snapshot, SNAPSHOT_MAGIC,
+    list_snapshots, list_snapshots_with, prune_snapshots, prune_snapshots_with, read_snapshot,
+    read_snapshot_with, snapshot_name, sweep_tmp_files, sweep_tmp_files_with, write_snapshot,
+    write_snapshot_with, QUARANTINE_SUFFIX, SNAPSHOT_MAGIC,
 };
-pub use wal::{read_frames, Wal, FRAME_HEADER, MAX_FRAME_LEN, WAL_MAGIC};
+pub use wal::{read_frames, read_frames_with, Wal, FRAME_HEADER, MAX_FRAME_LEN, WAL_MAGIC};

@@ -363,6 +363,7 @@ pub fn shed_reason_name(reason: u8) -> &'static str {
         1 => "wait-queue-full",
         2 => "unplaceable",
         3 => "shard-failure",
+        4 => "storage-degraded",
         _ => "unknown",
     }
 }

@@ -12,11 +12,12 @@
 
 use std::path::{Path, PathBuf};
 
+use eavm_storage::{OsStorage, Storage};
 use eavm_types::EavmError;
 
 use crate::record::{SnapshotRec, WalRecord};
-use crate::snapshot::{list_snapshots, read_snapshot};
-use crate::wal::read_frames;
+use crate::snapshot::{list_snapshots_with, read_snapshot_with, sweep_tmp_files_with};
+use crate::wal::read_frames_with;
 
 /// File name of the WAL inside a journal directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -46,6 +47,8 @@ pub struct RecoveredState {
     /// Snapshot files that existed but were skipped (corrupt, or
     /// covering more frames than the surviving WAL).
     pub snapshots_skipped: u64,
+    /// Leftover checkpoint `*.tmp` files swept away before recovery.
+    pub tmp_swept: u64,
 }
 
 impl RecoveredState {
@@ -69,7 +72,15 @@ impl RecoveredState {
 /// new service under a journal directory and recovering from it are the
 /// same operation.
 pub fn recover_dir(dir: &Path) -> Result<RecoveredState, EavmError> {
-    let (payloads, mut torn) = read_frames(&wal_path(dir))?;
+    recover_dir_with(&OsStorage::new(), dir)
+}
+
+/// [`recover_dir`] through an explicit [`Storage`] backend.
+pub fn recover_dir_with(storage: &dyn Storage, dir: &Path) -> Result<RecoveredState, EavmError> {
+    // A crash between a checkpoint's temp write and its rename strands
+    // a `*.tmp` file forever; recovery is the natural sweep point.
+    let tmp_swept = sweep_tmp_files_with(storage, dir)?;
+    let (payloads, mut torn) = read_frames_with(storage, &wal_path(dir))?;
     let mut records = Vec::with_capacity(payloads.len());
     for payload in &payloads {
         match WalRecord::decode(payload) {
@@ -87,8 +98,8 @@ pub fn recover_dir(dir: &Path) -> Result<RecoveredState, EavmError> {
 
     let mut snapshot = None;
     let mut skipped = 0u64;
-    for (_, path) in list_snapshots(dir)? {
-        match read_snapshot(&path).and_then(|payload| SnapshotRec::decode(&payload)) {
+    for (_, path) in list_snapshots_with(storage, dir)? {
+        match read_snapshot_with(storage, &path).and_then(|payload| SnapshotRec::decode(&payload)) {
             Ok(snap) if snap.wal_frames <= frames => {
                 snapshot = Some(snap);
                 break;
@@ -107,6 +118,7 @@ pub fn recover_dir(dir: &Path) -> Result<RecoveredState, EavmError> {
         frames,
         torn_frames_dropped: torn,
         snapshots_skipped: skipped,
+        tmp_swept,
         records,
     })
 }
@@ -211,6 +223,27 @@ mod tests {
         let state = recover_dir(&dir).unwrap();
         assert_eq!(state.snapshots_skipped, 1);
         assert_eq!(state.snapshot.as_ref().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn leftover_checkpoint_tmp_files_are_swept() {
+        let dir = tmp("tmp-sweep");
+        let (mut wal, _) = Wal::open(&wal_path(&dir)).unwrap();
+        wal.append(&submit(0).encode()).unwrap();
+        write_snapshot(&dir, 1, &empty_snapshot(1, 1).encode()).unwrap();
+        // Debris from two crashed checkpoints.
+        std::fs::write(dir.join("snap-0000000000000002.snap.tmp"), b"partial").unwrap();
+        std::fs::write(dir.join("snap-0000000000000003.snap.tmp"), b"").unwrap();
+
+        let state = recover_dir(&dir).unwrap();
+        assert_eq!(state.tmp_swept, 2);
+        assert_eq!(state.snapshots_loaded, 1);
+        let leftover: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftover.is_empty(), "tmp files survived: {leftover:?}");
     }
 
     #[test]

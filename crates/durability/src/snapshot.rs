@@ -8,11 +8,17 @@
 //! never a half-written `.snap`. Readers validate magic + CRC and simply
 //! skip files that fail, falling back to the next-older sequence (or a
 //! full-WAL replay when none survive).
+//!
+//! Like the WAL, every file operation goes through an
+//! [`eavm_storage::Storage`] backend; the plain entry points use the
+//! passthrough [`OsStorage`] and the `_with` variants accept a fault
+//! injector. Directory-sync failures after the rename are counted in
+//! the backend's [`eavm_storage::StorageStats::dir_sync_failures`]
+//! rather than silently discarded.
 
-use std::fs::{self, File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use eavm_storage::{OsStorage, Storage};
 use eavm_types::EavmError;
 
 use crate::crc32::crc32;
@@ -20,38 +26,58 @@ use crate::crc32::crc32;
 /// File magic: `EAVMSNP` + format version byte.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"EAVMSNP\x01";
 
+/// Suffix appended to a corrupt snapshot when the scrubber quarantines
+/// it: `snap-<seq>.snap.quarantine` no longer matches the snapshot name
+/// pattern, so listing/recovery never consider it again, yet the bytes
+/// stay on disk for a post-mortem.
+pub const QUARANTINE_SUFFIX: &str = ".quarantine";
+
 /// File name for checkpoint sequence `seq`.
 pub fn snapshot_name(seq: u64) -> String {
     format!("snap-{seq:016x}.snap")
 }
 
-/// Write `payload` as checkpoint `seq` in `dir`, atomically.
+/// Write `payload` as checkpoint `seq` in `dir`, atomically, on the
+/// real filesystem.
 pub fn write_snapshot(dir: &Path, seq: u64, payload: &[u8]) -> Result<PathBuf, EavmError> {
-    fs::create_dir_all(dir)?;
+    write_snapshot_with(&OsStorage::new(), dir, seq, payload)
+}
+
+/// Write `payload` as checkpoint `seq` in `dir` through `storage`.
+pub fn write_snapshot_with(
+    storage: &dyn Storage,
+    dir: &Path,
+    seq: u64,
+    payload: &[u8],
+) -> Result<PathBuf, EavmError> {
+    storage.create_dir_all(dir)?;
     let tmp = dir.join(format!("{}.tmp", snapshot_name(seq)));
-    let mut file = OpenOptions::new()
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(&tmp)?;
-    file.write_all(&SNAPSHOT_MAGIC)?;
-    file.write_all(&(payload.len() as u32).to_le_bytes())?;
-    file.write_all(&crc32(payload).to_le_bytes())?;
-    file.write_all(payload)?;
-    file.sync_data()?;
-    drop(file);
+    let mut bytes = Vec::with_capacity(SNAPSHOT_MAGIC.len() + 8 + payload.len());
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    storage.write_file(&tmp, &bytes)?;
     let path = dir.join(snapshot_name(seq));
-    fs::rename(&tmp, &path)?;
-    // Best-effort directory sync so the rename itself is durable.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    storage.rename(&tmp, &path)?;
+    // Directory sync makes the rename itself durable. It stays
+    // non-fatal (the data is already safe in the file), but a failure
+    // is counted in the backend's dir_sync_failures stat instead of
+    // being discarded.
+    let _ = storage.sync_dir(dir);
     Ok(path)
 }
 
-/// Validate and return the payload of one snapshot file.
+/// Validate and return the payload of one snapshot file on the real
+/// filesystem.
 pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, EavmError> {
-    let raw = fs::read(path)?;
+    read_snapshot_with(&OsStorage::new(), path)
+}
+
+/// Validate and return the payload of one snapshot file through
+/// `storage`.
+pub fn read_snapshot_with(storage: &dyn Storage, path: &Path) -> Result<Vec<u8>, EavmError> {
+    let raw = storage.read(path)?;
     let head = SNAPSHOT_MAGIC.len();
     if raw.len() < head + 8 || raw[..head] != SNAPSHOT_MAGIC {
         return Err(EavmError::Durability(format!(
@@ -77,19 +103,20 @@ pub fn read_snapshot(path: &Path) -> Result<Vec<u8>, EavmError> {
     Ok(payload.to_vec())
 }
 
-/// All snapshot files in `dir`, newest sequence first. A missing
-/// directory is an empty set.
+/// All snapshot files in `dir`, newest sequence first, on the real
+/// filesystem. A missing directory is an empty set.
 pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, EavmError> {
-    let entries = match fs::read_dir(dir) {
-        Ok(entries) => entries,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
-        Err(e) => return Err(e.into()),
-    };
+    list_snapshots_with(&OsStorage::new(), dir)
+}
+
+/// All snapshot files in `dir`, newest sequence first, through
+/// `storage`.
+pub fn list_snapshots_with(
+    storage: &dyn Storage,
+    dir: &Path,
+) -> Result<Vec<(u64, PathBuf)>, EavmError> {
     let mut found = Vec::new();
-    for entry in entries {
-        let entry = entry?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
+    for name in storage.read_dir(dir)? {
         let Some(hex) = name
             .strip_prefix("snap-")
             .and_then(|rest| rest.strip_suffix(".snap"))
@@ -97,7 +124,7 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, EavmError> {
             continue;
         };
         if let Ok(seq) = u64::from_str_radix(hex, 16) {
-            found.push((seq, entry.path()));
+            found.push((seq, dir.join(&name)));
         }
     }
     found.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
@@ -108,18 +135,47 @@ pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>, EavmError> {
 /// removed. Removal failures are ignored — pruning is hygiene, not
 /// correctness.
 pub fn prune_snapshots(dir: &Path, keep: usize) -> Result<u64, EavmError> {
+    prune_snapshots_with(&OsStorage::new(), dir, keep)
+}
+
+/// [`prune_snapshots`] through `storage`.
+pub fn prune_snapshots_with(
+    storage: &dyn Storage,
+    dir: &Path,
+    keep: usize,
+) -> Result<u64, EavmError> {
     let mut removed = 0;
-    for (_, path) in list_snapshots(dir)?.into_iter().skip(keep) {
-        if fs::remove_file(&path).is_ok() {
+    for (_, path) in list_snapshots_with(storage, dir)?.into_iter().skip(keep) {
+        if storage.remove_file(&path).is_ok() {
             removed += 1;
         }
     }
     Ok(removed)
 }
 
+/// Remove leftover `*.tmp` files — the debris of a crash that landed
+/// between a checkpoint's temp write and its rename. Returns how many
+/// were swept. Run on journal open and on recovery.
+pub fn sweep_tmp_files_with(storage: &dyn Storage, dir: &Path) -> Result<u64, EavmError> {
+    let mut swept = 0;
+    for name in storage.read_dir(dir)? {
+        if name.ends_with(".tmp") && storage.remove_file(&dir.join(&name)).is_ok() {
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// [`sweep_tmp_files_with`] on the real filesystem.
+pub fn sweep_tmp_files(dir: &Path) -> Result<u64, EavmError> {
+    sweep_tmp_files_with(&OsStorage::new(), dir)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eavm_storage::{FaultyStorage, StorageFaultConfig};
+    use std::fs;
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("eavm-snap-{}-{name}", std::process::id()));
@@ -175,5 +231,36 @@ mod tests {
         let dir = tmp("missing").join("nope");
         assert!(list_snapshots(&dir).unwrap().is_empty());
         assert_eq!(prune_snapshots(&dir, 1).unwrap(), 0);
+        assert_eq!(sweep_tmp_files(&dir).unwrap(), 0);
+    }
+
+    #[test]
+    fn failed_rename_leaves_tmp_and_sweep_cleans_it() {
+        let dir = tmp("failed-rename");
+        let faulty = FaultyStorage::new(StorageFaultConfig::quiet(4).with_fail_rename(1.0));
+        let err = write_snapshot_with(&faulty, &dir, 9, b"doomed").unwrap_err();
+        assert!(err.to_string().contains("rename"), "{err}");
+        // The temp file is stranded and invisible to listing...
+        assert!(list_snapshots(&dir).unwrap().is_empty());
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec![format!("{}.tmp", snapshot_name(9))]);
+        // ...until the sweep removes it.
+        assert_eq!(sweep_tmp_files(&dir).unwrap(), 1);
+        assert!(fs::read_dir(&dir).unwrap().next().is_none());
+    }
+
+    #[test]
+    fn quarantined_snapshots_are_not_listed() {
+        let dir = tmp("quarantine-hidden");
+        let path = write_snapshot(&dir, 5, b"bad bytes").unwrap();
+        let q = PathBuf::from(format!("{}{QUARANTINE_SUFFIX}", path.display()));
+        fs::rename(&path, &q).unwrap();
+        assert!(list_snapshots(&dir).unwrap().is_empty());
+        // And a sweep leaves quarantined files alone.
+        assert_eq!(sweep_tmp_files(&dir).unwrap(), 0);
+        assert!(q.exists());
     }
 }

@@ -14,11 +14,16 @@
 //! `write_all`-then-`flush` so a frame is handed to the OS before the
 //! caller acks anything that depends on it; [`Wal::sync`] additionally
 //! forces it to stable storage (used at checkpoints and shutdown).
+//!
+//! All file traffic goes through an [`eavm_storage::Storage`] backend:
+//! the plain entry points ([`Wal::open`], [`read_frames`]) use the
+//! passthrough [`OsStorage`], while the `_with` variants accept any
+//! backend — which is how the fault-injection tests drive torn writes,
+//! bit rot, and ENOSPC through this exact code path.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use eavm_storage::{OsStorage, Storage, StorageFile};
 use eavm_types::EavmError;
 
 use crate::crc32::crc32;
@@ -36,10 +41,11 @@ pub const MAX_FRAME_LEN: usize = 1 << 24;
 /// An open, append-positioned write-ahead log.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: Box<dyn StorageFile>,
     path: PathBuf,
     frames: u64,
     bytes: u64,
+    torn_bytes_dropped: u64,
 }
 
 /// Split `bytes` (past the magic) into valid frame payloads. Returns the
@@ -47,7 +53,7 @@ pub struct Wal {
 /// and the number of torn/corrupt trailing frames dropped (0 or 1: the
 /// scan stops at the first bad frame, and whatever follows it is
 /// unframeable noise by definition).
-fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize, u64) {
+pub(crate) fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize, u64) {
     let mut payloads = Vec::new();
     let mut pos = 0usize;
     while bytes.len() - pos >= FRAME_HEADER {
@@ -68,27 +74,26 @@ fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize, u64) {
 }
 
 impl Wal {
-    /// Open (or create) the WAL at `path`, truncating any torn tail.
-    /// Returns the handle positioned for appends plus the number of
-    /// torn frames dropped.
+    /// Open (or create) the WAL at `path` on the real filesystem.
     pub fn open(path: &Path) -> Result<(Wal, u64), EavmError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)?;
-        let mut raw = Vec::new();
-        file.read_to_end(&mut raw)?;
+        Wal::open_with(&OsStorage::new(), path)
+    }
+
+    /// Open (or create) the WAL at `path` through `storage`, truncating
+    /// any torn tail. Returns the handle positioned for appends plus
+    /// the number of torn frames dropped.
+    pub fn open_with(storage: &dyn Storage, path: &Path) -> Result<(Wal, u64), EavmError> {
+        let raw = storage.try_read(path)?.unwrap_or_default();
         if raw.is_empty() {
-            file.write_all(&WAL_MAGIC)?;
-            file.flush()?;
+            let mut file = storage.open_append(path)?;
+            file.append(&WAL_MAGIC)?;
             return Ok((
                 Wal {
                     file,
                     path: path.to_path_buf(),
                     frames: 0,
                     bytes: WAL_MAGIC.len() as u64,
+                    torn_bytes_dropped: 0,
                 },
                 0,
             ));
@@ -101,16 +106,19 @@ impl Wal {
         }
         let (payloads, valid, torn) = scan_frames(&raw[WAL_MAGIC.len()..]);
         let end = (WAL_MAGIC.len() + valid) as u64;
+        let mut dropped_bytes = 0;
         if end < raw.len() as u64 {
-            file.set_len(end)?;
+            dropped_bytes = raw.len() as u64 - end;
+            storage.truncate(path, end)?;
         }
-        file.seek(SeekFrom::Start(end))?;
+        let file = storage.open_append(path)?;
         Ok((
             Wal {
                 file,
                 path: path.to_path_buf(),
                 frames: payloads.len() as u64,
                 bytes: end,
+                torn_bytes_dropped: dropped_bytes,
             },
             torn,
         ))
@@ -118,7 +126,8 @@ impl Wal {
 
     /// Append one frame; returns the total frame count after the append.
     /// The frame is flushed to the OS before returning, so a subsequent
-    /// process abort cannot lose it.
+    /// process abort cannot lose it. On `Err` the file may hold a prefix
+    /// of the frame — a torn tail the next open will truncate.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, EavmError> {
         if payload.len() > MAX_FRAME_LEN {
             return Err(EavmError::Durability(format!(
@@ -131,15 +140,14 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        self.file.write_all(&frame)?;
-        self.file.flush()?;
+        self.file.append(&frame)?;
         self.frames += 1;
         self.bytes += frame.len() as u64;
         Ok(self.frames)
     }
 
     /// Force everything appended so far onto stable storage.
-    pub fn sync(&self) -> Result<(), EavmError> {
+    pub fn sync(&mut self) -> Result<(), EavmError> {
         self.file.sync_data()?;
         Ok(())
     }
@@ -154,19 +162,31 @@ impl Wal {
         self.bytes
     }
 
+    /// Torn-tail bytes truncated away when this handle was opened —
+    /// nonzero means the open *repaired* the log.
+    pub fn torn_bytes_dropped(&self) -> u64 {
+        self.torn_bytes_dropped
+    }
+
     pub fn path(&self) -> &Path {
         &self.path
     }
 }
 
+/// Read-only scan of a WAL file on the real filesystem.
+pub fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, u64), EavmError> {
+    read_frames_with(&OsStorage::new(), path)
+}
+
 /// Read-only scan of a WAL file: every valid frame payload plus the
 /// count of torn trailing frames. A missing file is an empty log, not an
 /// error (recovery from a never-started journal directory is valid).
-pub fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, u64), EavmError> {
-    let raw = match std::fs::read(path) {
-        Ok(raw) => raw,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
-        Err(e) => return Err(e.into()),
+pub fn read_frames_with(
+    storage: &dyn Storage,
+    path: &Path,
+) -> Result<(Vec<Vec<u8>>, u64), EavmError> {
+    let Some(raw) = storage.try_read(path)? else {
+        return Ok((Vec::new(), 0));
     };
     if raw.is_empty() {
         return Ok((Vec::new(), 0));
@@ -184,6 +204,7 @@ pub fn read_frames(path: &Path) -> Result<(Vec<Vec<u8>>, u64), EavmError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eavm_storage::{FaultyStorage, StorageFaultConfig};
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("eavm-wal-{}-{name}", std::process::id()));
@@ -233,6 +254,7 @@ mod tests {
         let (wal, torn) = Wal::open(&path).unwrap();
         assert_eq!(torn, 1);
         assert_eq!(wal.frames(), 2);
+        assert_eq!(wal.torn_bytes_dropped(), 3);
         // The file itself shrank back to the valid prefix.
         assert_eq!(std::fs::metadata(&path).unwrap().len(), wal.bytes());
         let (payloads, torn) = read_frames(&path).unwrap();
@@ -283,5 +305,34 @@ mod tests {
         std::fs::write(&path, &raw).unwrap();
         let (payloads, torn) = read_frames(&path).unwrap();
         assert_eq!((payloads.len(), torn), (1, 1));
+    }
+
+    #[test]
+    fn injected_torn_append_is_repaired_by_the_next_open() {
+        let path = tmp("inject-torn");
+        // Initialise the log cleanly first: with a torn-append rate of
+        // 1.0 even the magic header write would tear.
+        drop(Wal::open(&path).unwrap());
+        let faulty = FaultyStorage::new(StorageFaultConfig::quiet(3).with_torn_append(1.0));
+        let (mut wal, _) = Wal::open_with(&faulty, &path).unwrap();
+        let err = wal.append(b"this one tears").unwrap_err();
+        assert!(err.to_string().contains("torn append"), "{err}");
+        drop(wal);
+        // A clean reopen truncates whatever prefix the tear persisted.
+        let (wal, _) = Wal::open(&path).unwrap();
+        assert_eq!(wal.frames(), 0);
+        assert_eq!(wal.bytes(), WAL_MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn injected_enospc_surfaces_as_an_append_error() {
+        let path = tmp("inject-enospc");
+        // Budget covers the magic plus one frame, then runs dry.
+        let faulty = FaultyStorage::new(StorageFaultConfig::quiet(5).with_enospc_after(40));
+        let (mut wal, _) = Wal::open_with(&faulty, &path).unwrap();
+        wal.append(b"fits").unwrap();
+        let err = wal.append(b"does not fit anymore").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert!(faulty.stats().faults_injected >= 1);
     }
 }

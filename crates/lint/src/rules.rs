@@ -95,10 +95,11 @@ pub struct LintConfig {
 
 /// The crates whose state feeds bit-exact replay/recovery proofs; D3's
 /// ordered-iteration requirement is scoped to these.
-const REPLAY_CRITICAL: [&str; 6] = [
+const REPLAY_CRITICAL: [&str; 7] = [
     "crates/simulator/",
     "crates/service/",
     "crates/durability/",
+    "crates/storage/",
     "crates/partitions/",
     "crates/scenario/",
     "crates/migrate/",

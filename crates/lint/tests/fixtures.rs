@@ -93,6 +93,7 @@ fn d3_fires_in_replay_critical_crates_only() {
         "crates/service/src/x.rs",
         "crates/simulator/src/x.rs",
         "crates/durability/src/x.rs",
+        "crates/storage/src/x.rs",
         "crates/partitions/src/x.rs",
         "crates/scenario/src/x.rs",
         "crates/migrate/src/x.rs",
@@ -139,6 +140,22 @@ fn d3_migrate_crate_positive_negative_pair() {
     // The crate's actual idiom — index-ordered vectors — stays clean.
     let negative = "pub struct Hysteresis { cooldown: Vec<u32> }";
     assert!(violations("crates/migrate/src/policy.rs", negative).is_empty());
+}
+
+#[test]
+fn d3_storage_crate_positive_negative_pair() {
+    // The storage crate decides which operation a fault fires on: an
+    // unordered map in the fault injector would reorder its PRNG draws
+    // between two runs of the same seed, and the whole corruption
+    // drill's "same seed, same damage, same scrub report" guarantee
+    // falls apart.
+    let positive = "use std::collections::HashMap;\npub fn inject() {}";
+    let found = violations("crates/storage/src/faulty.rs", positive);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, Rule::D3);
+    // The crate's actual idiom — a seeded SplitMix64 stream — is clean.
+    let negative = "pub struct FaultState { rng_state: u64, budget: u64 }";
+    assert!(violations("crates/storage/src/faulty.rs", negative).is_empty());
 }
 
 #[test]

@@ -22,11 +22,12 @@ use std::path::PathBuf;
 
 use eavm_core::{Placement, RequestView};
 use eavm_durability::{
-    prune_snapshots, wal_path, write_snapshot, PlacementRec, RecoveredState, ReqRec, ServerSnapRec,
-    ShardSnapRec, SnapshotRec, Wal, WalRecord,
+    prune_snapshots_with, sweep_tmp_files_with, wal_path, write_snapshot_with, PlacementRec,
+    RecoveredState, ReqRec, ServerSnapRec, ShardSnapRec, SnapshotRec, Wal, WalRecord,
 };
 use eavm_faults::CrashSchedule;
 use eavm_migrate::{ConsolidationConfig, Hysteresis, Move, MovePlan};
+use eavm_storage::{FaultyStorage, OsStorage, Storage, StorageFaultConfig, StorageStats};
 use eavm_swf::VmRequest;
 use eavm_telemetry::{Counter, Telemetry};
 use eavm_types::{EavmError, JobId, Joules, MixVector, Seconds, ServerId, WorkloadType};
@@ -45,6 +46,22 @@ pub struct DurabilityConfig {
     /// and chaos drills only): the process aborts *after* fsyncing the
     /// triggering frame, so recovery always sees it.
     pub crash: Option<CrashSchedule>,
+    /// Extra in-process retries for a failed WAL append (with a
+    /// torn-tail repair between attempts) before the coordinator gives
+    /// up and enters read-only degraded mode. Total attempts per record
+    /// are `1 + append_retries`.
+    pub append_retries: u32,
+    /// Consecutive checkpoint failures tolerated — each widening the
+    /// cadence with a doubling backoff — before snapshots are disabled
+    /// for the rest of the process (WAL-only mode).
+    pub checkpoint_retry_budget: u32,
+    /// Run the offline scrubber over the journal directory before
+    /// recovery: repairs torn WAL tails and quarantines corrupt
+    /// snapshot files instead of merely skipping them.
+    pub scrub_on_recover: bool,
+    /// Deterministic storage-fault injection for every journal file
+    /// operation; `None` is a plain OS passthrough.
+    pub storage_faults: Option<StorageFaultConfig>,
 }
 
 impl DurabilityConfig {
@@ -54,6 +71,10 @@ impl DurabilityConfig {
             dir: dir.into(),
             checkpoint_every: 256,
             crash: None,
+            append_retries: 2,
+            checkpoint_retry_budget: 3,
+            scrub_on_recover: false,
+            storage_faults: None,
         }
     }
 
@@ -67,6 +88,40 @@ impl DurabilityConfig {
     pub fn with_crash(mut self, crash: CrashSchedule) -> Self {
         self.crash = Some(crash);
         self
+    }
+
+    /// Change the per-record append retry allowance.
+    pub fn with_append_retries(mut self, retries: u32) -> Self {
+        self.append_retries = retries;
+        self
+    }
+
+    /// Change the consecutive-checkpoint-failure budget.
+    pub fn with_checkpoint_retry_budget(mut self, budget: u32) -> Self {
+        self.checkpoint_retry_budget = budget;
+        self
+    }
+
+    /// Scrub (repair + quarantine) the journal directory before
+    /// recovering from it.
+    pub fn with_scrub_on_recover(mut self) -> Self {
+        self.scrub_on_recover = true;
+        self
+    }
+
+    /// Arm deterministic storage-fault injection.
+    pub fn with_storage_faults(mut self, faults: StorageFaultConfig) -> Self {
+        self.storage_faults = Some(faults);
+        self
+    }
+}
+
+/// The storage backend a [`DurabilityConfig`] asks for: the seeded
+/// fault injector when faults are armed, the OS passthrough otherwise.
+pub(crate) fn make_storage(cfg: &DurabilityConfig) -> Box<dyn Storage> {
+    match cfg.storage_faults {
+        Some(faults) if !faults.is_quiet() => Box::new(FaultyStorage::new(faults)),
+        _ => Box::new(OsStorage::new()),
     }
 }
 
@@ -83,6 +138,25 @@ pub struct DurabilityStats {
     pub snapshots_loaded: u64,
     /// Torn or corrupt trailing frames dropped during recovery.
     pub torn_frames_dropped: u64,
+    /// WAL appends that failed (each retry attempt counts).
+    pub append_failures: u64,
+    /// Checkpoint writes that failed (snapshot skipped, WAL retained).
+    pub checkpoint_failures: u64,
+    /// Times the service entered a degraded mode: WAL-only after a
+    /// checkpoint failure, read-only after append retries ran dry.
+    pub degraded_entries: u64,
+    /// Torn WAL tails truncated back to a valid boundary (at open,
+    /// between append retries, or by a pre-recovery scrub).
+    pub torn_tails_repaired: u64,
+    /// Corrupt snapshot files quarantined by a pre-recovery scrub.
+    pub snapshots_quarantined: u64,
+    /// Faults the storage backend injected (0 without injection).
+    pub storage_faults_injected: u64,
+    /// Directory fsyncs that failed after a snapshot rename (counted,
+    /// never hidden: the rename itself still happened).
+    pub dir_sync_failures: u64,
+    /// Leftover checkpoint `*.tmp` files swept at open or recovery.
+    pub tmp_swept: u64,
 }
 
 /// Live counter handles behind [`DurabilityStats`]; registry-backed
@@ -94,6 +168,14 @@ pub(crate) struct DurInstruments {
     pub frames_replayed: Counter,
     pub snapshots_loaded: Counter,
     pub torn_frames_dropped: Counter,
+    pub append_failures: Counter,
+    pub checkpoint_failures: Counter,
+    pub degraded_entries: Counter,
+    pub torn_tails_repaired: Counter,
+    pub snapshots_quarantined: Counter,
+    pub storage_faults_injected: Counter,
+    pub dir_sync_failures: Counter,
+    pub tmp_swept: Counter,
 }
 
 impl DurInstruments {
@@ -105,6 +187,16 @@ impl DurInstruments {
                 frames_replayed: telemetry.counter("service.durability.frames_replayed"),
                 snapshots_loaded: telemetry.counter("service.durability.snapshots_loaded"),
                 torn_frames_dropped: telemetry.counter("service.durability.torn_frames_dropped"),
+                append_failures: telemetry.counter("service.durability.append_failures"),
+                checkpoint_failures: telemetry.counter("service.durability.checkpoint_failures"),
+                degraded_entries: telemetry.counter("service.durability.degraded_entries"),
+                torn_tails_repaired: telemetry.counter("service.durability.torn_tails_repaired"),
+                snapshots_quarantined: telemetry
+                    .counter("service.durability.snapshots_quarantined"),
+                storage_faults_injected: telemetry
+                    .counter("service.durability.storage_faults_injected"),
+                dir_sync_failures: telemetry.counter("service.durability.dir_sync_failures"),
+                tmp_swept: telemetry.counter("service.durability.tmp_swept"),
             }
         } else {
             DurInstruments {
@@ -113,6 +205,14 @@ impl DurInstruments {
                 frames_replayed: Counter::standalone(),
                 snapshots_loaded: Counter::standalone(),
                 torn_frames_dropped: Counter::standalone(),
+                append_failures: Counter::standalone(),
+                checkpoint_failures: Counter::standalone(),
+                degraded_entries: Counter::standalone(),
+                torn_tails_repaired: Counter::standalone(),
+                snapshots_quarantined: Counter::standalone(),
+                storage_faults_injected: Counter::standalone(),
+                dir_sync_failures: Counter::standalone(),
+                tmp_swept: Counter::standalone(),
             }
         }
     }
@@ -124,6 +224,14 @@ impl DurInstruments {
             frames_replayed: self.frames_replayed.get(),
             snapshots_loaded: self.snapshots_loaded.get(),
             torn_frames_dropped: self.torn_frames_dropped.get(),
+            append_failures: self.append_failures.get(),
+            checkpoint_failures: self.checkpoint_failures.get(),
+            degraded_entries: self.degraded_entries.get(),
+            torn_tails_repaired: self.torn_tails_repaired.get(),
+            snapshots_quarantined: self.snapshots_quarantined.get(),
+            storage_faults_injected: self.storage_faults_injected.get(),
+            dir_sync_failures: self.dir_sync_failures.get(),
+            tmp_swept: self.tmp_swept.get(),
         }
     }
 }
@@ -133,17 +241,30 @@ const SNAPSHOTS_KEPT: usize = 2;
 
 /// The coordinator's write side of the journal.
 pub(crate) struct Journal {
+    storage: Box<dyn Storage>,
     wal: Wal,
     dir: PathBuf,
     checkpoint_every: u64,
+    /// Appends before the next checkpoint attempt; equals
+    /// `checkpoint_every` when healthy, doubles per consecutive failure
+    /// (capped) so a sick disk is not hammered every cadence.
+    checkpoint_wait: u64,
     since_checkpoint: u64,
+    checkpoint_failure_streak: u32,
+    /// Cleared after `checkpoint_retry_budget` consecutive failures:
+    /// WAL-only for the rest of the process.
+    snapshots_enabled: bool,
+    append_retries: u32,
+    checkpoint_retry_budget: u32,
     next_seq: u64,
     /// Frames appended by *this process* — the crash schedule counts
     /// these, not the historical frames a recovered WAL already held.
     appended: u64,
     crash: Option<CrashSchedule>,
-    wal_appends: Counter,
-    snapshots_written: Counter,
+    /// Backend counters already published to the instruments; the delta
+    /// since this baseline is what each publish adds.
+    published: StorageStats,
+    instruments: DurInstruments,
 }
 
 impl Journal {
@@ -156,8 +277,14 @@ impl Journal {
         state: Option<&RecoveredState>,
         instruments: &DurInstruments,
     ) -> Result<Journal, EavmError> {
-        std::fs::create_dir_all(&cfg.dir)?;
-        let (wal, _torn) = Wal::open(&wal_path(&cfg.dir))?;
+        let storage = make_storage(cfg);
+        storage.create_dir_all(&cfg.dir)?;
+        let swept = sweep_tmp_files_with(storage.as_ref(), &cfg.dir)?;
+        instruments.tmp_swept.add(swept);
+        let (wal, _torn) = Wal::open_with(storage.as_ref(), &wal_path(&cfg.dir))?;
+        if wal.torn_bytes_dropped() > 0 {
+            instruments.torn_tails_repaired.add(1);
+        }
         if state.is_none() && wal.frames() > 0 {
             return Err(EavmError::InvalidConfig(format!(
                 "journal directory {} already holds {} WAL frames; recover instead of starting fresh",
@@ -169,17 +296,42 @@ impl Journal {
             .and_then(|s| s.snapshot.as_ref())
             .map(|s| s.seq + 1)
             .unwrap_or(1);
-        Ok(Journal {
+        let mut journal = Journal {
+            storage,
             wal,
             dir: cfg.dir.clone(),
             checkpoint_every: cfg.checkpoint_every.max(1),
+            checkpoint_wait: cfg.checkpoint_every.max(1),
             since_checkpoint: 0,
+            checkpoint_failure_streak: 0,
+            snapshots_enabled: true,
+            append_retries: cfg.append_retries,
+            checkpoint_retry_budget: cfg.checkpoint_retry_budget,
             next_seq,
             appended: 0,
             crash: cfg.crash,
-            wal_appends: instruments.wal_appends.clone(),
-            snapshots_written: instruments.snapshots_written.clone(),
-        })
+            published: StorageStats::default(),
+            instruments: instruments.clone(),
+        };
+        journal.publish_storage();
+        Ok(journal)
+    }
+
+    /// Fold the storage backend's fault/failure counters into the live
+    /// instruments (delta since the last publish).
+    fn publish_storage(&mut self) {
+        let stats = self.storage.stats();
+        self.instruments.storage_faults_injected.add(
+            stats
+                .faults_injected
+                .saturating_sub(self.published.faults_injected),
+        );
+        self.instruments.dir_sync_failures.add(
+            stats
+                .dir_sync_failures
+                .saturating_sub(self.published.dir_sync_failures),
+        );
+        self.published = stats;
     }
 
     /// Append one record (journal-before-ack: the caller sends the
@@ -189,7 +341,7 @@ impl Journal {
     /// ack may or may not have escaped.
     pub(crate) fn append(&mut self, record: &WalRecord) -> Result<(), EavmError> {
         self.wal.append(&record.encode())?;
-        self.wal_appends.add(1);
+        self.instruments.wal_appends.add(1);
         self.since_checkpoint += 1;
         self.appended += 1;
         if let Some(crash) = &self.crash {
@@ -201,24 +353,96 @@ impl Journal {
         Ok(())
     }
 
+    /// [`Journal::append`] with a bounded retry loop. A failed append
+    /// may leave a torn frame prefix on disk, and a retry blindly
+    /// appended after it would sit unreachable behind the tear — so the
+    /// WAL is reopened (which truncates back to the valid boundary)
+    /// between attempts. Exhausting the retries surfaces the last error;
+    /// the caller decides whether that means degraded mode.
+    pub(crate) fn append_resilient(&mut self, record: &WalRecord) -> Result<(), EavmError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.append(record) {
+                Ok(()) => {
+                    self.publish_storage();
+                    return Ok(());
+                }
+                Err(err) => {
+                    self.instruments.append_failures.add(1);
+                    attempts += 1;
+                    if attempts > self.append_retries || self.reopen_wal().is_err() {
+                        self.publish_storage();
+                        return Err(err);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reopen the WAL in place, truncating any torn prefix a failed
+    /// append left behind.
+    fn reopen_wal(&mut self) -> Result<(), EavmError> {
+        let (wal, _torn) = Wal::open_with(self.storage.as_ref(), &wal_path(&self.dir))?;
+        if wal.torn_bytes_dropped() > 0 {
+            self.instruments.torn_tails_repaired.add(1);
+        }
+        self.wal = wal;
+        Ok(())
+    }
+
     pub(crate) fn checkpoint_due(&self) -> bool {
-        self.since_checkpoint >= self.checkpoint_every
+        self.snapshots_enabled && self.since_checkpoint >= self.checkpoint_wait
+    }
+
+    /// `true` once repeated checkpoint failures disabled snapshots for
+    /// the rest of the process (the WAL alone still suffices to
+    /// recover).
+    pub(crate) fn snapshots_disabled(&self) -> bool {
+        !self.snapshots_enabled
     }
 
     /// Write a checkpoint: fsync the WAL (the snapshot's `wal_frames`
     /// claim must never outrun durable frames), atomically publish the
-    /// snapshot, prune old ones.
+    /// snapshot, prune old ones. A failure widens the cadence with a
+    /// doubling backoff and — past the retry budget — disables
+    /// snapshots entirely; the WAL alone always suffices to recover.
     pub(crate) fn write_checkpoint(&mut self, mut snap: SnapshotRec) -> Result<(), EavmError> {
         snap.seq = self.next_seq;
         snap.cache_generation = self.next_seq;
         snap.wal_frames = self.wal.frames();
-        self.wal.sync()?;
-        write_snapshot(&self.dir, snap.seq, &snap.encode())?;
-        let _ = prune_snapshots(&self.dir, SNAPSHOTS_KEPT);
-        self.snapshots_written.add(1);
-        self.since_checkpoint = 0;
-        self.next_seq += 1;
-        Ok(())
+        let written = self.wal.sync().and_then(|()| {
+            write_snapshot_with(self.storage.as_ref(), &self.dir, snap.seq, &snap.encode())
+                .map(|_| ())
+        });
+        match written {
+            Ok(()) => {
+                let _ = prune_snapshots_with(self.storage.as_ref(), &self.dir, SNAPSHOTS_KEPT);
+                self.instruments.snapshots_written.add(1);
+                self.since_checkpoint = 0;
+                self.checkpoint_wait = self.checkpoint_every;
+                self.checkpoint_failure_streak = 0;
+                self.next_seq += 1;
+                self.publish_storage();
+                Ok(())
+            }
+            Err(err) => {
+                self.instruments.checkpoint_failures.add(1);
+                if self.checkpoint_failure_streak == 0 {
+                    // First failure of a streak: the service just
+                    // entered WAL-only degraded operation.
+                    self.instruments.degraded_entries.add(1);
+                }
+                self.checkpoint_failure_streak += 1;
+                self.checkpoint_wait =
+                    self.checkpoint_every << self.checkpoint_failure_streak.min(4);
+                self.since_checkpoint = 0;
+                if self.checkpoint_failure_streak > self.checkpoint_retry_budget {
+                    self.snapshots_enabled = false;
+                }
+                self.publish_storage();
+                Err(err)
+            }
+        }
     }
 
     pub(crate) fn sync(&mut self) -> Result<(), EavmError> {
@@ -297,6 +521,7 @@ pub(crate) fn shed_reason_index(reason: ShedReason) -> u8 {
         ShedReason::WaitQueueFull => 1,
         ShedReason::Unplaceable => 2,
         ShedReason::ShardFailure => 3,
+        ShedReason::StorageDegraded => 4,
     }
 }
 
@@ -714,6 +939,7 @@ pub(crate) fn rebuild(
                     1 => "shed_wait_queue",
                     2 => "shed_unplaceable",
                     3 => "shed_shard_failure",
+                    4 => "shed_storage_degraded",
                     _ => continue,
                 };
                 bump(&mut counters, name, 1);

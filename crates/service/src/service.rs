@@ -45,12 +45,14 @@ use eavm_swf::VmRequest;
 use eavm_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Severity, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId};
 
-use eavm_durability::{recover_dir, MoveRec, RecoveredState, SnapshotRec, WalRecord};
+use eavm_durability::{
+    recover_dir_with, scrub_dir_with, MoveRec, RecoveredState, ScrubReport, SnapshotRec, WalRecord,
+};
 use eavm_migrate::{plan_moves, ConsolidationConfig, HostLoad, Hysteresis};
 
 use crate::durable::{
-    dump_to_snap, rebuild, req_to_rec, verdict_to_record, view_to_rec, DurInstruments,
-    DurabilityConfig, DurabilityStats, Journal, RecoveryReport,
+    dump_to_snap, make_storage, rebuild, req_to_rec, verdict_to_record, view_to_rec,
+    DurInstruments, DurabilityConfig, DurabilityStats, Journal, RecoveryReport,
 };
 use crate::memo::{CacheMetrics, CacheStats};
 use crate::shard::{
@@ -215,6 +217,11 @@ pub enum ShedReason {
     /// A shard worker died and could not be respawned, leaving the
     /// request with no shard able to answer for it.
     ShardFailure,
+    /// The journal could not make the decision durable (append retries
+    /// exhausted — disk full, torn writes): the service is read-only
+    /// degraded and sheds rather than acking what recovery could never
+    /// reproduce.
+    StorageDegraded,
 }
 
 /// Aggregated service counters, assembled by [`AllocService::stats`].
@@ -231,6 +238,9 @@ pub struct ServiceStats {
     /// Requests shed because an irrecoverable shard left no one able to
     /// answer for them.
     pub shed_shard_failure: u64,
+    /// Requests shed because the journal lost its storage (read-only
+    /// degraded mode: no decision can be made durable).
+    pub shed_storage_degraded: u64,
     /// Fast-path (single-shard) admissions.
     pub admitted_local: u64,
     /// Slow-path (cross-shard two-phase) admissions.
@@ -332,7 +342,7 @@ pub struct AllocService {
 impl AllocService {
     /// Spawn the coordinator and shard workers over `db`.
     pub fn start(db: ModelDatabase, config: ServiceConfig) -> Result<AllocService, EavmError> {
-        Self::launch(db, config, None).map(|(service, _)| service)
+        Self::launch(db, config, None, None).map(|(service, _)| service)
     }
 
     /// Recover a service from its journal directory (`config.durability`
@@ -346,23 +356,32 @@ impl AllocService {
         db: ModelDatabase,
         config: ServiceConfig,
     ) -> Result<(AllocService, RecoveryReport), EavmError> {
-        let dir = config
-            .durability
-            .as_ref()
-            .map(|d| d.dir.clone())
-            .ok_or_else(|| {
-                EavmError::InvalidConfig(
-                    "recover needs a journal directory (ServiceConfig::with_journal_dir)".into(),
-                )
-            })?;
-        let state = recover_dir(&dir)?;
-        Self::launch(db, config, Some(state))
+        let dcfg = config.durability.as_ref().ok_or_else(|| {
+            EavmError::InvalidConfig(
+                "recover needs a journal directory (ServiceConfig::with_journal_dir)".into(),
+            )
+        })?;
+        let dir = dcfg.dir.clone();
+        // Recovery reads route through the configured storage backend,
+        // so injected faults exercise this path too.
+        let storage = make_storage(dcfg);
+        // Optional pre-recovery scrub: truncate damaged WAL tails and
+        // quarantine corrupt snapshots so the reads below only ever see
+        // a self-consistent journal.
+        let scrubbed = if dcfg.scrub_on_recover {
+            Some(scrub_dir_with(storage.as_ref(), &dir)?)
+        } else {
+            None
+        };
+        let state = recover_dir_with(storage.as_ref(), &dir)?;
+        Self::launch(db, config, Some(state), scrubbed)
     }
 
     fn launch(
         db: ModelDatabase,
         config: ServiceConfig,
         recovered: Option<RecoveredState>,
+        scrubbed: Option<ScrubReport>,
     ) -> Result<(AllocService, RecoveryReport), EavmError> {
         if config.shards == 0 {
             return Err(EavmError::Parse("service needs at least one shard".into()));
@@ -445,6 +464,18 @@ impl AllocService {
                     .durability
                     .torn_frames_dropped
                     .add(state.torn_frames_dropped);
+                counters.durability.tmp_swept.add(state.tmp_swept);
+                if let Some(report) = &scrubbed {
+                    counters
+                        .durability
+                        .snapshots_quarantined
+                        .add(report.snapshots_quarantined());
+                    counters
+                        .durability
+                        .torn_tails_repaired
+                        .add(report.torn_tails_repaired);
+                    counters.durability.tmp_swept.add(report.tmp_swept);
+                }
                 report = RecoveryReport {
                     snapshots_loaded: state.snapshots_loaded,
                     frames_replayed: rebuilt.frames_replayed,
@@ -538,6 +569,7 @@ impl AllocService {
                 hysteresis,
                 pending_sweep,
                 resume_retired,
+                storage_degraded: false,
             };
             std::thread::Builder::new()
                 .name("eavm-coordinator".into())
@@ -748,6 +780,7 @@ struct CoordInstruments {
     shed_wait_queue: Counter,
     shed_unplaceable: Counter,
     shed_shard_failure: Counter,
+    shed_storage_degraded: Counter,
     admitted_local: Counter,
     admitted_cross_shard: Counter,
     admitted_after_wait: Counter,
@@ -782,6 +815,7 @@ impl CoordInstruments {
                 shed_wait_queue: telemetry.counter("service.shed.wait_queue"),
                 shed_unplaceable: telemetry.counter("service.shed.unplaceable"),
                 shed_shard_failure: telemetry.counter("service.shed.shard_failure"),
+                shed_storage_degraded: telemetry.counter("service.shed.storage_degraded"),
                 admitted_local: telemetry.counter("service.admitted.local"),
                 admitted_cross_shard: telemetry.counter("service.admitted.cross_shard"),
                 admitted_after_wait: telemetry.counter("service.admitted.after_wait"),
@@ -805,6 +839,7 @@ impl CoordInstruments {
                 shed_wait_queue: Counter::standalone(),
                 shed_unplaceable: Counter::standalone(),
                 shed_shard_failure: Counter::standalone(),
+                shed_storage_degraded: Counter::standalone(),
                 admitted_local: Counter::standalone(),
                 admitted_cross_shard: Counter::standalone(),
                 admitted_after_wait: Counter::standalone(),
@@ -826,12 +861,13 @@ impl CoordInstruments {
     /// The counters persisted by checkpoints and seeded on recovery,
     /// with their stable snapshot names. `shed_admission` is excluded:
     /// it is written handle-side and never journaled.
-    fn named(&self) -> [(&'static str, &Counter); 15] {
+    fn named(&self) -> [(&'static str, &Counter); 16] {
         [
             ("submitted", &self.submitted),
             ("shed_wait_queue", &self.shed_wait_queue),
             ("shed_unplaceable", &self.shed_unplaceable),
             ("shed_shard_failure", &self.shed_shard_failure),
+            ("shed_storage_degraded", &self.shed_storage_degraded),
             ("admitted_local", &self.admitted_local),
             ("admitted_cross_shard", &self.admitted_cross_shard),
             ("admitted_after_wait", &self.admitted_after_wait),
@@ -931,6 +967,11 @@ struct Coordinator {
     /// rebuild already applied, so re-driving the resume batch cannot
     /// observe it; see [`Rebuilt::tail_retired`].
     resume_retired: bool,
+    /// Sticky read-only degradation: a journal append exhausted its
+    /// retries, so no further decision can be made durable. Every
+    /// subsequent request is shed with [`ShedReason::StorageDegraded`]
+    /// instead of being acked on state recovery could never reproduce.
+    storage_degraded: bool,
 }
 
 impl Coordinator {
@@ -1062,7 +1103,43 @@ impl Coordinator {
         }
     }
 
-    fn verdict(&mut self, ticket: u64, verdict: Verdict) {
+    /// Append a record through the journal's resilient path. Returns
+    /// `true` when the record is durable (or the service journals
+    /// nothing at all). Exhausted retries flip the coordinator into
+    /// sticky read-only degradation — once here, further calls
+    /// short-circuit to `false` without hammering the dead disk.
+    fn journal_append(&mut self, record: &WalRecord) -> bool {
+        let Some(journal) = self.journal.as_mut() else {
+            return true;
+        };
+        if self.storage_degraded {
+            return false;
+        }
+        match journal.append_resilient(record) {
+            Ok(()) => true,
+            Err(err) => {
+                self.storage_degraded = true;
+                self.counters.durability.degraded_entries.add(1);
+                self.config.telemetry.event(
+                    self.now.0,
+                    "service",
+                    Severity::Error,
+                    "journal append failed; entering read-only degraded mode",
+                    vec![("error", err.to_string())],
+                );
+                false
+            }
+        }
+    }
+
+    /// Journal and ack a verdict. Returns `true` when the intended
+    /// verdict was acked; `false` when it could not be made durable and
+    /// was downgraded to a storage-degraded shed. Either way the ticket
+    /// has received exactly one answer for this call — on `false` the
+    /// (shed) answer was *final*, so callers must neither bump the
+    /// intended verdict's outcome counter nor keep the ticket queued
+    /// for a second one.
+    fn verdict(&mut self, ticket: u64, verdict: Verdict) -> bool {
         // The admission latency is submit to *first* verdict: a parked
         // request's `Queued` verdict stops its clock, the later
         // placement or shed does not re-report.
@@ -1074,11 +1151,22 @@ impl Coordinator {
         // Journal-before-ack: the verdict becomes durable (and the
         // injected crash schedule gets its chance to abort) before the
         // client can observe it, so recovery never re-decides a request
-        // whose answer may have escaped.
-        if let Some(journal) = self.journal.as_mut() {
-            let _ = journal.append(&verdict_to_record(ticket, &verdict));
-        }
+        // whose answer may have escaped. A verdict that cannot be made
+        // durable must not be acked either — the client instead learns
+        // the service degraded, and still gets exactly one answer.
+        let (verdict, acked) = if self.journal_append(&verdict_to_record(ticket, &verdict)) {
+            (verdict, true)
+        } else {
+            self.counters.shed_storage_degraded.add(1);
+            (
+                Verdict::Shed {
+                    reason: ShedReason::StorageDegraded,
+                },
+                false,
+            )
+        };
         let _ = self.verdict_tx.send((ticket, verdict));
+        acked
     }
 
     fn view_of(request: &VmRequest) -> RequestView {
@@ -1097,16 +1185,37 @@ impl Coordinator {
     /// re-driven: their submissions were already journaled and counted
     /// by the crashed process, so neither happens again.
     fn process_batch(&mut self, batch: Vec<(u64, VmRequest)>, resumed: bool) {
+        if self.storage_degraded {
+            // Read-only degradation: no submission or decision can be
+            // made durable, so nothing may mutate the fleet — every
+            // request still gets exactly one (shed) verdict, and still
+            // counts as submitted so conservation holds.
+            if !resumed {
+                self.counters.submitted.add(batch.len() as u64);
+            }
+            for (ticket, request) in batch {
+                let view = Self::view_of(&request);
+                self.shed_event(ticket, &view, "storage degraded");
+                self.verdict(
+                    ticket,
+                    Verdict::Shed {
+                        reason: ShedReason::StorageDegraded,
+                    },
+                );
+            }
+            return;
+        }
         if !resumed {
-            if self.journal.is_some() {
-                for (ticket, request) in &batch {
-                    let record = WalRecord::Submit {
-                        ticket: *ticket,
-                        req: req_to_rec(request),
-                    };
-                    if let Some(journal) = self.journal.as_mut() {
-                        let _ = journal.append(&record);
-                    }
+            for (ticket, request) in &batch {
+                let record = WalRecord::Submit {
+                    ticket: *ticket,
+                    req: req_to_rec(request),
+                };
+                if !self.journal_append(&record) {
+                    // Degraded mid-batch: later submissions stay
+                    // unjournaled; recovery re-drives them from the
+                    // trace, and their verdicts below degrade to sheds.
+                    break;
                 }
             }
             self.counters.submitted.add(batch.len() as u64);
@@ -1141,8 +1250,9 @@ impl Coordinator {
                     match placements {
                         Some(placements) => {
                             self.apply_placements(&placements);
-                            self.counters.admitted_local.add(1);
-                            self.verdict(ticket, Verdict::Admitted { shard, placements });
+                            if self.verdict(ticket, Verdict::Admitted { shard, placements }) {
+                                self.counters.admitted_local.add(1);
+                            }
                         }
                         None => fallbacks.push((ticket, view)),
                     }
@@ -1156,9 +1266,13 @@ impl Coordinator {
                     if !dead.contains(&shard) {
                         dead.push(shard);
                     }
-                    self.counters.requeued.add(1);
-                    self.verdict(ticket, Verdict::Requeued { shard });
-                    fallbacks.push((ticket, view));
+                    // An interim `Requeued` ack that degraded to a shed
+                    // was the ticket's *final* answer; only keep
+                    // re-driving it when the ack went through.
+                    if self.verdict(ticket, Verdict::Requeued { shard }) {
+                        self.counters.requeued.add(1);
+                        fallbacks.push((ticket, view));
+                    }
                 }
             }
         }
@@ -1218,8 +1332,10 @@ impl Coordinator {
                 };
                 match self.commit_proposal(&fleet, &placements) {
                     Some(shards) => {
-                        self.counters.admitted_cross_shard.add(1);
-                        self.verdict(ticket, Verdict::AdmittedCrossShard { shards, placements });
+                        if self.verdict(ticket, Verdict::AdmittedCrossShard { shards, placements })
+                        {
+                            self.counters.admitted_cross_shard.add(1);
+                        }
                     }
                     None => next.push((ticket, view)),
                 }
@@ -1234,14 +1350,15 @@ impl Coordinator {
         let crippled = self.irrecoverable.iter().any(|&dead| dead);
         for (ticket, view) in items {
             if crippled {
-                self.counters.shed_shard_failure.add(1);
                 self.shed_event(ticket, &view, "shard irrecoverable");
-                self.verdict(
+                if self.verdict(
                     ticket,
                     Verdict::Shed {
                         reason: ShedReason::ShardFailure,
                     },
-                );
+                ) {
+                    self.counters.shed_shard_failure.add(1);
+                }
             } else {
                 self.park_or_shed(ticket, view);
             }
@@ -1376,24 +1493,39 @@ impl Coordinator {
     /// Park a fleet-wide-infeasible request, or shed it when the wait
     /// queue is full.
     fn park_or_shed(&mut self, ticket: u64, view: RequestView) {
-        if self.parked.len() >= self.config.queue_capacity {
-            self.counters.shed_wait_queue.add(1);
-            self.shed_event(ticket, &view, "wait queue full");
+        if self.storage_degraded {
+            // Parking would hand the ticket a `Queued` ack (downgraded
+            // to a shed) *and* keep it queued for a second final
+            // verdict later; shed it outright so every ticket gets
+            // exactly one answer.
+            self.shed_event(ticket, &view, "storage degraded");
             self.verdict(
+                ticket,
+                Verdict::Shed {
+                    reason: ShedReason::StorageDegraded,
+                },
+            );
+            return;
+        }
+        if self.parked.len() >= self.config.queue_capacity {
+            self.shed_event(ticket, &view, "wait queue full");
+            if self.verdict(
                 ticket,
                 Verdict::Shed {
                     reason: ShedReason::WaitQueueFull,
                 },
-            );
+            ) {
+                self.counters.shed_wait_queue.add(1);
+            }
         } else {
-            self.parked.push_back(Parked { ticket, view });
-            self.counters.parked_depth.set(self.parked.len() as i64);
-            self.verdict(
-                ticket,
-                Verdict::Queued {
-                    depth: self.parked.len(),
-                },
-            );
+            // Park only once the `Queued` ack is durable: an ack that
+            // degraded to a shed already answered the ticket finally,
+            // so it must not stay queued for a second verdict.
+            let depth = self.parked.len() + 1;
+            if self.verdict(ticket, Verdict::Queued { depth }) {
+                self.parked.push_back(Parked { ticket, view });
+                self.counters.parked_depth.set(self.parked.len() as i64);
+            }
         }
     }
 
@@ -1679,21 +1811,24 @@ impl Coordinator {
             mix.fits_within(&bound)
         });
         let cost = cfg.model.cost();
-        if let Some(journal) = self.journal.as_mut() {
-            let _ = journal.append(&WalRecord::Migrate {
-                epoch,
-                t: self.now.0,
-                stall: cost.stall.0,
-                moves: plan
-                    .moves
-                    .iter()
-                    .map(|m| MoveRec {
-                        from: m.from as u32,
-                        to: m.to as u32,
-                        ty: m.ty.index() as u8,
-                    })
-                    .collect(),
-            });
+        if !self.journal_append(&WalRecord::Migrate {
+            epoch,
+            t: self.now.0,
+            stall: cost.stall.0,
+            moves: plan
+                .moves
+                .iter()
+                .map(|m| MoveRec {
+                    from: m.from as u32,
+                    to: m.to as u32,
+                    ty: m.ty.index() as u8,
+                })
+                .collect(),
+        }) {
+            // Journal-before-execute: an unjournaled sweep would be
+            // invisible to recovery, so its moves must never touch the
+            // fleet.
+            return;
         }
         let mut executed = 0u64;
         for m in &plan.moves {
@@ -1815,13 +1950,18 @@ impl Coordinator {
             },
         };
         if let Some(journal) = self.journal.as_mut() {
-            if journal.write_checkpoint(snapshot).is_err() {
+            if let Err(err) = journal.write_checkpoint(snapshot) {
+                let message = if journal.snapshots_disabled() {
+                    "checkpoint retry budget exhausted; snapshots disabled, WAL-only from here"
+                } else {
+                    "checkpoint write failed; continuing on WAL alone"
+                };
                 self.config.telemetry.event(
                     self.now.0,
                     "service",
                     Severity::Warn,
-                    "checkpoint write failed; continuing on WAL alone",
-                    vec![],
+                    message,
+                    vec![("error", err.to_string())],
                 );
             }
         }
@@ -1830,10 +1970,12 @@ impl Coordinator {
     fn advance(&mut self, t: Seconds) -> usize {
         self.now = self.now.max(t);
         // Clock advances are journaled so recovery retires resident VMs
-        // at exactly the instants the live run did.
-        if let Some(journal) = self.journal.as_mut() {
-            let _ = journal.append(&WalRecord::Clock { t: t.0 });
-        }
+        // at exactly the instants the live run did. A failed append is
+        // tolerable here — retirement is monotone with virtual time, so
+        // replaying without this frame can only retire the same VMs a
+        // little later — and the degraded flag it sets sheds everything
+        // that could have observed the difference.
+        self.journal_append(&WalRecord::Clock { t: t.0 });
         let mut retired = 0;
         let mut waits = Vec::with_capacity(self.shards.len());
         for (i, tx) in self.shards.iter().enumerate() {
@@ -1892,12 +2034,12 @@ impl Coordinator {
                         Some(shards) => {
                             self.parked.pop_front();
                             self.counters.parked_depth.set(self.parked.len() as i64);
-                            self.counters.admitted_cross_shard.add(1);
-                            self.counters.admitted_after_wait.add(1);
-                            self.verdict(
-                                ticket,
-                                Verdict::AdmittedCrossShard { shards, placements },
-                            );
+                            if self
+                                .verdict(ticket, Verdict::AdmittedCrossShard { shards, placements })
+                            {
+                                self.counters.admitted_cross_shard.add(1);
+                                self.counters.admitted_after_wait.add(1);
+                            }
                         }
                         None => {
                             next.push((ticket, view));
@@ -1946,15 +2088,16 @@ impl Coordinator {
                     // Fleet fully drained and the head still does not
                     // fit: it (and anything behind it) never will.
                     while let Some(head) = self.parked.pop_front() {
-                        self.counters.shed_unplaceable.add(1);
-                        report.shed_unplaceable += 1;
                         self.shed_event(head.ticket, &head.view, "unplaceable");
-                        self.verdict(
+                        if self.verdict(
                             head.ticket,
                             Verdict::Shed {
                                 reason: ShedReason::Unplaceable,
                             },
-                        );
+                        ) {
+                            self.counters.shed_unplaceable.add(1);
+                            report.shed_unplaceable += 1;
+                        }
                     }
                     self.counters.parked_depth.set(0);
                     break;
@@ -1992,6 +2135,7 @@ impl Coordinator {
             shed_wait_queue: self.counters.shed_wait_queue.get(),
             shed_unplaceable: self.counters.shed_unplaceable.get(),
             shed_shard_failure: self.counters.shed_shard_failure.get(),
+            shed_storage_degraded: self.counters.shed_storage_degraded.get(),
             admitted_local: self.counters.admitted_local.get(),
             admitted_cross_shard: self.counters.admitted_cross_shard.get(),
             admitted_after_wait: self.counters.admitted_after_wait.get(),
@@ -2263,5 +2407,162 @@ mod tests {
         assert_eq!(report.stats.shed_unplaceable, 0);
         assert!(report.stats.aggregate_cache.hits > 0, "cache never hit");
         assert!(report.stats.estimated_energy.0 > 0.0);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("eavm-svc-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn enospc_exhaustion_degrades_to_read_only_shedding() {
+        use eavm_storage::StorageFaultConfig;
+        let dir = tmp("enospc");
+        let mut config = ServiceConfig::new(1, 2);
+        config.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        config.durability = Some(
+            DurabilityConfig::new(&dir)
+                .with_checkpoint_every(1_000)
+                .with_append_retries(1)
+                .with_storage_faults(StorageFaultConfig::quiet(7).with_enospc_after(400)),
+        );
+        let service = AllocService::start(db(), config).expect("start");
+        for i in 0..12 {
+            service.submit(request(i, 0.0, WorkloadType::Cpu, 1));
+            // Rendezvous so each submission is its own control round:
+            // the byte budget runs dry at a deterministic frame.
+            let _ = service.stats();
+        }
+        let stats = service.stats().expect("stats");
+        let verdicts = service.poll_verdicts();
+        // Conservation: every ticket gets exactly one verdict — admitted
+        // before the disk filled, shed with StorageDegraded after.
+        assert_eq!(verdicts.len(), 12, "got {verdicts:?}");
+        let shed = verdicts
+            .iter()
+            .filter(|(_, v)| {
+                matches!(
+                    v,
+                    Verdict::Shed {
+                        reason: ShedReason::StorageDegraded
+                    }
+                )
+            })
+            .count() as u64;
+        assert!(stats.admitted_local >= 1, "nothing admitted: {stats:?}");
+        assert!(shed >= 1, "nothing shed degraded: {verdicts:?}");
+        assert_eq!(stats.shed_storage_degraded, shed);
+        assert!(
+            stats.durability.append_failures >= 1,
+            "{:?}",
+            stats.durability
+        );
+        assert!(
+            stats.durability.degraded_entries >= 1,
+            "{:?}",
+            stats.durability
+        );
+        assert!(
+            stats.durability.storage_faults_injected >= 1,
+            "{:?}",
+            stats.durability
+        );
+        service.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn checkpoint_failures_back_off_then_fall_back_to_wal_only() {
+        use eavm_storage::StorageFaultConfig;
+        let dir = tmp("ckpt-fail");
+        let mut config = ServiceConfig::new(1, 2);
+        config.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        config.durability = Some(
+            DurabilityConfig::new(&dir)
+                .with_checkpoint_every(2)
+                .with_checkpoint_retry_budget(1)
+                .with_storage_faults(StorageFaultConfig::quiet(11).with_fail_rename(1.0)),
+        );
+        let service = AllocService::start(db(), config).expect("start");
+        for i in 0..10 {
+            service.submit(request(i, 0.0, WorkloadType::Cpu, 1));
+            let _ = service.stats();
+        }
+        let stats = service.stats().expect("stats");
+        // Every snapshot rename fails: the journal backs off, then
+        // disables snapshots — but admissions never degrade, because
+        // the WAL alone still carries every decision.
+        assert!(
+            stats.durability.checkpoint_failures >= 2,
+            "{:?}",
+            stats.durability
+        );
+        assert_eq!(stats.durability.snapshots_written, 0);
+        assert!(
+            stats.durability.degraded_entries >= 1,
+            "{:?}",
+            stats.durability
+        );
+        assert_eq!(stats.shed_storage_degraded, 0);
+        assert_eq!(stats.admitted_local, 10);
+        service.shutdown().expect("shutdown");
+
+        // WAL-only recovery with a clean backend reproduces the run.
+        let mut clean = ServiceConfig::new(1, 2);
+        clean.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        clean.durability = Some(DurabilityConfig::new(&dir));
+        let (recovered, report) = AllocService::recover(db(), clean).expect("recover");
+        assert_eq!(report.snapshots_loaded, 0);
+        assert!(report.frames_replayed > 0);
+        assert_eq!(report.resident_vms, 10);
+        recovered.shutdown().expect("shutdown");
+    }
+
+    #[test]
+    fn scrub_on_recover_quarantines_the_corrupt_snapshot() {
+        let dir = tmp("scrub-recover");
+        let mut config = ServiceConfig::new(1, 2);
+        config.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        config.durability = Some(DurabilityConfig::new(&dir).with_checkpoint_every(2));
+        let service = AllocService::start(db(), config).expect("start");
+        for i in 0..8 {
+            service.submit(request(i, 0.0, WorkloadType::Cpu, 1));
+            let _ = service.stats();
+        }
+        service.shutdown().expect("shutdown");
+
+        // Rot the newest snapshot (largest sequence sorts last).
+        let newest = {
+            let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().path())
+                .filter(|p| p.to_string_lossy().ends_with(".snap"))
+                .collect();
+            snaps.sort();
+            snaps.pop().expect("no snapshot written")
+        };
+        let mut raw = std::fs::read(&newest).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        std::fs::write(&newest, &raw).unwrap();
+
+        let mut clean = ServiceConfig::new(1, 2);
+        clean.deadlines = [Seconds(1e7), Seconds(1e7), Seconds(1e7)];
+        clean.durability = Some(DurabilityConfig::new(&dir).with_scrub_on_recover());
+        let (recovered, report) = AllocService::recover(db(), clean).expect("recover");
+        // The scrub renamed the rotten file out of the snapshot
+        // namespace and recovery fell back to the older checkpoint.
+        assert_eq!(report.snapshots_loaded, 1);
+        assert_eq!(report.resident_vms, 8);
+        let stats = recovered.stats().expect("stats");
+        assert_eq!(stats.durability.snapshots_quarantined, 1);
+        let quarantined = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".quarantine"))
+            .count();
+        assert_eq!(quarantined, 1);
+        recovered.shutdown().expect("shutdown");
     }
 }

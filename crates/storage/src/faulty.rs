@@ -1,0 +1,464 @@
+//! The seeded fault-injecting backend.
+//!
+//! Same discipline as `eavm-faults`: every decision is drawn from a
+//! per-fault-kind SplitMix64 stream derived from one seed, in
+//! operation order — no wall clock, no OS entropy, so the same seed
+//! against the same operation sequence yields a byte-identical fault
+//! stream (which is what lets CI assert that two corruption runs
+//! produce identical scrub reports).
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::rng::{mix64, SplitMix64};
+use crate::{OsStorage, Storage, StorageFile, StorageStats};
+
+/// Stream separators: one independent RNG per fault kind so enabling
+/// one fault never perturbs another kind's schedule.
+const TORN_STREAM: u64 = 0x70A4;
+const FLIP_STREAM: u64 = 0xF11B;
+const SYNC_STREAM: u64 = 0x5D5C;
+const RENAME_STREAM: u64 = 0x4EA3;
+
+/// What [`FaultyStorage`] injects, and how often.
+///
+/// Rates are per-operation probabilities in `[0, 1]`;
+/// `enospc_after` is a total byte budget across appends and snapshot
+/// writes, after which every write fails like a full disk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageFaultConfig {
+    pub seed: u64,
+    /// P(an append persists only a strict prefix, then errors).
+    pub torn_append: f64,
+    /// P(a whole-file read comes back with 1–3 flipped bits).
+    pub bit_flip: f64,
+    /// P(`sync_data`/`sync_all` silently does nothing).
+    pub drop_sync: f64,
+    /// P(a rename fails, leaving the source file behind).
+    pub fail_rename: f64,
+    /// Byte budget before injected ENOSPC; `None` = unlimited.
+    pub enospc_after: Option<u64>,
+}
+
+impl StorageFaultConfig {
+    /// All faults off — a passthrough that still exercises the faulty
+    /// code path (useful as a builder base).
+    pub fn quiet(seed: u64) -> Self {
+        StorageFaultConfig {
+            seed,
+            torn_append: 0.0,
+            bit_flip: 0.0,
+            drop_sync: 0.0,
+            fail_rename: 0.0,
+            enospc_after: None,
+        }
+    }
+
+    pub fn with_torn_append(mut self, p: f64) -> Self {
+        self.torn_append = p;
+        self
+    }
+
+    pub fn with_bit_flip(mut self, p: f64) -> Self {
+        self.bit_flip = p;
+        self
+    }
+
+    pub fn with_drop_sync(mut self, p: f64) -> Self {
+        self.drop_sync = p;
+        self
+    }
+
+    pub fn with_fail_rename(mut self, p: f64) -> Self {
+        self.fail_rename = p;
+        self
+    }
+
+    pub fn with_enospc_after(mut self, bytes: u64) -> Self {
+        self.enospc_after = Some(bytes);
+        self
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_quiet(&self) -> bool {
+        self.torn_append <= 0.0
+            && self.bit_flip <= 0.0
+            && self.drop_sync <= 0.0
+            && self.fail_rename <= 0.0
+            && self.enospc_after.is_none()
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    torn: SplitMix64,
+    flip: SplitMix64,
+    sync: SplitMix64,
+    rename: SplitMix64,
+    budget_left: Option<u64>,
+}
+
+#[derive(Debug)]
+struct FaultShared {
+    cfg: StorageFaultConfig,
+    state: Mutex<FaultState>,
+    injected: AtomicU64,
+}
+
+impl FaultShared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn inject(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many of `len` bytes the budget still allows; decrements it.
+    /// Anything short of `len` is an injected ENOSPC.
+    fn budget_allow(&self, len: usize) -> usize {
+        let mut state = self.lock();
+        let Some(left) = state.budget_left.as_mut() else {
+            return len;
+        };
+        if *left >= len as u64 {
+            *left -= len as u64;
+            return len;
+        }
+        let allowed = *left as usize;
+        *left = 0;
+        drop(state);
+        self.inject();
+        allowed
+    }
+
+    /// `Some(cut)` when this append should tear at `cut < len`.
+    fn torn_cut(&self, len: usize) -> Option<usize> {
+        if self.cfg.torn_append <= 0.0 || len == 0 {
+            return None;
+        }
+        let mut state = self.lock();
+        if state.torn.next_f64() >= self.cfg.torn_append {
+            return None;
+        }
+        let cut = (state.torn.next_u64() % len as u64) as usize;
+        drop(state);
+        self.inject();
+        Some(cut)
+    }
+
+    /// Flip 1–3 bits of a read-back in place (maybe).
+    fn maybe_flip(&self, bytes: &mut [u8]) {
+        if self.cfg.bit_flip <= 0.0 || bytes.is_empty() {
+            return;
+        }
+        let mut state = self.lock();
+        if state.flip.next_f64() >= self.cfg.bit_flip {
+            return;
+        }
+        let flips = 1 + state.flip.next_u64() % 3;
+        for _ in 0..flips {
+            let pos = (state.flip.next_u64() % bytes.len() as u64) as usize;
+            let bit = state.flip.next_u64() % 8;
+            bytes[pos] ^= 1 << bit;
+        }
+        drop(state);
+        self.inject();
+    }
+
+    fn drop_sync(&self) -> bool {
+        if self.cfg.drop_sync <= 0.0 {
+            return false;
+        }
+        let fire = self.lock().sync.next_f64() < self.cfg.drop_sync;
+        if fire {
+            self.inject();
+        }
+        fire
+    }
+
+    fn fail_rename(&self) -> bool {
+        if self.cfg.fail_rename <= 0.0 {
+            return false;
+        }
+        let fire = self.lock().rename.next_f64() < self.cfg.fail_rename;
+        if fire {
+            self.inject();
+        }
+        fire
+    }
+}
+
+fn enospc(path: &Path) -> io::Error {
+    io::Error::other(format!(
+        "{}: injected ENOSPC (byte budget exhausted)",
+        path.display()
+    ))
+}
+
+/// A [`Storage`] backend that forwards to [`OsStorage`] while injecting
+/// seeded, deterministic faults per [`StorageFaultConfig`].
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: OsStorage,
+    shared: Arc<FaultShared>,
+}
+
+impl FaultyStorage {
+    pub fn new(cfg: StorageFaultConfig) -> Self {
+        let base = mix64(cfg.seed);
+        FaultyStorage {
+            inner: OsStorage::new(),
+            shared: Arc::new(FaultShared {
+                state: Mutex::new(FaultState {
+                    torn: SplitMix64::new(base ^ TORN_STREAM),
+                    flip: SplitMix64::new(base ^ FLIP_STREAM),
+                    sync: SplitMix64::new(base ^ SYNC_STREAM),
+                    rename: SplitMix64::new(base ^ RENAME_STREAM),
+                    budget_left: cfg.enospc_after,
+                }),
+                injected: AtomicU64::new(0),
+                cfg,
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &StorageFaultConfig {
+        &self.shared.cfg
+    }
+
+    /// Faults injected so far (also merged into [`Storage::stats`]).
+    pub fn faults_injected(&self) -> u64 {
+        self.shared.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// An append handle that can tear writes and drop syncs.
+#[derive(Debug)]
+struct FaultyFile {
+    inner: Box<dyn StorageFile>,
+    path: std::path::PathBuf,
+    shared: Arc<FaultShared>,
+}
+
+impl StorageFile for FaultyFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let allowed = self.shared.budget_allow(bytes.len());
+        if allowed < bytes.len() {
+            self.inner.append(&bytes[..allowed])?;
+            return Err(enospc(&self.path));
+        }
+        if let Some(cut) = self.shared.torn_cut(bytes.len()) {
+            self.inner.append(&bytes[..cut])?;
+            return Err(io::Error::other(format!(
+                "{}: injected torn append ({cut} of {} bytes persisted)",
+                self.path.display(),
+                bytes.len()
+            )));
+        }
+        self.inner.append(bytes)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        if self.shared.drop_sync() {
+            return Ok(());
+        }
+        self.inner.sync_data()
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn try_read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        let mut bytes = self.inner.try_read(path)?;
+        if let Some(bytes) = bytes.as_mut() {
+            self.shared.maybe_flip(bytes);
+        }
+        Ok(bytes)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(FaultyFile {
+            inner: self.inner.open_append(path)?,
+            path: path.to_path_buf(),
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let allowed = self.shared.budget_allow(bytes.len());
+        if allowed < bytes.len() {
+            // Persist what the "disk" had room for: a partial temp file,
+            // exactly what a real ENOSPC mid-checkpoint leaves behind.
+            self.inner.write_file(path, &bytes[..allowed])?;
+            return Err(enospc(path));
+        }
+        self.inner.write_file(path, bytes)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.shared.fail_rename() {
+            return Err(io::Error::other(format!(
+                "{}: injected rename failure (source left behind)",
+                from.display()
+            )));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        self.inner.read_dir(dir)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        self.inner.create_dir_all(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.shared.drop_sync() {
+            return Ok(());
+        }
+        self.inner.sync_dir(dir)
+    }
+
+    fn stats(&self) -> StorageStats {
+        let mut stats = self.inner.stats();
+        stats.faults_injected = self.faults_injected();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eavm-faulty-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn quiet_config_is_a_passthrough() {
+        let dir = tmp("quiet");
+        let s = FaultyStorage::new(StorageFaultConfig::quiet(7));
+        assert!(s.config().is_quiet());
+        let mut f = s.open_append(&dir.join("w")).unwrap();
+        f.append(b"abc").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(s.read(&dir.join("w")).unwrap(), b"abc");
+        assert_eq!(s.faults_injected(), 0);
+    }
+
+    #[test]
+    fn torn_append_persists_a_strict_prefix() {
+        let dir = tmp("torn");
+        let s = FaultyStorage::new(StorageFaultConfig::quiet(3).with_torn_append(1.0));
+        let mut f = s.open_append(&dir.join("w")).unwrap();
+        let err = f.append(b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("torn append"), "{err}");
+        let on_disk = s.read(&dir.join("w")).unwrap();
+        assert!(on_disk.len() < 10);
+        assert_eq!(on_disk, b"0123456789"[..on_disk.len()]);
+        assert_eq!(s.stats().faults_injected, 1);
+    }
+
+    #[test]
+    fn enospc_budget_cuts_writes_then_fails_everything() {
+        let dir = tmp("enospc");
+        let s = FaultyStorage::new(StorageFaultConfig::quiet(5).with_enospc_after(10));
+        let mut f = s.open_append(&dir.join("w")).unwrap();
+        f.append(b"12345678").unwrap(); // 8 of 10
+        let err = f.append(b"abcdef").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(s.read(&dir.join("w")).unwrap(), b"12345678ab");
+        // The budget is global: snapshot writes now fail too (and leave
+        // a zero-byte partial behind, like a truly full disk).
+        let err = s.write_file(&dir.join("s.tmp"), b"snapshot").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        assert_eq!(s.read(&dir.join("s.tmp")).unwrap(), b"");
+    }
+
+    #[test]
+    fn bit_flips_corrupt_read_back_deterministically() {
+        let dir = tmp("flip");
+        let payload = vec![0u8; 64];
+        std::fs::write(dir.join("f"), &payload).unwrap();
+        let a = FaultyStorage::new(StorageFaultConfig::quiet(11).with_bit_flip(1.0));
+        let b = FaultyStorage::new(StorageFaultConfig::quiet(11).with_bit_flip(1.0));
+        let ra = a.read(&dir.join("f")).unwrap();
+        let rb = b.read(&dir.join("f")).unwrap();
+        assert_ne!(ra, payload, "flip must corrupt the read-back");
+        assert_eq!(ra, rb, "same seed must flip the same bits");
+        let c = FaultyStorage::new(StorageFaultConfig::quiet(12).with_bit_flip(1.0));
+        assert_ne!(
+            c.read(&dir.join("f")).unwrap(),
+            ra,
+            "different seed, different bits"
+        );
+    }
+
+    #[test]
+    fn failed_rename_leaves_the_source_behind() {
+        let dir = tmp("rename");
+        let s = FaultyStorage::new(StorageFaultConfig::quiet(9).with_fail_rename(1.0));
+        s.write_file(&dir.join("a.tmp"), b"x").unwrap();
+        assert!(s.rename(&dir.join("a.tmp"), &dir.join("a")).is_err());
+        assert_eq!(s.read_dir(&dir).unwrap(), vec!["a.tmp"]);
+    }
+
+    #[test]
+    fn dropped_sync_lies_ok_and_counts_a_fault() {
+        let dir = tmp("sync");
+        let s = FaultyStorage::new(StorageFaultConfig::quiet(2).with_drop_sync(1.0));
+        let mut f = s.open_append(&dir.join("w")).unwrap();
+        f.append(b"x").unwrap();
+        f.sync_data().unwrap();
+        s.sync_dir(&dir).unwrap();
+        assert_eq!(s.stats().faults_injected, 2);
+        // The inner backend never saw either sync.
+        assert_eq!(s.stats().file_syncs, 0);
+        assert_eq!(s.stats().dir_syncs, 0);
+    }
+
+    #[test]
+    fn same_seed_same_fault_stream() {
+        let run = |dir: &Path| -> (Vec<bool>, StorageStats) {
+            let s = FaultyStorage::new(
+                StorageFaultConfig::quiet(0xFA17)
+                    .with_torn_append(0.3)
+                    .with_drop_sync(0.5)
+                    .with_fail_rename(0.4),
+            );
+            let mut outcomes = Vec::new();
+            let mut f = s.open_append(&dir.join("w")).unwrap();
+            for i in 0..32u8 {
+                outcomes.push(f.append(&[i; 16]).is_ok());
+                outcomes.push(f.sync_data().is_ok());
+            }
+            for i in 0..8 {
+                let tmp = dir.join(format!("{i}.tmp"));
+                s.write_file(&tmp, b"snap").unwrap();
+                outcomes.push(s.rename(&tmp, &dir.join(format!("{i}.snap"))).is_ok());
+            }
+            (outcomes, s.stats())
+        };
+        let (oa, sa) = run(&tmp("det-a"));
+        let (ob, sb) = run(&tmp("det-b"));
+        assert_eq!(oa, ob, "same seed, same op sequence ⇒ same outcomes");
+        assert_eq!(sa, sb);
+        assert!(sa.faults_injected > 0, "the stream must actually fire");
+    }
+}

@@ -1,0 +1,152 @@
+//! The passthrough backend: `std::fs` with operation counting.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::{Storage, StorageCounters, StorageFile, StorageStats};
+
+/// Real-filesystem [`Storage`]: every call maps 1:1 onto `std::fs`,
+/// plus counters — including failed directory syncs, which used to be
+/// silently discarded by the snapshot writer.
+#[derive(Debug, Default)]
+pub struct OsStorage {
+    counters: Arc<StorageCounters>,
+}
+
+impl OsStorage {
+    pub fn new() -> Self {
+        OsStorage::default()
+    }
+}
+
+/// An append-positioned `std::fs::File`.
+#[derive(Debug)]
+struct OsFile {
+    file: File,
+    counters: Arc<StorageCounters>,
+}
+
+impl StorageFile for OsFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.file.flush()?;
+        self.counters.appends(1);
+        self.counters.appended_bytes(bytes.len() as u64);
+        Ok(())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.counters.file_syncs(1);
+        self.file.sync_data()
+    }
+}
+
+impl Storage for OsStorage {
+    fn try_read(&self, path: &Path) -> io::Result<Option<Vec<u8>>> {
+        self.counters.reads(1);
+        match std::fs::read(path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(Box::new(OsFile {
+            file,
+            counters: Arc::clone(&self.counters),
+        }))
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.counters.writes(1);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(bytes)?;
+        self.counters.file_syncs(1);
+        file.sync_data()
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.counters.truncates(1);
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.counters.renames(1);
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.counters.removes(1);
+        std::fs::remove_file(path)
+    }
+
+    fn read_dir(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            if let Some(name) = entry?.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort_unstable();
+        Ok(names)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.counters.dir_syncs(1);
+        let result = File::open(dir).and_then(|d| d.sync_all());
+        if result.is_err() {
+            self.counters.dir_sync_failures(1);
+        }
+        result
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.counters.snapshot()
+    }
+}
+
+// `open_append` opens read+write (not `append(true)`) so the handle can
+// be reused after the WAL truncates a torn tail; the explicit seek to
+// the end is what makes it append-positioned.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dir_sync_failure_is_counted_not_hidden() {
+        let s = OsStorage::new();
+        let missing = std::env::temp_dir().join(format!(
+            "eavm-storage-no-such-dir-{}-sync",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&missing);
+        assert!(s.sync_dir(&missing).is_err());
+        let stats = s.stats();
+        assert_eq!(stats.dir_syncs, 1);
+        assert_eq!(stats.dir_sync_failures, 1);
+    }
+}

@@ -51,7 +51,8 @@
 //! | [`simulator`] | discrete-event datacenter engine + metrics + cloud sizing |
 //! | [`faults`] | seeded deterministic fault plans: crashes, degradation, lookup failures |
 //! | [`telemetry`] | metrics registry, bounded event journal, Prometheus/JSON exporters |
-//! | [`durability`] | write-ahead admission journal, checkpoint snapshots, crash recovery |
+//! | [`storage`] | file-operation abstraction + seeded storage-fault injection (torn writes, bit rot, ENOSPC) |
+//! | [`durability`] | write-ahead admission journal, checkpoint snapshots, scrubbing, crash recovery |
 //! | [`migrate`] | live-migration pre-copy cost model + threshold consolidation policy |
 //! | [`service`] | online concurrent allocation service (sharded fleet, batched admission) |
 //!
@@ -68,6 +69,7 @@ pub use eavm_migrate as migrate;
 pub use eavm_partitions as partitions;
 pub use eavm_service as service;
 pub use eavm_simulator as simulator;
+pub use eavm_storage as storage;
 pub use eavm_swf as swf;
 pub use eavm_telemetry as telemetry;
 pub use eavm_testbed as testbed;

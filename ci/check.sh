@@ -203,6 +203,64 @@ cmp "$CHAOS_DIR/ctrl.log" "$CORR_DIR/dropsync.log" \
     || { echo "corruption drill: dropped-fsync cell diverged"; \
          diff "$CHAOS_DIR/ctrl.log" "$CORR_DIR/dropsync.log" | head -20; exit 1; }
 
+echo "==> overload drill (brownout ladder + crash parity under load)"
+# A dense flash crowd (5 s mean burst gap, ~5x the 4-server fleet's
+# capacity) through the armed overload plane: the brownout ladder must
+# shed Batch first and hold Interactive goodput at >= 90% of its
+# offered load, and a crash mid-crowd must recover to the uncrashed
+# control's verdict log byte for byte under the same overload flags.
+OVL_DIR="$(mktemp -d)"
+TMP_DIRS+=("$OVL_DIR")
+OVL_FLAGS=(--queue 48 --overload --limit-max 8
+           --queue-target 7200 --queue-interval 7200)
+"${CLI[@]}" gen-trace --out "$OVL_DIR/crowd.swf" \
+    --jobs 200 --seed 5 --burst-gap 5 > /dev/null
+OVL_OUT="$("${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$OVL_DIR/crowd.swf" --servers 4 --shards 2 --vms 200 \
+    --paced --journal-dir "$OVL_DIR/ctrl" --checkpoint-every 16 \
+    "${OVL_FLAGS[@]}" --verdicts-out "$OVL_DIR/ctrl.log")"
+echo "$OVL_OUT" | grep -q "conservation: ok" \
+    || { echo "overload drill: verdicts not conserved"; echo "$OVL_OUT"; exit 1; }
+echo "$OVL_OUT" | awk '
+    /^shed:/ {
+        for (i = 1; i <= NF; i++)
+            if (split($i, kv, "=") == 2 && kv[1] == "brownout-class")
+                brownout = kv[2]
+    }
+    /^classes:/ {
+        for (i = 1; i <= NF; i++)
+            if (split($i, kv, "=") == 2) c[kv[1]] = kv[2]
+    }
+    END {
+        if (brownout + 0 <= 0) {
+            print "overload drill: ladder never shed (brownout-class=" brownout ")"
+            exit 1
+        }
+        if (c["admitted-interactive"] < 0.9 * c["submitted-interactive"]) {
+            print "overload drill: Interactive goodput below 90% (" \
+                c["admitted-interactive"] "/" c["submitted-interactive"] ")"
+            exit 1
+        }
+        if (c["admitted-batch"] / c["submitted-batch"] >= \
+            c["admitted-interactive"] / c["submitted-interactive"]) {
+            print "overload drill: Batch was not shed before Interactive"
+            exit 1
+        }
+    }' || { echo "$OVL_OUT"; exit 1; }
+"${CLI[@]}" serve --db-dir "$CHAOS_DIR/db" \
+    --trace "$OVL_DIR/crowd.swf" --servers 4 --shards 2 --vms 200 \
+    --paced --journal-dir "$OVL_DIR/crash" --checkpoint-every 16 \
+    "${OVL_FLAGS[@]}" --crash-after-events 37 > /dev/null 2>&1 || true
+test -s "$OVL_DIR/crash/wal.log" \
+    || { echo "overload drill: crashed run left no WAL"; exit 1; }
+"${CLI[@]}" recover --db-dir "$CHAOS_DIR/db" \
+    --trace "$OVL_DIR/crowd.swf" --servers 4 --shards 2 --vms 200 \
+    --journal-dir "$OVL_DIR/crash" --checkpoint-every 16 \
+    "${OVL_FLAGS[@]}" --verdicts-out "$OVL_DIR/rec.log" > /dev/null
+cmp "$OVL_DIR/ctrl.log" "$OVL_DIR/rec.log" \
+    || { echo "overload drill: recovered verdict log diverged"; \
+         diff "$OVL_DIR/ctrl.log" "$OVL_DIR/rec.log" | head -20; exit 1; }
+
 echo "==> scenario library (byte-deterministic replays)"
 # Every committed scenario must check clean and produce byte-identical
 # outcome CSVs across two runs (against the exact model database the

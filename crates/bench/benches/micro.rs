@@ -357,6 +357,7 @@ fn bench_durability(c: &mut Criterion) {
                 workload: (ticket % 3) as u8,
                 vm_count: 2,
                 deadline: 5_000.0,
+                priority: (ticket % 3) as u8,
             };
             wal.append(&WalRecord::Submit { ticket, req }.encode())
                 .unwrap();

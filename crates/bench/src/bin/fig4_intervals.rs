@@ -14,7 +14,7 @@
 use eavm_core::estimate::{weighted_energy, weighted_exec_time};
 use eavm_core::{AllocationModel, AnalyticModel, FirstFit};
 use eavm_simulator::{CloudConfig, Simulation};
-use eavm_swf::VmRequest;
+use eavm_swf::{Priority, VmRequest};
 use eavm_types::{JobId, Joules, MixVector, Seconds, WorkloadType};
 
 fn main() {
@@ -55,6 +55,7 @@ fn main() {
             workload: WorkloadType::Cpu,
             vm_count: 1,
             deadline: Seconds(1e9),
+            priority: Priority::Standard,
         },
         VmRequest {
             id: JobId::new(1),
@@ -62,6 +63,7 @@ fn main() {
             workload: WorkloadType::Io,
             vm_count: 1,
             deadline: Seconds(1e9),
+            priority: Priority::Standard,
         },
     ];
     let sim = Simulation::new(model.clone(), CloudConfig::new("FIG4", 1).unwrap()).with_timeline();

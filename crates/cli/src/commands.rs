@@ -69,9 +69,13 @@ USAGE:
                        [--vms N] [--seed N] [--qos F] [--margin F] [--alpha F]
                        [--queue N] [--cache N]
                        [--consolidate-every SECS] [--drain-threshold N]
+                       [--overload] [--overload-cut F] [--limit-max N]
+                       [--queue-target SECS] [--queue-interval SECS]
+                       [--breaker-rate F] [--breaker-seed N]
                        [--fault-seed N] [--fault-rate F]
                        [--kill-shard N] [--kill-after M]
                        [--journal-dir DIR] [--checkpoint-every N] [--paced]
+                       [--append-retries N]
                        [--crash-after-events N] [--verdicts-out FILE]
                        [--storage-fault-seed N] [--storage-torn-append F]
                        [--storage-bit-flip F] [--storage-drop-sync F]
@@ -81,7 +85,10 @@ USAGE:
                        [--shards N] [--vms N] [--seed N] [--qos F] [--margin F]
                        [--alpha F] [--queue N] [--cache N] [--checkpoint-every N]
                        [--consolidate-every SECS] [--drain-threshold N]
-                       [--scrub] [--verdicts-out FILE]
+                       [--overload] [--overload-cut F] [--limit-max N]
+                       [--queue-target SECS] [--queue-interval SECS]
+                       [--breaker-rate F] [--breaker-seed N]
+                       [--append-retries N] [--scrub] [--verdicts-out FILE]
   eavm-cli scrub       --journal-dir DIR
   eavm-cli corrupt     --journal-dir DIR --seed N
                        --kind snapshot-bit-flip|wal-torn-tail|wal-zero-run
@@ -447,6 +454,64 @@ fn consolidation_flags(args: &Args) -> Result<Option<(f64, u32)>, String> {
     }
 }
 
+/// Honour the overload-plane knobs shared by `serve` and `recover`:
+/// `--overload` arms the adaptive plane (AIMD limits, CoDel queue
+/// aging, brownout ladder, model circuit breaker); the value flags
+/// tune it and are rejected without `--overload`, so a forgotten
+/// switch fails loudly instead of silently running uncontrolled.
+fn overload_flags(args: &Args) -> Result<Option<eavm_overload::OverloadConfig>, String> {
+    let cut = args.get_optional::<f64>("overload-cut")?;
+    let limit_max = args.get_optional::<f64>("limit-max")?;
+    let target = args.get_optional::<f64>("queue-target")?;
+    let interval = args.get_optional::<f64>("queue-interval")?;
+    let breaker_rate = args.get_optional::<f64>("breaker-rate")?;
+    let breaker_seed = args.get_optional::<u64>("breaker-seed")?;
+    if !args.flag("overload") {
+        if cut.is_some()
+            || limit_max.is_some()
+            || target.is_some()
+            || interval.is_some()
+            || breaker_rate.is_some()
+            || breaker_seed.is_some()
+        {
+            return Err("overload tuning flags need --overload".into());
+        }
+        return Ok(None);
+    }
+    let mut config = eavm_overload::OverloadConfig::default();
+    if let Some(cut) = cut {
+        if !(cut > 0.0 && cut < 1.0) {
+            return Err(format!("--overload-cut must be within (0, 1), got {cut}"));
+        }
+        config.multiplicative_cut = cut;
+    }
+    if let Some(limit_max) = limit_max {
+        if !limit_max.is_finite() || limit_max < 1.0 {
+            return Err(format!("--limit-max must be at least 1, got {limit_max}"));
+        }
+        config.max_limit = limit_max;
+    }
+    if let Some(target) = target {
+        if !target.is_finite() || target <= 0.0 {
+            return Err("--queue-target must be positive".into());
+        }
+        config.queue_target = target;
+    }
+    if let Some(interval) = interval {
+        if !interval.is_finite() || interval <= 0.0 {
+            return Err("--queue-interval must be positive".into());
+        }
+        config.queue_interval = interval;
+    }
+    if breaker_rate.is_some() || breaker_seed.is_some() {
+        let rate = args.fraction_or("breaker-rate", 0.0)?;
+        config = config.with_breaker_stream(breaker_seed.unwrap_or(0), rate);
+    }
+    // The auto-sized limits resolve against the fleet shape at service
+    // launch, which also runs the full validate() pass.
+    Ok(Some(config))
+}
+
 /// Build the [`eavm_service::ServiceConfig`] shared by `serve` and
 /// `recover`: sizing, allocator knobs, consolidation, chaos injection,
 /// and the durability flags (`--journal-dir DIR`, `--checkpoint-every
@@ -480,6 +545,9 @@ fn service_config(
             ..ConsolidationConfig::default()
         });
     }
+    // Adaptive overload control (`--overload` + tuning flags): AIMD
+    // per-shard limits, queue-age shedding, brownout ladder, breaker.
+    config.overload = overload_flags(args)?;
     // Chaos knobs (shared parsing in [`ChaosFlags`]): `--fault-rate`
     // arms transient model-lookup failures (same seeding as the
     // simulator's plan), `--kill-shard N` kills worker N after
@@ -506,8 +574,12 @@ fn service_config(
                     dir.display()
                 ));
             }
+            let retries = args
+                .nonzero_or("append-retries", 2)?
+                .min(u64::from(u32::MAX)) as u32;
             let mut durability = DurabilityConfig::new(dir)
-                .with_checkpoint_every(args.nonzero_or("checkpoint-every", 256)?);
+                .with_checkpoint_every(args.nonzero_or("checkpoint-every", 256)?)
+                .with_append_retries(retries);
             if let Some(after) = args.get_optional::<u64>("crash-after-events")? {
                 if after == 0 {
                     return Err("--crash-after-events must be nonzero".into());
@@ -525,6 +597,9 @@ fn service_config(
         None => {
             if args.get_optional::<u64>("crash-after-events")?.is_some() {
                 return Err("--crash-after-events needs --journal-dir".into());
+            }
+            if args.get_optional::<u64>("append-retries")?.is_some() {
+                return Err("--append-retries needs --journal-dir".into());
             }
             if storage_fault_flags(args)?.is_some() {
                 return Err("storage fault injection needs --journal-dir".into());
@@ -563,6 +638,20 @@ fn export_verdicts(args: &Args, report: &ReplayReport) -> Result<String, String>
         lines.len(),
         path.display()
     ))
+}
+
+/// The overload-plane summary line, printed only when `--overload`
+/// armed the plane (clean-run output stays byte-stable without it).
+fn render_overload(s: &eavm_service::ServiceStats) -> String {
+    let Some(ovl) = &s.overload else {
+        return String::new();
+    };
+    let min = ovl.limits.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = ovl.limits.iter().copied().fold(0.0_f64, f64::max);
+    format!(
+        "overload: breaker={:?} breaker-streak={} probes={} limit-min={:.2} limit-max={:.2}\n",
+        ovl.breaker, ovl.breaker_streak, ovl.probes, min, max
+    )
 }
 
 /// The one consolidation summary line, printed once sweeps have run.
@@ -655,7 +744,9 @@ fn serve(args: &Args) -> Result<String, String> {
         + s.shed_wait_queue
         + s.shed_unplaceable
         + s.shed_shard_failure
-        + s.shed_storage_degraded;
+        + s.shed_storage_degraded
+        + s.shed_queue_aged
+        + s.shed_brownout_class;
     let conservation = if finals + s.parked == s.submitted {
         format!(
             "conservation: ok ({finals} final verdicts + {} parked)\n",
@@ -670,7 +761,10 @@ fn serve(args: &Args) -> Result<String, String> {
     let mut output = format!(
         "service: shards={shards} servers={servers} requests={} vms={}\n\
          admitted: local={} cross-shard={} after-wait={}\n\
-         shed: admission={} wait-queue={} unplaceable={} shard-failure={} storage-degraded={}\n\
+         shed: admission={} wait-queue={} unplaceable={} shard-failure={} storage-degraded={} \
+queue-aged={} brownout-class={}\n\
+         classes: submitted-batch={} submitted-standard={} submitted-interactive={} \
+admitted-batch={} admitted-standard={} admitted-interactive={}\n\
          faults: shard-failures={} respawns={} requeued={} model-fallbacks={}\n\
          {}\
          {}\
@@ -687,6 +781,14 @@ fn serve(args: &Args) -> Result<String, String> {
         s.shed_unplaceable,
         s.shed_shard_failure,
         s.shed_storage_degraded,
+        s.shed_queue_aged,
+        s.shed_brownout_class,
+        s.submitted_class[0],
+        s.submitted_class[1],
+        s.submitted_class[2],
+        s.admitted_class[0],
+        s.admitted_class[1],
+        s.admitted_class[2],
         s.shard_failures,
         s.shard_respawns,
         s.requeued,
@@ -701,6 +803,7 @@ fn serve(args: &Args) -> Result<String, String> {
         s.virtual_now.value(),
         s.estimated_energy.value(),
     );
+    output.push_str(&render_overload(s));
     output.push_str(&render_consolidation(s));
     if journaled {
         output.push_str(&render_durability(s));
@@ -755,7 +858,10 @@ fn recover(args: &Args) -> Result<String, String> {
     let mut output = format!(
         "{}\nresubmitted: {} of {} trace requests\n\
          admitted: local={} cross-shard={} after-wait={}\n\
-         shed: wait-queue={} unplaceable={} shard-failure={} storage-degraded={}\n\
+         shed: wait-queue={} unplaceable={} shard-failure={} storage-degraded={} \
+queue-aged={} brownout-class={}\n\
+         classes: submitted-batch={} submitted-standard={} submitted-interactive={} \
+admitted-batch={} admitted-standard={} admitted-interactive={}\n\
          virtual-makespan={:.0}s estimated-energy={:.3e}J\n",
         recovery.summary(),
         requests.len() - resume_from,
@@ -767,9 +873,18 @@ fn recover(args: &Args) -> Result<String, String> {
         s.shed_unplaceable,
         s.shed_shard_failure,
         s.shed_storage_degraded,
+        s.shed_queue_aged,
+        s.shed_brownout_class,
+        s.submitted_class[0],
+        s.submitted_class[1],
+        s.submitted_class[2],
+        s.admitted_class[0],
+        s.admitted_class[1],
+        s.admitted_class[2],
         s.virtual_now.value(),
         s.estimated_energy.value(),
     );
+    output.push_str(&render_overload(s));
     output.push_str(&render_consolidation(s));
     output.push_str(&render_durability(s));
     output.push_str(&export_verdicts(args, &report)?);
@@ -1977,5 +2092,115 @@ crash_rate = 0.4
     #[test]
     fn info_requires_existing_database() {
         assert!(run(&["info", "--db-dir", "/nonexistent/path"]).is_err());
+    }
+
+    fn parse(tokens: &[&str]) -> Args {
+        let v: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn overload_flags_are_validated_up_front() {
+        // Tuning flags without the arming switch fail loudly.
+        let err = overload_flags(&parse(&["serve", "--overload-cut", "0.4"])).unwrap_err();
+        assert!(err.contains("--overload"), "{err}");
+        // The armed plane picks up every tuning value.
+        let cfg = overload_flags(&parse(&[
+            "serve",
+            "--overload",
+            "--overload-cut",
+            "0.4",
+            "--limit-max",
+            "12",
+            "--queue-target",
+            "30",
+            "--queue-interval",
+            "90",
+            "--breaker-rate",
+            "0.1",
+            "--breaker-seed",
+            "7",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(cfg.multiplicative_cut, 0.4);
+        assert_eq!(cfg.max_limit, 12.0);
+        assert_eq!(cfg.queue_target, 30.0);
+        assert_eq!(cfg.queue_interval, 90.0);
+        assert_eq!(cfg.breaker_rate, 0.1);
+        assert_eq!(cfg.breaker_seed, 7);
+        // Bare `--overload` arms the defaults.
+        assert!(overload_flags(&parse(&["serve", "--overload"]))
+            .unwrap()
+            .is_some());
+        assert!(overload_flags(&parse(&["serve"])).unwrap().is_none());
+        // Domain checks reject out-of-range knobs.
+        let err =
+            overload_flags(&parse(&["serve", "--overload", "--overload-cut", "1.0"])).unwrap_err();
+        assert!(err.contains("(0, 1)"), "{err}");
+        let err =
+            overload_flags(&parse(&["serve", "--overload", "--queue-target", "0"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err =
+            overload_flags(&parse(&["serve", "--overload", "--limit-max", "0.5"])).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err =
+            overload_flags(&parse(&["serve", "--overload", "--breaker-rate", "1.5"])).unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn append_retries_flag_is_validated_like_checkpoint_every() {
+        let dir = temp_dir("appendretries");
+        let jd = dir.join("journal");
+        let telemetry = Telemetry::new();
+        let mk = |tokens: &[&str]| {
+            service_config(
+                &parse(tokens),
+                2,
+                8,
+                [Seconds(1e7); 3],
+                eavm_types::MixVector::new(4, 4, 4),
+                &telemetry,
+            )
+        };
+        // Zero retries is rejected, matching --checkpoint-every 0.
+        let err = mk(&[
+            "serve",
+            "--journal-dir",
+            jd.to_str().unwrap(),
+            "--append-retries",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("append-retries") && err.contains("nonzero"),
+            "{err}"
+        );
+        let err = mk(&[
+            "serve",
+            "--journal-dir",
+            jd.to_str().unwrap(),
+            "--checkpoint-every",
+            "0",
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("checkpoint-every") && err.contains("nonzero"),
+            "{err}"
+        );
+        // The knob needs a journal to retry into.
+        let err = mk(&["serve", "--append-retries", "3"]).unwrap_err();
+        assert!(err.contains("--journal-dir"), "{err}");
+        // A valid count lands in the durability config.
+        let config = mk(&[
+            "serve",
+            "--journal-dir",
+            jd.to_str().unwrap(),
+            "--append-retries",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(config.durability.unwrap().append_retries, 5);
     }
 }

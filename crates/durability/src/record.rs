@@ -22,6 +22,8 @@ pub struct ReqRec {
     pub vm_count: u32,
     /// Relative QoS deadline, virtual seconds.
     pub deadline: f64,
+    /// `Priority` index (0 = Batch, 1 = Standard, 2 = Interactive).
+    pub priority: u8,
 }
 
 impl ReqRec {
@@ -31,6 +33,7 @@ impl ReqRec {
         e.put_u8(self.workload);
         e.put_u32(self.vm_count);
         e.put_f64(self.deadline);
+        e.put_u8(self.priority);
     }
 
     fn decode(d: &mut Dec) -> Result<Self, EavmError> {
@@ -40,6 +43,7 @@ impl ReqRec {
             workload: d.get_u8()?,
             vm_count: d.get_u32()?,
             deadline: d.get_f64()?,
+            priority: d.get_u8()?,
         })
     }
 }
@@ -364,6 +368,8 @@ pub fn shed_reason_name(reason: u8) -> &'static str {
         2 => "unplaceable",
         3 => "shard-failure",
         4 => "storage-degraded",
+        5 => "queue-aged",
+        6 => "brownout-class",
         _ => "unknown",
     }
 }
@@ -389,7 +395,9 @@ pub struct ShardSnapRec {
     pub servers: Vec<ServerSnapRec>,
 }
 
-const SNAPSHOT_VERSION: u8 = 1;
+// v2: `ReqRec` carries a priority class and parked entries persist the
+// true submit instant plus the park instant (for queue-age shedding).
+const SNAPSHOT_VERSION: u8 = 2;
 
 /// A full coordinator checkpoint: everything needed to restart the
 /// service without replaying the WAL prefix it covers.
@@ -408,8 +416,10 @@ pub struct SnapshotRec {
     /// warm cache from a freshly recovered one.
     pub cache_generation: u64,
     pub shards: Vec<ShardSnapRec>,
-    /// Parked wait-queue entries in FIFO order.
-    pub parked: Vec<(u64, ReqRec)>,
+    /// Parked wait-queue entries in FIFO order: ticket, the original
+    /// request (true submit instant included), and the virtual instant
+    /// the entry was parked (the queue-age shedding baseline).
+    pub parked: Vec<(u64, ReqRec, f64)>,
     /// Coordinator counter values by name.
     pub counters: Vec<(String, u64)>,
 }
@@ -439,9 +449,10 @@ impl SnapshotRec {
             }
         }
         e.put_len(self.parked.len());
-        for (ticket, req) in &self.parked {
+        for (ticket, req, parked_at) in &self.parked {
             e.put_u64(*ticket);
             req.encode(&mut e);
+            e.put_f64(*parked_at);
         }
         e.put_len(self.counters.len());
         for (name, value) in &self.counters {
@@ -489,7 +500,7 @@ impl SnapshotRec {
         }
         let parked_count = d.get_len()?;
         let parked = (0..parked_count)
-            .map(|_| Ok((d.get_u64()?, ReqRec::decode(&mut d)?)))
+            .map(|_| Ok((d.get_u64()?, ReqRec::decode(&mut d)?, d.get_f64()?)))
             .collect::<Result<_, EavmError>>()?;
         let counter_count = d.get_len()?;
         let counters = (0..counter_count)
@@ -523,6 +534,7 @@ mod tests {
                     workload: 1,
                     vm_count: 4,
                     deadline: 9000.0,
+                    priority: 2,
                 },
             },
             WalRecord::Admitted {
@@ -687,7 +699,9 @@ mod tests {
                     workload: 2,
                     vm_count: 3,
                     deadline: 12000.0,
+                    priority: 0,
                 },
+                7400.125,
             )],
             counters: vec![
                 ("service.submitted".into(), 900),
@@ -701,6 +715,31 @@ mod tests {
             decoded.shards[0].servers[0].residents[0].1.to_bits(),
             8000.125f64.to_bits()
         );
+        assert_eq!(decoded.parked[0].2.to_bits(), 7400.125f64.to_bits());
+    }
+
+    #[test]
+    fn every_shed_reason_has_a_stable_name() {
+        let names: Vec<&str> = (0..7).map(shed_reason_name).collect();
+        assert_eq!(
+            names,
+            [
+                "admission-full",
+                "wait-queue-full",
+                "unplaceable",
+                "shard-failure",
+                "storage-degraded",
+                "queue-aged",
+                "brownout-class",
+            ]
+        );
+        assert_eq!(shed_reason_name(7), "unknown");
+        let line = WalRecord::Shed {
+            ticket: 12,
+            reason: 6,
+        }
+        .verdict_line();
+        assert_eq!(line.as_deref(), Some("12 shed reason=brownout-class"));
     }
 
     #[test]

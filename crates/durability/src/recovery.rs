@@ -146,6 +146,7 @@ mod tests {
                 workload: 0,
                 vm_count: 1,
                 deadline: 100.0,
+                priority: 1,
             },
         }
     }

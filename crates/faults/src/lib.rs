@@ -193,6 +193,23 @@ impl LookupFaults {
         self.threshold > 0
     }
 
+    /// The seed the predicate hashes with — exposed so companion
+    /// subsystems (the service's model circuit breaker) can derive a
+    /// probe stream that agrees bit-for-bit with this fault stream.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-lookup failure probability this predicate was built
+    /// with, recovered from the stored threshold (1.0 when saturated).
+    pub fn failure_rate(&self) -> f64 {
+        if self.threshold == u64::MAX {
+            1.0
+        } else {
+            self.threshold as f64 / u64::MAX as f64
+        }
+    }
+
     /// Whether lookup number `k` fails. Pure: same `k`, same answer.
     pub fn fails(&self, k: u64) -> bool {
         self.threshold > 0

@@ -95,7 +95,7 @@ pub struct LintConfig {
 
 /// The crates whose state feeds bit-exact replay/recovery proofs; D3's
 /// ordered-iteration requirement is scoped to these.
-const REPLAY_CRITICAL: [&str; 7] = [
+const REPLAY_CRITICAL: [&str; 8] = [
     "crates/simulator/",
     "crates/service/",
     "crates/durability/",
@@ -103,6 +103,7 @@ const REPLAY_CRITICAL: [&str; 7] = [
     "crates/partitions/",
     "crates/scenario/",
     "crates/migrate/",
+    "crates/overload/",
 ];
 
 impl LintConfig {

@@ -97,6 +97,7 @@ fn d3_fires_in_replay_critical_crates_only() {
         "crates/partitions/src/x.rs",
         "crates/scenario/src/x.rs",
         "crates/migrate/src/x.rs",
+        "crates/overload/src/x.rs",
     ] {
         let found = violations(path, src);
         assert_eq!(found.len(), 1, "{path}");
@@ -156,6 +157,27 @@ fn d3_storage_crate_positive_negative_pair() {
     // The crate's actual idiom — a seeded SplitMix64 stream — is clean.
     let negative = "pub struct FaultState { rng_state: u64, budget: u64 }";
     assert!(violations("crates/storage/src/faulty.rs", negative).is_empty());
+}
+
+#[test]
+fn d3_and_d1_overload_crate_positive_negative_pair() {
+    // The overload crate re-derives limiter/breaker state from the
+    // journaled verdict stream: an unordered map over shards would let
+    // AIMD cut order drift between a live run and its crash recovery,
+    // and a wall-clock read would detach queue aging from the virtual
+    // clock entirely.
+    let positive = "use std::collections::HashMap;\npub fn on_shed() {}";
+    let found = violations("crates/overload/src/lib.rs", positive);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, Rule::D3);
+    let clocky = "pub fn settle() { let t = std::time::Instant::now(); }";
+    let found = violations("crates/overload/src/lib.rs", clocky);
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, Rule::D1);
+    // The crate's actual idiom — a logical `now` advanced by journaled
+    // submit/clock events over index-ordered limits — stays clean.
+    let negative = "pub struct OverloadPlane { now: f64, limits: Vec<f64> }";
+    assert!(violations("crates/overload/src/lib.rs", negative).is_empty());
 }
 
 #[test]

@@ -28,6 +28,7 @@ use eavm_core::{
 };
 use eavm_faults::WorkerFaultPlan;
 use eavm_migrate::ConsolidationConfig;
+use eavm_overload::OverloadConfig;
 use eavm_service::{drive_paced, AllocService, ServiceConfig, ServiceStats};
 use eavm_simulator::{CloudConfig, MigrationConfig, MigrationWindow, SimOutcome, Simulation};
 use eavm_telemetry::Telemetry;
@@ -365,8 +366,12 @@ impl SvcCounters {
             // counters (it tags parked requests that later placed), so
             // it is deliberately not summed here.
             placed: (s.admitted_local + s.admitted_cross_shard) as i64,
-            shed: (s.shed_admission + s.shed_wait_queue + s.shed_unplaceable + s.shed_shard_failure)
-                as i64,
+            shed: (s.shed_admission
+                + s.shed_wait_queue
+                + s.shed_unplaceable
+                + s.shed_shard_failure
+                + s.shed_queue_aged
+                + s.shed_brownout_class) as i64,
             requeued: s.requeued as i64,
             energy: s.estimated_energy.value(),
             p99: s.admission_latency_us.p99,
@@ -408,6 +413,16 @@ fn run_service(compiled: &CompiledScenario, db: &ModelDatabase) -> Result<Scenar
             interval: Seconds(phase.consolidate_every_s),
             drain_threshold: phase.drain_threshold,
             ..ConsolidationConfig::default()
+        });
+    }
+    // Likewise the overload plane: limiter/breaker state spans phase
+    // boundaries, so the first overloading phase arms it for the run.
+    if let Some(phase) = spec.phases.iter().find(|p| p.overload) {
+        config.overload = Some(OverloadConfig {
+            multiplicative_cut: phase.overload_cut,
+            queue_target: phase.overload_queue_target_s,
+            queue_interval: phase.overload_queue_interval_s,
+            ..OverloadConfig::default()
         });
     }
 
@@ -585,6 +600,26 @@ vms_max = 2
         // resolved. Paced batches are single-request, so the worker can
         // die idle — a requeue is possible but not guaranteed.
         assert!(total.requeued >= 0);
+    }
+
+    #[test]
+    fn overloaded_service_runs_stay_deterministic_and_conserve_requests() {
+        // Arm the overload plane during the flood phase with a tight
+        // queue budget so aged parks and brownout sheds both count.
+        let text = SVC.replace(
+            "[phase.flood]",
+            "[phase.flood]\noverload = true\noverload_cut = 0.5\n\
+             overload_queue_target_s = 30.0\noverload_queue_interval_s = 60.0",
+        );
+        let spec = parse_scenario(&text).expect("spec");
+        assert!(spec.phases[1].overload);
+        let a = run_scenario(&spec, db()).expect("run a");
+        let b = run_scenario(&spec, db()).expect("run b");
+        assert_eq!(a.to_csv(), b.to_csv(), "overloaded service must reproduce");
+        let total = a.total();
+        // Conservation still holds with QueueAged/BrownoutClass sheds
+        // folded into the shed column.
+        assert_eq!(total.placed + total.shed, total.jobs as i64);
     }
 
     #[test]

@@ -494,6 +494,14 @@ fn build_spec(
                     "drain_threshold" => {
                         phase.drain_threshold = a.unsigned()?.min(u64::from(u32::MAX)) as u32
                     }
+                    "overload" => phase.overload = a.boolean()?,
+                    "overload_cut" => phase.overload_cut = a.fraction()?,
+                    "overload_queue_target_s" => {
+                        phase.overload_queue_target_s = a.f64_at_least(0.0)?
+                    }
+                    "overload_queue_interval_s" => {
+                        phase.overload_queue_interval_s = a.f64_at_least(0.0)?
+                    }
                     "alpha" => {
                         phase.policy = Some(Policy::Proactive {
                             alpha: a.fraction()?,
@@ -672,6 +680,56 @@ crash_rate = 0.3
         );
         assert_eq!(
             kind_of(&text.replace("consolidate_every_s = 450.0", "consolidate_every_s = -5.0")),
+            ErrorKind::OutOfRange
+        );
+    }
+
+    #[test]
+    fn overload_knobs_parse_and_validate() {
+        let text = r#"
+[scenario]
+name = "ovl"
+mode = "service"
+alpha = 0.5
+
+[fleet]
+servers = 6
+
+[service]
+shards = 2
+
+[phase.crowd]
+exit_jobs = 40
+mean_gap_s = 4.0
+overload = true
+overload_cut = 0.4
+overload_queue_target_s = 30.0
+overload_queue_interval_s = 90.0
+"#;
+        let spec = parse_scenario(text).expect("overload scenario");
+        let crowd = &spec.phases[0];
+        assert!(crowd.overload);
+        assert_eq!(crowd.overload_cut, 0.4);
+        assert_eq!(crowd.overload_queue_target_s, 30.0);
+        assert_eq!(crowd.overload_queue_interval_s, 90.0);
+        // Simulate mode rejects the plane at validation.
+        assert_eq!(
+            kind_of(&text.replace("mode = \"service\"", "mode = \"simulate\"")),
+            ErrorKind::OutOfRange
+        );
+        assert_eq!(
+            kind_of(&text.replace("overload_cut = 0.4", "overload_cut = 1.0")),
+            ErrorKind::OutOfRange
+        );
+        assert_eq!(
+            kind_of(&text.replace("overload = true", "overload = \"yes\"")),
+            ErrorKind::BadValue
+        );
+        assert_eq!(
+            kind_of(&text.replace(
+                "overload_queue_target_s = 30.0",
+                "overload_queue_target_s = -1.0"
+            )),
             ErrorKind::OutOfRange
         );
     }

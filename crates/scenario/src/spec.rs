@@ -134,6 +134,19 @@ pub struct PhaseSpec {
     pub consolidate_every_s: f64,
     /// Hosts with `0 < vms ≤ drain_threshold` are drain candidates.
     pub drain_threshold: u32,
+
+    // Overload control (eavm-overload knobs, mode = "service" only).
+    // Like consolidation, the service's overload regime is global: the
+    // first overloading phase sets the knobs for the whole run.
+    /// Whether the adaptive overload plane (AIMD limits, queue aging,
+    /// brownout ladder) is armed for this run.
+    pub overload: bool,
+    /// Multiplicative limit cut on an overload signal, in `(0, 1)`.
+    pub overload_cut: f64,
+    /// CoDel target sojourn time for parked requests, seconds.
+    pub overload_queue_target_s: f64,
+    /// CoDel interval: age past target+interval sheds the entry.
+    pub overload_queue_interval_s: f64,
 }
 
 impl PhaseSpec {
@@ -161,6 +174,10 @@ impl PhaseSpec {
             consolidate: false,
             consolidate_every_s: 600.0,
             drain_threshold: 2,
+            overload: false,
+            overload_cut: 0.5,
+            overload_queue_target_s: 60.0,
+            overload_queue_interval_s: 120.0,
         }
     }
 
@@ -410,6 +427,21 @@ impl ScenarioSpec {
                  (service chaos is lookup_failure_rate / kill_shard)"
                 .into()));
         }
+        if phase.overload && self.mode != Mode::Service {
+            return Err(at("overload needs mode = \"service\"".into()));
+        }
+        if !(phase.overload_cut > 0.0 && phase.overload_cut < 1.0) {
+            return Err(at(format!(
+                "overload_cut must be within (0, 1), got {}",
+                phase.overload_cut
+            )));
+        }
+        if phase.overload_queue_target_s.is_nan() || phase.overload_queue_target_s <= 0.0 {
+            return Err(at("overload_queue_target_s must be positive".into()));
+        }
+        if phase.overload_queue_interval_s.is_nan() || phase.overload_queue_interval_s <= 0.0 {
+            return Err(at("overload_queue_interval_s must be positive".into()));
+        }
         Ok(())
     }
 }
@@ -492,6 +524,38 @@ mod tests {
         s.mode = Mode::Service;
         s.faults.kill_shard = Some(9);
         assert!(s.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn overload_knobs_are_service_only_and_range_checked() {
+        // Simulate mode rejects the overload plane outright.
+        let mut s = minimal();
+        s.phases[0].overload = true;
+        assert!(s.validate().unwrap_err().contains("overload needs mode"));
+
+        let mut s = minimal();
+        s.mode = Mode::Service;
+        s.phases[0].overload = true;
+        assert!(s.validate().is_ok());
+
+        s.phases[0].overload_cut = 1.0;
+        assert!(s.validate().unwrap_err().contains("overload_cut"));
+        s.phases[0].overload_cut = 0.0;
+        assert!(s.validate().unwrap_err().contains("overload_cut"));
+        s.phases[0].overload_cut = 0.5;
+
+        s.phases[0].overload_queue_target_s = 0.0;
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .contains("overload_queue_target_s"));
+        s.phases[0].overload_queue_target_s = 60.0;
+
+        s.phases[0].overload_queue_interval_s = f64::NAN;
+        assert!(s
+            .validate()
+            .unwrap_err()
+            .contains("overload_queue_interval_s"));
     }
 
     #[test]

@@ -166,6 +166,7 @@ mod tests {
                 workload: WorkloadType::ALL[(i % 3) as usize],
                 vm_count: 1 + i % 3,
                 deadline: Seconds(7200.0),
+                priority: eavm_swf::Priority::ALL[(i % 3) as usize],
             })
             .collect()
     }

@@ -27,6 +27,7 @@ use eavm_durability::{
 };
 use eavm_faults::CrashSchedule;
 use eavm_migrate::{ConsolidationConfig, Hysteresis, Move, MovePlan};
+use eavm_overload::{OverloadPlane, Priority};
 use eavm_storage::{FaultyStorage, OsStorage, Storage, StorageFaultConfig, StorageStats};
 use eavm_swf::VmRequest;
 use eavm_telemetry::{Counter, Telemetry};
@@ -460,6 +461,7 @@ pub(crate) fn req_to_rec(request: &VmRequest) -> ReqRec {
         workload: request.workload.index() as u8,
         vm_count: request.vm_count,
         deadline: request.deadline.0,
+        priority: request.priority.index() as u8,
     }
 }
 
@@ -470,27 +472,21 @@ pub(crate) fn rec_to_req(rec: &ReqRec) -> VmRequest {
         workload: WorkloadType::from_index(rec.workload as usize % WorkloadType::ALL.len()),
         vm_count: rec.vm_count,
         deadline: Seconds(rec.deadline),
+        priority: Priority::from_index(rec.priority as usize),
     }
 }
 
-pub(crate) fn rec_to_view(rec: &ReqRec) -> RequestView {
-    RequestView {
-        id: JobId::new(rec.id),
-        workload: WorkloadType::from_index(rec.workload as usize % WorkloadType::ALL.len()),
-        vm_count: rec.vm_count,
-        deadline: Seconds(rec.deadline),
-    }
-}
-
-/// Parked entries snapshot only what re-proposal needs (the view); the
-/// original submit instant is spent by then, so it is stored as zero.
-pub(crate) fn view_to_rec(view: &RequestView) -> ReqRec {
+/// Parked entries snapshot the full request — including the *true*
+/// submit instant and priority class — so a recovered coordinator
+/// re-derives queue-age and brownout decisions bit-identically.
+pub(crate) fn parked_to_rec(view: &RequestView, submit: Seconds, priority: Priority) -> ReqRec {
     ReqRec {
         id: view.id.index() as u32,
-        submit: 0.0,
+        submit: submit.0,
         workload: view.workload.index() as u8,
         vm_count: view.vm_count,
         deadline: view.deadline.0,
+        priority: priority.index() as u8,
     }
 }
 
@@ -513,16 +509,6 @@ pub(crate) fn recs_to_placements(recs: &[PlacementRec]) -> Vec<Placement> {
             add: MixVector::new(r.cpu, r.mem, r.io),
         })
         .collect()
-}
-
-pub(crate) fn shed_reason_index(reason: ShedReason) -> u8 {
-    match reason {
-        ShedReason::AdmissionFull => 0,
-        ShedReason::WaitQueueFull => 1,
-        ShedReason::Unplaceable => 2,
-        ShedReason::ShardFailure => 3,
-        ShedReason::StorageDegraded => 4,
-    }
 }
 
 /// Map a verdict to its WAL record.
@@ -548,7 +534,7 @@ pub(crate) fn verdict_to_record(ticket: u64, verdict: &Verdict) -> WalRecord {
         },
         Verdict::Shed { reason } => WalRecord::Shed {
             ticket,
-            reason: shed_reason_index(*reason),
+            reason: reason.index(),
         },
     }
 }
@@ -659,8 +645,8 @@ impl RecoveryReport {
 pub(crate) struct Rebuilt {
     pub now: Seconds,
     pub next_ticket: u64,
-    /// Parked wait queue in FIFO order.
-    pub parked: Vec<(u64, RequestView)>,
+    /// Parked wait queue in FIFO order: `(ticket, request, parked_at)`.
+    pub parked: Vec<(u64, VmRequest, Seconds)>,
     /// Submitted-but-undecided requests in submission order; the
     /// coordinator re-drives them as its first batch.
     pub resume: Vec<(u64, VmRequest)>,
@@ -716,11 +702,12 @@ pub(crate) fn rebuild(
     cores: &mut [ShardCore],
     layout: &[std::ops::Range<usize>],
     consolidation: Option<&ConsolidationConfig>,
+    mut plane: Option<&mut OverloadPlane>,
 ) -> Rebuilt {
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut now = Seconds(0.0);
     let mut next_ticket = 0u64;
-    let mut parked: Vec<(u64, RequestView)> = Vec::new();
+    let mut parked: Vec<(u64, VmRequest, Seconds)> = Vec::new();
     let n_servers = layout.last().map(|r| r.end).unwrap_or(0);
     let mut saved_cooldowns: Vec<(usize, u32)> = Vec::new();
 
@@ -738,6 +725,15 @@ pub(crate) fn rebuild(
                 saved_cooldowns.push((host, u32::try_from(*value).unwrap_or(u32::MAX)));
                 continue;
             }
+            // Overload-plane scalars ride along the same way: reserved
+            // names restore limiter/breaker state, never reach the real
+            // counters, and a later checkpoint re-emits them fresh.
+            if name.starts_with(OverloadPlane::COUNTER_PREFIX) {
+                if let Some(plane) = plane.as_deref_mut() {
+                    plane.load(name, *value);
+                }
+                continue;
+            }
             bump(&mut counters, name, *value);
         }
         for shard in &snap.shards {
@@ -746,7 +742,11 @@ pub(crate) fn rebuild(
                 cores[index].load_dump(&snap_to_dump(shard));
             }
         }
-        parked.extend(snap.parked.iter().map(|(t, rec)| (*t, rec_to_view(rec))));
+        parked.extend(
+            snap.parked
+                .iter()
+                .map(|(t, rec, at)| (*t, rec_to_req(rec), Seconds(*at))),
+        );
     }
 
     let shard_of =
@@ -776,12 +776,23 @@ pub(crate) fn rebuild(
                 let request = rec_to_req(req);
                 now = now.max(request.submit);
                 next_ticket = next_ticket.max(ticket + 1);
-                pending.push((*ticket, request));
                 bump(&mut counters, "submitted", 1);
+                bump(
+                    &mut counters,
+                    &format!("submitted_class_{}", request.priority.name()),
+                    1,
+                );
+                if let Some(plane) = plane.as_deref_mut() {
+                    plane.on_submit(request.submit.0);
+                }
+                pending.push((*ticket, request));
             }
             WalRecord::Clock { t } => {
                 let t = Seconds(*t);
                 now = now.max(t);
+                if let Some(plane) = plane.as_deref_mut() {
+                    plane.on_clock(t.0);
+                }
                 let mut retired = 0usize;
                 for core in cores.iter_mut() {
                     retired += core.advance_to(t).0;
@@ -805,11 +816,11 @@ pub(crate) fn rebuild(
                 shard,
                 placements,
             } => {
-                let submit = pending
+                let request = pending
                     .iter()
                     .position(|(t, _)| t == ticket)
-                    .map(|i| pending.remove(i).1.submit)
-                    .unwrap_or(now);
+                    .map(|i| pending.remove(i).1);
+                let submit = request.as_ref().map(|r| r.submit).unwrap_or(now);
                 if let Some(core) = cores.get_mut(*shard as usize) {
                     // The live fast path advances the routed shard to
                     // the request's submit instant before placing; any
@@ -822,16 +833,32 @@ pub(crate) fn rebuild(
                     core.apply_committed(&recs_to_placements(placements));
                 }
                 bump(&mut counters, "admitted_local", 1);
+                if let Some(request) = request {
+                    bump(
+                        &mut counters,
+                        &format!("admitted_class_{}", request.priority.name()),
+                        1,
+                    );
+                    if let Some(plane) = plane.as_deref_mut() {
+                        plane.on_admitted(&[*shard as usize], request.submit.0, request.deadline.0);
+                    }
+                }
             }
             WalRecord::AdmittedCrossShard {
-                ticket, placements, ..
+                ticket,
+                shards,
+                placements,
             } => {
-                if let Some(i) = parked.iter().position(|(t, _)| t == ticket) {
-                    parked.remove(i);
+                let request = if let Some(i) = parked.iter().position(|(t, _, _)| t == ticket) {
+                    let (_, request, _) = parked.remove(i);
                     bump(&mut counters, "admitted_after_wait", 1);
-                } else if let Some(i) = pending.iter().position(|(t, _)| t == ticket) {
-                    pending.remove(i);
-                }
+                    Some(request)
+                } else {
+                    pending
+                        .iter()
+                        .position(|(t, _)| t == ticket)
+                        .map(|i| pending.remove(i).1)
+                };
                 let placements = recs_to_placements(placements);
                 // Ordered by shard index: replayed `apply_committed`
                 // calls happen in the same deterministic order on every
@@ -849,19 +876,26 @@ pub(crate) fn rebuild(
                     }
                 }
                 bump(&mut counters, "admitted_cross_shard", 1);
+                if let Some(request) = request {
+                    bump(
+                        &mut counters,
+                        &format!("admitted_class_{}", request.priority.name()),
+                        1,
+                    );
+                    if let Some(plane) = plane.as_deref_mut() {
+                        let involved: Vec<usize> = shards.iter().map(|&s| s as usize).collect();
+                        plane.on_admitted(&involved, request.submit.0, request.deadline.0);
+                    }
+                }
             }
             WalRecord::Queued { ticket, .. } => {
                 if let Some(i) = pending.iter().position(|(t, _)| t == ticket) {
                     let (ticket, request) = pending.remove(i);
-                    parked.push((
-                        ticket,
-                        RequestView {
-                            id: request.id,
-                            workload: request.workload,
-                            vm_count: request.vm_count,
-                            deadline: request.deadline,
-                        },
-                    ));
+                    // The live run parks at its current virtual clock,
+                    // which by this frame has absorbed the same
+                    // submit/clock maxima replay tracks in `now` — the
+                    // queue-age baseline re-derives bit-identically.
+                    parked.push((ticket, request, now));
                 }
             }
             WalRecord::Requeued { .. } => {
@@ -934,15 +968,16 @@ pub(crate) fn rebuild(
             }
             WalRecord::Shed { ticket, reason } => {
                 pending.retain(|(t, _)| t != ticket);
-                parked.retain(|(t, _)| t != ticket);
-                let name = match reason {
-                    1 => "shed_wait_queue",
-                    2 => "shed_unplaceable",
-                    3 => "shed_shard_failure",
-                    4 => "shed_storage_degraded",
-                    _ => continue,
+                parked.retain(|(t, _, _)| t != ticket);
+                let Some(reason) = ShedReason::from_index(*reason) else {
+                    continue;
                 };
-                bump(&mut counters, name, 1);
+                if let Some(plane) = plane.as_deref_mut() {
+                    plane.on_shed(reason.cuts_limits());
+                }
+                if let Some(name) = reason.counter_name() {
+                    bump(&mut counters, name, 1);
+                }
             }
         }
     }

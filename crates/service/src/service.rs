@@ -41,6 +41,7 @@ use eavm_core::{
     ServerView,
 };
 use eavm_faults::{LookupFaults, WorkerFaultPlan};
+use eavm_overload::{OverloadConfig, OverloadPlane, OverloadSnapshot, Priority};
 use eavm_swf::VmRequest;
 use eavm_telemetry::{Counter, Gauge, Histogram, HistogramSnapshot, Severity, Telemetry};
 use eavm_types::{EavmError, Joules, MixVector, Seconds, ServerId};
@@ -51,7 +52,7 @@ use eavm_durability::{
 use eavm_migrate::{plan_moves, ConsolidationConfig, HostLoad, Hysteresis};
 
 use crate::durable::{
-    dump_to_snap, make_storage, rebuild, req_to_rec, verdict_to_record, view_to_rec,
+    dump_to_snap, make_storage, parked_to_rec, rebuild, req_to_rec, verdict_to_record,
     DurInstruments, DurabilityConfig, DurabilityStats, Journal, RecoveryReport,
 };
 use crate::memo::{CacheMetrics, CacheStats};
@@ -108,6 +109,14 @@ pub struct ServiceConfig {
     /// execution, so a crash mid-sweep recovers bit-exactly. `None`
     /// (the default) never migrates.
     pub consolidation: Option<ConsolidationConfig>,
+    /// Adaptive overload control: when set, the coordinator runs an
+    /// AIMD per-shard admission limiter, CoDel-style queue-age shedding
+    /// of parked requests, a circuit breaker mirroring the model-lookup
+    /// fault stream, and a priority brownout ladder (`Batch` shed
+    /// first, `Interactive` never). All controller state is a pure
+    /// function of the journaled event stream, so recovery re-derives
+    /// it bit-exactly. `None` (the default) admits exactly as before.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl ServiceConfig {
@@ -127,12 +136,19 @@ impl ServiceConfig {
             worker_faults: None,
             durability: None,
             consolidation: None,
+            overload: None,
         }
     }
 
     /// Enable periodic consolidation sweeps.
     pub fn with_consolidation(mut self, consolidation: ConsolidationConfig) -> Self {
         self.consolidation = Some(consolidation);
+        self
+    }
+
+    /// Enable the adaptive overload-control plane.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = Some(overload);
         self
     }
 
@@ -222,6 +238,82 @@ pub enum ShedReason {
     /// degraded and sheds rather than acking what recovery could never
     /// reproduce.
     StorageDegraded,
+    /// The request sat in the parked wait queue past the overload
+    /// plane's CoDel target for a full interval: stale work is shed so
+    /// it cannot starve fresh work (requires `ServiceConfig::overload`).
+    QueueAged,
+    /// The brownout ladder refused the request's priority class at the
+    /// current pressure rung (requires `ServiceConfig::overload`).
+    /// `Interactive` requests are never shed for this reason.
+    BrownoutClass,
+}
+
+impl ShedReason {
+    /// Every reason, in wire-index order. Adding a variant without
+    /// extending this array (and the exhaustive matches below) is a
+    /// compile error — the WAL codec can never silently drop a reason.
+    pub const ALL: [ShedReason; 7] = [
+        ShedReason::AdmissionFull,
+        ShedReason::WaitQueueFull,
+        ShedReason::Unplaceable,
+        ShedReason::ShardFailure,
+        ShedReason::StorageDegraded,
+        ShedReason::QueueAged,
+        ShedReason::BrownoutClass,
+    ];
+
+    /// Stable wire index, mirrored by `eavm-durability`'s
+    /// `shed_reason_name` table. Exhaustive on purpose: a new variant
+    /// fails to compile here instead of round-tripping as garbage.
+    pub fn index(self) -> u8 {
+        match self {
+            ShedReason::AdmissionFull => 0,
+            ShedReason::WaitQueueFull => 1,
+            ShedReason::Unplaceable => 2,
+            ShedReason::ShardFailure => 3,
+            ShedReason::StorageDegraded => 4,
+            ShedReason::QueueAged => 5,
+            ShedReason::BrownoutClass => 6,
+        }
+    }
+
+    /// Inverse of [`ShedReason::index`]; `None` for indices no variant
+    /// claims (a corrupt or future frame).
+    pub fn from_index(index: u8) -> Option<ShedReason> {
+        ShedReason::ALL.iter().copied().find(|r| r.index() == index)
+    }
+
+    /// The stable snapshot-counter name recovery bumps when replaying a
+    /// journaled shed with this reason. `None` for `AdmissionFull`,
+    /// which is decided handle-side before anything is journaled.
+    pub fn counter_name(self) -> Option<&'static str> {
+        match self {
+            ShedReason::AdmissionFull => None,
+            ShedReason::WaitQueueFull => Some("shed_wait_queue"),
+            ShedReason::Unplaceable => Some("shed_unplaceable"),
+            ShedReason::ShardFailure => Some("shed_shard_failure"),
+            ShedReason::StorageDegraded => Some("shed_storage_degraded"),
+            ShedReason::QueueAged => Some("shed_queue_aged"),
+            ShedReason::BrownoutClass => Some("shed_brownout_class"),
+        }
+    }
+
+    /// Whether the overload plane's AIMD limiter cuts on this shed.
+    /// Only genuine overload signals cut (a full wait queue, an aged-out
+    /// entry). Brownout sheds must NOT cut: cutting on the ladder's own
+    /// decisions is a positive-feedback death spiral. Used identically
+    /// by the live verdict path and WAL replay, so limiter state stays
+    /// a pure function of the journal.
+    pub fn cuts_limits(self) -> bool {
+        match self {
+            ShedReason::WaitQueueFull | ShedReason::QueueAged => true,
+            ShedReason::AdmissionFull
+            | ShedReason::Unplaceable
+            | ShedReason::ShardFailure
+            | ShedReason::StorageDegraded
+            | ShedReason::BrownoutClass => false,
+        }
+    }
 }
 
 /// Aggregated service counters, assembled by [`AllocService::stats`].
@@ -241,6 +333,10 @@ pub struct ServiceStats {
     /// Requests shed because the journal lost its storage (read-only
     /// degraded mode: no decision can be made durable).
     pub shed_storage_degraded: u64,
+    /// Parked requests shed by the overload plane's queue aging.
+    pub shed_queue_aged: u64,
+    /// Requests shed by the brownout ladder for their priority class.
+    pub shed_brownout_class: u64,
     /// Fast-path (single-shard) admissions.
     pub admitted_local: u64,
     /// Slow-path (cross-shard two-phase) admissions.
@@ -284,6 +380,14 @@ pub struct ServiceStats {
     pub consolidation_migrations: u64,
     /// Donor hosts fully drained (powered down) by sweeps.
     pub consolidation_hosts_drained: u64,
+    /// Journaled submissions by priority class, indexed by
+    /// [`Priority::index`] (Batch, Standard, Interactive).
+    pub submitted_class: [u64; 3],
+    /// Admissions by priority class, indexed the same way.
+    pub admitted_class: [u64; 3],
+    /// Controller state of the overload plane; `None` without
+    /// `ServiceConfig::overload`.
+    pub overload: Option<OverloadSnapshot>,
 }
 
 /// Result of [`AllocService::drain`].
@@ -395,6 +499,24 @@ impl AllocService {
         if let Some(consolidation) = &config.consolidation {
             consolidation.validate().map_err(EavmError::InvalidConfig)?;
         }
+        // Resolve the overload plane up front: auto limits come from the
+        // fleet shape, and an unarmed breaker mirrors the lookup-fault
+        // stream when one is injected (the probe process then observes
+        // exactly the failure process the allocators see).
+        let mut plane = match &config.overload {
+            Some(overload) => {
+                let mut resolved = overload.clone().resolve(config.servers / config.shards);
+                if resolved.breaker_rate == 0.0 && config.lookup_faults.is_enabled() {
+                    resolved = resolved.with_breaker_stream(
+                        config.lookup_faults.seed(),
+                        config.lookup_faults.failure_rate(),
+                    );
+                }
+                resolved.validate().map_err(EavmError::InvalidConfig)?;
+                Some(OverloadPlane::new(resolved, config.shards))
+            }
+            None => None,
+        };
         let telemetry = Arc::clone(&config.telemetry);
         let layout = shard_layout(config.servers, config.shards);
         // One stripe per shard plus a last one for the coordinator's
@@ -447,7 +569,13 @@ impl AllocService {
         let mut resume_retired = false;
         let (now, restored_parked, resume, next_ticket) = match recovered.as_ref() {
             Some(state) => {
-                let rebuilt = rebuild(state, &mut cores, &layout, config.consolidation.as_ref());
+                let rebuilt = rebuild(
+                    state,
+                    &mut cores,
+                    &layout,
+                    config.consolidation.as_ref(),
+                    plane.as_mut(),
+                );
                 hysteresis = rebuilt.hysteresis;
                 pending_sweep = rebuilt.pending_sweep;
                 resume_retired = rebuilt.tail_retired;
@@ -541,6 +669,24 @@ impl AllocService {
         let (ctl_tx, ctl_rx) = sync_channel(config.queue_capacity);
         let (verdict_tx, verdict_rx) = channel();
         counters.parked_depth.set(restored_parked.len() as i64);
+        // Seed the verdict-time metadata (submit, deadline, class) for
+        // every recovered ticket that still awaits a final verdict —
+        // re-driven in-flight requests and restored parked entries
+        // alike — so the plane's hooks and the class counters see the
+        // same arguments the crashed process would have supplied.
+        let mut meta: BTreeMap<u64, (Seconds, Seconds, Priority)> = BTreeMap::new();
+        for (ticket, request) in &resume {
+            meta.insert(
+                *ticket,
+                (request.submit, request.deadline, request.priority),
+            );
+        }
+        for (ticket, request, _) in &restored_parked {
+            meta.insert(
+                *ticket,
+                (request.submit, request.deadline, request.priority),
+            );
+        }
         let coordinator = {
             let shards = config.shards;
             let mut coord = Coordinator {
@@ -558,9 +704,17 @@ impl AllocService {
                 verdict_tx,
                 parked: restored_parked
                     .into_iter()
-                    .map(|(ticket, view)| Parked { ticket, view })
+                    .map(|(ticket, request, parked_at)| Parked {
+                        ticket,
+                        view: Coordinator::view_of(&request),
+                        submit: request.submit,
+                        priority: request.priority,
+                        parked_at,
+                    })
                     .collect(),
                 inflight: BTreeMap::new(),
+                meta,
+                plane,
                 now,
                 counters,
                 journal,
@@ -781,9 +935,15 @@ struct CoordInstruments {
     shed_unplaceable: Counter,
     shed_shard_failure: Counter,
     shed_storage_degraded: Counter,
+    shed_queue_aged: Counter,
+    shed_brownout_class: Counter,
     admitted_local: Counter,
     admitted_cross_shard: Counter,
     admitted_after_wait: Counter,
+    /// Journaled submissions by priority class ([`Priority::index`]).
+    submitted_class: [Counter; 3],
+    /// Admissions by priority class.
+    admitted_class: [Counter; 3],
     reserve_conflicts: Counter,
     shard_failures: Counter,
     shard_respawns: Counter,
@@ -816,9 +976,21 @@ impl CoordInstruments {
                 shed_unplaceable: telemetry.counter("service.shed.unplaceable"),
                 shed_shard_failure: telemetry.counter("service.shed.shard_failure"),
                 shed_storage_degraded: telemetry.counter("service.shed.storage_degraded"),
+                shed_queue_aged: telemetry.counter("service.shed.queue_aged"),
+                shed_brownout_class: telemetry.counter("service.shed.brownout_class"),
                 admitted_local: telemetry.counter("service.admitted.local"),
                 admitted_cross_shard: telemetry.counter("service.admitted.cross_shard"),
                 admitted_after_wait: telemetry.counter("service.admitted.after_wait"),
+                submitted_class: [
+                    telemetry.counter("service.submitted.batch"),
+                    telemetry.counter("service.submitted.standard"),
+                    telemetry.counter("service.submitted.interactive"),
+                ],
+                admitted_class: [
+                    telemetry.counter("service.admitted.batch"),
+                    telemetry.counter("service.admitted.standard"),
+                    telemetry.counter("service.admitted.interactive"),
+                ],
                 reserve_conflicts: telemetry.counter("service.reserve.conflicts"),
                 shard_failures: telemetry.counter("service.shard.failures"),
                 shard_respawns: telemetry.counter("service.shard.respawns"),
@@ -840,9 +1012,21 @@ impl CoordInstruments {
                 shed_unplaceable: Counter::standalone(),
                 shed_shard_failure: Counter::standalone(),
                 shed_storage_degraded: Counter::standalone(),
+                shed_queue_aged: Counter::standalone(),
+                shed_brownout_class: Counter::standalone(),
                 admitted_local: Counter::standalone(),
                 admitted_cross_shard: Counter::standalone(),
                 admitted_after_wait: Counter::standalone(),
+                submitted_class: [
+                    Counter::standalone(),
+                    Counter::standalone(),
+                    Counter::standalone(),
+                ],
+                admitted_class: [
+                    Counter::standalone(),
+                    Counter::standalone(),
+                    Counter::standalone(),
+                ],
                 reserve_conflicts: Counter::standalone(),
                 shard_failures: Counter::standalone(),
                 shard_respawns: Counter::standalone(),
@@ -861,13 +1045,21 @@ impl CoordInstruments {
     /// The counters persisted by checkpoints and seeded on recovery,
     /// with their stable snapshot names. `shed_admission` is excluded:
     /// it is written handle-side and never journaled.
-    fn named(&self) -> [(&'static str, &Counter); 16] {
+    fn named(&self) -> [(&'static str, &Counter); 24] {
         [
             ("submitted", &self.submitted),
             ("shed_wait_queue", &self.shed_wait_queue),
             ("shed_unplaceable", &self.shed_unplaceable),
             ("shed_shard_failure", &self.shed_shard_failure),
             ("shed_storage_degraded", &self.shed_storage_degraded),
+            ("shed_queue_aged", &self.shed_queue_aged),
+            ("shed_brownout_class", &self.shed_brownout_class),
+            ("submitted_class_batch", &self.submitted_class[0]),
+            ("submitted_class_standard", &self.submitted_class[1]),
+            ("submitted_class_interactive", &self.submitted_class[2]),
+            ("admitted_class_batch", &self.admitted_class[0]),
+            ("admitted_class_standard", &self.admitted_class[1]),
+            ("admitted_class_interactive", &self.admitted_class[2]),
             ("admitted_local", &self.admitted_local),
             ("admitted_cross_shard", &self.admitted_cross_shard),
             ("admitted_after_wait", &self.admitted_after_wait),
@@ -909,6 +1101,14 @@ impl CoordInstruments {
 struct Parked {
     ticket: u64,
     view: RequestView,
+    /// Original submit instant — persisted by checkpoints so recovered
+    /// deadline arithmetic stays exact.
+    submit: Seconds,
+    /// Scheduling class, for the brownout ladder after recovery.
+    priority: Priority,
+    /// Instant the request entered the wait queue; the overload plane's
+    /// queue-age shedding measures sojourn from here.
+    parked_at: Seconds,
 }
 
 struct Coordinator {
@@ -944,6 +1144,17 @@ struct Coordinator {
     /// this size, and keeps every coordinator structure free of
     /// hash-iteration order by construction.
     inflight: BTreeMap<u64, Instant>,
+    /// Submit instant, deadline, and priority class of every ticket
+    /// still awaiting its *final* verdict — the arguments the overload
+    /// plane's hooks and the class counters need at verdict time, and
+    /// what checkpoints persist for parked entries. Ordered map, like
+    /// `inflight`, so the coordinator stays hash-iteration-free.
+    meta: BTreeMap<u64, (Seconds, Seconds, Priority)>,
+    /// The overload-control plane; `None` without
+    /// `ServiceConfig::overload`. State mutates only in its event
+    /// hooks, each fired right after the matching WAL record becomes
+    /// durable — recovery replays the identical hooks from the journal.
+    plane: Option<OverloadPlane>,
     now: Seconds,
     counters: CoordInstruments,
     /// Write-ahead journal; `None` without durability. Every admission
@@ -1066,9 +1277,15 @@ impl Coordinator {
                 Some(Ctl::AdvanceTo { t, done }) => {
                     // Mixes only shrink when VMs retire, so parked
                     // requests can only have become placeable if the
-                    // advance actually retired something.
+                    // advance actually retired something. Queue aging is
+                    // pure clock, though: it must run even on a
+                    // zero-retirement advance, or a recovered run's
+                    // unconditional startup retry would shed entries the
+                    // live run had not.
                     if self.advance(t) > 0 {
                         self.retry_parked();
+                    } else {
+                        self.shed_aged();
                     }
                     let _ = done.send(self.health());
                 }
@@ -1155,9 +1372,14 @@ impl Coordinator {
         // durable must not be acked either — the client instead learns
         // the service degraded, and still gets exactly one answer.
         let (verdict, acked) = if self.journal_append(&verdict_to_record(ticket, &verdict)) {
+            self.note_verdict(ticket, &verdict);
             (verdict, true)
         } else {
             self.counters.shed_storage_degraded.add(1);
+            // The degraded shed is the ticket's final answer; it was
+            // never journaled, so no plane hook fires for it (replay
+            // will not see it either).
+            self.meta.remove(&ticket);
             (
                 Verdict::Shed {
                     reason: ShedReason::StorageDegraded,
@@ -1167,6 +1389,73 @@ impl Coordinator {
         };
         let _ = self.verdict_tx.send((ticket, verdict));
         acked
+    }
+
+    /// A verdict record just became durable: fire the overload plane's
+    /// matching hook and settle the per-ticket metadata. Mirrored
+    /// record-for-record by WAL replay in `rebuild`, which is what
+    /// keeps plane state a pure function of the journal.
+    fn note_verdict(&mut self, ticket: u64, verdict: &Verdict) {
+        match verdict {
+            Verdict::Admitted { shard, .. } => {
+                let meta = self.meta.remove(&ticket);
+                if let Some((submit, deadline, priority)) = meta {
+                    if let Some(plane) = self.plane.as_mut() {
+                        plane.on_admitted(&[*shard], submit.0, deadline.0);
+                    }
+                    self.counters.admitted_class[priority.index()].add(1);
+                }
+            }
+            Verdict::AdmittedCrossShard { shards, .. } => {
+                let meta = self.meta.remove(&ticket);
+                if let Some((submit, deadline, priority)) = meta {
+                    if let Some(plane) = self.plane.as_mut() {
+                        plane.on_admitted(shards, submit.0, deadline.0);
+                    }
+                    self.counters.admitted_class[priority.index()].add(1);
+                }
+            }
+            Verdict::Shed { reason } => {
+                self.meta.remove(&ticket);
+                if let Some(plane) = self.plane.as_mut() {
+                    plane.on_shed(reason.cuts_limits());
+                }
+            }
+            // Interim verdicts: the ticket still awaits a final answer.
+            Verdict::Queued { .. } | Verdict::Requeued { .. } => {}
+        }
+    }
+
+    /// A `Submit` record just became durable: register the ticket's
+    /// verdict-time metadata, count its class, and advance the plane
+    /// (clock, breaker probe). Replay fires the identical hook per
+    /// journaled `Submit` frame.
+    fn note_submit(&mut self, ticket: u64, request: &VmRequest) {
+        self.meta
+            .insert(ticket, (request.submit, request.deadline, request.priority));
+        self.counters.submitted_class[request.priority.index()].add(1);
+        if let Some(plane) = self.plane.as_mut() {
+            plane.on_submit(request.submit.0);
+        }
+    }
+
+    /// The brownout ladder's current rung, from per-shard resident
+    /// totals (mirror truth), wait-queue fill, and breaker state.
+    fn brownout_rung(&self) -> u8 {
+        let Some(plane) = self.plane.as_ref() else {
+            return 0;
+        };
+        let residents: Vec<usize> = self
+            .layout
+            .iter()
+            .map(|range| {
+                self.mirror[range.clone()]
+                    .iter()
+                    .map(|s| s.mix.total() as usize)
+                    .sum()
+            })
+            .collect();
+        plane.rung(&residents, self.parked.len(), self.config.queue_capacity)
     }
 
     fn view_of(request: &VmRequest) -> RequestView {
@@ -1217,9 +1506,16 @@ impl Coordinator {
                     // trace, and their verdicts below degrade to sheds.
                     break;
                 }
+                self.note_submit(*ticket, request);
             }
             self.counters.submitted.add(batch.len() as u64);
         }
+        // The submits above advanced the plane's durable clock, and a
+        // recovered process re-runs the (aged-pruning) retry pass at
+        // startup before re-driving this very batch. Prune here too, so
+        // the brownout rung and queue-full decisions below see exactly
+        // the wait queue a post-crash replay would.
+        self.shed_aged();
         let mut pending = Vec::with_capacity(batch.len());
         // VMs dispatched earlier in this wave, per shard and type, so
         // concurrent same-type requests spread out instead of piling
@@ -1228,6 +1524,23 @@ impl Coordinator {
         for (ticket, request) in &batch {
             let view = Self::view_of(request);
             self.now = self.now.max(request.submit);
+            // Brownout ladder: under pressure, sheddable classes are
+            // refused before any placement work. Applies to re-driven
+            // resumed requests too — their decision never made the
+            // journal, and the rebuilt plane/mirror state is exactly
+            // what the crashed process would have judged them by.
+            if OverloadPlane::sheds_class(self.brownout_rung(), request.priority) {
+                self.shed_event(*ticket, &view, "brownout class");
+                if self.verdict(
+                    *ticket,
+                    Verdict::Shed {
+                        reason: ShedReason::BrownoutClass,
+                    },
+                ) {
+                    self.counters.shed_brownout_class.add(1);
+                }
+                continue;
+            }
             let shard = self.route(&view, *ticket, &wave);
             wave[shard][view.workload.index()] += view.vm_count;
             let (reply_tx, reply_rx) = channel();
@@ -1284,8 +1597,12 @@ impl Coordinator {
         }
         if !fallbacks.is_empty() {
             // The slow path searches the whole fleet, so every shard's
-            // clock (and the mirror) must be synced to now first.
+            // clock (and the mirror) must be synced to now first. The
+            // advance journals a Clock frame, so the aging pass must
+            // run before any slow-path park decision (crash parity,
+            // same as the zero-retirement AdvanceTo path).
             retired += self.advance(self.now) as u32;
+            self.shed_aged();
             self.admit_concurrent(fallbacks);
         }
         if retired > 0 && !self.parked.is_empty() {
@@ -1368,7 +1685,11 @@ impl Coordinator {
     /// Route a fast-path attempt to the shard with the most free
     /// OS-bound slots for the request's type, judged from the mirror
     /// minus what this wave already dispatched. Ties keep the
-    /// ticket-based round-robin choice.
+    /// ticket-based round-robin choice. With the overload plane armed,
+    /// shards still under their AIMD admission limit are preferred;
+    /// when every shard is at or over its limit the full fleet is
+    /// considered again — the limiter steers, it never hard-blocks a
+    /// physically feasible placement.
     fn route(&self, view: &RequestView, ticket: u64, wave: &[[u32; 3]]) -> usize {
         let bound = self.global.model().max_mix()[view.workload];
         let ti = view.workload.index();
@@ -1379,9 +1700,30 @@ impl Coordinator {
                 .sum();
             raw.saturating_sub(wave[i][ti])
         };
-        let mut best = ticket as usize % self.shards.len();
+        let under_limit = |i: usize| -> bool {
+            match self.plane.as_ref() {
+                Some(plane) => {
+                    let resident: u32 = self.mirror[self.layout[i].clone()]
+                        .iter()
+                        .map(|s| s.mix.total())
+                        .sum();
+                    plane.under_limit(i, resident as usize)
+                }
+                None => true,
+            }
+        };
+        let candidates: Vec<usize> = {
+            let preferred: Vec<usize> =
+                (0..self.shards.len()).filter(|&i| under_limit(i)).collect();
+            if preferred.is_empty() {
+                (0..self.shards.len()).collect()
+            } else {
+                preferred
+            }
+        };
+        let mut best = candidates[ticket as usize % candidates.len()];
         let mut best_free = free_on(best);
-        for i in 0..self.shards.len() {
+        for &i in &candidates {
             let free = free_on(i);
             if free > best_free {
                 best = i;
@@ -1523,8 +1865,55 @@ impl Coordinator {
             // so it must not stay queued for a second verdict.
             let depth = self.parked.len() + 1;
             if self.verdict(ticket, Verdict::Queued { depth }) {
-                self.parked.push_back(Parked { ticket, view });
+                let (submit, priority) = self
+                    .meta
+                    .get(&ticket)
+                    .map(|&(submit, _, priority)| (submit, priority))
+                    .unwrap_or((self.now, Priority::Standard));
+                self.parked.push_back(Parked {
+                    ticket,
+                    view,
+                    submit,
+                    priority,
+                    parked_at: self.now,
+                });
                 self.counters.parked_depth.set(self.parked.len() as i64);
+            }
+        }
+    }
+
+    /// CoDel-style pass over the wait queue: shed every parked request
+    /// whose sojourn exceeded the overload plane's target for a full
+    /// interval. Runs at the head of every parked retry and after every
+    /// zero-retirement clock advance, so recovery (which re-runs the
+    /// retry pass at startup) sheds at exactly the instants the live
+    /// run did. No-op without the plane.
+    fn shed_aged(&mut self) {
+        if self.plane.is_none() {
+            return;
+        }
+        let mut index = 0;
+        while index < self.parked.len() {
+            let aged = {
+                let plane = self.plane.as_ref().expect("plane checked above");
+                plane.queue_aged(self.parked[index].parked_at.0)
+            };
+            if !aged {
+                index += 1;
+                continue;
+            }
+            let Some(entry) = self.parked.remove(index) else {
+                break;
+            };
+            self.counters.parked_depth.set(self.parked.len() as i64);
+            self.shed_event(entry.ticket, &entry.view, "queue aged");
+            if self.verdict(
+                entry.ticket,
+                Verdict::Shed {
+                    reason: ShedReason::QueueAged,
+                },
+            ) {
+                self.counters.shed_queue_aged.add(1);
             }
         }
     }
@@ -1934,7 +2323,13 @@ impl Coordinator {
             parked: self
                 .parked
                 .iter()
-                .map(|p| (p.ticket, view_to_rec(&p.view)))
+                .map(|p| {
+                    (
+                        p.ticket,
+                        parked_to_rec(&p.view, p.submit, p.priority),
+                        p.parked_at.0,
+                    )
+                })
                 .collect(),
             counters: {
                 // Nonzero hysteresis cooldowns ride along as reserved
@@ -1945,6 +2340,12 @@ impl Coordinator {
                     if *c > 0 {
                         values.push((format!("consolidation_cooldown_{host}"), u64::from(*c)));
                     }
+                }
+                // Overload-plane scalars ride along the same way; the
+                // plane itself is *re-derived* from the WAL tail, this
+                // merely seeds the snapshot baseline.
+                if let Some(plane) = self.plane.as_ref() {
+                    plane.save(&mut values);
                 }
                 values
             },
@@ -1975,7 +2376,11 @@ impl Coordinator {
         // replaying without this frame can only retire the same VMs a
         // little later — and the degraded flag it sets sheds everything
         // that could have observed the difference.
-        self.journal_append(&WalRecord::Clock { t: t.0 });
+        if self.journal_append(&WalRecord::Clock { t: t.0 }) {
+            if let Some(plane) = self.plane.as_mut() {
+                plane.on_clock(t.0);
+            }
+        }
         let mut retired = 0;
         let mut waits = Vec::with_capacity(self.shards.len());
         for (i, tx) in self.shards.iter().enumerate() {
@@ -2013,6 +2418,7 @@ impl Coordinator {
     /// proposal defers itself *and everything behind it* to the next
     /// wave (nothing may overtake the queue head).
     fn retry_parked(&mut self) {
+        self.shed_aged();
         while !self.parked.is_empty() {
             let k = self.shards.len().min(self.parked.len());
             let mut items: Vec<(u64, RequestView)> = self
@@ -2136,6 +2542,8 @@ impl Coordinator {
             shed_unplaceable: self.counters.shed_unplaceable.get(),
             shed_shard_failure: self.counters.shed_shard_failure.get(),
             shed_storage_degraded: self.counters.shed_storage_degraded.get(),
+            shed_queue_aged: self.counters.shed_queue_aged.get(),
+            shed_brownout_class: self.counters.shed_brownout_class.get(),
             admitted_local: self.counters.admitted_local.get(),
             admitted_cross_shard: self.counters.admitted_cross_shard.get(),
             admitted_after_wait: self.counters.admitted_after_wait.get(),
@@ -2159,6 +2567,9 @@ impl Coordinator {
             consolidation_sweeps: self.counters.consolidation_sweeps.get(),
             consolidation_migrations: self.counters.consolidation_migrations.get(),
             consolidation_hosts_drained: self.counters.consolidation_hosts_drained.get(),
+            submitted_class: std::array::from_fn(|i| self.counters.submitted_class[i].get()),
+            admitted_class: std::array::from_fn(|i| self.counters.admitted_class[i].get()),
+            overload: self.plane.as_ref().map(OverloadPlane::snapshot),
         })
     }
 }
@@ -2250,6 +2661,7 @@ mod tests {
             workload: ty,
             vm_count: vms,
             deadline: Seconds(6000.0),
+            priority: Priority::Standard,
         }
     }
 

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use eavm_benchdb::{DbBuilder, ModelDatabase};
 use eavm_faults::WorkerFaultPlan;
 use eavm_service::{AllocService, ServiceConfig, Verdict};
-use eavm_swf::VmRequest;
+use eavm_swf::{Priority, VmRequest};
 use eavm_telemetry::Telemetry;
 use eavm_types::{JobId, Seconds, WorkloadType};
 
@@ -26,6 +26,7 @@ fn request(id: u32, ty: WorkloadType, vms: u32) -> VmRequest {
         workload: ty,
         vm_count: vms,
         deadline: Seconds(1e7),
+        priority: Priority::Standard,
     }
 }
 

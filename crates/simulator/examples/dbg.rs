@@ -1,6 +1,6 @@
 use eavm_core::{AnalyticModel, FirstFit};
 use eavm_simulator::{CloudConfig, Simulation};
-use eavm_swf::VmRequest;
+use eavm_swf::{Priority, VmRequest};
 use eavm_types::{JobId, Seconds, WorkloadType};
 fn main() {
     let sim = Simulation::new(
@@ -15,6 +15,7 @@ fn main() {
             workload: WorkloadType::Cpu,
             vm_count: 1,
             deadline: Seconds(1e9),
+            priority: Priority::Standard,
         },
         VmRequest {
             id: JobId::new(1),
@@ -22,6 +23,7 @@ fn main() {
             workload: WorkloadType::Io,
             vm_count: 1,
             deadline: Seconds(1e9),
+            priority: Priority::Standard,
         },
     ];
     let out = sim.run(&mut FirstFit::ff(4), &reqs).unwrap();

@@ -1237,6 +1237,7 @@ mod tests {
             workload: ty,
             vm_count: n,
             deadline: Seconds(deadline),
+            priority: eavm_swf::Priority::Standard,
         }
     }
 

@@ -5,7 +5,7 @@
 
 use eavm_core::{AnalyticModel, FirstFit};
 use eavm_simulator::{CloudConfig, MigrationConfig, Simulation};
-use eavm_swf::VmRequest;
+use eavm_swf::{Priority, VmRequest};
 use eavm_types::{JobId, MixVector, Seconds, WorkloadType};
 use proptest::prelude::*;
 
@@ -24,6 +24,7 @@ fn arb_requests() -> impl Strategy<Value = Vec<VmRequest>> {
                         workload: WorkloadType::from_index(ty),
                         vm_count: n,
                         deadline: Seconds(1_200.0 * slack),
+                        priority: Priority::Standard,
                     }
                 })
                 .collect()

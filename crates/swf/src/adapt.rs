@@ -8,6 +8,7 @@
 //! requirements (maximum in response time) per application type and not
 //! for each specific request."
 
+use eavm_overload::Priority;
 use eavm_types::{JobId, Seconds, WorkloadType};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +31,9 @@ pub struct VmRequest {
     /// Maximum response time (completion − submission) before the request
     /// counts as an SLA violation.
     pub deadline: Seconds,
+    /// Scheduling class: under overload the service's brownout ladder
+    /// sheds `Batch` first, `Standard` next, `Interactive` never.
+    pub priority: Priority,
 }
 
 /// Adaptation parameters.
@@ -88,6 +92,9 @@ impl AdaptConfig {
 pub fn adapt_trace(trace: &SwfTrace, config: &AdaptConfig) -> Vec<VmRequest> {
     debug_assert!(config.validate().is_ok());
     let mut rng = StdRng::seed_from_u64(config.seed);
+    // Priority classes come from an independent stream so the historic
+    // profile/burst/VM-count draws stay byte-identical per seed.
+    let mut class_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut out = Vec::with_capacity(trace.jobs.len());
 
     // Profile assignment "uniform by bursts": consecutive requests share
@@ -103,12 +110,20 @@ pub fn adapt_trace(trace: &SwfTrace, config: &AdaptConfig) -> Vec<VmRequest> {
         burst_left -= 1;
 
         let vm_count = rng.gen_range(config.vms_min..=config.vms_max);
+        // HPC-trace-shaped class mix: 40% batch, 40% standard, 20%
+        // interactive.
+        let priority = match class_rng.gen_range(0..5) {
+            0 | 1 => Priority::Batch,
+            2 | 3 => Priority::Standard,
+            _ => Priority::Interactive,
+        };
         out.push(VmRequest {
             id: JobId::from(i),
             submit: Seconds(job.submit_time as f64),
             workload: burst_type,
             vm_count,
             deadline: config.deadline(burst_type),
+            priority,
         });
     }
     out
@@ -234,6 +249,26 @@ mod tests {
         let before = reqs.len();
         truncate_to_vm_total(&mut reqs, u32::MAX);
         assert_eq!(reqs.len(), before);
+    }
+
+    #[test]
+    fn priority_mix_is_deterministic_and_weighted() {
+        let t = cleaned_trace(5_000);
+        let cfg = AdaptConfig::paper(9, solo());
+        let reqs = adapt_trace(&t, &cfg);
+        assert_eq!(reqs, adapt_trace(&t, &cfg));
+        let mut counts = [0usize; 3];
+        for r in &reqs {
+            counts[r.priority.index()] += 1;
+        }
+        let n = reqs.len() as f64;
+        for (index, want) in [(0usize, 0.4), (1, 0.4), (2, 0.2)] {
+            let frac = counts[index] as f64 / n;
+            assert!(
+                (frac - want).abs() < 0.05,
+                "class {index} share {frac}, wanted ~{want}"
+            );
+        }
     }
 
     #[test]

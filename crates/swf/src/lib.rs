@@ -32,6 +32,7 @@ pub mod stats;
 
 pub use adapt::{adapt_trace, total_vms, truncate_to_vm_total, AdaptConfig, VmRequest};
 pub use clean::{clean_trace, CleaningReport};
+pub use eavm_overload::Priority;
 pub use format::{JobStatus, SwfJob, SwfTrace};
 pub use generator::{GeneratorConfig, TraceGenerator};
 pub use header::SwfMetadata;

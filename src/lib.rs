@@ -54,6 +54,7 @@
 //! | [`storage`] | file-operation abstraction + seeded storage-fault injection (torn writes, bit rot, ENOSPC) |
 //! | [`durability`] | write-ahead admission journal, checkpoint snapshots, scrubbing, crash recovery |
 //! | [`migrate`] | live-migration pre-copy cost model + threshold consolidation policy |
+//! | [`overload`] | deterministic overload control: AIMD limits, queue-age shedding, circuit breaker, brownout |
 //! | [`service`] | online concurrent allocation service (sharded fleet, batched admission) |
 //!
 //! The `eavm-bench` crate (not re-exported) regenerates every table and
@@ -66,6 +67,7 @@ pub use eavm_core as core;
 pub use eavm_durability as durability;
 pub use eavm_faults as faults;
 pub use eavm_migrate as migrate;
+pub use eavm_overload as overload;
 pub use eavm_partitions as partitions;
 pub use eavm_service as service;
 pub use eavm_simulator as simulator;
@@ -84,6 +86,7 @@ pub mod prelude {
         OptimizationGoal, Proactive,
     };
     pub use eavm_faults::{FaultConfig, FaultEvent, FaultKind, FaultPlan, LookupFaults};
+    pub use eavm_overload::{OverloadConfig, Priority};
     pub use eavm_partitions::{multiset_partitions, BoundedPartitions, SetPartitions};
     pub use eavm_simulator::{CloudConfig, SimOutcome, Simulation};
     pub use eavm_swf::{

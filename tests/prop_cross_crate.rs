@@ -155,6 +155,7 @@ proptest! {
                     workload: WorkloadType::from_index(rng.gen_range(0..3)),
                     vm_count: rng.gen_range(1..=4),
                     deadline: Seconds(1e9),
+                    priority: Priority::from_index(rng.gen_range(0..3)),
                 }
             })
             .collect();

@@ -36,6 +36,7 @@ fn request(id: u32, submit: f64, ty: WorkloadType, vms: u32) -> VmRequest {
         workload: ty,
         vm_count: vms,
         deadline: Seconds(1e7),
+        priority: Priority::Standard,
     }
 }
 

@@ -29,6 +29,7 @@ fn build_journal(tag: &str) -> (PathBuf, Vec<(u64, String)>) {
                 workload: (ticket % 3) as u8,
                 vm_count: 1 + (ticket % 4) as u32,
                 deadline: 3600.0,
+                priority: (ticket % 3) as u8,
             },
         };
         let verdict = if ticket % 2 == 0 {

@@ -32,9 +32,30 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> eavm lint --deny (workspace invariant checker)"
 # Statically enforces the determinism/panic-safety/codec invariants
-# (DESIGN.md §10). Any unwaived violation — including deleting the
-# reason from an existing allow-pragma — fails the gate.
+# (DESIGN.md §10, §15). Any unwaived violation — including deleting the
+# reason from an existing allow-pragma, or leaving a pragma whose line
+# no longer violates — fails the gate.
 cargo run --release -q -p eavm-cli -- lint --deny
+
+echo "==> eavm lint report determinism (json + sarif byte-diff)"
+# The linter scans files in parallel; the merged report must not care.
+# Run each machine format twice and byte-diff — the same drill the
+# scenario library gets. The SARIF copy is kept under target/ so the
+# workflow can upload it as an artifact.
+LINT_DIR="$(mktemp -d)"
+TMP_DIRS+=("$LINT_DIR")
+cargo run --release -q -p eavm-cli -- lint --format json  > "$LINT_DIR/lint.1.json"
+cargo run --release -q -p eavm-cli -- lint --format json  > "$LINT_DIR/lint.2.json"
+cmp "$LINT_DIR/lint.1.json" "$LINT_DIR/lint.2.json" \
+    || { echo "lint: json report not byte-deterministic"; \
+         diff "$LINT_DIR/lint.1.json" "$LINT_DIR/lint.2.json" | head -20; exit 1; }
+cargo run --release -q -p eavm-cli -- lint --format sarif > "$LINT_DIR/lint.1.sarif"
+cargo run --release -q -p eavm-cli -- lint --format sarif > "$LINT_DIR/lint.2.sarif"
+cmp "$LINT_DIR/lint.1.sarif" "$LINT_DIR/lint.2.sarif" \
+    || { echo "lint: sarif report not byte-deterministic"; \
+         diff "$LINT_DIR/lint.1.sarif" "$LINT_DIR/lint.2.sarif" | head -20; exit 1; }
+mkdir -p target
+cp "$LINT_DIR/lint.1.sarif" target/eavm-lint.sarif
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run --workspace

@@ -102,7 +102,7 @@ USAGE:
                        [--kill-shard N] [--kill-after M]
   eavm-cli db-diff     --left DIR --right DIR [--tolerance F]
   eavm-cli info        --db-dir DIR
-  eavm-cli lint        [--root DIR] [--format text|json] [--deny]
+  eavm-cli lint        [--root DIR] [--format text|json|sarif] [--rules LIST] [--deny]
 
 STRATEGIES: ff ff2 ff3 bf bf2 bf3 pa0 pa05 pa1 pa:<alpha>
 "
@@ -1048,25 +1048,43 @@ fn info(args: &Args) -> Result<String, String> {
 }
 
 /// Run the workspace invariant checker ([`eavm_lint`]) over `--root`
-/// (default: the current directory). Under `--deny`, any unwaived
-/// violation turns the report into an `Err`, which exits nonzero — the
-/// mode CI runs between clippy and the chaos smoke.
+/// (default: the current directory). `--rules D4,W1` restricts the run
+/// to the named rules; unknown ids fail before any file is read.
+/// Under `--deny`, any unwaived violation turns the report into an
+/// `Err`, which exits nonzero — the mode CI runs between clippy and
+/// the chaos smoke.
 fn lint(args: &Args) -> Result<String, String> {
     let root = args
         .optional_path("root")
         .unwrap_or_else(|| PathBuf::from("."));
     let format: String = args.get_or("format", "text".to_string())?;
-    let report = eavm_lint::run_lint(&root)?;
+    // Validate both the format and the rule list up front, so a typo
+    // is a structured error before the scan spends time on 140 files.
+    if !matches!(format.as_str(), "text" | "json" | "sarif") {
+        return Err(format!("unknown --format {format:?} (text|json|sarif)"));
+    }
+    let config = eavm_lint::LintConfig::workspace_default();
+    let config = match args.get_optional::<String>("rules")? {
+        Some(list) => {
+            let enabled = eavm_lint::parse_rule_list(&list).map_err(|e| format!("--rules: {e}"))?;
+            config.restricted(&enabled)
+        }
+        None => config,
+    };
+    let report = eavm_lint::run_lint_with(&root, &config)?;
     let rendered = match format.as_str() {
         "text" => report.render_text(),
         "json" => report.render_json(),
-        other => return Err(format!("unknown --format {other:?} (text|json)")),
+        _ => report.render_sarif(),
     };
     let violations = report.violations().count();
     if args.flag("deny") && violations > 0 {
-        return Err(format!(
-            "{rendered}lint: {violations} unwaived violation(s) under --deny"
-        ));
+        let trailer = format!("lint: {violations} unwaived violation(s) under --deny");
+        // SARIF goes to files/uploads; keep the denial note readable.
+        return Err(match format.as_str() {
+            "sarif" => trailer,
+            _ => format!("{rendered}{trailer}"),
+        });
     }
     Ok(rendered)
 }

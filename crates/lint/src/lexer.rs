@@ -25,12 +25,17 @@ pub enum TokKind {
     Lifetime,
 }
 
-/// One token with its 1-indexed source line.
+/// One token with its 1-indexed source line and byte span. `start` and
+/// `end` are byte offsets into the source (`start <= end <= src.len()`,
+/// both on char boundaries), so downstream passes can slice the
+/// original text without re-lexing.
 #[derive(Debug, Clone)]
 pub struct Tok {
     pub kind: TokKind,
     pub text: String,
     pub line: u32,
+    pub start: usize,
+    pub end: usize,
 }
 
 /// Tokenize `src`. Never fails: unterminated constructs are closed at
@@ -40,6 +45,8 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
     Lexer {
         chars: src.chars().collect(),
         pos: 0,
+        byte: 0,
+        start: 0,
         line: 1,
         out: Vec::new(),
     }
@@ -49,6 +56,10 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
+    /// Byte offset of `pos` in the original source.
+    byte: usize,
+    /// Byte offset where the token being lexed began.
+    start: usize,
     line: u32,
     out: Vec<Tok>,
 }
@@ -61,6 +72,7 @@ impl Lexer {
     fn bump(&mut self) -> Option<char> {
         let c = self.peek(0)?;
         self.pos += 1;
+        self.byte += c.len_utf8();
         if c == '\n' {
             self.line += 1;
         }
@@ -68,12 +80,20 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.out.push(Tok { kind, text, line });
+        let (start, end) = (self.start, self.byte);
+        self.out.push(Tok {
+            kind,
+            text,
+            line,
+            start,
+            end,
+        });
     }
 
     fn run(mut self) -> Vec<Tok> {
         while let Some(c) = self.peek(0) {
             let line = self.line;
+            self.start = self.byte;
             match c {
                 _ if c.is_whitespace() => {
                     self.bump();
@@ -320,5 +340,22 @@ mod tests {
         let toks = tokenize("a\n\"two\nline\"\nb");
         let b = toks.iter().find(|t| t.text == "b").expect("b token");
         assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn spans_are_in_bounds_ordered_and_sliceable() {
+        let src = "let π = \"uni\\\"code\"; /* c */ foo::bar[0] // t\n'a' r#\"raw\"#";
+        let toks = tokenize(src);
+        let mut prev_end = 0;
+        for t in &toks {
+            assert!(t.start <= t.end, "{t:?}");
+            assert!(t.end <= src.len(), "{t:?}");
+            assert!(t.start >= prev_end, "overlapping spans: {t:?}");
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prev_end = t.end;
+        }
+        // Ident spans slice back to their own text.
+        let foo = toks.iter().find(|t| t.text == "foo").expect("foo");
+        assert_eq!(&src[foo.start..foo.end], "foo");
     }
 }

@@ -1,0 +1,297 @@
+//! A lightweight item/brace-tree parser on top of the lexer: just
+//! enough structure for rules that reason about *where* a token sits —
+//! which `fn` body it is in, whether it is a top-level `match` arm,
+//! how deep the block nesting goes. Deliberately not a full AST: the
+//! tree only records `fn`/`impl`/`mod`/`match` items and anonymous
+//! blocks, each with the token-index range of its brace-delimited body.
+//!
+//! Like the lexer, parsing never fails and never panics: unbalanced
+//! braces, truncated items, and token soup all degrade to a best-effort
+//! tree, because the proptest corpus feeds this module mutilated copies
+//! of real workspace sources.
+
+use crate::lexer::{Tok, TokKind};
+
+/// What introduced a tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// `fn name(...) { ... }` — the function's identifier.
+    Fn(String),
+    /// `impl ... { ... }` — the first type-ish identifier after `impl`.
+    Impl(String),
+    /// `mod name { ... }`.
+    Mod(String),
+    /// `match scrutinee { arms }`.
+    Match,
+    /// A bare `{ ... }` block (loop bodies, closures, arm bodies, ...).
+    Block,
+}
+
+/// One node of the brace tree. Ranges index into the significant-token
+/// slice the tree was parsed from (comments excluded), so rules can
+/// walk `tokens[node.body.clone()]` directly.
+#[derive(Debug)]
+pub struct Node {
+    pub kind: NodeKind,
+    /// Index of the introducing token (`fn`, `impl`, `match`, or `{`).
+    pub start: usize,
+    /// Token-index range strictly between the body's braces.
+    pub body: std::ops::Range<usize>,
+    /// Source line of the introducing token.
+    pub line: u32,
+    pub children: Vec<Node>,
+}
+
+/// Nested blocks beyond this depth are consumed without growing the
+/// tree — a backstop against stack exhaustion on adversarial input
+/// (real workspace code nests ~10 deep).
+const MAX_DEPTH: usize = 256;
+
+/// Parse the significant-token stream into a forest of items/blocks.
+pub fn parse(toks: &[&Tok]) -> Vec<Node> {
+    let mut i = 0;
+    let mut roots = Vec::new();
+    parse_region(toks, &mut i, 0, &mut roots);
+    // Stray closing braces at top level: skip and keep going, so one
+    // unbalanced `}` does not hide the rest of the file.
+    while i < toks.len() {
+        i += 1;
+        parse_region(toks, &mut i, 0, &mut roots);
+    }
+    roots
+}
+
+fn punct(toks: &[&Tok], i: usize) -> Option<char> {
+    toks.get(i).and_then(|t| match t.kind {
+        TokKind::Punct(c) => Some(c),
+        _ => None,
+    })
+}
+
+fn ident<'a>(toks: &'a [&'a Tok], i: usize) -> Option<&'a str> {
+    toks.get(i)
+        .and_then(|t| (t.kind == TokKind::Ident).then_some(t.text.as_str()))
+}
+
+/// Parse items/blocks until an unmatched `}` (left unconsumed) or end
+/// of input.
+fn parse_region(toks: &[&Tok], i: &mut usize, depth: usize, out: &mut Vec<Node>) {
+    while *i < toks.len() {
+        match ident(toks, *i) {
+            Some("fn") => {
+                let name = ident(toks, *i + 1).unwrap_or("").to_string();
+                item(toks, i, depth, NodeKind::Fn(name), out);
+            }
+            Some("impl") => {
+                let name = first_ident_after(toks, *i + 1);
+                item(toks, i, depth, NodeKind::Impl(name), out);
+            }
+            Some("mod") if ident(toks, *i + 1).is_some() => {
+                let name = ident(toks, *i + 1).unwrap_or("").to_string();
+                item(toks, i, depth, NodeKind::Mod(name), out);
+            }
+            Some("match") => item(toks, i, depth, NodeKind::Match, out),
+            _ => match punct(toks, *i) {
+                Some('{') => block(toks, i, depth, NodeKind::Block, *i, out),
+                Some('}') => return,
+                _ => *i += 1,
+            },
+        }
+    }
+}
+
+/// The first identifier after `impl` (skipping `<`, `&`, lifetimes):
+/// informational only, good enough to label `impl Foo for Bar`.
+fn first_ident_after(toks: &[&Tok], from: usize) -> String {
+    toks[from.min(toks.len())..]
+        .iter()
+        .take(8)
+        .find(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .unwrap_or_default()
+}
+
+/// Parse one item introduced at `*i`: scan forward to its body `{`
+/// (tracking paren/bracket depth so `fn f(x: [u8; 2])` does not trip)
+/// or to a `;` for body-less items, then descend into the body.
+fn item(toks: &[&Tok], i: &mut usize, depth: usize, kind: NodeKind, out: &mut Vec<Node>) {
+    let start = *i;
+    let mut j = *i + 1;
+    let mut nest = 0usize;
+    let body_open = loop {
+        match punct(toks, j) {
+            None if j >= toks.len() => break None,
+            Some('(') | Some('[') => nest += 1,
+            Some(')') | Some(']') => nest = nest.saturating_sub(1),
+            Some('{') if nest == 0 => break Some(j),
+            // An unmatched `}` before any `{`: the item is truncated
+            // garbage — stop without consuming the brace so the caller
+            // can close its own region.
+            Some('}') if nest == 0 => break None,
+            Some(';') if nest == 0 => {
+                // Body-less item (`fn f();`, `mod tests;`): consume
+                // through the semicolon, no node.
+                *i = j + 1;
+                return;
+            }
+            _ => {}
+        }
+        j += 1;
+    };
+    match body_open {
+        Some(open) => {
+            *i = open;
+            block(toks, i, depth, kind, start, out);
+        }
+        None => {
+            // Truncated input: advance past the introducing token only,
+            // so the scan always makes progress.
+            *i = start + 1;
+        }
+    }
+}
+
+/// `*i` sits on a `{`: parse the node's body (recursively below the
+/// depth cap, flat brace-counting beyond it) and push the node.
+fn block(
+    toks: &[&Tok],
+    i: &mut usize,
+    depth: usize,
+    kind: NodeKind,
+    start: usize,
+    out: &mut Vec<Node>,
+) {
+    let open = *i;
+    *i += 1;
+    let mut children = Vec::new();
+    if depth < MAX_DEPTH {
+        parse_region(toks, i, depth + 1, &mut children);
+    } else {
+        // Too deep to recurse: consume the balanced region flat.
+        let mut level = 0usize;
+        while *i < toks.len() {
+            match punct(toks, *i) {
+                Some('{') => level += 1,
+                Some('}') if level == 0 => break,
+                Some('}') => level -= 1,
+                _ => {}
+            }
+            *i += 1;
+        }
+    }
+    let body = (open + 1)..*i;
+    if punct(toks, *i) == Some('}') {
+        *i += 1; // consume the matching close
+    }
+    let line = toks.get(start).map(|t| t.line).unwrap_or(0);
+    out.push(Node {
+        kind,
+        start,
+        body,
+        line,
+        children,
+    });
+}
+
+/// Depth-first walk over a forest, visiting every node with the stack
+/// of enclosing nodes (outermost first, `node` itself excluded).
+pub fn walk<'a>(nodes: &'a [Node], visit: &mut impl FnMut(&'a Node, &[&'a Node])) {
+    fn go<'a>(
+        nodes: &'a [Node],
+        stack: &mut Vec<&'a Node>,
+        visit: &mut impl FnMut(&'a Node, &[&'a Node]),
+    ) {
+        for node in nodes {
+            visit(node, stack);
+            stack.push(node);
+            go(&node.children, stack, visit);
+            stack.pop();
+        }
+    }
+    go(nodes, &mut Vec::new(), visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn tree(src: &str) -> (Vec<crate::lexer::Tok>, Vec<Node>) {
+        let toks = tokenize(src);
+        let sig: Vec<&crate::lexer::Tok> = toks
+            .iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    crate::lexer::TokKind::LineComment | crate::lexer::TokKind::BlockComment
+                )
+            })
+            .collect();
+        let nodes = parse(&sig);
+        (toks.clone(), nodes)
+    }
+
+    #[test]
+    fn fn_impl_match_nesting() {
+        let src = "impl Foo { fn encode(&self) -> u8 { match self { A => 1, _ => 0 } } }";
+        let (_, nodes) = tree(src);
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].kind, NodeKind::Impl("Foo".into()));
+        let f = &nodes[0].children[0];
+        assert_eq!(f.kind, NodeKind::Fn("encode".into()));
+        assert_eq!(f.children[0].kind, NodeKind::Match);
+    }
+
+    #[test]
+    fn body_ranges_cover_exactly_the_braced_tokens() {
+        let src = "fn f(v: [u8; 2]) { a; b } fn g() {}";
+        let (_, nodes) = tree(src);
+        assert_eq!(nodes.len(), 2);
+        let f = &nodes[0];
+        // body = the `a ; b` tokens between the braces.
+        assert_eq!(f.body.len(), 3);
+        assert!(nodes[1].body.is_empty());
+    }
+
+    #[test]
+    fn bodyless_and_truncated_items_do_not_derail() {
+        let (_, nodes) = tree("fn declared(); mod tests; fn real() { x }");
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].kind, NodeKind::Fn("real".into()));
+        // Unbalanced input: no panic, best-effort tree.
+        let (_, nodes) = tree("fn f() { { } ");
+        assert_eq!(nodes.len(), 1);
+        let (_, nodes) = tree("} } fn g() { }");
+        assert_eq!(nodes.len(), 1);
+        let (_, nodes) = tree("fn truncated");
+        assert!(nodes.is_empty());
+    }
+
+    #[test]
+    fn walk_reports_enclosing_stack() {
+        let src = "fn outer() { match x { _ => { inner } } }";
+        let (_, nodes) = tree(src);
+        let mut saw_match_in_fn = false;
+        walk(&nodes, &mut |node, stack| {
+            if node.kind == NodeKind::Match {
+                saw_match_in_fn = stack
+                    .iter()
+                    .any(|n| matches!(&n.kind, NodeKind::Fn(name) if name == "outer"));
+            }
+        });
+        assert!(saw_match_in_fn);
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_fatal() {
+        let mut src = String::from("fn f() ");
+        for _ in 0..2000 {
+            src.push('{');
+        }
+        for _ in 0..2000 {
+            src.push('}');
+        }
+        let (_, nodes) = tree(&src);
+        assert_eq!(nodes.len(), 1); // no stack overflow, tree capped
+    }
+}

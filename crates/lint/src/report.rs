@@ -1,8 +1,9 @@
-//! Deterministic report rendering: human text and JSON, both sorted by
-//! (path, line, rule) and free of timestamps, absolute paths, or map
-//! iteration — two runs over the same tree are byte-identical.
+//! Deterministic report rendering: human text, JSON, and SARIF 2.1.0,
+//! all sorted by (path, line, rule) and free of timestamps, absolute
+//! paths, or map iteration — two runs over the same tree are
+//! byte-identical, whatever order the per-file scans ran in.
 
-use crate::rules::Finding;
+use crate::rules::{Finding, Rule};
 
 /// The outcome of a lint run over a tree.
 #[derive(Debug, Clone)]
@@ -80,6 +81,66 @@ impl Report {
         ));
         out
     }
+
+    /// SARIF 2.1.0 report — the interchange format code-scanning UIs
+    /// ingest. One run, one rule descriptor per [`Rule`], one result
+    /// per finding (path-sorted, like every other format). Waived
+    /// findings are emitted at level `"note"` with an `inSource`
+    /// suppression carrying the pragma reason, so a SARIF viewer shows
+    /// the same audit trail as the text report.
+    pub fn render_sarif(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+             \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {\n      \
+             \"tool\": {\n        \"driver\": {\n          \"name\": \"eavm-lint\",\n          \
+             \"rules\": [",
+        );
+        let mut first = true;
+        for rule in Rule::ALL {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                json_str(rule.id()),
+                json_str(rule.invariant())
+            ));
+        }
+        out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+        first = true;
+        for f in &self.findings {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let level = if f.waived.is_some() { "note" } else { "error" };
+            out.push_str(&format!(
+                "\n        {{\n          \"ruleId\": {}, \"level\": {},\n          \
+                 \"message\": {{\"text\": {}}},\n          \"locations\": [{{\
+                 \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+                 \"region\": {{\"startLine\": {}}}}}}}]",
+                json_str(f.rule.id()),
+                json_str(level),
+                json_str(&format!("{} — {}", f.snippet, f.rule.invariant())),
+                json_str(&f.path),
+                f.line
+            ));
+            if let Some(reason) = &f.waived {
+                out.push_str(&format!(
+                    ",\n          \"suppressions\": [{{\"kind\": \"inSource\", \
+                     \"justification\": {}}}]",
+                    json_str(reason)
+                ));
+            }
+            out.push_str("\n        }");
+        }
+        if !first {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }\n  ]\n}\n");
+        out
+    }
 }
 
 fn append_findings<'a>(out: &mut String, findings: impl Iterator<Item = &'a Finding>) {
@@ -150,6 +211,38 @@ mod tests {
         assert!(text.contains("a.rs:3 D1 Instant::now"));
         assert!(text.contains("b.rs:9 D1 Instant::now (reason: gated)"));
         assert!(text.contains("files scanned: 2  violations: 1  waived: 1"));
+    }
+
+    #[test]
+    fn sarif_has_rules_results_and_suppressions() {
+        let report = Report {
+            findings: vec![finding("a.rs", 3, None), finding("b.rs", 9, Some("gated"))],
+            files_scanned: 2,
+        };
+        let sarif = report.render_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"eavm-lint\""));
+        // Every rule gets a descriptor.
+        for rule in Rule::ALL {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", rule.id())));
+        }
+        assert!(sarif.contains("\"uri\": \"a.rs\""));
+        assert!(sarif.contains("\"startLine\": 3"));
+        // The waived finding downgrades to a note with a suppression.
+        assert!(sarif.contains("\"level\": \"note\""));
+        assert!(sarif.contains("\"justification\": \"gated\""));
+        // Rendering is a pure function of the findings.
+        assert_eq!(sarif, report.render_sarif());
+    }
+
+    #[test]
+    fn sarif_empty_report_is_well_formed() {
+        let report = Report {
+            findings: vec![],
+            files_scanned: 0,
+        };
+        let sarif = report.render_sarif();
+        assert!(sarif.contains("\"results\": []"));
     }
 
     #[test]

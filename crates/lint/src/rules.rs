@@ -1,7 +1,13 @@
 //! The invariant rules and the per-file scanner.
 //!
-//! Each rule is a pattern over a few adjacent non-comment tokens plus a
-//! path scope. Violations are waivable only by an inline pragma
+//! Two kinds of rule run over a file. *Token rules* (D1–D4, P1, P2, C1)
+//! are patterns over a few adjacent non-comment tokens, some informed
+//! by the per-file float-symbol index. *Structural rules* (C2, W1) walk
+//! the brace tree from [`crate::parser`]: C2 inspects `match` arms
+//! inside codec functions, W1 checks source-order dominance of journal
+//! calls over ack calls within a function body.
+//!
+//! Violations are waivable only by an inline pragma
 //!
 //! ```text
 //! // eavm-lint: allow(D1, reason = "telemetry-gated; never on replay path")
@@ -9,9 +15,16 @@
 //!
 //! on the same line as the violation or on the line immediately above
 //! it. A pragma without a `reason` never waives — it is itself reported
-//! as a malformed-pragma violation, so justification is mandatory.
+//! as a malformed-pragma violation, so justification is mandatory. And
+//! a well-formed pragma that waives *nothing* is reported too
+//! (`unused-waiver`), so waivers are pruned when the code they excused
+//! is fixed. Pragmas inside doc comments (`///`, `//!`, `/**`, `/*!`)
+//! are documentation, not directives: never parsed, never stale.
 
 use crate::lexer::{tokenize, Tok, TokKind};
+use crate::parser::{self, NodeKind};
+use crate::symbols::{is_float_literal, FloatIndex};
+use std::collections::BTreeSet;
 
 /// Stable rule identifiers (these appear in pragmas and reports).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -22,35 +35,72 @@ pub enum Rule {
     D2,
     /// No default-hasher `HashMap`/`HashSet` in replay-critical crates.
     D3,
+    /// No float `==`/`!=` or `partial_cmp(..).unwrap()` in
+    /// replay-critical crates; use `total_cmp` or epsilon helpers.
+    D4,
     /// No `unwrap`/`expect`/`panic!`/slice-indexing in worker hot paths.
     P1,
+    /// No blocking I/O (`std::fs`, `println!`, stdin) in worker hot paths.
+    P2,
     /// No bare `as` narrowing casts in durability codec/record code.
     C1,
+    /// No `_ =>` wildcard arms in `encode`/`decode` matches — a
+    /// wildcard silently swallows a newly added variant or record tag.
+    C2,
+    /// Journal/WAL append must precede the corresponding ack/execute in
+    /// source order within a service function body.
+    W1,
+    /// A well-formed pragma whose line no longer violates anything.
+    UnusedWaiver,
     /// A pragma that cannot waive anything (unknown rule or no reason).
     Pragma,
 }
 
 impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: [Rule; 11] = [
+        Rule::D1,
+        Rule::D2,
+        Rule::D3,
+        Rule::D4,
+        Rule::P1,
+        Rule::P2,
+        Rule::C1,
+        Rule::C2,
+        Rule::W1,
+        Rule::UnusedWaiver,
+        Rule::Pragma,
+    ];
+
     pub fn id(self) -> &'static str {
         match self {
             Rule::D1 => "D1",
             Rule::D2 => "D2",
             Rule::D3 => "D3",
+            Rule::D4 => "D4",
             Rule::P1 => "P1",
+            Rule::P2 => "P2",
             Rule::C1 => "C1",
+            Rule::C2 => "C2",
+            Rule::W1 => "W1",
+            Rule::UnusedWaiver => "unused-waiver",
             Rule::Pragma => "pragma",
         }
     }
 
+    /// Rules a pragma may name. The meta rules (`pragma`,
+    /// `unused-waiver`) are deliberately unwaivable: a waiver for "this
+    /// waiver is broken" would be an audit hole.
     fn from_id(id: &str) -> Option<Rule> {
-        match id {
-            "D1" => Some(Rule::D1),
-            "D2" => Some(Rule::D2),
-            "D3" => Some(Rule::D3),
-            "P1" => Some(Rule::P1),
-            "C1" => Some(Rule::C1),
-            _ => None,
-        }
+        Rule::ALL
+            .into_iter()
+            .filter(|r| !matches!(r, Rule::UnusedWaiver | Rule::Pragma))
+            .find(|r| r.id() == id)
+    }
+
+    /// Rules a `--rules` filter may name (all of them, meta included).
+    pub fn from_filter_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
     }
 
     /// One-line statement of the invariant, for reports.
@@ -59,11 +109,45 @@ impl Rule {
             Rule::D1 => "no wall-clock reads outside telemetry-gated sites",
             Rule::D2 => "no OS randomness; only explicitly seeded generators",
             Rule::D3 => "no default-hasher maps/sets in replay-critical crates",
+            Rule::D4 => "no float ==/!= or partial_cmp().unwrap(); use total_cmp or epsilons",
             Rule::P1 => "no panic paths (unwrap/expect/panic!/indexing) in shard-worker code",
+            Rule::P2 => "no blocking I/O (std::fs, println!, stdin) in shard-worker code",
             Rule::C1 => "no bare `as` casts in codec/record code; use checked helpers",
+            Rule::C2 => "no `_ =>` wildcard arms in encode/decode matches",
+            Rule::W1 => "journal append must precede ack/execute in source order",
+            Rule::UnusedWaiver => "allow-pragmas must still waive something; prune stale ones",
             Rule::Pragma => "allow-pragmas must name a known rule and give a reason",
         }
     }
+}
+
+/// Parse a `--rules`-style comma list into a rule set. Unknown ids are
+/// a structured error naming every valid id, so a typo fails the run
+/// up front instead of silently scanning nothing.
+pub fn parse_rule_list(list: &str) -> Result<BTreeSet<Rule>, String> {
+    let mut rules = BTreeSet::new();
+    for part in list.split(',') {
+        let id = part.trim();
+        if id.is_empty() {
+            continue;
+        }
+        match Rule::from_filter_id(id) {
+            Some(rule) => {
+                rules.insert(rule);
+            }
+            None => {
+                let known: Vec<&str> = Rule::ALL.iter().map(|r| r.id()).collect();
+                return Err(format!(
+                    "unknown lint rule {id:?}; known rules: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+    }
+    if rules.is_empty() {
+        return Err("rule list names no rules".to_string());
+    }
+    Ok(rules)
 }
 
 /// Where each rule applies. Paths are workspace-relative with forward
@@ -91,10 +175,15 @@ impl Scope {
 #[derive(Debug, Clone)]
 pub struct LintConfig {
     pub scopes: Vec<Scope>,
+    /// Report malformed pragmas (rule `pragma`).
+    pub check_pragmas: bool,
+    /// Report stale pragmas (rule `unused-waiver`).
+    pub check_unused_waivers: bool,
 }
 
-/// The crates whose state feeds bit-exact replay/recovery proofs; D3's
-/// ordered-iteration requirement is scoped to these.
+/// The crates whose state feeds bit-exact replay/recovery proofs;
+/// D3's ordered-iteration and D4's total-float-order requirements are
+/// scoped to these.
 const REPLAY_CRITICAL: [&str; 8] = [
     "crates/simulator/",
     "crates/service/",
@@ -109,10 +198,12 @@ const REPLAY_CRITICAL: [&str; 8] = [
 impl LintConfig {
     /// The workspace rule set: D1/D2 everywhere (tests included — a
     /// replay test that reads a clock is as nondeterministic as the
-    /// code under test), D3 in replay-critical crates, P1 in the shard
-    /// worker (a panic there is a silent shard death the supervisor
-    /// must mop up), C1 in the durability wire codec. The bench crate
-    /// is wall-clock by nature and exempt from D1.
+    /// code under test), D3/D4 in replay-critical crates, P1/P2 in the
+    /// shard worker (a panic there is a silent shard death; blocking
+    /// I/O there stalls every VM on the shard), C1/C2 in the durability
+    /// wire codec, W1 in the service crate (ack before journal means a
+    /// crash acks work the recovery cannot see). The bench crate is
+    /// wall-clock by nature and exempt from D1.
     pub fn workspace_default() -> Self {
         LintConfig {
             scopes: vec![
@@ -135,7 +226,19 @@ impl LintConfig {
                     applies_to_tests: false,
                 },
                 Scope {
+                    rule: Rule::D4,
+                    include: REPLAY_CRITICAL.iter().map(|s| s.to_string()).collect(),
+                    exclude: vec![],
+                    applies_to_tests: false,
+                },
+                Scope {
                     rule: Rule::P1,
+                    include: vec!["crates/service/src/shard.rs".into()],
+                    exclude: vec![],
+                    applies_to_tests: false,
+                },
+                Scope {
+                    rule: Rule::P2,
                     include: vec!["crates/service/src/shard.rs".into()],
                     exclude: vec![],
                     applies_to_tests: false,
@@ -149,12 +252,46 @@ impl LintConfig {
                     exclude: vec![],
                     applies_to_tests: false,
                 },
+                Scope {
+                    rule: Rule::C2,
+                    include: vec!["crates/durability/".into(), "crates/storage/".into()],
+                    exclude: vec![],
+                    applies_to_tests: false,
+                },
+                Scope {
+                    rule: Rule::W1,
+                    include: vec!["crates/service/src/".into()],
+                    exclude: vec![],
+                    applies_to_tests: false,
+                },
             ],
+            check_pragmas: true,
+            check_unused_waivers: true,
+        }
+    }
+
+    /// The same config restricted to `enabled` rules (the `--rules`
+    /// filter). The meta rules only run when explicitly kept: a
+    /// filtered run must not report a D1 pragma as stale just because
+    /// D1 was filtered out of the run.
+    pub fn restricted(&self, enabled: &BTreeSet<Rule>) -> LintConfig {
+        LintConfig {
+            scopes: self
+                .scopes
+                .iter()
+                .filter(|s| enabled.contains(&s.rule))
+                .cloned()
+                .collect(),
+            check_pragmas: self.check_pragmas && enabled.contains(&Rule::Pragma),
+            check_unused_waivers: self.check_unused_waivers
+                && enabled.contains(&Rule::UnusedWaiver),
         }
     }
 }
 
-/// One rule hit at a source location.
+/// One rule hit at a source location. The derived ordering
+/// (path, line, rule, snippet, waived) is total, so a report sorted by
+/// it has identical bytes however the per-file scans were scheduled.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
     pub path: String,
@@ -175,6 +312,15 @@ struct Pragma {
 }
 
 const PRAGMA_TAG: &str = "eavm-lint:";
+
+/// Is this comment a doc comment? Pragma examples inside documentation
+/// must be inert.
+fn is_doc_comment(text: &str) -> bool {
+    text.starts_with("///")
+        || text.starts_with("//!")
+        || (text.starts_with("/**") && !text.starts_with("/**/"))
+        || text.starts_with("/*!")
+}
 
 /// Parse an allow-pragma out of a comment body. Returns `Err(finding)`
 /// for a comment that names the tag but is malformed (unknown rule or
@@ -225,11 +371,13 @@ pub fn scan_source(path: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
     let mut pragmas: Vec<Pragma> = Vec::new();
     let mut findings: Vec<Finding> = Vec::new();
     for t in &toks {
-        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+            && !is_doc_comment(&t.text)
+        {
             match parse_pragma(&t.text, t.line, path) {
                 Some(Ok(p)) => pragmas.push(p),
-                Some(Err(f)) => findings.push(f),
-                None => {}
+                Some(Err(f)) if config.check_pragmas => findings.push(f),
+                _ => {}
             }
         }
     }
@@ -238,45 +386,81 @@ pub fn scan_source(path: &str, src: &str, config: &LintConfig) -> Vec<Finding> {
     // files under `tests/`, or the single item (fn, mod, impl, use, ...)
     // that a `#[cfg(test)]` attribute gates — the item extends to its
     // closing brace, or to a `;` for brace-less items.
-    let code: Vec<(&Tok, bool)> = {
-        let significant: Vec<&Tok> = toks
-            .iter()
-            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
-            .collect();
-        let flags = test_flags(&significant, in_tests_dir);
-        significant.into_iter().zip(flags).collect()
-    };
+    let significant: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let flags = test_flags(&significant, in_tests_dir);
+    let code: Vec<(&Tok, bool)> = significant.iter().copied().zip(flags).collect();
+
+    // Structural context, built once per file and shared by all rules.
+    let tree = parser::parse(&significant);
+    let floats = FloatIndex::build(&significant);
 
     for scope in &config.scopes {
         if !scope.matches(path) {
             continue;
         }
-        for (i, &(tok, in_test)) in code.iter().enumerate() {
-            if in_test && !scope.applies_to_tests {
-                continue;
-            }
-            if let Some(snippet) = match_rule(scope.rule, &code, i, tok) {
-                findings.push(Finding {
-                    path: path.to_string(),
-                    line: tok.line,
-                    rule: scope.rule,
-                    snippet,
-                    waived: None,
-                });
+        match scope.rule {
+            Rule::C2 => c2_scan(path, &tree, &code, scope, &mut findings),
+            Rule::W1 => w1_scan(path, &tree, &code, scope, &mut findings),
+            _ => {
+                for (i, &(tok, in_test)) in code.iter().enumerate() {
+                    if in_test && !scope.applies_to_tests {
+                        continue;
+                    }
+                    if let Some(snippet) = match_rule(scope.rule, &code, i, tok, &floats) {
+                        findings.push(Finding {
+                            path: path.to_string(),
+                            line: tok.line,
+                            rule: scope.rule,
+                            snippet,
+                            waived: None,
+                        });
+                    }
+                }
             }
         }
     }
 
     // Apply waivers: a pragma covers its own line and the next line.
+    // Track which pragmas earned their keep.
+    let mut used = vec![false; pragmas.len()];
     for f in &mut findings {
-        if f.rule == Rule::Pragma {
+        if matches!(f.rule, Rule::Pragma | Rule::UnusedWaiver) {
             continue;
         }
-        if let Some(p) = pragmas
+        if let Some(k) = pragmas
             .iter()
-            .find(|p| p.rule == f.rule && (p.line == f.line || p.line + 1 == f.line))
+            .position(|p| p.rule == f.rule && (p.line == f.line || p.line + 1 == f.line))
         {
-            f.waived = Some(p.reason.clone());
+            f.waived = Some(pragmas[k].reason.clone());
+            used[k] = true;
+        }
+    }
+
+    // A pragma that waived nothing is itself a finding — but only when
+    // its rule actually ran on this file, so a `--rules`-filtered scan
+    // never calls a waiver stale for lack of looking.
+    if config.check_unused_waivers {
+        for (k, p) in pragmas.iter().enumerate() {
+            if used[k] {
+                continue;
+            }
+            if !config
+                .scopes
+                .iter()
+                .any(|s| s.rule == p.rule && s.matches(path))
+            {
+                continue;
+            }
+            findings.push(Finding {
+                path: path.to_string(),
+                line: p.line,
+                rule: Rule::UnusedWaiver,
+                snippet: format!("allow({}) waives nothing here — remove it", p.rule.id()),
+                waived: None,
+            });
         }
     }
 
@@ -368,9 +552,15 @@ const NUMERIC_TYPES: [&str; 14] = [
     "f64",
 ];
 
-/// Match `rule` at position `i` of the code-token stream; returns the
-/// offending snippet on a hit.
-fn match_rule(rule: Rule, code: &[(&Tok, bool)], i: usize, tok: &Tok) -> Option<String> {
+/// Match a token rule at position `i` of the code-token stream; returns
+/// the offending snippet on a hit.
+fn match_rule(
+    rule: Rule,
+    code: &[(&Tok, bool)],
+    i: usize,
+    tok: &Tok,
+    floats: &FloatIndex,
+) -> Option<String> {
     match rule {
         Rule::D1 => {
             // `Instant::now` / `SystemTime::now` as adjacent tokens.
@@ -397,7 +587,9 @@ fn match_rule(rule: Rule, code: &[(&Tok, bool)], i: usize, tok: &Tok) -> Option<
         Rule::D3 => (tok.kind == TokKind::Ident
             && (tok.text == "HashMap" || tok.text == "HashSet"))
             .then(|| tok.text.clone()),
+        Rule::D4 => d4_match(code, i, tok, floats),
         Rule::P1 => p1_match(code, i, tok),
+        Rule::P2 => p2_match(code, i, tok),
         Rule::C1 => {
             if tok.kind == TokKind::Ident && tok.text == "as" {
                 if let Some(ty) = ident_at(code, i + 1) {
@@ -408,7 +600,76 @@ fn match_rule(rule: Rule, code: &[(&Tok, bool)], i: usize, tok: &Tok) -> Option<
             }
             None
         }
-        Rule::Pragma => None, // produced by the pragma parser, not matching
+        // Structural and meta rules are produced elsewhere.
+        Rule::C2 | Rule::W1 | Rule::UnusedWaiver | Rule::Pragma => None,
+    }
+}
+
+/// Is this token a float-typed operand as far as the file-local index
+/// can tell: a float literal, a name declared `: f64`/`: f32`, or the
+/// type itself (the `f64` of `x as f64 == y`)?
+fn is_float_operand(code: &[(&Tok, bool)], i: usize, floats: &FloatIndex) -> bool {
+    let Some(&(t, _)) = code.get(i) else {
+        return false;
+    };
+    match t.kind {
+        TokKind::Number => is_float_literal(t),
+        TokKind::Ident => t.text == "f64" || t.text == "f32" || floats.contains(&t.text),
+        _ => false,
+    }
+}
+
+/// D4: float `==`/`!=`, and `partial_cmp(..)` chained straight into
+/// `.unwrap()`/`.expect()` (a NaN anywhere turns that into a panic and
+/// any ordering it fed into nondeterminism — `total_cmp` is free).
+fn d4_match(code: &[(&Tok, bool)], i: usize, tok: &Tok, floats: &FloatIndex) -> Option<String> {
+    match tok.kind {
+        TokKind::Punct('=') if punct_at(code, i + 1) == Some('=') => {
+            // Anchor on the first `=` of `==`; a preceding comparison or
+            // bang char means this is the tail of another operator.
+            if matches!(
+                punct_at(code, i.wrapping_sub(1)),
+                Some('=') | Some('!') | Some('<') | Some('>')
+            ) {
+                return None;
+            }
+            let float = is_float_operand(code, i.checked_sub(1)?, floats)
+                || is_float_operand(code, i + 2, floats);
+            float.then(|| "float ==".to_string())
+        }
+        TokKind::Punct('!') if punct_at(code, i + 1) == Some('=') => {
+            let float = is_float_operand(code, i.wrapping_sub(1), floats)
+                || is_float_operand(code, i + 2, floats);
+            float.then(|| "float !=".to_string())
+        }
+        TokKind::Ident if tok.text == "partial_cmp" && punct_at(code, i + 1) == Some('(') => {
+            // Skip the balanced argument list, then look for `.unwrap(`
+            // or `.expect(` immediately after it.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < code.len() {
+                match punct_at(code, j) {
+                    Some('(') => depth += 1,
+                    Some(')') => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if punct_at(code, j + 1) == Some('.') {
+                if let Some(m @ ("unwrap" | "expect")) = ident_at(code, j + 2) {
+                    if punct_at(code, j + 3) == Some('(') {
+                        return Some(format!("partial_cmp(..).{m}()"));
+                    }
+                }
+            }
+            None
+        }
+        _ => None,
     }
 }
 
@@ -438,6 +699,153 @@ fn p1_match(code: &[(&Tok, bool)], i: usize, tok: &Tok) -> Option<String> {
         }
         _ => None,
     }
+}
+
+/// P2: blocking I/O in a worker hot path — filesystem calls, console
+/// macros (the write is synchronous and takes a process-global lock),
+/// and stdin reads.
+fn p2_match(code: &[(&Tok, bool)], i: usize, tok: &Tok) -> Option<String> {
+    if tok.kind != TokKind::Ident {
+        return None;
+    }
+    match tok.text.as_str() {
+        "println" | "eprintln" | "print" | "eprint" => {
+            (punct_at(code, i + 1) == Some('!')).then(|| format!("{}!", tok.text))
+        }
+        "std" => {
+            let path_sep = punct_at(code, i + 1) == Some(':') && punct_at(code, i + 2) == Some(':');
+            (path_sep && ident_at(code, i + 3) == Some("fs")).then(|| "std::fs".to_string())
+        }
+        "stdin" => Some("stdin".to_string()),
+        _ => None,
+    }
+}
+
+/// C2: walk every `match` whose nearest enclosing `fn` is a codec
+/// (`encode*`/`decode*`) and flag `_ =>` arms at arm level. Arms of a
+/// *nested* match sit inside that match's own braces and are charged to
+/// the inner match, never the outer one.
+fn c2_scan(
+    path: &str,
+    tree: &[parser::Node],
+    code: &[(&Tok, bool)],
+    scope: &Scope,
+    findings: &mut Vec<Finding>,
+) {
+    parser::walk(tree, &mut |node, stack| {
+        if node.kind != NodeKind::Match {
+            return;
+        }
+        let codec_fn = stack.iter().rev().find_map(|n| match &n.kind {
+            NodeKind::Fn(name) => Some(name.as_str()),
+            _ => None,
+        });
+        let Some(fn_name) = codec_fn else { return };
+        if !(fn_name.starts_with("encode") || fn_name.starts_with("decode")) {
+            return;
+        }
+        let mut depth = 0usize;
+        for j in node.body.clone() {
+            let Some(&(t, in_test)) = code.get(j) else {
+                break;
+            };
+            match t.kind {
+                TokKind::Punct('{') | TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+                TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                    depth = depth.saturating_sub(1)
+                }
+                TokKind::Ident
+                    if depth == 0
+                        && t.text == "_"
+                        && punct_at(code, j + 1) == Some('=')
+                        && punct_at(code, j + 2) == Some('>') =>
+                {
+                    if in_test && !scope.applies_to_tests {
+                        continue;
+                    }
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line: t.line,
+                        rule: Rule::C2,
+                        snippet: format!("`_ =>` in {fn_name}"),
+                        waived: None,
+                    });
+                }
+                _ => {}
+            }
+        }
+    });
+}
+
+/// W1 journal sites: a call to the journaling layer.
+fn w1_journal_site(code: &[(&Tok, bool)], j: usize) -> bool {
+    match ident_at(code, j) {
+        Some("journal_append") | Some("append_resilient") => {
+            // A call, not the `fn journal_append(` definition.
+            punct_at(code, j + 1) == Some('(') && ident_at(code, j.wrapping_sub(1)) != Some("fn")
+        }
+        _ => false,
+    }
+}
+
+/// W1 ack sites: delivering a verdict to the caller or executing a
+/// planned migration. Both must be preceded (in source order, within
+/// the same fn body) by a journal append, or a crash between ack and
+/// append acknowledges work recovery cannot see.
+fn w1_ack_site(code: &[(&Tok, bool)], j: usize) -> Option<&'static str> {
+    match ident_at(code, j) {
+        Some("verdict_tx")
+            if punct_at(code, j + 1) == Some('.')
+                && ident_at(code, j + 2) == Some("send")
+                && punct_at(code, j + 3) == Some('(') =>
+        {
+            Some("verdict_tx.send")
+        }
+        Some("execute_move")
+            if punct_at(code, j + 1) == Some('(')
+                && punct_at(code, j.wrapping_sub(1)) == Some('.') =>
+        {
+            Some(".execute_move(..)")
+        }
+        _ => None,
+    }
+}
+
+/// W1: within each `fn` body, the first journal site must precede every
+/// ack site in source order.
+fn w1_scan(
+    path: &str,
+    tree: &[parser::Node],
+    code: &[(&Tok, bool)],
+    scope: &Scope,
+    findings: &mut Vec<Finding>,
+) {
+    parser::walk(tree, &mut |node, _stack| {
+        if !matches!(node.kind, NodeKind::Fn(_)) {
+            return;
+        }
+        let first_journal = node.body.clone().find(|&j| w1_journal_site(code, j));
+        for j in node.body.clone() {
+            let Some(site) = w1_ack_site(code, j) else {
+                continue;
+            };
+            let Some(&(t, in_test)) = code.get(j) else {
+                continue;
+            };
+            if in_test && !scope.applies_to_tests {
+                continue;
+            }
+            if first_journal.is_none_or(|fj| fj > j) {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: t.line,
+                    rule: Rule::W1,
+                    snippet: format!("{site} before any journal append"),
+                    waived: None,
+                });
+            }
+        }
+    });
 }
 
 /// Keywords that can directly precede `[` without it being indexing

@@ -1,0 +1,148 @@
+//! Per-file symbol index: which identifiers are *declared* with a
+//! float type. This is what lets D4 flag `threshold == limit` (both
+//! `f64` locals) without a type checker: the index records every
+//! `name: f64` / `name: f32` declaration site — let bindings, fn
+//! params, struct fields, consts — and D4 treats an indexed name as a
+//! float operand anywhere else in the same file. Heuristic by design:
+//! a file-local over-approximation is the right bias for a determinism
+//! lint (false positives are waivable; false negatives rot silently).
+
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// Names declared with a float type anywhere in one file.
+#[derive(Debug, Default)]
+pub struct FloatIndex {
+    names: BTreeSet<String>,
+}
+
+impl FloatIndex {
+    /// Build the index from a file's significant (non-comment) tokens.
+    ///
+    /// A declaration is `Ident ':' <f32|f64>` where the colon is not
+    /// part of a `::` path and only `&`, `mut`, and lifetimes sit
+    /// between the colon and the type. `x: Option<f64>` and friends are
+    /// deliberately not indexed — comparing a wrapped float compares
+    /// the wrapper.
+    pub fn build(toks: &[&Tok]) -> FloatIndex {
+        let mut names = BTreeSet::new();
+        for i in 0..toks.len() {
+            let t = toks[i];
+            if t.kind != TokKind::Ident || t.text == "_" {
+                continue;
+            }
+            if punct(toks, i + 1) != Some(':') {
+                continue;
+            }
+            // `foo::bar` / `match x { Variant :: .. }` are paths, and a
+            // preceding `:` means *this* ident is the type position.
+            if punct(toks, i + 2) == Some(':') || punct(toks, i.wrapping_sub(1)) == Some(':') {
+                continue;
+            }
+            let mut j = i + 2;
+            while matches!(punct(toks, j), Some('&')) || lifetime(toks, j) || mut_kw(toks, j) {
+                j += 1;
+            }
+            if let Some(ty) = toks.get(j) {
+                if ty.kind == TokKind::Ident && (ty.text == "f64" || ty.text == "f32") {
+                    names.insert(t.text.clone());
+                }
+            }
+        }
+        FloatIndex { names }
+    }
+
+    /// Is `name` declared as a float somewhere in this file?
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+fn punct(toks: &[&Tok], i: usize) -> Option<char> {
+    toks.get(i).and_then(|t| match t.kind {
+        TokKind::Punct(c) => Some(c),
+        _ => None,
+    })
+}
+
+fn lifetime(toks: &[&Tok], i: usize) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Lifetime)
+}
+
+fn mut_kw(toks: &[&Tok], i: usize) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == "mut")
+}
+
+/// Does this token spell a float literal? Catches `1.5`, `1e9`, `2f64`,
+/// `1.0f32` — but not hex/octal/binary (whose letters are digits, not
+/// exponents).
+pub fn is_float_literal(t: &Tok) -> bool {
+    if t.kind != TokKind::Number {
+        return false;
+    }
+    let s = t.text.as_str();
+    if s.starts_with("0x") || s.starts_with("0X") || s.starts_with("0o") || s.starts_with("0b") {
+        return false;
+    }
+    s.contains('.')
+        || s.contains('e')
+        || s.contains('E')
+        || s.ends_with("f64")
+        || s.ends_with("f32")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn index(src: &str) -> FloatIndex {
+        let toks = tokenize(src);
+        let sig: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        FloatIndex::build(&sig)
+    }
+
+    #[test]
+    fn declarations_are_indexed() {
+        let idx = index("fn f(rate: f64, n: u64) { let x: f32 = 0.0; let y: &mut f64 = r; }");
+        assert!(idx.contains("rate"));
+        assert!(idx.contains("x"));
+        assert!(idx.contains("y"));
+        assert!(!idx.contains("n"));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn paths_and_wrappers_are_not_indexed() {
+        let idx = index("let a = mod_a::f64_helper(); struct S { opt: Option<f64> }");
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn float_literal_shapes() {
+        let lit = |src: &str| {
+            let toks = tokenize(src);
+            is_float_literal(&toks[0])
+        };
+        assert!(lit("1.5"));
+        assert!(lit("1e9"));
+        assert!(lit("2f64"));
+        assert!(lit("0.0"));
+        assert!(!lit("42"));
+        assert!(!lit("0xFF"));
+        assert!(!lit("0b101"));
+        assert!(!lit("1_000"));
+    }
+}

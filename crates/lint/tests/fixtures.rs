@@ -344,13 +344,298 @@ fn pragma_with_unknown_rule_is_malformed() {
 
 #[test]
 fn pragma_only_covers_its_own_rule_and_adjacent_lines() {
-    // A D2 pragma does not waive a D1 hit.
+    // A D2 pragma does not waive a D1 hit — and, having waived
+    // nothing, is itself reported stale.
     let src = "// eavm-lint: allow(D2, reason = \"wrong rule\")\nlet t = Instant::now();";
-    assert_eq!(violations("crates/core/src/x.rs", src).len(), 1);
+    let found = violations("crates/core/src/x.rs", src);
+    assert_eq!(found.iter().filter(|f| f.rule == Rule::D1).count(), 1);
+    assert_eq!(
+        found
+            .iter()
+            .filter(|f| f.rule == Rule::UnusedWaiver)
+            .count(),
+        1
+    );
     // Two lines below the pragma is out of its reach.
     let far =
         "// eavm-lint: allow(D1, reason = \"too far away\")\nfn f() {}\nlet t = Instant::now();";
-    assert_eq!(violations("crates/core/src/x.rs", far).len(), 1);
+    let found = violations("crates/core/src/x.rs", far);
+    assert_eq!(found.iter().filter(|f| f.rule == Rule::D1).count(), 1);
+    assert_eq!(
+        found
+            .iter()
+            .filter(|f| f.rule == Rule::UnusedWaiver)
+            .count(),
+        1
+    );
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_fires_on_float_comparisons_and_partial_cmp_unwrap() {
+    let path = "crates/simulator/src/x.rs";
+    // A float literal on either side is enough.
+    let found = violations(path, "fn f(x: f64) -> bool { x == 0.0 }");
+    assert_eq!(found.len(), 1);
+    assert_eq!(found[0].rule, Rule::D4);
+    assert_eq!(found[0].snippet, "float ==");
+    // No literal at all: both operands resolved via the symbol index.
+    assert_eq!(
+        violations(path, "fn f(a: f64, b: f64) -> bool { a != b }")[0].snippet,
+        "float !="
+    );
+    // `partial_cmp` chained straight into unwrap/expect.
+    assert_eq!(
+        violations(
+            path,
+            "fn f(a: f64, b: f64) -> O { a.partial_cmp(&b).unwrap() }"
+        )[0]
+        .snippet,
+        "partial_cmp(..).unwrap()"
+    );
+    assert_eq!(
+        violations(
+            path,
+            "fn f(a: f64, b: f64) -> O { a.partial_cmp(&b).expect(\"fin\") }"
+        )[0]
+        .snippet,
+        "partial_cmp(..).expect()"
+    );
+}
+
+#[test]
+fn d4_ignores_integer_eq_total_cmp_and_out_of_scope_crates() {
+    let path = "crates/simulator/src/x.rs";
+    assert!(violations(path, "fn f(n: u64) -> bool { n == 0 }").is_empty());
+    assert!(violations(path, "fn f(a: f64, b: f64) -> O { a.total_cmp(&b) }").is_empty());
+    // Unchained partial_cmp is fine — the caller handles the None.
+    assert!(violations(
+        path,
+        "fn f(a: f64, b: f64) -> Option<O> { a.partial_cmp(&b) }"
+    )
+    .is_empty());
+    // The bench crate computes wall-clock stats; D4 is scoped away.
+    assert!(violations("crates/bench/src/x.rs", "fn f(x: f64) -> bool { x == 0.0 }").is_empty());
+}
+
+#[test]
+fn d4_waived_by_pragma() {
+    let src = "fn f(x: f64) -> bool {\n    // eavm-lint: allow(D4, reason = \"exact-zero sentinel\")\n    x == 0.0\n}";
+    let found = scan("crates/simulator/src/x.rs", src);
+    assert_eq!(found.len(), 1);
+    assert!(found[0].waived.is_some());
+    assert!(violations("crates/simulator/src/x.rs", src).is_empty());
+}
+
+// ---------------------------------------------------------------- P2
+
+#[test]
+fn p2_fires_on_blocking_io_in_shard_worker() {
+    let path = "crates/service/src/shard.rs";
+    assert_eq!(
+        violations(path, "fn f() { println!(\"x\"); }")[0].snippet,
+        "println!"
+    );
+    assert_eq!(
+        violations(path, "fn f() { eprintln!(\"boom: {e}\"); }")[0].snippet,
+        "eprintln!"
+    );
+    assert_eq!(
+        violations(
+            path,
+            "fn f() -> Vec<u8> { std::fs::read(\"p\").unwrap_or_default() }"
+        )[0]
+        .snippet,
+        "std::fs"
+    );
+    assert_eq!(
+        violations(
+            path,
+            "fn f(buf: &mut String) { io::stdin().read_line(buf).ok(); }"
+        )[0]
+        .snippet,
+        "stdin"
+    );
+}
+
+#[test]
+fn p2_ignores_formatting_channels_and_other_files() {
+    let path = "crates/service/src/shard.rs";
+    // In-memory formatting and channel sends are not blocking I/O.
+    assert!(violations(path, "fn f(n: u32) -> String { format!(\"{n}\") }").is_empty());
+    assert!(violations(path, "fn f(tx: &Sender<u32>) { let _ = tx.send(1); }").is_empty());
+    // The same I/O outside the shard worker is out of scope.
+    assert!(violations(
+        "crates/service/src/service.rs",
+        "fn f() { println!(\"x\"); }"
+    )
+    .is_empty());
+    // Test code in the worker file is exempt.
+    let tail = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { println!(\"t\"); }\n}";
+    assert!(violations(path, tail).is_empty());
+}
+
+#[test]
+fn p2_waived_by_pragma() {
+    let src = "fn f() {\n    // eavm-lint: allow(P2, reason = \"crash-drill breadcrumb\")\n    eprintln!(\"dying\");\n}";
+    let found = scan("crates/service/src/shard.rs", src);
+    assert_eq!(found.len(), 1);
+    assert!(found[0].waived.is_some());
+}
+
+// ---------------------------------------------------------------- C2
+
+#[test]
+fn c2_fires_on_wildcard_arms_in_codec_fns() {
+    let src = "impl Rec {\n    fn decode(tag: u8) -> Result<Rec, E> {\n        match tag {\n            1 => Ok(Rec::A),\n            _ => Ok(Rec::A),\n        }\n    }\n}";
+    let found = violations("crates/durability/src/record.rs", src);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, Rule::C2);
+    assert_eq!(found[0].snippet, "`_ =>` in decode");
+    // The storage crate's codecs are in scope too, and a nested match
+    // inside an encode fn is still that fn's responsibility.
+    let nested = "fn encode_header(h: &H) -> u8 {\n    match h.kind {\n        K::A => match h.sub {\n            0 => 1,\n            _ => 2,\n        },\n        K::B => 3,\n    }\n}";
+    let found = violations("crates/storage/src/journal.rs", nested);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, Rule::C2);
+}
+
+#[test]
+fn c2_ignores_binding_arms_non_codec_fns_and_inner_wildcards() {
+    let path = "crates/durability/src/wal.rs";
+    // A binding arm fails loudly on a new variant — that is the idiom
+    // C2 pushes toward.
+    let binding = "fn decode(tag: u8) -> Result<Rec, E> {\n    match tag {\n        1 => Ok(Rec::A),\n        tag => Err(E::UnknownTag(tag)),\n    }\n}";
+    assert!(violations(path, binding).is_empty());
+    // A wildcard in a *display* helper is not a codec hazard.
+    let display = "fn shed_name(r: Reason) -> &'static str {\n    match r {\n        Reason::Full => \"full\",\n        _ => \"unknown\",\n    }\n}";
+    assert!(violations(path, display).is_empty());
+    // `_` inside a pattern (`Ok(_)`) is not a wildcard *arm*.
+    let inner = "fn decode(r: R) -> u8 {\n    match r {\n        Ok(_) => 1,\n        Err(e) => e.code(),\n    }\n}";
+    assert!(violations(path, inner).is_empty());
+    // Out-of-scope crate: the CLI may match loosely.
+    let loose = "fn decode_flag(s: &str) -> u8 { match s { \"a\" => 1, _ => 0 } }";
+    assert!(violations("crates/cli/src/args.rs", loose).is_empty());
+}
+
+#[test]
+fn c2_waived_by_pragma() {
+    let src = "fn decode(tag: u8) -> u8 {\n    match tag {\n        1 => 1,\n        // eavm-lint: allow(C2, reason = \"legacy frames deliberately coerce to the null record\")\n        _ => 0,\n    }\n}";
+    let found = scan("crates/durability/src/wal.rs", src);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].waived.is_some());
+}
+
+// ---------------------------------------------------------------- W1
+
+#[test]
+fn w1_fires_on_ack_before_or_without_journal() {
+    let path = "crates/service/src/x.rs";
+    // Ack first, journal after: the crash window C2/W1 exist for.
+    let inverted = "impl S {\n    fn admit(&mut self, t: u64, v: V) {\n        let _ = self.verdict_tx.send((t, v));\n        self.journal_append(&rec(t));\n    }\n}";
+    let found = violations(path, inverted);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, Rule::W1);
+    assert_eq!(
+        found[0].snippet,
+        "verdict_tx.send before any journal append"
+    );
+    // An execute with no journal call anywhere in the fn.
+    let unjournaled = "impl S {\n    fn consolidate(&mut self, m: &Move) {\n        if self.execute_move(m, stall) {\n            self.tally += 1;\n        }\n    }\n}";
+    let found = violations(path, unjournaled);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, Rule::W1);
+}
+
+#[test]
+fn w1_ignores_journal_first_bodies_and_definitions() {
+    let path = "crates/service/src/x.rs";
+    // The correct discipline: journal, then ack — even conditionally.
+    let correct = "impl S {\n    fn admit(&mut self, t: u64, v: V) {\n        if self.journal_append(&rec(t)) {\n            let _ = self.verdict_tx.send((t, v));\n        }\n    }\n    fn consolidate(&mut self, m: &Move) {\n        self.journal_append(&mig(m));\n        self.execute_move(m, stall);\n    }\n}";
+    assert!(
+        violations(path, correct).is_empty(),
+        "{:?}",
+        violations(path, correct)
+    );
+    // The `fn execute_move(` definition is not a call site.
+    let def = "impl S {\n    fn execute_move(&mut self, m: &Move, stall: f64) -> bool {\n        self.apply(m)\n    }\n}";
+    assert!(violations(path, def).is_empty());
+    // Out of scope: only the service crate journals verdicts.
+    let elsewhere = "fn f(tx: &T) { let _ = tx.verdict_tx.send((0, v)); }";
+    assert!(violations("crates/simulator/src/x.rs", elsewhere).is_empty());
+}
+
+#[test]
+fn w1_waived_by_pragma() {
+    let src = "impl S {\n    fn replay(&mut self, t: u64, v: V) {\n        // eavm-lint: allow(W1, reason = \"recovery rebroadcast: the record being replayed IS the journal entry\")\n        let _ = self.verdict_tx.send((t, v));\n    }\n}";
+    let found = scan("crates/service/src/x.rs", src);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].waived.is_some());
+}
+
+// ------------------------------------------------------ unused-waiver
+
+#[test]
+fn stale_pragma_is_reported() {
+    let src = "// eavm-lint: allow(D1, reason = \"was needed before the refactor\")\nfn f() -> u64 { 42 }";
+    let found = violations("crates/core/src/x.rs", src);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, Rule::UnusedWaiver);
+    assert!(found[0].snippet.contains("allow(D1)"));
+}
+
+#[test]
+fn used_pragma_is_not_reported_stale() {
+    let src = "// eavm-lint: allow(D1, reason = \"display only\")\nlet t = Instant::now();";
+    let found = scan("crates/core/src/x.rs", src);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert!(found[0].waived.is_some());
+}
+
+#[test]
+fn doc_comment_pragmas_are_inert() {
+    // A pragma inside documentation (like the examples in this crate's
+    // own rustdoc) neither waives nor goes stale.
+    let src = "//! ```text\n//! // eavm-lint: allow(D1, reason = \"docs example\")\n//! ```\nfn f() -> u64 { 7 }";
+    assert!(scan("crates/core/src/x.rs", src).is_empty());
+    let block = "/** // eavm-lint: allow(D2) */\nfn f() -> u64 { 7 }";
+    assert!(scan("crates/core/src/x.rs", block).is_empty());
+}
+
+#[test]
+fn stale_pragma_not_reported_when_its_rule_is_out_of_scope() {
+    // A D1 pragma in the bench crate: D1 never runs there, so the
+    // checker cannot know whether the waiver is stale.
+    let src = "// eavm-lint: allow(D1, reason = \"bench is wall-clock\")\nfn f() {}";
+    assert!(violations("crates/bench/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn stale_pragma_not_reported_under_rules_filter() {
+    use eavm_lint::parse_rule_list;
+    let base = LintConfig::workspace_default();
+    let src = "// eavm-lint: allow(D1, reason = \"stale\")\nfn f() -> u64 { 1 }";
+    // Filtered to D3 + unused-waiver: D1 did not run, so its pragma is
+    // not judged.
+    let without_d1 = base.restricted(&parse_rule_list("D3,unused-waiver").expect("rules"));
+    assert!(scan_source("crates/core/src/x.rs", src, &without_d1).is_empty());
+    // With D1 in the run, the stale pragma is reported again.
+    let with_d1 = base.restricted(&parse_rule_list("D1,unused-waiver").expect("rules"));
+    let found = scan_source("crates/core/src/x.rs", src, &with_d1);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, Rule::UnusedWaiver);
+}
+
+#[test]
+fn rule_list_rejects_unknown_ids() {
+    use eavm_lint::parse_rule_list;
+    let err = parse_rule_list("D1,bogus").expect_err("must reject");
+    assert!(err.contains("bogus"), "{err}");
+    assert!(err.contains("known rules"), "{err}");
+    assert!(parse_rule_list("  ").is_err());
+    let ok = parse_rule_list("W1, C2").expect("valid list");
+    assert_eq!(ok.len(), 2);
 }
 
 // ------------------------------------------------------- determinism
@@ -430,5 +715,12 @@ fn own_workspace_is_clean() {
         bad.is_empty(),
         "unwaived violations in the workspace:\n{}",
         bad.join("\n")
+    );
+    // The v2 audit left reasoned D4 waivers behind (exact-zero
+    // sentinels, trace-identity grouping); their presence proves the
+    // new rules actually ran over the tree.
+    assert!(
+        report.waived().any(|f| f.rule == Rule::D4),
+        "expected the workspace's D4 waivers in the audit trail"
     );
 }

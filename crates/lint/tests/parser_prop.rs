@@ -1,0 +1,172 @@
+//! Property tests for the lexer + brace-tree parser: mutated and
+//! truncated copies of *real workspace sources* must never panic the
+//! tokenizer or the tree builder, token spans must stay in-bounds and
+//! sliceable, and every tree node's body range must nest inside its
+//! parent. The corpus is the code the linter actually runs on — the
+//! same files `run_lint` scans in CI — so the properties exercise the
+//! exact token shapes (raw strings, lifetimes, nested generics, macro
+//! bodies) the scanner meets in production.
+
+use eavm_lint::lexer::{tokenize, Tok, TokKind};
+use eavm_lint::parser::{parse, Node};
+use proptest::prelude::*;
+use std::path::Path;
+
+/// Real sources the corpus mutates: the linter's own scanner (dense
+/// with pragmas and comment handling), the hottest replay-critical
+/// file, the WAL codec, and the journal layer.
+const CORPUS_FILES: [&str; 4] = [
+    "crates/lint/src/rules.rs",
+    "crates/simulator/src/engine.rs",
+    "crates/durability/src/record.rs",
+    "crates/service/src/durable.rs",
+];
+
+fn corpus() -> Vec<String> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    CORPUS_FILES
+        .iter()
+        .map(|rel| {
+            std::fs::read_to_string(root.join(rel))
+                .unwrap_or_else(|e| panic!("corpus file {rel}: {e}"))
+        })
+        .collect()
+}
+
+/// Round a byte offset down to the nearest char boundary.
+fn floor_char_boundary(s: &str, mut at: usize) -> usize {
+    at = at.min(s.len());
+    while at > 0 && !s.is_char_boundary(at) {
+        at -= 1;
+    }
+    at
+}
+
+/// The invariants every token stream must satisfy, whatever the input.
+fn check_spans(src: &str, toks: &[Tok]) -> Result<(), TestCaseError> {
+    let mut prev_end = 0usize;
+    for t in toks {
+        prop_assert!(t.start <= t.end, "span inverted: {t:?}");
+        prop_assert!(
+            t.end <= src.len(),
+            "span past end of {}-byte src: {t:?}",
+            src.len()
+        );
+        prop_assert!(t.start >= prev_end, "spans overlap at {t:?}");
+        prop_assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span splits a char: {t:?}"
+        );
+        // Slicing must not panic, and an ident slices back to itself.
+        let slice = &src[t.start..t.end];
+        if t.kind == TokKind::Ident {
+            prop_assert_eq!(slice, t.text.as_str());
+        }
+        prev_end = t.end;
+    }
+    Ok(())
+}
+
+/// Every node's body must lie within `bound`, and children must nest
+/// inside their parent's body.
+fn check_nesting(nodes: &[Node], bound: std::ops::Range<usize>) -> Result<(), TestCaseError> {
+    for n in nodes {
+        prop_assert!(n.body.start <= n.body.end, "body inverted: {n:?}");
+        prop_assert!(
+            bound.start <= n.body.start && n.body.end <= bound.end,
+            "body {:?} escapes enclosing range {bound:?}",
+            n.body
+        );
+        check_nesting(&n.children, n.body.clone())?;
+    }
+    Ok(())
+}
+
+/// Lex + parse and check every structural invariant. The panic-freedom
+/// property is implicit: any panic fails the test.
+fn lex_parse_check(src: &str) -> Result<(), TestCaseError> {
+    let toks = tokenize(src);
+    check_spans(src, &toks)?;
+    let sig: Vec<&Tok> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let nodes = parse(&sig);
+    check_nesting(&nodes, 0..sig.len())?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Truncating a real source at any point — mid-string, mid-comment,
+    /// mid-token — still lexes and parses without panicking.
+    #[test]
+    fn truncated_workspace_sources_never_panic(
+        file in 0usize..CORPUS_FILES.len(),
+        frac in 0.0f64..=1.0,
+    ) {
+        let corpus = corpus();
+        let src = &corpus[file];
+        let cut = floor_char_boundary(src, (src.len() as f64 * frac) as usize);
+        lex_parse_check(&src[..cut])?;
+    }
+
+    /// Splicing structural junk — stray braces, quotes, comment
+    /// openers — into a real source never panics, and spans stay
+    /// in-bounds for the mutated text.
+    #[test]
+    fn mutated_workspace_sources_never_panic(
+        file in 0usize..CORPUS_FILES.len(),
+        at_frac in 0.0f64..=1.0,
+        cut_len in 0usize..64,
+        junk_picks in proptest::collection::vec(0usize..JUNK.len(), 0..24),
+    ) {
+        let corpus = corpus();
+        let src = &corpus[file];
+        let junk: String = junk_picks.iter().map(|&k| JUNK[k]).collect();
+        let at = floor_char_boundary(src, (src.len() as f64 * at_frac) as usize);
+        let end = floor_char_boundary(src, at + cut_len);
+        let mutated = format!("{}{}{}", &src[..at], junk, &src[end..]);
+        lex_parse_check(&mutated)?;
+    }
+
+    /// Raw token soup (no resemblance to Rust at all) never panics.
+    #[test]
+    fn arbitrary_text_never_panics(
+        points in proptest::collection::vec(0u32..0x11_0000, 0..200),
+    ) {
+        let src: String = points.iter().filter_map(|&p| char::from_u32(p)).collect();
+        lex_parse_check(&src)?;
+    }
+}
+
+/// The splice alphabet: every character that opens, closes, or escapes
+/// a lexical or structural region, plus filler.
+const JUNK: [char; 21] = [
+    '{', '}', '(', ')', '[', ']', '"', '\'', '/', '*', '#', '!', '_', '=', '<', '>', ';', ',', 'a',
+    ' ', '\n',
+];
+
+/// The corpus files themselves (unmutated) parse into a tree with at
+/// least one `fn` — a canary against the parser silently degrading to
+/// an empty forest on real code.
+#[test]
+fn corpus_files_produce_nonempty_trees() {
+    use eavm_lint::parser::{walk, NodeKind};
+    for (rel, src) in CORPUS_FILES.iter().zip(corpus()) {
+        let toks = tokenize(&src);
+        let sig: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let nodes = parse(&sig);
+        let mut fns = 0usize;
+        walk(&nodes, &mut |n, _| {
+            if matches!(n.kind, NodeKind::Fn(_)) {
+                fns += 1;
+            }
+        });
+        assert!(fns > 0, "{rel}: no fn nodes parsed");
+    }
+}

@@ -216,6 +216,7 @@ impl Assignment {
 
     fn unsigned(&self) -> Result<u64, ScenarioError> {
         let n = self.number()?;
+        // eavm-lint: allow(D4, reason = "integrality check: fract() is exactly ±0.0 iff n is an integer, and a NaN input fails the surrounding comparisons into the same rejection")
         if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
             return Err(self.err(
                 ErrorKind::BadValue,

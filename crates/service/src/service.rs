@@ -506,6 +506,7 @@ impl AllocService {
         let mut plane = match &config.overload {
             Some(overload) => {
                 let mut resolved = overload.clone().resolve(config.servers / config.shards);
+                // eavm-lint: allow(D4, reason = "exact-zero means `breaker unarmed`: the rate is user config copied verbatim, and only a literal 0.0 opts into mirroring the fault stream")
                 if resolved.breaker_rate == 0.0 && config.lookup_faults.is_enabled() {
                     resolved = resolved.with_breaker_stream(
                         config.lookup_faults.seed(),

@@ -525,9 +525,7 @@ impl<M: AllocationModel> Simulation<M> {
                     let rb = &requests[pending[b].origin];
                     let da = ra.submit + ra.deadline;
                     let db = rb.submit + rb.deadline;
-                    da.partial_cmp(&db)
-                        .expect("finite deadlines")
-                        .then(a.cmp(&b))
+                    da.total_cmp(db).then(a.cmp(&b))
                 });
             }
 
@@ -540,6 +538,7 @@ impl<M: AllocationModel> Simulation<M> {
                 if self.burst_allocation {
                     for &other in queue.iter().skip(1) {
                         let r = &requests[pending[other].origin];
+                        // eavm-lint: allow(D4, reason = "burst grouping keys on exact identity of trace-supplied submit instants; both sides are copied from the input, never computed")
                         if r.submit == head.submit && r.workload == head.workload {
                             group.push(other);
                         } else {

@@ -162,6 +162,7 @@ impl SimOutcome {
 
     /// Fraction of the total energy that is static (idle) draw.
     pub fn idle_energy_fraction(&self) -> f64 {
+        // eavm-lint: allow(D4, reason = "exact-zero sentinel guarding the division below; energy is exactly 0.0 only when no interval was ever recorded")
         if self.energy.value() == 0.0 {
             0.0
         } else {

@@ -56,6 +56,14 @@ macro_rules! unit {
             pub fn abs(self) -> Self {
                 Self(self.0.abs())
             }
+
+            /// Total order on the raw value (`f64::total_cmp`):
+            /// NaN-safe and deterministic, so sort keys never need a
+            /// `partial_cmp(..).unwrap()`.
+            #[inline]
+            pub fn total_cmp(self, other: Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
         }
 
         impl Add for $name {
